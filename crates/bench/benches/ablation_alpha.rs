@@ -1,0 +1,50 @@
+//! Ablation: attenuation-exponent sensitivity. The paper bounds
+//! `α ∈ [2, 4]` without fixing it; this bench regenerates the
+//! `alpha_sweep` extension table and times the full SAMC+PRO lower tier
+//! at the extreme exponents, quantifying how much the interference
+//! regime (α = 2: far relays still matter) costs the repair loops.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sag_bench::bench_sweep;
+use sag_core::model::{NetworkParams, Scenario};
+use sag_core::pro::pro;
+use sag_core::samc::samc;
+use sag_radio::{units::Db, LinkBudget, TwoRay};
+use sag_sim::experiments::alpha_sweep;
+use sag_sim::gen::ScenarioSpec;
+
+fn with_alpha(base: &Scenario, alpha: f64) -> Scenario {
+    let link = LinkBudget::builder()
+        .model(TwoRay::new(1.0, alpha))
+        .max_power(base.params.link.pmax())
+        .snr_threshold(Db::from_linear(base.params.link.beta()))
+        .build();
+    Scenario { params: NetworkParams::new(link, base.params.nmax), ..base.clone() }
+}
+
+fn alpha_ablation(c: &mut Criterion) {
+    let table = alpha_sweep::alpha_sweep(bench_sweep());
+    println!("{table}");
+
+    let base = ScenarioSpec { field_size: 500.0, n_subscribers: 20, ..Default::default() }.build(3);
+    let mut group = c.benchmark_group("ablation_alpha");
+    group.sample_size(10);
+    for &alpha in &[2.0f64, 3.0, 4.0] {
+        let sc = with_alpha(&base, alpha);
+        group.bench_with_input(
+            BenchmarkId::new("samc_pro", format!("{alpha}")),
+            &sc,
+            |b, sc| {
+                b.iter(|| {
+                    let sol = samc(sc).expect("feasible at -15dB");
+                    pro(sc, &sol).total()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, alpha_ablation);
+criterion_main!(benches);

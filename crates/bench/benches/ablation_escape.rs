@@ -1,0 +1,66 @@
+//! Ablation: Coverage Link Escape (Algorithm 3's greedy degree peeling)
+//! vs Hopcroft–Karp maximum matching as the one-on-one coverage
+//! maximiser. Prints the one-on-one counts both achieve and times them.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sag_graph::BipartiteGraph;
+
+fn random_coverage_graph(n_ss: usize, n_rs: usize, seed: u64) -> BipartiteGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = BipartiteGraph::new(n_ss, n_rs);
+    for l in 0..n_ss {
+        // Every subscriber coverable by at least one point.
+        g.add_edge(l, rng.gen_range(0..n_rs));
+        for r in 0..n_rs {
+            if rng.gen_bool(0.2) {
+                g.add_edge(l, r);
+            }
+        }
+    }
+    g
+}
+
+fn one_on_one_of_escape(g: &BipartiteGraph) -> usize {
+    let assignment = g.escape_assignment();
+    let mut load = vec![0usize; g.n_right()];
+    for a in assignment.iter().flatten() {
+        load[*a] += 1;
+    }
+    load.iter().filter(|&&l| l == 1).count()
+}
+
+fn escape_ablation(c: &mut Criterion) {
+    println!("one-on-one coverages (escape vs max-matching upper bound):");
+    for &(n_ss, n_rs) in &[(20usize, 8usize), (40, 15), (60, 25)] {
+        let g = random_coverage_graph(n_ss, n_rs, 9);
+        let escape = one_on_one_of_escape(&g);
+        let matching = g.max_matching().len();
+        println!("  ss={n_ss:<3} rs={n_rs:<3} escape={escape:<3} matching={matching}");
+        // A matched point serves exactly one SS, so the matching size
+        // bounds what any one-on-one maximiser can reach.
+        assert!(escape <= matching);
+    }
+
+    let mut group = c.benchmark_group("ablation_escape");
+    group.sample_size(10);
+    for &(n_ss, n_rs) in &[(30usize, 12usize), (60, 24)] {
+        let g = random_coverage_graph(n_ss, n_rs, 4);
+        group.bench_with_input(
+            BenchmarkId::new("escape_peeling", n_ss),
+            &g,
+            |b, g| b.iter(|| g.escape_assignment()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("hopcroft_karp", n_ss),
+            &g,
+            |b, g| b.iter(|| g.max_matching().len()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, escape_ablation);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Ablation: the hitting-set solver behind SAMC Step 4. Times greedy vs
+//! Mustafa–Ray local search vs exact branch-and-bound and prints their
+//! solution-size gap — quantifying what the (1+ε) PTAS buys over greedy
+//! and costs against the optimum.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sag_geom::{Circle, Point};
+use sag_hitting::{exact, greedy, local_search, DiskInstance};
+
+fn random_instance(n: usize, seed: u64) -> DiskInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let disks: Vec<Circle> = (0..n)
+        .map(|_| {
+            Circle::new(
+                Point::new(rng.gen_range(-200.0..200.0), rng.gen_range(-200.0..200.0)),
+                rng.gen_range(30.0..40.0),
+            )
+        })
+        .collect();
+    DiskInstance::new(disks)
+}
+
+fn hitting_ablation(c: &mut Criterion) {
+    // Quality gap report.
+    println!("hitting-set quality (disks: greedy / local-search / exact):");
+    for &n in &[6usize, 10, 14] {
+        let inst = random_instance(n, 3);
+        let g = greedy::greedy_hitting_set(&inst).len();
+        let l = local_search::local_search_hitting_set(&inst).len();
+        let e = exact::exact_hitting_set(&inst).len();
+        println!("  n={n:<3} greedy={g} local={l} exact={e}");
+        assert!(e <= l && l <= g);
+    }
+
+    let mut group = c.benchmark_group("ablation_hitting");
+    group.sample_size(10);
+    for &n in &[8usize, 16, 24] {
+        let inst = random_instance(n, 5);
+        group.bench_with_input(BenchmarkId::new("greedy", n), &inst, |b, inst| {
+            b.iter(|| greedy::greedy_hitting_set(inst).len())
+        });
+        group.bench_with_input(BenchmarkId::new("local_search", n), &inst, |b, inst| {
+            b.iter(|| local_search::local_search_hitting_set(inst).len())
+        });
+        if n <= 16 {
+            group.bench_with_input(BenchmarkId::new("exact", n), &inst, |b, inst| {
+                b.iter(|| exact::exact_hitting_set(inst).len())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, hitting_ablation);
+criterion_main!(benches);

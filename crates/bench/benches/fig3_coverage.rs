@@ -1,0 +1,34 @@
+//! Fig. 3 bench: regenerates the coverage-relay comparison (IAC vs GAC
+//! vs SAMC) at reduced scale and times each solver per user count — the
+//! performance story behind Fig. 3(a)/(b) and the running-time panels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sag_bench::{bench_scenario, bench_sweep};
+use sag_sim::experiments::{fig3, gac_grid_for, run_gac, run_iac, run_samc};
+
+fn regenerate_table(c: &mut Criterion) {
+    // Print the actual Fig. 3(a) series once (reduced runs) so the bench
+    // run leaves the paper's rows in its log.
+    let table = fig3::fig3a(bench_sweep());
+    println!("{table}");
+
+    let mut group = c.benchmark_group("fig3_solvers");
+    group.sample_size(10);
+    for &users in &[10usize, 20, 30] {
+        let sc = bench_scenario(500.0, users, 5);
+        group.bench_with_input(BenchmarkId::new("samc", users), &sc, |b, sc| {
+            b.iter(|| run_samc(sc))
+        });
+        group.bench_with_input(BenchmarkId::new("iac", users), &sc, |b, sc| {
+            b.iter(|| run_iac(sc))
+        });
+        group.bench_with_input(BenchmarkId::new("gac", users), &sc, |b, sc| {
+            b.iter(|| run_gac(sc, gac_grid_for(500.0)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, regenerate_table);
+criterion_main!(benches);

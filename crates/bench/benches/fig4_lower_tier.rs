@@ -1,0 +1,35 @@
+//! Fig. 4 bench: the 500×500 lower-tier pipeline — PRO vs the LPQC
+//! optimum (fixed point) vs baseline — regenerating panel (a)'s series
+//! and timing each power stage.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sag_bench::{bench_scenario, bench_sweep};
+use sag_core::pro::{baseline_power, optimal_power, pro};
+use sag_core::samc::samc;
+use sag_sim::experiments::fig45;
+
+fn lower_tier(c: &mut Criterion) {
+    let table = fig45::power_pro(500.0, bench_sweep());
+    println!("{table}");
+
+    let mut group = c.benchmark_group("fig4_power");
+    group.sample_size(10);
+    for &users in &[10usize, 25, 40] {
+        let sc = bench_scenario(500.0, users, 9);
+        let Ok(sol) = samc(&sc) else { continue };
+        group.bench_with_input(BenchmarkId::new("pro", users), &users, |b, _| {
+            b.iter(|| pro(&sc, &sol))
+        });
+        group.bench_with_input(BenchmarkId::new("optimal_fixed_point", users), &users, |b, _| {
+            b.iter(|| optimal_power(&sc, &sol).expect("feasible"))
+        });
+        group.bench_with_input(BenchmarkId::new("baseline", users), &users, |b, _| {
+            b.iter(|| baseline_power(&sc, &sol))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, lower_tier);
+criterion_main!(benches);

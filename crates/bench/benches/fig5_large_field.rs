@@ -1,0 +1,33 @@
+//! Fig. 5 bench: the 800×800 field — end-to-end lower+upper tier at the
+//! larger scale, regenerating panel (d)'s series and timing the full
+//! chain per user count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sag_bench::{bench_scenario, bench_sweep};
+use sag_core::mbmc::mbmc;
+use sag_core::samc::samc;
+use sag_core::ucpo::ucpo;
+use sag_sim::experiments::fig45;
+
+fn large_field(c: &mut Criterion) {
+    let table = fig45::power_ucpo(800.0, bench_sweep());
+    println!("{table}");
+
+    let mut group = c.benchmark_group("fig5_800_field");
+    group.sample_size(10);
+    for &users in &[20usize, 40] {
+        let sc = bench_scenario(800.0, users, 13);
+        group.bench_with_input(BenchmarkId::new("samc_mbmc_ucpo", users), &users, |b, _| {
+            b.iter(|| {
+                let sol = samc(&sc).expect("feasible at -15dB");
+                let plan = mbmc(&sc, &sol).expect("connectable");
+                ucpo(&sc, &sol, &plan).total()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, large_field);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Fig. 6 bench: building the four topology panels (IAC+MBMC, GAC+MBMC,
+//! SAMC+MBMC, SAMC+MUST) — regenerates the dumps once, then times the
+//! SAMC+MBMC panel construction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use sag_bench::bench_corner_scenario;
+use sag_core::mbmc::{mbmc, must};
+use sag_core::samc::samc;
+use sag_sim::experiments::fig6;
+
+fn topologies(c: &mut Criterion) {
+    for dump in fig6::fig6(7) {
+        println!(
+            "{:<10}: {} cover, {} connect, {} links",
+            dump.name,
+            dump.coverage_relays.len(),
+            dump.connectivity_relays.len(),
+            dump.links.len()
+        );
+    }
+
+    let sc = bench_corner_scenario(20, 7);
+    let mut group = c.benchmark_group("fig6_topology");
+    group.sample_size(10);
+    group.bench_function("samc_plus_mbmc", |b| {
+        b.iter(|| {
+            let sol = samc(&sc).expect("feasible");
+            mbmc(&sc, &sol).expect("connectable").n_relays()
+        })
+    });
+    group.bench_function("samc_plus_must", |b| {
+        b.iter(|| {
+            let sol = samc(&sc).expect("feasible");
+            must(&sc, &sol, 0).expect("connectable").n_relays()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, topologies);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Fig. 7 bench: total power, SAG vs the DARP combinations —
+//! regenerates the 300×300 panel and times the full SAG pipeline against
+//! the DARP baseline per user count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sag_bench::{bench_scenario, bench_sweep};
+use sag_core::darp::darp;
+use sag_core::sag::run_sag;
+use sag_core::samc::samc;
+use sag_sim::experiments::fig7;
+
+fn total_power(c: &mut Criterion) {
+    let table = fig7::fig7(300.0, bench_sweep());
+    println!("{table}");
+
+    let mut group = c.benchmark_group("fig7_pipelines");
+    group.sample_size(10);
+    for &users in &[10usize, 20] {
+        let sc = bench_scenario(300.0, users, 21);
+        group.bench_with_input(BenchmarkId::new("sag_full", users), &users, |b, _| {
+            b.iter(|| run_sag(&sc).map(|r| r.power_summary().total))
+        });
+        group.bench_with_input(BenchmarkId::new("samc_darp", users), &users, |b, _| {
+            b.iter(|| {
+                samc(&sc)
+                    .ok()
+                    .and_then(|s| darp(&sc, &s, 0).ok())
+                    .map(|d| d.total_power())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, total_power);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Micro-benchmarks of the substrates every pipeline stage leans on:
+//! circle intersection, disk-family common points, spatial-hash queries,
+//! simplex solves and MSTs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sag_geom::{disks, Circle, Point, SpatialHash};
+use sag_graph::{mst, Graph};
+use sag_lp::{LpProblem, Relation};
+
+fn micro(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+
+    let a = Circle::new(Point::new(0.0, 0.0), 35.0);
+    let b = Circle::new(Point::new(40.0, 10.0), 38.0);
+    c.bench_function("geom/circle_intersection", |bch| {
+        bch.iter(|| a.intersection_points(&b))
+    });
+
+    let family: Vec<Circle> = (0..8)
+        .map(|k| Circle::new(Point::new(k as f64 * 3.0, (k % 3) as f64 * 4.0), 30.0))
+        .collect();
+    c.bench_function("geom/disk_family_common_point", |bch| {
+        bch.iter(|| disks::common_point(&family))
+    });
+
+    let pts: Vec<Point> = (0..500)
+        .map(|_| Point::new(rng.gen_range(-400.0..400.0), rng.gen_range(-400.0..400.0)))
+        .collect();
+    let hash = SpatialHash::build(&pts, 40.0);
+    c.bench_function("geom/spatial_hash_radius_query", |bch| {
+        bch.iter(|| hash.query_radius(Point::new(10.0, -20.0), 60.0).len())
+    });
+
+    c.bench_function("lp/simplex_20x20", |bch| {
+        bch.iter(|| {
+            let mut lp = LpProblem::minimize(20);
+            lp.set_objective(&[1.0; 20]);
+            for i in 0..20 {
+                lp.set_bounds(i, 0.0, 10.0);
+                lp.add_constraint(&[(i, 1.0), ((i + 1) % 20, 0.5)], Relation::Ge, 1.0);
+            }
+            lp.solve().expect("feasible").objective
+        })
+    });
+
+    let mut g = Graph::new(60);
+    let mut rng2 = StdRng::seed_from_u64(3);
+    for v in 1..60 {
+        let u = rng2.gen_range(0..v);
+        g.add_edge(u, v, rng2.gen_range(0.1..10.0));
+    }
+    for _ in 0..120 {
+        let u = rng2.gen_range(0..60);
+        let v = rng2.gen_range(0..60);
+        if u != v {
+            g.add_edge(u, v, rng2.gen_range(0.1..10.0));
+        }
+    }
+    c.bench_function("graph/kruskal_60v_180e", |bch| {
+        bch.iter(|| mst::kruskal(&g).expect("connected").total_weight)
+    });
+    c.bench_function("graph/prim_60v_180e", |bch| {
+        bch.iter(|| mst::prim(&g, 0).expect("connected").total_weight)
+    });
+}
+
+criterion_group!(benches, micro);
+criterion_main!(benches);

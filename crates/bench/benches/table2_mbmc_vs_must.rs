@@ -1,0 +1,29 @@
+//! Table II bench: MBMC vs MUST across base-station counts —
+//! regenerates the table, then times both connectivity planners.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sag_bench::{bench_scenario, bench_sweep};
+use sag_core::mbmc::{mbmc, must};
+use sag_core::samc::samc;
+use sag_sim::experiments::table2;
+
+fn mbmc_vs_must(c: &mut Criterion) {
+    let table = table2::table2(bench_sweep());
+    println!("{table}");
+
+    let sc = bench_scenario(500.0, 30, 31);
+    let sol = samc(&sc).expect("feasible at -15dB");
+    let mut group = c.benchmark_group("table2_planners");
+    group.sample_size(10);
+    group.bench_function("mbmc", |b| b.iter(|| mbmc(&sc, &sol).expect("ok").n_relays()));
+    for bs in 0..sc.base_stations.len().min(2) {
+        group.bench_with_input(BenchmarkId::new("must", bs), &bs, |b, &bs| {
+            b.iter(|| must(&sc, &sol, bs).expect("ok").n_relays())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, mbmc_vs_must);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Shared scaffolding for the Criterion benches: canonical scenario
+//! builders and reduced sweep configurations so that `cargo bench`
+//! regenerates every paper artefact's data path in bounded time.
+
+use sag_core::model::Scenario;
+use sag_sim::gen::{BsLayout, ScenarioSpec};
+use sag_sim::runner::SweepConfig;
+
+/// The sweep configuration benches use: few runs, deterministic seeds.
+pub fn bench_sweep() -> SweepConfig {
+    SweepConfig { runs: 2, base_seed: 77, threads: 4 }
+}
+
+/// A canonical benchmark scenario on the given field with `users`
+/// subscribers (paper defaults: −15 dB, 4 BSs).
+pub fn bench_scenario(field: f64, users: usize, seed: u64) -> Scenario {
+    ScenarioSpec {
+        field_size: field,
+        n_subscribers: users,
+        n_base_stations: 4,
+        snr_db: -15.0,
+        bs_layout: BsLayout::Uniform,
+        ..Default::default()
+    }
+    .build(seed)
+}
+
+/// The Fig. 6 corner-BS scenario at benchmark scale.
+pub fn bench_corner_scenario(users: usize, seed: u64) -> Scenario {
+    ScenarioSpec {
+        field_size: 600.0,
+        n_subscribers: users,
+        n_base_stations: 4,
+        snr_db: -15.0,
+        bs_layout: BsLayout::Corners,
+        ..Default::default()
+    }
+    .build(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_are_deterministic() {
+        assert_eq!(bench_scenario(500.0, 10, 1), bench_scenario(500.0, 10, 1));
+        assert_eq!(bench_corner_scenario(10, 1), bench_corner_scenario(10, 1));
+        assert_eq!(bench_sweep().runs, 2);
+    }
+}

@@ -1,0 +1,224 @@
+//! Feasible coverage: assignment, SNR checks, and the
+//! [`CoverageSolution`] type shared by all lower-tier algorithms.
+//!
+//! Definition 1 (feasible coverage): relay `r` feasibly covers subscriber
+//! `s_j` when `d(r, s_j) ≤ d_j` (capacity) **and** the SNR received at
+//! `s_j` clears the threshold β (Definition 2, with every placed relay as
+//! an interferer). With all relays at equal power the SNR depends only on
+//! distances — the form used during placement; per-relay powers enter
+//! later through PRO.
+
+use serde::{Deserialize, Serialize};
+
+use sag_geom::Point;
+use sag_radio::snr;
+
+use crate::model::Scenario;
+
+/// A lower-tier placement: relay positions plus the SS→relay assignment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoverageSolution {
+    /// Positions of the placed coverage relays.
+    pub relays: Vec<Point>,
+    /// `assignment[j]` = index into `relays` serving subscriber `j`.
+    pub assignment: Vec<usize>,
+}
+
+impl CoverageSolution {
+    /// Number of placed relays.
+    pub fn n_relays(&self) -> usize {
+        self.relays.len()
+    }
+
+    /// Subscribers assigned to relay `r`, in subscriber order.
+    pub fn subscribers_of(&self, r: usize) -> Vec<usize> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter_map(|(j, &a)| (a == r).then_some(j))
+            .collect()
+    }
+}
+
+/// SNR at subscriber `j` when served by `relays[serving]`, all relays
+/// transmitting at the same power (placement-time check; the power level
+/// cancels).
+pub fn placement_snr(scenario: &Scenario, relays: &[Point], j: usize, serving: usize) -> f64 {
+    snr::placement_snr_uniform(
+        scenario.params.link.model(),
+        scenario.subscribers[j].position,
+        relays,
+        serving,
+    )
+}
+
+/// SNR at subscriber `j` when served by `relays[serving]` with explicit
+/// per-relay powers (PRO-time check).
+pub fn powered_snr(
+    scenario: &Scenario,
+    relays: &[Point],
+    powers: &[f64],
+    j: usize,
+    serving: usize,
+) -> f64 {
+    snr::placement_snr(
+        scenario.params.link.model(),
+        scenario.subscribers[j].position,
+        relays,
+        powers,
+        serving,
+    )
+}
+
+/// Greedy feasibility-maximising assignment: each subscriber is served by
+/// its **nearest** relay within its feasible distance.
+///
+/// With equal relay powers the nearest in-range relay maximises the SNR
+/// (the interference term is the same whichever relay serves), so this
+/// assignment is feasible whenever *any* assignment is.
+///
+/// Returns `None` if some subscriber has no relay within distance.
+pub fn assign_nearest(scenario: &Scenario, relays: &[Point]) -> Option<Vec<usize>> {
+    let mut assignment = Vec::with_capacity(scenario.n_subscribers());
+    for sub in &scenario.subscribers {
+        let best = relays
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.distance(sub.position) <= sub.distance_req + 1e-9)
+            .min_by(|a, b| {
+                sag_geom::float::total_cmp(
+                    &a.1.distance(sub.position),
+                    &b.1.distance(sub.position),
+                )
+            })
+            .map(|(i, _)| i)?;
+        assignment.push(best);
+    }
+    Some(assignment)
+}
+
+/// Indices of subscribers whose SNR constraint is violated under the
+/// given placement and assignment (uniform powers).
+pub fn snr_violations(scenario: &Scenario, relays: &[Point], assignment: &[usize]) -> Vec<usize> {
+    let beta = scenario.params.link.beta();
+    (0..scenario.n_subscribers())
+        .filter(|&j| placement_snr(scenario, relays, j, assignment[j]) < beta - 1e-12)
+        .collect()
+}
+
+/// Full feasibility check of a coverage solution under uniform powers:
+/// every subscriber in distance range of its relay and above the SNR
+/// threshold.
+pub fn is_feasible(scenario: &Scenario, sol: &CoverageSolution) -> bool {
+    if sol.assignment.len() != scenario.n_subscribers() {
+        return false;
+    }
+    for (j, sub) in scenario.subscribers.iter().enumerate() {
+        let r = sol.assignment[j];
+        if r >= sol.relays.len() {
+            return false;
+        }
+        if sol.relays[r].distance(sub.position) > sub.distance_req + 1e-9 {
+            return false;
+        }
+    }
+    snr_violations(scenario, &sol.relays, &sol.assignment).is_empty()
+}
+
+/// Builds a [`CoverageSolution`] from bare relay positions via
+/// [`assign_nearest`], requiring full feasibility (distance + SNR).
+///
+/// Returns `None` when the positions cannot feasibly cover the scenario.
+pub fn solution_from_positions(scenario: &Scenario, relays: Vec<Point>) -> Option<CoverageSolution> {
+    let assignment = assign_nearest(scenario, &relays)?;
+    let sol = CoverageSolution { relays, assignment };
+    is_feasible(scenario, &sol).then_some(sol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{BaseStation, NetworkParams, Subscriber};
+    use sag_geom::Rect;
+    use sag_radio::{units::Db, LinkBudget};
+
+    fn scenario(subs: Vec<(f64, f64, f64)>, beta_db: f64) -> Scenario {
+        let params = NetworkParams::new(
+            LinkBudget::builder().snr_threshold(Db::new(beta_db)).build(),
+            1e-9,
+        );
+        Scenario::new(
+            Rect::centered_square(500.0),
+            subs.into_iter()
+                .map(|(x, y, d)| Subscriber::new(Point::new(x, y), d))
+                .collect(),
+            vec![BaseStation::new(Point::new(200.0, 200.0))],
+            params,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn assignment_prefers_nearest_in_range() {
+        let sc = scenario(vec![(0.0, 0.0, 30.0)], -15.0);
+        let relays = vec![Point::new(20.0, 0.0), Point::new(5.0, 0.0)];
+        let a = assign_nearest(&sc, &relays).unwrap();
+        assert_eq!(a, vec![1]);
+    }
+
+    #[test]
+    fn assignment_none_when_out_of_range() {
+        let sc = scenario(vec![(0.0, 0.0, 30.0)], -15.0);
+        assert!(assign_nearest(&sc, &[Point::new(100.0, 0.0)]).is_none());
+    }
+
+    #[test]
+    fn single_relay_always_meets_snr() {
+        // One relay → no interference → infinite SNR.
+        let sc = scenario(vec![(0.0, 0.0, 30.0), (10.0, 0.0, 30.0)], -10.0);
+        let sol = solution_from_positions(&sc, vec![Point::new(5.0, 0.0)]).unwrap();
+        assert!(is_feasible(&sc, &sol));
+        assert_eq!(sol.n_relays(), 1);
+        assert_eq!(sol.subscribers_of(0), vec![0, 1]);
+    }
+
+    #[test]
+    fn close_interferer_violates_snr() {
+        // Two subscribers, each with its own relay; SS0's interferer sits
+        // close enough that a strict threshold fails while a lenient one
+        // passes.
+        let subs = vec![(0.0, 0.0, 30.0), (60.0, 0.0, 30.0)];
+        // SS0: serving at 25, interferer at 40 → SNR = (40/25)³ ≈ 4.10
+        // (6.1 dB). SS1: serving at 20, interferer at 35 → (35/20)³ ≈
+        // 5.36 (7.3 dB).
+        let relays = vec![Point::new(25.0, 0.0), Point::new(40.0, 0.0)];
+        let lenient = scenario(subs.clone(), -15.0);
+        let a = assign_nearest(&lenient, &relays).unwrap();
+        assert_eq!(a, vec![0, 1]);
+        assert!(snr_violations(&lenient, &relays, &a).is_empty());
+        // 6.5 dB (4.47): SS0 violated (4.10), SS1 fine (5.36).
+        let strict = scenario(subs, 6.5);
+        let a = assign_nearest(&strict, &relays).unwrap();
+        assert_eq!(snr_violations(&strict, &relays, &a), vec![0]);
+    }
+
+    #[test]
+    fn feasibility_rejects_malformed() {
+        let sc = scenario(vec![(0.0, 0.0, 30.0)], -15.0);
+        // Assignment out of bounds.
+        let sol = CoverageSolution { relays: vec![Point::ORIGIN], assignment: vec![3] };
+        assert!(!is_feasible(&sc, &sol));
+        // Wrong assignment length.
+        let sol = CoverageSolution { relays: vec![Point::ORIGIN], assignment: vec![] };
+        assert!(!is_feasible(&sc, &sol));
+    }
+
+    #[test]
+    fn powered_snr_tracks_power_changes() {
+        let sc = scenario(vec![(0.0, 0.0, 30.0)], -15.0);
+        let relays = vec![Point::new(10.0, 0.0), Point::new(30.0, 0.0)];
+        let hi = powered_snr(&sc, &relays, &[1.0, 1.0], 0, 0);
+        let better = powered_snr(&sc, &relays, &[1.0, 0.1], 0, 0);
+        assert!(better > hi);
+    }
+}

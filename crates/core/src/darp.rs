@@ -1,0 +1,102 @@
+//! The DARP baseline of \[1\] (Zhang et al., INFOCOM'11), used in the
+//! Fig. 7 comparisons.
+//!
+//! DARP places relays for coverage and connectivity but (a) assumes every
+//! relay transmits at **maximum power** — no PRO, no UCPO — and (b) its
+//! connectivity layer (MUST) supports a **single base station**. The
+//! paper combines DARP's deployment with each lower-tier coverage variant
+//! (IAC / GAC / SAMC) and compares total power against the full SAG
+//! pipeline.
+
+use crate::coverage::CoverageSolution;
+use crate::error::SagResult;
+use crate::mbmc::{must, ConnectivityPlan};
+use crate::model::Scenario;
+
+/// Outcome of the DARP baseline for a given lower-tier solution.
+#[derive(Debug, Clone)]
+pub struct DarpOutcome {
+    /// The MUST connectivity plan (single BS).
+    pub plan: ConnectivityPlan,
+    /// Lower-tier power (all coverage relays at `Pmax`).
+    pub lower_power: f64,
+    /// Upper-tier power (all relay-link transmitters at `Pmax`).
+    pub upper_power: f64,
+}
+
+impl DarpOutcome {
+    /// Total power of the DARP deployment.
+    pub fn total_power(&self) -> f64 {
+        self.lower_power + self.upper_power
+    }
+}
+
+/// Runs the DARP baseline on an existing lower-tier coverage solution,
+/// connecting everything to base station `bs_index` at maximum power.
+///
+/// # Errors
+/// Propagates connectivity errors (bad BS index).
+pub fn darp(
+    scenario: &Scenario,
+    coverage: &CoverageSolution,
+    bs_index: usize,
+) -> SagResult<DarpOutcome> {
+    let pmax = scenario.params.link.pmax();
+    let plan = must(scenario, coverage, bs_index)?;
+    let lower_power = coverage.n_relays() as f64 * pmax;
+    let upper_power: f64 = plan.chains.iter().map(|c| c.hops as f64 * pmax).sum();
+    Ok(DarpOutcome { plan, lower_power, upper_power })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{BaseStation, NetworkParams, Scenario, Subscriber};
+    use sag_geom::{Point, Rect};
+
+    fn scenario() -> Scenario {
+        Scenario::new(
+            Rect::centered_square(600.0),
+            vec![
+                Subscriber::new(Point::new(0.0, 0.0), 30.0),
+                Subscriber::new(Point::new(150.0, 0.0), 30.0),
+            ],
+            vec![
+                BaseStation::new(Point::new(250.0, 250.0)),
+                BaseStation::new(Point::new(-10.0, 40.0)),
+            ],
+            NetworkParams::default(),
+        )
+        .unwrap()
+    }
+
+    fn coverage() -> CoverageSolution {
+        CoverageSolution {
+            relays: vec![Point::new(0.0, 0.0), Point::new(150.0, 0.0)],
+            assignment: vec![0, 1],
+        }
+    }
+
+    #[test]
+    fn darp_power_counts_everything_at_pmax() {
+        let sc = scenario();
+        let out = darp(&sc, &coverage(), 0).unwrap();
+        assert!((out.lower_power - 2.0).abs() < 1e-12);
+        let hops: usize = out.plan.chains.iter().map(|c| c.hops).sum();
+        assert!((out.upper_power - hops as f64).abs() < 1e-12);
+        assert!(out.total_power() > out.lower_power);
+    }
+
+    #[test]
+    fn darp_ignores_nearer_bs() {
+        // BS 1 is much nearer, but DARP is pinned to BS 0.
+        let sc = scenario();
+        let out = darp(&sc, &coverage(), 0).unwrap();
+        assert!(out.plan.serving_bs.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn darp_bad_bs_errors() {
+        assert!(darp(&scenario(), &coverage(), 9).is_err());
+    }
+}

@@ -1,0 +1,69 @@
+//! Error types for the SAG algorithms.
+
+use std::error::Error;
+use std::fmt;
+
+/// Failure modes of the SAG pipeline and its stages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SagError {
+    /// No feasible relay placement satisfies the coverage + SNR
+    /// constraints (SAMC's "return infeasible", or an exhausted ILPQC
+    /// search). The payload names the stage that gave up.
+    Infeasible(String),
+    /// The scenario has no subscribers; nothing to place.
+    NoSubscribers,
+    /// The scenario has no base stations; the upper tier cannot anchor.
+    NoBaseStations,
+    /// An embedded LP/ILP solve failed unexpectedly.
+    Lp(sag_lp::LpError),
+}
+
+impl fmt::Display for SagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SagError::Infeasible(stage) => write!(f, "no feasible solution ({stage})"),
+            SagError::NoSubscribers => write!(f, "scenario has no subscribers"),
+            SagError::NoBaseStations => write!(f, "scenario has no base stations"),
+            SagError::Lp(e) => write!(f, "embedded LP failed: {e}"),
+        }
+    }
+}
+
+impl Error for SagError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SagError::Lp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<sag_lp::LpError> for SagError {
+    fn from(e: sag_lp::LpError) -> Self {
+        SagError::Lp(e)
+    }
+}
+
+/// Convenience result alias used across the crate.
+pub type SagResult<T> = Result<T, SagError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(SagError::Infeasible("samc".into()).to_string().contains("samc"));
+        assert!(!SagError::NoSubscribers.to_string().is_empty());
+        assert!(!SagError::NoBaseStations.to_string().is_empty());
+        let e = SagError::from(sag_lp::LpError::Infeasible);
+        assert!(e.to_string().contains("LP"));
+    }
+
+    #[test]
+    fn source_chains() {
+        let e = SagError::Lp(sag_lp::LpError::Unbounded);
+        assert!(e.source().is_some());
+        assert!(SagError::NoSubscribers.source().is_none());
+    }
+}

@@ -1,0 +1,374 @@
+//! The ILPQC benchmark solver (§III-A.1) over a finite candidate set —
+//! the role Gurobi 5.0 plays in the paper for IAC and GAC.
+//!
+//! Objective (3.1) minimises the number of chosen candidate positions
+//! subject to: each relay covers ≥ 1 subscriber (3.2), each subscriber
+//! has exactly one access link (3.3) within its feasible distance (3.4),
+//! and the quadratic SNR constraint (3.5). The quadratic constraint is
+//! handled *exactly* without a QP solver: for a fixed chosen set at
+//! `Pmax`, each subscriber's best SNR is achieved by its nearest chosen
+//! relay (the interference sum is assignment-independent), so SNR
+//! feasibility of a node is a closed-form check.
+//!
+//! The search is branch-and-bound over candidate subsets:
+//!
+//! * branch on the first distance-uncovered subscriber, trying each
+//!   eligible candidate (every cover contains one of them, so the search
+//!   is exhaustive over covers);
+//! * at a distance-complete node with SNR violations, branch on
+//!   candidates *closer to a violated subscriber than its current
+//!   server* — the only additions that can repair that subscriber (any
+//!   other addition strictly worsens its SNR), mirroring the ILP's
+//!   freedom to place "extra" relays for SNR;
+//! * prune with the incumbent and with the LP relaxation of the
+//!   set-cover subproblem (a valid lower bound because dropping (3.5)
+//!   only enlarges the feasible region), computed by `sag-lp`.
+
+use sag_geom::Point;
+use sag_lp::{LpProblem, Relation};
+
+use crate::coverage::{snr_violations, CoverageSolution};
+use crate::error::{SagError, SagResult};
+use crate::model::Scenario;
+
+/// Configuration of the ILPQC branch-and-bound.
+#[derive(Debug, Clone, Copy)]
+pub struct IlpqcConfig {
+    /// Node budget; when exhausted the best incumbent is returned with
+    /// `optimal = false` (Gurobi's time-limit behaviour).
+    pub node_limit: usize,
+}
+
+impl Default for IlpqcConfig {
+    fn default() -> Self {
+        IlpqcConfig { node_limit: 200_000 }
+    }
+}
+
+/// Outcome of an ILPQC solve.
+#[derive(Debug, Clone)]
+pub struct IlpqcOutcome {
+    /// The best placement found.
+    pub solution: CoverageSolution,
+    /// `true` when the search proved optimality (no node-limit hit).
+    pub optimal: bool,
+    /// Branch-and-bound nodes explored.
+    pub nodes: usize,
+}
+
+/// Solves the ILPQC over `candidates` for the scenario.
+///
+/// # Errors
+/// [`SagError::Infeasible`] when no subset of the candidates yields
+/// feasible coverage (distance or SNR), or some subscriber has no
+/// eligible candidate at all.
+pub fn solve_ilpqc(
+    scenario: &Scenario,
+    candidates: &[Point],
+    config: IlpqcConfig,
+) -> SagResult<IlpqcOutcome> {
+    let n_subs = scenario.n_subscribers();
+    let n_cands = candidates.len();
+
+    // eligible[j] = candidate indices within subscriber j's distance.
+    let mut eligible: Vec<Vec<usize>> = Vec::with_capacity(n_subs);
+    for sub in &scenario.subscribers {
+        let circle = sub.feasible_circle();
+        let e: Vec<usize> = (0..n_cands).filter(|&c| circle.contains(candidates[c])).collect();
+        if e.is_empty() {
+            return Err(SagError::Infeasible(
+                "ilpqc: a subscriber has no candidate within distance".into(),
+            ));
+        }
+        eligible.push(e);
+    }
+
+    // Root lower bound: LP relaxation of the set cover.
+    let root_lb = set_cover_lp_bound(n_cands, &eligible)?;
+
+    let mut best: Option<Vec<usize>> = None;
+    let mut nodes = 0usize;
+    let mut truncated = false;
+
+    // Depth-first stack of candidate selections (sorted, deduped). The
+    // same subset is reachable through every insertion order; memoise to
+    // expand each at most once.
+    let mut stack: Vec<Vec<usize>> = vec![Vec::new()];
+    let mut visited: std::collections::HashSet<Vec<usize>> = Default::default();
+    while let Some(selected) = stack.pop() {
+        if !visited.insert(selected.clone()) {
+            continue;
+        }
+        nodes += 1;
+        if nodes > config.node_limit {
+            truncated = true;
+            break;
+        }
+        if let Some(b) = &best {
+            if selected.len() >= b.len() {
+                continue;
+            }
+            if b.len() == root_lb {
+                break; // incumbent provably optimal
+            }
+        }
+        // First subscriber not distance-covered.
+        let uncovered = (0..n_subs).find(|&j| {
+            !eligible[j].iter().any(|c| selected.binary_search(c).is_ok())
+        });
+        match uncovered {
+            Some(j) => {
+                if let Some(b) = &best {
+                    if selected.len() + 1 >= b.len() {
+                        continue;
+                    }
+                }
+                // Push branches in reverse so nearer candidates pop first.
+                let mut options: Vec<usize> = eligible[j]
+                    .iter()
+                    .copied()
+                    .filter(|c| selected.binary_search(c).is_err())
+                    .collect();
+                options.sort_by(|&a, &b| {
+                    sag_geom::float::total_cmp(
+                        &candidates[b].distance(scenario.subscribers[j].position),
+                        &candidates[a].distance(scenario.subscribers[j].position),
+                    )
+                });
+                for c in options {
+                    let mut next = selected.clone();
+                    let pos = next.binary_search(&c).unwrap_err();
+                    next.insert(pos, c);
+                    stack.push(next);
+                }
+            }
+            None => {
+                // Distance-complete: evaluate SNR with nearest assignment.
+                let relays: Vec<Point> = selected.iter().map(|&c| candidates[c]).collect();
+                let assignment = nearest_assignment(scenario, candidates, &eligible, &selected);
+                let violated = snr_violations(scenario, &relays, &assignment);
+                if violated.is_empty() {
+                    if best.as_ref().is_none_or(|b| selected.len() < b.len()) {
+                        best = Some(selected);
+                    }
+                    continue;
+                }
+                // SNR-repair branching: only candidates closer to a
+                // violated subscriber than its current server can help it.
+                if let Some(b) = &best {
+                    if selected.len() + 1 >= b.len() {
+                        continue;
+                    }
+                }
+                let j = violated[0];
+                let spos = scenario.subscribers[j].position;
+                let cur_d = candidates[selected[assignment[j]]].distance(spos);
+                let mut options: Vec<usize> = eligible[j]
+                    .iter()
+                    .copied()
+                    .filter(|&c| {
+                        selected.binary_search(&c).is_err()
+                            && candidates[c].distance(spos) < cur_d - 1e-9
+                    })
+                    .collect();
+                options.sort_by(|&a, &b| {
+                    sag_geom::float::total_cmp(
+                        &candidates[b].distance(spos),
+                        &candidates[a].distance(spos),
+                    )
+                });
+                for c in options {
+                    let mut next = selected.clone();
+                    let pos = next.binary_search(&c).unwrap_err();
+                    next.insert(pos, c);
+                    stack.push(next);
+                }
+            }
+        }
+    }
+
+    match best {
+        Some(selected) => {
+            let relays: Vec<Point> = selected.iter().map(|&c| candidates[c]).collect();
+            let assignment = nearest_assignment(scenario, candidates, &eligible, &selected);
+            let solution = CoverageSolution { relays, assignment };
+            Ok(IlpqcOutcome { solution, optimal: !truncated, nodes })
+        }
+        None => Err(SagError::Infeasible(if truncated {
+            "ilpqc: node limit exhausted without a feasible cover".into()
+        } else {
+            "ilpqc: no SNR-feasible cover exists over the candidates".into()
+        })),
+    }
+}
+
+/// Nearest-eligible assignment: for each subscriber, the position (index
+/// into `selected`) of its closest selected eligible candidate. With all
+/// relays at `Pmax` this is the SNR-optimal assignment, because the total
+/// received power is assignment-independent.
+fn nearest_assignment(
+    scenario: &Scenario,
+    candidates: &[Point],
+    eligible: &[Vec<usize>],
+    selected: &[usize],
+) -> Vec<usize> {
+    let mut out = Vec::with_capacity(scenario.n_subscribers());
+    for (j, e) in eligible.iter().enumerate() {
+        let spos = scenario.subscribers[j].position;
+        let best = e
+            .iter()
+            .filter_map(|c| selected.binary_search(c).ok())
+            .min_by(|&a, &b| {
+                sag_geom::float::total_cmp(
+                    &candidates[selected[a]].distance(spos),
+                    &candidates[selected[b]].distance(spos),
+                )
+            })
+            .expect("distance-complete selection covers every subscriber");
+        out.push(best);
+    }
+    out
+}
+
+/// LP relaxation of the set-cover part: a valid lower bound on the ILPQC
+/// optimum (dropping (3.5) relaxes the problem).
+fn set_cover_lp_bound(n_cands: usize, eligible: &[Vec<usize>]) -> SagResult<usize> {
+    let mut lp = LpProblem::minimize(n_cands);
+    lp.set_objective(&vec![1.0; n_cands]);
+    for c in 0..n_cands {
+        lp.set_bounds(c, 0.0, 1.0);
+    }
+    for e in eligible {
+        let row: Vec<(usize, f64)> = e.iter().map(|&c| (c, 1.0)).collect();
+        lp.add_constraint(&row, Relation::Ge, 1.0);
+    }
+    let sol = lp.solve()?;
+    Ok((sol.objective - 1e-6).ceil().max(1.0) as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::iac_candidates;
+    use crate::coverage::is_feasible;
+    use crate::model::{BaseStation, NetworkParams, Scenario, Subscriber};
+    use sag_geom::Rect;
+    use sag_radio::{units::Db, LinkBudget};
+
+    fn scenario(subs: Vec<(f64, f64, f64)>, beta_db: f64) -> Scenario {
+        Scenario::new(
+            Rect::centered_square(500.0),
+            subs.into_iter()
+                .map(|(x, y, d)| Subscriber::new(Point::new(x, y), d))
+                .collect(),
+            vec![BaseStation::new(Point::new(200.0, 200.0))],
+            NetworkParams::new(
+                LinkBudget::builder().snr_threshold(Db::new(beta_db)).build(),
+                1e-9,
+            ),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn single_subscriber_one_candidate() {
+        let sc = scenario(vec![(0.0, 0.0, 30.0)], -15.0);
+        let cands = vec![Point::new(10.0, 0.0)];
+        let out = solve_ilpqc(&sc, &cands, IlpqcConfig::default()).unwrap();
+        assert!(out.optimal);
+        assert_eq!(out.solution.n_relays(), 1);
+        assert!(is_feasible(&sc, &out.solution));
+    }
+
+    #[test]
+    fn shared_candidate_preferred() {
+        // One candidate covers both subscribers; two others cover one each.
+        let sc = scenario(vec![(0.0, 0.0, 30.0), (40.0, 0.0, 30.0)], -15.0);
+        let cands = vec![
+            Point::new(20.0, 0.0),  // covers both
+            Point::new(0.0, 0.0),   // covers SS0
+            Point::new(40.0, 0.0),  // covers SS1
+        ];
+        let out = solve_ilpqc(&sc, &cands, IlpqcConfig::default()).unwrap();
+        assert!(out.optimal);
+        assert_eq!(out.solution.n_relays(), 1);
+        assert!(out.solution.relays[0].approx_eq(Point::new(20.0, 0.0)));
+    }
+
+    #[test]
+    fn no_candidate_in_range_is_infeasible() {
+        let sc = scenario(vec![(0.0, 0.0, 30.0)], -15.0);
+        let cands = vec![Point::new(100.0, 0.0)];
+        assert!(matches!(
+            solve_ilpqc(&sc, &cands, IlpqcConfig::default()),
+            Err(SagError::Infeasible(_))
+        ));
+    }
+
+    #[test]
+    fn snr_forces_extra_relay() {
+        // Two subscribers 60 apart; a mid candidate covers both at
+        // distance 30 — a single relay is SNR-trivial (no interference).
+        // Force a strict threshold plus per-subscriber candidates: the
+        // solver must still find a feasible configuration.
+        let sc = scenario(vec![(0.0, 0.0, 32.0), (60.0, 0.0, 32.0)], -15.0);
+        let cands = vec![
+            Point::new(30.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(59.0, 0.0),
+        ];
+        let out = solve_ilpqc(&sc, &cands, IlpqcConfig::default()).unwrap();
+        assert!(is_feasible(&sc, &out.solution));
+        assert_eq!(out.solution.n_relays(), 1, "single shared relay is optimal");
+    }
+
+    #[test]
+    fn snr_repair_branching_adds_closer_relay() {
+        // Strict +5 dB threshold: the shared mid-candidate at distance 30
+        // from both has no interference (one relay → infinite SNR), so
+        // still one relay. To exercise the repair branch, forbid the mid
+        // candidate: the two remaining candidates serve one SS each and
+        // at +5 dB the geometry decides.
+        let sc = scenario(vec![(0.0, 0.0, 32.0), (60.0, 0.0, 32.0)], 5.0);
+        let cands = vec![Point::new(5.0, 0.0), Point::new(55.0, 0.0), Point::new(0.0, 0.0), Point::new(60.0, 0.0)];
+        let out = solve_ilpqc(&sc, &cands, IlpqcConfig::default()).unwrap();
+        assert!(is_feasible(&sc, &out.solution));
+        // SNR at SS0 with servers at 5 and interferer at 55:
+        // (55/5)³ = 1331 ≫ 3.16 — fine with two relays.
+        assert_eq!(out.solution.n_relays(), 2);
+    }
+
+    #[test]
+    fn iac_candidates_end_to_end() {
+        let sc = scenario(
+            vec![(0.0, 0.0, 35.0), (40.0, 0.0, 35.0), (150.0, 10.0, 30.0), (180.0, -10.0, 30.0)],
+            -15.0,
+        );
+        let cands = iac_candidates(&sc);
+        let out = solve_ilpqc(&sc, &cands, IlpqcConfig::default()).unwrap();
+        assert!(out.optimal);
+        assert!(is_feasible(&sc, &out.solution));
+        assert_eq!(out.solution.n_relays(), 2);
+    }
+
+    #[test]
+    fn node_limit_reports_non_optimal_or_infeasible() {
+        let sc = scenario(vec![(0.0, 0.0, 30.0), (20.0, 0.0, 30.0)], -15.0);
+        let cands = iac_candidates(&sc);
+        match solve_ilpqc(&sc, &cands, IlpqcConfig { node_limit: 1 }) {
+            Ok(out) => assert!(!out.optimal),
+            Err(SagError::Infeasible(msg)) => assert!(msg.contains("node limit")),
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+
+    #[test]
+    fn lp_bound_is_valid() {
+        // Two disjoint clusters: LP bound must be ≥ 2 and the optimum is 2.
+        let sc = scenario(vec![(0.0, 0.0, 30.0), (200.0, 0.0, 30.0)], -15.0);
+        let cands = vec![Point::new(0.0, 0.0), Point::new(200.0, 0.0)];
+        let out = solve_ilpqc(&sc, &cands, IlpqcConfig::default()).unwrap();
+        assert_eq!(out.solution.n_relays(), 2);
+        assert!(out.optimal);
+    }
+}

@@ -1,0 +1,262 @@
+//! The network model: subscribers, base stations, relays, scenarios.
+//!
+//! Mirrors §II of the paper. A [`Scenario`] is the immutable problem
+//! input — subscriber stations with per-SS feasible distances `d_i`, base
+//! stations, a playing field and the physical parameters. Algorithm
+//! outputs (relay placements, power allocations) live in the stage
+//! modules.
+
+use serde::{Deserialize, Serialize};
+
+use sag_geom::{Circle, Point, Rect};
+use sag_radio::LinkBudget;
+
+use crate::error::{SagError, SagResult};
+
+/// A fixed subscriber station (`s_i` with distance request `d_i`).
+///
+/// The paper's SSs are static, high-traffic sites (retail stores, gas
+/// stations); their data-rate request `b_i` is pre-reduced to the feasible
+/// distance `d_i` via the capacity↔distance equivalence of §II.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Subscriber {
+    /// Location of the subscriber.
+    pub position: Point,
+    /// Feasible coverage distance `d_i` (derived from the data rate).
+    pub distance_req: f64,
+}
+
+impl Subscriber {
+    /// Creates a subscriber.
+    ///
+    /// # Panics
+    /// Panics unless `distance_req > 0` and finite and the position is
+    /// finite.
+    pub fn new(position: Point, distance_req: f64) -> Self {
+        assert!(position.is_finite(), "subscriber position must be finite");
+        assert!(
+            distance_req.is_finite() && distance_req > 0.0,
+            "distance requirement must be > 0, got {distance_req}"
+        );
+        Subscriber { position, distance_req }
+    }
+
+    /// The feasible coverage circle `c_i` (centre = position, radius =
+    /// `d_i`): a relay anywhere in this disk satisfies the distance/
+    /// capacity constraint.
+    pub fn feasible_circle(&self) -> Circle {
+        Circle::new(self.position, self.distance_req)
+    }
+}
+
+/// A base station (macro cell anchor of the upper tier).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BaseStation {
+    /// Location of the base station.
+    pub position: Point,
+}
+
+impl BaseStation {
+    /// Creates a base station.
+    ///
+    /// # Panics
+    /// Panics if the position is not finite.
+    pub fn new(position: Point) -> Self {
+        assert!(position.is_finite(), "base station position must be finite");
+        BaseStation { position }
+    }
+}
+
+/// Role of a placed relay station.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RelayRole {
+    /// Lower-tier relay serving subscribers over access links.
+    Coverage,
+    /// Upper-tier relay forwarding traffic toward a base station.
+    Connectivity,
+}
+
+/// A placed relay station with its allocated transmit power.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Relay {
+    /// Location of the relay.
+    pub position: Point,
+    /// Tier of the relay.
+    pub role: RelayRole,
+    /// Allocated transmit power (`≤ Pmax`).
+    pub power: f64,
+}
+
+/// Physical parameters shared by all algorithms.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkParams {
+    /// Propagation model, max power, SNR threshold β, noise, bandwidth.
+    pub link: LinkBudget,
+    /// `N_max` of Zone Partition: the largest received power that can be
+    /// ignored as noise. Determines the zone radius `d_max`.
+    pub nmax: f64,
+}
+
+impl NetworkParams {
+    /// Creates parameters.
+    ///
+    /// # Panics
+    /// Panics unless `nmax > 0` and finite.
+    pub fn new(link: LinkBudget, nmax: f64) -> Self {
+        assert!(nmax.is_finite() && nmax > 0.0, "nmax must be > 0, got {nmax}");
+        NetworkParams { link, nmax }
+    }
+
+    /// The Zone Partition distance `d_max`: beyond it, a `Pmax`
+    /// transmitter contributes ignorable noise.
+    pub fn dmax(&self) -> f64 {
+        self.link.model().ignorable_noise_distance(self.link.pmax(), self.nmax)
+    }
+
+    /// `P_ss^j` for a subscriber with feasible distance `d`: the minimum
+    /// received power implied by its data-rate request (constraint (3.8)).
+    pub fn pss_for(&self, sub: &Subscriber) -> f64 {
+        self.link.min_received_power_for_distance(sub.distance_req)
+    }
+}
+
+impl Default for NetworkParams {
+    /// Reproduction defaults: [`LinkBudget::default`], `nmax = 1e-9`
+    /// (zone radius 1000 under `G=1, α=3, Pmax=1`).
+    fn default() -> Self {
+        NetworkParams::new(LinkBudget::default(), 1e-9)
+    }
+}
+
+/// An immutable problem instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// The playing field.
+    pub field: Rect,
+    /// Subscriber stations.
+    pub subscribers: Vec<Subscriber>,
+    /// Base stations.
+    pub base_stations: Vec<BaseStation>,
+    /// Physical parameters.
+    pub params: NetworkParams,
+}
+
+impl Scenario {
+    /// Creates and validates a scenario.
+    ///
+    /// # Errors
+    /// [`SagError::NoSubscribers`] / [`SagError::NoBaseStations`] when
+    /// the respective list is empty.
+    pub fn new(
+        field: Rect,
+        subscribers: Vec<Subscriber>,
+        base_stations: Vec<BaseStation>,
+        params: NetworkParams,
+    ) -> SagResult<Self> {
+        if subscribers.is_empty() {
+            return Err(SagError::NoSubscribers);
+        }
+        if base_stations.is_empty() {
+            return Err(SagError::NoBaseStations);
+        }
+        Ok(Scenario { field, subscribers, base_stations, params })
+    }
+
+    /// Number of subscribers `n`.
+    pub fn n_subscribers(&self) -> usize {
+        self.subscribers.len()
+    }
+
+    /// The subscribers' feasible circles, in subscriber order.
+    pub fn feasible_circles(&self) -> Vec<Circle> {
+        self.subscribers.iter().map(Subscriber::feasible_circle).collect()
+    }
+
+    /// Subscriber positions, in order.
+    pub fn subscriber_positions(&self) -> Vec<Point> {
+        self.subscribers.iter().map(|s| s.position).collect()
+    }
+
+    /// Base station positions, in order.
+    pub fn base_station_positions(&self) -> Vec<Point> {
+        self.base_stations.iter().map(|b| b.position).collect()
+    }
+
+    /// The smallest feasible distance `d_min` (used by MBMC's edge
+    /// weights).
+    pub fn dmin(&self) -> f64 {
+        self.subscribers
+            .iter()
+            .map(|s| s.distance_req)
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sub(x: f64, y: f64, d: f64) -> Subscriber {
+        Subscriber::new(Point::new(x, y), d)
+    }
+
+    #[test]
+    fn subscriber_circle() {
+        let s = sub(1.0, 2.0, 35.0);
+        let c = s.feasible_circle();
+        assert_eq!(c.center, Point::new(1.0, 2.0));
+        assert_eq!(c.radius, 35.0);
+    }
+
+    #[test]
+    fn scenario_validation() {
+        let field = Rect::centered_square(500.0);
+        let params = NetworkParams::default();
+        assert_eq!(
+            Scenario::new(field, vec![], vec![BaseStation::new(Point::ORIGIN)], params)
+                .unwrap_err(),
+            SagError::NoSubscribers
+        );
+        assert_eq!(
+            Scenario::new(field, vec![sub(0.0, 0.0, 30.0)], vec![], params).unwrap_err(),
+            SagError::NoBaseStations
+        );
+        let sc = Scenario::new(
+            field,
+            vec![sub(0.0, 0.0, 30.0), sub(50.0, 0.0, 40.0)],
+            vec![BaseStation::new(Point::new(100.0, 100.0))],
+            params,
+        )
+        .unwrap();
+        assert_eq!(sc.n_subscribers(), 2);
+        assert_eq!(sc.dmin(), 30.0);
+        assert_eq!(sc.feasible_circles().len(), 2);
+    }
+
+    #[test]
+    fn params_dmax_matches_model() {
+        let p = NetworkParams::default();
+        // G=1, α=3, Pmax=1, Nmax=1e-9 → dmax = (1/1e-9)^(1/3) = 1000.
+        assert!((p.dmax() - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pss_is_boundary_received_power() {
+        let p = NetworkParams::default();
+        let s = sub(0.0, 0.0, 10.0);
+        // Pmax·G·10⁻³ = 1e-3.
+        assert!((p.pss_for(&s) - 1e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_distance_req_panics() {
+        sub(0.0, 0.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_nmax_panics() {
+        NetworkParams::new(LinkBudget::default(), 0.0);
+    }
+}

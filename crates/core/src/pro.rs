@@ -1,0 +1,657 @@
+//! Power Reduction Optimization — PRO (Algorithm 6), the LPQC optimal
+//! benchmark (§III-A.2) and the all-`Pmax` baseline.
+//!
+//! Given the fixed coverage topology found by SAMC (relay positions +
+//! SS→relay assignment), reduce relay transmit powers while keeping
+//! every subscriber's data-rate (coverage) and SNR constraints:
+//!
+//! * **coverage power** `P_c^i` — the smallest power at which relay `i`
+//!   still delivers `P_ss^j` to each of its subscribers `j`
+//!   (constraint (3.8));
+//! * **SNR power** `P_snr^i` — the smallest power that additionally
+//!   clears `β ×` the *current* interference at each of its subscribers
+//!   (constraint (3.9), evaluated against the other relays' present
+//!   powers).
+//!
+//! PRO repeatedly tries to drop relays straight to `P_c` (checking SNR),
+//! and when stuck, commits the relay with the smallest gap
+//! `ΔP = P_snr − P_c` at `P_snr` — exactly the loop of Algorithm 6. Since
+//! every later change only *reduces* other relays' powers (reducing
+//! interference), constraints verified at commit time stay satisfied:
+//! Theorem 1's (1+φ) bound applies.
+
+// Per-relay power vectors are manipulated as parallel indexed arrays.
+#![allow(clippy::needless_range_loop)]
+
+use sag_lp::{LpProblem, Relation};
+
+use crate::coverage::CoverageSolution;
+use crate::error::{SagError, SagResult};
+use crate::model::Scenario;
+
+/// A power allocation for the coverage relays, in relay order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerAllocation {
+    /// Per-relay transmit powers.
+    pub powers: Vec<f64>,
+}
+
+impl PowerAllocation {
+    /// Total transmit power `P_L` (the paper's lower-tier metric).
+    pub fn total(&self) -> f64 {
+        self.powers.iter().sum()
+    }
+}
+
+/// The all-`Pmax` baseline the paper compares against.
+pub fn baseline_power(scenario: &Scenario, sol: &CoverageSolution) -> PowerAllocation {
+    PowerAllocation { powers: vec![scenario.params.link.pmax(); sol.n_relays()] }
+}
+
+/// Coverage power `P_c` for every relay: `max_j P_ss^j · d_ij^α / G`
+/// over its assigned subscribers (relays with no subscribers — which a
+/// valid [`CoverageSolution`] never contains — would get 0).
+pub fn coverage_powers(scenario: &Scenario, sol: &CoverageSolution) -> Vec<f64> {
+    let model = scenario.params.link.model();
+    let mut pc = vec![0.0; sol.n_relays()];
+    for (j, &r) in sol.assignment.iter().enumerate() {
+        let sub = &scenario.subscribers[j];
+        let d = sol.relays[r].distance(sub.position);
+        let need = model.required_tx_power(scenario.params.pss_for(sub), d);
+        if need > pc[r] {
+            pc[r] = need;
+        }
+    }
+    pc
+}
+
+/// SNR power `P_snr` for relay `r` given the other relays' current
+/// powers: the smallest power clearing `β · I_j` *and* `P_ss^j` at every
+/// assigned subscriber `j`.
+fn snr_power(
+    scenario: &Scenario,
+    sol: &CoverageSolution,
+    powers: &[f64],
+    r: usize,
+    pc_r: f64,
+) -> f64 {
+    let model = scenario.params.link.model();
+    let beta = scenario.params.link.beta();
+    let mut need = pc_r;
+    for (j, &a) in sol.assignment.iter().enumerate() {
+        if a != r {
+            continue;
+        }
+        let spos = scenario.subscribers[j].position;
+        let interference: f64 = sol
+            .relays
+            .iter()
+            .zip(powers)
+            .enumerate()
+            .filter(|&(k, _)| k != r)
+            .map(|(_, (&rp, &p))| model.received_power(p, rp.distance(spos)))
+            .sum();
+        let d = sol.relays[r].distance(spos);
+        let tx = model.required_tx_power(beta * interference, d);
+        if tx > need {
+            need = tx;
+        }
+    }
+    need
+}
+
+/// Checks every subscriber of relay `r` against coverage + SNR under the
+/// proposed `powers`, with a small relative slack (`1e-6`) so that
+/// allocations sitting exactly on a constraint boundary — the LP optimum
+/// always does — verify cleanly.
+fn relay_constraints_ok(
+    scenario: &Scenario,
+    sol: &CoverageSolution,
+    powers: &[f64],
+    r: usize,
+) -> bool {
+    const REL_TOL: f64 = 1e-6;
+    let model = scenario.params.link.model();
+    let beta = scenario.params.link.beta();
+    for (j, &a) in sol.assignment.iter().enumerate() {
+        if a != r {
+            continue;
+        }
+        let sub = &scenario.subscribers[j];
+        let d = sol.relays[r].distance(sub.position);
+        let signal = model.received_power(powers[r], d);
+        if signal < scenario.params.pss_for(sub) * (1.0 - REL_TOL) {
+            return false;
+        }
+        let interference: f64 = sol
+            .relays
+            .iter()
+            .zip(powers)
+            .enumerate()
+            .filter(|&(k, _)| k != r)
+            .map(|(_, (&rp, &p))| model.received_power(p, rp.distance(sub.position)))
+            .sum();
+        if signal < beta * interference * (1.0 - REL_TOL) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Runs PRO (Algorithm 6). Returns the reduced power allocation.
+///
+/// The input must be a feasible coverage solution (as produced by SAMC or
+/// the ILPQC); PRO never returns powers above `Pmax` and never breaks a
+/// constraint that held at `Pmax`.
+///
+/// # Panics
+/// Panics if the solution's assignment is inconsistent with the scenario.
+pub fn pro(scenario: &Scenario, sol: &CoverageSolution) -> PowerAllocation {
+    assert_eq!(sol.assignment.len(), scenario.n_subscribers(), "assignment length mismatch");
+    let pmax = scenario.params.link.pmax();
+    let n = sol.n_relays();
+    let pc = coverage_powers(scenario, sol);
+    let mut powers = vec![pmax; n]; // P1, committed state
+    let mut pending: Vec<usize> = (0..n).collect(); // K
+
+    while !pending.is_empty() {
+        // Pass 1 (Steps 5–9): tentatively drop each pending relay to its
+        // coverage power; commit those whose own subscribers stay happy.
+        let mut committed_any = false;
+        let mut still_pending = Vec::new();
+        for &r in &pending {
+            let mut trial = powers.clone();
+            trial[r] = pc[r].min(pmax);
+            if relay_constraints_ok(scenario, sol, &trial, r) {
+                powers[r] = pc[r].min(pmax);
+                committed_any = true;
+            } else {
+                still_pending.push(r);
+            }
+        }
+        pending = still_pending;
+        if pending.is_empty() {
+            break;
+        }
+        if !committed_any {
+            // Steps 10–13: commit the relay with minimal ΔP = P_snr − P_c
+            // at its SNR power.
+            let (r_min, p_snr) = pending
+                .iter()
+                .map(|&r| (r, snr_power(scenario, sol, &powers, r, pc[r]).min(pmax)))
+                .min_by(|a, b| sag_geom::float::total_cmp(&(a.1 - pc[a.0]), &(b.1 - pc[b.0])))
+                .expect("pending not empty");
+            powers[r_min] = p_snr;
+            pending.retain(|&r| r != r_min);
+        }
+    }
+    PowerAllocation { powers }
+}
+
+/// The LPQC optimum (§III-A.2) for the *fixed* assignment of `sol`,
+/// computed as the minimal fixed point of the power-control map.
+///
+/// With `T_ij` fixed, every constraint has the form
+/// `P_r ≥ f_r(P_other)` with `f_r` monotone non-decreasing (coverage
+/// floor is constant; the SNR floor is `β/g_rj · Σ_{k≠r} P_k g_kj`).
+/// Such a system has a unique coordinatewise-minimal solution — the
+/// fixed point of `P ← max(P_c, SNR floors)` — and that point minimises
+/// `Σ P_r` (it is ≤ every feasible point in every coordinate). This is
+/// the classic standard-interference-function result from power-control
+/// theory; the iteration from `P = P_c` converges monotonically and is
+/// numerically robust where a simplex tableau (mixing path-loss gains
+/// across ~14 orders of magnitude) loses precision.
+/// [`optimal_power_lp`] keeps the direct LP formulation for
+/// cross-validation on well-conditioned instances.
+///
+/// # Errors
+/// [`SagError::Infeasible`] when the minimal fixed point exceeds `Pmax`
+/// (the fixed assignment admits no feasible power vector).
+pub fn optimal_power(scenario: &Scenario, sol: &CoverageSolution) -> SagResult<PowerAllocation> {
+    let model = scenario.params.link.model();
+    let beta = scenario.params.link.beta();
+    let pmax = scenario.params.link.pmax();
+    let pc = coverage_powers(scenario, sol);
+    let mut powers = pc.clone();
+    // Geometric convergence: iterate the monotone map until stationary.
+    for _ in 0..100_000 {
+        let mut next = pc.clone();
+        for (j, &r) in sol.assignment.iter().enumerate() {
+            let spos = scenario.subscribers[j].position;
+            let interference: f64 = sol
+                .relays
+                .iter()
+                .zip(&powers)
+                .enumerate()
+                .filter(|&(k, _)| k != r)
+                .map(|(_, (&rp, &p))| model.received_power(p, rp.distance(spos)))
+                .sum();
+            let d = sol.relays[r].distance(spos);
+            let need = model.required_tx_power(beta * interference, d);
+            if need > next[r] {
+                next[r] = need;
+            }
+        }
+        let max_rel_step = powers
+            .iter()
+            .zip(&next)
+            .map(|(&a, &b)| (b - a).abs() / b.max(1e-300))
+            .fold(0.0f64, f64::max);
+        powers = next;
+        if powers.iter().any(|&p| p > pmax * (1.0 + 1e-9)) {
+            return Err(SagError::Infeasible(
+                "optimal_power: fixed point exceeds Pmax".into(),
+            ));
+        }
+        if max_rel_step < 1e-14 {
+            return Ok(PowerAllocation { powers });
+        }
+    }
+    // The map contracts whenever the spectral radius of the β-weighted
+    // gain matrix is < 1, which feasibility at Pmax guarantees; hitting
+    // the iteration cap means the instance sits exactly at the
+    // feasibility boundary — return the (feasible) iterate.
+    Ok(PowerAllocation { powers })
+}
+
+/// The LPQC optimum via the explicit LP formulation (`sag-lp` simplex).
+///
+/// Kept as an independently-derived benchmark: tests assert it matches
+/// [`optimal_power`] on instances whose gain spread stays within the
+/// dense tableau's precision.
+///
+/// # Errors
+/// [`SagError::Lp`] if the LP solve fails (including numerically — see
+/// [`optimal_power`] for the robust route).
+pub fn optimal_power_lp(scenario: &Scenario, sol: &CoverageSolution) -> SagResult<PowerAllocation> {
+    let model = scenario.params.link.model();
+    let beta = scenario.params.link.beta();
+    let pmax = scenario.params.link.pmax();
+    let n = sol.n_relays();
+    // Column scaling: relay powers span many orders of magnitude (a relay
+    // sitting on its subscriber needs ~d^α less power than one at the
+    // circle edge), which would swamp the simplex tolerances. Solve in
+    // units of each relay's coverage power: P_r = s_r · y_r with
+    // s_r = P_c^r, so y ≈ 1 at the optimum for coverage-bound relays.
+    let scale = coverage_powers(scenario, sol);
+    let mut lp = LpProblem::minimize(n);
+    lp.set_objective(&scale);
+    for r in 0..n {
+        assert!(scale[r] > 0.0, "every relay serves a subscriber, so P_c > 0");
+        lp.set_bounds(r, 0.0, pmax / scale[r]);
+    }
+    for (j, &r) in sol.assignment.iter().enumerate() {
+        let sub = &scenario.subscribers[j];
+        let d = sol.relays[r].distance(sub.position);
+        // Gain of relay k toward subscriber j per unit of y_k.
+        let gain =
+            |k: usize| scale[k] * model.received_power(1.0, sol.relays[k].distance(sub.position));
+        // (3.8) coverage: s_r·y_r·g_rj ≥ P_ss^j.
+        lp.add_constraint(
+            &[(r, scale[r] * model.received_power(1.0, d))],
+            Relation::Ge,
+            scenario.params.pss_for(sub),
+        );
+        // (3.9) SNR (linear with fixed assignment):
+        // s_r·y_r·g_rj − β·Σ_{k≠r} s_k·y_k·g_kj ≥ 0.
+        let mut row: Vec<(usize, f64)> = Vec::with_capacity(n);
+        for k in 0..n {
+            if k == r {
+                row.push((k, gain(k)));
+            } else {
+                row.push((k, -beta * gain(k)));
+            }
+        }
+        lp.add_constraint(&row, Relation::Ge, 0.0);
+    }
+    let lp_sol = lp.solve().map_err(SagError::from)?;
+    let powers: Vec<f64> = lp_sol.x.iter().zip(&scale).map(|(&y, &s)| y * s).collect();
+    Ok(PowerAllocation { powers })
+}
+
+/// Verifies a power allocation against every coverage + SNR constraint
+/// (used by tests and the experiment harness to validate PRO and the LP).
+pub fn allocation_is_feasible(
+    scenario: &Scenario,
+    sol: &CoverageSolution,
+    alloc: &PowerAllocation,
+) -> bool {
+    if alloc.powers.len() != sol.n_relays() {
+        return false;
+    }
+    if alloc
+        .powers
+        .iter()
+        .any(|&p| !(0.0..=scenario.params.link.pmax() + 1e-9).contains(&p))
+    {
+        return false;
+    }
+    (0..sol.n_relays()).all(|r| relay_constraints_ok(scenario, sol, &alloc.powers, r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{BaseStation, NetworkParams, Scenario, Subscriber};
+    use crate::samc::samc;
+    use sag_geom::{Point, Rect};
+    use sag_radio::{units::Db, LinkBudget};
+
+    fn scenario(subs: Vec<(f64, f64, f64)>, beta_db: f64) -> Scenario {
+        Scenario::new(
+            Rect::centered_square(500.0),
+            subs.into_iter()
+                .map(|(x, y, d)| Subscriber::new(Point::new(x, y), d))
+                .collect(),
+            vec![BaseStation::new(Point::new(200.0, 200.0))],
+            NetworkParams::new(
+                LinkBudget::builder().snr_threshold(Db::new(beta_db)).build(),
+                1e-9,
+            ),
+        )
+        .unwrap()
+    }
+
+    fn sample_solution(beta_db: f64) -> (Scenario, CoverageSolution) {
+        let sc = scenario(
+            vec![
+                (0.0, 0.0, 35.0),
+                (20.0, 10.0, 35.0),
+                (120.0, 0.0, 30.0),
+                (-150.0, -80.0, 40.0),
+            ],
+            beta_db,
+        );
+        let sol = samc(&sc).expect("feasible scenario");
+        (sc, sol)
+    }
+
+    #[test]
+    fn pro_never_exceeds_baseline_and_stays_feasible() {
+        let (sc, sol) = sample_solution(-15.0);
+        let base = baseline_power(&sc, &sol);
+        let reduced = pro(&sc, &sol);
+        assert!(reduced.total() <= base.total() + 1e-12);
+        assert!(allocation_is_feasible(&sc, &sol, &reduced));
+        assert!(allocation_is_feasible(&sc, &sol, &base));
+    }
+
+    #[test]
+    fn pro_beats_baseline_substantially() {
+        // Relays snapped onto subscribers need far less than Pmax.
+        let (sc, sol) = sample_solution(-15.0);
+        let base = baseline_power(&sc, &sol).total();
+        let reduced = pro(&sc, &sol).total();
+        assert!(
+            reduced < base * 0.8,
+            "expected large savings, got {reduced} vs baseline {base}"
+        );
+    }
+
+    #[test]
+    fn lp_optimal_lower_bounds_pro() {
+        let (sc, sol) = sample_solution(-15.0);
+        let reduced = pro(&sc, &sol);
+        let opt = optimal_power_lp(&sc, &sol).unwrap();
+        assert!(allocation_is_feasible(&sc, &sol, &opt));
+        assert!(
+            opt.total() <= reduced.total() + 1e-6,
+            "LP optimum {} must not exceed PRO {}",
+            opt.total(),
+            reduced.total()
+        );
+    }
+
+    #[test]
+    fn coverage_power_at_boundary_equals_pmax() {
+        // A relay exactly at the feasible-distance boundary needs Pmax.
+        let sc = scenario(vec![(0.0, 0.0, 30.0)], -15.0);
+        let sol = CoverageSolution { relays: vec![Point::new(30.0, 0.0)], assignment: vec![0] };
+        let pc = coverage_powers(&sc, &sol);
+        assert!((pc[0] - sc.params.link.pmax()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn coverage_power_scales_with_distance() {
+        // At half the feasible distance, Pc = Pmax · (1/2)^α = 1/8 (α=3).
+        let sc = scenario(vec![(0.0, 0.0, 30.0)], -15.0);
+        let sol = CoverageSolution { relays: vec![Point::new(15.0, 0.0)], assignment: vec![0] };
+        let pc = coverage_powers(&sc, &sol);
+        assert!((pc[0] - 0.125).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_relay_drops_to_coverage_power() {
+        // No interference: PRO should land exactly on Pc.
+        let sc = scenario(vec![(0.0, 0.0, 30.0)], -15.0);
+        let sol = CoverageSolution { relays: vec![Point::new(15.0, 0.0)], assignment: vec![0] };
+        let reduced = pro(&sc, &sol);
+        assert!((reduced.powers[0] - 0.125).abs() < 1e-9);
+        let opt = optimal_power_lp(&sc, &sol).unwrap();
+        assert!((opt.total() - reduced.total()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn strict_beta_keeps_powers_feasible() {
+        let (sc, sol) = sample_solution(-10.0);
+        let reduced = pro(&sc, &sol);
+        assert!(allocation_is_feasible(&sc, &sol, &reduced));
+    }
+
+    #[test]
+    fn baseline_total_counts_relays() {
+        let (sc, sol) = sample_solution(-15.0);
+        let base = baseline_power(&sc, &sol);
+        assert_eq!(base.powers.len(), sol.n_relays());
+        assert!((base.total() - sol.n_relays() as f64 * sc.params.link.pmax()).abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod fixed_point_tests {
+    use super::*;
+    use crate::model::{BaseStation, NetworkParams, Scenario, Subscriber};
+    use crate::samc::samc;
+    use sag_geom::{Point, Rect};
+    use sag_radio::{units::Db, LinkBudget};
+
+    fn scenario(subs: Vec<(f64, f64, f64)>, beta_db: f64) -> Scenario {
+        Scenario::new(
+            Rect::centered_square(500.0),
+            subs.into_iter()
+                .map(|(x, y, d)| Subscriber::new(Point::new(x, y), d))
+                .collect(),
+            vec![BaseStation::new(Point::new(200.0, 200.0))],
+            NetworkParams::new(
+                LinkBudget::builder().snr_threshold(Db::new(beta_db)).build(),
+                1e-9,
+            ),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fixed_point_matches_lp_when_lp_succeeds() {
+        // Relays at moderate distances (no snap): well-conditioned LP.
+        let sc = scenario(vec![(0.0, 0.0, 35.0), (80.0, 0.0, 35.0)], -15.0);
+        let sol = CoverageSolution {
+            relays: vec![Point::new(20.0, 0.0), Point::new(60.0, 0.0)],
+            assignment: vec![0, 1],
+        };
+        let fp = optimal_power(&sc, &sol).unwrap();
+        let lp = optimal_power_lp(&sc, &sol).unwrap();
+        assert!(
+            (fp.total() - lp.total()).abs() / fp.total().max(1e-12) < 1e-6,
+            "fixed point {} vs LP {}",
+            fp.total(),
+            lp.total()
+        );
+        assert!(allocation_is_feasible(&sc, &sol, &fp));
+    }
+
+    #[test]
+    fn fixed_point_lower_bounds_pro_on_samc_output() {
+        let sc = scenario(
+            vec![(0.0, 0.0, 35.0), (20.0, 10.0, 35.0), (120.0, 0.0, 30.0), (-150.0, -80.0, 40.0)],
+            -15.0,
+        );
+        let sol = samc(&sc).unwrap();
+        let fp = optimal_power(&sc, &sol).unwrap();
+        let reduced = pro(&sc, &sol);
+        assert!(allocation_is_feasible(&sc, &sol, &fp));
+        assert!(fp.total() <= reduced.total() + 1e-9);
+        // And PRO's ratio to optimal obeys Theorem 1's (1+φ) with the
+        // computed φ.
+        let pc = coverage_powers(&sc, &sol);
+        let phi: f64 = reduced
+            .powers
+            .iter()
+            .zip(&pc)
+            .map(|(&p, &c)| (p - c).max(0.0))
+            .sum::<f64>()
+            / fp.total().max(1e-300);
+        assert!(reduced.total() <= (1.0 + phi) * fp.total() + 1e-9);
+    }
+
+    #[test]
+    fn fixed_point_infeasible_when_snr_unreachable() {
+        // Two shared relays pinned ≈ 6 from their subscribers with the
+        // interferer ≈ 12 away: +20 dB is unreachable at any power.
+        let sc = scenario(
+            vec![(0.0, -6.0, 6.5), (0.0, 6.0, 6.5), (12.0, -6.0, 6.5), (12.0, 6.0, 6.5)],
+            20.0,
+        );
+        let sol = CoverageSolution {
+            relays: vec![Point::new(0.0, 0.0), Point::new(12.0, 0.0)],
+            assignment: vec![0, 0, 1, 1],
+        };
+        assert!(matches!(optimal_power(&sc, &sol), Err(SagError::Infeasible(_))));
+    }
+
+    #[test]
+    fn single_relay_fixed_point_is_coverage_power() {
+        let sc = scenario(vec![(0.0, 0.0, 30.0)], -15.0);
+        let sol = CoverageSolution { relays: vec![Point::new(15.0, 0.0)], assignment: vec![0] };
+        let fp = optimal_power(&sc, &sol).unwrap();
+        assert!((fp.powers[0] - 0.125).abs() < 1e-12);
+    }
+}
+
+/// Per-subscriber power sensitivity from the LPQC duals: how much the
+/// total lower-tier power would grow per unit increase of subscriber
+/// `j`'s received-power floor `P_ss^j` (the coverage row's shadow price).
+///
+/// Zero entries mark subscribers whose demands are slack at the optimum;
+/// large entries mark the subscribers that pin the power budget — the
+/// ones to renegotiate or re-home first.
+///
+/// # Errors
+/// Propagates LP failures (see [`optimal_power_lp`] for conditioning
+/// caveats; use on solutions whose relays are not all snapped to zero
+/// distance).
+pub fn power_sensitivity(scenario: &Scenario, sol: &CoverageSolution) -> SagResult<Vec<f64>> {
+    let model = scenario.params.link.model();
+    let beta = scenario.params.link.beta();
+    let pmax = scenario.params.link.pmax();
+    let n = sol.n_relays();
+    let scale = coverage_powers(scenario, sol);
+    let mut lp = LpProblem::minimize(n);
+    lp.set_objective(&scale);
+    for r in 0..n {
+        lp.set_bounds(r, 0.0, pmax / scale[r]);
+    }
+    // Row order: for each subscriber, its coverage row then its SNR row.
+    for (j, &r) in sol.assignment.iter().enumerate() {
+        let sub = &scenario.subscribers[j];
+        let d = sol.relays[r].distance(sub.position);
+        let gain =
+            |k: usize| scale[k] * model.received_power(1.0, sol.relays[k].distance(sub.position));
+        lp.add_constraint(
+            &[(r, scale[r] * model.received_power(1.0, d))],
+            Relation::Ge,
+            scenario.params.pss_for(sub),
+        );
+        let mut row: Vec<(usize, f64)> = Vec::with_capacity(n);
+        for k in 0..n {
+            if k == r {
+                row.push((k, gain(k)));
+            } else {
+                row.push((k, -beta * gain(k)));
+            }
+        }
+        lp.add_constraint(&row, Relation::Ge, 0.0);
+    }
+    let detailed = lp.solve_detailed().map_err(SagError::from)?;
+    Ok((0..scenario.n_subscribers())
+        .map(|j| detailed.duals[2 * j].unwrap_or(0.0).max(0.0))
+        .collect())
+}
+
+#[cfg(test)]
+mod sensitivity_tests {
+    use super::*;
+    use crate::model::{BaseStation, NetworkParams, Scenario, Subscriber};
+    use sag_geom::{Point, Rect};
+
+    #[test]
+    fn far_subscriber_dominates_sensitivity() {
+        // One relay, two subscribers: the far one sets P_c, so only its
+        // coverage row is binding.
+        let sc = Scenario::new(
+            Rect::centered_square(500.0),
+            vec![
+                Subscriber::new(Point::new(30.0, 0.0), 35.0), // far (binding)
+                Subscriber::new(Point::new(5.0, 0.0), 35.0),  // near (slack)
+            ],
+            vec![BaseStation::new(Point::new(200.0, 200.0))],
+            NetworkParams::default(),
+        )
+        .unwrap();
+        let sol = crate::coverage::CoverageSolution {
+            relays: vec![Point::new(0.0, 0.0)],
+            assignment: vec![0, 0],
+        };
+        let s = power_sensitivity(&sc, &sol).unwrap();
+        assert!(s[0] > 0.0, "binding subscriber must have positive sensitivity");
+        assert!(s[1].abs() < 1e-9, "slack subscriber must have zero sensitivity");
+        // The dual equals dP/dPss = d^α / G = 30³.
+        assert!((s[0] - 27000.0).abs() / 27000.0 < 1e-6, "got {}", s[0]);
+    }
+
+    #[test]
+    fn sensitivity_matches_finite_difference() {
+        // Two relays with interference; perturb one subscriber's distance
+        // requirement (which moves its P_ss) and compare.
+        let build = |d0: f64| {
+            let sc = Scenario::new(
+                Rect::centered_square(500.0),
+                vec![
+                    Subscriber::new(Point::new(20.0, 0.0), d0),
+                    Subscriber::new(Point::new(80.0, 0.0), 35.0),
+                ],
+                vec![BaseStation::new(Point::new(200.0, 200.0))],
+                NetworkParams::default(),
+            )
+            .unwrap();
+            let sol = crate::coverage::CoverageSolution {
+                relays: vec![Point::new(0.0, 0.0), Point::new(100.0, 0.0)],
+                assignment: vec![0, 1],
+            };
+            (sc, sol)
+        };
+        let (sc, sol) = build(35.0);
+        let s = power_sensitivity(&sc, &sol).unwrap();
+        let base = optimal_power(&sc, &sol).unwrap().total();
+        // Finite difference in P_ss via a slightly smaller feasible
+        // distance (higher floor).
+        let (sc2, sol2) = build(34.9);
+        let bumped = optimal_power(&sc2, &sol2).unwrap().total();
+        let dpss = sc2.params.pss_for(&sc2.subscribers[0]) - sc.params.pss_for(&sc.subscribers[0]);
+        let fd = (bumped - base) / dpss;
+        assert!(
+            (fd - s[0]).abs() / fd.max(1e-12) < 0.05,
+            "fd {fd} vs dual {}",
+            s[0]
+        );
+    }
+}

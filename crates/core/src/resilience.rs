@@ -1,0 +1,194 @@
+//! Upper-tier resilience analysis: single points of failure.
+//!
+//! **Extension beyond the paper.** MBMC's steinerized spanning tree is
+//! power-minimal but fragile — on a tree, *every* internal relay is a
+//! single point of failure. In the field, however, relays can often
+//! reach more neighbours than the tree uses: this module builds the
+//! *reachability graph* over base stations, coverage relays and
+//! connectivity relays (edges wherever a link of feasible length exists)
+//! and reports which relays are true articulation points separating some
+//! coverage relay from every base station, and how much slack the
+//! topology has.
+
+use sag_geom::Point;
+use sag_graph::{articulation, components, Graph};
+
+use crate::coverage::CoverageSolution;
+use crate::mbmc::ConnectivityPlan;
+use crate::model::Scenario;
+
+/// Resilience report for one deployment.
+#[derive(Debug, Clone)]
+pub struct ResilienceReport {
+    /// Positions of relays whose single failure cuts some coverage relay
+    /// off from every base station.
+    pub critical_relays: Vec<Point>,
+    /// Total relays analysed (coverage + connectivity).
+    pub n_relays: usize,
+    /// Fraction of relays that are critical (`0.0` = fully redundant).
+    pub fragility: f64,
+    /// `true` when every coverage relay can reach a BS in the
+    /// reachability graph at all (sanity: MBMC guarantees it).
+    pub connected: bool,
+}
+
+/// Analyses the deployment's reachability graph.
+///
+/// Vertices: base stations, coverage relays, connectivity relays. Edges:
+/// any pair within `link_range(child)` of each other, where a node's
+/// link range is the effective feasible distance MBMC computed for its
+/// chain (BSs accept any in-range link). A relay is *critical* when it
+/// is an articulation point whose removal separates a coverage relay
+/// from every base station.
+pub fn analyze(
+    scenario: &Scenario,
+    coverage: &CoverageSolution,
+    plan: &ConnectivityPlan,
+) -> ResilienceReport {
+    let bs: Vec<Point> = scenario.base_station_positions();
+    let n_bs = bs.len();
+    let n_cov = coverage.relays.len();
+
+    // Vertex layout: [BSs | coverage relays | connectivity relays].
+    let mut positions: Vec<Point> = bs.clone();
+    positions.extend(coverage.relays.iter().copied());
+    // Each connectivity relay inherits its chain's feasible distance.
+    let mut ranges: Vec<f64> = vec![f64::INFINITY; n_bs];
+    ranges.extend(plan.effective_distance.iter().copied());
+    for chain in &plan.chains {
+        for &p in &chain.relays {
+            positions.push(p);
+            ranges.push(plan.effective_distance[chain.child]);
+        }
+    }
+    let n = positions.len();
+
+    // Reachability edges: both endpoints must support the link length
+    // (a link is usable at min of the two ranges; BSs are unconstrained).
+    let mut g = Graph::new(n);
+    for i in 0..n {
+        for j in i + 1..n {
+            let d = positions[i].distance(positions[j]);
+            if d <= ranges[i].min(ranges[j]) + 1e-9 {
+                g.add_edge(i, j, d);
+            }
+        }
+    }
+
+    // Sanity: every coverage relay reaches some BS.
+    let comp = components::connected_components(&g);
+    let comp_of = |v: usize| comp.iter().position(|c| c.binary_search(&v).is_ok());
+    let connected = (n_bs..n_bs + n_cov).all(|v| {
+        let cv = comp_of(v);
+        (0..n_bs).any(|b| comp_of(b) == cv)
+    });
+
+    // Critical relays: articulation points (excluding BSs) whose removal
+    // actually severs a coverage relay from all BSs.
+    let cuts = articulation::articulation_points(&g);
+    let mut critical = Vec::new();
+    for &cut in &cuts {
+        if cut < n_bs {
+            continue; // base stations are infrastructure, not relays
+        }
+        // Re-check with the vertex removed: any coverage relay stranded?
+        let mut g2 = Graph::new(n);
+        for e in g.edges() {
+            if e.u != cut && e.v != cut {
+                g2.add_edge(e.u, e.v, e.weight);
+            }
+        }
+        let comp2 = components::connected_components(&g2);
+        let comp2_of = |v: usize| comp2.iter().position(|c| c.binary_search(&v).is_ok());
+        let stranded = (n_bs..n_bs + n_cov).filter(|&v| v != cut).any(|v| {
+            let cv = comp2_of(v);
+            !(0..n_bs).any(|b| comp2_of(b) == cv)
+        });
+        if stranded {
+            critical.push(positions[cut]);
+        }
+    }
+
+    let n_relays = n - n_bs;
+    let fragility = if n_relays == 0 { 0.0 } else { critical.len() as f64 / n_relays as f64 };
+    ResilienceReport { critical_relays: critical, n_relays, fragility, connected }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mbmc::mbmc;
+    use crate::model::{BaseStation, NetworkParams, Scenario, Subscriber};
+    use crate::samc::samc;
+    use sag_geom::Rect;
+
+    fn scenario(subs: Vec<(f64, f64, f64)>, bss: Vec<(f64, f64)>) -> Scenario {
+        Scenario::new(
+            Rect::centered_square(600.0),
+            subs.into_iter()
+                .map(|(x, y, d)| Subscriber::new(Point::new(x, y), d))
+                .collect(),
+            bss.into_iter().map(|(x, y)| BaseStation::new(Point::new(x, y))).collect(),
+            NetworkParams::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn long_chain_is_fragile() {
+        // One coverage relay far from the lone BS: a pure chain, every
+        // steiner relay critical.
+        let sc = scenario(vec![(0.0, 0.0, 30.0)], vec![(200.0, 0.0)]);
+        let cov = CoverageSolution { relays: vec![Point::new(0.0, 0.0)], assignment: vec![0] };
+        let plan = mbmc(&sc, &cov).unwrap();
+        assert!(plan.n_relays() >= 5);
+        let rep = analyze(&sc, &cov, &plan);
+        assert!(rep.connected);
+        // Every steiner relay on the single chain is critical; the
+        // coverage relay itself is an endpoint (not critical).
+        assert_eq!(rep.critical_relays.len(), plan.n_relays());
+        assert!(rep.fragility > 0.5);
+    }
+
+    #[test]
+    fn close_bs_means_no_critical_relays() {
+        // Coverage relay adjacent to the BS: direct link, nothing to cut.
+        let sc = scenario(vec![(0.0, 0.0, 30.0)], vec![(20.0, 0.0)]);
+        let cov = CoverageSolution { relays: vec![Point::new(0.0, 0.0)], assignment: vec![0] };
+        let plan = mbmc(&sc, &cov).unwrap();
+        let rep = analyze(&sc, &cov, &plan);
+        assert!(rep.connected);
+        assert!(rep.critical_relays.is_empty());
+        assert_eq!(rep.fragility, 0.0);
+    }
+
+    #[test]
+    fn parallel_chains_reduce_fragility() {
+        // Two coverage relays whose chains run close together toward the
+        // same BS: cross-links between the chains give reroute options,
+        // so fragility must be below the single-chain worst case.
+        let sc = scenario(
+            vec![(0.0, 0.0, 40.0), (0.0, 30.0, 40.0)],
+            vec![(150.0, 15.0)],
+        );
+        let sol = samc(&sc).unwrap();
+        let plan = mbmc(&sc, &sol).unwrap();
+        let rep = analyze(&sc, &sol, &plan);
+        assert!(rep.connected);
+        assert!(rep.fragility <= 1.0);
+    }
+
+    #[test]
+    fn report_counts_are_consistent() {
+        let sc = scenario(
+            vec![(0.0, 0.0, 35.0), (100.0, 50.0, 30.0)],
+            vec![(250.0, 250.0), (-250.0, -250.0)],
+        );
+        let sol = samc(&sc).unwrap();
+        let plan = mbmc(&sc, &sol).unwrap();
+        let rep = analyze(&sc, &sol, &plan);
+        assert_eq!(rep.n_relays, sol.n_relays() + plan.n_relays());
+        assert!(rep.critical_relays.len() <= rep.n_relays);
+        assert!((0.0..=1.0).contains(&rep.fragility));
+    }
+}

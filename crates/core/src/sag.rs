@@ -1,0 +1,198 @@
+//! The full SNR-aware Green relay pipeline — SAG (Algorithm 9).
+//!
+//! `SAG = SAMC → PRO → MBMC → UCPO`: place the minimum coverage relays
+//! under SNR, reduce their powers, connect them to base stations with a
+//! steinerized multi-BS spanning tree, and power the relay chains at
+//! their per-hop minimum. The report carries every intermediate artefact
+//! so the experiment harness can reproduce each figure from one run.
+
+use serde::Serialize;
+
+use crate::coverage::CoverageSolution;
+use crate::error::SagResult;
+use crate::mbmc::{mbmc, ConnectivityPlan};
+use crate::model::{Relay, RelayRole, Scenario};
+use crate::pro::{pro, PowerAllocation};
+use crate::samc::{samc_with, SamcConfig};
+use crate::ucpo::{ucpo, UpperTierPower};
+
+/// Configuration of the full pipeline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SagPipelineConfig {
+    /// Lower-tier SAMC options.
+    pub samc: SamcConfig,
+}
+
+/// Everything the pipeline produced.
+#[derive(Debug, Clone)]
+pub struct SagReport {
+    /// Lower-tier placement (SAMC).
+    pub coverage: CoverageSolution,
+    /// Lower-tier powers (PRO).
+    pub lower_power: PowerAllocation,
+    /// Upper-tier plan (MBMC).
+    pub plan: ConnectivityPlan,
+    /// Upper-tier powers (UCPO).
+    pub upper_power: UpperTierPower,
+}
+
+/// Compact power summary of a report (serializable for the harness).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct PowerSummary {
+    /// `P_L`: total lower-tier power after PRO.
+    pub lower: f64,
+    /// `P_H`: total upper-tier power after UCPO.
+    pub upper: f64,
+    /// `P_total = P_L + P_H` (Algorithm 9's return value).
+    pub total: f64,
+}
+
+impl SagReport {
+    /// Power totals.
+    pub fn power_summary(&self) -> PowerSummary {
+        let lower = self.lower_power.total();
+        let upper = self.upper_power.total();
+        PowerSummary { lower, upper, total: lower + upper }
+    }
+
+    /// Number of coverage relays placed.
+    pub fn n_coverage_relays(&self) -> usize {
+        self.coverage.n_relays()
+    }
+
+    /// Number of connectivity relays placed.
+    pub fn n_connectivity_relays(&self) -> usize {
+        self.plan.n_relays()
+    }
+
+    /// Materialises every placed relay with role and power (coverage
+    /// relays first, then connectivity relays in chain order).
+    pub fn relays(&self) -> Vec<Relay> {
+        let mut out: Vec<Relay> = self
+            .coverage
+            .relays
+            .iter()
+            .zip(&self.lower_power.powers)
+            .map(|(&position, &power)| Relay { position, role: RelayRole::Coverage, power })
+            .collect();
+        for (chain, &hp) in self.plan.chains.iter().zip(&self.upper_power.hop_power) {
+            for &position in &chain.relays {
+                out.push(Relay { position, role: RelayRole::Connectivity, power: hp });
+            }
+        }
+        out
+    }
+}
+
+/// Runs the full SAG pipeline (Algorithm 9) with default configuration.
+///
+/// # Errors
+/// Propagates [`crate::error::SagError::Infeasible`] from SAMC and any
+/// connectivity error from MBMC.
+///
+/// # Example
+/// ```
+/// use sag_core::{model::*, sag::run_sag};
+/// use sag_geom::{Point, Rect};
+///
+/// let scenario = Scenario::new(
+///     Rect::centered_square(500.0),
+///     vec![
+///         Subscriber::new(Point::new(0.0, 0.0), 35.0),
+///         Subscriber::new(Point::new(120.0, 40.0), 30.0),
+///     ],
+///     vec![BaseStation::new(Point::new(200.0, 200.0))],
+///     NetworkParams::default(),
+/// )?;
+/// let report = run_sag(&scenario)?;
+/// let p = report.power_summary();
+/// assert!(p.total > 0.0 && p.total == p.lower + p.upper);
+/// # Ok::<(), sag_core::error::SagError>(())
+/// ```
+pub fn run_sag(scenario: &Scenario) -> SagResult<SagReport> {
+    run_sag_with(scenario, SagPipelineConfig::default())
+}
+
+/// Runs SAG with explicit configuration.
+///
+/// # Errors
+/// See [`run_sag`].
+pub fn run_sag_with(scenario: &Scenario, config: SagPipelineConfig) -> SagResult<SagReport> {
+    let coverage = samc_with(scenario, config.samc)?; // Step 2
+    let lower_power = pro(scenario, &coverage); // Step 3
+    let plan = mbmc(scenario, &coverage)?; // Step 4
+    let upper_power = ucpo(scenario, &coverage, &plan); // Step 5
+    Ok(SagReport { coverage, lower_power, plan, upper_power })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coverage::is_feasible;
+    use crate::model::{BaseStation, NetworkParams, Subscriber};
+    use crate::pro::{allocation_is_feasible, baseline_power};
+    use sag_geom::{Point, Rect};
+    use sag_radio::{units::Db, LinkBudget};
+
+    fn scenario(n_bs: usize) -> Scenario {
+        let bss = [
+            (250.0, 250.0),
+            (-250.0, 250.0),
+            (250.0, -250.0),
+            (-250.0, -250.0),
+        ];
+        Scenario::new(
+            Rect::centered_square(600.0),
+            vec![
+                Subscriber::new(Point::new(0.0, 0.0), 35.0),
+                Subscriber::new(Point::new(30.0, 10.0), 32.0),
+                Subscriber::new(Point::new(150.0, -60.0), 30.0),
+                Subscriber::new(Point::new(-170.0, 100.0), 38.0),
+            ],
+            bss[..n_bs]
+                .iter()
+                .map(|&(x, y)| BaseStation::new(Point::new(x, y)))
+                .collect(),
+            NetworkParams::new(
+                LinkBudget::builder().snr_threshold(Db::new(-15.0)).build(),
+                1e-9,
+            ),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn pipeline_end_to_end() {
+        let sc = scenario(4);
+        let report = run_sag(&sc).unwrap();
+        assert!(is_feasible(&sc, &report.coverage));
+        assert!(allocation_is_feasible(&sc, &report.coverage, &report.lower_power));
+        let p = report.power_summary();
+        assert!(p.lower > 0.0 && p.upper > 0.0);
+        assert!((p.total - p.lower - p.upper).abs() < 1e-12);
+        // PRO must beat the all-Pmax lower tier.
+        assert!(p.lower <= baseline_power(&sc, &report.coverage).total());
+    }
+
+    #[test]
+    fn relays_roundtrip_roles_and_counts() {
+        let sc = scenario(2);
+        let report = run_sag(&sc).unwrap();
+        let relays = report.relays();
+        let n_cov = relays.iter().filter(|r| r.role == RelayRole::Coverage).count();
+        let n_con = relays.iter().filter(|r| r.role == RelayRole::Connectivity).count();
+        assert_eq!(n_cov, report.n_coverage_relays());
+        assert_eq!(n_con, report.n_connectivity_relays());
+        for r in &relays {
+            assert!(r.power <= sc.params.link.pmax() + 1e-9);
+            assert!(r.power >= 0.0);
+        }
+    }
+
+    #[test]
+    fn more_base_stations_never_need_more_connectivity() {
+        let one = run_sag(&scenario(1)).unwrap();
+        let four = run_sag(&scenario(4)).unwrap();
+        assert!(four.n_connectivity_relays() <= one.n_connectivity_relays());
+    }
+}

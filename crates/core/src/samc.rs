@@ -1,0 +1,310 @@
+//! SNR Aware Minimum Coverage — SAMC (Algorithm 1).
+//!
+//! The paper's polynomial-time lower-tier solver:
+//!
+//! 1. **Zone Partition** (Algorithm 2) splits subscribers into
+//!    interference-independent zones;
+//! 2. per zone, a **minimum hitting set** over the feasible circles
+//!    places the coverage relays (the Mustafa–Ray (1+ε) PTAS, so a
+//!    feasible SAMC answer inherits the (1+ε) bound — no relay is ever
+//!    added or removed afterwards);
+//! 3. **Coverage Link Escape** (Algorithm 3) assigns subscribers to
+//!    relay points, maximising one-on-one coverages;
+//! 4. **RS Sliding Movement** (Algorithms 4–5) repairs SNR violations by
+//!    moving relays without changing the coverage topology.
+//!
+//! If any zone cannot be repaired, SAMC reports infeasibility, exactly
+//! like the paper's Step 5.
+
+use sag_geom::Point;
+use sag_hitting::{exact, greedy, local_search, DiskInstance};
+
+use crate::coverage::{snr_violations, CoverageSolution};
+use crate::error::{SagError, SagResult};
+use crate::escape::coverage_link_escape;
+use crate::model::Scenario;
+use crate::sliding::rs_sliding_movement;
+use crate::zone::{zone_partition, zone_scenario};
+
+/// Which hitting-set solver Step 4 uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum HittingStrategy {
+    /// Mustafa–Ray-style local search — the paper's choice.
+    #[default]
+    LocalSearch,
+    /// Plain greedy (ln n): faster, slightly larger answers.
+    Greedy,
+    /// Exact branch-and-bound: for small zones / ablations.
+    Exact,
+}
+
+/// SAMC configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SamcConfig {
+    /// Hitting-set solver for Step 4.
+    pub hitting: HittingStrategy,
+}
+
+/// Runs SAMC with the default configuration.
+///
+/// # Errors
+/// [`SagError::Infeasible`] when some zone's SNR violations cannot be
+/// repaired by sliding (the paper's `return infeasible`).
+pub fn samc(scenario: &Scenario) -> SagResult<CoverageSolution> {
+    samc_with(scenario, SamcConfig::default())
+}
+
+/// Runs SAMC with an explicit configuration.
+///
+/// # Errors
+/// See [`samc`].
+pub fn samc_with(scenario: &Scenario, config: SamcConfig) -> SagResult<CoverageSolution> {
+    let zones = zone_partition(scenario);
+    let mut all_relays: Vec<Point> = Vec::new();
+    let mut global_assignment = vec![usize::MAX; scenario.n_subscribers()];
+
+    for zone in &zones {
+        let (zsc, back_map) = zone_scenario(scenario, zone);
+        let zone_sol = solve_zone(&zsc, config)?;
+        let base = all_relays.len();
+        all_relays.extend(zone_sol.relays.iter().copied());
+        for (local_j, &global_j) in back_map.iter().enumerate() {
+            global_assignment[global_j] = base + zone_sol.assignment[local_j];
+        }
+    }
+    debug_assert!(global_assignment.iter().all(|&a| a != usize::MAX));
+
+    // Zones are interference-independent only up to N_max; re-check the
+    // merged placement and run one global repair round if the residual
+    // inter-zone noise still trips someone.
+    let violations = snr_violations(scenario, &all_relays, &global_assignment);
+    if violations.is_empty() {
+        return Ok(CoverageSolution { relays: all_relays, assignment: global_assignment });
+    }
+    rs_sliding_movement(scenario, all_relays, global_assignment)
+        .ok_or_else(|| SagError::Infeasible("samc: global SNR repair failed".into()))
+}
+
+/// Solves one zone: hitting set → escape → sliding. Different hitting
+/// sets induce different coverage topologies, and a topology that fails
+/// SNR repair is not proof of infeasibility — so on failure the other
+/// solvers' topologies are tried before giving up (the "SAMC stably
+/// finds solutions where IAC/GAC fail" behaviour of §IV-B). The first
+/// strategy is the configured one, so the (1+ε) size guarantee of the
+/// preferred solver still applies whenever it succeeds.
+fn solve_zone(zsc: &Scenario, config: SamcConfig) -> SagResult<CoverageSolution> {
+    let order: [HittingStrategy; 3] = match config.hitting {
+        HittingStrategy::LocalSearch => {
+            [HittingStrategy::LocalSearch, HittingStrategy::Greedy, HittingStrategy::Exact]
+        }
+        HittingStrategy::Greedy => {
+            [HittingStrategy::Greedy, HittingStrategy::LocalSearch, HittingStrategy::Exact]
+        }
+        HittingStrategy::Exact => {
+            [HittingStrategy::Exact, HittingStrategy::LocalSearch, HittingStrategy::Greedy]
+        }
+    };
+    let mut last_err = SagError::Infeasible("samc: zone never attempted".into());
+    for strategy in order {
+        // The exact solver is exponential; skip it as a fallback on
+        // zones large enough to hurt.
+        if strategy == HittingStrategy::Exact
+            && config.hitting != HittingStrategy::Exact
+            && zsc.n_subscribers() > 18
+        {
+            continue;
+        }
+        match solve_zone_with(zsc, strategy) {
+            Ok(sol) => return Ok(sol),
+            Err(e) => last_err = e,
+        }
+    }
+    Err(last_err)
+}
+
+fn solve_zone_with(zsc: &Scenario, strategy: HittingStrategy) -> SagResult<CoverageSolution> {
+    let instance = DiskInstance::new(zsc.feasible_circles());
+    let points: Vec<Point> = match strategy {
+        HittingStrategy::LocalSearch => local_search::local_search_hitting_set(&instance),
+        HittingStrategy::Greedy => greedy::greedy_hitting_set(&instance),
+        HittingStrategy::Exact => exact::exact_hitting_set(&instance),
+    };
+    let escape = coverage_link_escape(zsc, &points);
+
+    // Keep only the points the escape actually uses, remapping indices.
+    let mut keep: Vec<usize> = Vec::new();
+    let mut remap = vec![usize::MAX; points.len()];
+    for (p, served) in escape.served.iter().enumerate() {
+        if !served.is_empty() {
+            remap[p] = keep.len();
+            keep.push(p);
+        }
+    }
+    let relays: Vec<Point> = keep.iter().map(|&p| points[p]).collect();
+    let mut assignment = Vec::with_capacity(zsc.n_subscribers());
+    for (j, asg) in escape.assignment.iter().enumerate() {
+        match asg {
+            Some(p) => assignment.push(remap[*p]),
+            None => {
+                return Err(SagError::Infeasible(format!(
+                    "samc: subscriber {j} not covered by the hitting set"
+                )))
+            }
+        }
+    }
+
+    rs_sliding_movement(zsc, relays, assignment)
+        .ok_or_else(|| SagError::Infeasible("samc: zone SNR repair failed".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coverage::is_feasible;
+    use crate::model::{BaseStation, NetworkParams, Scenario, Subscriber};
+    use sag_geom::Rect;
+    use sag_radio::{units::Db, LinkBudget};
+
+    fn scenario(subs: Vec<(f64, f64, f64)>, beta_db: f64) -> Scenario {
+        Scenario::new(
+            Rect::centered_square(500.0),
+            subs.into_iter()
+                .map(|(x, y, d)| Subscriber::new(Point::new(x, y), d))
+                .collect(),
+            vec![BaseStation::new(Point::new(200.0, 200.0))],
+            NetworkParams::new(
+                LinkBudget::builder().snr_threshold(Db::new(beta_db)).build(),
+                1e-9,
+            ),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn single_subscriber_single_relay() {
+        let sc = scenario(vec![(10.0, 10.0, 30.0)], -15.0);
+        let sol = samc(&sc).unwrap();
+        assert_eq!(sol.n_relays(), 1);
+        assert!(is_feasible(&sc, &sol));
+        // One-on-one snap puts the relay on the subscriber.
+        assert!(sol.relays[0].approx_eq(Point::new(10.0, 10.0)));
+    }
+
+    #[test]
+    fn overlapping_cluster_shares_one_relay() {
+        let sc = scenario(
+            vec![(0.0, 0.0, 40.0), (30.0, 0.0, 40.0), (15.0, 20.0, 40.0)],
+            -15.0,
+        );
+        let sol = samc(&sc).unwrap();
+        assert_eq!(sol.n_relays(), 1, "one point hits all three disks");
+        assert!(is_feasible(&sc, &sol));
+    }
+
+    #[test]
+    fn spread_subscribers_feasible() {
+        let sc = scenario(
+            vec![
+                (-200.0, -200.0, 35.0),
+                (-150.0, -180.0, 32.0),
+                (0.0, 0.0, 30.0),
+                (40.0, 10.0, 38.0),
+                (200.0, 200.0, 31.0),
+                (180.0, 150.0, 36.0),
+            ],
+            -15.0,
+        );
+        let sol = samc(&sc).unwrap();
+        assert!(is_feasible(&sc, &sol));
+        assert!(sol.n_relays() <= 6);
+        assert!(sol.n_relays() >= 2);
+    }
+
+    #[test]
+    fn strategies_all_feasible() {
+        let sc = scenario(
+            vec![(-100.0, 0.0, 35.0), (-60.0, 10.0, 35.0), (100.0, 0.0, 30.0), (130.0, -20.0, 30.0)],
+            -15.0,
+        );
+        for strategy in [HittingStrategy::LocalSearch, HittingStrategy::Greedy, HittingStrategy::Exact] {
+            let sol = samc_with(&sc, SamcConfig { hitting: strategy }).unwrap();
+            assert!(is_feasible(&sc, &sol), "strategy {strategy:?} produced infeasible");
+        }
+    }
+
+    #[test]
+    fn exact_never_more_relays_than_greedy() {
+        let sc = scenario(
+            vec![
+                (0.0, 0.0, 35.0),
+                (50.0, 0.0, 35.0),
+                (100.0, 0.0, 35.0),
+                (150.0, 0.0, 35.0),
+                (25.0, 40.0, 35.0),
+            ],
+            -15.0,
+        );
+        let e = samc_with(&sc, SamcConfig { hitting: HittingStrategy::Exact }).unwrap();
+        let g = samc_with(&sc, SamcConfig { hitting: HittingStrategy::Greedy }).unwrap();
+        assert!(e.n_relays() <= g.n_relays());
+    }
+
+    #[test]
+    fn impossible_threshold_reports_infeasible() {
+        // One-on-one relays snap onto their subscriber (near-zero serving
+        // distance), so pairs of isolated subscribers are always
+        // SNR-feasible. Genuine infeasibility needs *shared* relays that
+        // cannot snap: two clusters of two subscribers each. A relay
+        // covering a cluster sits ≥ 6 from both its subscribers (they are
+        // 12 apart vertically); the other cluster's relay is ≈ 12 away,
+        // so the SNR tops out near (13.4/6)³ ≈ 11 (10.4 dB) — far below
+        // the +20 dB threshold, and no sliding can help.
+        let hard = scenario(
+            vec![
+                (0.0, -6.0, 6.5),
+                (0.0, 6.0, 6.5),
+                (12.0, -6.0, 6.5),
+                (12.0, 6.0, 6.5),
+            ],
+            20.0,
+        );
+        assert!(matches!(samc(&hard), Err(SagError::Infeasible(_))));
+        // The same geometry at a lenient threshold is fine.
+        let easy = scenario(
+            vec![
+                (0.0, -6.0, 6.5),
+                (0.0, 6.0, 6.5),
+                (12.0, -6.0, 6.5),
+                (12.0, 6.0, 6.5),
+            ],
+            -15.0,
+        );
+        assert!(samc(&easy).is_ok());
+    }
+
+    #[test]
+    fn far_zones_solved_independently() {
+        // Two clusters far outside each other's interference reach (use a
+        // small Nmax to force multiple zones).
+        let params = NetworkParams::new(
+            LinkBudget::builder().snr_threshold(Db::new(-15.0)).build(),
+            1e-3, // dmax = 10
+        );
+        let sc = Scenario::new(
+            Rect::centered_square(500.0),
+            vec![
+                Subscriber::new(Point::new(0.0, 0.0), 5.0),
+                Subscriber::new(Point::new(3.0, 0.0), 5.0),
+                Subscriber::new(Point::new(200.0, 0.0), 5.0),
+            ],
+            vec![BaseStation::new(Point::new(0.0, 200.0))],
+            params,
+        )
+        .unwrap();
+        let zones = zone_partition(&sc);
+        assert_eq!(zones.len(), 2);
+        let sol = samc(&sc).unwrap();
+        assert!(is_feasible(&sc, &sol));
+        assert_eq!(sol.n_relays(), 2);
+    }
+}

@@ -1,0 +1,159 @@
+//! Data-rate-driven modelling: build subscribers from bandwidth demands.
+//!
+//! §II of the paper reduces each subscriber's data-rate request `b_i`
+//! (bps) to a feasible distance `d_i` through the Shannon relation under
+//! the two-ray model. [`crate::model::Subscriber`] stores the reduced
+//! distance; this module provides the front door that starts from the
+//! rate itself, so applications can speak in megabits rather than
+//! metres.
+
+use sag_geom::Point;
+use sag_radio::LinkBudget;
+
+use crate::error::{SagError, SagResult};
+use crate::model::Subscriber;
+
+/// A subscriber demand expressed as a data rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateDemand {
+    /// Location of the subscriber.
+    pub position: Point,
+    /// Requested data rate in bits per second.
+    pub rate_bps: f64,
+}
+
+impl RateDemand {
+    /// Creates a demand.
+    ///
+    /// # Panics
+    /// Panics unless `rate_bps > 0` and finite and the position is
+    /// finite.
+    pub fn new(position: Point, rate_bps: f64) -> Self {
+        assert!(position.is_finite(), "demand position must be finite");
+        assert!(
+            rate_bps.is_finite() && rate_bps > 0.0,
+            "rate must be > 0 bps, got {rate_bps}"
+        );
+        RateDemand { position, rate_bps }
+    }
+
+    /// Reduces the demand to a [`Subscriber`] under `link`: the feasible
+    /// distance is the farthest point at which a `Pmax` transmitter still
+    /// delivers `rate_bps` over the link's bandwidth and noise floor.
+    ///
+    /// # Errors
+    /// [`SagError::Infeasible`] when the rate is undeliverable at any
+    /// positive distance (rate above the near-field channel capacity).
+    pub fn to_subscriber(&self, link: &LinkBudget) -> SagResult<Subscriber> {
+        let d = link.feasible_distance(self.rate_bps);
+        if !d.is_finite() || d <= sag_radio::TwoRay::NEAR_FIELD {
+            return Err(SagError::Infeasible(format!(
+                "rate {:.3e} bps is undeliverable under this link budget (d = {d:.3e})",
+                self.rate_bps
+            )));
+        }
+        Ok(Subscriber::new(self.position, d))
+    }
+}
+
+/// Reduces a batch of rate demands to subscribers, failing on the first
+/// undeliverable one.
+///
+/// # Errors
+/// Propagates the first [`SagError::Infeasible`]; the message names the
+/// failing demand index.
+pub fn subscribers_from_rates(
+    demands: &[RateDemand],
+    link: &LinkBudget,
+) -> SagResult<Vec<Subscriber>> {
+    demands
+        .iter()
+        .enumerate()
+        .map(|(i, d)| {
+            d.to_subscriber(link).map_err(|e| match e {
+                SagError::Infeasible(msg) => SagError::Infeasible(format!("demand {i}: {msg}")),
+                other => other,
+            })
+        })
+        .collect()
+}
+
+/// The inverse view: the rate a subscriber's reduced distance supports
+/// at `Pmax` (diagnostics / round-trip checks).
+pub fn supported_rate(sub: &Subscriber, link: &LinkBudget) -> f64 {
+    link.capacity(link.pmax(), sub.distance_req)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sag_radio::LinkBudget;
+
+    fn link() -> LinkBudget {
+        // A noise floor high enough that feasible distances are tens of
+        // metres for Mbps-scale rates.
+        LinkBudget::builder().noise(1e-7).build()
+    }
+
+    #[test]
+    fn rate_round_trips_through_distance() {
+        let lb = link();
+        let demand = RateDemand::new(Point::new(10.0, -5.0), 2.0e6);
+        let sub = demand.to_subscriber(&lb).unwrap();
+        assert!(sub.distance_req > 0.0);
+        let back = supported_rate(&sub, &lb);
+        assert!((back - 2.0e6).abs() / 2.0e6 < 1e-9);
+    }
+
+    #[test]
+    fn higher_rate_means_shorter_distance() {
+        let lb = link();
+        let slow = RateDemand::new(Point::ORIGIN, 1.0e6).to_subscriber(&lb).unwrap();
+        let fast = RateDemand::new(Point::ORIGIN, 4.0e6).to_subscriber(&lb).unwrap();
+        assert!(fast.distance_req < slow.distance_req);
+    }
+
+    #[test]
+    fn batch_reduction_preserves_order() {
+        let lb = link();
+        let demands = vec![
+            RateDemand::new(Point::new(0.0, 0.0), 1.0e6),
+            RateDemand::new(Point::new(50.0, 0.0), 3.0e6),
+        ];
+        let subs = subscribers_from_rates(&demands, &lb).unwrap();
+        assert_eq!(subs.len(), 2);
+        assert_eq!(subs[0].position, Point::new(0.0, 0.0));
+        assert!(subs[1].distance_req < subs[0].distance_req);
+    }
+
+    #[test]
+    fn impossible_rate_is_infeasible() {
+        let lb = link();
+        // Terabit demands over a 1 MHz channel need astronomic SNR; the
+        // feasible distance collapses below the near field.
+        let demand = RateDemand::new(Point::ORIGIN, 1.0e13);
+        match demand.to_subscriber(&lb) {
+            Err(SagError::Infeasible(msg)) => assert!(msg.contains("undeliverable")),
+            other => panic!("expected infeasible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_error_names_index() {
+        let lb = link();
+        let demands = vec![
+            RateDemand::new(Point::ORIGIN, 1.0e6),
+            RateDemand::new(Point::ORIGIN, 1.0e13),
+        ];
+        match subscribers_from_rates(&demands, &lb) {
+            Err(SagError::Infeasible(msg)) => assert!(msg.contains("demand 1")),
+            other => panic!("expected infeasible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_rate_panics() {
+        RateDemand::new(Point::ORIGIN, 0.0);
+    }
+}

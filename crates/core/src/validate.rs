@@ -1,0 +1,277 @@
+//! Structured end-to-end validation of a SAG deployment.
+//!
+//! The boolean checks scattered through the stage modules answer "is it
+//! feasible?"; operators debugging a deployment need "*what exactly* is
+//! wrong and by how much". [`validate_report`] audits a full
+//! [`SagReport`] against its scenario and returns every violation as a
+//! typed finding with its margin, so the `plan` CLI and the test-suite
+//! can print actionable diagnostics.
+
+use std::fmt;
+
+use crate::coverage::powered_snr;
+use crate::model::Scenario;
+use crate::sag::SagReport;
+
+/// One audited constraint with its margin.
+///
+/// `margin ≥ 0` means satisfied (with that much slack, in the
+/// constraint's natural relative units); `margin < 0` is a violation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    /// Which constraint was audited.
+    pub kind: FindingKind,
+    /// Relative slack: `actual/required − 1` for ≥-constraints,
+    /// `1 − actual/limit` for ≤-constraints.
+    pub margin: f64,
+}
+
+/// The constraint classes audited by [`validate_report`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum FindingKind {
+    /// Subscriber `ss` vs its serving relay's distance.
+    AccessDistance {
+        /// Subscriber index.
+        ss: usize,
+    },
+    /// Subscriber `ss`'s delivered power vs its `P_ss` floor.
+    AccessPower {
+        /// Subscriber index.
+        ss: usize,
+    },
+    /// Subscriber `ss`'s SNR vs β under the PRO powers.
+    AccessSnr {
+        /// Subscriber index.
+        ss: usize,
+    },
+    /// Relay `relay`'s power vs `Pmax`.
+    PowerCap {
+        /// Relay index (coverage relays first, then chain transmitters).
+        relay: usize,
+    },
+    /// Chain `chain`'s hop length vs its effective feasible distance.
+    HopLength {
+        /// Chain index in the connectivity plan.
+        chain: usize,
+    },
+    /// Chain `chain`'s delivered per-hop power vs its `P_rs` requirement.
+    ChainPower {
+        /// Chain index in the connectivity plan.
+        chain: usize,
+    },
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let state = if self.margin >= 0.0 { "ok" } else { "VIOLATED" };
+        match &self.kind {
+            FindingKind::AccessDistance { ss } => {
+                write!(f, "[{state}] SS{ss} access distance (margin {:+.2e})", self.margin)
+            }
+            FindingKind::AccessPower { ss } => {
+                write!(f, "[{state}] SS{ss} delivered power (margin {:+.2e})", self.margin)
+            }
+            FindingKind::AccessSnr { ss } => {
+                write!(f, "[{state}] SS{ss} SNR (margin {:+.2e})", self.margin)
+            }
+            FindingKind::PowerCap { relay } => {
+                write!(f, "[{state}] relay {relay} power cap (margin {:+.2e})", self.margin)
+            }
+            FindingKind::HopLength { chain } => {
+                write!(f, "[{state}] chain {chain} hop length (margin {:+.2e})", self.margin)
+            }
+            FindingKind::ChainPower { chain } => {
+                write!(f, "[{state}] chain {chain} relay-link power (margin {:+.2e})", self.margin)
+            }
+        }
+    }
+}
+
+/// The complete audit of one deployment.
+#[derive(Debug, Clone)]
+pub struct ValidationReport {
+    /// Every audited constraint, violations first (most negative margin
+    /// leading).
+    pub findings: Vec<Finding>,
+}
+
+impl ValidationReport {
+    /// `true` when no constraint is violated.
+    pub fn is_clean(&self) -> bool {
+        self.findings.iter().all(|f| f.margin >= 0.0)
+    }
+
+    /// The violations only.
+    pub fn violations(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.margin < 0.0)
+    }
+
+    /// The tightest margin across all constraints (the deployment's
+    /// robustness figure).
+    pub fn worst_margin(&self) -> f64 {
+        self.findings
+            .iter()
+            .map(|f| f.margin)
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+impl fmt::Display for ValidationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let violations = self.violations().count();
+        writeln!(
+            f,
+            "validation: {} findings, {} violations, worst margin {:+.3e}",
+            self.findings.len(),
+            violations,
+            self.worst_margin()
+        )?;
+        for finding in self.findings.iter().take(20) {
+            writeln!(f, "  {finding}")?;
+        }
+        if self.findings.len() > 20 {
+            writeln!(f, "  … {} more", self.findings.len() - 20)?;
+        }
+        Ok(())
+    }
+}
+
+/// Small relative tolerance so boundary-tight optima (PRO/UCPO sit on
+/// their constraints by construction) audit as exactly satisfied.
+const REL_TOL: f64 = 1e-6;
+
+/// Audits a full pipeline report. See the module docs.
+pub fn validate_report(scenario: &Scenario, report: &SagReport) -> ValidationReport {
+    let mut findings = Vec::new();
+    let model = scenario.params.link.model();
+    let beta = scenario.params.link.beta();
+    let pmax = scenario.params.link.pmax();
+
+    // Lower tier, per subscriber.
+    for (j, sub) in scenario.subscribers.iter().enumerate() {
+        let r = report.coverage.assignment[j];
+        let d = report.coverage.relays[r].distance(sub.position);
+        findings.push(Finding {
+            kind: FindingKind::AccessDistance { ss: j },
+            margin: 1.0 - d / sub.distance_req + REL_TOL,
+        });
+        let delivered = model.received_power(report.lower_power.powers[r], d);
+        let pss = scenario.params.pss_for(sub);
+        findings.push(Finding {
+            kind: FindingKind::AccessPower { ss: j },
+            margin: delivered / pss - 1.0 + REL_TOL,
+        });
+        let snr = powered_snr(
+            scenario,
+            &report.coverage.relays,
+            &report.lower_power.powers,
+            j,
+            r,
+        );
+        let snr_margin = if snr.is_infinite() { 1.0 } else { snr / beta - 1.0 + REL_TOL };
+        findings.push(Finding { kind: FindingKind::AccessSnr { ss: j }, margin: snr_margin });
+    }
+
+    // Power caps over every materialised relay.
+    for (i, relay) in report.relays().iter().enumerate() {
+        findings.push(Finding {
+            kind: FindingKind::PowerCap { relay: i },
+            margin: 1.0 - relay.power / pmax + REL_TOL,
+        });
+    }
+
+    // Upper tier, per chain.
+    let mut prs = vec![0.0f64; report.coverage.n_relays()];
+    for (j, &r) in report.coverage.assignment.iter().enumerate() {
+        prs[r] = prs[r].max(scenario.params.pss_for(&scenario.subscribers[j]));
+    }
+    for (ci, chain) in report.plan.chains.iter().enumerate() {
+        let eff = report.plan.effective_distance[chain.child];
+        findings.push(Finding {
+            kind: FindingKind::HopLength { chain: ci },
+            margin: 1.0 - chain.hop_length / eff + REL_TOL,
+        });
+        let hop_power = report.upper_power.hop_power[ci];
+        let delivered = model.received_power(hop_power, chain.hop_length);
+        findings.push(Finding {
+            kind: FindingKind::ChainPower { chain: ci },
+            margin: delivered / prs[chain.child] - 1.0 + REL_TOL,
+        });
+    }
+
+    findings.sort_by(|a, b| sag_geom::float::total_cmp(&a.margin, &b.margin));
+    ValidationReport { findings }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{BaseStation, NetworkParams, Scenario, Subscriber};
+    use crate::sag::run_sag;
+    use sag_geom::{Point, Rect};
+
+    fn scenario() -> Scenario {
+        Scenario::new(
+            Rect::centered_square(500.0),
+            vec![
+                Subscriber::new(Point::new(0.0, 0.0), 35.0),
+                Subscriber::new(Point::new(40.0, 10.0), 32.0),
+                Subscriber::new(Point::new(-120.0, 80.0), 38.0),
+            ],
+            vec![BaseStation::new(Point::new(200.0, 200.0))],
+            NetworkParams::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn pipeline_output_audits_clean() {
+        let sc = scenario();
+        let report = run_sag(&sc).unwrap();
+        let audit = validate_report(&sc, &report);
+        assert!(audit.is_clean(), "violations: {audit}");
+        assert!(audit.worst_margin() >= 0.0);
+        // Counts: 3 constraints per SS + 1 per relay + 2 per chain.
+        let expected = 3 * sc.n_subscribers()
+            + report.relays().len()
+            + 2 * report.plan.chains.len();
+        assert_eq!(audit.findings.len(), expected);
+    }
+
+    #[test]
+    fn corrupted_power_is_flagged() {
+        let sc = scenario();
+        let mut report = run_sag(&sc).unwrap();
+        // Starve the first relay.
+        report.lower_power.powers[0] = 0.0;
+        let audit = validate_report(&sc, &report);
+        assert!(!audit.is_clean());
+        let has_power_violation = audit
+            .violations()
+            .any(|f| matches!(f.kind, FindingKind::AccessPower { .. }));
+        assert!(has_power_violation, "{audit}");
+        // Violations sort first.
+        assert!(audit.findings[0].margin < 0.0);
+    }
+
+    #[test]
+    fn over_cap_power_is_flagged() {
+        let sc = scenario();
+        let mut report = run_sag(&sc).unwrap();
+        report.lower_power.powers[0] = sc.params.link.pmax() * 2.0;
+        let audit = validate_report(&sc, &report);
+        assert!(audit
+            .violations()
+            .any(|f| matches!(f.kind, FindingKind::PowerCap { .. })));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let sc = scenario();
+        let report = run_sag(&sc).unwrap();
+        let audit = validate_report(&sc, &report);
+        let text = format!("{audit}");
+        assert!(text.contains("validation:"));
+        assert!(text.contains("worst margin"));
+    }
+}

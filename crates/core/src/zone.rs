@@ -1,0 +1,180 @@
+//! Zone Partition (Algorithm 2).
+//!
+//! Partitions subscribers into zones such that stations in different
+//! zones cannot meaningfully interfere: an edge joins `s_i` and `s_j`
+//! when the *effective* distance `d_eff = dist(s_i, s_j) − max(d_i, d_j)`
+//! — the closest two relays serving them could come — is within the
+//! ignorable-noise distance `d_max` (where `Pmax·G·d_max^{-α} = N_max`).
+//! Connected components of that graph are the zones; SAMC then solves
+//! each zone independently.
+//!
+//! Note the paper's Step 3 writes `d_eff = min{dist−d_i, dist−d_j}`;
+//! `min` over subtracted radii equals subtracting the `max` radius, as
+//! implemented here.
+
+use sag_graph::{components, Graph};
+
+use crate::model::Scenario;
+
+/// A zone: indices of the subscribers it contains (sorted ascending).
+pub type Zone = Vec<usize>;
+
+/// Runs Zone Partition and returns the zones (ordered by smallest
+/// subscriber index).
+///
+/// # Example
+/// ```
+/// # use sag_core::model::{BaseStation, NetworkParams, Scenario, Subscriber};
+/// # use sag_geom::{Point, Rect};
+/// # use sag_radio::LinkBudget;
+/// let params = NetworkParams::new(LinkBudget::default(), 1e-3); // dmax = 10
+/// let scenario = Scenario::new(
+///     Rect::centered_square(500.0),
+///     vec![
+///         Subscriber::new(Point::new(0.0, 0.0), 3.0),
+///         Subscriber::new(Point::new(5.0, 0.0), 3.0),   // near the first
+///         Subscriber::new(Point::new(200.0, 0.0), 3.0), // far away
+///     ],
+///     vec![BaseStation::new(Point::new(0.0, 200.0))],
+///     params,
+/// ).unwrap();
+/// let zones = sag_core::zone::zone_partition(&scenario);
+/// assert_eq!(zones, vec![vec![0, 1], vec![2]]);
+/// ```
+pub fn zone_partition(scenario: &Scenario) -> Vec<Zone> {
+    let dmax = scenario.params.dmax();
+    zone_partition_with_dmax(scenario, dmax)
+}
+
+/// As [`zone_partition`] with an explicit `d_max` (used by tests and the
+/// ablation bench to sweep zone granularity).
+///
+/// # Panics
+/// Panics unless `dmax` is non-negative and finite.
+pub fn zone_partition_with_dmax(scenario: &Scenario, dmax: f64) -> Vec<Zone> {
+    assert!(dmax.is_finite() && dmax >= 0.0, "dmax must be ≥ 0, got {dmax}");
+    let n = scenario.n_subscribers();
+    let mut g = Graph::new(n);
+    for i in 0..n {
+        for j in i + 1..n {
+            let si = &scenario.subscribers[i];
+            let sj = &scenario.subscribers[j];
+            let dist = si.position.distance(sj.position);
+            let deff = (dist - si.distance_req).min(dist - sj.distance_req);
+            if deff <= dmax {
+                g.add_edge(i, j, deff.max(0.0));
+            }
+        }
+    }
+    components::connected_components(&g)
+}
+
+/// The sub-scenario induced by one zone: the zone's subscribers with the
+/// original field, base stations and parameters. Returned together with
+/// the mapping back to original subscriber indices.
+pub fn zone_scenario(scenario: &Scenario, zone: &Zone) -> (Scenario, Vec<usize>) {
+    let subs = zone.iter().map(|&j| scenario.subscribers[j]).collect();
+    let sub_scenario = Scenario {
+        field: scenario.field,
+        subscribers: subs,
+        base_stations: scenario.base_stations.clone(),
+        params: scenario.params,
+    };
+    (sub_scenario, zone.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{BaseStation, NetworkParams, Subscriber};
+    use sag_geom::{Point, Rect};
+    use sag_radio::LinkBudget;
+
+    fn scenario_with_nmax(subs: Vec<(f64, f64, f64)>, nmax: f64) -> Scenario {
+        Scenario::new(
+            Rect::centered_square(800.0),
+            subs.into_iter()
+                .map(|(x, y, d)| Subscriber::new(Point::new(x, y), d))
+                .collect(),
+            vec![BaseStation::new(Point::new(0.0, 300.0))],
+            NetworkParams::new(LinkBudget::default(), nmax),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn far_groups_split() {
+        // nmax = 1e-3 → dmax = 10 (G=1, α=3, Pmax=1).
+        let sc = scenario_with_nmax(
+            vec![
+                (0.0, 0.0, 5.0),
+                (12.0, 0.0, 5.0),   // deff = 7 ≤ 10 → same zone
+                (300.0, 0.0, 5.0),  // far → own zone
+                (310.0, 0.0, 5.0),  // deff = 5 → joins previous
+            ],
+            1e-3,
+        );
+        let zones = zone_partition(&sc);
+        assert_eq!(zones, vec![vec![0, 1], vec![2, 3]]);
+    }
+
+    #[test]
+    fn default_nmax_keeps_everything_together() {
+        // Default Nmax gives dmax = 1000, larger than any field distance.
+        let sc = Scenario::new(
+            Rect::centered_square(800.0),
+            vec![
+                Subscriber::new(Point::new(-250.0, -250.0), 30.0),
+                Subscriber::new(Point::new(250.0, 250.0), 30.0),
+            ],
+            vec![BaseStation::new(Point::ORIGIN)],
+            NetworkParams::default(),
+        )
+        .unwrap();
+        // Separation ≈ 707 − 30 < dmax = 1000 → single zone.
+        assert_eq!(zone_partition(&sc).len(), 1);
+    }
+
+    #[test]
+    fn transitive_zoning() {
+        // Chain: A—B and B—C within reach, A—C not: still one zone.
+        let sc = scenario_with_nmax(
+            vec![(0.0, 0.0, 5.0), (14.0, 0.0, 5.0), (28.0, 0.0, 5.0)],
+            1e-3,
+        );
+        assert_eq!(zone_partition(&sc), vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn effective_distance_uses_larger_radius() {
+        // dist = 20, radii 15 and 2 → deff = 5; with dmax = 4 they are
+        // split, with dmax = 6 they join.
+        let subs = vec![(0.0, 0.0, 15.0), (20.0, 0.0, 2.0)];
+        let sc = scenario_with_nmax(subs, 1e-3);
+        assert_eq!(zone_partition_with_dmax(&sc, 4.0).len(), 2);
+        assert_eq!(zone_partition_with_dmax(&sc, 6.0).len(), 1);
+    }
+
+    #[test]
+    fn zone_scenario_extracts_subscribers() {
+        let sc = scenario_with_nmax(vec![(0.0, 0.0, 5.0), (300.0, 0.0, 5.0)], 1e-3);
+        let zones = zone_partition(&sc);
+        let (zsc, map) = zone_scenario(&sc, &zones[1]);
+        assert_eq!(zsc.n_subscribers(), 1);
+        assert_eq!(map, vec![1]);
+        assert_eq!(zsc.subscribers[0].position, Point::new(300.0, 0.0));
+        assert_eq!(zsc.base_stations.len(), 1);
+    }
+
+    #[test]
+    fn zones_partition_everything() {
+        let sc = scenario_with_nmax(
+            vec![(0.0, 0.0, 5.0), (100.0, 0.0, 5.0), (200.0, 0.0, 5.0), (13.0, 0.0, 5.0)],
+            1e-3,
+        );
+        let zones = zone_partition(&sc);
+        let mut all: Vec<usize> = zones.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,267 @@
+//! Common-intersection queries over families of closed disks.
+//!
+//! The paper's *Update RS Topology* (Algorithm 5) builds a set `W` of
+//! circles — the feasible circles of subscribers whose SNR is already met
+//! plus "virtual circles" for subscribers whose SNR is violated — and asks
+//! whether **all the circles in `W` have common area**; if so the relay is
+//! moved to any point of that common area.
+//!
+//! For closed disks in the plane this query has an exact finite test: if the
+//! common intersection of a family of disks is non-empty then it contains
+//! either (a) the centre of some disk, or (b) an intersection point of two
+//! disk boundaries. (The intersection is a convex region bounded by arcs;
+//! each arc endpoint is a pairwise boundary intersection, and if the region
+//! has no boundary contributed by some disk then that disk's centre region
+//! argument applies.) [`common_point`] enumerates exactly those candidates.
+
+use crate::circle::Circle;
+use crate::float;
+use crate::point::Point;
+
+/// Returns a point contained in every disk, or `None` if the common
+/// intersection is empty.
+///
+/// The returned point is a *witness*: callers that need "move the RS into
+/// the common area" (Algorithm 5) can use it directly.
+///
+/// An empty family has no constraint; its "intersection" is the whole
+/// plane, and the function returns the origin as a witness.
+///
+/// # Example
+/// ```
+/// use sag_geom::{disks, Circle, Point};
+/// let family = vec![
+///     Circle::new(Point::new(0.0, 0.0), 2.0),
+///     Circle::new(Point::new(1.0, 0.0), 2.0),
+/// ];
+/// let w = disks::common_point(&family).expect("overlapping disks");
+/// assert!(family.iter().all(|c| c.contains(w)));
+/// ```
+pub fn common_point(disks: &[Circle]) -> Option<Point> {
+    if disks.is_empty() {
+        return Some(Point::ORIGIN);
+    }
+    let in_all = |p: Point| disks.iter().all(|d| d.contains(p));
+
+    // Candidate 1: disk centres (covers the case where one disk lies in the
+    // interior of all others, e.g. nested disks).
+    for d in disks {
+        if in_all(d.center) {
+            return Some(d.center);
+        }
+    }
+    // Candidate 2: pairwise boundary intersection points.
+    for (i, a) in disks.iter().enumerate() {
+        for b in disks.iter().skip(i + 1) {
+            for p in a.intersection_points(b) {
+                if in_all(p) {
+                    return Some(p);
+                }
+            }
+        }
+    }
+    // Candidate 3 (robustness): for tangent-ish pairs the analytic
+    // intersection points can fall a hair outside a third disk. Try the
+    // deepest point of each pair's lens: the midpoint of the two crossing
+    // points, and midpoints between circle centres projected onto both.
+    for (i, a) in disks.iter().enumerate() {
+        for b in disks.iter().skip(i + 1) {
+            let pts = a.intersection_points(b);
+            if pts.len() == 2 {
+                let mid = pts[0].midpoint(pts[1]);
+                if in_all(mid) {
+                    return Some(mid);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Returns `true` if all disks share at least one common point.
+pub fn have_common_area(disks: &[Circle]) -> bool {
+    common_point(disks).is_some()
+}
+
+/// Returns a point contained in every disk that is (approximately) deepest
+/// inside the family — maximising the minimum slack `radius_i - dist_i`.
+///
+/// Starts from the [`common_point`] witness and refines it with a few
+/// rounds of pattern search. Returns `None` when the intersection is empty.
+/// The refined point is strictly better for the sliding-movement heuristic
+/// because it leaves margin against later perturbations.
+pub fn deep_common_point(disks: &[Circle]) -> Option<Point> {
+    let start = common_point(disks)?;
+    if disks.is_empty() {
+        return Some(start);
+    }
+    let slack = |p: Point| -> f64 {
+        disks
+            .iter()
+            .map(|d| d.radius - d.center.distance(p))
+            .fold(f64::INFINITY, f64::min)
+    };
+    let mut best = start;
+    let mut best_slack = slack(best);
+    let mut step = disks.iter().map(|d| d.radius).fold(f64::INFINITY, f64::min) / 2.0;
+    while step > 1e-6 {
+        let mut improved = false;
+        for (dx, dy) in [(1.0, 0.0), (-1.0, 0.0), (0.0, 1.0), (0.0, -1.0)] {
+            let cand = Point::new(best.x + dx * step, best.y + dy * step);
+            let s = slack(cand);
+            if s > best_slack + float::EPS {
+                best = cand;
+                best_slack = s;
+                improved = true;
+            }
+        }
+        if !improved {
+            step /= 2.0;
+        }
+    }
+    debug_assert!(best_slack >= -1e-6);
+    Some(best)
+}
+
+/// Computes, for each disk, whether removing it makes the family's common
+/// intersection non-empty (used to diagnose infeasible sliding sets).
+///
+/// Returns indices of disks whose removal restores a common point. When the
+/// family already has a common point, every index is returned.
+pub fn blocking_disks(disks: &[Circle]) -> Vec<usize> {
+    (0..disks.len())
+        .filter(|&skip| {
+            let rest: Vec<Circle> = disks
+                .iter()
+                .enumerate()
+                .filter_map(|(i, c)| (i != skip).then_some(*c))
+                .collect();
+            have_common_area(&rest)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn c(x: f64, y: f64, r: f64) -> Circle {
+        Circle::new(Point::new(x, y), r)
+    }
+
+    #[test]
+    fn empty_family_has_witness() {
+        assert!(common_point(&[]).is_some());
+        assert!(have_common_area(&[]));
+    }
+
+    #[test]
+    fn single_disk_returns_centre() {
+        let w = common_point(&[c(3.0, 4.0, 1.0)]).unwrap();
+        assert!(w.approx_eq(Point::new(3.0, 4.0)));
+    }
+
+    #[test]
+    fn overlapping_pair() {
+        let fam = [c(0.0, 0.0, 2.0), c(3.0, 0.0, 2.0)];
+        let w = common_point(&fam).unwrap();
+        assert!(fam.iter().all(|d| d.contains(w)));
+    }
+
+    #[test]
+    fn disjoint_pair_is_empty() {
+        assert!(common_point(&[c(0.0, 0.0, 1.0), c(5.0, 0.0, 1.0)]).is_none());
+    }
+
+    #[test]
+    fn three_disks_with_small_core() {
+        // Three unit disks whose centres form a triangle with circumradius
+        // slightly below 1: common core exists around the centroid.
+        let fam = [c(0.9, 0.0, 1.0), c(-0.45, 0.78, 1.0), c(-0.45, -0.78, 1.0)];
+        let w = common_point(&fam).expect("core exists");
+        assert!(fam.iter().all(|d| d.contains(w)));
+    }
+
+    #[test]
+    fn three_disks_pairwise_but_no_core() {
+        // Pairwise-intersecting disks with empty triple intersection
+        // (Helly's theorem needs convexity of *all* of them — disks are
+        // convex so by Helly in the plane, pairwise-3 intersection implies
+        // common point only for *every triple*; construct a genuinely empty
+        // triple).
+        let fam = [c(2.0, 0.0, 1.9), c(-1.0, 1.732, 1.9), c(-1.0, -1.732, 1.9)];
+        // Pairwise distances = 2*sqrt(3) ≈ 3.46 < 3.8, so pairwise overlap.
+        for i in 0..3 {
+            for j in i + 1..3 {
+                assert!(!fam[i].intersection_points(&fam[j]).is_empty());
+            }
+        }
+        assert!(common_point(&fam).is_none());
+    }
+
+    #[test]
+    fn nested_family_returns_inner_point() {
+        let fam = [c(0.0, 0.0, 10.0), c(0.0, 0.0, 5.0), c(1.0, 0.0, 2.0)];
+        let w = common_point(&fam).unwrap();
+        assert!(fam.iter().all(|d| d.contains(w)));
+    }
+
+    #[test]
+    fn deep_point_has_more_slack_than_witness() {
+        let fam = [c(0.0, 0.0, 2.0), c(2.0, 0.0, 2.0)];
+        let w = common_point(&fam).unwrap();
+        let d = deep_common_point(&fam).unwrap();
+        let slack = |p: Point, f: &[Circle]| {
+            f.iter()
+                .map(|c| c.radius - c.center.distance(p))
+                .fold(f64::INFINITY, f64::min)
+        };
+        assert!(slack(d, &fam) >= slack(w, &fam) - 1e-9);
+        assert!(fam.iter().all(|c| c.contains(d)));
+        // The deepest point of two equal overlapping disks is equidistant
+        // between centres.
+        assert!((d.x - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn blocking_disk_identification() {
+        // Two overlapping disks plus one far away: removing the far one
+        // restores the intersection.
+        let fam = [c(0.0, 0.0, 2.0), c(1.0, 0.0, 2.0), c(50.0, 0.0, 1.0)];
+        let blockers = blocking_disks(&fam);
+        assert!(blockers.contains(&2));
+        assert!(!blockers.contains(&0) && !blockers.contains(&1));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_witness_is_in_all(
+            xs in proptest::collection::vec((-50.0..50.0f64, -50.0..50.0f64, 5.0..40.0f64), 1..8)
+        ) {
+            let fam: Vec<Circle> = xs.iter().map(|&(x, y, r)| c(x, y, r)).collect();
+            if let Some(w) = common_point(&fam) {
+                for d in &fam {
+                    prop_assert!(d.contains(w), "witness {w} outside {d}");
+                }
+            }
+        }
+
+        #[test]
+        fn prop_shrunk_family_keeps_witness(
+            x in -20.0..20.0f64, y in -20.0..20.0f64,
+        ) {
+            // Disks all containing the probe point must report a common point.
+            let probe = Point::new(x, y);
+            let fam: Vec<Circle> = (0..5)
+                .map(|k| {
+                    let cx = x + (k as f64) - 2.0;
+                    let cy = y + 1.5 - (k as f64) * 0.5;
+                    let r = probe.distance(Point::new(cx, cy)) + 1.0;
+                    c(cx, cy, r)
+                })
+                .collect();
+            prop_assert!(have_common_area(&fam));
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Tolerance-controlled floating point comparisons.
+//!
+//! The SAG algorithms repeatedly test "is this point *on* a circle" or "is
+//! this distance *at most* the feasible distance"; exact `f64` comparison
+//! would make those tests flap. All geometric predicates in this crate
+//! funnel through the helpers here with the shared [`EPS`] tolerance.
+
+/// Default absolute tolerance for geometric predicates.
+///
+/// Field coordinates in the paper's simulations are in `[-400, 400]` and
+/// radii in `[30, 40]`, so `1e-9` leaves ~6 orders of magnitude of headroom
+/// over `f64` rounding at that scale.
+pub const EPS: f64 = 1e-9;
+
+/// Returns `true` if `a` and `b` differ by at most `eps` absolutely.
+///
+/// # Example
+/// ```
+/// assert!(sag_geom::float::approx_eq_eps(1.0, 1.0 + 1e-12, 1e-9));
+/// ```
+#[inline]
+pub fn approx_eq_eps(a: f64, b: f64, eps: f64) -> bool {
+    (a - b).abs() <= eps
+}
+
+/// Returns `true` if `a` and `b` differ by at most [`EPS`].
+#[inline]
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    approx_eq_eps(a, b, EPS)
+}
+
+/// Returns `true` if `a <= b` up to [`EPS`] slack.
+#[inline]
+pub fn leq(a: f64, b: f64) -> bool {
+    a <= b + EPS
+}
+
+/// Returns `true` if `a >= b` up to [`EPS`] slack.
+#[inline]
+pub fn geq(a: f64, b: f64) -> bool {
+    a + EPS >= b
+}
+
+/// Returns `true` if `a < b` by more than [`EPS`].
+#[inline]
+pub fn lt(a: f64, b: f64) -> bool {
+    a + EPS < b
+}
+
+/// Returns `true` if `a > b` by more than [`EPS`].
+#[inline]
+pub fn gt(a: f64, b: f64) -> bool {
+    a > b + EPS
+}
+
+/// Clamps `v` into `[lo, hi]`.
+///
+/// # Panics
+/// Panics if `lo > hi`.
+#[inline]
+pub fn clamp(v: f64, lo: f64, hi: f64) -> f64 {
+    assert!(lo <= hi, "clamp: lo {lo} > hi {hi}");
+    v.max(lo).min(hi)
+}
+
+/// Total order comparison for `f64` that treats `NaN` as greatest.
+///
+/// Useful for `sort_by` / `min_by` over distances that are known to be
+/// finite; `NaN`s (which indicate a bug upstream) sink to the end where they
+/// are easy to spot.
+#[inline]
+pub fn total_cmp(a: &f64, b: &f64) -> std::cmp::Ordering {
+    a.partial_cmp(b).unwrap_or_else(|| {
+        if a.is_nan() && b.is_nan() {
+            std::cmp::Ordering::Equal
+        } else if a.is_nan() {
+            std::cmp::Ordering::Greater
+        } else {
+            std::cmp::Ordering::Less
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Ordering;
+
+    #[test]
+    fn approx_eq_within_eps() {
+        assert!(approx_eq(1.0, 1.0));
+        assert!(approx_eq(1.0, 1.0 + EPS / 2.0));
+        assert!(!approx_eq(1.0, 1.0 + 1e-6));
+    }
+
+    #[test]
+    fn leq_geq_are_slack() {
+        assert!(leq(1.0 + EPS / 2.0, 1.0));
+        assert!(geq(1.0 - EPS / 2.0, 1.0));
+        assert!(!leq(1.0 + 1e-6, 1.0));
+        assert!(!geq(1.0 - 1e-6, 1.0));
+    }
+
+    #[test]
+    fn strict_lt_gt_exclude_near_ties() {
+        assert!(!lt(1.0, 1.0 + EPS / 2.0));
+        assert!(lt(1.0, 1.1));
+        assert!(!gt(1.0 + EPS / 2.0, 1.0));
+        assert!(gt(1.1, 1.0));
+    }
+
+    #[test]
+    fn clamp_bounds() {
+        assert_eq!(clamp(5.0, 0.0, 1.0), 1.0);
+        assert_eq!(clamp(-5.0, 0.0, 1.0), 0.0);
+        assert_eq!(clamp(0.5, 0.0, 1.0), 0.5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn clamp_panics_on_inverted_range() {
+        clamp(0.5, 1.0, 0.0);
+    }
+
+    #[test]
+    fn total_cmp_nan_sinks() {
+        assert_eq!(total_cmp(&f64::NAN, &1.0), Ordering::Greater);
+        assert_eq!(total_cmp(&1.0, &f64::NAN), Ordering::Less);
+        assert_eq!(total_cmp(&f64::NAN, &f64::NAN), Ordering::Equal);
+        assert_eq!(total_cmp(&1.0, &2.0), Ordering::Less);
+    }
+}

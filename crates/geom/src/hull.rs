@@ -1,0 +1,218 @@
+//! Convex hulls and simple polygon measures.
+//!
+//! Used by the topology-export example and by zone diagnostics (hull of a
+//! zone's subscriber group gives a quick visual footprint of the zone).
+
+use crate::float;
+use crate::point::Point;
+
+/// Computes the convex hull of `points` with Andrew's monotone chain.
+///
+/// Returns hull vertices in counter-clockwise order without repeating the
+/// first vertex. Collinear points on hull edges are dropped. Degenerate
+/// inputs return what they can: empty input → empty hull, one point → that
+/// point, collinear points → the two extreme points.
+///
+/// # Example
+/// ```
+/// use sag_geom::{hull::convex_hull, Point};
+/// let pts = vec![
+///     Point::new(0.0, 0.0), Point::new(2.0, 0.0),
+///     Point::new(2.0, 2.0), Point::new(0.0, 2.0),
+///     Point::new(1.0, 1.0), // interior
+/// ];
+/// assert_eq!(convex_hull(&pts).len(), 4);
+/// ```
+pub fn convex_hull(points: &[Point]) -> Vec<Point> {
+    let mut pts: Vec<Point> = points.to_vec();
+    pts.sort_by(|a, b| {
+        float::total_cmp(&a.x, &b.x).then_with(|| float::total_cmp(&a.y, &b.y))
+    });
+    pts.dedup_by(|a, b| a.approx_eq(*b));
+    let n = pts.len();
+    if n <= 2 {
+        return pts;
+    }
+
+    let cross = |o: Point, a: Point, b: Point| (a - o).cross(b - o);
+
+    let mut lower: Vec<Point> = Vec::with_capacity(n);
+    for &p in &pts {
+        while lower.len() >= 2
+            && cross(lower[lower.len() - 2], lower[lower.len() - 1], p) <= float::EPS
+        {
+            lower.pop();
+        }
+        lower.push(p);
+    }
+    let mut upper: Vec<Point> = Vec::with_capacity(n);
+    for &p in pts.iter().rev() {
+        while upper.len() >= 2
+            && cross(upper[upper.len() - 2], upper[upper.len() - 1], p) <= float::EPS
+        {
+            upper.pop();
+        }
+        upper.push(p);
+    }
+    lower.pop();
+    upper.pop();
+    lower.extend(upper);
+    if lower.is_empty() {
+        // All points collinear: return the two extremes.
+        return vec![pts[0], pts[n - 1]];
+    }
+    lower
+}
+
+/// Signed area of a polygon given by vertices in order (positive for
+/// counter-clockwise orientation). Degenerate polygons (< 3 vertices)
+/// have zero area.
+pub fn polygon_area(vertices: &[Point]) -> f64 {
+    if vertices.len() < 3 {
+        return 0.0;
+    }
+    let mut acc = 0.0;
+    for i in 0..vertices.len() {
+        let a = vertices[i];
+        let b = vertices[(i + 1) % vertices.len()];
+        acc += a.x * b.y - b.x * a.y;
+    }
+    acc / 2.0
+}
+
+/// Perimeter of a polygon given by vertices in order.
+pub fn polygon_perimeter(vertices: &[Point]) -> f64 {
+    if vertices.len() < 2 {
+        return 0.0;
+    }
+    let mut acc = 0.0;
+    for i in 0..vertices.len() {
+        acc += vertices[i].distance(vertices[(i + 1) % vertices.len()]);
+    }
+    acc
+}
+
+/// Returns `true` if `p` lies inside or on the convex polygon `hull`
+/// (vertices in counter-clockwise order, as produced by [`convex_hull`]).
+pub fn convex_contains(hull: &[Point], p: Point) -> bool {
+    match hull.len() {
+        0 => false,
+        1 => hull[0].approx_eq(p),
+        2 => {
+            // Segment containment.
+            let (a, b) = (hull[0], hull[1]);
+            let ab = b - a;
+            let ap = p - a;
+            ab.cross(ap).abs() <= 1e-6
+                && float::geq(ab.dot(ap), 0.0)
+                && float::leq(ap.norm_sq(), ab.norm_sq())
+        }
+        _ => {
+            for i in 0..hull.len() {
+                let a = hull[i];
+                let b = hull[(i + 1) % hull.len()];
+                if (b - a).cross(p - a) < -1e-6 {
+                    return false;
+                }
+            }
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, Rng as _, SeedableRng as _};
+
+    #[test]
+    fn square_hull() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(2.0, 2.0),
+            Point::new(0.0, 2.0),
+            Point::new(1.0, 1.0),
+            Point::new(0.5, 0.5),
+        ];
+        let h = convex_hull(&pts);
+        assert_eq!(h.len(), 4);
+        assert!((polygon_area(&h) - 4.0).abs() < 1e-9);
+        assert!((polygon_perimeter(&h) - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hull_is_ccw() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 1.0),
+            Point::new(2.0, 5.0),
+            Point::new(-1.0, 3.0),
+        ];
+        let h = convex_hull(&pts);
+        assert!(polygon_area(&h) > 0.0);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(convex_hull(&[]).is_empty());
+        assert_eq!(convex_hull(&[Point::new(1.0, 1.0)]).len(), 1);
+        let collinear = vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0), Point::new(2.0, 2.0)];
+        let h = convex_hull(&collinear);
+        assert_eq!(h.len(), 2);
+        assert_eq!(polygon_area(&h), 0.0);
+    }
+
+    #[test]
+    fn duplicates_removed() {
+        let pts = vec![Point::new(0.0, 0.0); 5];
+        assert_eq!(convex_hull(&pts).len(), 1);
+    }
+
+    #[test]
+    fn containment() {
+        let h = convex_hull(&[
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(4.0, 4.0),
+            Point::new(0.0, 4.0),
+        ]);
+        assert!(convex_contains(&h, Point::new(2.0, 2.0)));
+        assert!(convex_contains(&h, Point::new(0.0, 0.0)));
+        assert!(convex_contains(&h, Point::new(4.0, 2.0)));
+        assert!(!convex_contains(&h, Point::new(5.0, 2.0)));
+        assert!(!convex_contains(&h, Point::new(-0.1, 2.0)));
+    }
+
+    #[test]
+    fn segment_containment() {
+        let h = vec![Point::new(0.0, 0.0), Point::new(2.0, 2.0)];
+        assert!(convex_contains(&h, Point::new(1.0, 1.0)));
+        assert!(!convex_contains(&h, Point::new(3.0, 3.0)));
+        assert!(!convex_contains(&h, Point::new(1.0, 0.0)));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_all_points_inside_hull(seed in 0u64..500, n in 3usize..40) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let pts: Vec<Point> = (0..n)
+                .map(|_| Point::new(rng.gen_range(-50.0..50.0), rng.gen_range(-50.0..50.0)))
+                .collect();
+            let h = convex_hull(&pts);
+            for p in &pts {
+                prop_assert!(convex_contains(&h, *p), "{p} escaped its own hull");
+            }
+        }
+
+        #[test]
+        fn prop_hull_area_nonnegative(seed in 0u64..500, n in 1usize..30) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let pts: Vec<Point> = (0..n)
+                .map(|_| Point::new(rng.gen_range(-50.0..50.0), rng.gen_range(-50.0..50.0)))
+                .collect();
+            prop_assert!(polygon_area(&convex_hull(&pts)) >= -1e-9);
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Minimum enclosing circle (Welzl's algorithm).
+//!
+//! For a group of subscribers assigned to one shared relay with *equal*
+//! distance requirements, the centre of their minimum enclosing circle
+//! is the position minimising the worst access-link distance — a useful
+//! relay-placement primitive and a diagnostic for zone footprints.
+
+use crate::circle::Circle;
+use crate::float;
+use crate::point::Point;
+
+/// Computes the minimum enclosing circle of `points`.
+///
+/// Returns `None` for an empty input; a single point yields a
+/// zero-radius circle. Runs Welzl's move-to-front algorithm; the input
+/// order is permuted deterministically (no RNG) which keeps results
+/// reproducible — expected-linear time still holds for the smallish
+/// inputs this workspace produces.
+///
+/// # Example
+/// ```
+/// use sag_geom::{mec::minimum_enclosing_circle, Point};
+/// let c = minimum_enclosing_circle(&[
+///     Point::new(0.0, 0.0),
+///     Point::new(2.0, 0.0),
+/// ]).unwrap();
+/// assert!((c.radius - 1.0).abs() < 1e-9);
+/// assert!(c.center.approx_eq(Point::new(1.0, 0.0)));
+/// ```
+pub fn minimum_enclosing_circle(points: &[Point]) -> Option<Circle> {
+    if points.is_empty() {
+        return None;
+    }
+    // Deterministic shuffle: a fixed multiplicative permutation is enough
+    // to defeat adversarial orderings without RNG.
+    let n = points.len();
+    let mut pts: Vec<Point> = Vec::with_capacity(n);
+    let mut idx = 0usize;
+    let stride = largest_coprime_stride(n);
+    for _ in 0..n {
+        pts.push(points[idx]);
+        idx = (idx + stride) % n;
+    }
+
+    let mut c = Circle::new(pts[0], 0.0);
+    for i in 1..n {
+        if !contains(&c, pts[i]) {
+            c = Circle::new(pts[i], 0.0);
+            for j in 0..i {
+                if !contains(&c, pts[j]) {
+                    c = circle_two(pts[i], pts[j]);
+                    for k in 0..j {
+                        if !contains(&c, pts[k]) {
+                            c = circle_three(pts[i], pts[j], pts[k]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Some(c)
+}
+
+fn largest_coprime_stride(n: usize) -> usize {
+    if n <= 2 {
+        return 1;
+    }
+    let mut s = n / 2 + 1;
+    while gcd(s, n) != 1 {
+        s += 1;
+    }
+    s % n
+}
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+fn contains(c: &Circle, p: Point) -> bool {
+    c.center.distance_sq(p) <= c.radius * c.radius + 1e-7
+}
+
+fn circle_two(a: Point, b: Point) -> Circle {
+    Circle::new(a.midpoint(b), a.distance(b) / 2.0)
+}
+
+/// Circumcircle of three points; collinear triples fall back to the
+/// widest two-point circle.
+fn circle_three(a: Point, b: Point, c: Point) -> Circle {
+    let d = 2.0 * ((b - a).cross(c - a));
+    if d.abs() <= float::EPS {
+        // Collinear: the diametral circle of the farthest pair.
+        let ab = circle_two(a, b);
+        let ac = circle_two(a, c);
+        let bc = circle_two(b, c);
+        return [ab, ac, bc]
+            .into_iter()
+            .max_by(|x, y| float::total_cmp(&x.radius, &y.radius))
+            .expect("three candidates");
+    }
+    let a2 = a.to_vec().norm_sq();
+    let b2 = b.to_vec().norm_sq();
+    let c2 = c.to_vec().norm_sq();
+    let ux = (a2 * (b.y - c.y) + b2 * (c.y - a.y) + c2 * (a.y - b.y)) / d;
+    let uy = (a2 * (c.x - b.x) + b2 * (a.x - c.x) + c2 * (b.x - a.x)) / d;
+    let center = Point::new(ux, uy);
+    Circle::new(center, center.distance(a))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, Rng as _, SeedableRng as _};
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(minimum_enclosing_circle(&[]).is_none());
+        let c = minimum_enclosing_circle(&[Point::new(3.0, 4.0)]).unwrap();
+        assert_eq!(c.radius, 0.0);
+        assert!(c.center.approx_eq(Point::new(3.0, 4.0)));
+    }
+
+    #[test]
+    fn pair_is_diametral() {
+        let c = minimum_enclosing_circle(&[Point::new(-1.0, 0.0), Point::new(1.0, 0.0)]).unwrap();
+        assert!((c.radius - 1.0).abs() < 1e-9);
+        assert!(c.center.approx_eq(Point::ORIGIN));
+    }
+
+    #[test]
+    fn equilateral_triangle_circumcircle() {
+        let pts = [
+            Point::new(0.0, 1.0),
+            Point::new((3.0f64).sqrt() / 2.0, -0.5),
+            Point::new(-(3.0f64).sqrt() / 2.0, -0.5),
+        ];
+        let c = minimum_enclosing_circle(&pts).unwrap();
+        assert!((c.radius - 1.0).abs() < 1e-9);
+        assert!(c.center.distance(Point::ORIGIN) < 1e-9);
+    }
+
+    #[test]
+    fn obtuse_triangle_uses_two_points() {
+        // Very flat triangle: MEC is the diametral circle of the long side.
+        let pts = [Point::new(0.0, 0.0), Point::new(10.0, 0.0), Point::new(5.0, 0.1)];
+        let c = minimum_enclosing_circle(&pts).unwrap();
+        assert!((c.radius - 5.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn collinear_points() {
+        let pts = [Point::new(0.0, 0.0), Point::new(5.0, 0.0), Point::new(2.0, 0.0)];
+        let c = minimum_enclosing_circle(&pts).unwrap();
+        assert!((c.radius - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interior_points_ignored() {
+        let mut pts = vec![
+            Point::new(-3.0, 0.0),
+            Point::new(3.0, 0.0),
+            Point::new(0.0, 3.0),
+            Point::new(0.0, -3.0),
+        ];
+        for k in 0..10 {
+            pts.push(Point::new(0.1 * k as f64, 0.05 * k as f64));
+        }
+        let c = minimum_enclosing_circle(&pts).unwrap();
+        assert!((c.radius - 3.0).abs() < 1e-9);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_encloses_all(seed in 0u64..300, n in 1usize..40) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let pts: Vec<Point> = (0..n)
+                .map(|_| Point::new(rng.gen_range(-100.0..100.0), rng.gen_range(-100.0..100.0)))
+                .collect();
+            let c = minimum_enclosing_circle(&pts).unwrap();
+            for p in &pts {
+                prop_assert!(c.center.distance(*p) <= c.radius + 1e-6,
+                    "{p} outside MEC r={}", c.radius);
+            }
+        }
+
+        #[test]
+        fn prop_not_larger_than_diametral_bound(seed in 0u64..300, n in 2usize..25) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let pts: Vec<Point> = (0..n)
+                .map(|_| Point::new(rng.gen_range(-100.0..100.0), rng.gen_range(-100.0..100.0)))
+                .collect();
+            let c = minimum_enclosing_circle(&pts).unwrap();
+            // MEC radius is at most the max pairwise distance / sqrt(3) * ... —
+            // use the safe bound: at most max pairwise distance.
+            let diam = pts
+                .iter()
+                .flat_map(|a| pts.iter().map(move |b| a.distance(*b)))
+                .fold(0.0f64, f64::max);
+            prop_assert!(c.radius <= diam / 3.0f64.sqrt() + 1e-6);
+            // And at least half the diameter.
+            prop_assert!(c.radius + 1e-6 >= diam / 2.0);
+        }
+
+        #[test]
+        fn prop_order_invariant(seed in 0u64..100, n in 2usize..15) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let pts: Vec<Point> = (0..n)
+                .map(|_| Point::new(rng.gen_range(-50.0..50.0), rng.gen_range(-50.0..50.0)))
+                .collect();
+            let c1 = minimum_enclosing_circle(&pts).unwrap();
+            let mut rev = pts.clone();
+            rev.reverse();
+            let c2 = minimum_enclosing_circle(&rev).unwrap();
+            prop_assert!((c1.radius - c2.radius).abs() < 1e-6);
+        }
+    }
+}

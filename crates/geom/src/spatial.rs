@@ -1,0 +1,261 @@
+//! A uniform-bucket spatial hash for radius and nearest-neighbour queries.
+//!
+//! Zone partitioning and interference scans repeatedly ask "which stations
+//! lie within distance `d` of this point?"; a uniform grid of buckets makes
+//! those queries `O(points in range)` instead of `O(n)`.
+
+use std::collections::HashMap;
+
+use crate::float;
+use crate::point::Point;
+
+/// A spatial index over a fixed set of points.
+///
+/// Build once with [`SpatialHash::build`], then query. Indices returned by
+/// queries refer to the original input slice order.
+///
+/// # Example
+/// ```
+/// use sag_geom::{Point, SpatialHash};
+/// let pts = vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0), Point::new(1.0, 1.0)];
+/// let idx = SpatialHash::build(&pts, 5.0);
+/// let mut near = idx.query_radius(Point::new(0.0, 0.0), 2.0);
+/// near.sort_unstable();
+/// assert_eq!(near, vec![0, 2]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpatialHash {
+    cell: f64,
+    points: Vec<Point>,
+    buckets: HashMap<(i64, i64), Vec<usize>>,
+}
+
+impl SpatialHash {
+    /// Builds an index over `points` with bucket side `cell`.
+    ///
+    /// A good `cell` is the typical query radius; correctness does not
+    /// depend on the choice, only performance.
+    ///
+    /// # Panics
+    /// Panics if `cell` is not strictly positive and finite, or any point
+    /// is not finite.
+    pub fn build(points: &[Point], cell: f64) -> Self {
+        assert!(cell.is_finite() && cell > 0.0, "cell must be > 0, got {cell}");
+        let mut buckets: HashMap<(i64, i64), Vec<usize>> = HashMap::new();
+        for (i, p) in points.iter().enumerate() {
+            assert!(p.is_finite(), "point {i} is not finite");
+            buckets.entry(Self::key(*p, cell)).or_default().push(i);
+        }
+        SpatialHash { cell, points: points.to_vec(), buckets }
+    }
+
+    #[inline]
+    fn key(p: Point, cell: f64) -> (i64, i64) {
+        ((p.x / cell).floor() as i64, (p.y / cell).floor() as i64)
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` if the index holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Indices of all points within distance `radius` of `center`
+    /// (inclusive, with the crate tolerance). Order is unspecified.
+    pub fn query_radius(&self, center: Point, radius: f64) -> Vec<usize> {
+        assert!(radius.is_finite() && radius >= 0.0, "radius must be ≥ 0");
+        let lo = Self::key(Point::new(center.x - radius, center.y - radius), self.cell);
+        let hi = Self::key(Point::new(center.x + radius, center.y + radius), self.cell);
+        let mut out = Vec::new();
+        for bx in lo.0..=hi.0 {
+            for by in lo.1..=hi.1 {
+                if let Some(bucket) = self.buckets.get(&(bx, by)) {
+                    for &i in bucket {
+                        if float::leq(self.points[i].distance(center), radius) {
+                            out.push(i);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Index of the nearest point to `center`, or `None` for an empty
+    /// index. Ties break toward the lower index.
+    pub fn nearest(&self, center: Point) -> Option<usize> {
+        if self.points.is_empty() {
+            return None;
+        }
+        // Expanding ring search over buckets; falls back to linear scan
+        // once the ring covers everything (bounded by bucket extent).
+        let start = Self::key(center, self.cell);
+        let mut best: Option<(usize, f64)> = None;
+        let mut ring = 0i64;
+        loop {
+            let mut any_bucket = false;
+            for bx in (start.0 - ring)..=(start.0 + ring) {
+                for by in (start.1 - ring)..=(start.1 + ring) {
+                    // Only the new ring shell.
+                    if ring > 0
+                        && bx > start.0 - ring
+                        && bx < start.0 + ring
+                        && by > start.1 - ring
+                        && by < start.1 + ring
+                    {
+                        continue;
+                    }
+                    if let Some(bucket) = self.buckets.get(&(bx, by)) {
+                        any_bucket = true;
+                        for &i in bucket {
+                            let d = self.points[i].distance(center);
+                            let better = match best {
+                                None => true,
+                                Some((bi, bd)) => d < bd - float::EPS
+                                    || (float::approx_eq(d, bd) && i < bi),
+                            };
+                            if better {
+                                best = Some((i, d));
+                            }
+                        }
+                    }
+                }
+            }
+            // Stop when we have a candidate and the next ring cannot beat
+            // it (ring inner distance > best distance), or the search has
+            // exhausted all buckets.
+            if let Some((_, bd)) = best {
+                let ring_inner = (ring as f64) * self.cell;
+                if ring_inner > bd {
+                    break;
+                }
+            }
+            if !any_bucket && ring > 0 {
+                // Expanded past every bucket without finding more.
+                let max_ring = self.max_ring(start);
+                if ring > max_ring {
+                    break;
+                }
+            }
+            ring += 1;
+            if ring > self.max_ring(start) + 1 {
+                break;
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    fn max_ring(&self, start: (i64, i64)) -> i64 {
+        self.buckets
+            .keys()
+            .map(|&(bx, by)| (bx - start.0).abs().max((by - start.1).abs()))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, Rng as _, SeedableRng as _};
+
+    fn brute_radius(pts: &[Point], c: Point, r: f64) -> Vec<usize> {
+        let mut v: Vec<usize> = (0..pts.len()).filter(|&i| float::leq(pts[i].distance(c), r)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn brute_nearest(pts: &[Point], c: Point) -> Option<usize> {
+        (0..pts.len()).min_by(|&a, &b| float::total_cmp(&pts[a].distance(c), &pts[b].distance(c)))
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = SpatialHash::build(&[], 5.0);
+        assert!(idx.is_empty());
+        assert_eq!(idx.len(), 0);
+        assert!(idx.query_radius(Point::ORIGIN, 100.0).is_empty());
+        assert!(idx.nearest(Point::ORIGIN).is_none());
+    }
+
+    #[test]
+    fn radius_query_matches_brute_force() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let pts: Vec<Point> = (0..200)
+            .map(|_| Point::new(rng.gen_range(-250.0..250.0), rng.gen_range(-250.0..250.0)))
+            .collect();
+        let idx = SpatialHash::build(&pts, 40.0);
+        for _ in 0..50 {
+            let c = Point::new(rng.gen_range(-250.0..250.0), rng.gen_range(-250.0..250.0));
+            let r = rng.gen_range(0.0..120.0);
+            let mut got = idx.query_radius(c, r);
+            got.sort_unstable();
+            assert_eq!(got, brute_radius(&pts, c, r));
+        }
+    }
+
+    #[test]
+    fn nearest_matches_brute_force() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let pts: Vec<Point> = (0..150)
+            .map(|_| Point::new(rng.gen_range(-250.0..250.0), rng.gen_range(-250.0..250.0)))
+            .collect();
+        let idx = SpatialHash::build(&pts, 25.0);
+        for _ in 0..100 {
+            let c = Point::new(rng.gen_range(-400.0..400.0), rng.gen_range(-400.0..400.0));
+            let got = idx.nearest(c).unwrap();
+            let want = brute_nearest(&pts, c).unwrap();
+            assert!(
+                float::approx_eq(pts[got].distance(c), pts[want].distance(c)),
+                "nearest mismatch at {c}: got {got} want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_point() {
+        let pts = [Point::new(3.0, 4.0)];
+        let idx = SpatialHash::build(&pts, 1.0);
+        assert_eq!(idx.nearest(Point::ORIGIN), Some(0));
+        assert_eq!(idx.query_radius(Point::ORIGIN, 5.0), vec![0]);
+        assert!(idx.query_radius(Point::ORIGIN, 4.9).is_empty());
+    }
+
+    #[test]
+    fn inclusive_boundary() {
+        let pts = [Point::new(10.0, 0.0)];
+        let idx = SpatialHash::build(&pts, 3.0);
+        assert_eq!(idx.query_radius(Point::ORIGIN, 10.0), vec![0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_cell_panics() {
+        SpatialHash::build(&[], 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_radius_equals_brute(
+            seed in 0u64..1000,
+            n in 1usize..60,
+            cell in 1.0..60.0f64,
+            r in 0.0..200.0f64,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let pts: Vec<Point> = (0..n)
+                .map(|_| Point::new(rng.gen_range(-100.0..100.0), rng.gen_range(-100.0..100.0)))
+                .collect();
+            let idx = SpatialHash::build(&pts, cell);
+            let c = Point::new(rng.gen_range(-150.0..150.0), rng.gen_range(-150.0..150.0));
+            let mut got = idx.query_radius(c, r);
+            got.sort_unstable();
+            prop_assert_eq!(got, brute_radius(&pts, c, r));
+        }
+    }
+}

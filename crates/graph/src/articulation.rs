@@ -1,0 +1,206 @@
+//! Articulation points (cut vertices) via Tarjan's low-link DFS.
+//!
+//! Used by the resilience analysis in `sag-core`: a relay whose removal
+//! disconnects some coverage relay from every base station is a single
+//! point of failure of the upper tier.
+
+use crate::graph::Graph;
+
+/// Returns the articulation points of `g` (sorted ascending).
+///
+/// A vertex is an articulation point when removing it (and its edges)
+/// increases the number of connected components. Isolated vertices are
+/// never articulation points; the endpoints of a lone edge are not
+/// either.
+///
+/// # Example
+/// ```
+/// use sag_graph::{articulation::articulation_points, Graph};
+/// let mut g = Graph::new(3);
+/// g.add_edge(0, 1, 1.0);
+/// g.add_edge(1, 2, 1.0);
+/// assert_eq!(articulation_points(&g), vec![1]);
+/// ```
+pub fn articulation_points(g: &Graph) -> Vec<usize> {
+    let n = g.vertex_count();
+    let mut disc = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut is_cut = vec![false; n];
+    let mut timer = 0usize;
+
+    // Iterative Tarjan to avoid recursion depth limits on long chains
+    // (steinerized relay chains can be hundreds of hops).
+    #[derive(Clone)]
+    struct Frame {
+        v: usize,
+        parent: Option<usize>,
+        child_count: usize,
+        neighbor_idx: usize,
+        neighbors: Vec<usize>,
+    }
+
+    for root in 0..n {
+        if disc[root] != usize::MAX {
+            continue;
+        }
+        let mut stack = vec![Frame {
+            v: root,
+            parent: None,
+            child_count: 0,
+            neighbor_idx: 0,
+            neighbors: g.neighbors(root).map(|(nb, _)| nb).collect(),
+        }];
+        disc[root] = timer;
+        low[root] = timer;
+        timer += 1;
+        while let Some(frame) = stack.last_mut() {
+            if frame.neighbor_idx < frame.neighbors.len() {
+                let nb = frame.neighbors[frame.neighbor_idx];
+                frame.neighbor_idx += 1;
+                if disc[nb] == usize::MAX {
+                    frame.child_count += 1;
+                    let v = frame.v;
+                    disc[nb] = timer;
+                    low[nb] = timer;
+                    timer += 1;
+                    stack.push(Frame {
+                        v: nb,
+                        parent: Some(v),
+                        child_count: 0,
+                        neighbor_idx: 0,
+                        neighbors: g.neighbors(nb).map(|(x, _)| x).collect(),
+                    });
+                } else if Some(nb) != frame.parent {
+                    let v = frame.v;
+                    low[v] = low[v].min(disc[nb]);
+                }
+            } else {
+                let done = stack.pop().expect("last_mut guaranteed an element");
+                if let Some(p) = done.parent {
+                    low[p] = low[p].min(low[done.v]);
+                    // Non-root rule: p is a cut vertex if some child's
+                    // subtree cannot reach above p.
+                    let p_is_root = stack.len() == 1 && stack[0].v == p && stack[0].parent.is_none();
+                    if !p_is_root && low[done.v] >= disc[p] {
+                        is_cut[p] = true;
+                    }
+                }
+                // Root rule: ≥ 2 DFS children.
+                if done.parent.is_none() && done.child_count >= 2 {
+                    is_cut[done.v] = true;
+                }
+            }
+        }
+    }
+    (0..n).filter(|&v| is_cut[v]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, Rng as _, SeedableRng as _};
+
+    /// Brute force: v is a cut vertex iff removing it increases the
+    /// component count among the remaining vertices.
+    fn brute(g: &Graph) -> Vec<usize> {
+        let n = g.vertex_count();
+        let components = |skip: Option<usize>| -> usize {
+            let mut seen = vec![false; n];
+            if let Some(s) = skip {
+                seen[s] = true;
+            }
+            let mut count = 0;
+            for start in 0..n {
+                if seen[start] {
+                    continue;
+                }
+                count += 1;
+                let mut stack = vec![start];
+                seen[start] = true;
+                while let Some(v) = stack.pop() {
+                    for (nb, _) in g.neighbors(v) {
+                        if !seen[nb] {
+                            seen[nb] = true;
+                            stack.push(nb);
+                        }
+                    }
+                }
+            }
+            count
+        };
+        let base = components(None);
+        (0..n)
+            .filter(|&v| {
+                // Removing v: base count loses v's own (possibly isolated)
+                // component contribution; compare against the remaining
+                // graph's natural count.
+                components(Some(v)) > base - if g.degree(v) == 0 { 1 } else { 0 }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn chain_interior_is_cut() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 1.0);
+        g.add_edge(2, 3, 1.0);
+        assert_eq!(articulation_points(&g), vec![1, 2]);
+    }
+
+    #[test]
+    fn cycle_has_no_cut() {
+        let mut g = Graph::new(4);
+        for v in 0..4 {
+            g.add_edge(v, (v + 1) % 4, 1.0);
+        }
+        assert!(articulation_points(&g).is_empty());
+    }
+
+    #[test]
+    fn star_center_is_cut() {
+        let mut g = Graph::new(5);
+        for v in 1..5 {
+            g.add_edge(0, v, 1.0);
+        }
+        assert_eq!(articulation_points(&g), vec![0]);
+    }
+
+    #[test]
+    fn bridge_between_cycles() {
+        // Two triangles joined by a bridge 2–3: both bridge endpoints cut.
+        let mut g = Graph::new(6);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 1.0);
+        g.add_edge(2, 0, 1.0);
+        g.add_edge(3, 4, 1.0);
+        g.add_edge(4, 5, 1.0);
+        g.add_edge(5, 3, 1.0);
+        g.add_edge(2, 3, 1.0);
+        assert_eq!(articulation_points(&g), vec![2, 3]);
+    }
+
+    #[test]
+    fn lone_edge_and_isolated() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 1.0);
+        assert!(articulation_points(&g).is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matches_brute_force(n in 1usize..14, seed in 0u64..400) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut g = Graph::new(n);
+            for u in 0..n {
+                for v in u + 1..n {
+                    if rng.gen_bool(0.3) {
+                        g.add_edge(u, v, 1.0);
+                    }
+                }
+            }
+            prop_assert_eq!(articulation_points(&g), brute(&g));
+        }
+    }
+}

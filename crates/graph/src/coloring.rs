@@ -1,0 +1,199 @@
+//! Graph coloring: greedy DSATUR and an exact small-instance solver.
+//!
+//! Used by the channel-assignment extension in `sag-core`: relays that
+//! would violate a subscriber's SNR when sharing a frequency are joined
+//! by a conflict edge, and a proper coloring of the conflict graph is a
+//! feasible channel plan.
+
+use crate::graph::Graph;
+
+/// Greedy DSATUR coloring: repeatedly colors the vertex with the highest
+/// *saturation* (number of distinct neighbour colors), breaking ties by
+/// degree. Returns one color index per vertex (colors are `0..k`).
+///
+/// DSATUR is exact on bipartite graphs and near-optimal on the sparse
+/// conflict graphs interference produces.
+///
+/// # Example
+/// ```
+/// use sag_graph::{coloring::dsatur, Graph};
+/// let mut g = Graph::new(3);
+/// g.add_edge(0, 1, 1.0);
+/// g.add_edge(1, 2, 1.0);
+/// let colors = dsatur(&g);
+/// assert_ne!(colors[0], colors[1]);
+/// assert_ne!(colors[1], colors[2]);
+/// ```
+pub fn dsatur(g: &Graph) -> Vec<usize> {
+    let n = g.vertex_count();
+    let mut color: Vec<Option<usize>> = vec![None; n];
+    for _ in 0..n {
+        // Pick the uncolored vertex with max saturation, then max degree.
+        let pick = (0..n)
+            .filter(|&v| color[v].is_none())
+            .max_by_key(|&v| {
+                let sat: std::collections::BTreeSet<usize> = g
+                    .neighbors(v)
+                    .filter_map(|(nb, _)| color[nb])
+                    .collect();
+                (sat.len(), g.degree(v), std::cmp::Reverse(v))
+            })
+            .expect("loop bounded by n");
+        let used: std::collections::BTreeSet<usize> =
+            g.neighbors(pick).filter_map(|(nb, _)| color[nb]).collect();
+        let c = (0..).find(|c| !used.contains(c)).expect("infinite color supply");
+        color[pick] = Some(c);
+    }
+    color.into_iter().map(|c| c.expect("all vertices colored")).collect()
+}
+
+/// Number of colors a coloring uses.
+pub fn color_count(colors: &[usize]) -> usize {
+    colors.iter().max().map_or(0, |&m| m + 1)
+}
+
+/// Checks that `colors` is a proper coloring of `g`.
+pub fn is_proper(g: &Graph, colors: &[usize]) -> bool {
+    if colors.len() != g.vertex_count() {
+        return false;
+    }
+    g.edges().iter().all(|e| colors[e.u] != colors[e.v])
+}
+
+/// Exact chromatic number by branch and bound (small graphs only; used
+/// to validate DSATUR in tests).
+///
+/// # Panics
+/// Panics if the graph has more than 24 vertices.
+pub fn exact_chromatic_number(g: &Graph) -> usize {
+    let n = g.vertex_count();
+    assert!(n <= 24, "exact coloring supports at most 24 vertices, got {n}");
+    if n == 0 {
+        return 0;
+    }
+    let upper = color_count(&dsatur(g));
+    for k in 1..upper {
+        if colorable_with(g, k) {
+            return k;
+        }
+    }
+    upper
+}
+
+fn colorable_with(g: &Graph, k: usize) -> bool {
+    fn rec(g: &Graph, k: usize, colors: &mut Vec<Option<usize>>, v: usize) -> bool {
+        if v == g.vertex_count() {
+            return true;
+        }
+        // Symmetry breaking: vertex v may use at most (max used color + 1).
+        let max_used = colors.iter().flatten().copied().max().map_or(0, |m| m + 1);
+        for c in 0..k.min(max_used + 1) {
+            let ok = g.neighbors(v).all(|(nb, _)| colors[nb] != Some(c));
+            if ok {
+                colors[v] = Some(c);
+                if rec(g, k, colors, v + 1) {
+                    return true;
+                }
+                colors[v] = None;
+            }
+        }
+        false
+    }
+    let mut colors = vec![None; g.vertex_count()];
+    rec(g, k, &mut colors, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, Rng as _, SeedableRng as _};
+
+    #[test]
+    fn path_is_two_colorable() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 1.0);
+        g.add_edge(2, 3, 1.0);
+        let colors = dsatur(&g);
+        assert!(is_proper(&g, &colors));
+        assert_eq!(color_count(&colors), 2);
+        assert_eq!(exact_chromatic_number(&g), 2);
+    }
+
+    #[test]
+    fn odd_cycle_needs_three() {
+        let mut g = Graph::new(5);
+        for v in 0..5 {
+            g.add_edge(v, (v + 1) % 5, 1.0);
+        }
+        let colors = dsatur(&g);
+        assert!(is_proper(&g, &colors));
+        assert_eq!(color_count(&colors), 3);
+        assert_eq!(exact_chromatic_number(&g), 3);
+    }
+
+    #[test]
+    fn complete_graph_needs_n() {
+        let g = Graph::complete(5, |_, _| 1.0);
+        let colors = dsatur(&g);
+        assert!(is_proper(&g, &colors));
+        assert_eq!(color_count(&colors), 5);
+        assert_eq!(exact_chromatic_number(&g), 5);
+    }
+
+    #[test]
+    fn edgeless_graph_needs_one() {
+        let g = Graph::new(7);
+        let colors = dsatur(&g);
+        assert_eq!(color_count(&colors), 1);
+        assert_eq!(exact_chromatic_number(&g), 1);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::new(0);
+        assert!(dsatur(&g).is_empty());
+        assert_eq!(exact_chromatic_number(&g), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_dsatur_proper_and_bounded(n in 1usize..16, seed in 0u64..300) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut g = Graph::new(n);
+            let mut max_deg = 0usize;
+            for u in 0..n {
+                for v in u + 1..n {
+                    if rng.gen_bool(0.35) {
+                        g.add_edge(u, v, 1.0);
+                    }
+                }
+            }
+            for v in 0..n {
+                max_deg = max_deg.max(g.degree(v));
+            }
+            let colors = dsatur(&g);
+            prop_assert!(is_proper(&g, &colors));
+            // Greedy bound: Δ + 1 colors suffice.
+            prop_assert!(color_count(&colors) <= max_deg + 1);
+        }
+
+        #[test]
+        fn prop_dsatur_within_one_of_exact_on_small(n in 1usize..9, seed in 0u64..100) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut g = Graph::new(n);
+            for u in 0..n {
+                for v in u + 1..n {
+                    if rng.gen_bool(0.4) {
+                        g.add_edge(u, v, 1.0);
+                    }
+                }
+            }
+            let greedy = color_count(&dsatur(&g));
+            let exact = exact_chromatic_number(&g);
+            prop_assert!(greedy >= exact);
+            prop_assert!(greedy <= exact + 1, "DSATUR used {greedy} vs χ = {exact}");
+        }
+    }
+}

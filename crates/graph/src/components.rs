@@ -1,0 +1,155 @@
+//! Connected components and traversals.
+//!
+//! Zone Partition (Algorithm 2) builds a graph over subscribers whose
+//! effective interference distance is below `d_max` and takes its
+//! connected components as zones; this module supplies that step.
+
+use crate::graph::Graph;
+
+/// Connected components of `g`, each a sorted vertex list; components are
+/// ordered by their smallest vertex.
+///
+/// # Example
+/// ```
+/// use sag_graph::{components::connected_components, Graph};
+/// let mut g = Graph::new(5);
+/// g.add_edge(0, 1, 1.0);
+/// g.add_edge(3, 4, 1.0);
+/// let cc = connected_components(&g);
+/// assert_eq!(cc, vec![vec![0, 1], vec![2], vec![3, 4]]);
+/// ```
+pub fn connected_components(g: &Graph) -> Vec<Vec<usize>> {
+    let n = g.vertex_count();
+    let mut seen = vec![false; n];
+    let mut out = Vec::new();
+    for start in 0..n {
+        if seen[start] {
+            continue;
+        }
+        let mut comp = Vec::new();
+        let mut stack = vec![start];
+        seen[start] = true;
+        while let Some(v) = stack.pop() {
+            comp.push(v);
+            for (nb, _) in g.neighbors(v) {
+                if !seen[nb] {
+                    seen[nb] = true;
+                    stack.push(nb);
+                }
+            }
+        }
+        comp.sort_unstable();
+        out.push(comp);
+    }
+    out
+}
+
+/// Breadth-first order from `start` (including `start`); unreachable
+/// vertices are absent.
+///
+/// # Panics
+/// Panics if `start` is out of range.
+pub fn bfs_order(g: &Graph, start: usize) -> Vec<usize> {
+    assert!(start < g.vertex_count(), "start {start} out of range");
+    let mut seen = vec![false; g.vertex_count()];
+    let mut queue = std::collections::VecDeque::from([start]);
+    seen[start] = true;
+    let mut order = Vec::new();
+    while let Some(v) = queue.pop_front() {
+        order.push(v);
+        for (nb, _) in g.neighbors(v) {
+            if !seen[nb] {
+                seen[nb] = true;
+                queue.push_back(nb);
+            }
+        }
+    }
+    order
+}
+
+/// Returns `true` if the whole graph is one connected component
+/// (vacuously true for the empty graph).
+pub fn is_connected(g: &Graph) -> bool {
+    g.vertex_count() == 0 || connected_components(g).len() == 1
+}
+
+/// BFS hop distance from `start` to every vertex (`None` = unreachable).
+///
+/// # Panics
+/// Panics if `start` is out of range.
+pub fn hop_distances(g: &Graph, start: usize) -> Vec<Option<usize>> {
+    assert!(start < g.vertex_count(), "start {start} out of range");
+    let mut dist = vec![None; g.vertex_count()];
+    dist[start] = Some(0);
+    let mut queue = std::collections::VecDeque::from([start]);
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v].expect("queued vertices have distances");
+        for (nb, _) in g.neighbors(v) {
+            if dist[nb].is_none() {
+                dist[nb] = Some(dv + 1);
+                queue.push_back(nb);
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_islands() -> Graph {
+        let mut g = Graph::new(6);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 1.0);
+        g.add_edge(4, 5, 1.0);
+        g
+    }
+
+    #[test]
+    fn components_found() {
+        let cc = connected_components(&two_islands());
+        assert_eq!(cc, vec![vec![0, 1, 2], vec![3], vec![4, 5]]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        assert!(connected_components(&Graph::new(0)).is_empty());
+        assert!(is_connected(&Graph::new(0)));
+    }
+
+    #[test]
+    fn connectivity_predicate() {
+        assert!(!is_connected(&two_islands()));
+        let mut g = two_islands();
+        g.add_edge(2, 3, 1.0);
+        g.add_edge(3, 4, 1.0);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn bfs_order_starts_at_start() {
+        let g = two_islands();
+        let order = bfs_order(&g, 1);
+        assert_eq!(order[0], 1);
+        assert_eq!(order.len(), 3);
+        assert!(!order.contains(&4));
+    }
+
+    #[test]
+    fn hop_distance_values() {
+        let g = two_islands();
+        let d = hop_distances(&g, 0);
+        assert_eq!(d[0], Some(0));
+        assert_eq!(d[1], Some(1));
+        assert_eq!(d[2], Some(2));
+        assert_eq!(d[3], None);
+        assert_eq!(d[5], None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bfs_out_of_range_panics() {
+        bfs_order(&Graph::new(1), 1);
+    }
+}

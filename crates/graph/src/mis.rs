@@ -1,0 +1,205 @@
+//! Maximum independent set: min-degree greedy and exact branch-and-bound.
+//!
+//! The paper sketches an LCRA approximation "based on … maximum independent
+//! set": zone partitioning keeps inter-zone interference negligible, and an
+//! independent set of the interference graph identifies subscribers that
+//! can be treated in isolation. The greedy variant is used at scale; the
+//! exact solver validates it on small instances.
+
+use crate::graph::Graph;
+
+/// Greedy independent set by repeatedly taking a minimum-degree vertex and
+/// removing its neighbourhood. Returns a sorted vertex list.
+///
+/// Guaranteed maximal (no vertex can be added), not necessarily maximum.
+///
+/// # Example
+/// ```
+/// use sag_graph::{mis::greedy_mis, Graph};
+/// let mut g = Graph::new(3);
+/// g.add_edge(0, 1, 1.0);
+/// g.add_edge(1, 2, 1.0);
+/// assert_eq!(greedy_mis(&g), vec![0, 2]);
+/// ```
+pub fn greedy_mis(g: &Graph) -> Vec<usize> {
+    let n = g.vertex_count();
+    let mut alive = vec![true; n];
+    let mut degree: Vec<usize> = (0..n)
+        .map(|v| g.neighbors(v).filter(|&(nb, _)| nb != v).count())
+        .collect();
+    let mut picked = Vec::new();
+    while let Some(v) = (0..n).filter(|&v| alive[v]).min_by_key(|&v| degree[v]) {
+        picked.push(v);
+        alive[v] = false;
+        for (nb, _) in g.neighbors(v) {
+            if alive[nb] {
+                alive[nb] = false;
+                for (nb2, _) in g.neighbors(nb) {
+                    if alive[nb2] {
+                        degree[nb2] = degree[nb2].saturating_sub(1);
+                    }
+                }
+            }
+        }
+    }
+    picked.sort_unstable();
+    picked
+}
+
+/// Exact maximum independent set by branch and bound.
+///
+/// Intended for small instances (≲ 30 vertices); used in tests and the
+/// ablation bench to measure the greedy gap.
+///
+/// # Panics
+/// Panics if the graph has more than 63 vertices (bitmask representation).
+pub fn exact_mis(g: &Graph) -> Vec<usize> {
+    let n = g.vertex_count();
+    assert!(n <= 63, "exact_mis supports at most 63 vertices, got {n}");
+    if n == 0 {
+        return Vec::new();
+    }
+    let masks: Vec<u64> = (0..n)
+        .map(|v| {
+            let mut m = 0u64;
+            for (nb, _) in g.neighbors(v) {
+                m |= 1 << nb;
+            }
+            m
+        })
+        .collect();
+
+    fn solve(remaining: u64, masks: &[u64], best_so_far: &mut u32, chosen: u64, best_set: &mut u64) {
+        let count = chosen.count_ones();
+        let upper = count + remaining.count_ones();
+        if upper <= *best_so_far {
+            return;
+        }
+        if remaining == 0 {
+            if count > *best_so_far {
+                *best_so_far = count;
+                *best_set = chosen;
+            }
+            return;
+        }
+        // Branch on the lowest remaining vertex: either include it (and
+        // drop its neighbourhood) or exclude it.
+        let v = remaining.trailing_zeros() as usize;
+        let vbit = 1u64 << v;
+        solve(remaining & !vbit & !masks[v], masks, best_so_far, chosen | vbit, best_set);
+        solve(remaining & !vbit, masks, best_so_far, chosen, best_set);
+    }
+
+    let mut best = 0u32;
+    let mut best_set = 0u64;
+    let all = if n == 63 { u64::MAX >> 1 } else { (1u64 << n) - 1 };
+    solve(all, &masks, &mut best, 0, &mut best_set);
+    (0..n).filter(|&v| best_set & (1 << v) != 0).collect()
+}
+
+/// Checks that `set` is an independent set of `g`.
+pub fn is_independent(g: &Graph, set: &[usize]) -> bool {
+    let mark: std::collections::HashSet<usize> = set.iter().copied().collect();
+    for &v in set {
+        for (nb, _) in g.neighbors(v) {
+            if mark.contains(&nb) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, Rng as _, SeedableRng as _};
+
+    #[test]
+    fn path_graph() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 1.0);
+        g.add_edge(2, 3, 1.0);
+        let exact = exact_mis(&g);
+        assert_eq!(exact.len(), 2);
+        assert!(is_independent(&g, &exact));
+        let greedy = greedy_mis(&g);
+        assert!(is_independent(&g, &greedy));
+        assert_eq!(greedy.len(), 2);
+    }
+
+    #[test]
+    fn star_graph() {
+        let mut g = Graph::new(5);
+        for v in 1..5 {
+            g.add_edge(0, v, 1.0);
+        }
+        assert_eq!(exact_mis(&g).len(), 4);
+        assert_eq!(greedy_mis(&g).len(), 4);
+    }
+
+    #[test]
+    fn edgeless_graph_takes_all() {
+        let g = Graph::new(6);
+        assert_eq!(exact_mis(&g).len(), 6);
+        assert_eq!(greedy_mis(&g).len(), 6);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::new(0);
+        assert!(exact_mis(&g).is_empty());
+        assert!(greedy_mis(&g).is_empty());
+    }
+
+    #[test]
+    fn complete_graph_takes_one() {
+        let g = Graph::complete(5, |_, _| 1.0);
+        assert_eq!(exact_mis(&g).len(), 1);
+        assert_eq!(greedy_mis(&g).len(), 1);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_greedy_independent_and_maximal(n in 1usize..20, seed in 0u64..400) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut g = Graph::new(n);
+            for u in 0..n {
+                for v in u + 1..n {
+                    if rng.gen_bool(0.3) {
+                        g.add_edge(u, v, 1.0);
+                    }
+                }
+            }
+            let s = greedy_mis(&g);
+            prop_assert!(is_independent(&g, &s));
+            // Maximality: every vertex outside s has a neighbour in s.
+            let in_s: std::collections::HashSet<usize> = s.iter().copied().collect();
+            for v in 0..n {
+                if !in_s.contains(&v) {
+                    let has = g.neighbors(v).any(|(nb, _)| in_s.contains(&nb));
+                    prop_assert!(has, "vertex {} could be added", v);
+                }
+            }
+        }
+
+        #[test]
+        fn prop_exact_at_least_greedy(n in 1usize..14, seed in 0u64..200) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut g = Graph::new(n);
+            for u in 0..n {
+                for v in u + 1..n {
+                    if rng.gen_bool(0.4) {
+                        g.add_edge(u, v, 1.0);
+                    }
+                }
+            }
+            let e = exact_mis(&g);
+            let s = greedy_mis(&g);
+            prop_assert!(is_independent(&g, &e));
+            prop_assert!(e.len() >= s.len());
+        }
+    }
+}

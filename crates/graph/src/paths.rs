@@ -1,0 +1,195 @@
+//! Shortest paths (Dijkstra).
+//!
+//! Used for relay-chain bookkeeping on the upper tier: hop-weighted
+//! shortest paths from coverage relays to their base stations, and for
+//! sanity checks of the steinerized MBMC topology.
+
+use crate::graph::Graph;
+
+/// Result of a single-source Dijkstra run.
+#[derive(Debug, Clone)]
+pub struct ShortestPaths {
+    /// `dist[v]` is the weighted distance from the source (`None` if `v`
+    /// is unreachable).
+    pub dist: Vec<Option<f64>>,
+    /// `prev[v]` is the predecessor of `v` on a shortest path.
+    pub prev: Vec<Option<usize>>,
+    source: usize,
+}
+
+/// Runs Dijkstra from `source` over non-negative edge weights.
+///
+/// # Panics
+/// Panics if `source` is out of range or the graph contains a negative
+/// edge weight.
+///
+/// # Example
+/// ```
+/// use sag_graph::{paths::dijkstra, Graph};
+/// let mut g = Graph::new(3);
+/// g.add_edge(0, 1, 1.0);
+/// g.add_edge(1, 2, 2.0);
+/// g.add_edge(0, 2, 5.0);
+/// let sp = dijkstra(&g, 0);
+/// assert_eq!(sp.dist[2], Some(3.0));
+/// assert_eq!(sp.path_to(2), Some(vec![0, 1, 2]));
+/// ```
+pub fn dijkstra(g: &Graph, source: usize) -> ShortestPaths {
+    let n = g.vertex_count();
+    assert!(source < n, "source {source} out of range for {n} vertices");
+    for e in g.edges() {
+        assert!(e.weight >= 0.0, "Dijkstra requires non-negative weights, got {}", e.weight);
+    }
+    let mut dist: Vec<Option<f64>> = vec![None; n];
+    let mut prev: Vec<Option<usize>> = vec![None; n];
+
+    #[derive(PartialEq)]
+    struct Item(f64, usize);
+    impl Eq for Item {}
+    impl PartialOrd for Item {
+        fn partial_cmp(&self, o: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(o))
+        }
+    }
+    impl Ord for Item {
+        fn cmp(&self, o: &Self) -> std::cmp::Ordering {
+            o.0.partial_cmp(&self.0).expect("finite distances")
+        }
+    }
+
+    let mut heap = std::collections::BinaryHeap::new();
+    dist[source] = Some(0.0);
+    heap.push(Item(0.0, source));
+    while let Some(Item(d, v)) = heap.pop() {
+        if dist[v].is_none_or(|best| d > best) {
+            continue;
+        }
+        for (nb, w) in g.neighbors(v) {
+            let cand = d + w;
+            if dist[nb].is_none_or(|best| cand < best) {
+                dist[nb] = Some(cand);
+                prev[nb] = Some(v);
+                heap.push(Item(cand, nb));
+            }
+        }
+    }
+    ShortestPaths { dist, prev, source }
+}
+
+impl ShortestPaths {
+    /// Reconstructs the vertex path from the source to `target`
+    /// (inclusive), or `None` if unreachable.
+    ///
+    /// # Panics
+    /// Panics if `target` is out of range.
+    pub fn path_to(&self, target: usize) -> Option<Vec<usize>> {
+        assert!(target < self.dist.len(), "target {target} out of range");
+        self.dist[target]?;
+        let mut path = vec![target];
+        let mut cur = target;
+        while cur != self.source {
+            cur = self.prev[cur].expect("reachable vertices have predecessors");
+            path.push(cur);
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, Rng as _, SeedableRng as _};
+
+    #[test]
+    fn straight_line() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 1.0);
+        g.add_edge(2, 3, 1.0);
+        let sp = dijkstra(&g, 0);
+        assert_eq!(sp.dist[3], Some(3.0));
+        assert_eq!(sp.path_to(3).unwrap(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn shortcut_chosen() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 10.0);
+        g.add_edge(0, 2, 1.0);
+        g.add_edge(2, 1, 1.0);
+        let sp = dijkstra(&g, 0);
+        assert_eq!(sp.dist[1], Some(2.0));
+        assert_eq!(sp.path_to(1).unwrap(), vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 1.0);
+        let sp = dijkstra(&g, 0);
+        assert_eq!(sp.dist[2], None);
+        assert!(sp.path_to(2).is_none());
+    }
+
+    #[test]
+    fn source_path_is_trivial() {
+        let g = Graph::new(1);
+        let sp = dijkstra(&g, 0);
+        assert_eq!(sp.dist[0], Some(0.0));
+        assert_eq!(sp.path_to(0).unwrap(), vec![0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_weight_panics() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 1, -1.0);
+        dijkstra(&g, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_triangle_inequality_on_dists(n in 2usize..20, seed in 0u64..300) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut g = Graph::new(n);
+            for v in 1..n {
+                let u = rng.gen_range(0..v);
+                g.add_edge(u, v, rng.gen_range(0.1..10.0));
+            }
+            let sp = dijkstra(&g, 0);
+            // Every edge (u,v): dist[v] <= dist[u] + w.
+            for e in g.edges() {
+                let (du, dv) = (sp.dist[e.u].unwrap(), sp.dist[e.v].unwrap());
+                prop_assert!(dv <= du + e.weight + 1e-9);
+                prop_assert!(du <= dv + e.weight + 1e-9);
+            }
+        }
+
+        #[test]
+        fn prop_path_length_matches_dist(n in 2usize..15, seed in 0u64..300) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut g = Graph::new(n);
+            for v in 1..n {
+                let u = rng.gen_range(0..v);
+                g.add_edge(u, v, rng.gen_range(0.1..10.0));
+            }
+            let sp = dijkstra(&g, 0);
+            for t in 0..n {
+                let path = sp.path_to(t).unwrap();
+                let mut len = 0.0;
+                for w in path.windows(2) {
+                    // Find the cheapest edge between consecutive vertices.
+                    let best = g
+                        .neighbors(w[0])
+                        .filter(|&(nb, _)| nb == w[1])
+                        .map(|(_, wt)| wt)
+                        .fold(f64::INFINITY, f64::min);
+                    len += best;
+                }
+                prop_assert!((len - sp.dist[t].unwrap()).abs() < 1e-9);
+            }
+        }
+    }
+}

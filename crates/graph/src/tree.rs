@@ -1,0 +1,218 @@
+//! Rooted trees.
+//!
+//! MBMC returns a spanning tree rooted at a base station; UCPO walks each
+//! coverage relay's path toward the root to set per-hop powers. This module
+//! gives that tree a convenient indexed form.
+
+use crate::graph::Graph;
+use crate::mst::SpanningTree;
+
+/// A rooted tree over vertices `0..n` with parent pointers.
+///
+/// # Example
+/// ```
+/// use sag_graph::{Graph, mst, RootedTree};
+/// let mut g = Graph::new(3);
+/// g.add_edge(0, 1, 1.0);
+/// g.add_edge(1, 2, 1.0);
+/// let t = mst::prim(&g, 0).unwrap();
+/// let rt = RootedTree::from_spanning_tree(&t, 0, 3);
+/// assert_eq!(rt.parent(2), Some(1));
+/// assert_eq!(rt.path_to_root(2), vec![2, 1, 0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RootedTree {
+    root: usize,
+    parent: Vec<Option<usize>>,
+    children: Vec<Vec<usize>>,
+    depth: Vec<usize>,
+}
+
+impl RootedTree {
+    /// Builds a rooted tree from a [`SpanningTree`] over `n` vertices.
+    ///
+    /// The spanning tree's edges may be in any orientation; they are
+    /// re-rooted at `root` by BFS.
+    ///
+    /// # Panics
+    /// Panics if `root >= n`, an edge endpoint is out of range, or the
+    /// edges do not form a spanning tree of the vertices reachable from
+    /// `root` (i.e. a cycle or disconnection is detected).
+    pub fn from_spanning_tree(tree: &SpanningTree, root: usize, n: usize) -> Self {
+        assert!(root < n, "root {root} out of range for {n} vertices");
+        let mut g = Graph::new(n);
+        for e in &tree.edges {
+            g.add_edge(e.u, e.v, e.weight);
+        }
+        let mut parent = vec![None; n];
+        let mut depth = vec![0usize; n];
+        let mut children = vec![Vec::new(); n];
+        let mut seen = vec![false; n];
+        seen[root] = true;
+        let mut queue = std::collections::VecDeque::from([root]);
+        let mut visited = 0usize;
+        while let Some(v) = queue.pop_front() {
+            visited += 1;
+            for (nb, _) in g.neighbors(v) {
+                if !seen[nb] {
+                    seen[nb] = true;
+                    parent[nb] = Some(v);
+                    depth[nb] = depth[v] + 1;
+                    children[v].push(nb);
+                    queue.push_back(nb);
+                }
+            }
+        }
+        assert_eq!(
+            visited,
+            tree.edges.len() + 1,
+            "edges do not form a tree reachable from the root"
+        );
+        RootedTree { root, parent, children, depth }
+    }
+
+    /// The root vertex.
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
+    /// Parent of `v` (`None` for the root and for vertices outside the
+    /// tree).
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    pub fn parent(&self, v: usize) -> Option<usize> {
+        self.parent[v]
+    }
+
+    /// Children of `v`.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    pub fn children(&self, v: usize) -> &[usize] {
+        &self.children[v]
+    }
+
+    /// Depth of `v` (root = 0). Vertices outside the tree report 0;
+    /// check [`RootedTree::contains`] first when that matters.
+    pub fn depth(&self, v: usize) -> usize {
+        self.depth[v]
+    }
+
+    /// Returns `true` if `v` is the root or has a parent (i.e. is in the
+    /// tree).
+    pub fn contains(&self, v: usize) -> bool {
+        v == self.root || self.parent[v].is_some()
+    }
+
+    /// The path from `v` up to the root, inclusive on both ends.
+    ///
+    /// # Panics
+    /// Panics if `v` is not in the tree.
+    pub fn path_to_root(&self, v: usize) -> Vec<usize> {
+        assert!(self.contains(v), "vertex {v} is not in the tree");
+        let mut path = vec![v];
+        let mut cur = v;
+        while let Some(p) = self.parent[cur] {
+            path.push(p);
+            cur = p;
+        }
+        path
+    }
+
+    /// Vertices in BFS order from the root.
+    pub fn bfs_order(&self) -> Vec<usize> {
+        let mut order = Vec::new();
+        let mut queue = std::collections::VecDeque::from([self.root]);
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            queue.extend(self.children[v].iter().copied());
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Edge;
+
+    fn chain_tree() -> SpanningTree {
+        SpanningTree {
+            edges: vec![
+                Edge { u: 0, v: 1, weight: 1.0 },
+                Edge { u: 1, v: 2, weight: 1.0 },
+                Edge { u: 2, v: 3, weight: 1.0 },
+            ],
+            total_weight: 3.0,
+        }
+    }
+
+    #[test]
+    fn parents_and_depths() {
+        let rt = RootedTree::from_spanning_tree(&chain_tree(), 0, 4);
+        assert_eq!(rt.root(), 0);
+        assert_eq!(rt.parent(0), None);
+        assert_eq!(rt.parent(3), Some(2));
+        assert_eq!(rt.depth(3), 3);
+        assert_eq!(rt.children(1), &[2]);
+    }
+
+    #[test]
+    fn reroot_mid_chain() {
+        let rt = RootedTree::from_spanning_tree(&chain_tree(), 2, 4);
+        assert_eq!(rt.parent(3), Some(2));
+        assert_eq!(rt.parent(1), Some(2));
+        assert_eq!(rt.parent(0), Some(1));
+        assert_eq!(rt.depth(0), 2);
+    }
+
+    #[test]
+    fn path_to_root() {
+        let rt = RootedTree::from_spanning_tree(&chain_tree(), 0, 4);
+        assert_eq!(rt.path_to_root(3), vec![3, 2, 1, 0]);
+        assert_eq!(rt.path_to_root(0), vec![0]);
+    }
+
+    #[test]
+    fn bfs_order_visits_all() {
+        let rt = RootedTree::from_spanning_tree(&chain_tree(), 1, 4);
+        let order = rt.bfs_order();
+        assert_eq!(order.len(), 4);
+        assert_eq!(order[0], 1);
+    }
+
+    #[test]
+    fn contains_checks_membership() {
+        // Tree over vertices 0..3 embedded in a 5-vertex space.
+        let t = SpanningTree {
+            edges: vec![
+                Edge { u: 0, v: 1, weight: 1.0 },
+                Edge { u: 1, v: 2, weight: 1.0 },
+            ],
+            total_weight: 2.0,
+        };
+        let rt = RootedTree::from_spanning_tree(&t, 0, 5);
+        assert!(rt.contains(2));
+        assert!(!rt.contains(4));
+    }
+
+    #[test]
+    #[should_panic]
+    fn disconnected_edges_panic() {
+        let t = SpanningTree {
+            edges: vec![Edge { u: 2, v: 3, weight: 1.0 }],
+            total_weight: 1.0,
+        };
+        // Root 0 cannot reach edge (2,3): not a tree from this root.
+        RootedTree::from_spanning_tree(&t, 0, 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn path_outside_tree_panics() {
+        let t = SpanningTree { edges: vec![], total_weight: 0.0 };
+        let rt = RootedTree::from_spanning_tree(&t, 0, 2);
+        rt.path_to_root(1);
+    }
+}

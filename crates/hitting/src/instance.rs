@@ -1,0 +1,202 @@
+//! Hitting-set instances over families of disks.
+
+use sag_geom::{Circle, Point};
+
+/// A geometric hitting-set instance: a family of closed disks to be hit.
+///
+/// Candidate points are derived once at construction: every disk centre
+/// plus every pairwise boundary intersection point. Any optimal hitting
+/// set can be normalised onto these candidates (slide each chosen point
+/// until it is pinned by two disk boundaries, or centre it in its only
+/// disk), so searching the candidates loses nothing.
+#[derive(Debug, Clone)]
+pub struct DiskInstance {
+    disks: Vec<Circle>,
+    candidates: Vec<Point>,
+    /// `hits[c]` = indices of disks containing candidate `c`.
+    hits: Vec<Vec<usize>>,
+}
+
+impl DiskInstance {
+    /// Builds an instance and its candidate structure.
+    ///
+    /// # Panics
+    /// Panics if `disks` is empty (a hitting set of nothing is trivially
+    /// empty and callers should not ask).
+    pub fn new(disks: Vec<Circle>) -> Self {
+        assert!(!disks.is_empty(), "instance must contain at least one disk");
+        let mut candidates: Vec<Point> = disks.iter().map(|d| d.center).collect();
+        for (i, a) in disks.iter().enumerate() {
+            for b in disks.iter().skip(i + 1) {
+                candidates.extend(a.intersection_points(b));
+            }
+        }
+        // Deduplicate near-coincident candidates to keep the search small
+        // (expected-linear grid hashing; candidate counts grow as n²).
+        let dedup: Vec<Point> = sag_geom::point::dedup_points_grid(candidates, 1e-9);
+        let hits = dedup
+            .iter()
+            .map(|&p| {
+                disks
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, d)| d.contains(p).then_some(i))
+                    .collect()
+            })
+            .collect();
+        DiskInstance { disks, candidates: dedup, hits }
+    }
+
+    /// The disks of the instance.
+    pub fn disks(&self) -> &[Circle] {
+        &self.disks
+    }
+
+    /// The candidate points.
+    pub fn candidates(&self) -> &[Point] {
+        &self.candidates
+    }
+
+    /// Number of disks.
+    pub fn len(&self) -> usize {
+        self.disks.len()
+    }
+
+    /// Instances are never empty; provided for API completeness.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Disk indices hit by candidate `c`.
+    ///
+    /// # Panics
+    /// Panics if `c` is out of range.
+    pub fn hit_by(&self, c: usize) -> &[usize] {
+        &self.hits[c]
+    }
+
+    /// Returns `true` if the given points hit every disk.
+    pub fn is_hitting_set(&self, points: &[Point]) -> bool {
+        self.disks.iter().all(|d| points.iter().any(|&p| d.contains(p)))
+    }
+
+    /// Returns `true` if the given *candidate indices* hit every disk.
+    ///
+    /// # Panics
+    /// Panics if an index is out of range.
+    pub fn indices_hit_all(&self, chosen: &[usize]) -> bool {
+        let mut hit = vec![false; self.disks.len()];
+        for &c in chosen {
+            for &d in &self.hits[c] {
+                hit[d] = true;
+            }
+        }
+        hit.iter().all(|&h| h)
+    }
+
+    /// Materialises candidate indices into points.
+    ///
+    /// # Panics
+    /// Panics if an index is out of range.
+    pub fn points_of(&self, chosen: &[usize]) -> Vec<Point> {
+        chosen.iter().map(|&c| self.candidates[c]).collect()
+    }
+
+    /// Removes dominated candidates: candidate `a` is dominated by `b`
+    /// when `hit(a) ⊆ hit(b)` and `a ≠ b`. Returns the surviving
+    /// candidate indices (useful to shrink exact searches).
+    pub fn non_dominated_candidates(&self) -> Vec<usize> {
+        let sets: Vec<std::collections::BTreeSet<usize>> = self
+            .hits
+            .iter()
+            .map(|h| h.iter().copied().collect())
+            .collect();
+        (0..self.candidates.len())
+            .filter(|&a| {
+                !(0..self.candidates.len()).any(|b| {
+                    b != a
+                        && sets[a].is_subset(&sets[b])
+                        && (sets[a] != sets[b] || b < a)
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(x: f64, y: f64, r: f64) -> Circle {
+        Circle::new(Point::new(x, y), r)
+    }
+
+    #[test]
+    fn candidates_include_centres_and_crossings() {
+        let inst = DiskInstance::new(vec![c(0.0, 0.0, 2.0), c(2.0, 0.0, 2.0)]);
+        // 2 centres + 2 crossing points.
+        assert_eq!(inst.candidates().len(), 4);
+        assert_eq!(inst.len(), 2);
+    }
+
+    #[test]
+    fn hit_structure() {
+        let inst = DiskInstance::new(vec![c(0.0, 0.0, 2.0), c(2.0, 0.0, 2.0)]);
+        // Centre of disk 0 hits both? distance 2 from (2,0) → on boundary → contained.
+        let idx_center0 = inst
+            .candidates()
+            .iter()
+            .position(|p| p.approx_eq(Point::new(0.0, 0.0)))
+            .unwrap();
+        let hits = inst.hit_by(idx_center0);
+        assert!(hits.contains(&0) && hits.contains(&1));
+    }
+
+    #[test]
+    fn hitting_set_predicates() {
+        let inst = DiskInstance::new(vec![c(0.0, 0.0, 1.0), c(10.0, 0.0, 1.0)]);
+        assert!(!inst.is_hitting_set(&[Point::new(0.0, 0.0)]));
+        assert!(inst.is_hitting_set(&[Point::new(0.0, 0.0), Point::new(10.0, 0.0)]));
+    }
+
+    #[test]
+    fn indices_hit_all_matches_points() {
+        let inst = DiskInstance::new(vec![c(0.0, 0.0, 2.0), c(1.0, 0.0, 2.0)]);
+        for set in [vec![0], vec![1], vec![0, 1]] {
+            assert_eq!(
+                inst.indices_hit_all(&set),
+                inst.is_hitting_set(&inst.points_of(&set))
+            );
+        }
+    }
+
+    #[test]
+    fn dedup_candidates() {
+        // Coincident circles produce coincident centres → dedup to one.
+        let inst = DiskInstance::new(vec![c(0.0, 0.0, 1.0), c(0.0, 0.0, 2.0)]);
+        let centres = inst
+            .candidates()
+            .iter()
+            .filter(|p| p.approx_eq(Point::ORIGIN))
+            .count();
+        assert_eq!(centres, 1);
+    }
+
+    #[test]
+    fn non_dominated_pruning() {
+        // Candidate hitting both disks dominates ones hitting a single disk.
+        let inst = DiskInstance::new(vec![c(0.0, 0.0, 2.0), c(2.0, 0.0, 2.0)]);
+        let nd = inst.non_dominated_candidates();
+        assert!(!nd.is_empty());
+        // Every surviving candidate hits both disks (since such exist here).
+        for &cand in &nd {
+            assert_eq!(inst.hit_by(cand).len(), 2);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_instance_panics() {
+        DiskInstance::new(Vec::new());
+    }
+}

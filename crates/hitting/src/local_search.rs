@@ -1,0 +1,243 @@
+//! Mustafa–Ray-style local search for geometric hitting set.
+//!
+//! Mustafa & Ray (SCG'09) proved that `b`-swap local search on hitting
+//! sets of pseudo-disks is a PTAS: for swap size `b = O(1/ε²)` the local
+//! optimum is within `(1+ε)` of the minimum. The paper's SAMC adopts that
+//! PTAS for Step 4. This implementation starts from the greedy solution
+//! and applies swaps of size up to `b` (replace `k ≤ b` chosen points by
+//! `k − 1` candidates) until no swap improves — the canonical form of the
+//! algorithm.
+
+use crate::greedy::greedy_hitting_set_indices;
+use crate::instance::DiskInstance;
+use sag_geom::Point;
+
+/// Configuration for the local search.
+#[derive(Debug, Clone, Copy)]
+pub struct LocalSearchConfig {
+    /// Maximum swap size `b` (remove up to `b`, insert up to `b − 1`).
+    /// The PTAS guarantee improves with `b`; runtime grows as
+    /// `n^{O(b)}`. `b = 2` or `3` is the practical sweet spot.
+    pub swap_size: usize,
+    /// Hard cap on improvement rounds (safety valve; the search strictly
+    /// shrinks the solution each round so it terminates on its own).
+    pub max_rounds: usize,
+}
+
+impl Default for LocalSearchConfig {
+    fn default() -> Self {
+        LocalSearchConfig { swap_size: 3, max_rounds: 64 }
+    }
+}
+
+/// Local-search hitting set with the default configuration.
+///
+/// # Example
+/// ```
+/// use sag_geom::{Circle, Point};
+/// use sag_hitting::{local_search::local_search_hitting_set, DiskInstance};
+/// let inst = DiskInstance::new(vec![
+///     Circle::new(Point::new(0.0, 0.0), 2.0),
+///     Circle::new(Point::new(1.0, 0.0), 2.0),
+/// ]);
+/// let hs = local_search_hitting_set(&inst);
+/// assert!(inst.is_hitting_set(&hs));
+/// ```
+pub fn local_search_hitting_set(inst: &DiskInstance) -> Vec<Point> {
+    local_search_with(inst, LocalSearchConfig::default())
+        .into_iter()
+        .map(|c| inst.candidates()[c])
+        .collect()
+}
+
+/// Local-search hitting set with explicit configuration; returns candidate
+/// indices.
+///
+/// # Panics
+/// Panics if `config.swap_size == 0`.
+pub fn local_search_with(inst: &DiskInstance, config: LocalSearchConfig) -> Vec<usize> {
+    assert!(config.swap_size >= 1, "swap size must be ≥ 1");
+    let mut current = greedy_hitting_set_indices(inst);
+    for _ in 0..config.max_rounds {
+        match improve_once(inst, &current, config.swap_size) {
+            Some(next) => current = next,
+            None => break,
+        }
+    }
+    current
+}
+
+/// Tries one improving swap: remove `k` chosen points and re-cover the
+/// disks they exclusively hit with `k − 1` candidates. Returns the
+/// improved solution, or `None` at a local optimum.
+fn improve_once(inst: &DiskInstance, current: &[usize], b: usize) -> Option<Vec<usize>> {
+    // Fast path: try dropping a single redundant point (k = 1 swap).
+    for skip in 0..current.len() {
+        let rest: Vec<usize> = current
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &c)| (i != skip).then_some(c))
+            .collect();
+        if inst.indices_hit_all(&rest) {
+            return Some(rest);
+        }
+    }
+    let all_cands: Vec<usize> = (0..inst.candidates().len()).collect();
+    // k-swaps for k = 2..=b: remove k, add k−1.
+    for k in 2..=b.min(current.len()) {
+        let removals = combinations(current.len(), k);
+        for removal in removals {
+            let rest: Vec<usize> = current
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &c)| (!removal.contains(&i)).then_some(c))
+                .collect();
+            // Disks uncovered after removal.
+            let mut hit = vec![false; inst.len()];
+            for &c in &rest {
+                for &d in inst.hit_by(c) {
+                    hit[d] = true;
+                }
+            }
+            let unhit: Vec<usize> = (0..inst.len()).filter(|&d| !hit[d]).collect();
+            if unhit.is_empty() {
+                return Some(rest); // removal alone suffices (stronger than a swap)
+            }
+            // Candidates that help at all.
+            let helpful: Vec<usize> = all_cands
+                .iter()
+                .copied()
+                .filter(|&c| inst.hit_by(c).iter().any(|&d| unhit.contains(&d)))
+                .collect();
+            if let Some(adds) = cover_with_at_most(inst, &unhit, &helpful, k - 1) {
+                let mut next = rest;
+                next.extend(adds);
+                debug_assert!(inst.indices_hit_all(&next));
+                return Some(next);
+            }
+        }
+    }
+    None
+}
+
+/// Exhaustively searches for ≤ `limit` candidates covering all `unhit`
+/// disks (tiny instances: `limit ≤ b − 1 ≤ 2` in practice).
+fn cover_with_at_most(
+    inst: &DiskInstance,
+    unhit: &[usize],
+    helpful: &[usize],
+    limit: usize,
+) -> Option<Vec<usize>> {
+    if unhit.is_empty() {
+        return Some(Vec::new());
+    }
+    if limit == 0 {
+        return None;
+    }
+    // Branch on the first unhit disk.
+    let d = unhit[0];
+    for &c in helpful {
+        if inst.hit_by(c).contains(&d) {
+            let rest: Vec<usize> = unhit
+                .iter()
+                .copied()
+                .filter(|&u| !inst.hit_by(c).contains(&u))
+                .collect();
+            if let Some(mut tail) = cover_with_at_most(inst, &rest, helpful, limit - 1) {
+                tail.push(c);
+                return Some(tail);
+            }
+        }
+    }
+    None
+}
+
+/// All k-element index combinations of `0..n` (small `k` only).
+fn combinations(n: usize, k: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::with_capacity(k);
+    fn rec(start: usize, n: usize, k: usize, cur: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if cur.len() == k {
+            out.push(cur.clone());
+            return;
+        }
+        for i in start..n {
+            cur.push(i);
+            rec(i + 1, n, k, cur, out);
+            cur.pop();
+        }
+    }
+    rec(0, n, k, &mut cur, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exact_hitting_set;
+    use crate::greedy::greedy_hitting_set;
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, Rng as _, SeedableRng as _};
+    use sag_geom::Circle;
+
+    fn c(x: f64, y: f64, r: f64) -> Circle {
+        Circle::new(Point::new(x, y), r)
+    }
+
+    #[test]
+    fn combinations_counts() {
+        assert_eq!(combinations(4, 2).len(), 6);
+        assert_eq!(combinations(3, 3).len(), 1);
+        assert_eq!(combinations(3, 0).len(), 1);
+    }
+
+    #[test]
+    fn local_search_valid_and_no_worse_than_greedy() {
+        let disks: Vec<Circle> = vec![
+            c(0.0, 0.0, 3.0),
+            c(4.0, 0.0, 3.0),
+            c(8.0, 0.0, 3.0),
+            c(12.0, 0.0, 3.0),
+            c(2.0, 4.0, 3.0),
+        ];
+        let inst = DiskInstance::new(disks);
+        let g = greedy_hitting_set(&inst);
+        let l = local_search_hitting_set(&inst);
+        assert!(inst.is_hitting_set(&l));
+        assert!(l.len() <= g.len());
+    }
+
+    #[test]
+    fn single_disk() {
+        let inst = DiskInstance::new(vec![c(0.0, 0.0, 1.0)]);
+        assert_eq!(local_search_hitting_set(&inst).len(), 1);
+    }
+
+    #[test]
+    fn redundant_point_dropped() {
+        // Greedy may pick a point for a cluster then another point that
+        // retroactively covers it; the k=1 drop should clean up. Build a
+        // case where local search definitely equals the optimum 1.
+        let inst = DiskInstance::new(vec![c(0.0, 0.0, 5.0), c(1.0, 0.0, 5.0), c(0.5, 1.0, 5.0)]);
+        assert_eq!(local_search_hitting_set(&inst).len(), 1);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(30))]
+        #[test]
+        fn prop_local_between_exact_and_greedy(seed in 0u64..150, n in 1usize..10) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let disks: Vec<Circle> = (0..n)
+                .map(|_| c(rng.gen_range(-40.0..40.0), rng.gen_range(-40.0..40.0),
+                           rng.gen_range(4.0..18.0)))
+                .collect();
+            let inst = DiskInstance::new(disks);
+            let e = exact_hitting_set(&inst);
+            let l = local_search_hitting_set(&inst);
+            let g = greedy_hitting_set(&inst);
+            prop_assert!(inst.is_hitting_set(&l));
+            prop_assert!(e.len() <= l.len());
+            prop_assert!(l.len() <= g.len());
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Error types for the LP/ILP solvers.
+
+use std::error::Error;
+use std::fmt;
+
+/// Reasons an LP/ILP solve can fail to produce an optimum.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LpError {
+    /// The feasible region is empty.
+    Infeasible,
+    /// The objective is unbounded over the feasible region.
+    Unbounded,
+    /// The iteration limit was hit (numerical trouble; should not occur
+    /// on the well-scaled problems this workspace generates).
+    IterationLimit,
+    /// The problem is malformed (e.g. a constraint references a variable
+    /// that does not exist). The payload describes the defect.
+    Malformed(String),
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::Infeasible => write!(f, "problem is infeasible"),
+            LpError::Unbounded => write!(f, "objective is unbounded"),
+            LpError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
+            LpError::Malformed(why) => write!(f, "malformed problem: {why}"),
+        }
+    }
+}
+
+impl Error for LpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(LpError::Infeasible.to_string(), "problem is infeasible");
+        assert_eq!(LpError::Unbounded.to_string(), "objective is unbounded");
+        assert!(LpError::Malformed("x".into()).to_string().contains('x'));
+        assert!(!LpError::IterationLimit.to_string().is_empty());
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn Error> = Box::new(LpError::Infeasible);
+        assert!(e.source().is_none());
+    }
+}

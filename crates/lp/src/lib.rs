@@ -1,0 +1,40 @@
+//! # sag-lp — linear programming and branch-and-bound ILP
+//!
+//! A self-contained dense two-phase simplex solver plus a binary/integer
+//! branch-and-bound layer. This crate is the reproduction's substitute for
+//! **Gurobi 5.0**, which the paper uses for its ILPQC (coverage with
+//! quadratic SNR constraints, §III-A.1) and LPQC (power minimisation,
+//! §III-A.2) benchmark formulations:
+//!
+//! * the LPQC becomes a true LP once the SS→RS assignment is fixed (the
+//!   SNR constraint (3.9) is linear in the power vector), solved directly
+//!   by [`LpProblem::solve`];
+//! * the ILPQC is solved exactly in `sag-core` by combinatorial
+//!   branch-and-bound whose lower bounds come from this crate's LP
+//!   relaxation of the set-cover subproblem.
+//!
+//! # Example
+//!
+//! ```
+//! use sag_lp::{LpProblem, Relation};
+//!
+//! // min x + 2y  s.t.  x + y ≥ 3,  y ≤ 2,  x,y ≥ 0.
+//! let mut lp = LpProblem::minimize(2);
+//! lp.set_objective(&[1.0, 2.0]);
+//! lp.add_constraint(&[(0, 1.0), (1, 1.0)], Relation::Ge, 3.0);
+//! lp.add_constraint(&[(1, 1.0)], Relation::Le, 2.0);
+//! let sol = lp.solve().unwrap();
+//! assert!((sol.objective - 3.0).abs() < 1e-9); // x = 3, y = 0
+//! ```
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod error;
+pub mod ilp;
+pub mod problem;
+pub mod simplex;
+
+pub use error::LpError;
+pub use ilp::{IlpProblem, IlpSolution};
+pub use problem::{LpProblem, LpSolution, LpSolutionDetailed, Relation};

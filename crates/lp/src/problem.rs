@@ -1,0 +1,661 @@
+//! User-facing LP modelling: sparse rows, ≤/≥/=, variable bounds.
+//!
+//! [`LpProblem`] converts itself to the equality standard form consumed by
+//! [`crate::simplex`]: variables are shifted by their lower bounds, finite
+//! upper bounds become extra `≤` rows, inequality rows gain slack/surplus
+//! columns, and right-hand sides are made non-negative by row negation.
+
+// Building dense rows/columns is index arithmetic by nature.
+#![allow(clippy::needless_range_loop)]
+
+use crate::error::LpError;
+use crate::simplex::{solve_standard, StandardForm};
+
+/// Relation of a linear constraint row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Relation {
+    /// `≤ rhs`
+    Le,
+    /// `≥ rhs`
+    Ge,
+    /// `= rhs`
+    Eq,
+}
+
+#[derive(Debug, Clone)]
+struct Row {
+    coeffs: Vec<(usize, f64)>,
+    rel: Relation,
+    rhs: f64,
+}
+
+/// A linear program in natural (modeller's) form.
+///
+/// Variables are indexed `0..n`; default bounds are `[0, +inf)`.
+///
+/// # Example
+/// ```
+/// use sag_lp::{LpProblem, Relation};
+/// // max x + y  s.t.  x ≤ 1, y ≤ 2   (as min of the negation)
+/// let mut lp = LpProblem::maximize(2);
+/// lp.set_objective(&[1.0, 1.0]);
+/// lp.add_constraint(&[(0, 1.0)], Relation::Le, 1.0);
+/// lp.add_constraint(&[(1, 1.0)], Relation::Le, 2.0);
+/// let sol = lp.solve().unwrap();
+/// assert!((sol.objective - 3.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LpProblem {
+    n: usize,
+    minimize: bool,
+    objective: Vec<f64>,
+    rows: Vec<Row>,
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+}
+
+/// An optimal LP solution.
+#[derive(Debug, Clone)]
+pub struct LpSolution {
+    /// The optimal objective value, in the problem's own sense
+    /// (maximisation problems report the maximum).
+    pub objective: f64,
+    /// Optimal variable values.
+    pub x: Vec<f64>,
+}
+
+/// An optimal LP solution with sensitivity information.
+#[derive(Debug, Clone)]
+pub struct LpSolutionDetailed {
+    /// The optimal objective value, in the problem's own sense.
+    pub objective: f64,
+    /// Optimal variable values.
+    pub x: Vec<f64>,
+    /// Shadow price of each *inequality* constraint row, in input order:
+    /// the derivative of the optimal objective with respect to that
+    /// row's right-hand side. `None` for equality rows (their duals are
+    /// not recovered by this solver).
+    pub duals: Vec<Option<f64>>,
+    /// Reduced cost of each variable in the internal minimisation sense
+    /// (zero for basic variables).
+    pub reduced_costs: Vec<f64>,
+}
+
+impl LpProblem {
+    /// Creates a minimisation problem with `n` variables (zero objective).
+    pub fn minimize(n: usize) -> Self {
+        LpProblem {
+            n,
+            minimize: true,
+            objective: vec![0.0; n],
+            rows: Vec::new(),
+            lower: vec![0.0; n],
+            upper: vec![f64::INFINITY; n],
+        }
+    }
+
+    /// Creates a maximisation problem with `n` variables (zero objective).
+    pub fn maximize(n: usize) -> Self {
+        let mut p = Self::minimize(n);
+        p.minimize = false;
+        p
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.n
+    }
+
+    /// Number of constraint rows.
+    pub fn num_constraints(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Sets the full objective vector.
+    ///
+    /// # Panics
+    /// Panics if `coeffs.len() != num_vars()` or any coefficient is not
+    /// finite.
+    pub fn set_objective(&mut self, coeffs: &[f64]) -> &mut Self {
+        assert_eq!(coeffs.len(), self.n, "objective length mismatch");
+        assert!(coeffs.iter().all(|c| c.is_finite()), "objective must be finite");
+        self.objective.copy_from_slice(coeffs);
+        self
+    }
+
+    /// Sets a single objective coefficient.
+    ///
+    /// # Panics
+    /// Panics if `var` is out of range or `coeff` is not finite.
+    pub fn set_objective_coeff(&mut self, var: usize, coeff: f64) -> &mut Self {
+        assert!(var < self.n, "variable {var} out of range");
+        assert!(coeff.is_finite(), "objective coefficient must be finite");
+        self.objective[var] = coeff;
+        self
+    }
+
+    /// Adds a sparse constraint `Σ coeff·x rel rhs`.
+    ///
+    /// # Panics
+    /// Panics if a variable index is out of range or a value is not
+    /// finite.
+    pub fn add_constraint(&mut self, coeffs: &[(usize, f64)], rel: Relation, rhs: f64) -> &mut Self {
+        for &(v, c) in coeffs {
+            assert!(v < self.n, "constraint references variable {v}, have {}", self.n);
+            assert!(c.is_finite(), "constraint coefficient must be finite");
+        }
+        assert!(rhs.is_finite(), "rhs must be finite");
+        self.rows.push(Row { coeffs: coeffs.to_vec(), rel, rhs });
+        self
+    }
+
+    /// Sets bounds `lo ≤ x_var ≤ hi` (either side may be infinite; `lo`
+    /// must be finite for this solver).
+    ///
+    /// # Panics
+    /// Panics if `var` out of range, `lo` not finite, `lo > hi`, or `hi`
+    /// is NaN.
+    pub fn set_bounds(&mut self, var: usize, lo: f64, hi: f64) -> &mut Self {
+        assert!(var < self.n, "variable {var} out of range");
+        assert!(lo.is_finite(), "lower bound must be finite (got {lo})");
+        assert!(!hi.is_nan() && lo <= hi, "invalid bounds [{lo}, {hi}]");
+        self.lower[var] = lo;
+        self.upper[var] = hi;
+        self
+    }
+
+    /// Solves the problem.
+    ///
+    /// # Errors
+    /// [`LpError::Infeasible`] / [`LpError::Unbounded`] /
+    /// [`LpError::IterationLimit`] from the simplex core.
+    pub fn solve(&self) -> Result<LpSolution, LpError> {
+        let d = self.solve_detailed()?;
+        Ok(LpSolution { objective: d.objective, x: d.x })
+    }
+
+    /// Solves the problem and additionally recovers shadow prices
+    /// (inequality-row duals) and reduced costs.
+    ///
+    /// Strong duality is property-tested: on an optimal solution,
+    /// `objective == Σ duals_i · rhs_i + Σ bound contributions` for the
+    /// tight rows. Equality-row duals are reported as `None`.
+    ///
+    /// # Errors
+    /// As [`LpProblem::solve`].
+    pub fn solve_detailed(&self) -> Result<LpSolutionDetailed, LpError> {
+        // Shift x = lower + x'. Build rows over x' ≥ 0.
+        let n = self.n;
+        let mut rows: Vec<(Vec<f64>, Relation, f64)> = Vec::new();
+        let mut row_scales: Vec<f64> = Vec::with_capacity(self.rows.len());
+        for row in &self.rows {
+            let mut dense = vec![0.0; n];
+            let mut shift = 0.0;
+            for &(v, c) in &row.coeffs {
+                dense[v] += c;
+                shift += c * self.lower[v];
+            }
+            let mut rhs = row.rhs - shift;
+            // Equilibrate: physical models (e.g. path-loss gains) mix
+            // coefficient magnitudes across ~15 orders; normalising each
+            // row by its largest coefficient keeps the tableau pivots
+            // well-scaled.
+            let scale = dense.iter().fold(0.0f64, |m, c| m.max(c.abs()));
+            if scale > 0.0 {
+                for c in dense.iter_mut() {
+                    *c /= scale;
+                }
+                rhs /= scale;
+            }
+            row_scales.push(if scale > 0.0 { scale } else { 1.0 });
+            rows.push((dense, row.rel, rhs));
+        }
+        // Finite upper bounds become x'_v ≤ hi − lo.
+        for v in 0..n {
+            if self.upper[v].is_finite() {
+                let mut dense = vec![0.0; n];
+                dense[v] = 1.0;
+                rows.push((dense, Relation::Le, self.upper[v] - self.lower[v]));
+            }
+        }
+
+        // Count slack columns.
+        let n_slack = rows.iter().filter(|(_, rel, _)| *rel != Relation::Eq).count();
+        let total = n + n_slack;
+        let mut a: Vec<Vec<f64>> = Vec::with_capacity(rows.len());
+        let mut b: Vec<f64> = Vec::with_capacity(rows.len());
+        let mut slack_idx = n;
+        // (slack column, relation, negated) per row — user rows first,
+        // then the synthesised upper-bound rows; only the user rows feed
+        // the dual recovery.
+        let mut row_meta: Vec<(Option<usize>, Relation, bool)> = Vec::with_capacity(rows.len());
+        for (dense, rel, rhs) in rows {
+            let mut full = vec![0.0; total];
+            full[..n].copy_from_slice(&dense);
+            let mut rhs = rhs;
+            let slack_col = match rel {
+                Relation::Le => {
+                    full[slack_idx] = 1.0;
+                    slack_idx += 1;
+                    Some(slack_idx - 1)
+                }
+                Relation::Ge => {
+                    full[slack_idx] = -1.0;
+                    slack_idx += 1;
+                    Some(slack_idx - 1)
+                }
+                Relation::Eq => None,
+            };
+            let mut negated = false;
+            if rhs < 0.0 {
+                for c in full.iter_mut() {
+                    *c = -*c;
+                }
+                rhs = -rhs;
+                negated = true;
+            }
+            row_meta.push((slack_col, rel, negated));
+            a.push(full);
+            b.push(rhs);
+        }
+
+        let mut c = vec![0.0; total];
+        for v in 0..n {
+            c[v] = if self.minimize { self.objective[v] } else { -self.objective[v] };
+        }
+
+        let sol = solve_standard(&StandardForm { a, b, c })?;
+        let x: Vec<f64> = (0..n).map(|v| sol.x[v] + self.lower[v]).collect();
+        let objective: f64 = self.objective.iter().zip(&x).map(|(c, v)| c * v).sum();
+
+        // Dual recovery for the user's inequality rows: the reduced cost
+        // of a row's slack/surplus column encodes its dual in the
+        // internal minimisation. A Ge surplus (−1 coefficient) yields
+        // rc = +y; a Le slack (+1) yields rc = −y; row negation flips the
+        // coefficient and hence the sign; row scaling by k makes the
+        // recovered dual k-times the user row's (y_user = y_scaled / k);
+        // maximisation flips once more so the reported value is always
+        // dObjective/d rhs in the problem's own sense.
+        let sense = if self.minimize { 1.0 } else { -1.0 };
+        let duals: Vec<Option<f64>> = self
+            .rows
+            .iter()
+            .enumerate()
+            .map(|(i, _)| {
+                let (slack_col, rel, negated) = row_meta[i];
+                let col = slack_col?;
+                let rc = sol.reduced_costs[col];
+                let mut y = match rel {
+                    Relation::Ge => rc,
+                    Relation::Le => -rc,
+                    Relation::Eq => unreachable!("Eq rows have no slack"),
+                };
+                if negated {
+                    y = -y;
+                }
+                Some(sense * y / row_scales[i])
+            })
+            .collect();
+
+        Ok(LpSolutionDetailed {
+            objective,
+            x,
+            duals,
+            reduced_costs: sol.reduced_costs[..n].to_vec(),
+        })
+    }
+
+    /// Returns the objective coefficients.
+    pub fn objective(&self) -> &[f64] {
+        &self.objective
+    }
+
+    /// Returns `true` if this is a minimisation problem.
+    pub fn is_minimize(&self) -> bool {
+        self.minimize
+    }
+
+    /// Lower bound of a variable.
+    ///
+    /// # Panics
+    /// Panics if `var` is out of range.
+    pub fn lower_bound(&self, var: usize) -> f64 {
+        self.lower[var]
+    }
+
+    /// Upper bound of a variable.
+    ///
+    /// # Panics
+    /// Panics if `var` is out of range.
+    pub fn upper_bound(&self, var: usize) -> f64 {
+        self.upper[var]
+    }
+
+    /// Checks a candidate point against all constraints and bounds with
+    /// tolerance `tol`; returns the first violated row index, or `None`
+    /// if feasible. (Exposed for tests and for the ILP layer.)
+    pub fn first_violation(&self, x: &[f64], tol: f64) -> Option<usize> {
+        assert_eq!(x.len(), self.n, "point dimension mismatch");
+        for v in 0..self.n {
+            if x[v] < self.lower[v] - tol || x[v] > self.upper[v] + tol {
+                return Some(usize::MAX); // bound violation marker
+            }
+        }
+        for (i, row) in self.rows.iter().enumerate() {
+            let lhs: f64 = row.coeffs.iter().map(|&(v, c)| c * x[v]).sum();
+            let ok = match row.rel {
+                Relation::Le => lhs <= row.rhs + tol,
+                Relation::Ge => lhs >= row.rhs - tol,
+                Relation::Eq => (lhs - row.rhs).abs() <= tol,
+            };
+            if !ok {
+                return Some(i);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, Rng as _, SeedableRng as _};
+
+    #[test]
+    fn min_with_ge() {
+        // min x + 2y s.t. x + y ≥ 3, y ≤ 2.
+        let mut lp = LpProblem::minimize(2);
+        lp.set_objective(&[1.0, 2.0]);
+        lp.add_constraint(&[(0, 1.0), (1, 1.0)], Relation::Ge, 3.0);
+        lp.add_constraint(&[(1, 1.0)], Relation::Le, 2.0);
+        let s = lp.solve().unwrap();
+        assert!((s.objective - 3.0).abs() < 1e-9);
+        assert!((s.x[0] - 3.0).abs() < 1e-9);
+        assert!(s.x[1].abs() < 1e-9);
+    }
+
+    #[test]
+    fn maximize_reports_max() {
+        let mut lp = LpProblem::maximize(2);
+        lp.set_objective(&[3.0, 5.0]);
+        lp.add_constraint(&[(0, 1.0)], Relation::Le, 4.0);
+        lp.add_constraint(&[(1, 2.0)], Relation::Le, 12.0);
+        lp.add_constraint(&[(0, 3.0), (1, 2.0)], Relation::Le, 18.0);
+        let s = lp.solve().unwrap();
+        assert!((s.objective - 36.0).abs() < 1e-9);
+        assert!((s.x[0] - 2.0).abs() < 1e-9 && (s.x[1] - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn variable_bounds_respected() {
+        // min x with x ∈ [2, 5].
+        let mut lp = LpProblem::minimize(1);
+        lp.set_objective(&[1.0]);
+        lp.set_bounds(0, 2.0, 5.0);
+        let s = lp.solve().unwrap();
+        assert!((s.x[0] - 2.0).abs() < 1e-9);
+        // max hits the upper bound.
+        let mut lp = LpProblem::maximize(1);
+        lp.set_objective(&[1.0]);
+        lp.set_bounds(0, 2.0, 5.0);
+        let s = lp.solve().unwrap();
+        assert!((s.x[0] - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_lower_bound_shift() {
+        // min x with x ∈ [−3, ∞) and x ≥ −1 → optimum −1.
+        let mut lp = LpProblem::minimize(1);
+        lp.set_objective(&[1.0]);
+        lp.set_bounds(0, -3.0, f64::INFINITY);
+        lp.add_constraint(&[(0, 1.0)], Relation::Ge, -1.0);
+        let s = lp.solve().unwrap();
+        assert!((s.x[0] + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_rhs_normalised() {
+        // x ≤ −1 with x ∈ [−5, 0]: feasible, min −x → x = −1? No:
+        // min x → x = −5; max x → x = −1.
+        let mut lp = LpProblem::maximize(1);
+        lp.set_objective(&[1.0]);
+        lp.set_bounds(0, -5.0, 0.0);
+        lp.add_constraint(&[(0, 1.0)], Relation::Le, -1.0);
+        let s = lp.solve().unwrap();
+        assert!((s.x[0] + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x+y s.t. x + y = 4, x − y = 2 → (3,1).
+        let mut lp = LpProblem::minimize(2);
+        lp.set_objective(&[1.0, 1.0]);
+        lp.add_constraint(&[(0, 1.0), (1, 1.0)], Relation::Eq, 4.0);
+        lp.add_constraint(&[(0, 1.0), (1, -1.0)], Relation::Eq, 2.0);
+        let s = lp.solve().unwrap();
+        assert!((s.x[0] - 3.0).abs() < 1e-9);
+        assert!((s.x[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut lp = LpProblem::minimize(1);
+        lp.add_constraint(&[(0, 1.0)], Relation::Ge, 5.0);
+        lp.add_constraint(&[(0, 1.0)], Relation::Le, 1.0);
+        assert_eq!(lp.solve().unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut lp = LpProblem::maximize(1);
+        lp.set_objective(&[1.0]);
+        assert_eq!(lp.solve().unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn lpqc_shape_power_min() {
+        // A miniature of the paper's LPQC with a fixed assignment:
+        // two relays serving one SS each; coverage floors and an SNR-style
+        // cross constraint.
+        //   min P1 + P2
+        //   P1·g11 ≥ pss1          (coverage of SS1 by RS1)
+        //   P2·g22 ≥ pss2          (coverage of SS2 by RS2)
+        //   P1·g11 − β·P2·g21 ≥ 0  (SNR at SS1)
+        //   P2·g22 − β·P1·g12 ≥ 0  (SNR at SS2)
+        //   0 ≤ Pi ≤ pmax
+        let (g11, g22, g21, g12) = (1e-3, 1e-3, 1e-5, 1e-5);
+        let (pss1, pss2, beta, pmax) = (2e-4, 3e-4, 5.0, 1.0);
+        let mut lp = LpProblem::minimize(2);
+        lp.set_objective(&[1.0, 1.0]);
+        lp.set_bounds(0, 0.0, pmax);
+        lp.set_bounds(1, 0.0, pmax);
+        lp.add_constraint(&[(0, g11)], Relation::Ge, pss1);
+        lp.add_constraint(&[(1, g22)], Relation::Ge, pss2);
+        lp.add_constraint(&[(0, g11), (1, -beta * g21)], Relation::Ge, 0.0);
+        lp.add_constraint(&[(1, g22), (0, -beta * g12)], Relation::Ge, 0.0);
+        let s = lp.solve().unwrap();
+        assert!(lp.first_violation(&s.x, 1e-9).is_none());
+        // Coverage floors bind: P1 = 0.2, P2 = 0.3 (SNR slack at these).
+        assert!((s.x[0] - 0.2).abs() < 1e-6);
+        assert!((s.x[1] - 0.3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn first_violation_reports() {
+        let mut lp = LpProblem::minimize(2);
+        lp.add_constraint(&[(0, 1.0), (1, 1.0)], Relation::Le, 1.0);
+        assert_eq!(lp.first_violation(&[2.0, 0.0], 1e-9), Some(0));
+        assert_eq!(lp.first_violation(&[0.5, 0.4], 1e-9), None);
+        assert_eq!(lp.first_violation(&[-1.0, 0.0], 1e-9), Some(usize::MAX));
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_variable_index_panics() {
+        LpProblem::minimize(1).add_constraint(&[(1, 1.0)], Relation::Le, 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn inverted_bounds_panic() {
+        LpProblem::minimize(1).set_bounds(0, 2.0, 1.0);
+    }
+
+    proptest! {
+        /// Random bounded LPs: the solver's optimum must be feasible and
+        /// no random feasible point may beat it.
+        #[test]
+        fn prop_optimality_vs_random_points(seed in 0u64..300) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = rng.gen_range(1..4usize);
+            let m = rng.gen_range(1..4usize);
+            let mut lp = LpProblem::minimize(n);
+            let obj: Vec<f64> = (0..n).map(|_| rng.gen_range(-5.0..5.0)).collect();
+            lp.set_objective(&obj);
+            for v in 0..n {
+                lp.set_bounds(v, 0.0, rng.gen_range(0.5..10.0));
+            }
+            for _ in 0..m {
+                let coeffs: Vec<(usize, f64)> =
+                    (0..n).map(|v| (v, rng.gen_range(-3.0..3.0))).collect();
+                lp.add_constraint(&coeffs, Relation::Le, rng.gen_range(0.0..10.0));
+            }
+            match lp.solve() {
+                Ok(sol) => {
+                    prop_assert!(lp.first_violation(&sol.x, 1e-6).is_none());
+                    // Random feasible points cannot beat the optimum.
+                    for _ in 0..50 {
+                        let p: Vec<f64> = (0..n)
+                            .map(|v| rng.gen_range(0.0..=lp.upper_bound(v)))
+                            .collect();
+                        if lp.first_violation(&p, 1e-9).is_none() {
+                            let val: f64 = obj.iter().zip(&p).map(|(c, x)| c * x).sum();
+                            prop_assert!(val >= sol.objective - 1e-6,
+                                "random point {val} beat optimum {}", sol.objective);
+                        }
+                    }
+                }
+                Err(LpError::Infeasible) => {
+                    // Bounded box + Le rows: infeasibility only when a row
+                    // excludes the box entirely — possible; nothing to check.
+                }
+                Err(e) => prop_assert!(false, "unexpected error {e}"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod dual_tests {
+    use super::*;
+
+    #[test]
+    fn shadow_price_of_binding_row() {
+        // min x s.t. 2x ≥ 4 → x = 2, obj = 2, dual = dObj/dRhs = 0.5.
+        let mut lp = LpProblem::minimize(1);
+        lp.set_objective(&[1.0]);
+        lp.add_constraint(&[(0, 2.0)], Relation::Ge, 4.0);
+        let d = lp.solve_detailed().unwrap();
+        assert!((d.objective - 2.0).abs() < 1e-9);
+        let y = d.duals[0].unwrap();
+        assert!((y - 0.5).abs() < 1e-9, "dual {y}");
+    }
+
+    #[test]
+    fn slack_row_has_zero_dual() {
+        // min x s.t. x ≥ 1, x ≥ 0.2 (second row slack at optimum).
+        let mut lp = LpProblem::minimize(1);
+        lp.set_objective(&[1.0]);
+        lp.add_constraint(&[(0, 1.0)], Relation::Ge, 1.0);
+        lp.add_constraint(&[(0, 1.0)], Relation::Ge, 0.2);
+        let d = lp.solve_detailed().unwrap();
+        assert!((d.duals[0].unwrap() - 1.0).abs() < 1e-9);
+        assert!(d.duals[1].unwrap().abs() < 1e-9);
+    }
+
+    #[test]
+    fn maximisation_dual_sign() {
+        // max 3x s.t. x ≤ 5 → obj = 15, dObj/dRhs = 3.
+        let mut lp = LpProblem::maximize(1);
+        lp.set_objective(&[3.0]);
+        lp.add_constraint(&[(0, 1.0)], Relation::Le, 5.0);
+        let d = lp.solve_detailed().unwrap();
+        assert!((d.objective - 15.0).abs() < 1e-9);
+        assert!((d.duals[0].unwrap() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn strong_duality_on_production_lp() {
+        // Classic: max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18.
+        // Optimum 36 at (2, 6); duals: (0, 1.5, 1).
+        let mut lp = LpProblem::maximize(2);
+        lp.set_objective(&[3.0, 5.0]);
+        lp.add_constraint(&[(0, 1.0)], Relation::Le, 4.0);
+        lp.add_constraint(&[(1, 2.0)], Relation::Le, 12.0);
+        lp.add_constraint(&[(0, 3.0), (1, 2.0)], Relation::Le, 18.0);
+        let d = lp.solve_detailed().unwrap();
+        let y: Vec<f64> = d.duals.iter().map(|v| v.unwrap()).collect();
+        assert!(y[0].abs() < 1e-9);
+        assert!((y[1] - 1.5).abs() < 1e-9);
+        assert!((y[2] - 1.0).abs() < 1e-9);
+        // Strong duality: b'y = objective.
+        let by = 4.0 * y[0] + 12.0 * y[1] + 18.0 * y[2];
+        assert!((by - d.objective).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dual_sensitivity_matches_finite_difference() {
+        // Nudge a binding rhs and confirm the objective moves by ~dual·Δ.
+        let build = |rhs: f64| {
+            let mut lp = LpProblem::minimize(2);
+            lp.set_objective(&[2.0, 3.0]);
+            lp.add_constraint(&[(0, 1.0), (1, 1.0)], Relation::Ge, rhs);
+            lp.add_constraint(&[(1, 1.0)], Relation::Le, 2.0);
+            lp
+        };
+        let base = build(5.0).solve_detailed().unwrap();
+        let y = base.duals[0].unwrap();
+        let eps = 1e-3;
+        let bumped = build(5.0 + eps).solve_detailed().unwrap();
+        let fd = (bumped.objective - base.objective) / eps;
+        assert!((fd - y).abs() < 1e-6, "fd {fd} vs dual {y}");
+    }
+
+    #[test]
+    fn scaled_row_dual_unscaled_correctly() {
+        // Same geometry, wildly scaled coefficients: dual must match the
+        // unscaled twin.
+        let mut a = LpProblem::minimize(1);
+        a.set_objective(&[1.0]);
+        a.add_constraint(&[(0, 1.0)], Relation::Ge, 3.0);
+        let mut b = LpProblem::minimize(1);
+        b.set_objective(&[1.0]);
+        b.add_constraint(&[(0, 1e9)], Relation::Ge, 3e9);
+        let ya = a.solve_detailed().unwrap().duals[0].unwrap();
+        let yb = b.solve_detailed().unwrap().duals[0].unwrap();
+        // dObj/dRhs for row b is 1e-9 of row a's (its rhs is 1e9 larger).
+        assert!((ya - 1.0).abs() < 1e-9);
+        assert!((yb - 1e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn equality_rows_report_none() {
+        let mut lp = LpProblem::minimize(1);
+        lp.set_objective(&[1.0]);
+        lp.add_constraint(&[(0, 1.0)], Relation::Eq, 2.0);
+        let d = lp.solve_detailed().unwrap();
+        assert!(d.duals[0].is_none());
+    }
+
+    #[test]
+    fn reduced_costs_nonnegative_at_min_optimum() {
+        let mut lp = LpProblem::minimize(2);
+        lp.set_objective(&[1.0, 2.0]);
+        lp.add_constraint(&[(0, 1.0), (1, 1.0)], Relation::Ge, 3.0);
+        let d = lp.solve_detailed().unwrap();
+        for rc in &d.reduced_costs {
+            assert!(*rc >= -1e-9);
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Shannon capacity and the capacity↔distance reduction of §II.
+//!
+//! With constant thermal noise `N0` and fixed transmit power, the channel
+//! capacity `C = B·log₂(1 + Pr/N0)` is a strictly decreasing function of
+//! distance, so "SS `s_i` requests `b_i` bps" is equivalent to "SS `s_i`
+//! must be within distance `d_i` of its serving relay". These helpers
+//! compute both directions of that equivalence.
+
+use crate::tworay::TwoRay;
+
+/// Shannon capacity in bps for bandwidth `bandwidth` (Hz) and linear SNR
+/// `snr`: `C = B·log₂(1 + SNR)`.
+///
+/// # Panics
+/// Panics if `bandwidth < 0` or `snr < 0`.
+///
+/// # Example
+/// ```
+/// use sag_radio::capacity::shannon_capacity;
+/// assert_eq!(shannon_capacity(1.0e6, 1.0), 1.0e6); // log2(2) = 1
+/// ```
+pub fn shannon_capacity(bandwidth: f64, snr: f64) -> f64 {
+    assert!(bandwidth >= 0.0, "bandwidth must be ≥ 0, got {bandwidth}");
+    assert!(snr >= 0.0, "snr must be ≥ 0, got {snr}");
+    bandwidth * (1.0 + snr).log2()
+}
+
+/// Minimum linear SNR needed to carry `rate` bps over `bandwidth` Hz:
+/// the inverse Shannon relation `SNR = 2^{rate/B} − 1`.
+///
+/// # Panics
+/// Panics unless `rate >= 0` and `bandwidth > 0`.
+pub fn required_snr(rate: f64, bandwidth: f64) -> f64 {
+    assert!(rate >= 0.0, "rate must be ≥ 0, got {rate}");
+    assert!(bandwidth > 0.0, "bandwidth must be > 0, got {bandwidth}");
+    (rate / bandwidth).exp2() - 1.0
+}
+
+/// Channel capacity (bps) at distance `d` from a transmitter at power
+/// `pt`, over `bandwidth` Hz with thermal noise `n0`.
+///
+/// # Panics
+/// Panics if any argument is negative or `n0 == 0` (the noiseless channel
+/// has unbounded capacity).
+pub fn capacity_at_distance(model: &TwoRay, pt: f64, d: f64, bandwidth: f64, n0: f64) -> f64 {
+    assert!(n0 > 0.0, "thermal noise must be > 0 for a finite capacity, got {n0}");
+    let pr = model.received_power(pt, d);
+    shannon_capacity(bandwidth, pr / n0)
+}
+
+/// The paper's reduction: the maximum distance at which a transmitter at
+/// power `pt` can still deliver `rate` bps over `bandwidth` Hz with noise
+/// `n0`. This is the subscriber's *feasible distance* `d_i`.
+///
+/// # Panics
+/// Panics unless `pt > 0`, `rate > 0`, `bandwidth > 0` and `n0 > 0`.
+pub fn max_distance_for_rate(model: &TwoRay, pt: f64, rate: f64, bandwidth: f64, n0: f64) -> f64 {
+    assert!(pt > 0.0 && rate > 0.0 && bandwidth > 0.0 && n0 > 0.0, "all arguments must be > 0");
+    let snr = required_snr(rate, bandwidth);
+    let pr_min = snr * n0;
+    model.max_range(pt, pr_min)
+}
+
+/// Minimum received power for `rate` bps over `bandwidth` Hz with noise
+/// `n0` — the `P_ss` of constraint (3.8).
+///
+/// # Panics
+/// Panics unless `rate >= 0`, `bandwidth > 0` and `n0 >= 0`.
+pub fn min_received_power_for_rate(rate: f64, bandwidth: f64, n0: f64) -> f64 {
+    assert!(n0 >= 0.0, "noise must be ≥ 0, got {n0}");
+    required_snr(rate, bandwidth) * n0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn shannon_known_points() {
+        assert_eq!(shannon_capacity(1.0, 0.0), 0.0);
+        assert_eq!(shannon_capacity(2.0e6, 3.0), 4.0e6); // log2(4) = 2
+        assert_eq!(shannon_capacity(0.0, 100.0), 0.0);
+    }
+
+    #[test]
+    fn required_snr_inverts_shannon() {
+        for (rate, bw) in [(1.0e6, 1.0e6), (5.5e6, 2.0e6), (0.1e6, 1.0e6)] {
+            let snr = required_snr(rate, bw);
+            assert!((shannon_capacity(bw, snr) - rate).abs() / rate < 1e-9);
+        }
+        assert_eq!(required_snr(0.0, 1.0e6), 0.0);
+    }
+
+    #[test]
+    fn rate_distance_equivalence() {
+        let m = TwoRay::new(1.0, 3.0);
+        let (pt, rate, bw, n0) = (2.0, 3.0e6, 1.0e6, 1e-7);
+        let d = max_distance_for_rate(&m, pt, rate, bw, n0);
+        // At the feasible distance the rate is met with equality…
+        let c = capacity_at_distance(&m, pt, d, bw, n0);
+        assert!((c - rate).abs() / rate < 1e-9);
+        // …closer exceeds it, farther misses it.
+        assert!(capacity_at_distance(&m, pt, d * 0.9, bw, n0) > rate);
+        assert!(capacity_at_distance(&m, pt, d * 1.1, bw, n0) < rate);
+    }
+
+    #[test]
+    fn min_received_power_matches_reduction() {
+        let m = TwoRay::new(1.0, 3.0);
+        let (pt, rate, bw, n0) = (1.0, 2.0e6, 1.0e6, 1e-7);
+        let pss = min_received_power_for_rate(rate, bw, n0);
+        let d = max_distance_for_rate(&m, pt, rate, bw, n0);
+        // Received power at the feasible distance equals P_ss.
+        assert!((m.received_power(pt, d) - pss).abs() / pss < 1e-9);
+    }
+
+    #[test]
+    fn higher_rate_shorter_distance() {
+        let m = TwoRay::default();
+        let d1 = max_distance_for_rate(&m, 1.0, 1.0e6, 1.0e6, 1e-7);
+        let d2 = max_distance_for_rate(&m, 1.0, 2.0e6, 1.0e6, 1e-7);
+        assert!(d2 < d1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_noise_capacity_panics() {
+        capacity_at_distance(&TwoRay::default(), 1.0, 10.0, 1.0e6, 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_bandwidth_required_snr_panics() {
+        required_snr(1.0, 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_capacity_monotone_in_snr(bw in 0.1..10.0f64, a in 0.0..100.0f64, b in 0.0..100.0f64) {
+            prop_assume!(a < b);
+            prop_assert!(shannon_capacity(bw, a) <= shannon_capacity(bw, b));
+        }
+
+        #[test]
+        fn prop_rate_distance_roundtrip(
+            pt in 0.1..10.0f64,
+            rate in 0.1e6..5.0e6f64,
+            bw in 0.5e6..2.0e6f64,
+            n0 in 1e-9..1e-5f64,
+        ) {
+            let m = TwoRay::new(1.0, 3.0);
+            let d = max_distance_for_rate(&m, pt, rate, bw, n0);
+            prop_assume!(d.is_finite() && d > TwoRay::NEAR_FIELD);
+            let c = capacity_at_distance(&m, pt, d, bw, n0);
+            prop_assert!((c - rate).abs() / rate < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Extension experiment: orthogonal channels vs SNR threshold.
+//!
+//! Where sliding runs out of geometry (the `snr_stress` cliff), frequency
+//! reuse keeps going: this sweep takes an SNR-*oblivious* distance-only
+//! placement (k = 1 greedy multicover with nearest assignment) and asks
+//! how many orthogonal channels `core::channels::assign_channels` needs
+//! to make it SNR-feasible as β tightens from the paper's −15 dB up to
+//! +12 dB.
+
+use sag_core::channels::{assign_channels, plan_is_feasible};
+use sag_core::kcover::{solve_k_coverage, KCoverStrategy};
+use sag_core::CoverageSolution;
+
+use crate::gen::ScenarioSpec;
+use crate::runner::{sweep_multi, SweepConfig};
+use crate::table::Table;
+
+/// Sweeps β at 20 users / 500×500, reporting the channels needed and the
+/// relay count of the underlying distance-only placement.
+pub fn channels(config: SweepConfig) -> Table {
+    let snrs: Vec<f64> = vec![-15.0, -9.0, -3.0, 0.0, 3.0, 6.0, 9.0, 12.0];
+    let series = sweep_multi(&snrs, 2, config, |snr, seed| {
+        let sc = ScenarioSpec {
+            field_size: 500.0,
+            n_subscribers: 20,
+            snr_db: snr,
+            ..Default::default()
+        }
+        .build(seed % 1000);
+        let Ok(kc) = solve_k_coverage(&sc, 1, KCoverStrategy::Greedy) else {
+            return vec![None, None];
+        };
+        let sol = CoverageSolution {
+            relays: kc.relays.clone(),
+            assignment: kc.primary_assignment(),
+        };
+        let plan = assign_channels(&sc, &sol);
+        debug_assert!(plan_is_feasible(&sc, &sol, &plan));
+        vec![Some(plan.n_channels as f64), Some(sol.n_relays() as f64)]
+    });
+    let mut t = Table::new(
+        "Extension: orthogonal channels needed vs SNR threshold — 500x500, 20 users",
+        "snr_db",
+        snrs,
+    );
+    let mut it = series.into_iter();
+    t.push_series("channels", it.next().expect("2 series"));
+    t.push_series("relays", it.next().expect("2 series"));
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channels_monotone_in_beta_and_bounded() {
+        let cfg = SweepConfig { runs: 2, base_seed: 17, threads: 4 };
+        let t = channels(cfg);
+        let ch = &t.series[0];
+        let relays = &t.series[1];
+        // One channel suffices at the paper's threshold; more are needed
+        // as β tightens; never more channels than relays.
+        assert_eq!(ch.cells[0].mean, Some(1.0));
+        let first = ch.cells[0].mean.unwrap();
+        let last = ch.cells.last().unwrap().mean.unwrap();
+        assert!(last >= first);
+        for (c, r) in ch.cells.iter().zip(&relays.cells) {
+            if let (Some(c), Some(r)) = (c.mean, r.mean) {
+                assert!(c <= r + 1e-9);
+            }
+        }
+    }
+}

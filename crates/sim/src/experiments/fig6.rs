@@ -1,0 +1,181 @@
+//! Fig. 6(a–d): tree-topology dumps for IAC+MBMC, GAC+MBMC, SAMC+MBMC
+//! and SAMC+MUST on one 600×600 scenario with four corner base stations.
+//!
+//! The paper shows scatter plots; this reproduction emits the same data
+//! as structured dumps (and CSV) so any plotting tool can redraw them.
+
+use sag_core::coverage::CoverageSolution;
+use sag_core::mbmc::{mbmc, must, ConnectivityPlan};
+use sag_core::model::Scenario;
+use sag_geom::Point;
+
+use crate::experiments::{gac_grid_for, run_gac, run_iac, run_samc};
+use crate::gen::{BsLayout, ScenarioSpec};
+
+/// A plotted topology: every station class plus the links.
+#[derive(Debug, Clone)]
+pub struct TopologyDump {
+    /// Plot title (e.g. `"SAMC+MBMC"`).
+    pub name: String,
+    /// Subscriber positions.
+    pub subscribers: Vec<Point>,
+    /// Base-station positions.
+    pub base_stations: Vec<Point>,
+    /// Coverage relay positions.
+    pub coverage_relays: Vec<Point>,
+    /// Connectivity relay positions.
+    pub connectivity_relays: Vec<Point>,
+    /// Relay-link segments.
+    pub links: Vec<(Point, Point)>,
+}
+
+impl TopologyDump {
+    fn from_parts(
+        name: &str,
+        scenario: &Scenario,
+        coverage: &CoverageSolution,
+        plan: &ConnectivityPlan,
+    ) -> Self {
+        TopologyDump {
+            name: name.to_string(),
+            subscribers: scenario.subscriber_positions(),
+            base_stations: scenario.base_station_positions(),
+            coverage_relays: coverage.relays.clone(),
+            connectivity_relays: plan.relays.clone(),
+            links: plan.links(),
+        }
+    }
+
+    /// Renders the dump as a point/segment listing (the textual analogue
+    /// of the paper's scatter plot).
+    pub fn to_text(&self) -> String {
+        let mut out = format!("-- {} --\n", self.name);
+        let section = |label: &str, pts: &[Point]| -> String {
+            let mut s = format!("{label} ({}):\n", pts.len());
+            for p in pts {
+                s.push_str(&format!("  {p}\n"));
+            }
+            s
+        };
+        out.push_str(&section("SS", &self.subscribers));
+        out.push_str(&section("BS", &self.base_stations));
+        out.push_str(&section("RS(cover)", &self.coverage_relays));
+        out.push_str(&section("RS(connect)", &self.connectivity_relays));
+        out.push_str(&format!("links ({}):\n", self.links.len()));
+        for (a, b) in &self.links {
+            out.push_str(&format!("  {a} -> {b}\n"));
+        }
+        out
+    }
+
+    /// CSV with one row per entity: `kind,x,y,x2,y2` (`x2/y2` only for
+    /// links).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("kind,x,y,x2,y2\n");
+        let mut push = |kind: &str, p: &Point| {
+            out.push_str(&format!("{kind},{:.3},{:.3},,\n", p.x, p.y));
+        };
+        for p in &self.subscribers {
+            push("ss", p);
+        }
+        for p in &self.base_stations {
+            push("bs", p);
+        }
+        for p in &self.coverage_relays {
+            push("rs_cover", p);
+        }
+        for p in &self.connectivity_relays {
+            push("rs_connect", p);
+        }
+        for (a, b) in &self.links {
+            out.push_str(&format!("link,{:.3},{:.3},{:.3},{:.3}\n", a.x, a.y, b.x, b.y));
+        }
+        out
+    }
+}
+
+/// The Fig. 6 scenario: 600×600 view, 30 subscribers, four corner BSs.
+pub fn fig6_scenario(seed: u64) -> Scenario {
+    ScenarioSpec {
+        field_size: 600.0,
+        n_subscribers: 30,
+        n_base_stations: 4,
+        snr_db: -15.0,
+        bs_layout: BsLayout::Corners,
+        ..Default::default()
+    }
+    .build(seed)
+}
+
+/// Produces the four panels. Panels whose lower-tier solver is
+/// infeasible on this seed are omitted (mirrors the paper's remark that
+/// IAC/GAC fail on some instances).
+pub fn fig6(seed: u64) -> Vec<TopologyDump> {
+    let sc = fig6_scenario(seed);
+    let mut dumps = Vec::new();
+    let combos: Vec<(&str, Option<CoverageSolution>)> = vec![
+        ("IAC+MBMC", run_iac(&sc)),
+        ("GAC+MBMC", run_gac(&sc, gac_grid_for(600.0))),
+        ("SAMC+MBMC", run_samc(&sc)),
+    ];
+    for (name, sol) in combos {
+        if let Some(sol) = sol {
+            if let Ok(plan) = mbmc(&sc, &sol) {
+                dumps.push(TopologyDump::from_parts(name, &sc, &sol, &plan));
+            }
+        }
+    }
+    // Panel (d): SAMC lower tier, MUST pinned to the first corner BS.
+    if let Some(sol) = run_samc(&sc) {
+        if let Ok(plan) = must(&sc, &sol, 0) {
+            dumps.push(TopologyDump::from_parts("SAMC+MUST", &sc, &sol, &plan));
+        }
+    }
+    dumps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6_produces_panels() {
+        // Use a smaller clone of the fig6 scenario for test speed.
+        let sc = ScenarioSpec {
+            field_size: 300.0,
+            n_subscribers: 6,
+            n_base_stations: 4,
+            bs_layout: BsLayout::Corners,
+            ..Default::default()
+        }
+        .build(11);
+        let sol = run_samc(&sc).expect("feasible");
+        let plan = mbmc(&sc, &sol).expect("connectable");
+        let dump = TopologyDump::from_parts("SAMC+MBMC", &sc, &sol, &plan);
+        assert_eq!(dump.subscribers.len(), 6);
+        assert_eq!(dump.base_stations.len(), 4);
+        assert!(!dump.coverage_relays.is_empty());
+        let text = dump.to_text();
+        assert!(text.contains("RS(cover)"));
+        let csv = dump.to_csv();
+        assert!(csv.starts_with("kind,x,y"));
+        assert!(csv.contains("rs_cover"));
+    }
+
+    #[test]
+    fn must_panel_reaches_single_bs() {
+        let sc = ScenarioSpec {
+            field_size: 300.0,
+            n_subscribers: 5,
+            n_base_stations: 4,
+            bs_layout: BsLayout::Corners,
+            ..Default::default()
+        }
+        .build(3);
+        let sol = run_samc(&sc).expect("feasible");
+        let pinned = must(&sc, &sol, 0).expect("feasible");
+        assert!(pinned.serving_bs.iter().all(|&b| b == 0));
+        let free = mbmc(&sc, &sol).expect("feasible");
+        assert!(free.n_relays() <= pinned.n_relays());
+    }
+}

@@ -1,0 +1,101 @@
+//! Fig. 7(a–c): total power of the full SAG pipeline vs the DARP
+//! baseline combined with each lower-tier solver (SAMC / IAC / GAC), on
+//! the 300, 500 and 800 fields.
+
+use sag_core::darp::darp;
+use sag_core::sag::run_sag;
+
+use crate::experiments::{gac_grid_for, run_gac, run_iac, run_samc};
+use crate::gen::ScenarioSpec;
+use crate::runner::{sweep_multi, SweepConfig};
+use crate::table::Table;
+
+/// User counts per field, as plotted in the paper.
+pub fn users_for_field(field: f64) -> Vec<usize> {
+    if field <= 300.0 {
+        vec![5, 10, 15, 20, 25, 30, 35, 40]
+    } else if field <= 500.0 {
+        vec![5, 10, 15, 20, 25, 30, 35, 40, 45, 50]
+    } else {
+        vec![20, 30, 40, 50, 60, 70]
+    }
+}
+
+fn spec(field: f64, users: usize) -> ScenarioSpec {
+    ScenarioSpec {
+        field_size: field,
+        n_subscribers: users,
+        snr_db: -15.0,
+        n_base_stations: 4,
+        ..Default::default()
+    }
+}
+
+/// One Fig. 7 panel for a field size.
+pub fn fig7(field: f64, config: SweepConfig) -> Table {
+    let users = users_for_field(field);
+    let grid = gac_grid_for(field);
+    let series = sweep_multi(&users, 4, config, |n, seed| {
+        let sc = spec(field, n).build(seed);
+        let sag_total = run_sag(&sc).ok().map(|r| r.power_summary().total);
+        let darp_of = |sol: Option<sag_core::CoverageSolution>| {
+            sol.and_then(|s| darp(&sc, &s, 0).ok()).map(|d| d.total_power())
+        };
+        vec![
+            sag_total,
+            darp_of(run_samc(&sc)),
+            darp_of(run_iac(&sc)),
+            darp_of(run_gac(&sc, grid)),
+        ]
+    });
+    let panel = if field <= 300.0 {
+        "(a)"
+    } else if field <= 500.0 {
+        "(b)"
+    } else {
+        "(c)"
+    };
+    let mut t = Table::new(
+        format!("Fig 7{panel} total power — {field:.0}x{field:.0}, SNR=-15dB"),
+        "users",
+        users.iter().map(|&u| u as f64).collect(),
+    );
+    let mut it = series.into_iter();
+    t.push_series("SAG", it.next().expect("4 series"));
+    t.push_series("SAMC+DARP", it.next().expect("4 series"));
+    t.push_series("IAC+DARP", it.next().expect("4 series"));
+    t.push_series("GAC+DARP", it.next().expect("4 series"));
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sag_beats_darp_baselines() {
+        let cfg = SweepConfig { runs: 1, base_seed: 5, threads: 4 };
+        // Small panel for test speed.
+        let users = [5usize, 10];
+        let series = sweep_multi(&users, 2, cfg, |n, seed| {
+            let sc = spec(300.0, n).build(seed);
+            let sag_total = run_sag(&sc).ok().map(|r| r.power_summary().total);
+            let darp_total = run_samc(&sc)
+                .and_then(|s| darp(&sc, &s, 0).ok())
+                .map(|d| d.total_power());
+            vec![sag_total, darp_total]
+        });
+        for (sag_cell, darp_cell) in series[0].iter().zip(&series[1]) {
+            if let (Some(s), Some(d)) = (sag_cell.mean, darp_cell.mean) {
+                assert!(s <= d + 1e-9, "SAG {s} must beat SAMC+DARP {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn user_grids_match_paper() {
+        assert_eq!(users_for_field(300.0).last(), Some(&40));
+        assert_eq!(users_for_field(500.0).last(), Some(&50));
+        assert_eq!(users_for_field(800.0).last(), Some(&70));
+    }
+}

@@ -1,0 +1,72 @@
+//! Extension experiment: MBMC edge-weight ablation.
+//!
+//! Algorithm 7 weighs tree edges by the pessimistic hop count
+//! `ceil(len/d_min) − 1`. Is that the right proxy for steiner-relay
+//! count? This sweep compares the paper's rule against the plain
+//! Euclidean MST and a per-node hop estimate, counting the connectivity
+//! relays each actually places after steinerization.
+
+use sag_core::mbmc::{mbmc_with_weights, WeightRule};
+
+use crate::experiments::run_samc;
+use crate::gen::ScenarioSpec;
+use crate::runner::{sweep_multi, SweepConfig};
+use crate::table::Table;
+
+/// Sweeps user counts on the 500-field, reporting connectivity relays
+/// per weight rule.
+pub fn mbmc_weights(config: SweepConfig) -> Table {
+    let users: Vec<usize> = vec![10, 20, 30, 40, 50];
+    let rules = [WeightRule::HopCountDmin, WeightRule::Euclidean, WeightRule::HopCountOwn];
+    let series = sweep_multi(&users, rules.len(), config, |n, seed| {
+        let sc = ScenarioSpec {
+            field_size: 500.0,
+            n_subscribers: n,
+            n_base_stations: 4,
+            snr_db: -15.0,
+            ..Default::default()
+        }
+        .build(seed);
+        match run_samc(&sc) {
+            Some(sol) => rules
+                .iter()
+                .map(|&rule| {
+                    mbmc_with_weights(&sc, &sol, rule)
+                        .ok()
+                        .map(|p| p.n_relays() as f64)
+                })
+                .collect(),
+            None => vec![None; rules.len()],
+        }
+    });
+    let mut t = Table::new(
+        "Extension: MBMC edge-weight ablation — connectivity RSs, 500x500, SNR=-15dB",
+        "users",
+        users.iter().map(|&u| u as f64).collect(),
+    );
+    let mut it = series.into_iter();
+    t.push_series("hop-count dmin (paper)", it.next().expect("3 series"));
+    t.push_series("euclidean", it.next().expect("3 series"));
+    t.push_series("hop-count own", it.next().expect("3 series"));
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablation_builds_and_rules_agree_roughly() {
+        let cfg = SweepConfig { runs: 1, base_seed: 13, threads: 4 };
+        let t = mbmc_weights(cfg);
+        assert_eq!(t.series.len(), 3);
+        for i in 0..t.xs.len() {
+            let vals: Vec<f64> = t.series.iter().filter_map(|s| s.cells[i].mean).collect();
+            if vals.len() == 3 {
+                let max = vals.iter().cloned().fold(0.0f64, f64::max);
+                let min = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+                assert!(max <= min * 2.0 + 4.0, "rules diverged at x={}: {vals:?}", t.xs[i]);
+            }
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! One module per paper artefact (§IV): Fig. 3(a–e) lower-tier coverage,
+//! Fig. 4/5(a–d) power & runtime & connectivity on the 500/800 fields,
+//! Fig. 6 topology dumps, Fig. 7(a–c) total power, Table II MBMC vs MUST.
+//!
+//! Shared solver wrappers live here: each returns `None` on
+//! infeasibility so sweeps can report the paper's "no feasible solution"
+//! regimes instead of failing.
+
+pub mod alpha_sweep;
+pub mod channels;
+pub mod fig3;
+pub mod fig45;
+pub mod fig6;
+pub mod fig7;
+pub mod mbmc_weights;
+pub mod scaling;
+pub mod snr_stress;
+pub mod table2;
+
+use sag_core::candidates::{gac_candidates, iac_candidates, prune_useless};
+use sag_core::coverage::CoverageSolution;
+use sag_core::ilpqc::{solve_ilpqc, IlpqcConfig};
+use sag_core::model::Scenario;
+use sag_core::samc::samc;
+
+/// Branch-and-bound budget for the ILPQC benchmark solvers; mirrors the
+/// paper's practice of capping Gurobi on larger instances.
+pub const ILPQC_NODE_LIMIT: usize = 20_000;
+
+/// The GAC grid size used for a field: the paper sets it "as small as
+/// possible" before the optimiser runs out of memory; `field/25` (20 on
+/// the 500-field, 32 on the 800-field) keeps candidate counts near the
+/// sizes the paper could still solve.
+pub fn gac_grid_for(field_size: f64) -> f64 {
+    (field_size / 25.0).max(10.0)
+}
+
+/// Lower-tier solve via SAMC; `None` on infeasibility.
+pub fn run_samc(scenario: &Scenario) -> Option<CoverageSolution> {
+    samc(scenario).ok()
+}
+
+/// Lower-tier solve via the ILPQC over IAC candidates.
+pub fn run_iac(scenario: &Scenario) -> Option<CoverageSolution> {
+    let cands = iac_candidates(scenario);
+    solve_ilpqc(scenario, &cands, IlpqcConfig { node_limit: ILPQC_NODE_LIMIT })
+        .ok()
+        .map(|o| o.solution)
+}
+
+/// Lower-tier solve via the ILPQC over GAC candidates with the given
+/// grid size.
+pub fn run_gac(scenario: &Scenario, grid_size: f64) -> Option<CoverageSolution> {
+    let cands = prune_useless(scenario, gac_candidates(scenario, grid_size));
+    if cands.is_empty() {
+        return None;
+    }
+    solve_ilpqc(scenario, &cands, IlpqcConfig { node_limit: ILPQC_NODE_LIMIT })
+        .ok()
+        .map(|o| o.solution)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::ScenarioSpec;
+    use sag_core::coverage::is_feasible;
+
+    fn small_spec() -> ScenarioSpec {
+        ScenarioSpec { n_subscribers: 6, field_size: 300.0, ..Default::default() }
+    }
+
+    #[test]
+    fn all_three_solvers_feasible_on_easy_case() {
+        let sc = small_spec().build(3);
+        for (name, sol) in [
+            ("samc", run_samc(&sc)),
+            ("iac", run_iac(&sc)),
+            ("gac", run_gac(&sc, gac_grid_for(300.0))),
+        ] {
+            let sol = sol.unwrap_or_else(|| panic!("{name} infeasible on easy case"));
+            assert!(is_feasible(&sc, &sol), "{name} returned infeasible placement");
+        }
+    }
+
+    #[test]
+    fn samc_no_worse_than_candidate_solvers() {
+        // The paper's headline Fig. 3 shape: SAMC ≤ IAC ≤ GAC (continuous
+        // sliding beats candidate-restricted optimisation). Check the
+        // weaker invariant SAMC ≤ GAC on a handful of seeds.
+        for seed in 0..3 {
+            let sc = small_spec().build(seed);
+            let samc_n = run_samc(&sc).map(|s| s.n_relays());
+            let gac_n = run_gac(&sc, gac_grid_for(300.0)).map(|s| s.n_relays());
+            if let (Some(s), Some(g)) = (samc_n, gac_n) {
+                assert!(s <= g + 1, "seed {seed}: SAMC {s} ≫ GAC {g}");
+            }
+        }
+    }
+
+    #[test]
+    fn grid_for_fields() {
+        assert_eq!(gac_grid_for(500.0), 20.0);
+        assert_eq!(gac_grid_for(800.0), 32.0);
+        assert_eq!(gac_grid_for(100.0), 10.0);
+    }
+}

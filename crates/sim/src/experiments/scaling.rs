@@ -1,0 +1,90 @@
+//! Extension experiment: SAMC scalability and the value of Zone
+//! Partition.
+//!
+//! The paper motivates Zone Partition (Algorithm 2) as the step that
+//! keeps SAMC practical: zones are solved independently, so the
+//! super-linear hitting-set and sliding stages run on small pieces. This
+//! sweep measures SAMC wall-clock against subscriber count twice — with
+//! the default `N_max` (one zone spanning the whole field) and with a
+//! strict `N_max` that fragments the field — plus the zone counts, making
+//! the speed-up attributable.
+
+use sag_core::zone::zone_partition;
+
+use crate::experiments::run_samc;
+use crate::gen::ScenarioSpec;
+use crate::runner::{sweep_multi, timed, SweepConfig};
+use crate::table::Table;
+
+/// `N_max` that keeps the whole 800-field in one interference zone.
+const NMAX_GLOBAL: f64 = 1e-9;
+/// Strict `N_max` (ignorable-noise distance ≈ 22) that fragments it.
+const NMAX_STRICT: f64 = 1e-4;
+
+/// Sweeps 25–150 users on the 800-field and reports SAMC runtime under
+/// both `N_max` settings plus the strict setting's zone count.
+pub fn scaling(config: SweepConfig) -> Table {
+    let users: Vec<usize> = vec![25, 50, 75, 100, 125, 150];
+    let series = sweep_multi(&users, 4, config, |n, seed| {
+        let base = ScenarioSpec {
+            field_size: 800.0,
+            n_subscribers: n,
+            snr_db: -15.0,
+            ..Default::default()
+        };
+        let global = ScenarioSpec { nmax: NMAX_GLOBAL, ..base }.build(seed);
+        let strict = ScenarioSpec { nmax: NMAX_STRICT, ..base }.build(seed);
+        let (g_out, g_t) = timed(|| run_samc(&global));
+        let (s_out, s_t) = timed(|| run_samc(&strict));
+        let zones = zone_partition(&strict).len() as f64;
+        vec![
+            g_out.map(|_| g_t),
+            s_out.as_ref().map(|_| s_t),
+            Some(zones),
+            s_out.map(|sol| sol.n_relays() as f64),
+        ]
+    });
+    let mut t = Table::new(
+        "Extension: SAMC scaling with and without zone fragmentation — 800x800, SNR=-15dB",
+        "users",
+        users.iter().map(|&u| u as f64).collect(),
+    );
+    let mut it = series.into_iter();
+    t.push_series("t one-zone [s]", it.next().expect("4 series"));
+    t.push_series("t zoned [s]", it.next().expect("4 series"));
+    t.push_series("zones", it.next().expect("4 series"));
+    t.push_series("relays (zoned)", it.next().expect("4 series"));
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zoned_runs_have_many_zones_and_finish() {
+        let cfg = SweepConfig { runs: 1, base_seed: 31, threads: 2 };
+        // Miniature version for test time: fewer users.
+        let users = [20usize, 40];
+        let series = sweep_multi(&users, 3, cfg, |n, seed| {
+            let strict = ScenarioSpec {
+                field_size: 800.0,
+                n_subscribers: n,
+                nmax: NMAX_STRICT,
+                ..Default::default()
+            }
+            .build(seed);
+            let (out, t) = timed(|| run_samc(&strict));
+            let zones = zone_partition(&strict).len() as f64;
+            vec![out.as_ref().map(|_| t), Some(zones), out.map(|s| s.n_relays() as f64)]
+        });
+        for (zone_cell, relay_cell) in series[1].iter().zip(&series[2]) {
+            let zones = zone_cell.mean.unwrap();
+            assert!(zones > 1.0, "strict Nmax must fragment the field");
+            if let Some(relays) = relay_cell.mean {
+                // Each zone needs at least one relay.
+                assert!(relays >= zones);
+            }
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! SNR field maps: sample the achieved downlink SNR over a grid of probe
+//! points, for interference diagnostics and terminal heatmaps.
+//!
+//! At each probe the serving relay is the nearest placed relay (matching
+//! the pipeline's assignment rule); the value reported is the
+//! interference-limited SNR of Definition 2 under the given powers.
+
+use sag_core::model::Scenario;
+use sag_geom::{GridSpec, Point};
+use sag_radio::snr;
+
+/// A sampled SNR field over the scenario's playing field.
+#[derive(Debug, Clone)]
+pub struct SnrField {
+    /// Grid geometry the samples follow (row-major, bottom row first).
+    pub grid: GridSpec,
+    /// Linear SNR per probe point (`f64::INFINITY` where there is no
+    /// interference).
+    pub values: Vec<f64>,
+}
+
+impl SnrField {
+    /// Samples the field with `cell`-sized probes.
+    ///
+    /// # Panics
+    /// Panics if `relays` is empty or `powers` has mismatched length.
+    pub fn sample(scenario: &Scenario, relays: &[Point], powers: &[f64], cell: f64) -> Self {
+        assert!(!relays.is_empty(), "need at least one relay to probe SNR");
+        assert_eq!(relays.len(), powers.len(), "relays/powers length mismatch");
+        let grid = GridSpec::new(scenario.field, cell);
+        let model = scenario.params.link.model();
+        let values = grid
+            .centers()
+            .map(|probe| {
+                let rx: Vec<f64> = relays
+                    .iter()
+                    .zip(powers)
+                    .map(|(r, &p)| model.received_power(p, r.distance(probe)))
+                    .collect();
+                let serving = (0..rx.len())
+                    .max_by(|&a, &b| sag_geom::float::total_cmp(&rx[a], &rx[b]))
+                    .expect("non-empty relays");
+                snr::snr_interference_limited(&rx, serving)
+            })
+            .collect();
+        SnrField { grid, values }
+    }
+
+    /// Fraction of probes meeting the scenario's β threshold.
+    pub fn coverage_fraction(&self, beta: f64) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        let ok = self.values.iter().filter(|&&v| v >= beta).count();
+        ok as f64 / self.values.len() as f64
+    }
+
+    /// Normalises to `[0, 1]` for rendering: SNR in dB clamped to
+    /// `[floor_db, ceil_db]` and scaled.
+    pub fn normalized_db(&self, floor_db: f64, ceil_db: f64) -> Vec<f64> {
+        assert!(floor_db < ceil_db, "floor must be below ceil");
+        self.values
+            .iter()
+            .map(|&v| {
+                let db = if v <= 0.0 {
+                    floor_db
+                } else if v.is_infinite() {
+                    ceil_db
+                } else {
+                    10.0 * v.log10()
+                };
+                ((db - floor_db) / (ceil_db - floor_db)).clamp(0.0, 1.0)
+            })
+            .collect()
+    }
+
+    /// Renders an ASCII heatmap (dark = high SNR), top row = max y.
+    pub fn render(&self, floor_db: f64, ceil_db: f64) -> String {
+        let cols = self.grid.cols();
+        let rows = self.grid.rows();
+        let norm = self.normalized_db(floor_db, ceil_db);
+        // Grid centres are bottom-row-first; the renderer draws top-down.
+        let mut flipped = vec![0.0; norm.len()];
+        for row in 0..rows {
+            let src = &norm[row * cols..(row + 1) * cols];
+            flipped[(rows - 1 - row) * cols..(rows - row) * cols].copy_from_slice(src);
+        }
+        crate::plot::render_heatmap(&flipped, cols, rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::ScenarioSpec;
+    use sag_core::samc::samc;
+
+    fn setup() -> (Scenario, Vec<Point>, Vec<f64>) {
+        let sc = ScenarioSpec {
+            field_size: 300.0,
+            n_subscribers: 6,
+            ..Default::default()
+        }
+        .build(2);
+        let sol = samc(&sc).unwrap();
+        let powers = vec![sc.params.link.pmax(); sol.n_relays()];
+        (sc.clone(), sol.relays, powers)
+    }
+
+    #[test]
+    fn samples_cover_grid() {
+        let (sc, relays, powers) = setup();
+        let field = SnrField::sample(&sc, &relays, &powers, 30.0);
+        assert_eq!(field.values.len(), field.grid.len());
+        assert!(field.values.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn single_relay_field_is_infinite() {
+        let (sc, relays, _) = setup();
+        let one = vec![relays[0]];
+        let field = SnrField::sample(&sc, &one, &[1.0], 50.0);
+        assert!(field.values.iter().all(|v| v.is_infinite()));
+        assert_eq!(field.coverage_fraction(1e6), 1.0);
+    }
+
+    #[test]
+    fn coverage_fraction_monotone_in_beta() {
+        let (sc, relays, powers) = setup();
+        let field = SnrField::sample(&sc, &relays, &powers, 25.0);
+        let loose = field.coverage_fraction(1e-3);
+        let tight = field.coverage_fraction(10.0);
+        assert!(loose >= tight);
+    }
+
+    #[test]
+    fn normalisation_bounds() {
+        let (sc, relays, powers) = setup();
+        let field = SnrField::sample(&sc, &relays, &powers, 40.0);
+        for v in field.normalized_db(-20.0, 40.0) {
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn render_has_grid_shape() {
+        let (sc, relays, powers) = setup();
+        let field = SnrField::sample(&sc, &relays, &powers, 30.0);
+        let art = field.render(-20.0, 40.0);
+        assert_eq!(art.lines().count(), field.grid.rows() + 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_relays_panics() {
+        let (sc, _, _) = setup();
+        SnrField::sample(&sc, &[], &[], 30.0);
+    }
+}

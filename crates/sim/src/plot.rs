@@ -1,0 +1,209 @@
+//! Terminal scatter plots — a dependency-free renderer for topology
+//! dumps and SNR heatmaps, so `repro fig6` and the `plan` CLI can show
+//! the paper's Fig. 6 panels directly in the terminal.
+
+use sag_geom::{Point, Rect};
+
+/// A character canvas over a world-coordinate viewport.
+#[derive(Debug, Clone)]
+pub struct Canvas {
+    viewport: Rect,
+    cols: usize,
+    rows: usize,
+    cells: Vec<char>,
+}
+
+impl Canvas {
+    /// Creates a canvas of `cols × rows` characters over `viewport`.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero or the viewport is degenerate.
+    pub fn new(viewport: Rect, cols: usize, rows: usize) -> Self {
+        assert!(cols > 0 && rows > 0, "canvas must have positive size");
+        assert!(
+            viewport.width() > 0.0 && viewport.height() > 0.0,
+            "viewport must have positive area"
+        );
+        Canvas { viewport, cols, rows, cells: vec![' '; cols * rows] }
+    }
+
+    /// Canvas width in characters.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Canvas height in characters.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    fn index_of(&self, p: Point) -> Option<usize> {
+        if !self.viewport.contains(p) {
+            return None;
+        }
+        let fx = (p.x - self.viewport.min().x) / self.viewport.width();
+        let fy = (p.y - self.viewport.min().y) / self.viewport.height();
+        let col = ((fx * self.cols as f64) as usize).min(self.cols - 1);
+        // Rows render top-down; world y grows upward.
+        let row = self.rows - 1 - ((fy * self.rows as f64) as usize).min(self.rows - 1);
+        Some(row * self.cols + col)
+    }
+
+    /// Plots a single point with glyph `ch` (silently clipped outside
+    /// the viewport). Later plots overwrite earlier ones.
+    pub fn plot(&mut self, p: Point, ch: char) {
+        if let Some(i) = self.index_of(p) {
+            self.cells[i] = ch;
+        }
+    }
+
+    /// Plots a polyline between two points with glyph `ch`, sampled at
+    /// (roughly) one step per cell.
+    pub fn line(&mut self, a: Point, b: Point, ch: char) {
+        let cell_w = self.viewport.width() / self.cols as f64;
+        let cell_h = self.viewport.height() / self.rows as f64;
+        let step = cell_w.min(cell_h) / 2.0;
+        let len = a.distance(b);
+        let n = (len / step).ceil().max(1.0) as usize;
+        for k in 0..=n {
+            self.plot(a.lerp(b, k as f64 / n as f64), ch);
+        }
+    }
+
+    /// Renders the canvas with a simple border.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity((self.cols + 3) * (self.rows + 2));
+        out.push('+');
+        out.extend(std::iter::repeat_n('-', self.cols));
+        out.push_str("+\n");
+        for row in 0..self.rows {
+            out.push('|');
+            out.extend(self.cells[row * self.cols..(row + 1) * self.cols].iter());
+            out.push_str("|\n");
+        }
+        out.push('+');
+        out.extend(std::iter::repeat_n('-', self.cols));
+        out.push('+');
+        out
+    }
+}
+
+/// Renders a topology dump as ASCII art: `.` subscribers, `B` base
+/// stations, `o` coverage relays, `x` connectivity relays, `·` links.
+pub fn render_topology(dump: &crate::experiments::fig6::TopologyDump, field: Rect) -> String {
+    let mut canvas = Canvas::new(field, 72, 30);
+    for (a, b) in &dump.links {
+        canvas.line(*a, *b, '\'');
+    }
+    for p in &dump.subscribers {
+        canvas.plot(*p, '.');
+    }
+    for p in &dump.connectivity_relays {
+        canvas.plot(*p, 'x');
+    }
+    for p in &dump.coverage_relays {
+        canvas.plot(*p, 'o');
+    }
+    for p in &dump.base_stations {
+        canvas.plot(*p, 'B');
+    }
+    format!(
+        "{}\n{}\n  legend: B=base station  o=coverage RS  x=connectivity RS  .=subscriber  '=link",
+        dump.name,
+        canvas.render()
+    )
+}
+
+/// Renders an intensity grid (row-major, `rows × cols`, values in
+/// `[0, 1]`) as ASCII shades from light to dark.
+///
+/// # Panics
+/// Panics if `values.len() != rows * cols`.
+pub fn render_heatmap(values: &[f64], cols: usize, rows: usize) -> String {
+    assert_eq!(values.len(), cols * rows, "grid shape mismatch");
+    const SHADES: [char; 10] = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+    let mut out = String::with_capacity((cols + 3) * (rows + 2));
+    out.push('+');
+    out.extend(std::iter::repeat_n('-', cols));
+    out.push_str("+\n");
+    for row in 0..rows {
+        out.push('|');
+        for col in 0..cols {
+            let v = values[row * cols + col].clamp(0.0, 1.0);
+            let idx = ((v * (SHADES.len() - 1) as f64).round() as usize).min(SHADES.len() - 1);
+            out.push(SHADES[idx]);
+        }
+        out.push_str("|\n");
+    }
+    out.push('+');
+    out.extend(std::iter::repeat_n('-', cols));
+    out.push('+');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn field() -> Rect {
+        Rect::centered_square(100.0)
+    }
+
+    #[test]
+    fn plot_lands_where_expected() {
+        let mut c = Canvas::new(field(), 10, 10);
+        c.plot(Point::new(0.0, 0.0), 'X'); // centre
+        let rendered = c.render();
+        let lines: Vec<&str> = rendered.lines().collect();
+        // Centre of a 10×10 grid: row 5 or 4, col 5 (border offset +1).
+        let has_x = lines[5].contains('X') || lines[6].contains('X');
+        assert!(has_x, "{rendered}");
+    }
+
+    #[test]
+    fn corners_map_to_corners() {
+        let mut c = Canvas::new(field(), 20, 10);
+        c.plot(Point::new(-50.0, -50.0), 'A'); // bottom-left
+        c.plot(Point::new(49.9, 49.9), 'Z'); // top-right
+        let rendered = c.render();
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert!(lines[1].ends_with("Z|") || lines[1].contains('Z'));
+        assert!(lines[10].starts_with("|A") || lines[10].contains('A'));
+    }
+
+    #[test]
+    fn outside_points_clipped() {
+        let mut c = Canvas::new(field(), 5, 5);
+        c.plot(Point::new(500.0, 0.0), 'X');
+        assert!(!c.render().contains('X'));
+    }
+
+    #[test]
+    fn line_connects() {
+        let mut c = Canvas::new(field(), 20, 20);
+        c.line(Point::new(-40.0, 0.0), Point::new(40.0, 0.0), '-');
+        let drawn = c.render().chars().filter(|&ch| ch == '-').count();
+        // Border dashes (40) plus a horizontal line of ~16 cells.
+        assert!(drawn > 50, "only {drawn} dashes");
+    }
+
+    #[test]
+    fn heatmap_shades() {
+        let vals = vec![0.0, 0.5, 1.0, 0.25];
+        let h = render_heatmap(&vals, 2, 2);
+        assert!(h.contains('@'));
+        assert!(h.lines().count() == 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn heatmap_shape_checked() {
+        render_heatmap(&[0.0; 3], 2, 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_size_canvas_panics() {
+        Canvas::new(field(), 0, 5);
+    }
+}

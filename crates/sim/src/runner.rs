@@ -1,0 +1,179 @@
+//! Parameter sweeps: every `(x, run)` cell evaluated in parallel across
+//! seeds with crossbeam scoped threads, aggregated into [`CellStats`].
+//!
+//! The paper averages 10 runs per plotted point; [`SweepConfig::runs`]
+//! defaults to that. A run that returns `None` (infeasible — IAC/GAC do
+//! this at tight SNR thresholds, Fig. 3(d)) is excluded from the mean and
+//! surfaced in the cell's `feasible_runs`.
+
+use parking_lot::Mutex;
+
+use crate::stats::CellStats;
+
+/// Sweep parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepConfig {
+    /// Runs (seeds) per x position; the paper uses 10.
+    pub runs: usize,
+    /// Base seed; run `r` at x-index `i` uses `base_seed + i·1000 + r`.
+    pub base_seed: u64,
+    /// Maximum worker threads.
+    pub threads: usize,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig { runs: 10, base_seed: 1, threads: 8 }
+    }
+}
+
+impl SweepConfig {
+    /// A reduced configuration for quick smoke runs and benches.
+    pub fn fast() -> Self {
+        SweepConfig { runs: 3, ..Default::default() }
+    }
+
+    /// The seed for x-index `i`, run `r`.
+    pub fn seed(&self, i: usize, r: usize) -> u64 {
+        self.base_seed + (i as u64) * 1000 + r as u64
+    }
+}
+
+/// Runs `eval(x, seed)` for every x and seed, producing `n_metrics`
+/// series of aggregated cells.
+///
+/// `eval` returns one `Option<f64>` per metric (all-or-nothing
+/// feasibility is *not* assumed: a metric can be `None` while another is
+/// measured, which Fig. 3 uses when only one solver fails).
+///
+/// # Panics
+/// Panics if `eval` returns a vector of the wrong length, or
+/// `n_metrics == 0`, or the config has zero runs.
+pub fn sweep_multi<X, F>(
+    xs: &[X],
+    n_metrics: usize,
+    config: SweepConfig,
+    eval: F,
+) -> Vec<Vec<CellStats>>
+where
+    X: Copy + Sync,
+    F: Fn(X, u64) -> Vec<Option<f64>> + Sync,
+{
+    assert!(n_metrics > 0, "need at least one metric");
+    assert!(config.runs > 0, "need at least one run");
+    assert!(
+        config.runs < 1000,
+        "seeds pack the run index into a stride of 1000; ≥ 1000 runs would reuse scenarios across x positions"
+    );
+    // outcomes[i][m][r]
+    let outcomes: Vec<Vec<Mutex<Vec<Option<f64>>>>> = xs
+        .iter()
+        .map(|_| (0..n_metrics).map(|_| Mutex::new(vec![None; config.runs])).collect())
+        .collect();
+
+    // Work queue of (x-index, run).
+    let jobs: Vec<(usize, usize)> = (0..xs.len())
+        .flat_map(|i| (0..config.runs).map(move |r| (i, r)))
+        .collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+
+    crossbeam::scope(|scope| {
+        for _ in 0..config.threads.max(1).min(jobs.len().max(1)) {
+            scope.spawn(|_| loop {
+                let k = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if k >= jobs.len() {
+                    break;
+                }
+                let (i, r) = jobs[k];
+                let vals = eval(xs[i], config.seed(i, r));
+                assert_eq!(vals.len(), n_metrics, "eval returned wrong metric count");
+                for (m, v) in vals.into_iter().enumerate() {
+                    outcomes[i][m].lock()[r] = v;
+                }
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+
+    // Transpose to per-metric series.
+    (0..n_metrics)
+        .map(|m| {
+            xs.iter()
+                .enumerate()
+                .map(|(i, _)| CellStats::from_runs(&outcomes[i][m].lock()))
+                .collect()
+        })
+        .collect()
+}
+
+/// Convenience wrapper for single-metric sweeps.
+pub fn sweep<X, F>(xs: &[X], config: SweepConfig, eval: F) -> Vec<CellStats>
+where
+    X: Copy + Sync,
+    F: Fn(X, u64) -> Option<f64> + Sync,
+{
+    sweep_multi(xs, 1, config, |x, seed| vec![eval(x, seed)])
+        .pop()
+        .expect("one metric requested")
+}
+
+/// Wall-clock seconds of a closure (used for the running-time figures).
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = std::time::Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_aggregates_all_cells() {
+        let cfg = SweepConfig { runs: 4, base_seed: 0, threads: 3 };
+        let cells = sweep(&[1.0f64, 2.0, 3.0], cfg, |x, _seed| Some(x * 2.0));
+        assert_eq!(cells.len(), 3);
+        assert_eq!(cells[1].mean, Some(4.0));
+        assert_eq!(cells[1].feasible_runs, 4);
+    }
+
+    #[test]
+    fn seeds_are_distinct_per_cell() {
+        let cfg = SweepConfig { runs: 2, base_seed: 10, threads: 2 };
+        let seen = Mutex::new(std::collections::HashSet::new());
+        sweep(&[0usize, 1, 2], cfg, |_x, seed| {
+            seen.lock().insert(seed);
+            Some(0.0)
+        });
+        assert_eq!(seen.lock().len(), 6);
+    }
+
+    #[test]
+    fn infeasible_runs_excluded() {
+        let cfg = SweepConfig { runs: 4, base_seed: 0, threads: 2 };
+        let cells = sweep(&[0usize], cfg, |_x, seed| (seed % 2 == 0).then_some(10.0));
+        assert_eq!(cells[0].feasible_runs, 2);
+        assert_eq!(cells[0].mean, Some(10.0));
+    }
+
+    #[test]
+    fn multi_metric_transpose() {
+        let cfg = SweepConfig { runs: 2, base_seed: 0, threads: 1 };
+        let series = sweep_multi(&[1.0f64, 2.0], 2, cfg, |x, _| vec![Some(x), Some(-x)]);
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0][1].mean, Some(2.0));
+        assert_eq!(series[1][0].mean, Some(-1.0));
+    }
+
+    #[test]
+    fn timed_reports_duration() {
+        let ((), secs) = timed(|| std::thread::sleep(std::time::Duration::from_millis(10)));
+        assert!(secs >= 0.009);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_metrics_panics() {
+        sweep_multi(&[1.0f64], 0, SweepConfig::default(), |_, _| vec![]);
+    }
+}

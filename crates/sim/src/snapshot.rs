@@ -1,0 +1,181 @@
+//! Compact binary scenario snapshots.
+//!
+//! A fixed little-endian layout over [`bytes`]: magic, version, field
+//! size, link parameters, then subscriber and base-station tables. Used
+//! by the topology-export example to persist the exact scenario a plot
+//! came from, and handy for shipping failing cases into tests.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use sag_core::model::{BaseStation, NetworkParams, Scenario, Subscriber};
+use sag_geom::{Point, Rect};
+use sag_radio::{units::Db, LinkBudget, TwoRay};
+
+const MAGIC: u32 = 0x5341_4731; // "SAG1"
+const VERSION: u16 = 1;
+
+/// Errors from [`decode`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// Buffer too short for the declared structure.
+    Truncated,
+    /// Magic number mismatch — not a snapshot.
+    BadMagic,
+    /// Unsupported snapshot version.
+    BadVersion(u16),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Truncated => write!(f, "snapshot buffer truncated"),
+            SnapshotError::BadMagic => write!(f, "not a scenario snapshot (bad magic)"),
+            SnapshotError::BadVersion(v) => write!(f, "unsupported snapshot version {v}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Serialises a scenario to bytes.
+pub fn encode(scenario: &Scenario) -> Bytes {
+    let mut buf = BytesMut::with_capacity(
+        64 + scenario.subscribers.len() * 24 + scenario.base_stations.len() * 16,
+    );
+    buf.put_u32_le(MAGIC);
+    buf.put_u16_le(VERSION);
+    // Field (stored as min/max corners).
+    buf.put_f64_le(scenario.field.min().x);
+    buf.put_f64_le(scenario.field.min().y);
+    buf.put_f64_le(scenario.field.max().x);
+    buf.put_f64_le(scenario.field.max().y);
+    // Link parameters.
+    let link = &scenario.params.link;
+    buf.put_f64_le(link.model().gain());
+    buf.put_f64_le(link.model().alpha());
+    buf.put_f64_le(link.pmax());
+    buf.put_f64_le(link.beta());
+    buf.put_f64_le(link.noise());
+    buf.put_f64_le(link.bandwidth());
+    buf.put_f64_le(scenario.params.nmax);
+    // Stations.
+    buf.put_u32_le(scenario.subscribers.len() as u32);
+    for s in &scenario.subscribers {
+        buf.put_f64_le(s.position.x);
+        buf.put_f64_le(s.position.y);
+        buf.put_f64_le(s.distance_req);
+    }
+    buf.put_u32_le(scenario.base_stations.len() as u32);
+    for b in &scenario.base_stations {
+        buf.put_f64_le(b.position.x);
+        buf.put_f64_le(b.position.y);
+    }
+    buf.freeze()
+}
+
+/// Deserialises a scenario from bytes.
+///
+/// # Errors
+/// [`SnapshotError`] on malformed input.
+pub fn decode(mut buf: impl Buf) -> Result<Scenario, SnapshotError> {
+    let need = |buf: &dyn Buf, n: usize| -> Result<(), SnapshotError> {
+        if buf.remaining() < n {
+            Err(SnapshotError::Truncated)
+        } else {
+            Ok(())
+        }
+    };
+    need(&buf, 6)?;
+    if buf.get_u32_le() != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let version = buf.get_u16_le();
+    if version != VERSION {
+        return Err(SnapshotError::BadVersion(version));
+    }
+    need(&buf, 8 * 11 + 4)?;
+    let min = Point::new(buf.get_f64_le(), buf.get_f64_le());
+    let max = Point::new(buf.get_f64_le(), buf.get_f64_le());
+    let gain = buf.get_f64_le();
+    let alpha = buf.get_f64_le();
+    let pmax = buf.get_f64_le();
+    let beta = buf.get_f64_le();
+    let noise = buf.get_f64_le();
+    let bandwidth = buf.get_f64_le();
+    let nmax = buf.get_f64_le();
+    let n_subs = buf.get_u32_le() as usize;
+    need(&buf, n_subs * 24 + 4)?;
+    let mut subscribers = Vec::with_capacity(n_subs);
+    for _ in 0..n_subs {
+        let p = Point::new(buf.get_f64_le(), buf.get_f64_le());
+        let d = buf.get_f64_le();
+        subscribers.push(Subscriber::new(p, d));
+    }
+    let n_bs = buf.get_u32_le() as usize;
+    need(&buf, n_bs * 16)?;
+    let mut base_stations = Vec::with_capacity(n_bs);
+    for _ in 0..n_bs {
+        base_stations.push(BaseStation::new(Point::new(buf.get_f64_le(), buf.get_f64_le())));
+    }
+    let link = LinkBudget::builder()
+        .model(TwoRay::new(gain, alpha))
+        .max_power(pmax)
+        .snr_threshold(Db::from_linear(beta))
+        .noise(noise)
+        .bandwidth(bandwidth)
+        .build();
+    Scenario::new(
+        Rect::from_corners(min, max),
+        subscribers,
+        base_stations,
+        NetworkParams::new(link, nmax),
+    )
+    .map_err(|_| SnapshotError::Truncated)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::ScenarioSpec;
+
+    #[test]
+    fn roundtrip() {
+        let sc = ScenarioSpec::default().build(5);
+        let bytes = encode(&sc);
+        let back = decode(bytes).unwrap();
+        assert_eq!(sc, back);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut b = BytesMut::new();
+        b.put_u32_le(0xDEAD_BEEF);
+        b.put_u16_le(1);
+        assert_eq!(decode(b.freeze()), Err(SnapshotError::BadMagic));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let sc = ScenarioSpec::default().build(5);
+        let bytes = encode(&sc);
+        let cut = bytes.slice(0..bytes.len() - 3);
+        assert_eq!(decode(cut), Err(SnapshotError::Truncated));
+    }
+
+    #[test]
+    fn version_checked() {
+        let mut b = BytesMut::new();
+        b.put_u32_le(MAGIC);
+        b.put_u16_le(99);
+        assert_eq!(decode(b.freeze()), Err(SnapshotError::BadVersion(99)));
+    }
+
+    #[test]
+    fn roundtrip_preserves_link_budget() {
+        let spec = ScenarioSpec { snr_db: -25.0, pmax: 2.0, ..Default::default() };
+        let sc = spec.build(9);
+        let back = decode(encode(&sc)).unwrap();
+        assert!((back.params.link.beta() - sc.params.link.beta()).abs() < 1e-15);
+        assert_eq!(back.params.link.pmax(), 2.0);
+    }
+}

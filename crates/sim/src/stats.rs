@@ -1,0 +1,87 @@
+//! Aggregation helpers for the paper's 10-run averages.
+
+/// Mean of a sample; `None` for an empty slice.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(xs.iter().sum::<f64>() / xs.len() as f64)
+    }
+}
+
+/// Sample standard deviation (n−1 denominator); `None` for fewer than two
+/// samples.
+pub fn std_dev(xs: &[f64]) -> Option<f64> {
+    if xs.len() < 2 {
+        return None;
+    }
+    let m = mean(xs).expect("non-empty");
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64;
+    Some(var.sqrt())
+}
+
+/// Summary of one sweep cell: which runs succeeded and their average.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellStats {
+    /// Mean over the successful runs (`None` when every run failed, the
+    /// "no feasible solutions" regime of Fig. 3).
+    pub mean: Option<f64>,
+    /// Number of successful (feasible) runs.
+    pub feasible_runs: usize,
+    /// Total runs attempted.
+    pub total_runs: usize,
+}
+
+impl CellStats {
+    /// Aggregates per-run outcomes (`None` = infeasible run).
+    pub fn from_runs(outcomes: &[Option<f64>]) -> Self {
+        let ok: Vec<f64> = outcomes.iter().flatten().copied().collect();
+        CellStats {
+            mean: mean(&ok),
+            feasible_runs: ok.len(),
+            total_runs: outcomes.len(),
+        }
+    }
+
+    /// Formats as the paper's figures would show it: the mean, or `N/A`
+    /// when everything was infeasible.
+    pub fn display(&self) -> String {
+        match self.mean {
+            Some(m) => {
+                if self.feasible_runs < self.total_runs {
+                    format!("{m:.2} ({}/{} ok)", self.feasible_runs, self.total_runs)
+                } else {
+                    format!("{m:.2}")
+                }
+            }
+            None => "N/A".to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(mean(&[2.0, 4.0]), Some(3.0));
+        assert_eq!(std_dev(&[1.0]), None);
+        let s = std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert!((s - 2.138).abs() < 1e-3);
+    }
+
+    #[test]
+    fn cell_stats_aggregation() {
+        let c = CellStats::from_runs(&[Some(1.0), None, Some(3.0)]);
+        assert_eq!(c.mean, Some(2.0));
+        assert_eq!(c.feasible_runs, 2);
+        assert_eq!(c.total_runs, 3);
+        assert!(c.display().contains("2/3"));
+        let all_bad = CellStats::from_runs(&[None, None]);
+        assert_eq!(all_bad.display(), "N/A");
+        let clean = CellStats::from_runs(&[Some(2.0), Some(2.0)]);
+        assert_eq!(clean.display(), "2.00");
+    }
+}

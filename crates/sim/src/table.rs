@@ -1,0 +1,214 @@
+//! Text tables and CSV series — the harness's stand-in for the paper's
+//! Matlab figures. Every experiment returns a [`Table`]; the `repro`
+//! binary renders it and can emit CSV for external plotting.
+
+use std::fmt;
+
+use crate::stats::CellStats;
+
+/// One named curve of a figure: `(x, cell)` pairs.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Curve label (e.g. `"SAMC"`).
+    pub name: String,
+    /// Aggregated value per x position.
+    pub cells: Vec<CellStats>,
+}
+
+/// A rendered experiment: an x-axis plus one or more series.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Human-readable experiment title (e.g. `"Fig 3(a) …"`).
+    pub title: String,
+    /// X-axis label (e.g. `"users"`).
+    pub x_label: String,
+    /// X positions.
+    pub xs: Vec<f64>,
+    /// The curves.
+    pub series: Vec<Series>,
+}
+
+impl Table {
+    /// Creates an empty table with the given axes.
+    pub fn new(title: impl Into<String>, x_label: impl Into<String>, xs: Vec<f64>) -> Self {
+        Table { title: title.into(), x_label: x_label.into(), xs, series: Vec::new() }
+    }
+
+    /// Appends a series.
+    ///
+    /// # Panics
+    /// Panics if the series length does not match the x-axis.
+    pub fn push_series(&mut self, name: impl Into<String>, cells: Vec<CellStats>) -> &mut Self {
+        assert_eq!(cells.len(), self.xs.len(), "series length must match x-axis");
+        self.series.push(Series { name: name.into(), cells });
+        self
+    }
+
+    /// Renders as CSV: header `x,<name>…`, one row per x; `N/A` cells
+    /// render as empty fields.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.x_label);
+        for s in &self.series {
+            out.push(',');
+            // Quote fields containing commas to stay RFC-4180 friendly.
+            if s.name.contains(',') {
+                out.push('"');
+                out.push_str(&s.name.replace('"', "\"\""));
+                out.push('"');
+            } else {
+                out.push_str(&s.name);
+            }
+        }
+        out.push('\n');
+        for (i, x) in self.xs.iter().enumerate() {
+            out.push_str(&format!("{x}"));
+            for s in &self.series {
+                out.push(',');
+                if let Some(m) = s.cells[i].mean {
+                    out.push_str(&format!("{m:.6}"));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} ==", self.title)?;
+        // Column widths.
+        let mut headers = vec![self.x_label.clone()];
+        headers.extend(self.series.iter().map(|s| s.name.clone()));
+        let mut rows: Vec<Vec<String>> = Vec::new();
+        for (i, x) in self.xs.iter().enumerate() {
+            let mut row = vec![format!("{x}")];
+            row.extend(self.series.iter().map(|s| s.cells[i].display()));
+            rows.push(row);
+        }
+        let widths: Vec<usize> = headers
+            .iter()
+            .enumerate()
+            .map(|(c, h)| {
+                rows.iter()
+                    .map(|r| r[c].len())
+                    .chain(std::iter::once(h.len()))
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect();
+        let fmt_row = |row: &[String]| -> String {
+            row.iter()
+                .zip(&widths)
+                .map(|(cell, w)| format!("{cell:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        writeln!(f, "{}", fmt_row(&headers))?;
+        for row in &rows {
+            writeln!(f, "{}", fmt_row(row))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(v: f64) -> CellStats {
+        CellStats { mean: Some(v), feasible_runs: 1, total_runs: 1 }
+    }
+
+    fn na() -> CellStats {
+        CellStats { mean: None, feasible_runs: 0, total_runs: 1 }
+    }
+
+    #[test]
+    fn csv_rendering() {
+        let mut t = Table::new("t", "users", vec![5.0, 10.0]);
+        t.push_series("A", vec![cell(1.0), cell(2.0)]);
+        t.push_series("B", vec![cell(3.0), na()]);
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "users,A,B");
+        assert_eq!(lines[1], "5,1.000000,3.000000");
+        assert_eq!(lines[2], "10,2.000000,");
+    }
+
+    #[test]
+    fn csv_quotes_commas() {
+        let mut t = Table::new("t", "x", vec![1.0]);
+        t.push_series("a,b", vec![cell(1.0)]);
+        assert!(t.to_csv().starts_with("x,\"a,b\""));
+    }
+
+    #[test]
+    fn display_contains_all() {
+        let mut t = Table::new("My title", "x", vec![1.0]);
+        t.push_series("curve", vec![na()]);
+        let s = format!("{t}");
+        assert!(s.contains("My title"));
+        assert!(s.contains("curve"));
+        assert!(s.contains("N/A"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_series_panics() {
+        Table::new("t", "x", vec![1.0, 2.0]).push_series("a", vec![cell(1.0)]);
+    }
+}
+
+impl Table {
+    /// Renders as a GitHub-flavoured markdown table (`N/A` for empty
+    /// cells), used by `repro --report`.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {}\n\n", self.title));
+        out.push_str(&format!("| {} |", self.x_label));
+        for s in &self.series {
+            out.push_str(&format!(" {} |", s.name));
+        }
+        out.push('\n');
+        out.push_str("|---|");
+        for _ in &self.series {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        for (i, x) in self.xs.iter().enumerate() {
+            out.push_str(&format!("| {x} |"));
+            for s in &self.series {
+                out.push_str(&format!(" {} |", s.cells[i].display()));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod markdown_tests {
+    use super::*;
+    use crate::stats::CellStats;
+
+    #[test]
+    fn markdown_structure() {
+        let mut t = Table::new("My experiment", "users", vec![5.0, 10.0]);
+        t.push_series(
+            "A",
+            vec![
+                CellStats { mean: Some(1.5), feasible_runs: 2, total_runs: 2 },
+                CellStats { mean: None, feasible_runs: 0, total_runs: 2 },
+            ],
+        );
+        let md = t.to_markdown();
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines[0], "### My experiment");
+        assert_eq!(lines[2], "| users | A |");
+        assert_eq!(lines[3], "|---|---|");
+        assert!(lines[4].contains("1.50"));
+        assert!(lines[5].contains("N/A"));
+    }
+}

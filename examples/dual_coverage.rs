@@ -1,0 +1,82 @@
+//! Dual coverage: the 802.16j MMR-style resilient lower tier, where
+//! every subscriber keeps a backup relay (the `kcover` extension).
+//!
+//! Compares single- vs dual-coverage relay counts and shows that losing
+//! any one relay leaves every subscriber covered, plus the lifetime
+//! implications of running the greener primary assignment.
+//!
+//! ```text
+//! cargo run -p sag-sim --release --example dual_coverage
+//! ```
+
+use sag_core::kcover::{is_k_feasible, solve_k_coverage, KCoverStrategy};
+use sag_core::lifetime::{lifetime, BatteryBank};
+use sag_core::pro::{baseline_power, pro};
+use sag_core::samc::samc;
+use sag_core::CoverageSolution;
+use sag_sim::gen::ScenarioSpec;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = ScenarioSpec {
+        field_size: 500.0,
+        n_subscribers: 15,
+        n_base_stations: 2,
+        snr_db: -15.0,
+        ..Default::default()
+    };
+    let sc = spec.build(4);
+
+    let single = samc(&sc)?;
+    let dual = solve_k_coverage(&sc, 2, KCoverStrategy::Greedy)?;
+    assert!(is_k_feasible(&sc, &dual));
+
+    println!("coverage multiplicity comparison ({} subscribers)", sc.n_subscribers());
+    println!("  single coverage (SAMC): {:>2} relays", single.n_relays());
+    println!("  dual coverage (k = 2) : {:>2} relays", dual.n_relays());
+
+    // Resilience check: knock out each relay in turn; every subscriber
+    // must still have a server in range.
+    let mut worst_orphans = 0;
+    for dead in 0..dual.n_relays() {
+        let orphans = sc
+            .subscribers
+            .iter()
+            .enumerate()
+            .filter(|(j, sub)| {
+                !dual.servers[*j].iter().any(|&r| {
+                    // Backup candidates often sit exactly on the feasible
+                    // circle; compare with the library's tolerance.
+                    r != dead
+                        && dual.relays[r].distance(sub.position) <= sub.distance_req + 1e-9
+                })
+            })
+            .count();
+        worst_orphans = worst_orphans.max(orphans);
+    }
+    println!("  worst-case orphans after any single relay failure: {worst_orphans}");
+    assert_eq!(worst_orphans, 0, "dual coverage must survive any single failure");
+
+    // Green primary operation: run PRO on the primary assignment and
+    // compare the battery lifetime against all-Pmax operation.
+    let primary = CoverageSolution {
+        relays: dual.relays.clone(),
+        assignment: dual.primary_assignment(),
+    };
+    let bank = BatteryBank::uniform(primary.n_relays(), 1000.0);
+    let base_life = lifetime(&baseline_power(&sc, &primary), &bank);
+    let green_life = lifetime(&pro(&sc, &primary), &bank);
+    println!(
+        "  lifetime at Pmax: {:.0} units; after PRO: {:.0} units ({}x)",
+        base_life.first_failure,
+        green_life.first_failure,
+        if green_life.first_failure.is_finite() {
+            format!("{:.1}", green_life.first_failure / base_life.first_failure)
+        } else {
+            "inf".to_string()
+        },
+    );
+    if let Some(b) = green_life.bottleneck {
+        println!("  bottleneck relay after PRO: {} at {}", b, primary.relays[b]);
+    }
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! Quickstart: place relays for a handful of subscribers and print the
+//! resulting two-tier deployment.
+//!
+//! ```text
+//! cargo run -p sag-sim --example quickstart
+//! ```
+
+use sag_core::model::{BaseStation, NetworkParams, Scenario, Subscriber};
+use sag_core::sag::run_sag;
+use sag_core::RelayRole;
+use sag_geom::{Point, Rect};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Five fixed high-traffic subscribers in a 500×500 field; one macro
+    // base station at the north-east corner. Feasible distances encode
+    // each subscriber's data-rate request (paper §II).
+    let scenario = Scenario::new(
+        Rect::centered_square(500.0),
+        vec![
+            Subscriber::new(Point::new(-180.0, -60.0), 35.0),
+            Subscriber::new(Point::new(-150.0, -40.0), 32.0),
+            Subscriber::new(Point::new(-20.0, 10.0), 38.0),
+            Subscriber::new(Point::new(140.0, -120.0), 30.0),
+            Subscriber::new(Point::new(60.0, 180.0), 34.0),
+        ],
+        vec![BaseStation::new(Point::new(230.0, 230.0))],
+        NetworkParams::default(),
+    )?;
+
+    let report = run_sag(&scenario)?;
+    let power = report.power_summary();
+
+    println!("SNR-aware green relay deployment");
+    println!("--------------------------------");
+    println!("subscribers:          {}", scenario.n_subscribers());
+    println!("coverage relays:      {}", report.n_coverage_relays());
+    println!("connectivity relays:  {}", report.n_connectivity_relays());
+    println!("lower-tier power P_L: {:.4}", power.lower);
+    println!("upper-tier power P_H: {:.4}", power.upper);
+    println!("total power:          {:.4}", power.total);
+    println!();
+    println!("placed relays:");
+    for relay in report.relays() {
+        let role = match relay.role {
+            RelayRole::Coverage => "cover  ",
+            RelayRole::Connectivity => "connect",
+        };
+        println!("  [{role}] {}  power {:.5}", relay.position, relay.power);
+    }
+    println!();
+    println!("per-subscriber assignment (SS -> coverage relay):");
+    for (j, &r) in report.coverage.assignment.iter().enumerate() {
+        let d = report.coverage.relays[r].distance(scenario.subscribers[j].position);
+        println!(
+            "  SS{j} at {} -> relay {r} (distance {:.1} ≤ {:.1})",
+            scenario.subscribers[j].position, d, scenario.subscribers[j].distance_req
+        );
+    }
+    Ok(())
+}

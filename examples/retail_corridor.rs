@@ -1,0 +1,77 @@
+//! Retail corridor: the paper's motivating workload — static,
+//! high-demand subscribers (big-box stores, fast food, gas stations)
+//! strung along a highway, offloaded from two macro cells through a
+//! green relay tier.
+//!
+//! Compares the full SAG pipeline against the DARP-style all-max-power
+//! deployment on the same topology and prints the energy saving.
+//!
+//! ```text
+//! cargo run -p sag-sim --example retail_corridor
+//! ```
+
+use sag_core::darp::darp;
+use sag_core::model::{BaseStation, NetworkParams, Scenario, Subscriber};
+use sag_core::sag::run_sag;
+use sag_core::samc::samc;
+use sag_geom::{Point, Rect};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A west–east commercial strip: stores every ~70 m with a service
+    // road cluster in the middle, plus two gas stations off-corridor.
+    // Larger stores request more capacity → shorter feasible distance.
+    let mut subscribers = Vec::new();
+    for k in 0..8 {
+        let x = -280.0 + k as f64 * 70.0;
+        let d = if k % 3 == 0 { 30.0 } else { 36.0 }; // anchors demand more
+        subscribers.push(Subscriber::new(Point::new(x, 20.0), d));
+    }
+    subscribers.push(Subscriber::new(Point::new(-40.0, -60.0), 33.0)); // food court
+    subscribers.push(Subscriber::new(Point::new(10.0, -80.0), 33.0)); // cinema
+    subscribers.push(Subscriber::new(Point::new(-200.0, 140.0), 40.0)); // gas north
+    subscribers.push(Subscriber::new(Point::new(180.0, -170.0), 40.0)); // gas south
+
+    let scenario = Scenario::new(
+        Rect::centered_square(700.0),
+        subscribers,
+        vec![
+            BaseStation::new(Point::new(-300.0, 250.0)),
+            BaseStation::new(Point::new(300.0, -250.0)),
+        ],
+        NetworkParams::default(),
+    )?;
+
+    let report = run_sag(&scenario)?;
+    let sag_power = report.power_summary();
+
+    // DARP-style baseline on the SAME lower-tier topology: every relay at
+    // Pmax and all traffic forced to a single macro cell.
+    let coverage = samc(&scenario)?;
+    let baseline = darp(&scenario, &coverage, 0)?;
+
+    println!("retail corridor deployment ({} subscribers)", scenario.n_subscribers());
+    println!("--------------------------------------------");
+    println!(
+        "SAG   : {:>2} coverage + {:>2} connectivity relays, total power {:.3}",
+        report.n_coverage_relays(),
+        report.n_connectivity_relays(),
+        sag_power.total
+    );
+    println!(
+        "DARP  : {:>2} coverage + {:>2} connectivity relays, total power {:.3}",
+        coverage.n_relays(),
+        baseline.plan.n_relays(),
+        baseline.total_power()
+    );
+    let saving = 100.0 * (1.0 - sag_power.total / baseline.total_power());
+    println!("green saving: {saving:.1}% of the all-max-power deployment");
+    println!();
+    println!("relay chains toward the macro cells:");
+    for chain in &report.plan.chains {
+        println!(
+            "  coverage relay {} -> {} ({} hop(s) of {:.1})",
+            chain.child_pos, chain.parent_pos, chain.hops, chain.hop_length
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,37 @@
+//! Shared helpers for the cross-crate integration tests.
+//!
+//! The real tests live in `tests/tests/*.rs`; this library only hosts
+//! small builders they share.
+
+use sag_core::model::{BaseStation, NetworkParams, Scenario, Subscriber};
+use sag_geom::{Point, Rect};
+use sag_radio::{units::Db, LinkBudget};
+
+/// Builds a deterministic hand-laid scenario: `subs` as
+/// `(x, y, distance_req)`, `bss` as `(x, y)`, on a centered square field.
+pub fn scenario(
+    field: f64,
+    subs: &[(f64, f64, f64)],
+    bss: &[(f64, f64)],
+    snr_db: f64,
+) -> Scenario {
+    Scenario::new(
+        Rect::centered_square(field),
+        subs.iter().map(|&(x, y, d)| Subscriber::new(Point::new(x, y), d)).collect(),
+        bss.iter().map(|&(x, y)| BaseStation::new(Point::new(x, y))).collect(),
+        NetworkParams::new(
+            LinkBudget::builder().snr_threshold(Db::new(snr_db)).build(),
+            1e-9,
+        ),
+    )
+    .expect("integration scenarios are non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn helper_builds() {
+        let sc = super::scenario(500.0, &[(0.0, 0.0, 30.0)], &[(100.0, 100.0)], -15.0);
+        assert_eq!(sc.n_subscribers(), 1);
+    }
+}

@@ -1,0 +1,145 @@
+//! Integration coverage of the experiment harness itself: the paper's
+//! qualitative claims must hold on small instances of every experiment.
+
+use sag_sim::experiments::{fig3, fig45, fig6, fig7, table2};
+use sag_sim::runner::SweepConfig;
+
+fn tiny() -> SweepConfig {
+    SweepConfig { runs: 1, base_seed: 11, threads: 4 }
+}
+
+#[test]
+fn table2_mbmc_dominates_every_must() {
+    let t = table2::table2(tiny());
+    assert_eq!(t.series.len(), 5);
+    let mbmc = &t.series[4];
+    for (i, &n_bs) in t.xs.iter().enumerate() {
+        let m = mbmc.cells[i].mean.expect("MBMC always solves");
+        for b in 0..(n_bs as usize) {
+            if let Some(mu) = t.series[b].cells[i].mean {
+                assert!(m <= mu + 1e-9, "MBMC {m} > MUST BS{} {mu} at {n_bs} BSs", b + 1);
+            }
+        }
+        // MUST pinned to an absent BS must be N/A.
+        for b in (n_bs as usize)..4 {
+            assert!(t.series[b].cells[i].mean.is_none());
+        }
+    }
+    // With a single BS, MBMC degenerates to MUST BS1 exactly.
+    assert_eq!(t.series[0].cells[0].mean, mbmc.cells[0].mean);
+}
+
+#[test]
+fn fig3d_snr_sweep_structure() {
+    let t = fig3::fig3d(tiny());
+    assert_eq!(t.series.len(), 3);
+    assert_eq!(t.xs.first(), Some(&-14.0));
+    assert_eq!(t.xs.last(), Some(&-10.0));
+    // SAMC's relay count is bounded by the subscriber count whenever it
+    // solves, and it must solve at least the loosest threshold.
+    let samc = &t.series[2];
+    assert!(samc.cells[0].mean.is_some(), "SAMC must solve at −14 dB");
+    for c in &samc.cells {
+        if let Some(m) = c.mean {
+            assert!((1.0..=30.0).contains(&m));
+        }
+    }
+    // Feasibility can only be lost, never gained, as β tightens — checked
+    // on the feasible-run *counts*, which are monotone in aggregate.
+    // (Counts are per-cell over identical seeds, so a later cell with
+    // more feasible runs than an earlier one would mean a run that failed
+    // at −14 dB succeeded at −10 dB on the same seed.)
+    let feas: Vec<usize> = samc.cells.iter().map(|c| c.feasible_runs).collect();
+    for w in feas.windows(2) {
+        assert!(w[1] <= w[0] + 1, "feasible runs jumped {} -> {}", w[0], w[1]);
+    }
+}
+
+#[test]
+fn fig45_power_panels_consistent() {
+    let a = fig45::power_pro(500.0, tiny());
+    for i in 0..a.xs.len() {
+        if let (Some(base), Some(pro)) = (a.series[0].cells[i].mean, a.series[1].cells[i].mean) {
+            assert!(pro <= base + 1e-9);
+            // Baseline is exactly #relays × Pmax, so it is an integer
+            // under Pmax = 1.
+            assert!((base - base.round()).abs() < 1e-9);
+        }
+    }
+    let d = fig45::power_ucpo(500.0, tiny());
+    for i in 0..d.xs.len() {
+        if let (Some(base), Some(u)) = (d.series[0].cells[i].mean, d.series[1].cells[i].mean) {
+            assert!(u <= base + 1e-9);
+            assert!(u > 0.0);
+        }
+    }
+}
+
+#[test]
+fn fig7_sag_dominates_all_darp_combos() {
+    let t = fig7::fig7(300.0, tiny());
+    for i in 0..t.xs.len() {
+        if let Some(sag) = t.series[0].cells[i].mean {
+            for s in 1..4 {
+                if let Some(d) = t.series[s].cells[i].mean {
+                    assert!(
+                        sag <= d + 1e-9,
+                        "SAG {sag} worse than {} {d} at {} users",
+                        t.series[s].name,
+                        t.xs[i]
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn fig6_panels_have_consistent_structure() {
+    for dump in fig6::fig6(7) {
+        assert_eq!(dump.subscribers.len(), 30);
+        assert_eq!(dump.base_stations.len(), 4);
+        assert!(!dump.coverage_relays.is_empty());
+        // Every link endpoint is a known entity or a connectivity relay.
+        let known: Vec<sag_geom::Point> = dump
+            .coverage_relays
+            .iter()
+            .chain(&dump.connectivity_relays)
+            .chain(&dump.base_stations)
+            .copied()
+            .collect();
+        for (a, b) in &dump.links {
+            for p in [a, b] {
+                assert!(
+                    known.iter().any(|k| k.approx_eq(*p)),
+                    "{}: link endpoint {p} is not a station",
+                    dump.name
+                );
+            }
+        }
+        // CSV renders every entity.
+        let csv = dump.to_csv();
+        assert_eq!(
+            csv.lines().count(),
+            1 + dump.subscribers.len()
+                + dump.base_stations.len()
+                + dump.coverage_relays.len()
+                + dump.connectivity_relays.len()
+                + dump.links.len()
+        );
+    }
+}
+
+#[test]
+fn csv_outputs_parse_back() {
+    let t = table2::table2(tiny());
+    let csv = t.to_csv();
+    let mut lines = csv.lines();
+    let header = lines.next().unwrap();
+    assert_eq!(header.split(',').count(), 6); // x + 5 series
+    for line in lines {
+        assert_eq!(line.split(',').count(), 6);
+        let x: f64 = line.split(',').next().unwrap().parse().unwrap();
+        assert!((1.0..=4.0).contains(&x));
+    }
+}

@@ -1,0 +1,112 @@
+//! Failure injection: the library must fail loudly and precisely, never
+//! return a bogus placement.
+
+use sag_core::coverage::{assign_nearest, is_feasible, CoverageSolution};
+use sag_core::ilpqc::{solve_ilpqc, IlpqcConfig};
+use sag_core::model::{BaseStation, NetworkParams, Scenario, Subscriber};
+use sag_core::pro::optimal_power;
+use sag_core::sag::run_sag;
+use sag_core::samc::samc;
+use sag_core::SagError;
+use sag_geom::{Point, Rect};
+use sag_integration::scenario;
+
+#[test]
+fn empty_scenarios_rejected_at_construction() {
+    let field = Rect::centered_square(100.0);
+    let params = NetworkParams::default();
+    assert_eq!(
+        Scenario::new(field, vec![], vec![BaseStation::new(Point::ORIGIN)], params).unwrap_err(),
+        SagError::NoSubscribers
+    );
+    assert_eq!(
+        Scenario::new(
+            field,
+            vec![Subscriber::new(Point::ORIGIN, 10.0)],
+            vec![],
+            params
+        )
+        .unwrap_err(),
+        SagError::NoBaseStations
+    );
+}
+
+#[test]
+fn unreachable_snr_is_infeasible_not_wrong() {
+    // The double-cluster trap: shared relays pinned ≈ 6 from their
+    // subscribers with the other cluster ≈ 12 away; +20 dB is impossible.
+    let sc = scenario(
+        500.0,
+        &[(0.0, -6.0, 6.5), (0.0, 6.0, 6.5), (12.0, -6.0, 6.5), (12.0, 6.0, 6.5)],
+        &[(200.0, 200.0)],
+        20.0,
+    );
+    match samc(&sc) {
+        Err(SagError::Infeasible(stage)) => assert!(stage.contains("samc")),
+        Ok(sol) => panic!("samc returned a 'solution' {sol:?} to an impossible instance"),
+        Err(e) => panic!("wrong error {e}"),
+    }
+    // The full pipeline propagates the same error.
+    assert!(matches!(run_sag(&sc), Err(SagError::Infeasible(_))));
+}
+
+#[test]
+fn ilpqc_with_empty_candidates_is_infeasible() {
+    let sc = scenario(500.0, &[(0.0, 0.0, 30.0)], &[(100.0, 100.0)], -15.0);
+    assert!(matches!(
+        solve_ilpqc(&sc, &[], IlpqcConfig::default()),
+        Err(SagError::Infeasible(_))
+    ));
+}
+
+#[test]
+fn assignment_rejects_uncoverable_positions() {
+    let sc = scenario(500.0, &[(0.0, 0.0, 30.0)], &[(100.0, 100.0)], -15.0);
+    assert!(assign_nearest(&sc, &[Point::new(200.0, 0.0)]).is_none());
+    assert!(assign_nearest(&sc, &[]).is_none());
+}
+
+#[test]
+fn feasibility_check_rejects_corrupted_solutions() {
+    let sc = scenario(500.0, &[(0.0, 0.0, 30.0), (5.0, 0.0, 30.0)], &[(100.0, 100.0)], -15.0);
+    let good = samc(&sc).unwrap();
+    assert!(is_feasible(&sc, &good));
+    // Corrupt the assignment.
+    let mut bad = good.clone();
+    bad.assignment[0] = 999;
+    assert!(!is_feasible(&sc, &bad));
+    // Move the relay out of range.
+    let mut far = good.clone();
+    far.relays[0] = Point::new(400.0, 400.0);
+    assert!(!is_feasible(&sc, &far));
+}
+
+#[test]
+fn optimal_power_detects_power_capped_infeasibility() {
+    // An assignment that forces a relay to serve a subscriber from the
+    // very edge of its circle while a strong interferer sits nearby:
+    // the minimal fixed point exceeds Pmax.
+    let sc = scenario(
+        500.0,
+        &[(0.0, 0.0, 30.0), (63.0, 0.0, 30.0), (31.0, 0.0, 30.0)],
+        &[(200.0, 200.0)],
+        6.0, // +6 dB → β ≈ 3.98
+    );
+    // Relay 0 serves SS0 from the circle edge (coverage alone needs
+    // Pmax); relay 1 must also run at Pmax to reach SS1 at ITS edge, and
+    // sits only 33 from SS0. SNR at SS0 needs
+    // P0·30⁻³ ≥ β·Pmax·33⁻³ → P0 ≥ 2.99·Pmax: impossible.
+    let sol = CoverageSolution {
+        relays: vec![Point::new(-30.0, 0.0), Point::new(33.0, 0.0)],
+        assignment: vec![0, 1, 1],
+    };
+    assert!(matches!(optimal_power(&sc, &sol), Err(SagError::Infeasible(_))));
+}
+
+#[test]
+fn error_messages_name_their_stage() {
+    let e = SagError::Infeasible("ilpqc: node limit exhausted without a feasible cover".into());
+    let msg = e.to_string();
+    assert!(msg.contains("ilpqc"));
+    assert!(msg.contains("no feasible solution"));
+}

@@ -1,0 +1,127 @@
+//! End-to-end integration: the full SAG pipeline over generated
+//! scenarios, validating every cross-crate invariant the paper states.
+
+use sag_core::coverage::is_feasible;
+use sag_core::pro::{allocation_is_feasible, baseline_power, optimal_power};
+use sag_core::sag::run_sag;
+use sag_core::ucpo::baseline_upper_power;
+use sag_core::RelayRole;
+use sag_sim::gen::{BsLayout, ScenarioSpec};
+
+fn spec(users: usize, field: f64) -> ScenarioSpec {
+    ScenarioSpec {
+        field_size: field,
+        n_subscribers: users,
+        n_base_stations: 4,
+        snr_db: -15.0,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn pipeline_invariants_over_many_seeds() {
+    let mut solved = 0;
+    for seed in 0..10u64 {
+        let sc = spec(12, 500.0).build(seed);
+        let Ok(report) = run_sag(&sc) else { continue };
+        solved += 1;
+
+        // Lower tier: feasible coverage under uniform Pmax and under the
+        // PRO powers.
+        assert!(is_feasible(&sc, &report.coverage), "seed {seed}: infeasible coverage");
+        assert!(
+            allocation_is_feasible(&sc, &report.coverage, &report.lower_power),
+            "seed {seed}: PRO powers violate constraints"
+        );
+
+        // Power sandwich: optimal ≤ PRO ≤ baseline.
+        let opt = optimal_power(&sc, &report.coverage).expect("feasible at Pmax");
+        let base = baseline_power(&sc, &report.coverage);
+        assert!(opt.total() <= report.lower_power.total() + 1e-9, "seed {seed}");
+        assert!(report.lower_power.total() <= base.total() + 1e-9, "seed {seed}");
+
+        // Upper tier: UCPO ≤ baseline, every chain hop within the relay's
+        // effective feasible distance.
+        let upper_base = baseline_upper_power(&sc, &report.plan);
+        assert!(report.upper_power.total() <= upper_base.total() + 1e-9, "seed {seed}");
+        for chain in &report.plan.chains {
+            let eff = report.plan.effective_distance[chain.child];
+            assert!(
+                chain.hop_length <= eff + 1e-9,
+                "seed {seed}: hop {} exceeds effective distance {eff}",
+                chain.hop_length
+            );
+        }
+
+        // Every placed relay respects the power cap and sits in a role.
+        for relay in report.relays() {
+            assert!(relay.power >= 0.0 && relay.power <= sc.params.link.pmax() + 1e-9);
+            assert!(matches!(relay.role, RelayRole::Coverage | RelayRole::Connectivity));
+        }
+    }
+    assert!(solved >= 8, "SAG should solve almost all −15 dB instances, got {solved}/10");
+}
+
+#[test]
+fn chains_terminate_at_base_stations() {
+    for seed in [3u64, 17, 99] {
+        let sc = ScenarioSpec {
+            bs_layout: BsLayout::Corners,
+            ..spec(10, 600.0)
+        }
+        .build(seed);
+        let Ok(report) = run_sag(&sc) else { continue };
+        let bs_positions = sc.base_station_positions();
+        // Walk each coverage relay's chain through parents until a BS.
+        for chain in &report.plan.chains {
+            let parent_is_bs = bs_positions.iter().any(|b| b.approx_eq(chain.parent_pos));
+            let parent_is_relay = report
+                .coverage
+                .relays
+                .iter()
+                .any(|r| r.approx_eq(chain.parent_pos));
+            assert!(
+                parent_is_bs || parent_is_relay,
+                "seed {seed}: chain parent {} is neither BS nor coverage relay",
+                chain.parent_pos
+            );
+        }
+        // At least one chain must anchor directly at a BS.
+        assert!(
+            report
+                .plan
+                .chains
+                .iter()
+                .any(|c| bs_positions.iter().any(|b| b.approx_eq(c.parent_pos))),
+            "seed {seed}: no chain reaches a base station"
+        );
+    }
+}
+
+#[test]
+fn determinism_across_runs() {
+    let sc = spec(15, 500.0).build(123);
+    let a = run_sag(&sc).expect("feasible");
+    let b = run_sag(&sc).expect("feasible");
+    assert_eq!(a.coverage, b.coverage);
+    assert_eq!(a.lower_power.powers, b.lower_power.powers);
+    assert_eq!(a.power_summary(), b.power_summary());
+}
+
+#[test]
+fn more_subscribers_never_fewer_relays_on_average() {
+    // Weak monotonicity on averages over seeds (individual instances can
+    // fluctuate): 24 subscribers need at least as many relays as 6.
+    let avg = |users: usize| -> f64 {
+        let mut total = 0.0;
+        let mut n = 0;
+        for seed in 0..5u64 {
+            if let Ok(r) = run_sag(&spec(users, 500.0).build(seed)) {
+                total += r.n_coverage_relays() as f64;
+                n += 1;
+            }
+        }
+        total / n as f64
+    };
+    assert!(avg(24) > avg(6));
+}

@@ -1,0 +1,105 @@
+//! Property-based integration tests: the pipeline's invariants must hold
+//! over *arbitrary* generated scenarios, not just hand-picked ones.
+
+use proptest::prelude::*;
+
+use sag_core::coverage::is_feasible;
+use sag_core::kcover::{is_k_feasible, solve_k_coverage, KCoverStrategy};
+use sag_core::lifetime::{lifetime, BatteryBank};
+use sag_core::pro::{allocation_is_feasible, baseline_power, coverage_powers, optimal_power, pro};
+use sag_core::sag::run_sag;
+use sag_core::validate::validate_report;
+use sag_sim::gen::{BsLayout, ScenarioSpec};
+use sag_sim::snapshot;
+
+fn arb_spec() -> impl Strategy<Value = (ScenarioSpec, u64)> {
+    (
+        3usize..15,              // subscribers
+        1usize..5,               // base stations
+        prop_oneof![Just(300.0), Just(500.0), Just(800.0)],
+        -25.0..-10.0f64,         // the paper's SNR band
+        prop_oneof![Just(BsLayout::Uniform), Just(BsLayout::Corners)],
+        0u64..10_000,            // seed
+    )
+        .prop_map(|(users, bss, field, snr, layout, seed)| {
+            (
+                ScenarioSpec {
+                    field_size: field,
+                    n_subscribers: users,
+                    n_base_stations: bss,
+                    snr_db: snr,
+                    bs_layout: layout,
+                    ..Default::default()
+                },
+                seed,
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn pipeline_invariants_hold_everywhere((spec, seed) in arb_spec()) {
+        let sc = spec.build(seed);
+        let Ok(report) = run_sag(&sc) else {
+            // Infeasibility is a legitimate outcome; nothing to check.
+            return Ok(());
+        };
+        // Structured audit must be clean.
+        let audit = validate_report(&sc, &report);
+        prop_assert!(audit.is_clean(), "audit failed:\n{audit}");
+        // Coverage + powers feasible by the independent checkers too.
+        prop_assert!(is_feasible(&sc, &report.coverage));
+        prop_assert!(allocation_is_feasible(&sc, &report.coverage, &report.lower_power));
+        // Power sandwich.
+        let base = baseline_power(&sc, &report.coverage).total();
+        let opt = optimal_power(&sc, &report.coverage).expect("feasible at Pmax").total();
+        prop_assert!(opt <= report.lower_power.total() + 1e-9);
+        prop_assert!(report.lower_power.total() <= base + 1e-9);
+        // Coverage power is a hard floor for any feasible allocation.
+        let pc_sum: f64 = coverage_powers(&sc, &report.coverage).iter().sum();
+        prop_assert!(opt + 1e-9 >= pc_sum);
+        // Relay count sanity: one per subscriber at most.
+        prop_assert!(report.n_coverage_relays() <= sc.n_subscribers());
+    }
+
+    #[test]
+    fn pro_monotone_under_battery_lifetimes((spec, seed) in arb_spec()) {
+        let sc = spec.build(seed);
+        let Ok(report) = run_sag(&sc) else { return Ok(()) };
+        let bank = BatteryBank::uniform(report.n_coverage_relays(), 500.0);
+        let green = lifetime(&report.lower_power, &bank);
+        let base = lifetime(&baseline_power(&sc, &report.coverage), &bank);
+        prop_assert!(green.first_failure >= base.first_failure - 1e-9);
+    }
+
+    #[test]
+    fn snapshots_roundtrip_any_scenario((spec, seed) in arb_spec()) {
+        let sc = spec.build(seed);
+        let bytes = snapshot::encode(&sc);
+        let back = snapshot::decode(bytes).expect("decode");
+        prop_assert_eq!(sc, back);
+    }
+
+    #[test]
+    fn dual_coverage_uses_at_most_double((spec, seed) in arb_spec()) {
+        let sc = spec.build(seed);
+        let Ok(k1) = solve_k_coverage(&sc, 1, KCoverStrategy::Greedy) else { return Ok(()) };
+        let Ok(k2) = solve_k_coverage(&sc, 2, KCoverStrategy::Greedy) else { return Ok(()) };
+        prop_assert!(is_k_feasible(&sc, &k1));
+        prop_assert!(is_k_feasible(&sc, &k2));
+        prop_assert!(k2.n_relays() >= k1.n_relays());
+        // Greedy multicover never needs more than twice the 1-cover plus
+        // the per-disk auxiliary ring slack.
+        prop_assert!(k2.n_relays() <= 2 * k1.n_relays() + sc.n_subscribers());
+    }
+
+    #[test]
+    fn pro_idempotent_and_deterministic((spec, seed) in arb_spec()) {
+        let sc = spec.build(seed);
+        let Ok(report) = run_sag(&sc) else { return Ok(()) };
+        let again = pro(&sc, &report.coverage);
+        prop_assert_eq!(&again.powers, &report.lower_power.powers);
+    }
+}
