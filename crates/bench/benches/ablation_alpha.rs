@@ -20,14 +20,22 @@ fn with_alpha(base: &Scenario, alpha: f64) -> Scenario {
         .max_power(base.params.link.pmax())
         .snr_threshold(Db::from_linear(base.params.link.beta()))
         .build();
-    Scenario { params: NetworkParams::new(link, base.params.nmax), ..base.clone() }
+    Scenario {
+        params: NetworkParams::new(link, base.params.nmax),
+        ..base.clone()
+    }
 }
 
 fn alpha_ablation(c: &mut Criterion) {
     let table = alpha_sweep::alpha_sweep(bench_sweep());
     println!("{table}");
 
-    let base = ScenarioSpec { field_size: 500.0, n_subscribers: 20, ..Default::default() }.build(3);
+    let base = ScenarioSpec {
+        field_size: 500.0,
+        n_subscribers: 20,
+        ..Default::default()
+    }
+    .build(3);
     let mut group = c.benchmark_group("ablation_alpha");
     group.sample_size(10);
     for &alpha in &[2.0f64, 3.0, 4.0] {

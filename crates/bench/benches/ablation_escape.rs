@@ -3,13 +3,12 @@
 //! maximiser. Prints the one-on-one counts both achieve and times them.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sag_testkit::rng::Rng;
 
 use sag_graph::BipartiteGraph;
 
 fn random_coverage_graph(n_ss: usize, n_rs: usize, seed: u64) -> BipartiteGraph {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut g = BipartiteGraph::new(n_ss, n_rs);
     for l in 0..n_ss {
         // Every subscriber coverable by at least one point.
@@ -48,16 +47,12 @@ fn escape_ablation(c: &mut Criterion) {
     group.sample_size(10);
     for &(n_ss, n_rs) in &[(30usize, 12usize), (60, 24)] {
         let g = random_coverage_graph(n_ss, n_rs, 4);
-        group.bench_with_input(
-            BenchmarkId::new("escape_peeling", n_ss),
-            &g,
-            |b, g| b.iter(|| g.escape_assignment()),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("hopcroft_karp", n_ss),
-            &g,
-            |b, g| b.iter(|| g.max_matching().len()),
-        );
+        group.bench_with_input(BenchmarkId::new("escape_peeling", n_ss), &g, |b, g| {
+            b.iter(|| g.escape_assignment())
+        });
+        group.bench_with_input(BenchmarkId::new("hopcroft_karp", n_ss), &g, |b, g| {
+            b.iter(|| g.max_matching().len())
+        });
     }
     group.finish();
 }

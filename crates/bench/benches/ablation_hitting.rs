@@ -4,14 +4,13 @@
 //! and costs against the optimum.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sag_testkit::rng::Rng;
 
 use sag_geom::{Circle, Point};
 use sag_hitting::{exact, greedy, local_search, DiskInstance};
 
 fn random_instance(n: usize, seed: u64) -> DiskInstance {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let disks: Vec<Circle> = (0..n)
         .map(|_| {
             Circle::new(

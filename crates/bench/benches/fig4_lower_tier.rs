@@ -21,9 +21,11 @@ fn lower_tier(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("pro", users), &users, |b, _| {
             b.iter(|| pro(&sc, &sol))
         });
-        group.bench_with_input(BenchmarkId::new("optimal_fixed_point", users), &users, |b, _| {
-            b.iter(|| optimal_power(&sc, &sol).expect("feasible"))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("optimal_fixed_point", users),
+            &users,
+            |b, _| b.iter(|| optimal_power(&sc, &sol).expect("feasible")),
+        );
         group.bench_with_input(BenchmarkId::new("baseline", users), &users, |b, _| {
             b.iter(|| baseline_power(&sc, &sol))
         });

@@ -3,15 +3,14 @@
 //! simplex solves and MSTs.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sag_testkit::rng::Rng;
 
 use sag_geom::{disks, Circle, Point, SpatialHash};
 use sag_graph::{mst, Graph};
 use sag_lp::{LpProblem, Relation};
 
 fn micro(c: &mut Criterion) {
-    let mut rng = StdRng::seed_from_u64(2);
+    let mut rng = Rng::seed_from_u64(2);
 
     let a = Circle::new(Point::new(0.0, 0.0), 35.0);
     let b = Circle::new(Point::new(40.0, 10.0), 38.0);
@@ -47,7 +46,7 @@ fn micro(c: &mut Criterion) {
     });
 
     let mut g = Graph::new(60);
-    let mut rng2 = StdRng::seed_from_u64(3);
+    let mut rng2 = Rng::seed_from_u64(3);
     for v in 1..60 {
         let u = rng2.gen_range(0..v);
         g.add_edge(u, v, rng2.gen_range(0.1..10.0));

@@ -16,7 +16,9 @@ fn mbmc_vs_must(c: &mut Criterion) {
     let sol = samc(&sc).expect("feasible at -15dB");
     let mut group = c.benchmark_group("table2_planners");
     group.sample_size(10);
-    group.bench_function("mbmc", |b| b.iter(|| mbmc(&sc, &sol).expect("ok").n_relays()));
+    group.bench_function("mbmc", |b| {
+        b.iter(|| mbmc(&sc, &sol).expect("ok").n_relays())
+    });
     for bs in 0..sc.base_stations.len().min(2) {
         group.bench_with_input(BenchmarkId::new("must", bs), &bs, |b, &bs| {
             b.iter(|| must(&sc, &sol, bs).expect("ok").n_relays())

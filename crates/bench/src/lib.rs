@@ -1,14 +1,29 @@
-//! Shared scaffolding for the Criterion benches: canonical scenario
-//! builders and reduced sweep configurations so that `cargo bench`
-//! regenerates every paper artefact's data path in bounded time.
+//! Shared scaffolding for the benchmarks: canonical scenario builders,
+//! reduced sweep configurations, and a built-in wall-clock harness.
+//!
+//! The Criterion benches under `benches/` are reserved behind the
+//! `criterion` feature (which needs registry access — see DESIGN.md
+//! "Hermetic builds"). The default, zero-dependency path is the
+//! [`harness`] module: seeded, warmed-up wall-clock timing that prints
+//! a `name  median  mean  min  iters` row per benchmark, good enough to
+//! catch order-of-magnitude regressions in CI without any external
+//! crate.
+
+use std::time::Instant;
 
 use sag_core::model::Scenario;
 use sag_sim::gen::{BsLayout, ScenarioSpec};
 use sag_sim::runner::SweepConfig;
 
+pub mod harness;
+
 /// The sweep configuration benches use: few runs, deterministic seeds.
 pub fn bench_sweep() -> SweepConfig {
-    SweepConfig { runs: 2, base_seed: 77, threads: 4 }
+    SweepConfig {
+        runs: 2,
+        base_seed: 77,
+        threads: 4,
+    }
 }
 
 /// A canonical benchmark scenario on the given field with `users`
@@ -38,6 +53,14 @@ pub fn bench_corner_scenario(users: usize, seed: u64) -> Scenario {
     .build(seed)
 }
 
+/// Wall-clock seconds of one invocation (re-exported convenience for
+/// ad-hoc timing in tests and examples).
+pub fn time_once<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -47,5 +70,12 @@ mod tests {
         assert_eq!(bench_scenario(500.0, 10, 1), bench_scenario(500.0, 10, 1));
         assert_eq!(bench_corner_scenario(10, 1), bench_corner_scenario(10, 1));
         assert_eq!(bench_sweep().runs, 2);
+    }
+
+    #[test]
+    fn time_once_reports_duration() {
+        let (v, secs) = time_once(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert!(secs >= 0.0);
     }
 }

@@ -157,7 +157,11 @@ mod tests {
 
     #[test]
     fn dedup_removes_close_duplicates() {
-        let pts = vec![Point::new(0.0, 0.0), Point::new(0.0, 1e-12), Point::new(1.0, 0.0)];
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.0, 1e-12),
+            Point::new(1.0, 0.0),
+        ];
         assert_eq!(dedup_points(pts).len(), 2);
     }
 }

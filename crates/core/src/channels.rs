@@ -66,7 +66,11 @@ pub fn co_channel_snr(
 /// # Panics
 /// Panics if the solution's assignment is inconsistent with the scenario.
 pub fn assign_channels(scenario: &Scenario, sol: &CoverageSolution) -> ChannelPlan {
-    assert_eq!(sol.assignment.len(), scenario.n_subscribers(), "assignment length mismatch");
+    assert_eq!(
+        sol.assignment.len(),
+        scenario.n_subscribers(),
+        "assignment length mismatch"
+    );
     let model = scenario.params.link.model();
     let beta = scenario.params.link.beta();
     let pmax = scenario.params.link.pmax();
@@ -76,7 +80,10 @@ pub fn assign_channels(scenario: &Scenario, sol: &CoverageSolution) -> ChannelPl
     // r below β.
     let mut g = Graph::new(n);
     let mut edges: std::collections::HashSet<(usize, usize)> = Default::default();
-    let add_edge = |g: &mut Graph, a: usize, b: usize, edges: &mut std::collections::HashSet<(usize, usize)>| {
+    let add_edge = |g: &mut Graph,
+                    a: usize,
+                    b: usize,
+                    edges: &mut std::collections::HashSet<(usize, usize)>| {
         let key = (a.min(b), a.max(b));
         if a != b && edges.insert(key) {
             g.add_edge(key.0, key.1, 1.0);
@@ -128,7 +135,11 @@ pub fn assign_channels(scenario: &Scenario, sol: &CoverageSolution) -> ChannelPl
         }
         if clean {
             let n_channels = coloring::color_count(&channel);
-            return ChannelPlan { channel, n_channels, rounds };
+            return ChannelPlan {
+                channel,
+                n_channels,
+                rounds,
+            };
         }
         // Termination: at most C(n,2) edges can ever be added, and the
         // complete graph's coloring (all distinct) is trivially clean.
@@ -158,7 +169,9 @@ mod tests {
                 .collect(),
             vec![BaseStation::new(Point::new(200.0, 200.0))],
             NetworkParams::new(
-                LinkBudget::builder().snr_threshold(Db::new(beta_db)).build(),
+                LinkBudget::builder()
+                    .snr_threshold(Db::new(beta_db))
+                    .build(),
                 1e-9,
             ),
         )
@@ -179,7 +192,12 @@ mod tests {
         // The double-cluster trap that sliding cannot fix at +20 dB:
         // channel separation fixes it with two channels.
         let sc = scenario(
-            vec![(0.0, -6.0, 6.5), (0.0, 6.0, 6.5), (12.0, -6.0, 6.5), (12.0, 6.0, 6.5)],
+            vec![
+                (0.0, -6.0, 6.5),
+                (0.0, 6.0, 6.5),
+                (12.0, -6.0, 6.5),
+                (12.0, 6.0, 6.5),
+            ],
             20.0,
         );
         let sol = CoverageSolution {
@@ -224,7 +242,12 @@ mod tests {
     fn channels_never_exceed_relays() {
         for seed_subs in [
             vec![(0.0, 0.0, 35.0), (10.0, 0.0, 35.0), (20.0, 0.0, 35.0)],
-            vec![(0.0, 0.0, 30.0), (100.0, 0.0, 30.0), (0.0, 100.0, 30.0), (100.0, 100.0, 30.0)],
+            vec![
+                (0.0, 0.0, 30.0),
+                (100.0, 0.0, 30.0),
+                (0.0, 100.0, 30.0),
+                (100.0, 100.0, 30.0),
+            ],
         ] {
             let sc = scenario(seed_subs, 3.0);
             if let Ok(sol) = samc(&sc) {
@@ -238,7 +261,10 @@ mod tests {
     #[test]
     fn co_channel_snr_single_relay_infinite() {
         let sc = scenario(vec![(0.0, 0.0, 30.0)], -15.0);
-        let sol = CoverageSolution { relays: vec![Point::new(1.0, 0.0)], assignment: vec![0] };
+        let sol = CoverageSolution {
+            relays: vec![Point::new(1.0, 0.0)],
+            assignment: vec![0],
+        };
         assert!(co_channel_snr(&sc, &sol, &[0], 0).is_infinite());
     }
 }

@@ -8,15 +8,14 @@
 //! distances — the form used during placement; per-relay powers enter
 //! later through PRO.
 
-use serde::{Deserialize, Serialize};
-
 use sag_geom::Point;
 use sag_radio::snr;
 
 use crate::model::Scenario;
 
 /// A lower-tier placement: relay positions plus the SS→relay assignment.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CoverageSolution {
     /// Positions of the placed coverage relays.
     pub relays: Vec<Point>,
@@ -86,10 +85,7 @@ pub fn assign_nearest(scenario: &Scenario, relays: &[Point]) -> Option<Vec<usize
             .enumerate()
             .filter(|(_, r)| r.distance(sub.position) <= sub.distance_req + 1e-9)
             .min_by(|a, b| {
-                sag_geom::float::total_cmp(
-                    &a.1.distance(sub.position),
-                    &b.1.distance(sub.position),
-                )
+                sag_geom::float::total_cmp(&a.1.distance(sub.position), &b.1.distance(sub.position))
             })
             .map(|(i, _)| i)?;
         assignment.push(best);
@@ -129,7 +125,10 @@ pub fn is_feasible(scenario: &Scenario, sol: &CoverageSolution) -> bool {
 /// [`assign_nearest`], requiring full feasibility (distance + SNR).
 ///
 /// Returns `None` when the positions cannot feasibly cover the scenario.
-pub fn solution_from_positions(scenario: &Scenario, relays: Vec<Point>) -> Option<CoverageSolution> {
+pub fn solution_from_positions(
+    scenario: &Scenario,
+    relays: Vec<Point>,
+) -> Option<CoverageSolution> {
     let assignment = assign_nearest(scenario, &relays)?;
     let sol = CoverageSolution { relays, assignment };
     is_feasible(scenario, &sol).then_some(sol)
@@ -144,7 +143,9 @@ mod tests {
 
     fn scenario(subs: Vec<(f64, f64, f64)>, beta_db: f64) -> Scenario {
         let params = NetworkParams::new(
-            LinkBudget::builder().snr_threshold(Db::new(beta_db)).build(),
+            LinkBudget::builder()
+                .snr_threshold(Db::new(beta_db))
+                .build(),
             1e-9,
         );
         Scenario::new(
@@ -206,10 +207,16 @@ mod tests {
     fn feasibility_rejects_malformed() {
         let sc = scenario(vec![(0.0, 0.0, 30.0)], -15.0);
         // Assignment out of bounds.
-        let sol = CoverageSolution { relays: vec![Point::ORIGIN], assignment: vec![3] };
+        let sol = CoverageSolution {
+            relays: vec![Point::ORIGIN],
+            assignment: vec![3],
+        };
         assert!(!is_feasible(&sc, &sol));
         // Wrong assignment length.
-        let sol = CoverageSolution { relays: vec![Point::ORIGIN], assignment: vec![] };
+        let sol = CoverageSolution {
+            relays: vec![Point::ORIGIN],
+            assignment: vec![],
+        };
         assert!(!is_feasible(&sc, &sol));
     }
 

@@ -45,7 +45,11 @@ pub fn darp(
     let plan = must(scenario, coverage, bs_index)?;
     let lower_power = coverage.n_relays() as f64 * pmax;
     let upper_power: f64 = plan.chains.iter().map(|c| c.hops as f64 * pmax).sum();
-    Ok(DarpOutcome { plan, lower_power, upper_power })
+    Ok(DarpOutcome {
+        plan,
+        lower_power,
+        upper_power,
+    })
 }
 
 #[cfg(test)]

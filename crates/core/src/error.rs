@@ -53,7 +53,9 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(SagError::Infeasible("samc".into()).to_string().contains("samc"));
+        assert!(SagError::Infeasible("samc".into())
+            .to_string()
+            .contains("samc"));
         assert!(!SagError::NoSubscribers.to_string().is_empty());
         assert!(!SagError::NoBaseStations.to_string().is_empty());
         let e = SagError::from(sag_lp::LpError::Infeasible);

@@ -104,7 +104,11 @@ mod tests {
 
     #[test]
     fn every_coverable_subscriber_assigned() {
-        let sc = scenario(vec![(0.0, 0.0, 30.0), (20.0, 0.0, 30.0), (100.0, 0.0, 30.0)]);
+        let sc = scenario(vec![
+            (0.0, 0.0, 30.0),
+            (20.0, 0.0, 30.0),
+            (100.0, 0.0, 30.0),
+        ]);
         let pts = vec![Point::new(10.0, 0.0), Point::new(100.0, 0.0)];
         let r = coverage_link_escape(&sc, &pts);
         assert_eq!(r.assignment, vec![Some(0), Some(0), Some(1)]);

@@ -41,7 +41,9 @@ pub struct IlpqcConfig {
 
 impl Default for IlpqcConfig {
     fn default() -> Self {
-        IlpqcConfig { node_limit: 200_000 }
+        IlpqcConfig {
+            node_limit: 200_000,
+        }
     }
 }
 
@@ -74,7 +76,9 @@ pub fn solve_ilpqc(
     let mut eligible: Vec<Vec<usize>> = Vec::with_capacity(n_subs);
     for sub in &scenario.subscribers {
         let circle = sub.feasible_circle();
-        let e: Vec<usize> = (0..n_cands).filter(|&c| circle.contains(candidates[c])).collect();
+        let e: Vec<usize> = (0..n_cands)
+            .filter(|&c| circle.contains(candidates[c]))
+            .collect();
         if e.is_empty() {
             return Err(SagError::Infeasible(
                 "ilpqc: a subscriber has no candidate within distance".into(),
@@ -114,7 +118,9 @@ pub fn solve_ilpqc(
         }
         // First subscriber not distance-covered.
         let uncovered = (0..n_subs).find(|&j| {
-            !eligible[j].iter().any(|c| selected.binary_search(c).is_ok())
+            !eligible[j]
+                .iter()
+                .any(|c| selected.binary_search(c).is_ok())
         });
         match uncovered {
             Some(j) => {
@@ -192,7 +198,11 @@ pub fn solve_ilpqc(
             let relays: Vec<Point> = selected.iter().map(|&c| candidates[c]).collect();
             let assignment = nearest_assignment(scenario, candidates, &eligible, &selected);
             let solution = CoverageSolution { relays, assignment };
-            Ok(IlpqcOutcome { solution, optimal: !truncated, nodes })
+            Ok(IlpqcOutcome {
+                solution,
+                optimal: !truncated,
+                nodes,
+            })
         }
         None => Err(SagError::Infeasible(if truncated {
             "ilpqc: node limit exhausted without a feasible cover".into()
@@ -263,7 +273,9 @@ mod tests {
                 .collect(),
             vec![BaseStation::new(Point::new(200.0, 200.0))],
             NetworkParams::new(
-                LinkBudget::builder().snr_threshold(Db::new(beta_db)).build(),
+                LinkBudget::builder()
+                    .snr_threshold(Db::new(beta_db))
+                    .build(),
                 1e-9,
             ),
         )
@@ -285,9 +297,9 @@ mod tests {
         // One candidate covers both subscribers; two others cover one each.
         let sc = scenario(vec![(0.0, 0.0, 30.0), (40.0, 0.0, 30.0)], -15.0);
         let cands = vec![
-            Point::new(20.0, 0.0),  // covers both
-            Point::new(0.0, 0.0),   // covers SS0
-            Point::new(40.0, 0.0),  // covers SS1
+            Point::new(20.0, 0.0), // covers both
+            Point::new(0.0, 0.0),  // covers SS0
+            Point::new(40.0, 0.0), // covers SS1
         ];
         let out = solve_ilpqc(&sc, &cands, IlpqcConfig::default()).unwrap();
         assert!(out.optimal);
@@ -330,7 +342,12 @@ mod tests {
         // candidate: the two remaining candidates serve one SS each and
         // at +5 dB the geometry decides.
         let sc = scenario(vec![(0.0, 0.0, 32.0), (60.0, 0.0, 32.0)], 5.0);
-        let cands = vec![Point::new(5.0, 0.0), Point::new(55.0, 0.0), Point::new(0.0, 0.0), Point::new(60.0, 0.0)];
+        let cands = vec![
+            Point::new(5.0, 0.0),
+            Point::new(55.0, 0.0),
+            Point::new(0.0, 0.0),
+            Point::new(60.0, 0.0),
+        ];
         let out = solve_ilpqc(&sc, &cands, IlpqcConfig::default()).unwrap();
         assert!(is_feasible(&sc, &out.solution));
         // SNR at SS0 with servers at 5 and interferer at 55:
@@ -341,7 +358,12 @@ mod tests {
     #[test]
     fn iac_candidates_end_to_end() {
         let sc = scenario(
-            vec![(0.0, 0.0, 35.0), (40.0, 0.0, 35.0), (150.0, 10.0, 30.0), (180.0, -10.0, 30.0)],
+            vec![
+                (0.0, 0.0, 35.0),
+                (40.0, 0.0, 35.0),
+                (150.0, 10.0, 30.0),
+                (180.0, -10.0, 30.0),
+            ],
             -15.0,
         );
         let cands = iac_candidates(&sc);

@@ -251,7 +251,11 @@ mod tests {
 
     #[test]
     fn k1_matches_plain_coverage_size_loosely() {
-        let sc = scenario(vec![(0.0, 0.0, 35.0), (30.0, 0.0, 35.0), (150.0, 0.0, 30.0)]);
+        let sc = scenario(vec![
+            (0.0, 0.0, 35.0),
+            (30.0, 0.0, 35.0),
+            (150.0, 0.0, 30.0),
+        ]);
         let k1 = solve_k_coverage(&sc, 1, KCoverStrategy::Exact).unwrap();
         assert!(is_k_feasible(&sc, &k1));
         // k = 1 exact multicover is exactly minimum hitting set: 2 here.

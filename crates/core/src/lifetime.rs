@@ -38,8 +38,13 @@ impl BatteryBank {
     /// # Panics
     /// Panics unless `capacity > 0` and finite.
     pub fn uniform(n: usize, capacity: f64) -> Self {
-        assert!(capacity.is_finite() && capacity > 0.0, "capacity must be > 0");
-        BatteryBank { capacities: vec![capacity; n] }
+        assert!(
+            capacity.is_finite() && capacity > 0.0,
+            "capacity must be > 0"
+        );
+        BatteryBank {
+            capacities: vec![capacity; n],
+        }
     }
 
     /// Number of batteries.
@@ -102,7 +107,11 @@ pub fn lifetime(alloc: &PowerAllocation, bank: &BatteryBank) -> LifetimeReport {
         .min_by(|a, b| sag_geom::float::total_cmp(a.1, b.1))
         .map(|(i, &t)| (Some(i).filter(|_| t.is_finite()), t))
         .unwrap_or((None, f64::INFINITY));
-    LifetimeReport { first_failure, bottleneck, per_relay }
+    LifetimeReport {
+        first_failure,
+        bottleneck,
+        per_relay,
+    }
 }
 
 /// The lifetime multiplier a green allocation buys over a reference
@@ -126,7 +135,9 @@ mod tests {
 
     #[test]
     fn basic_lifetime_math() {
-        let alloc = PowerAllocation { powers: vec![0.5, 1.0, 0.0] };
+        let alloc = PowerAllocation {
+            powers: vec![0.5, 1.0, 0.0],
+        };
         let bank = BatteryBank::new(vec![10.0, 10.0, 10.0]);
         let r = lifetime(&alloc, &bank);
         assert_eq!(r.per_relay, vec![20.0, 10.0, f64::INFINITY]);
@@ -136,7 +147,9 @@ mod tests {
 
     #[test]
     fn all_idle_network_lives_forever() {
-        let alloc = PowerAllocation { powers: vec![0.0, 0.0] };
+        let alloc = PowerAllocation {
+            powers: vec![0.0, 0.0],
+        };
         let bank = BatteryBank::uniform(2, 5.0);
         let r = lifetime(&alloc, &bank);
         assert!(r.first_failure.is_infinite());
@@ -169,7 +182,9 @@ mod tests {
 
     #[test]
     fn heterogeneous_batteries_shift_bottleneck() {
-        let alloc = PowerAllocation { powers: vec![1.0, 1.0] };
+        let alloc = PowerAllocation {
+            powers: vec![1.0, 1.0],
+        };
         let bank = BatteryBank::new(vec![5.0, 50.0]);
         let r = lifetime(&alloc, &bank);
         assert_eq!(r.bottleneck, Some(0));

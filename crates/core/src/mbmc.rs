@@ -273,7 +273,12 @@ fn build_plan(
         });
     }
 
-    Ok(ConnectivityPlan { relays, chains, serving_bs: serving, effective_distance: eff })
+    Ok(ConnectivityPlan {
+        relays,
+        chains,
+        serving_bs: serving,
+        effective_distance: eff,
+    })
 }
 
 #[cfg(test)]
@@ -282,16 +287,15 @@ mod tests {
     use crate::model::{BaseStation, NetworkParams, Scenario, Subscriber};
     use sag_geom::Rect;
 
-    fn scenario(
-        subs: Vec<(f64, f64, f64)>,
-        bss: Vec<(f64, f64)>,
-    ) -> Scenario {
+    fn scenario(subs: Vec<(f64, f64, f64)>, bss: Vec<(f64, f64)>) -> Scenario {
         Scenario::new(
             Rect::centered_square(600.0),
             subs.into_iter()
                 .map(|(x, y, d)| Subscriber::new(Point::new(x, y), d))
                 .collect(),
-            bss.into_iter().map(|(x, y)| BaseStation::new(Point::new(x, y))).collect(),
+            bss.into_iter()
+                .map(|(x, y)| BaseStation::new(Point::new(x, y)))
+                .collect(),
             NetworkParams::default(),
         )
         .unwrap()
@@ -437,7 +441,11 @@ mod weight_rule_tests {
     #[test]
     fn all_rules_produce_valid_plans() {
         let (sc, cov) = scenario();
-        for rule in [WeightRule::HopCountDmin, WeightRule::Euclidean, WeightRule::HopCountOwn] {
+        for rule in [
+            WeightRule::HopCountDmin,
+            WeightRule::Euclidean,
+            WeightRule::HopCountOwn,
+        ] {
             let plan = mbmc_with_weights(&sc, &cov, rule).unwrap();
             assert_eq!(plan.chains.len(), cov.n_relays());
             for chain in &plan.chains {
@@ -458,10 +466,14 @@ mod weight_rule_tests {
     #[test]
     fn rules_may_differ_but_stay_close() {
         let (sc, cov) = scenario();
-        let counts: Vec<usize> = [WeightRule::HopCountDmin, WeightRule::Euclidean, WeightRule::HopCountOwn]
-            .into_iter()
-            .map(|r| mbmc_with_weights(&sc, &cov, r).unwrap().n_relays())
-            .collect();
+        let counts: Vec<usize> = [
+            WeightRule::HopCountDmin,
+            WeightRule::Euclidean,
+            WeightRule::HopCountOwn,
+        ]
+        .into_iter()
+        .map(|r| mbmc_with_weights(&sc, &cov, r).unwrap().n_relays())
+        .collect();
         let max = *counts.iter().max().unwrap();
         let min = *counts.iter().min().unwrap();
         // Alternative weightings reshuffle the tree but cannot blow up the

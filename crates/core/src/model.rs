@@ -6,8 +6,6 @@
 //! outputs (relay placements, power allocations) live in the stage
 //! modules.
 
-use serde::{Deserialize, Serialize};
-
 use sag_geom::{Circle, Point, Rect};
 use sag_radio::LinkBudget;
 
@@ -18,7 +16,8 @@ use crate::error::{SagError, SagResult};
 /// The paper's SSs are static, high-traffic sites (retail stores, gas
 /// stations); their data-rate request `b_i` is pre-reduced to the feasible
 /// distance `d_i` via the capacity↔distance equivalence of §II.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Subscriber {
     /// Location of the subscriber.
     pub position: Point,
@@ -38,7 +37,10 @@ impl Subscriber {
             distance_req.is_finite() && distance_req > 0.0,
             "distance requirement must be > 0, got {distance_req}"
         );
-        Subscriber { position, distance_req }
+        Subscriber {
+            position,
+            distance_req,
+        }
     }
 
     /// The feasible coverage circle `c_i` (centre = position, radius =
@@ -50,7 +52,8 @@ impl Subscriber {
 }
 
 /// A base station (macro cell anchor of the upper tier).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BaseStation {
     /// Location of the base station.
     pub position: Point,
@@ -68,7 +71,8 @@ impl BaseStation {
 }
 
 /// Role of a placed relay station.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum RelayRole {
     /// Lower-tier relay serving subscribers over access links.
     Coverage,
@@ -77,7 +81,8 @@ pub enum RelayRole {
 }
 
 /// A placed relay station with its allocated transmit power.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Relay {
     /// Location of the relay.
     pub position: Point,
@@ -88,7 +93,8 @@ pub struct Relay {
 }
 
 /// Physical parameters shared by all algorithms.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NetworkParams {
     /// Propagation model, max power, SNR threshold β, noise, bandwidth.
     pub link: LinkBudget,
@@ -103,14 +109,19 @@ impl NetworkParams {
     /// # Panics
     /// Panics unless `nmax > 0` and finite.
     pub fn new(link: LinkBudget, nmax: f64) -> Self {
-        assert!(nmax.is_finite() && nmax > 0.0, "nmax must be > 0, got {nmax}");
+        assert!(
+            nmax.is_finite() && nmax > 0.0,
+            "nmax must be > 0, got {nmax}"
+        );
         NetworkParams { link, nmax }
     }
 
     /// The Zone Partition distance `d_max`: beyond it, a `Pmax`
     /// transmitter contributes ignorable noise.
     pub fn dmax(&self) -> f64 {
-        self.link.model().ignorable_noise_distance(self.link.pmax(), self.nmax)
+        self.link
+            .model()
+            .ignorable_noise_distance(self.link.pmax(), self.nmax)
     }
 
     /// `P_ss^j` for a subscriber with feasible distance `d`: the minimum
@@ -129,7 +140,8 @@ impl Default for NetworkParams {
 }
 
 /// An immutable problem instance.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Scenario {
     /// The playing field.
     pub field: Rect,
@@ -159,7 +171,12 @@ impl Scenario {
         if base_stations.is_empty() {
             return Err(SagError::NoBaseStations);
         }
-        Ok(Scenario { field, subscribers, base_stations, params })
+        Ok(Scenario {
+            field,
+            subscribers,
+            base_stations,
+            params,
+        })
     }
 
     /// Number of subscribers `n`.
@@ -169,7 +186,10 @@ impl Scenario {
 
     /// The subscribers' feasible circles, in subscriber order.
     pub fn feasible_circles(&self) -> Vec<Circle> {
-        self.subscribers.iter().map(Subscriber::feasible_circle).collect()
+        self.subscribers
+            .iter()
+            .map(Subscriber::feasible_circle)
+            .collect()
     }
 
     /// Subscriber positions, in order.

@@ -45,7 +45,9 @@ impl PowerAllocation {
 
 /// The all-`Pmax` baseline the paper compares against.
 pub fn baseline_power(scenario: &Scenario, sol: &CoverageSolution) -> PowerAllocation {
-    PowerAllocation { powers: vec![scenario.params.link.pmax(); sol.n_relays()] }
+    PowerAllocation {
+        powers: vec![scenario.params.link.pmax(); sol.n_relays()],
+    }
 }
 
 /// Coverage power `P_c` for every relay: `max_j P_ss^j · d_ij^α / G`
@@ -147,7 +149,11 @@ fn relay_constraints_ok(
 /// # Panics
 /// Panics if the solution's assignment is inconsistent with the scenario.
 pub fn pro(scenario: &Scenario, sol: &CoverageSolution) -> PowerAllocation {
-    assert_eq!(sol.assignment.len(), scenario.n_subscribers(), "assignment length mismatch");
+    assert_eq!(
+        sol.assignment.len(),
+        scenario.n_subscribers(),
+        "assignment length mismatch"
+    );
     let pmax = scenario.params.link.pmax();
     let n = sol.n_relays();
     let pc = coverage_powers(scenario, sol);
@@ -277,7 +283,10 @@ pub fn optimal_power_lp(scenario: &Scenario, sol: &CoverageSolution) -> SagResul
     let mut lp = LpProblem::minimize(n);
     lp.set_objective(&scale);
     for r in 0..n {
-        assert!(scale[r] > 0.0, "every relay serves a subscriber, so P_c > 0");
+        assert!(
+            scale[r] > 0.0,
+            "every relay serves a subscriber, so P_c > 0"
+        );
         lp.set_bounds(r, 0.0, pmax / scale[r]);
     }
     for (j, &r) in sol.assignment.iter().enumerate() {
@@ -345,7 +354,9 @@ mod tests {
                 .collect(),
             vec![BaseStation::new(Point::new(200.0, 200.0))],
             NetworkParams::new(
-                LinkBudget::builder().snr_threshold(Db::new(beta_db)).build(),
+                LinkBudget::builder()
+                    .snr_threshold(Db::new(beta_db))
+                    .build(),
                 1e-9,
             ),
         )
@@ -406,7 +417,10 @@ mod tests {
     fn coverage_power_at_boundary_equals_pmax() {
         // A relay exactly at the feasible-distance boundary needs Pmax.
         let sc = scenario(vec![(0.0, 0.0, 30.0)], -15.0);
-        let sol = CoverageSolution { relays: vec![Point::new(30.0, 0.0)], assignment: vec![0] };
+        let sol = CoverageSolution {
+            relays: vec![Point::new(30.0, 0.0)],
+            assignment: vec![0],
+        };
         let pc = coverage_powers(&sc, &sol);
         assert!((pc[0] - sc.params.link.pmax()).abs() < 1e-9);
     }
@@ -415,7 +429,10 @@ mod tests {
     fn coverage_power_scales_with_distance() {
         // At half the feasible distance, Pc = Pmax · (1/2)^α = 1/8 (α=3).
         let sc = scenario(vec![(0.0, 0.0, 30.0)], -15.0);
-        let sol = CoverageSolution { relays: vec![Point::new(15.0, 0.0)], assignment: vec![0] };
+        let sol = CoverageSolution {
+            relays: vec![Point::new(15.0, 0.0)],
+            assignment: vec![0],
+        };
         let pc = coverage_powers(&sc, &sol);
         assert!((pc[0] - 0.125).abs() < 1e-9);
     }
@@ -424,7 +441,10 @@ mod tests {
     fn single_relay_drops_to_coverage_power() {
         // No interference: PRO should land exactly on Pc.
         let sc = scenario(vec![(0.0, 0.0, 30.0)], -15.0);
-        let sol = CoverageSolution { relays: vec![Point::new(15.0, 0.0)], assignment: vec![0] };
+        let sol = CoverageSolution {
+            relays: vec![Point::new(15.0, 0.0)],
+            assignment: vec![0],
+        };
         let reduced = pro(&sc, &sol);
         assert!((reduced.powers[0] - 0.125).abs() < 1e-9);
         let opt = optimal_power_lp(&sc, &sol).unwrap();
@@ -463,7 +483,9 @@ mod fixed_point_tests {
                 .collect(),
             vec![BaseStation::new(Point::new(200.0, 200.0))],
             NetworkParams::new(
-                LinkBudget::builder().snr_threshold(Db::new(beta_db)).build(),
+                LinkBudget::builder()
+                    .snr_threshold(Db::new(beta_db))
+                    .build(),
                 1e-9,
             ),
         )
@@ -492,7 +514,12 @@ mod fixed_point_tests {
     #[test]
     fn fixed_point_lower_bounds_pro_on_samc_output() {
         let sc = scenario(
-            vec![(0.0, 0.0, 35.0), (20.0, 10.0, 35.0), (120.0, 0.0, 30.0), (-150.0, -80.0, 40.0)],
+            vec![
+                (0.0, 0.0, 35.0),
+                (20.0, 10.0, 35.0),
+                (120.0, 0.0, 30.0),
+                (-150.0, -80.0, 40.0),
+            ],
             -15.0,
         );
         let sol = samc(&sc).unwrap();
@@ -518,20 +545,31 @@ mod fixed_point_tests {
         // Two shared relays pinned ≈ 6 from their subscribers with the
         // interferer ≈ 12 away: +20 dB is unreachable at any power.
         let sc = scenario(
-            vec![(0.0, -6.0, 6.5), (0.0, 6.0, 6.5), (12.0, -6.0, 6.5), (12.0, 6.0, 6.5)],
+            vec![
+                (0.0, -6.0, 6.5),
+                (0.0, 6.0, 6.5),
+                (12.0, -6.0, 6.5),
+                (12.0, 6.0, 6.5),
+            ],
             20.0,
         );
         let sol = CoverageSolution {
             relays: vec![Point::new(0.0, 0.0), Point::new(12.0, 0.0)],
             assignment: vec![0, 0, 1, 1],
         };
-        assert!(matches!(optimal_power(&sc, &sol), Err(SagError::Infeasible(_))));
+        assert!(matches!(
+            optimal_power(&sc, &sol),
+            Err(SagError::Infeasible(_))
+        ));
     }
 
     #[test]
     fn single_relay_fixed_point_is_coverage_power() {
         let sc = scenario(vec![(0.0, 0.0, 30.0)], -15.0);
-        let sol = CoverageSolution { relays: vec![Point::new(15.0, 0.0)], assignment: vec![0] };
+        let sol = CoverageSolution {
+            relays: vec![Point::new(15.0, 0.0)],
+            assignment: vec![0],
+        };
         let fp = optimal_power(&sc, &sol).unwrap();
         assert!((fp.powers[0] - 0.125).abs() < 1e-12);
     }
@@ -612,8 +650,14 @@ mod sensitivity_tests {
             assignment: vec![0, 0],
         };
         let s = power_sensitivity(&sc, &sol).unwrap();
-        assert!(s[0] > 0.0, "binding subscriber must have positive sensitivity");
-        assert!(s[1].abs() < 1e-9, "slack subscriber must have zero sensitivity");
+        assert!(
+            s[0] > 0.0,
+            "binding subscriber must have positive sensitivity"
+        );
+        assert!(
+            s[1].abs() < 1e-9,
+            "slack subscriber must have zero sensitivity"
+        );
         // The dual equals dP/dPss = d^α / G = 30³.
         assert!((s[0] - 27000.0).abs() / 27000.0 < 1e-6, "got {}", s[0]);
     }

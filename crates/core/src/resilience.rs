@@ -110,8 +110,17 @@ pub fn analyze(
     }
 
     let n_relays = n - n_bs;
-    let fragility = if n_relays == 0 { 0.0 } else { critical.len() as f64 / n_relays as f64 };
-    ResilienceReport { critical_relays: critical, n_relays, fragility, connected }
+    let fragility = if n_relays == 0 {
+        0.0
+    } else {
+        critical.len() as f64 / n_relays as f64
+    };
+    ResilienceReport {
+        critical_relays: critical,
+        n_relays,
+        fragility,
+        connected,
+    }
 }
 
 #[cfg(test)]
@@ -128,7 +137,9 @@ mod tests {
             subs.into_iter()
                 .map(|(x, y, d)| Subscriber::new(Point::new(x, y), d))
                 .collect(),
-            bss.into_iter().map(|(x, y)| BaseStation::new(Point::new(x, y))).collect(),
+            bss.into_iter()
+                .map(|(x, y)| BaseStation::new(Point::new(x, y)))
+                .collect(),
             NetworkParams::default(),
         )
         .unwrap()
@@ -139,7 +150,10 @@ mod tests {
         // One coverage relay far from the lone BS: a pure chain, every
         // steiner relay critical.
         let sc = scenario(vec![(0.0, 0.0, 30.0)], vec![(200.0, 0.0)]);
-        let cov = CoverageSolution { relays: vec![Point::new(0.0, 0.0)], assignment: vec![0] };
+        let cov = CoverageSolution {
+            relays: vec![Point::new(0.0, 0.0)],
+            assignment: vec![0],
+        };
         let plan = mbmc(&sc, &cov).unwrap();
         assert!(plan.n_relays() >= 5);
         let rep = analyze(&sc, &cov, &plan);
@@ -154,7 +168,10 @@ mod tests {
     fn close_bs_means_no_critical_relays() {
         // Coverage relay adjacent to the BS: direct link, nothing to cut.
         let sc = scenario(vec![(0.0, 0.0, 30.0)], vec![(20.0, 0.0)]);
-        let cov = CoverageSolution { relays: vec![Point::new(0.0, 0.0)], assignment: vec![0] };
+        let cov = CoverageSolution {
+            relays: vec![Point::new(0.0, 0.0)],
+            assignment: vec![0],
+        };
         let plan = mbmc(&sc, &cov).unwrap();
         let rep = analyze(&sc, &cov, &plan);
         assert!(rep.connected);

@@ -6,8 +6,6 @@
 //! their per-hop minimum. The report carries every intermediate artefact
 //! so the experiment harness can reproduce each figure from one run.
 
-use serde::Serialize;
-
 use crate::coverage::CoverageSolution;
 use crate::error::SagResult;
 use crate::mbmc::{mbmc, ConnectivityPlan};
@@ -37,7 +35,8 @@ pub struct SagReport {
 }
 
 /// Compact power summary of a report (serializable for the harness).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct PowerSummary {
     /// `P_L`: total lower-tier power after PRO.
     pub lower: f64,
@@ -52,7 +51,11 @@ impl SagReport {
     pub fn power_summary(&self) -> PowerSummary {
         let lower = self.lower_power.total();
         let upper = self.upper_power.total();
-        PowerSummary { lower, upper, total: lower + upper }
+        PowerSummary {
+            lower,
+            upper,
+            total: lower + upper,
+        }
     }
 
     /// Number of coverage relays placed.
@@ -73,11 +76,19 @@ impl SagReport {
             .relays
             .iter()
             .zip(&self.lower_power.powers)
-            .map(|(&position, &power)| Relay { position, role: RelayRole::Coverage, power })
+            .map(|(&position, &power)| Relay {
+                position,
+                role: RelayRole::Coverage,
+                power,
+            })
             .collect();
         for (chain, &hp) in self.plan.chains.iter().zip(&self.upper_power.hop_power) {
             for &position in &chain.relays {
-                out.push(Relay { position, role: RelayRole::Connectivity, power: hp });
+                out.push(Relay {
+                    position,
+                    role: RelayRole::Connectivity,
+                    power: hp,
+                });
             }
         }
         out
@@ -122,7 +133,12 @@ pub fn run_sag_with(scenario: &Scenario, config: SagPipelineConfig) -> SagResult
     let lower_power = pro(scenario, &coverage); // Step 3
     let plan = mbmc(scenario, &coverage)?; // Step 4
     let upper_power = ucpo(scenario, &coverage, &plan); // Step 5
-    Ok(SagReport { coverage, lower_power, plan, upper_power })
+    Ok(SagReport {
+        coverage,
+        lower_power,
+        plan,
+        upper_power,
+    })
 }
 
 #[cfg(test)]
@@ -166,7 +182,11 @@ mod tests {
         let sc = scenario(4);
         let report = run_sag(&sc).unwrap();
         assert!(is_feasible(&sc, &report.coverage));
-        assert!(allocation_is_feasible(&sc, &report.coverage, &report.lower_power));
+        assert!(allocation_is_feasible(
+            &sc,
+            &report.coverage,
+            &report.lower_power
+        ));
         let p = report.power_summary();
         assert!(p.lower > 0.0 && p.upper > 0.0);
         assert!((p.total - p.lower - p.upper).abs() < 1e-12);
@@ -179,8 +199,14 @@ mod tests {
         let sc = scenario(2);
         let report = run_sag(&sc).unwrap();
         let relays = report.relays();
-        let n_cov = relays.iter().filter(|r| r.role == RelayRole::Coverage).count();
-        let n_con = relays.iter().filter(|r| r.role == RelayRole::Connectivity).count();
+        let n_cov = relays
+            .iter()
+            .filter(|r| r.role == RelayRole::Coverage)
+            .count();
+        let n_con = relays
+            .iter()
+            .filter(|r| r.role == RelayRole::Connectivity)
+            .count();
         assert_eq!(n_cov, report.n_coverage_relays());
         assert_eq!(n_con, report.n_connectivity_relays());
         for r in &relays {

@@ -79,7 +79,10 @@ pub fn samc_with(scenario: &Scenario, config: SamcConfig) -> SagResult<CoverageS
     // inter-zone noise still trips someone.
     let violations = snr_violations(scenario, &all_relays, &global_assignment);
     if violations.is_empty() {
-        return Ok(CoverageSolution { relays: all_relays, assignment: global_assignment });
+        return Ok(CoverageSolution {
+            relays: all_relays,
+            assignment: global_assignment,
+        });
     }
     rs_sliding_movement(scenario, all_relays, global_assignment)
         .ok_or_else(|| SagError::Infeasible("samc: global SNR repair failed".into()))
@@ -94,15 +97,21 @@ pub fn samc_with(scenario: &Scenario, config: SamcConfig) -> SagResult<CoverageS
 /// preferred solver still applies whenever it succeeds.
 fn solve_zone(zsc: &Scenario, config: SamcConfig) -> SagResult<CoverageSolution> {
     let order: [HittingStrategy; 3] = match config.hitting {
-        HittingStrategy::LocalSearch => {
-            [HittingStrategy::LocalSearch, HittingStrategy::Greedy, HittingStrategy::Exact]
-        }
-        HittingStrategy::Greedy => {
-            [HittingStrategy::Greedy, HittingStrategy::LocalSearch, HittingStrategy::Exact]
-        }
-        HittingStrategy::Exact => {
-            [HittingStrategy::Exact, HittingStrategy::LocalSearch, HittingStrategy::Greedy]
-        }
+        HittingStrategy::LocalSearch => [
+            HittingStrategy::LocalSearch,
+            HittingStrategy::Greedy,
+            HittingStrategy::Exact,
+        ],
+        HittingStrategy::Greedy => [
+            HittingStrategy::Greedy,
+            HittingStrategy::LocalSearch,
+            HittingStrategy::Exact,
+        ],
+        HittingStrategy::Exact => [
+            HittingStrategy::Exact,
+            HittingStrategy::LocalSearch,
+            HittingStrategy::Greedy,
+        ],
     };
     let mut last_err = SagError::Infeasible("samc: zone never attempted".into());
     for strategy in order {
@@ -173,7 +182,9 @@ mod tests {
                 .collect(),
             vec![BaseStation::new(Point::new(200.0, 200.0))],
             NetworkParams::new(
-                LinkBudget::builder().snr_threshold(Db::new(beta_db)).build(),
+                LinkBudget::builder()
+                    .snr_threshold(Db::new(beta_db))
+                    .build(),
                 1e-9,
             ),
         )
@@ -223,12 +234,24 @@ mod tests {
     #[test]
     fn strategies_all_feasible() {
         let sc = scenario(
-            vec![(-100.0, 0.0, 35.0), (-60.0, 10.0, 35.0), (100.0, 0.0, 30.0), (130.0, -20.0, 30.0)],
+            vec![
+                (-100.0, 0.0, 35.0),
+                (-60.0, 10.0, 35.0),
+                (100.0, 0.0, 30.0),
+                (130.0, -20.0, 30.0),
+            ],
             -15.0,
         );
-        for strategy in [HittingStrategy::LocalSearch, HittingStrategy::Greedy, HittingStrategy::Exact] {
+        for strategy in [
+            HittingStrategy::LocalSearch,
+            HittingStrategy::Greedy,
+            HittingStrategy::Exact,
+        ] {
             let sol = samc_with(&sc, SamcConfig { hitting: strategy }).unwrap();
-            assert!(is_feasible(&sc, &sol), "strategy {strategy:?} produced infeasible");
+            assert!(
+                is_feasible(&sc, &sol),
+                "strategy {strategy:?} produced infeasible"
+            );
         }
     }
 
@@ -244,8 +267,20 @@ mod tests {
             ],
             -15.0,
         );
-        let e = samc_with(&sc, SamcConfig { hitting: HittingStrategy::Exact }).unwrap();
-        let g = samc_with(&sc, SamcConfig { hitting: HittingStrategy::Greedy }).unwrap();
+        let e = samc_with(
+            &sc,
+            SamcConfig {
+                hitting: HittingStrategy::Exact,
+            },
+        )
+        .unwrap();
+        let g = samc_with(
+            &sc,
+            SamcConfig {
+                hitting: HittingStrategy::Greedy,
+            },
+        )
+        .unwrap();
         assert!(e.n_relays() <= g.n_relays());
     }
 

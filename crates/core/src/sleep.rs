@@ -54,10 +54,17 @@ pub fn schedule_slot(
     active: &[usize],
 ) -> SagResult<SlotPlan> {
     for &j in active {
-        assert!(j < scenario.n_subscribers(), "active subscriber {j} out of range");
+        assert!(
+            j < scenario.n_subscribers(),
+            "active subscriber {j} out of range"
+        );
     }
     if active.is_empty() {
-        return Ok(SlotPlan { awake: Vec::new(), assignment: Vec::new(), power: 0.0 });
+        return Ok(SlotPlan {
+            awake: Vec::new(),
+            assignment: Vec::new(),
+            power: 0.0,
+        });
     }
 
     // Greedy cover of the active set by placed relays (distance only),
@@ -168,9 +175,16 @@ fn try_slot(
     if !snr_violations(&sub_scenario, &awake_pos, &assignment).is_empty() {
         return None;
     }
-    let reduced = CoverageSolution { relays: awake_pos, assignment: assignment.clone() };
+    let reduced = CoverageSolution {
+        relays: awake_pos,
+        assignment: assignment.clone(),
+    };
     let powers: PowerAllocation = pro(&sub_scenario, &reduced);
-    Some(SlotPlan { awake: awake.to_vec(), assignment, power: powers.total() })
+    Some(SlotPlan {
+        awake: awake.to_vec(),
+        assignment,
+        power: powers.total(),
+    })
 }
 
 /// Integrates slot powers over a horizon of active sets; returns
@@ -261,7 +275,11 @@ mod tests {
         // Serving everyone with possibly fewer relays can shift power
         // around, but sleeping none of them reproduces PRO exactly —
         // the scheduler must never do worse than a small factor of it.
-        assert!(plan.power <= full * 1.5 + 1e-9, "slot {} vs PRO {full}", plan.power);
+        assert!(
+            plan.power <= full * 1.5 + 1e-9,
+            "slot {} vs PRO {full}",
+            plan.power
+        );
     }
 
     #[test]

@@ -52,7 +52,11 @@ pub fn rs_sliding_movement(
     mut relays: Vec<Point>,
     mut assignment: Vec<usize>,
 ) -> Option<CoverageSolution> {
-    assert_eq!(assignment.len(), scenario.n_subscribers(), "assignment length mismatch");
+    assert_eq!(
+        assignment.len(),
+        scenario.n_subscribers(),
+        "assignment length mismatch"
+    );
     assert!(
         assignment.iter().all(|&r| r < relays.len()),
         "assignment references a relay out of range"
@@ -122,8 +126,14 @@ pub fn rs_sliding_movement(
     for (j, &r) in assignment.iter().enumerate() {
         served[r].push(j);
     }
-    let repaired =
-        update_rs_topology(scenario, relays, &assignment, &served, violated, max_depth(scenario))?;
+    let repaired = update_rs_topology(
+        scenario,
+        relays,
+        &assignment,
+        &served,
+        violated,
+        max_depth(scenario),
+    )?;
     let mut relays = repaired;
     drop_unused_relays(&mut relays, &mut assignment);
     Some(CoverageSolution { relays, assignment })
@@ -173,7 +183,12 @@ fn interference_at(scenario: &Scenario, relays: &[Point], j: usize, serving: usi
 /// from which subscriber `j`'s SNR clears β given the *current* positions
 /// of all other relays. `None` when no position can (required radius is
 /// non-positive).
-fn virtual_circle(scenario: &Scenario, relays: &[Point], j: usize, serving: usize) -> Option<Circle> {
+fn virtual_circle(
+    scenario: &Scenario,
+    relays: &[Point],
+    j: usize,
+    serving: usize,
+) -> Option<Circle> {
     let beta = scenario.params.link.beta();
     let model = scenario.params.link.model();
     let pmax = scenario.params.link.pmax();
@@ -260,14 +275,9 @@ fn update_rs_topology(
         }
         if now_violated.len() < violated.len() && best_recursion.is_none() {
             // Alg. 5: recurse on the strictly smaller violation set.
-            if let Some(sol) = update_rs_topology(
-                scenario,
-                moved,
-                assignment,
-                served,
-                now_violated,
-                depth - 1,
-            ) {
+            if let Some(sol) =
+                update_rs_topology(scenario, moved, assignment, served, now_violated, depth - 1)
+            {
                 best_recursion = Some(sol);
                 break;
             }
@@ -292,7 +302,9 @@ mod tests {
                 .collect(),
             vec![BaseStation::new(Point::new(200.0, 200.0))],
             NetworkParams::new(
-                LinkBudget::builder().snr_threshold(Db::new(beta_db)).build(),
+                LinkBudget::builder()
+                    .snr_threshold(Db::new(beta_db))
+                    .build(),
                 1e-9,
             ),
         )
@@ -359,7 +371,12 @@ mod tests {
         // relay sits ≈ 12 away → SNR ≤ (13.4/6)³ ≈ 11 (10.4 dB).
         // A +20 dB threshold is unreachable by any sliding.
         let sc = scenario(
-            vec![(0.0, -6.0, 6.5), (0.0, 6.0, 6.5), (12.0, -6.0, 6.5), (12.0, 6.0, 6.5)],
+            vec![
+                (0.0, -6.0, 6.5),
+                (0.0, 6.0, 6.5),
+                (12.0, -6.0, 6.5),
+                (12.0, 6.0, 6.5),
+            ],
             20.0,
         );
         let relays = vec![Point::new(0.0, 0.0), Point::new(12.0, 0.0)];

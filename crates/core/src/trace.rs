@@ -70,15 +70,27 @@ impl fmt::Display for TraceEvent {
             TraceEvent::Zones { sizes } => {
                 write!(f, "zones: {} ({:?} subscribers)", sizes.len(), sizes)
             }
-            TraceEvent::CoveragePlaced { relays, one_on_one, violations } => write!(
+            TraceEvent::CoveragePlaced {
+                relays,
+                one_on_one,
+                violations,
+            } => write!(
                 f,
                 "coverage: {relays} relays, {one_on_one} one-on-one, {violations} SNR violations"
             ),
-            TraceEvent::LowerPower { before, after, floor } => write!(
+            TraceEvent::LowerPower {
+                before,
+                after,
+                floor,
+            } => write!(
                 f,
                 "lower power: {before:.3} -> {after:.3} (floor {floor:.3})"
             ),
-            TraceEvent::ConnectivityPlaced { relays, hops, base_stations_used } => write!(
+            TraceEvent::ConnectivityPlaced {
+                relays,
+                hops,
+                base_stations_used,
+            } => write!(
                 f,
                 "connectivity: {relays} relays over {hops} hops to {base_stations_used} BS(s)"
             ),
@@ -127,7 +139,9 @@ pub fn run_sag_traced(scenario: &Scenario) -> SagResult<(SagReport, PipelineTrac
     let mut trace = PipelineTrace::default();
 
     let zones = zone_partition(scenario);
-    trace.events.push(TraceEvent::Zones { sizes: zones.iter().map(Vec::len).collect() });
+    trace.events.push(TraceEvent::Zones {
+        sizes: zones.iter().map(Vec::len).collect(),
+    });
 
     let report = run_sag_with(scenario, SagPipelineConfig::default())?;
 
@@ -139,8 +153,12 @@ pub fn run_sag_traced(scenario: &Scenario) -> SagResult<(SagReport, PipelineTrac
     trace.events.push(TraceEvent::CoveragePlaced {
         relays: report.coverage.n_relays(),
         one_on_one,
-        violations: snr_violations(scenario, &report.coverage.relays, &report.coverage.assignment)
-            .len(),
+        violations: snr_violations(
+            scenario,
+            &report.coverage.relays,
+            &report.coverage.assignment,
+        )
+        .len(),
     });
 
     trace.events.push(TraceEvent::LowerPower {
@@ -207,7 +225,10 @@ mod tests {
             assert_eq!(sizes.iter().sum::<usize>(), sc.n_subscribers());
         }
         // Coverage counts agree with the report.
-        if let TraceEvent::CoveragePlaced { relays, violations, .. } = trace.events[1] {
+        if let TraceEvent::CoveragePlaced {
+            relays, violations, ..
+        } = trace.events[1]
+        {
             assert_eq!(relays, report.n_coverage_relays());
             assert_eq!(violations, 0);
         }
@@ -230,7 +251,12 @@ mod tests {
     fn floor_below_after_below_before() {
         let sc = scenario();
         let (_, trace) = run_sag_traced(&sc).unwrap();
-        if let TraceEvent::LowerPower { before, after, floor } = trace.events[2] {
+        if let TraceEvent::LowerPower {
+            before,
+            after,
+            floor,
+        } = trace.events[2]
+        {
             assert!(floor <= after + 1e-12);
             assert!(after <= before + 1e-12);
         } else {

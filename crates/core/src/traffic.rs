@@ -108,8 +108,12 @@ mod tests {
     #[test]
     fn higher_rate_means_shorter_distance() {
         let lb = link();
-        let slow = RateDemand::new(Point::ORIGIN, 1.0e6).to_subscriber(&lb).unwrap();
-        let fast = RateDemand::new(Point::ORIGIN, 4.0e6).to_subscriber(&lb).unwrap();
+        let slow = RateDemand::new(Point::ORIGIN, 1.0e6)
+            .to_subscriber(&lb)
+            .unwrap();
+        let fast = RateDemand::new(Point::ORIGIN, 4.0e6)
+            .to_subscriber(&lb)
+            .unwrap();
         assert!(fast.distance_req < slow.distance_req);
     }
 

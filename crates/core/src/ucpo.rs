@@ -98,7 +98,9 @@ mod tests {
             subs.into_iter()
                 .map(|(x, y, d)| Subscriber::new(Point::new(x, y), d))
                 .collect(),
-            bss.into_iter().map(|(x, y)| BaseStation::new(Point::new(x, y))).collect(),
+            bss.into_iter()
+                .map(|(x, y)| BaseStation::new(Point::new(x, y)))
+                .collect(),
             NetworkParams::default(),
         )
         .unwrap()
@@ -110,7 +112,10 @@ mod tests {
         // 4 hops of 25. P_rs = Pmax·G·25^{-α}; hop power =
         // P_rs·25^α/G = Pmax·(25/25)^α = Pmax·1 → exactly Pmax.
         let sc = scenario(vec![(0.0, 0.0, 25.0)], vec![(100.0, 0.0)]);
-        let coverage = CoverageSolution { relays: vec![Point::new(0.0, 0.0)], assignment: vec![0] };
+        let coverage = CoverageSolution {
+            relays: vec![Point::new(0.0, 0.0)],
+            assignment: vec![0],
+        };
         let plan = mbmc(&sc, &coverage).unwrap();
         let up = ucpo(&sc, &coverage, &plan);
         assert_eq!(up.hops, vec![4]);
@@ -124,7 +129,10 @@ mod tests {
         // BS 80 away, feasible 30: 3 hops of 26.67 → hop power < Pmax.
         let sc1 = scenario(vec![(0.0, 0.0, 30.0)], vec![(90.0, 0.0)]);
         let sc2 = scenario(vec![(0.0, 0.0, 30.0)], vec![(80.0, 0.0)]);
-        let cov = CoverageSolution { relays: vec![Point::new(0.0, 0.0)], assignment: vec![0] };
+        let cov = CoverageSolution {
+            relays: vec![Point::new(0.0, 0.0)],
+            assignment: vec![0],
+        };
         let p1 = ucpo(&sc1, &cov, &mbmc(&sc1, &cov).unwrap());
         let p2 = ucpo(&sc2, &cov, &mbmc(&sc2, &cov).unwrap());
         assert!((p1.hop_power[0] - 1.0).abs() < 1e-9);
@@ -172,7 +180,10 @@ mod tests {
     #[test]
     fn flatten_matches_totals() {
         let sc = scenario(vec![(0.0, 0.0, 30.0)], vec![(100.0, 0.0)]);
-        let cov = CoverageSolution { relays: vec![Point::new(0.0, 0.0)], assignment: vec![0] };
+        let cov = CoverageSolution {
+            relays: vec![Point::new(0.0, 0.0)],
+            assignment: vec![0],
+        };
         let plan = mbmc(&sc, &cov).unwrap();
         let up = ucpo(&sc, &cov, &plan);
         assert!((up.flatten().total() - up.total()).abs() < 1e-12);

@@ -66,22 +66,42 @@ impl fmt::Display for Finding {
         let state = if self.margin >= 0.0 { "ok" } else { "VIOLATED" };
         match &self.kind {
             FindingKind::AccessDistance { ss } => {
-                write!(f, "[{state}] SS{ss} access distance (margin {:+.2e})", self.margin)
+                write!(
+                    f,
+                    "[{state}] SS{ss} access distance (margin {:+.2e})",
+                    self.margin
+                )
             }
             FindingKind::AccessPower { ss } => {
-                write!(f, "[{state}] SS{ss} delivered power (margin {:+.2e})", self.margin)
+                write!(
+                    f,
+                    "[{state}] SS{ss} delivered power (margin {:+.2e})",
+                    self.margin
+                )
             }
             FindingKind::AccessSnr { ss } => {
                 write!(f, "[{state}] SS{ss} SNR (margin {:+.2e})", self.margin)
             }
             FindingKind::PowerCap { relay } => {
-                write!(f, "[{state}] relay {relay} power cap (margin {:+.2e})", self.margin)
+                write!(
+                    f,
+                    "[{state}] relay {relay} power cap (margin {:+.2e})",
+                    self.margin
+                )
             }
             FindingKind::HopLength { chain } => {
-                write!(f, "[{state}] chain {chain} hop length (margin {:+.2e})", self.margin)
+                write!(
+                    f,
+                    "[{state}] chain {chain} hop length (margin {:+.2e})",
+                    self.margin
+                )
             }
             FindingKind::ChainPower { chain } => {
-                write!(f, "[{state}] chain {chain} relay-link power (margin {:+.2e})", self.margin)
+                write!(
+                    f,
+                    "[{state}] chain {chain} relay-link power (margin {:+.2e})",
+                    self.margin
+                )
             }
         }
     }
@@ -168,8 +188,15 @@ pub fn validate_report(scenario: &Scenario, report: &SagReport) -> ValidationRep
             j,
             r,
         );
-        let snr_margin = if snr.is_infinite() { 1.0 } else { snr / beta - 1.0 + REL_TOL };
-        findings.push(Finding { kind: FindingKind::AccessSnr { ss: j }, margin: snr_margin });
+        let snr_margin = if snr.is_infinite() {
+            1.0
+        } else {
+            snr / beta - 1.0 + REL_TOL
+        };
+        findings.push(Finding {
+            kind: FindingKind::AccessSnr { ss: j },
+            margin: snr_margin,
+        });
     }
 
     // Power caps over every materialised relay.
@@ -232,9 +259,8 @@ mod tests {
         assert!(audit.is_clean(), "violations: {audit}");
         assert!(audit.worst_margin() >= 0.0);
         // Counts: 3 constraints per SS + 1 per relay + 2 per chain.
-        let expected = 3 * sc.n_subscribers()
-            + report.relays().len()
-            + 2 * report.plan.chains.len();
+        let expected =
+            3 * sc.n_subscribers() + report.relays().len() + 2 * report.plan.chains.len();
         assert_eq!(audit.findings.len(), expected);
     }
 

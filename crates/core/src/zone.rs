@@ -52,7 +52,10 @@ pub fn zone_partition(scenario: &Scenario) -> Vec<Zone> {
 /// # Panics
 /// Panics unless `dmax` is non-negative and finite.
 pub fn zone_partition_with_dmax(scenario: &Scenario, dmax: f64) -> Vec<Zone> {
-    assert!(dmax.is_finite() && dmax >= 0.0, "dmax must be ≥ 0, got {dmax}");
+    assert!(
+        dmax.is_finite() && dmax >= 0.0,
+        "dmax must be ≥ 0, got {dmax}"
+    );
     let n = scenario.n_subscribers();
     let mut g = Graph::new(n);
     for i in 0..n {
@@ -108,9 +111,9 @@ mod tests {
         let sc = scenario_with_nmax(
             vec![
                 (0.0, 0.0, 5.0),
-                (12.0, 0.0, 5.0),   // deff = 7 ≤ 10 → same zone
-                (300.0, 0.0, 5.0),  // far → own zone
-                (310.0, 0.0, 5.0),  // deff = 5 → joins previous
+                (12.0, 0.0, 5.0),  // deff = 7 ≤ 10 → same zone
+                (300.0, 0.0, 5.0), // far → own zone
+                (310.0, 0.0, 5.0), // deff = 5 → joins previous
             ],
             1e-3,
         );
@@ -169,7 +172,12 @@ mod tests {
     #[test]
     fn zones_partition_everything() {
         let sc = scenario_with_nmax(
-            vec![(0.0, 0.0, 5.0), (100.0, 0.0, 5.0), (200.0, 0.0, 5.0), (13.0, 0.0, 5.0)],
+            vec![
+                (0.0, 0.0, 5.0),
+                (100.0, 0.0, 5.0),
+                (200.0, 0.0, 5.0),
+                (13.0, 0.0, 5.0),
+            ],
             1e-3,
         );
         let zones = zone_partition(&sc);

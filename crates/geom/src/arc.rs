@@ -26,7 +26,9 @@ use crate::point::Point;
 /// ```
 pub fn sample_circle(circle: &Circle, n: usize, phase: f64) -> Vec<Point> {
     let step = std::f64::consts::TAU / n.max(1) as f64;
-    (0..n).map(|k| circle.point_at(phase + k as f64 * step)).collect()
+    (0..n)
+        .map(|k| circle.point_at(phase + k as f64 * step))
+        .collect()
 }
 
 /// Samples `n` points on the arc from angle `from` to angle `to`
@@ -46,7 +48,9 @@ pub fn sample_arc(circle: &Circle, from: f64, to: f64, n: usize) -> Vec<Point> {
         return vec![circle.point_at(from + span / 2.0)];
     }
     let step = span / (n - 1) as f64;
-    (0..n).map(|k| circle.point_at(from + k as f64 * step)).collect()
+    (0..n)
+        .map(|k| circle.point_at(from + k as f64 * step))
+        .collect()
 }
 
 /// The angle (radians) of point `p` as seen from the circle's centre.
@@ -78,7 +82,11 @@ pub fn sliding_candidates(circle: &Circle, at: Point, n: usize) -> Vec<Point> {
     out.push(circle.point_at(base));
     while out.len() < n {
         let delta = k.div_ceil(2) as f64 * step;
-        let theta = if k % 2 == 1 { base + delta } else { base - delta };
+        let theta = if k % 2 == 1 {
+            base + delta
+        } else {
+            base - delta
+        };
         out.push(circle.point_at(theta));
         k += 1;
     }
@@ -88,7 +96,7 @@ pub fn sliding_candidates(circle: &Circle, at: Point, n: usize) -> Vec<Point> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use sag_testkit::prelude::*;
 
     fn c(r: f64) -> Circle {
         Circle::new(Point::new(1.0, -2.0), r)
@@ -112,7 +120,12 @@ mod tests {
         for i in 0..4 {
             let a = pts[i];
             let b = pts[(i + 1) % 4];
-            assert!((a.distance(b) - 2.0 * 2.0_f64.sqrt() * 2.0 / 2.0_f64.sqrt() / 2.0 * 2.0_f64.sqrt()).abs() < 1.0);
+            assert!(
+                (a.distance(b)
+                    - 2.0 * 2.0_f64.sqrt() * 2.0 / 2.0_f64.sqrt() / 2.0 * 2.0_f64.sqrt())
+                .abs()
+                    < 1.0
+            );
             // chord of 90° on radius 2 = 2*sqrt(2)
             assert!((a.distance(b) - 2.0 * (2.0_f64).sqrt()).abs() < 1e-9);
         }
@@ -131,7 +144,12 @@ mod tests {
     fn sample_arc_wraps_negative_span() {
         let circle = c(1.0);
         // from 3π/2 to π/2, wrapping through 0.
-        let pts = sample_arc(&circle, 3.0 * std::f64::consts::FRAC_PI_2, std::f64::consts::FRAC_PI_2, 3);
+        let pts = sample_arc(
+            &circle,
+            3.0 * std::f64::consts::FRAC_PI_2,
+            std::f64::consts::FRAC_PI_2,
+            3,
+        );
         assert_eq!(pts.len(), 3);
         // Midpoint should be at angle 0 (the wrap-through point), i.e. (cx + r, cy).
         assert!(pts[1].approx_eq(circle.point_at(0.0)));
@@ -171,8 +189,7 @@ mod tests {
         assert!(cands.iter().all(|p| circle.on_boundary(*p)));
     }
 
-    proptest! {
-        #[test]
+    prop! {
         fn prop_samples_on_boundary(r in 0.5..60.0f64, n in 1usize..40, phase in -6.3..6.3f64) {
             let circle = Circle::new(Point::new(-3.0, 7.0), r);
             for p in sample_circle(&circle, n, phase) {
@@ -180,7 +197,6 @@ mod tests {
             }
         }
 
-        #[test]
         fn prop_sliding_candidates_on_boundary(r in 0.5..60.0f64, n in 1usize..40, theta in -6.3..6.3f64) {
             let circle = Circle::new(Point::new(2.0, 2.0), r);
             let at = circle.point_at(theta);

@@ -6,14 +6,14 @@
 //! pairwise intersection points of these circles; *RS Sliding Movement*
 //! slides relay positions along them.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 use crate::float;
 use crate::point::{Point, Vec2};
 
 /// A circle (and, in predicates, the closed disk it bounds).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Circle {
     /// Centre point.
     pub center: Point,
@@ -177,8 +177,14 @@ impl Circle {
         }
         let r2 = r * r;
         let big2 = bigr * bigr;
-        let alpha = ((d * d + r2 - big2) / (2.0 * d * r)).clamp(-1.0, 1.0).acos() * 2.0;
-        let beta = ((d * d + big2 - r2) / (2.0 * d * bigr)).clamp(-1.0, 1.0).acos() * 2.0;
+        let alpha = ((d * d + r2 - big2) / (2.0 * d * r))
+            .clamp(-1.0, 1.0)
+            .acos()
+            * 2.0;
+        let beta = ((d * d + big2 - r2) / (2.0 * d * bigr))
+            .clamp(-1.0, 1.0)
+            .acos()
+            * 2.0;
         0.5 * (r2 * (alpha - alpha.sin()) + big2 * (beta - beta.sin()))
     }
 
@@ -201,7 +207,7 @@ impl fmt::Display for Circle {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use sag_testkit::prelude::*;
 
     fn c(x: f64, y: f64, r: f64) -> Circle {
         Circle::new(Point::new(x, y), r)
@@ -209,13 +215,31 @@ mod tests {
 
     #[test]
     fn relation_classification() {
-        assert_eq!(c(0.0, 0.0, 1.0).relation(&c(3.0, 0.0, 1.0)), CircleRelation::Disjoint);
-        assert_eq!(c(0.0, 0.0, 1.0).relation(&c(2.0, 0.0, 1.0)), CircleRelation::Tangent);
-        assert_eq!(c(0.0, 0.0, 1.0).relation(&c(1.0, 0.0, 1.0)), CircleRelation::Crossing);
-        assert_eq!(c(0.0, 0.0, 3.0).relation(&c(0.5, 0.0, 1.0)), CircleRelation::Nested);
-        assert_eq!(c(0.0, 0.0, 1.0).relation(&c(0.0, 0.0, 1.0)), CircleRelation::Coincident);
+        assert_eq!(
+            c(0.0, 0.0, 1.0).relation(&c(3.0, 0.0, 1.0)),
+            CircleRelation::Disjoint
+        );
+        assert_eq!(
+            c(0.0, 0.0, 1.0).relation(&c(2.0, 0.0, 1.0)),
+            CircleRelation::Tangent
+        );
+        assert_eq!(
+            c(0.0, 0.0, 1.0).relation(&c(1.0, 0.0, 1.0)),
+            CircleRelation::Crossing
+        );
+        assert_eq!(
+            c(0.0, 0.0, 3.0).relation(&c(0.5, 0.0, 1.0)),
+            CircleRelation::Nested
+        );
+        assert_eq!(
+            c(0.0, 0.0, 1.0).relation(&c(0.0, 0.0, 1.0)),
+            CircleRelation::Coincident
+        );
         // Internal tangency
-        assert_eq!(c(0.0, 0.0, 2.0).relation(&c(1.0, 0.0, 1.0)), CircleRelation::Tangent);
+        assert_eq!(
+            c(0.0, 0.0, 2.0).relation(&c(1.0, 0.0, 1.0)),
+            CircleRelation::Tangent
+        );
     }
 
     #[test]
@@ -241,9 +265,15 @@ mod tests {
 
     #[test]
     fn disjoint_and_nested_have_no_points() {
-        assert!(c(0.0, 0.0, 1.0).intersection_points(&c(5.0, 0.0, 1.0)).is_empty());
-        assert!(c(0.0, 0.0, 5.0).intersection_points(&c(0.5, 0.0, 1.0)).is_empty());
-        assert!(c(0.0, 0.0, 1.0).intersection_points(&c(0.0, 0.0, 1.0)).is_empty());
+        assert!(c(0.0, 0.0, 1.0)
+            .intersection_points(&c(5.0, 0.0, 1.0))
+            .is_empty());
+        assert!(c(0.0, 0.0, 5.0)
+            .intersection_points(&c(0.5, 0.0, 1.0))
+            .is_empty());
+        assert!(c(0.0, 0.0, 1.0)
+            .intersection_points(&c(0.0, 0.0, 1.0))
+            .is_empty());
     }
 
     #[test]
@@ -295,8 +325,7 @@ mod tests {
         Circle::new(Point::ORIGIN, -1.0);
     }
 
-    proptest! {
-        #[test]
+    prop! {
         fn prop_intersections_on_both_boundaries(
             ax in -100.0..100.0f64, ay in -100.0..100.0f64, ar in 1.0..50.0f64,
             bx in -100.0..100.0f64, by in -100.0..100.0f64, br in 1.0..50.0f64,
@@ -309,7 +338,6 @@ mod tests {
             }
         }
 
-        #[test]
         fn prop_intersection_area_symmetric_and_bounded(
             ax in -100.0..100.0f64, ay in -100.0..100.0f64, ar in 1.0..50.0f64,
             bx in -100.0..100.0f64, by in -100.0..100.0f64, br in 1.0..50.0f64,
@@ -322,7 +350,6 @@ mod tests {
             prop_assert!((s - b.intersection_area(&a)).abs() < 1e-6);
         }
 
-        #[test]
         fn prop_point_at_round_trip(theta in -6.3..6.3f64, r in 0.5..40.0f64) {
             let a = c(1.0, 2.0, r);
             let p = a.point_at(theta);

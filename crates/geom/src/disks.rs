@@ -144,7 +144,7 @@ pub fn blocking_disks(disks: &[Circle]) -> Vec<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use sag_testkit::prelude::*;
 
     fn c(x: f64, y: f64, r: f64) -> Circle {
         Circle::new(Point::new(x, y), r)
@@ -234,10 +234,9 @@ mod tests {
         assert!(!blockers.contains(&0) && !blockers.contains(&1));
     }
 
-    proptest! {
-        #[test]
+    prop! {
         fn prop_witness_is_in_all(
-            xs in proptest::collection::vec((-50.0..50.0f64, -50.0..50.0f64, 5.0..40.0f64), 1..8)
+            xs in vec_of((-50.0..50.0f64, -50.0..50.0f64, 5.0..40.0f64), 1..8)
         ) {
             let fam: Vec<Circle> = xs.iter().map(|&(x, y, r)| c(x, y, r)).collect();
             if let Some(w) = common_point(&fam) {
@@ -247,7 +246,6 @@ mod tests {
             }
         }
 
-        #[test]
         fn prop_shrunk_family_keeps_witness(
             x in -20.0..20.0f64, y in -20.0..20.0f64,
         ) {

@@ -7,13 +7,12 @@
 //! the optimiser's running time grows non-linearly with the candidate
 //! count (§III-A, Fig. 3(e)).
 
-use serde::{Deserialize, Serialize};
-
 use crate::point::Point;
 use crate::rect::Rect;
 
 /// Specification of a uniform square grid over a rectangle.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct GridSpec {
     rect: Rect,
     cell: f64,
@@ -29,7 +28,10 @@ impl GridSpec {
     /// # Panics
     /// Panics if `cell` is not strictly positive and finite.
     pub fn new(rect: Rect, cell: f64) -> Self {
-        assert!(cell.is_finite() && cell > 0.0, "grid cell must be > 0, got {cell}");
+        assert!(
+            cell.is_finite() && cell > 0.0,
+            "grid cell must be > 0, got {cell}"
+        );
         GridSpec { rect, cell }
     }
 
@@ -72,7 +74,10 @@ impl GridSpec {
     /// # Panics
     /// Panics if `col`/`row` are out of range.
     pub fn cell_center(&self, col: usize, row: usize) -> Point {
-        assert!(col < self.cols() && row < self.rows(), "cell index out of range");
+        assert!(
+            col < self.cols() && row < self.rows(),
+            "cell index out of range"
+        );
         let p = Point::new(
             self.rect.min().x + (col as f64 + 0.5) * self.cell,
             self.rect.min().y + (row as f64 + 0.5) * self.cell,
@@ -89,7 +94,10 @@ impl GridSpec {
     /// assert_eq!(g.centers().count(), g.len());
     /// ```
     pub fn centers(&self) -> Centers {
-        Centers { grid: *self, idx: 0 }
+        Centers {
+            grid: *self,
+            idx: 0,
+        }
     }
 
     /// Index of the cell containing point `p` as `(col, row)`, or `None`
@@ -136,7 +144,7 @@ impl ExactSizeIterator for Centers {}
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use sag_testkit::prelude::*;
 
     #[test]
     fn exact_division() {
@@ -193,14 +201,12 @@ mod tests {
         GridSpec::new(Rect::centered_square(10.0), 0.0);
     }
 
-    proptest! {
-        #[test]
+    prop! {
         fn prop_count_matches_iterator(side in 10.0..900.0f64, cell in 5.0..50.0f64) {
             let g = GridSpec::new(Rect::centered_square(side), cell);
             prop_assert_eq!(g.centers().count(), g.len());
         }
 
-        #[test]
         fn prop_every_point_near_some_center(side in 50.0..400.0f64, cell in 5.0..40.0f64,
                                              t in 0.0..1.0f64, u in 0.0..1.0f64) {
             let r = Rect::centered_square(side);

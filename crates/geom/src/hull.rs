@@ -25,9 +25,7 @@ use crate::point::Point;
 /// ```
 pub fn convex_hull(points: &[Point]) -> Vec<Point> {
     let mut pts: Vec<Point> = points.to_vec();
-    pts.sort_by(|a, b| {
-        float::total_cmp(&a.x, &b.x).then_with(|| float::total_cmp(&a.y, &b.y))
-    });
+    pts.sort_by(|a, b| float::total_cmp(&a.x, &b.x).then_with(|| float::total_cmp(&a.y, &b.y)));
     pts.dedup_by(|a, b| a.approx_eq(*b));
     let n = pts.len();
     if n <= 2 {
@@ -123,8 +121,7 @@ pub fn convex_contains(hull: &[Point], p: Point) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
-    use rand::{rngs::StdRng, Rng as _, SeedableRng as _};
+    use sag_testkit::prelude::*;
 
     #[test]
     fn square_hull() {
@@ -158,7 +155,11 @@ mod tests {
     fn degenerate_inputs() {
         assert!(convex_hull(&[]).is_empty());
         assert_eq!(convex_hull(&[Point::new(1.0, 1.0)]).len(), 1);
-        let collinear = vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0), Point::new(2.0, 2.0)];
+        let collinear = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(2.0, 2.0),
+        ];
         let h = convex_hull(&collinear);
         assert_eq!(h.len(), 2);
         assert_eq!(polygon_area(&h), 0.0);
@@ -193,10 +194,9 @@ mod tests {
         assert!(!convex_contains(&h, Point::new(1.0, 0.0)));
     }
 
-    proptest! {
-        #[test]
+    prop! {
         fn prop_all_points_inside_hull(seed in 0u64..500, n in 3usize..40) {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = Rng::seed_from_u64(seed);
             let pts: Vec<Point> = (0..n)
                 .map(|_| Point::new(rng.gen_range(-50.0..50.0), rng.gen_range(-50.0..50.0)))
                 .collect();
@@ -206,9 +206,8 @@ mod tests {
             }
         }
 
-        #[test]
         fn prop_hull_area_nonnegative(seed in 0u64..500, n in 1usize..30) {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = Rng::seed_from_u64(seed);
             let pts: Vec<Point> = (0..n)
                 .map(|_| Point::new(rng.gen_range(-50.0..50.0), rng.gen_range(-50.0..50.0)))
                 .collect();

@@ -114,8 +114,7 @@ fn circle_three(a: Point, b: Point, c: Point) -> Circle {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
-    use rand::{rngs::StdRng, Rng as _, SeedableRng as _};
+    use sag_testkit::prelude::*;
 
     #[test]
     fn empty_and_singleton() {
@@ -147,14 +146,22 @@ mod tests {
     #[test]
     fn obtuse_triangle_uses_two_points() {
         // Very flat triangle: MEC is the diametral circle of the long side.
-        let pts = [Point::new(0.0, 0.0), Point::new(10.0, 0.0), Point::new(5.0, 0.1)];
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(5.0, 0.1),
+        ];
         let c = minimum_enclosing_circle(&pts).unwrap();
         assert!((c.radius - 5.0).abs() < 1e-3);
     }
 
     #[test]
     fn collinear_points() {
-        let pts = [Point::new(0.0, 0.0), Point::new(5.0, 0.0), Point::new(2.0, 0.0)];
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(5.0, 0.0),
+            Point::new(2.0, 0.0),
+        ];
         let c = minimum_enclosing_circle(&pts).unwrap();
         assert!((c.radius - 2.5).abs() < 1e-9);
     }
@@ -174,10 +181,9 @@ mod tests {
         assert!((c.radius - 3.0).abs() < 1e-9);
     }
 
-    proptest! {
-        #[test]
+    prop! {
         fn prop_encloses_all(seed in 0u64..300, n in 1usize..40) {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = Rng::seed_from_u64(seed);
             let pts: Vec<Point> = (0..n)
                 .map(|_| Point::new(rng.gen_range(-100.0..100.0), rng.gen_range(-100.0..100.0)))
                 .collect();
@@ -188,9 +194,8 @@ mod tests {
             }
         }
 
-        #[test]
         fn prop_not_larger_than_diametral_bound(seed in 0u64..300, n in 2usize..25) {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = Rng::seed_from_u64(seed);
             let pts: Vec<Point> = (0..n)
                 .map(|_| Point::new(rng.gen_range(-100.0..100.0), rng.gen_range(-100.0..100.0)))
                 .collect();
@@ -206,9 +211,8 @@ mod tests {
             prop_assert!(c.radius + 1e-6 >= diam / 2.0);
         }
 
-        #[test]
         fn prop_order_invariant(seed in 0u64..100, n in 2usize..15) {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = Rng::seed_from_u64(seed);
             let pts: Vec<Point> = (0..n)
                 .map(|_| Point::new(rng.gen_range(-50.0..50.0), rng.gen_range(-50.0..50.0)))
                 .collect();

@@ -1,6 +1,5 @@
 //! Planar points and displacement vectors.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
 
@@ -18,7 +17,8 @@ use crate::float;
 /// let q = p + Vec2::new(3.0, 4.0);
 /// assert_eq!(p.distance(q), 5.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Point {
     /// Horizontal coordinate.
     pub x: f64,
@@ -27,7 +27,8 @@ pub struct Point {
 }
 
 /// A displacement vector in the plane.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Vec2 {
     /// Horizontal component.
     pub x: f64,
@@ -276,7 +277,7 @@ impl fmt::Display for Vec2 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use sag_testkit::prelude::*;
 
     #[test]
     fn distance_is_euclidean() {
@@ -345,8 +346,7 @@ mod tests {
         assert!(!format!("{}", Vec2::ZERO).is_empty());
     }
 
-    proptest! {
-        #[test]
+    prop! {
         fn distance_symmetric(ax in -1e3..1e3f64, ay in -1e3..1e3f64,
                               bx in -1e3..1e3f64, by in -1e3..1e3f64) {
             let a = Point::new(ax, ay);
@@ -354,7 +354,6 @@ mod tests {
             prop_assert!((a.distance(b) - b.distance(a)).abs() < 1e-9);
         }
 
-        #[test]
         fn triangle_inequality(ax in -1e3..1e3f64, ay in -1e3..1e3f64,
                                bx in -1e3..1e3f64, by in -1e3..1e3f64,
                                cx in -1e3..1e3f64, cy in -1e3..1e3f64) {
@@ -364,14 +363,12 @@ mod tests {
             prop_assert!(a.distance(c) <= a.distance(b) + b.distance(c) + 1e-9);
         }
 
-        #[test]
         fn rotation_preserves_norm(x in -1e3..1e3f64, y in -1e3..1e3f64,
                                    theta in -10.0..10.0f64) {
             let v = Vec2::new(x, y);
             prop_assert!((v.rotate(theta).norm() - v.norm()).abs() < 1e-6);
         }
 
-        #[test]
         fn lerp_endpoints(ax in -1e3..1e3f64, ay in -1e3..1e3f64,
                           bx in -1e3..1e3f64, by in -1e3..1e3f64) {
             let a = Point::new(ax, ay);
@@ -393,7 +390,10 @@ mod tests {
 /// # Panics
 /// Panics unless `tol > 0` and finite.
 pub fn dedup_points_grid(points: Vec<Point>, tol: f64) -> Vec<Point> {
-    assert!(tol.is_finite() && tol > 0.0, "tolerance must be > 0, got {tol}");
+    assert!(
+        tol.is_finite() && tol > 0.0,
+        "tolerance must be > 0, got {tol}"
+    );
     let mut seen: std::collections::HashMap<(i64, i64), Vec<usize>> = Default::default();
     let mut out: Vec<Point> = Vec::with_capacity(points.len());
     let key = |v: f64| (v / tol).floor() as i64;
@@ -421,7 +421,7 @@ pub fn dedup_points_grid(points: Vec<Point>, tol: f64) -> Vec<Point> {
 #[cfg(test)]
 mod dedup_tests {
     use super::*;
-    use proptest::prelude::*;
+    use sag_testkit::prelude::*;
 
     #[test]
     fn exact_duplicates_removed() {
@@ -438,14 +438,20 @@ mod dedup_tests {
 
     #[test]
     fn order_preserved() {
-        let pts = vec![Point::new(5.0, 0.0), Point::new(1.0, 0.0), Point::new(5.0, 0.0)];
+        let pts = vec![
+            Point::new(5.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(5.0, 0.0),
+        ];
         let out = dedup_points_grid(pts, 1e-9);
         assert_eq!(out, vec![Point::new(5.0, 0.0), Point::new(1.0, 0.0)]);
     }
 
     #[test]
     fn distant_points_all_kept() {
-        let pts: Vec<Point> = (0..100).map(|k| Point::new(k as f64, -(k as f64))).collect();
+        let pts: Vec<Point> = (0..100)
+            .map(|k| Point::new(k as f64, -(k as f64)))
+            .collect();
         assert_eq!(dedup_points_grid(pts, 1e-9).len(), 100);
     }
 
@@ -455,11 +461,9 @@ mod dedup_tests {
         dedup_points_grid(vec![], 0.0);
     }
 
-    proptest! {
-        #[test]
+    prop! {
         fn prop_no_close_pairs_survive(seed in 0u64..200) {
-            use rand::{rngs::StdRng, Rng as _, SeedableRng as _};
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = Rng::seed_from_u64(seed);
             let pts: Vec<Point> = (0..60)
                 .map(|_| Point::new(rng.gen_range(-5.0..5.0), rng.gen_range(-5.0..5.0)))
                 .collect();

@@ -1,6 +1,5 @@
 //! Axis-aligned rectangles (the playing field).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 use crate::float;
@@ -11,7 +10,8 @@ use crate::point::Point;
 /// The paper's playing fields are squares centred at the origin
 /// (`300×300`, `500×500`, `800×800`); [`Rect::centered_square`] builds
 /// those directly.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Rect {
     min: Point,
     max: Point,
@@ -31,7 +31,10 @@ impl Rect {
     /// # Panics
     /// Panics if `side` is negative or not finite.
     pub fn centered_square(side: f64) -> Self {
-        assert!(side.is_finite() && side >= 0.0, "side must be ≥ 0, got {side}");
+        assert!(
+            side.is_finite() && side >= 0.0,
+            "side must be ≥ 0, got {side}"
+        );
         let h = side / 2.0;
         Rect::from_corners(Point::new(-h, -h), Point::new(h, h))
     }
@@ -99,7 +102,10 @@ impl Rect {
             min: Point::new(self.min.x - margin, self.min.y - margin),
             max: Point::new(self.max.x + margin, self.max.y + margin),
         };
-        assert!(r.min.x <= r.max.x && r.min.y <= r.max.y, "inflate shrank rect below zero size");
+        assert!(
+            r.min.x <= r.max.x && r.min.y <= r.max.y,
+            "inflate shrank rect below zero size"
+        );
         r
     }
 
@@ -123,7 +129,7 @@ impl fmt::Display for Rect {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use sag_testkit::prelude::*;
 
     #[test]
     fn corners_normalised() {
@@ -176,8 +182,7 @@ mod tests {
         Rect::centered_square(-1.0);
     }
 
-    proptest! {
-        #[test]
+    prop! {
         fn prop_clamp_is_inside(
             ax in -100.0..100.0f64, ay in -100.0..100.0f64,
             bx in -100.0..100.0f64, by in -100.0..100.0f64,
@@ -187,7 +192,6 @@ mod tests {
             prop_assert!(r.contains(r.clamp(Point::new(px, py))));
         }
 
-        #[test]
         fn prop_clamp_identity_inside(side in 1.0..500.0f64, t in 0.0..1.0f64, u in 0.0..1.0f64) {
             let r = Rect::centered_square(side);
             let p = Point::new(

@@ -4,14 +4,14 @@
 //! crossings in topology dumps, and to measure point–link distances for
 //! interference diagnostics.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 use crate::float;
 use crate::point::Point;
 
 /// A closed line segment between two points.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Segment {
     /// Start point.
     pub a: Point,
@@ -25,7 +25,10 @@ impl Segment {
     /// # Panics
     /// Panics if either endpoint is not finite.
     pub fn new(a: Point, b: Point) -> Self {
-        assert!(a.is_finite() && b.is_finite(), "segment endpoints must be finite");
+        assert!(
+            a.is_finite() && b.is_finite(),
+            "segment endpoints must be finite"
+        );
         Segment { a, b }
     }
 
@@ -101,7 +104,7 @@ impl fmt::Display for Segment {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use sag_testkit::prelude::*;
 
     fn seg(ax: f64, ay: f64, bx: f64, by: f64) -> Segment {
         Segment::new(Point::new(ax, ay), Point::new(bx, by))
@@ -128,14 +131,22 @@ mod tests {
     fn closest_point_cases() {
         let s = seg(0.0, 0.0, 10.0, 0.0);
         // Interior projection.
-        assert!(s.closest_point(Point::new(5.0, 3.0)).approx_eq(Point::new(5.0, 0.0)));
+        assert!(s
+            .closest_point(Point::new(5.0, 3.0))
+            .approx_eq(Point::new(5.0, 0.0)));
         // Clamped to endpoints.
-        assert!(s.closest_point(Point::new(-4.0, 3.0)).approx_eq(Point::new(0.0, 0.0)));
-        assert!(s.closest_point(Point::new(14.0, -3.0)).approx_eq(Point::new(10.0, 0.0)));
+        assert!(s
+            .closest_point(Point::new(-4.0, 3.0))
+            .approx_eq(Point::new(0.0, 0.0)));
+        assert!(s
+            .closest_point(Point::new(14.0, -3.0))
+            .approx_eq(Point::new(10.0, 0.0)));
         assert_eq!(s.distance_to_point(Point::new(5.0, 3.0)), 3.0);
         // Degenerate segment.
         let d = seg(1.0, 1.0, 1.0, 1.0);
-        assert!(d.closest_point(Point::new(5.0, 5.0)).approx_eq(Point::new(1.0, 1.0)));
+        assert!(d
+            .closest_point(Point::new(5.0, 5.0))
+            .approx_eq(Point::new(1.0, 1.0)));
     }
 
     #[test]
@@ -156,8 +167,7 @@ mod tests {
         assert!(seg(0.0, 0.0, 2.0, 0.0).intersects(&seg(1.0, -1.0, 1.0, 0.0)));
     }
 
-    proptest! {
-        #[test]
+    prop! {
         fn prop_point_at_on_segment(ax in -50.0..50.0f64, ay in -50.0..50.0f64,
                                     bx in -50.0..50.0f64, by in -50.0..50.0f64,
                                     t in 0.0..1.0f64) {
@@ -166,7 +176,6 @@ mod tests {
             prop_assert!(s.distance_to_point(p) < 1e-9);
         }
 
-        #[test]
         fn prop_subdivide_even_spacing(n in 1usize..12) {
             let s = seg(0.0, 0.0, 60.0, 0.0);
             let pts = s.subdivide(n);
@@ -179,7 +188,6 @@ mod tests {
             }
         }
 
-        #[test]
         fn prop_closest_point_is_closest(ax in -20.0..20.0f64, ay in -20.0..20.0f64,
                                          bx in -20.0..20.0f64, by in -20.0..20.0f64,
                                          px in -30.0..30.0f64, py in -30.0..30.0f64,

@@ -40,13 +40,20 @@ impl SpatialHash {
     /// Panics if `cell` is not strictly positive and finite, or any point
     /// is not finite.
     pub fn build(points: &[Point], cell: f64) -> Self {
-        assert!(cell.is_finite() && cell > 0.0, "cell must be > 0, got {cell}");
+        assert!(
+            cell.is_finite() && cell > 0.0,
+            "cell must be > 0, got {cell}"
+        );
         let mut buckets: HashMap<(i64, i64), Vec<usize>> = HashMap::new();
         for (i, p) in points.iter().enumerate() {
             assert!(p.is_finite(), "point {i} is not finite");
             buckets.entry(Self::key(*p, cell)).or_default().push(i);
         }
-        SpatialHash { cell, points: points.to_vec(), buckets }
+        SpatialHash {
+            cell,
+            points: points.to_vec(),
+            buckets,
+        }
     }
 
     #[inline]
@@ -115,8 +122,9 @@ impl SpatialHash {
                             let d = self.points[i].distance(center);
                             let better = match best {
                                 None => true,
-                                Some((bi, bd)) => d < bd - float::EPS
-                                    || (float::approx_eq(d, bd) && i < bi),
+                                Some((bi, bd)) => {
+                                    d < bd - float::EPS || (float::approx_eq(d, bd) && i < bi)
+                                }
                             };
                             if better {
                                 best = Some((i, d));
@@ -161,11 +169,12 @@ impl SpatialHash {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
-    use rand::{rngs::StdRng, Rng as _, SeedableRng as _};
+    use sag_testkit::prelude::*;
 
     fn brute_radius(pts: &[Point], c: Point, r: f64) -> Vec<usize> {
-        let mut v: Vec<usize> = (0..pts.len()).filter(|&i| float::leq(pts[i].distance(c), r)).collect();
+        let mut v: Vec<usize> = (0..pts.len())
+            .filter(|&i| float::leq(pts[i].distance(c), r))
+            .collect();
         v.sort_unstable();
         v
     }
@@ -185,7 +194,7 @@ mod tests {
 
     #[test]
     fn radius_query_matches_brute_force() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Rng::seed_from_u64(7);
         let pts: Vec<Point> = (0..200)
             .map(|_| Point::new(rng.gen_range(-250.0..250.0), rng.gen_range(-250.0..250.0)))
             .collect();
@@ -201,7 +210,7 @@ mod tests {
 
     #[test]
     fn nearest_matches_brute_force() {
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = Rng::seed_from_u64(11);
         let pts: Vec<Point> = (0..150)
             .map(|_| Point::new(rng.gen_range(-250.0..250.0), rng.gen_range(-250.0..250.0)))
             .collect();
@@ -239,15 +248,14 @@ mod tests {
         SpatialHash::build(&[], 0.0);
     }
 
-    proptest! {
-        #[test]
+    prop! {
         fn prop_radius_equals_brute(
             seed in 0u64..1000,
             n in 1usize..60,
             cell in 1.0..60.0f64,
             r in 0.0..200.0f64,
         ) {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = Rng::seed_from_u64(seed);
             let pts: Vec<Point> = (0..n)
                 .map(|_| Point::new(rng.gen_range(-100.0..100.0), rng.gen_range(-100.0..100.0)))
                 .collect();

@@ -1,0 +1,175 @@
+//! Edge-case tests for disk intersections — the geometry under the IAC
+//! candidate generator and the escape/sliding machinery.
+//!
+//! The paper's algorithms enumerate pairwise circle-boundary
+//! intersection points, so degenerate configurations (tangency,
+//! concentricity, zero radii, near-tangent crossings) must behave
+//! exactly, not just usually. Randomised sections draw their seeds from
+//! `sag-testkit`, so every run is reproducible.
+
+use sag_geom::{disks, Circle, CircleRelation, Point};
+use sag_testkit::prelude::*;
+
+fn c(x: f64, y: f64, r: f64) -> Circle {
+    Circle::new(Point::new(x, y), r)
+}
+
+#[test]
+fn externally_tangent_circles_touch_once() {
+    let a = c(0.0, 0.0, 2.0);
+    let b = c(5.0, 0.0, 3.0);
+    assert_eq!(a.relation(&b), CircleRelation::Tangent);
+    let pts = a.intersection_points(&b);
+    assert_eq!(pts.len(), 1);
+    assert!(a.on_boundary(pts[0]) && b.on_boundary(pts[0]));
+    assert!((pts[0].x - 2.0).abs() < 1e-9 && pts[0].y.abs() < 1e-9);
+    // The tangency point is the whole common area.
+    assert_eq!(disks::common_point(&[a, b]), Some(pts[0]));
+}
+
+#[test]
+fn internally_tangent_circles_touch_once() {
+    // Small circle inside the big one, touching at (4, 0) — from both
+    // orderings, since the tangent branch is direction-sensitive.
+    let big = c(0.0, 0.0, 4.0);
+    let small = c(2.0, 0.0, 2.0);
+    assert_eq!(big.relation(&small), CircleRelation::Tangent);
+    for (first, second) in [(big, small), (small, big)] {
+        let pts = first.intersection_points(&second);
+        assert_eq!(pts.len(), 1, "{first:?} vs {second:?}");
+        assert!(first.on_boundary(pts[0]) && second.on_boundary(pts[0]));
+        assert!((pts[0].x - 4.0).abs() < 1e-6 && pts[0].y.abs() < 1e-6);
+    }
+}
+
+#[test]
+fn concentric_circles_never_intersect_boundaries() {
+    let outer = c(1.0, -2.0, 5.0);
+    let inner = c(1.0, -2.0, 2.0);
+    assert_eq!(outer.relation(&inner), CircleRelation::Nested);
+    assert!(outer.intersection_points(&inner).is_empty());
+    // Common area is the inner disk; the witness must live there.
+    let w = disks::common_point(&[outer, inner]).expect("nested disks share area");
+    assert!(inner.contains(w));
+}
+
+#[test]
+fn coincident_circles_share_area_without_boundary_points() {
+    let a = c(3.0, 3.0, 1.5);
+    let b = c(3.0, 3.0, 1.5);
+    assert_eq!(a.relation(&b), CircleRelation::Coincident);
+    assert!(a.intersection_points(&b).is_empty());
+    assert!(disks::have_common_area(&[a, b]));
+}
+
+#[test]
+fn zero_radius_disk_is_a_point() {
+    let p = Point::new(1.0, 2.0);
+    let dot = Circle::new(p, 0.0);
+    assert!(dot.contains(p));
+    assert!(!dot.contains(Point::new(1.1, 2.0)));
+    assert!((dot.area() - 0.0).abs() < 1e-300);
+
+    // A zero-radius disk inside a family pins the witness to its centre.
+    let family = [dot, c(0.0, 0.0, 5.0), c(2.0, 2.0, 3.0)];
+    let w = disks::common_point(&family).expect("point lies in both big disks");
+    assert!(family.iter().all(|d| d.contains(w)));
+    assert!(w.distance(p) < 1e-9);
+
+    // Two distinct zero-radius disks can never share area.
+    assert!(!disks::have_common_area(&[
+        dot,
+        Circle::new(Point::new(5.0, 5.0), 0.0)
+    ]));
+}
+
+#[test]
+fn zero_radius_tangencies_are_consistent() {
+    // A point-disk on the boundary of a proper disk: tangent, one touch
+    // point, and that point is the common witness.
+    let disk = c(0.0, 0.0, 3.0);
+    let dot = Circle::new(Point::new(3.0, 0.0), 0.0);
+    assert_eq!(disk.relation(&dot), CircleRelation::Tangent);
+    let w = disks::common_point(&[disk, dot]).expect("touching disks share the touch point");
+    assert!(w.distance(Point::new(3.0, 0.0)) < 1e-9);
+}
+
+#[test]
+fn near_degenerate_crossings_stay_on_both_boundaries() {
+    // Circles closing toward external tangency: the crossing chord
+    // shrinks toward a point and the quadratic loses precision. The
+    // candidates must remain on both boundaries (IAC feeds them straight
+    // into feasibility checks).
+    for gap in [1e-3, 1e-6, 1e-9, 1e-12] {
+        let a = c(0.0, 0.0, 1.0);
+        let b = c(2.0 - gap, 0.0, 1.0);
+        let pts = a.intersection_points(&b);
+        assert!(!pts.is_empty(), "gap {gap}: lost the intersection entirely");
+        for p in pts {
+            assert!(a.on_boundary(p), "gap {gap}: {p:?} off first boundary");
+            assert!(b.on_boundary(p), "gap {gap}: {p:?} off second boundary");
+        }
+    }
+}
+
+#[test]
+fn deep_common_point_beats_the_witness_margin() {
+    let family = [c(0.0, 0.0, 2.0), c(1.0, 0.0, 2.0), c(0.5, 0.8, 2.0)];
+    let deep = disks::deep_common_point(&family).expect("family overlaps");
+    let slack = family
+        .iter()
+        .map(|d| d.radius - d.center.distance(deep))
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        slack > 0.3,
+        "deep point should have real margin, got {slack}"
+    );
+}
+
+#[test]
+fn blocking_disks_identifies_the_spoiler() {
+    // Two overlapping disks plus one far away: only removing the far
+    // disk restores a common point.
+    let family = [c(0.0, 0.0, 1.0), c(0.5, 0.0, 1.0), c(100.0, 0.0, 1.0)];
+    assert!(!disks::have_common_area(&family));
+    assert_eq!(disks::blocking_disks(&family), vec![2]);
+}
+
+prop! {
+    /// Fuzz: families constructed to share a known point must always
+    /// report a valid witness containing it.
+    fn prop_constructed_families_have_witness(seed in 0u64..400, n in 1usize..10) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let q = Point::new(rng.gen_range(-50.0..50.0), rng.gen_range(-50.0..50.0));
+        let family: Vec<Circle> = (0..n)
+            .map(|_| {
+                let r = rng.gen_range(0.5..20.0);
+                // Centre within r of q, so q is inside (with margin).
+                let theta = rng.gen_range(0.0..std::f64::consts::TAU);
+                let off = rng.gen_range(0.0..r * 0.9);
+                Circle::new(Point::new(q.x + off * theta.cos(), q.y + off * theta.sin()), r)
+            })
+            .collect();
+        let w = disks::common_point(&family);
+        prop_assert!(w.is_some(), "family constructed around {q:?} reported empty");
+        let w = w.expect("checked above");
+        for d in &family {
+            prop_assert!(d.contains(w), "witness {w:?} outside {d:?}");
+        }
+    }
+
+    /// Fuzz: intersection points of random crossing pairs are symmetric
+    /// in argument order and always land on both boundaries.
+    fn prop_intersections_symmetric_and_on_boundary(seed in 0u64..400) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let a = c(rng.gen_range(-10.0..10.0), rng.gen_range(-10.0..10.0), rng.gen_range(0.5..8.0));
+        let b = c(rng.gen_range(-10.0..10.0), rng.gen_range(-10.0..10.0), rng.gen_range(0.5..8.0));
+        let ab = a.intersection_points(&b);
+        let ba = b.intersection_points(&a);
+        prop_assert_eq!(ab.len(), ba.len());
+        for p in ab.iter().chain(ba.iter()) {
+            prop_assert!(a.on_boundary(*p) || b.on_boundary(*p));
+            prop_assert!(a.contains(*p) && b.contains(*p));
+        }
+    }
+}

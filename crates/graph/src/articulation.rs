@@ -80,7 +80,8 @@ pub fn articulation_points(g: &Graph) -> Vec<usize> {
                     low[p] = low[p].min(low[done.v]);
                     // Non-root rule: p is a cut vertex if some child's
                     // subtree cannot reach above p.
-                    let p_is_root = stack.len() == 1 && stack[0].v == p && stack[0].parent.is_none();
+                    let p_is_root =
+                        stack.len() == 1 && stack[0].v == p && stack[0].parent.is_none();
                     if !p_is_root && low[done.v] >= disc[p] {
                         is_cut[p] = true;
                     }
@@ -98,8 +99,7 @@ pub fn articulation_points(g: &Graph) -> Vec<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
-    use rand::{rngs::StdRng, Rng as _, SeedableRng as _};
+    use sag_testkit::prelude::*;
 
     /// Brute force: v is a cut vertex iff removing it increases the
     /// component count among the remaining vertices.
@@ -188,10 +188,9 @@ mod tests {
         assert!(articulation_points(&g).is_empty());
     }
 
-    proptest! {
-        #[test]
+    prop! {
         fn prop_matches_brute_force(n in 1usize..14, seed in 0u64..400) {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = Rng::seed_from_u64(seed);
             let mut g = Graph::new(n);
             for u in 0..n {
                 for v in u + 1..n {

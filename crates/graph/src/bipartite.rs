@@ -200,8 +200,7 @@ impl BipartiteGraph {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
-    use rand::{rngs::StdRng, Rng as _, SeedableRng as _};
+    use sag_testkit::prelude::*;
 
     #[test]
     fn simple_matching() {
@@ -285,10 +284,9 @@ mod tests {
         assert_eq!(g.max_matching().len(), 2);
     }
 
-    proptest! {
-        #[test]
+    prop! {
         fn prop_matching_is_valid(seed in 0u64..500, nl in 1usize..12, nr in 1usize..12) {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = Rng::seed_from_u64(seed);
             let mut g = BipartiteGraph::new(nl, nr);
             for l in 0..nl {
                 for r in 0..nr {
@@ -307,9 +305,8 @@ mod tests {
             }
         }
 
-        #[test]
         fn prop_escape_assignment_valid(seed in 0u64..500, nl in 1usize..12, nr in 1usize..12) {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = Rng::seed_from_u64(seed);
             let mut g = BipartiteGraph::new(nl, nr);
             for l in 0..nl {
                 for r in 0..nr {

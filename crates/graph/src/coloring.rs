@@ -32,19 +32,22 @@ pub fn dsatur(g: &Graph) -> Vec<usize> {
         let pick = (0..n)
             .filter(|&v| color[v].is_none())
             .max_by_key(|&v| {
-                let sat: std::collections::BTreeSet<usize> = g
-                    .neighbors(v)
-                    .filter_map(|(nb, _)| color[nb])
-                    .collect();
+                let sat: std::collections::BTreeSet<usize> =
+                    g.neighbors(v).filter_map(|(nb, _)| color[nb]).collect();
                 (sat.len(), g.degree(v), std::cmp::Reverse(v))
             })
             .expect("loop bounded by n");
         let used: std::collections::BTreeSet<usize> =
             g.neighbors(pick).filter_map(|(nb, _)| color[nb]).collect();
-        let c = (0..).find(|c| !used.contains(c)).expect("infinite color supply");
+        let c = (0..)
+            .find(|c| !used.contains(c))
+            .expect("infinite color supply");
         color[pick] = Some(c);
     }
-    color.into_iter().map(|c| c.expect("all vertices colored")).collect()
+    color
+        .into_iter()
+        .map(|c| c.expect("all vertices colored"))
+        .collect()
 }
 
 /// Number of colors a coloring uses.
@@ -67,7 +70,10 @@ pub fn is_proper(g: &Graph, colors: &[usize]) -> bool {
 /// Panics if the graph has more than 24 vertices.
 pub fn exact_chromatic_number(g: &Graph) -> usize {
     let n = g.vertex_count();
-    assert!(n <= 24, "exact coloring supports at most 24 vertices, got {n}");
+    assert!(
+        n <= 24,
+        "exact coloring supports at most 24 vertices, got {n}"
+    );
     if n == 0 {
         return 0;
     }
@@ -106,8 +112,7 @@ fn colorable_with(g: &Graph, k: usize) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
-    use rand::{rngs::StdRng, Rng as _, SeedableRng as _};
+    use sag_testkit::prelude::*;
 
     #[test]
     fn path_is_two_colorable() {
@@ -157,10 +162,9 @@ mod tests {
         assert_eq!(exact_chromatic_number(&g), 0);
     }
 
-    proptest! {
-        #[test]
+    prop! {
         fn prop_dsatur_proper_and_bounded(n in 1usize..16, seed in 0u64..300) {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = Rng::seed_from_u64(seed);
             let mut g = Graph::new(n);
             let mut max_deg = 0usize;
             for u in 0..n {
@@ -179,9 +183,8 @@ mod tests {
             prop_assert!(color_count(&colors) <= max_deg + 1);
         }
 
-        #[test]
         fn prop_dsatur_within_one_of_exact_on_small(n in 1usize..9, seed in 0u64..100) {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = Rng::seed_from_u64(seed);
             let mut g = Graph::new(n);
             for u in 0..n {
                 for v in u + 1..n {

@@ -34,7 +34,10 @@ pub struct Graph {
 impl Graph {
     /// Creates a graph with `n` vertices and no edges.
     pub fn new(n: usize) -> Self {
-        Graph { adj: vec![Vec::new(); n], edges: Vec::new() }
+        Graph {
+            adj: vec![Vec::new(); n],
+            edges: Vec::new(),
+        }
     }
 
     /// Number of vertices.
@@ -59,9 +62,15 @@ impl Graph {
     /// is not finite.
     pub fn add_edge(&mut self, u: usize, v: usize, weight: f64) {
         let n = self.adj.len();
-        assert!(u < n && v < n, "edge ({u},{v}) out of range for {n} vertices");
+        assert!(
+            u < n && v < n,
+            "edge ({u},{v}) out of range for {n} vertices"
+        );
         assert!(u != v, "self-loops are not allowed (vertex {u})");
-        assert!(weight.is_finite(), "edge weight must be finite, got {weight}");
+        assert!(
+            weight.is_finite(),
+            "edge weight must be finite, got {weight}"
+        );
         self.adj[u].push((v, weight));
         self.adj[v].push((u, weight));
         self.edges.push(Edge { u, v, weight });
@@ -117,7 +126,12 @@ impl Graph {
 
 impl fmt::Display for Graph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Graph(V={}, E={})", self.vertex_count(), self.edge_count())
+        write!(
+            f,
+            "Graph(V={}, E={})",
+            self.vertex_count(),
+            self.edge_count()
+        )
     }
 }
 

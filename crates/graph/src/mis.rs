@@ -69,7 +69,13 @@ pub fn exact_mis(g: &Graph) -> Vec<usize> {
         })
         .collect();
 
-    fn solve(remaining: u64, masks: &[u64], best_so_far: &mut u32, chosen: u64, best_set: &mut u64) {
+    fn solve(
+        remaining: u64,
+        masks: &[u64],
+        best_so_far: &mut u32,
+        chosen: u64,
+        best_set: &mut u64,
+    ) {
         let count = chosen.count_ones();
         let upper = count + remaining.count_ones();
         if upper <= *best_so_far {
@@ -86,13 +92,23 @@ pub fn exact_mis(g: &Graph) -> Vec<usize> {
         // drop its neighbourhood) or exclude it.
         let v = remaining.trailing_zeros() as usize;
         let vbit = 1u64 << v;
-        solve(remaining & !vbit & !masks[v], masks, best_so_far, chosen | vbit, best_set);
+        solve(
+            remaining & !vbit & !masks[v],
+            masks,
+            best_so_far,
+            chosen | vbit,
+            best_set,
+        );
         solve(remaining & !vbit, masks, best_so_far, chosen, best_set);
     }
 
     let mut best = 0u32;
     let mut best_set = 0u64;
-    let all = if n == 63 { u64::MAX >> 1 } else { (1u64 << n) - 1 };
+    let all = if n == 63 {
+        u64::MAX >> 1
+    } else {
+        (1u64 << n) - 1
+    };
     solve(all, &masks, &mut best, 0, &mut best_set);
     (0..n).filter(|&v| best_set & (1 << v) != 0).collect()
 }
@@ -113,8 +129,7 @@ pub fn is_independent(g: &Graph, set: &[usize]) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
-    use rand::{rngs::StdRng, Rng as _, SeedableRng as _};
+    use sag_testkit::prelude::*;
 
     #[test]
     fn path_graph() {
@@ -161,10 +176,9 @@ mod tests {
         assert_eq!(greedy_mis(&g).len(), 1);
     }
 
-    proptest! {
-        #[test]
+    prop! {
         fn prop_greedy_independent_and_maximal(n in 1usize..20, seed in 0u64..400) {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = Rng::seed_from_u64(seed);
             let mut g = Graph::new(n);
             for u in 0..n {
                 for v in u + 1..n {
@@ -185,9 +199,8 @@ mod tests {
             }
         }
 
-        #[test]
         fn prop_exact_at_least_greedy(n in 1usize..14, seed in 0u64..200) {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = Rng::seed_from_u64(seed);
             let mut g = Graph::new(n);
             for u in 0..n {
                 for v in u + 1..n {

@@ -51,7 +51,10 @@ pub fn kruskal(g: &Graph) -> Option<SpanningTree> {
             }
         }
     }
-    (tree.len() == n - 1).then_some(SpanningTree { edges: tree, total_weight: total })
+    (tree.len() == n - 1).then_some(SpanningTree {
+        edges: tree,
+        total_weight: total,
+    })
 }
 
 /// Computes an MST with Prim's algorithm starting from vertex `root`.
@@ -97,7 +100,11 @@ pub fn prim(g: &Graph, root: usize) -> Option<SpanningTree> {
         in_tree[v] = true;
         if v != root {
             total += w;
-            tree.push(Edge { u: parent, v, weight: w });
+            tree.push(Edge {
+                u: parent,
+                v,
+                weight: w,
+            });
         }
         for (nb, nw) in g.neighbors(v) {
             if !in_tree[nb] {
@@ -112,14 +119,16 @@ pub fn prim(g: &Graph, root: usize) -> Option<SpanningTree> {
             }
         }
     }
-    (tree.len() == n - 1).then_some(SpanningTree { edges: tree, total_weight: total })
+    (tree.len() == n - 1).then_some(SpanningTree {
+        edges: tree,
+        total_weight: total,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
-    use rand::{rngs::StdRng, Rng as _, SeedableRng as _};
+    use sag_testkit::prelude::*;
 
     fn diamond() -> Graph {
         let mut g = Graph::new(4);
@@ -187,10 +196,9 @@ mod tests {
         assert_eq!(t.edges[1].v, 2);
     }
 
-    proptest! {
-        #[test]
+    prop! {
         fn prop_prim_equals_kruskal(n in 2usize..30, seed in 0u64..500) {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = Rng::seed_from_u64(seed);
             // Random connected graph: a random spanning chain + extras.
             let mut g = Graph::new(n);
             for v in 1..n {
@@ -211,9 +219,8 @@ mod tests {
             prop_assert_eq!(p.edges.len(), n - 1);
         }
 
-        #[test]
         fn prop_tree_spans_all_vertices(n in 2usize..25, seed in 0u64..300) {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = Rng::seed_from_u64(seed);
             let mut g = Graph::new(n);
             for v in 1..n {
                 let u = rng.gen_range(0..v);

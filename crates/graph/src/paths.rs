@@ -38,7 +38,11 @@ pub fn dijkstra(g: &Graph, source: usize) -> ShortestPaths {
     let n = g.vertex_count();
     assert!(source < n, "source {source} out of range for {n} vertices");
     for e in g.edges() {
-        assert!(e.weight >= 0.0, "Dijkstra requires non-negative weights, got {}", e.weight);
+        assert!(
+            e.weight >= 0.0,
+            "Dijkstra requires non-negative weights, got {}",
+            e.weight
+        );
     }
     let mut dist: Vec<Option<f64>> = vec![None; n];
     let mut prev: Vec<Option<usize>> = vec![None; n];
@@ -99,8 +103,7 @@ impl ShortestPaths {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
-    use rand::{rngs::StdRng, Rng as _, SeedableRng as _};
+    use sag_testkit::prelude::*;
 
     #[test]
     fn straight_line() {
@@ -149,10 +152,9 @@ mod tests {
         dijkstra(&g, 0);
     }
 
-    proptest! {
-        #[test]
+    prop! {
         fn prop_triangle_inequality_on_dists(n in 2usize..20, seed in 0u64..300) {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = Rng::seed_from_u64(seed);
             let mut g = Graph::new(n);
             for v in 1..n {
                 let u = rng.gen_range(0..v);
@@ -167,9 +169,8 @@ mod tests {
             }
         }
 
-        #[test]
         fn prop_path_length_matches_dist(n in 2usize..15, seed in 0u64..300) {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = Rng::seed_from_u64(seed);
             let mut g = Graph::new(n);
             for v in 1..n {
                 let u = rng.gen_range(0..v);

@@ -68,7 +68,12 @@ impl RootedTree {
             tree.edges.len() + 1,
             "edges do not form a tree reachable from the root"
         );
-        RootedTree { root, parent, children, depth }
+        RootedTree {
+            root,
+            parent,
+            children,
+            depth,
+        }
     }
 
     /// The root vertex.
@@ -140,9 +145,21 @@ mod tests {
     fn chain_tree() -> SpanningTree {
         SpanningTree {
             edges: vec![
-                Edge { u: 0, v: 1, weight: 1.0 },
-                Edge { u: 1, v: 2, weight: 1.0 },
-                Edge { u: 2, v: 3, weight: 1.0 },
+                Edge {
+                    u: 0,
+                    v: 1,
+                    weight: 1.0,
+                },
+                Edge {
+                    u: 1,
+                    v: 2,
+                    weight: 1.0,
+                },
+                Edge {
+                    u: 2,
+                    v: 3,
+                    weight: 1.0,
+                },
             ],
             total_weight: 3.0,
         }
@@ -187,8 +204,16 @@ mod tests {
         // Tree over vertices 0..3 embedded in a 5-vertex space.
         let t = SpanningTree {
             edges: vec![
-                Edge { u: 0, v: 1, weight: 1.0 },
-                Edge { u: 1, v: 2, weight: 1.0 },
+                Edge {
+                    u: 0,
+                    v: 1,
+                    weight: 1.0,
+                },
+                Edge {
+                    u: 1,
+                    v: 2,
+                    weight: 1.0,
+                },
             ],
             total_weight: 2.0,
         };
@@ -201,7 +226,11 @@ mod tests {
     #[should_panic]
     fn disconnected_edges_panic() {
         let t = SpanningTree {
-            edges: vec![Edge { u: 2, v: 3, weight: 1.0 }],
+            edges: vec![Edge {
+                u: 2,
+                v: 3,
+                weight: 1.0,
+            }],
             total_weight: 1.0,
         };
         // Root 0 cannot reach edge (2,3): not a tree from this root.
@@ -211,7 +240,10 @@ mod tests {
     #[test]
     #[should_panic]
     fn path_outside_tree_panics() {
-        let t = SpanningTree { edges: vec![], total_weight: 0.0 };
+        let t = SpanningTree {
+            edges: vec![],
+            total_weight: 0.0,
+        };
         let rt = RootedTree::from_spanning_tree(&t, 0, 2);
         rt.path_to_root(1);
     }

@@ -22,7 +22,11 @@ pub struct UnionFind {
 impl UnionFind {
     /// Creates `n` singleton sets.
     pub fn new(n: usize) -> Self {
-        UnionFind { parent: (0..n).collect(), rank: vec![0; n], sets: n }
+        UnionFind {
+            parent: (0..n).collect(),
+            rank: vec![0; n],
+            sets: n,
+        }
     }
 
     /// Number of elements.
@@ -69,7 +73,11 @@ impl UnionFind {
         if ra == rb {
             return false;
         }
-        let (hi, lo) = if self.rank[ra] >= self.rank[rb] { (ra, rb) } else { (rb, ra) };
+        let (hi, lo) = if self.rank[ra] >= self.rank[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
         self.parent[lo] = hi;
         if self.rank[hi] == self.rank[lo] {
             self.rank[hi] += 1;
@@ -101,7 +109,7 @@ impl UnionFind {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use sag_testkit::prelude::*;
 
     #[test]
     fn singletons() {
@@ -150,9 +158,8 @@ mod tests {
         UnionFind::new(2).find(2);
     }
 
-    proptest! {
-        #[test]
-        fn prop_set_count_invariant(n in 1usize..40, ops in proptest::collection::vec((0usize..40, 0usize..40), 0..80)) {
+    prop! {
+        fn prop_set_count_invariant(n in 1usize..40, ops in vec_of((0usize..40, 0usize..40), 0..80)) {
             let mut uf = UnionFind::new(n);
             let mut merges = 0usize;
             for (a, b) in ops {
@@ -166,7 +173,6 @@ mod tests {
             prop_assert_eq!(total, n);
         }
 
-        #[test]
         fn prop_connectivity_transitive(n in 3usize..30, seed in 0usize..1000) {
             let mut uf = UnionFind::new(n);
             let a = seed % n;

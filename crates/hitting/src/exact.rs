@@ -77,7 +77,9 @@ pub fn exact_hitting_set_indices(inst: &DiskInstance) -> Vec<usize> {
         best: &mut Vec<usize>,
         lb: &dyn Fn(&[usize], usize) -> usize,
     ) {
-        let unhit: Vec<usize> = (0..hit_count.len()).filter(|&d| hit_count[d] == 0).collect();
+        let unhit: Vec<usize> = (0..hit_count.len())
+            .filter(|&d| hit_count[d] == 0)
+            .collect();
         if unhit.is_empty() {
             if chosen.len() < *best_len {
                 *best_len = chosen.len();
@@ -102,7 +104,16 @@ pub fn exact_hitting_set_indices(inst: &DiskInstance) -> Vec<usize> {
             for &t in &touched {
                 hit_count[t] += 1;
             }
-            search(hit_count, chosen, cands, hitters, cand_pos_hit, best_len, best, lb);
+            search(
+                hit_count,
+                chosen,
+                cands,
+                hitters,
+                cand_pos_hit,
+                best_len,
+                best,
+                lb,
+            );
             for &t in &touched {
                 hit_count[t] -= 1;
             }
@@ -129,9 +140,8 @@ pub fn exact_hitting_set_indices(inst: &DiskInstance) -> Vec<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
-    use rand::{rngs::StdRng, Rng as _, SeedableRng as _};
     use sag_geom::Circle;
+    use sag_testkit::prelude::*;
 
     fn c(x: f64, y: f64, r: f64) -> Circle {
         Circle::new(Point::new(x, y), r)
@@ -176,11 +186,10 @@ mod tests {
         assert_eq!(e.len(), 2);
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(40))]
-        #[test]
+    prop! {
+        #[cases(40)]
         fn prop_exact_valid_and_minimal_vs_greedy(seed in 0u64..200, n in 1usize..12) {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = Rng::seed_from_u64(seed);
             let disks: Vec<Circle> = (0..n)
                 .map(|_| c(rng.gen_range(-40.0..40.0), rng.gen_range(-40.0..40.0),
                            rng.gen_range(4.0..20.0)))
@@ -192,10 +201,10 @@ mod tests {
             prop_assert!(e.len() <= g.len());
         }
 
-        #[test]
         #[ignore] // exhaustive cross-check, slower; run with --ignored
+        #[cases(40)]
         fn prop_exact_matches_brute_force(seed in 0u64..50, n in 1usize..7) {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = Rng::seed_from_u64(seed);
             let disks: Vec<Circle> = (0..n)
                 .map(|_| c(rng.gen_range(-20.0..20.0), rng.gen_range(-20.0..20.0),
                            rng.gen_range(3.0..15.0)))

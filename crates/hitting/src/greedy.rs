@@ -45,7 +45,8 @@ pub fn greedy_hitting_set_indices(inst: &DiskInstance) -> Vec<usize> {
                 }
             }
         }
-        let (gain, c) = best.expect("every disk centre is a candidate, so progress is always possible");
+        let (gain, c) =
+            best.expect("every disk centre is a candidate, so progress is always possible");
         chosen.push(c);
         for &d in inst.hit_by(c) {
             if !hit[d] {
@@ -60,9 +61,8 @@ pub fn greedy_hitting_set_indices(inst: &DiskInstance) -> Vec<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
-    use rand::{rngs::StdRng, Rng as _, SeedableRng as _};
     use sag_geom::Circle;
+    use sag_testkit::prelude::*;
 
     fn c(x: f64, y: f64, r: f64) -> Circle {
         Circle::new(Point::new(x, y), r)
@@ -78,11 +78,7 @@ mod tests {
 
     #[test]
     fn overlapping_cluster_one_point() {
-        let inst = DiskInstance::new(vec![
-            c(0.0, 0.0, 2.0),
-            c(1.0, 0.0, 2.0),
-            c(0.5, 0.5, 2.0),
-        ]);
+        let inst = DiskInstance::new(vec![c(0.0, 0.0, 2.0), c(1.0, 0.0, 2.0), c(0.5, 0.5, 2.0)]);
         let hs = greedy_hitting_set(&inst);
         assert_eq!(hs.len(), 1);
         assert!(inst.is_hitting_set(&hs));
@@ -117,10 +113,9 @@ mod tests {
         assert_eq!(a, b);
     }
 
-    proptest! {
-        #[test]
+    prop! {
         fn prop_always_valid(seed in 0u64..400, n in 1usize..25) {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = Rng::seed_from_u64(seed);
             let disks: Vec<Circle> = (0..n)
                 .map(|_| c(rng.gen_range(-100.0..100.0), rng.gen_range(-100.0..100.0),
                            rng.gen_range(5.0..30.0)))

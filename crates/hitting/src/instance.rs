@@ -44,7 +44,11 @@ impl DiskInstance {
                     .collect()
             })
             .collect();
-        DiskInstance { disks, candidates: dedup, hits }
+        DiskInstance {
+            disks,
+            candidates: dedup,
+            hits,
+        }
     }
 
     /// The disks of the instance.
@@ -77,7 +81,9 @@ impl DiskInstance {
 
     /// Returns `true` if the given points hit every disk.
     pub fn is_hitting_set(&self, points: &[Point]) -> bool {
-        self.disks.iter().all(|d| points.iter().any(|&p| d.contains(p)))
+        self.disks
+            .iter()
+            .all(|d| points.iter().any(|&p| d.contains(p)))
     }
 
     /// Returns `true` if the given *candidate indices* hit every disk.
@@ -113,11 +119,8 @@ impl DiskInstance {
             .collect();
         (0..self.candidates.len())
             .filter(|&a| {
-                !(0..self.candidates.len()).any(|b| {
-                    b != a
-                        && sets[a].is_subset(&sets[b])
-                        && (sets[a] != sets[b] || b < a)
-                })
+                !(0..self.candidates.len())
+                    .any(|b| b != a && sets[a].is_subset(&sets[b]) && (sets[a] != sets[b] || b < a))
             })
             .collect()
     }

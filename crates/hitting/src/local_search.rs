@@ -26,7 +26,10 @@ pub struct LocalSearchConfig {
 
 impl Default for LocalSearchConfig {
     fn default() -> Self {
-        LocalSearchConfig { swap_size: 3, max_rounds: 64 }
+        LocalSearchConfig {
+            swap_size: 3,
+            max_rounds: 64,
+        }
     }
 }
 
@@ -176,9 +179,8 @@ mod tests {
     use super::*;
     use crate::exact::exact_hitting_set;
     use crate::greedy::greedy_hitting_set;
-    use proptest::prelude::*;
-    use rand::{rngs::StdRng, Rng as _, SeedableRng as _};
     use sag_geom::Circle;
+    use sag_testkit::prelude::*;
 
     fn c(x: f64, y: f64, r: f64) -> Circle {
         Circle::new(Point::new(x, y), r)
@@ -222,11 +224,10 @@ mod tests {
         assert_eq!(local_search_hitting_set(&inst).len(), 1);
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(30))]
-        #[test]
+    prop! {
+        #[cases(30)]
         fn prop_local_between_exact_and_greedy(seed in 0u64..150, n in 1usize..10) {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = Rng::seed_from_u64(seed);
             let disks: Vec<Circle> = (0..n)
                 .map(|_| c(rng.gen_range(-40.0..40.0), rng.gen_range(-40.0..40.0),
                            rng.gen_range(4.0..18.0)))

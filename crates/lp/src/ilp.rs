@@ -50,7 +50,11 @@ impl IlpProblem {
     /// Wraps an LP; no variables are integer until marked.
     pub fn new(lp: LpProblem) -> Self {
         let n = lp.num_vars();
-        IlpProblem { lp, integer: vec![false; n], node_limit: 200_000 }
+        IlpProblem {
+            lp,
+            integer: vec![false; n],
+            node_limit: 200_000,
+        }
     }
 
     /// Marks a variable as integer.
@@ -167,7 +171,11 @@ impl IlpProblem {
             }
         }
         match best {
-            Some((obj_min, x)) => Ok(IlpSolution { objective: sense * obj_min, x, nodes }),
+            Some((obj_min, x)) => Ok(IlpSolution {
+                objective: sense * obj_min,
+                x,
+                nodes,
+            }),
             None => Err(LpError::Infeasible),
         }
     }
@@ -189,8 +197,7 @@ impl NegInfSafe for f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
-    use rand::{rngs::StdRng, Rng as _, SeedableRng as _};
+    use sag_testkit::prelude::*;
 
     #[test]
     fn knapsack_binary() {
@@ -316,10 +323,9 @@ mod tests {
         best
     }
 
-    proptest! {
-        #[test]
+    prop! {
         fn prop_matches_brute_force_set_cover(seed in 0u64..150) {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = Rng::seed_from_u64(seed);
             let n_sets = rng.gen_range(2..7usize);
             let n_elts = rng.gen_range(1..6usize);
             let costs: Vec<f64> = (0..n_sets).map(|_| rng.gen_range(1.0..5.0)).collect();

@@ -118,7 +118,10 @@ impl LpProblem {
     /// finite.
     pub fn set_objective(&mut self, coeffs: &[f64]) -> &mut Self {
         assert_eq!(coeffs.len(), self.n, "objective length mismatch");
-        assert!(coeffs.iter().all(|c| c.is_finite()), "objective must be finite");
+        assert!(
+            coeffs.iter().all(|c| c.is_finite()),
+            "objective must be finite"
+        );
         self.objective.copy_from_slice(coeffs);
         self
     }
@@ -139,13 +142,26 @@ impl LpProblem {
     /// # Panics
     /// Panics if a variable index is out of range or a value is not
     /// finite.
-    pub fn add_constraint(&mut self, coeffs: &[(usize, f64)], rel: Relation, rhs: f64) -> &mut Self {
+    pub fn add_constraint(
+        &mut self,
+        coeffs: &[(usize, f64)],
+        rel: Relation,
+        rhs: f64,
+    ) -> &mut Self {
         for &(v, c) in coeffs {
-            assert!(v < self.n, "constraint references variable {v}, have {}", self.n);
+            assert!(
+                v < self.n,
+                "constraint references variable {v}, have {}",
+                self.n
+            );
             assert!(c.is_finite(), "constraint coefficient must be finite");
         }
         assert!(rhs.is_finite(), "rhs must be finite");
-        self.rows.push(Row { coeffs: coeffs.to_vec(), rel, rhs });
+        self.rows.push(Row {
+            coeffs: coeffs.to_vec(),
+            rel,
+            rhs,
+        });
         self
     }
 
@@ -171,7 +187,10 @@ impl LpProblem {
     /// [`LpError::IterationLimit`] from the simplex core.
     pub fn solve(&self) -> Result<LpSolution, LpError> {
         let d = self.solve_detailed()?;
-        Ok(LpSolution { objective: d.objective, x: d.x })
+        Ok(LpSolution {
+            objective: d.objective,
+            x: d.x,
+        })
     }
 
     /// Solves the problem and additionally recovers shadow prices
@@ -220,7 +239,10 @@ impl LpProblem {
         }
 
         // Count slack columns.
-        let n_slack = rows.iter().filter(|(_, rel, _)| *rel != Relation::Eq).count();
+        let n_slack = rows
+            .iter()
+            .filter(|(_, rel, _)| *rel != Relation::Eq)
+            .count();
         let total = n + n_slack;
         let mut a: Vec<Vec<f64>> = Vec::with_capacity(rows.len());
         let mut b: Vec<f64> = Vec::with_capacity(rows.len());
@@ -261,7 +283,11 @@ impl LpProblem {
 
         let mut c = vec![0.0; total];
         for v in 0..n {
-            c[v] = if self.minimize { self.objective[v] } else { -self.objective[v] };
+            c[v] = if self.minimize {
+                self.objective[v]
+            } else {
+                -self.objective[v]
+            };
         }
 
         let sol = solve_standard(&StandardForm { a, b, c })?;
@@ -359,8 +385,7 @@ impl LpProblem {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
-    use rand::{rngs::StdRng, Rng as _, SeedableRng as _};
+    use sag_testkit::prelude::*;
 
     #[test]
     fn min_with_ge() {
@@ -502,12 +527,11 @@ mod tests {
         LpProblem::minimize(1).set_bounds(0, 2.0, 1.0);
     }
 
-    proptest! {
+    prop! {
         /// Random bounded LPs: the solver's optimum must be feasible and
         /// no random feasible point may beat it.
-        #[test]
         fn prop_optimality_vs_random_points(seed in 0u64..300) {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = Rng::seed_from_u64(seed);
             let n = rng.gen_range(1..4usize);
             let m = rng.gen_range(1..4usize);
             let mut lp = LpProblem::minimize(n);

@@ -63,11 +63,17 @@ pub fn solve_standard(sf: &StandardForm) -> Result<SimplexSolution, LpError> {
             )));
         }
         if sf.b[i] < -TOL {
-            return Err(LpError::Malformed(format!("b[{i}] = {} is negative", sf.b[i])));
+            return Err(LpError::Malformed(format!(
+                "b[{i}] = {} is negative",
+                sf.b[i]
+            )));
         }
     }
     if sf.b.len() != m {
-        return Err(LpError::Malformed(format!("b has {} entries, expected {m}", sf.b.len())));
+        return Err(LpError::Malformed(format!(
+            "b has {} entries, expected {m}",
+            sf.b.len()
+        )));
     }
 
     // Slack crashing: a structural column that is a singleton `+1` in
@@ -81,8 +87,7 @@ pub fn solve_standard(sf: &StandardForm) -> Result<SimplexSolution, LpError> {
             if used_col[j] || sf.c[j] != 0.0 {
                 continue;
             }
-            if (sf.a[i][j] - 1.0).abs() <= TOL
-                && (0..m).all(|k| k == i || sf.a[k][j].abs() <= TOL)
+            if (sf.a[i][j] - 1.0).abs() <= TOL && (0..m).all(|k| k == i || sf.a[k][j].abs() <= TOL)
             {
                 crash[i] = Some(j);
                 used_col[j] = true;
@@ -104,9 +109,7 @@ pub fn solve_standard(sf: &StandardForm) -> Result<SimplexSolution, LpError> {
         row[width - 1] = sf.b[i].max(0.0);
         t.push(row);
     }
-    let mut basis: Vec<usize> = (0..m)
-        .map(|i| crash[i].unwrap_or(n + i))
-        .collect();
+    let mut basis: Vec<usize> = (0..m).map(|i| crash[i].unwrap_or(n + i)).collect();
 
     // ---- Phase 1: minimise the sum of artificials. ----
     let mut obj = vec![0.0; width];
@@ -168,7 +171,11 @@ pub fn solve_standard(sf: &StandardForm) -> Result<SimplexSolution, LpError> {
     }
     let objective = sf.c.iter().zip(&x).map(|(c, v)| c * v).sum();
     let reduced_costs = obj2[..n].to_vec();
-    Ok(SimplexSolution { objective, x, reduced_costs })
+    Ok(SimplexSolution {
+        objective,
+        x,
+        reduced_costs,
+    })
 }
 
 /// Runs simplex iterations on the current tableau until optimal.

@@ -43,7 +43,10 @@ pub fn required_snr(rate: f64, bandwidth: f64) -> f64 {
 /// Panics if any argument is negative or `n0 == 0` (the noiseless channel
 /// has unbounded capacity).
 pub fn capacity_at_distance(model: &TwoRay, pt: f64, d: f64, bandwidth: f64, n0: f64) -> f64 {
-    assert!(n0 > 0.0, "thermal noise must be > 0 for a finite capacity, got {n0}");
+    assert!(
+        n0 > 0.0,
+        "thermal noise must be > 0 for a finite capacity, got {n0}"
+    );
     let pr = model.received_power(pt, d);
     shannon_capacity(bandwidth, pr / n0)
 }
@@ -55,7 +58,10 @@ pub fn capacity_at_distance(model: &TwoRay, pt: f64, d: f64, bandwidth: f64, n0:
 /// # Panics
 /// Panics unless `pt > 0`, `rate > 0`, `bandwidth > 0` and `n0 > 0`.
 pub fn max_distance_for_rate(model: &TwoRay, pt: f64, rate: f64, bandwidth: f64, n0: f64) -> f64 {
-    assert!(pt > 0.0 && rate > 0.0 && bandwidth > 0.0 && n0 > 0.0, "all arguments must be > 0");
+    assert!(
+        pt > 0.0 && rate > 0.0 && bandwidth > 0.0 && n0 > 0.0,
+        "all arguments must be > 0"
+    );
     let snr = required_snr(rate, bandwidth);
     let pr_min = snr * n0;
     model.max_range(pt, pr_min)
@@ -74,7 +80,7 @@ pub fn min_received_power_for_rate(rate: f64, bandwidth: f64, n0: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use sag_testkit::prelude::*;
 
     #[test]
     fn shannon_known_points() {
@@ -135,14 +141,12 @@ mod tests {
         required_snr(1.0, 0.0);
     }
 
-    proptest! {
-        #[test]
+    prop! {
         fn prop_capacity_monotone_in_snr(bw in 0.1..10.0f64, a in 0.0..100.0f64, b in 0.0..100.0f64) {
             prop_assume!(a < b);
             prop_assert!(shannon_capacity(bw, a) <= shannon_capacity(bw, b));
         }
 
-        #[test]
         fn prop_rate_distance_roundtrip(
             pt in 0.1..10.0f64,
             rate in 0.1e6..5.0e6f64,

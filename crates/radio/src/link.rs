@@ -5,8 +5,6 @@
 //! noise, bandwidth) behind one value with convenience queries. It is the
 //! type the `sag-core` crate embeds in its `NetworkParams`.
 
-use serde::{Deserialize, Serialize};
-
 use crate::capacity;
 use crate::tworay::TwoRay;
 use crate::units::Db;
@@ -26,7 +24,8 @@ use sag_geom::Point;
 ///     .build();
 /// assert!(lb.beta() < 0.04);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LinkBudget {
     model: TwoRay,
     pmax: f64,
@@ -166,7 +165,11 @@ impl LinkBudgetBuilder {
         assert!(self.pmax > 0.0, "pmax must be > 0, got {}", self.pmax);
         assert!(self.beta >= 0.0, "beta must be ≥ 0, got {}", self.beta);
         assert!(self.noise >= 0.0, "noise must be ≥ 0, got {}", self.noise);
-        assert!(self.bandwidth > 0.0, "bandwidth must be > 0, got {}", self.bandwidth);
+        assert!(
+            self.bandwidth > 0.0,
+            "bandwidth must be > 0, got {}",
+            self.bandwidth
+        );
         LinkBudget {
             model: self.model,
             pmax: self.pmax,
@@ -216,7 +219,10 @@ mod tests {
         let lb = LinkBudget::default();
         let pss = lb.min_received_power_for_distance(35.0);
         // Received power at 35.0 under Pmax equals P_ss by construction.
-        assert!((lb.received_power(Point::ORIGIN, Point::new(35.0, 0.0), lb.pmax()) - pss).abs() < 1e-15);
+        assert!(
+            (lb.received_power(Point::ORIGIN, Point::new(35.0, 0.0), lb.pmax()) - pss).abs()
+                < 1e-15
+        );
     }
 
     #[test]

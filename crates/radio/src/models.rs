@@ -17,8 +17,6 @@
 //! `max_range` triple with the same invariants (monotone decay,
 //! inverse consistency).
 
-use serde::{Deserialize, Serialize};
-
 use crate::tworay::TwoRay;
 
 /// A deterministic distance-dependent path-loss law.
@@ -51,7 +49,8 @@ impl PathLoss for TwoRay {
 }
 
 /// Friis free-space propagation: `Pr = Pt · (λ / 4πd)²`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct FreeSpace {
     wavelength: f64,
 }
@@ -109,7 +108,8 @@ impl PathLoss for FreeSpace {
 /// Log-distance path loss: `Pr = Pt · K · (d0 / d)^γ` — free-space-like
 /// decay `γ` anchored at a measured reference distance `d0` with gain
 /// `K` (the received-power fraction at `d0`).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LogDistance {
     d0: f64,
     k: f64,
@@ -125,7 +125,10 @@ impl LogDistance {
     pub fn new(d0: f64, k: f64, gamma: f64) -> Self {
         assert!(d0.is_finite() && d0 > 0.0, "d0 must be > 0, got {d0}");
         assert!(k.is_finite() && k > 0.0, "k must be > 0, got {k}");
-        assert!(gamma.is_finite() && gamma >= 1.0, "gamma must be ≥ 1, got {gamma}");
+        assert!(
+            gamma.is_finite() && gamma >= 1.0,
+            "gamma must be ≥ 1, got {gamma}"
+        );
         LogDistance { d0, k, gamma }
     }
 
@@ -163,7 +166,7 @@ impl PathLoss for LogDistance {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use sag_testkit::prelude::*;
 
     fn check_roundtrip<M: PathLoss>(m: &M, pt: f64, d: f64) {
         let pr = m.received_power(pt, d);
@@ -232,8 +235,7 @@ mod tests {
         LogDistance::new(1.0, 1.0, 0.5);
     }
 
-    proptest! {
-        #[test]
+    prop! {
         fn prop_monotone_decay(d1 in 1.0..400.0f64, d2 in 1.0..400.0f64, gamma in 2.0..4.0f64) {
             prop_assume!(d1 < d2);
             let models: Vec<Box<dyn PathLoss>> = vec![
@@ -246,7 +248,6 @@ mod tests {
             }
         }
 
-        #[test]
         fn prop_roundtrips(pt in 0.01..10.0f64, d in 1.0..300.0f64, gamma in 2.0..4.0f64) {
             check_roundtrip(&TwoRay::new(1.5, gamma), pt, d);
             check_roundtrip(&FreeSpace::new(0.3), pt, d);

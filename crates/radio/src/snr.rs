@@ -28,10 +28,16 @@ use sag_geom::Point;
 /// assert!((snr - 4.0).abs() < 1e-12);
 /// ```
 pub fn snr_interference_limited(received: &[f64], serving_idx: usize) -> f64 {
-    assert!(serving_idx < received.len(), "serving index {serving_idx} out of bounds");
+    assert!(
+        serving_idx < received.len(),
+        "serving index {serving_idx} out of bounds"
+    );
     let mut total = 0.0;
     for (i, &p) in received.iter().enumerate() {
-        assert!(p >= 0.0 && !p.is_nan(), "received power {i} must be ≥ 0, got {p}");
+        assert!(
+            p >= 0.0 && !p.is_nan(),
+            "received power {i} must be ≥ 0, got {p}"
+        );
         total += p;
     }
     let signal = received[serving_idx];
@@ -54,7 +60,10 @@ pub fn snr_interference_limited(received: &[f64], serving_idx: usize) -> f64 {
 /// `n0 < 0`.
 pub fn sinr(received: &[f64], serving_idx: usize, n0: f64) -> f64 {
     assert!(n0 >= 0.0, "thermal noise must be ≥ 0, got {n0}");
-    assert!(serving_idx < received.len(), "serving index {serving_idx} out of bounds");
+    assert!(
+        serving_idx < received.len(),
+        "serving index {serving_idx} out of bounds"
+    );
     let signal = received[serving_idx];
     let mut interference = n0;
     for (i, &p) in received.iter().enumerate() {
@@ -138,14 +147,17 @@ pub fn placement_snr_uniform(
 /// Panics if `beta < 0` or `interference < 0`.
 pub fn min_signal_for_snr(beta: f64, interference: f64) -> f64 {
     assert!(beta >= 0.0, "beta must be ≥ 0, got {beta}");
-    assert!(interference >= 0.0, "interference must be ≥ 0, got {interference}");
+    assert!(
+        interference >= 0.0,
+        "interference must be ≥ 0, got {interference}"
+    );
     beta * interference
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use sag_testkit::prelude::*;
 
     #[test]
     fn definition_two() {
@@ -186,7 +198,10 @@ mod tests {
         for p in [0.1, 1.0, 17.0] {
             let powers = vec![p, p];
             let v = placement_snr(&m, s, &tx, &powers, 0);
-            assert!((u - v).abs() / u < 1e-9, "power level leaked into uniform SNR");
+            assert!(
+                (u - v).abs() / u < 1e-9,
+                "power level leaked into uniform SNR"
+            );
         }
         // d=10 vs 40 at α=3: ratio = (40/10)³ = 64.
         assert!((u - 64.0).abs() < 1e-9);
@@ -226,10 +241,9 @@ mod tests {
         received_powers(&TwoRay::default(), Point::ORIGIN, &[Point::ORIGIN], &[]);
     }
 
-    proptest! {
-        #[test]
+    prop! {
         fn prop_snr_nonnegative(
-            ps in proptest::collection::vec(0.0..10.0f64, 1..6),
+            ps in vec_of(0.0..10.0f64, 1..6),
             idx in 0usize..6,
         ) {
             prop_assume!(idx < ps.len());
@@ -237,9 +251,8 @@ mod tests {
             prop_assert!(s >= 0.0);
         }
 
-        #[test]
         fn prop_scaling_invariance(
-            ps in proptest::collection::vec(0.01..10.0f64, 2..6),
+            ps in vec_of(0.01..10.0f64, 2..6),
             idx in 0usize..6,
             k in 0.1..100.0f64,
         ) {
@@ -250,9 +263,8 @@ mod tests {
             prop_assert!((a - b).abs() / a.max(1e-12) < 1e-9);
         }
 
-        #[test]
         fn prop_more_interference_lower_snr(
-            ps in proptest::collection::vec(0.01..10.0f64, 2..6),
+            ps in vec_of(0.01..10.0f64, 2..6),
             extra in 0.01..5.0f64,
         ) {
             let base = snr_interference_limited(&ps, 0);

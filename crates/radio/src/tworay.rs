@@ -5,7 +5,6 @@
 //! as the paper does in constraints (3.8)–(3.9) and in the Zone Partition
 //! algorithm (`P_max · G · d_max^{-α} = N_max`).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Two-ray ground propagation model with folded gain constant.
@@ -17,7 +16,8 @@ use std::fmt;
 /// let pr = m.received_power(8.0, 2.0);
 /// assert!((pr - 1.0).abs() < 1e-12); // 8 / 2³
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TwoRay {
     g: f64,
     alpha: f64,
@@ -30,7 +30,10 @@ impl TwoRay {
     /// # Panics
     /// Panics unless `g > 0` and `alpha >= 1`, both finite.
     pub fn new(g: f64, alpha: f64) -> Self {
-        assert!(g.is_finite() && g > 0.0, "gain constant must be > 0, got {g}");
+        assert!(
+            g.is_finite() && g > 0.0,
+            "gain constant must be > 0, got {g}"
+        );
         assert!(
             alpha.is_finite() && alpha >= 1.0,
             "attenuation exponent must be ≥ 1, got {alpha}"
@@ -44,7 +47,10 @@ impl TwoRay {
     /// # Panics
     /// Panics if any parameter is non-positive or `alpha < 1`.
     pub fn from_antennas(gt: f64, gr: f64, ht: f64, hr: f64, alpha: f64) -> Self {
-        assert!(gt > 0.0 && gr > 0.0 && ht > 0.0 && hr > 0.0, "antenna parameters must be > 0");
+        assert!(
+            gt > 0.0 && gr > 0.0 && ht > 0.0 && hr > 0.0,
+            "antenna parameters must be > 0"
+        );
         TwoRay::new(gt * gr * ht * ht * hr * hr, alpha)
     }
 
@@ -139,7 +145,7 @@ impl fmt::Display for TwoRay {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use sag_testkit::prelude::*;
 
     #[test]
     fn power_law() {
@@ -204,8 +210,7 @@ mod tests {
         TwoRay::new(1.0, 0.5);
     }
 
-    proptest! {
-        #[test]
+    prop! {
         fn prop_monotone_in_distance(
             g in 0.1..10.0f64, alpha in 2.0..4.0f64,
             d1 in 1.0..500.0f64, d2 in 1.0..500.0f64,
@@ -215,7 +220,6 @@ mod tests {
             prop_assert!(m.received_power(1.0, d1) > m.received_power(1.0, d2));
         }
 
-        #[test]
         fn prop_tx_rx_roundtrip(
             g in 0.1..10.0f64, alpha in 2.0..4.0f64,
             pt in 0.01..100.0f64, d in 0.5..500.0f64,
@@ -225,7 +229,6 @@ mod tests {
             prop_assert!((m.required_tx_power(pr, d) - pt).abs() / pt < 1e-9);
         }
 
-        #[test]
         fn prop_max_range_consistent(
             g in 0.1..10.0f64, alpha in 2.0..4.0f64,
             pt in 0.01..100.0f64, pr in 1e-9..1e-3f64,

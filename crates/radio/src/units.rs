@@ -5,7 +5,6 @@
 //! the two scales from being mixed up (a classic source of silent bugs in
 //! link-budget code).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, Neg, Sub};
 
@@ -20,13 +19,15 @@ use std::ops::{Add, Neg, Sub};
 /// assert!((beta.to_linear() - 0.0316227766).abs() < 1e-9);
 /// assert!((Db::from_linear(2.0).value() - 3.0103).abs() < 1e-4);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Db(f64);
 
 /// An absolute power level in dBm (decibels relative to one milliwatt).
 ///
 /// `DbMilliwatt(x)` represents `10^(x/10)` milliwatts.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DbMilliwatt(f64);
 
 impl Db {
@@ -57,7 +58,10 @@ impl Db {
     /// # Panics
     /// Panics if `ratio` is negative or NaN; `ratio == 0` maps to `-inf dB`.
     pub fn from_linear(ratio: f64) -> Self {
-        assert!(ratio >= 0.0 && !ratio.is_nan(), "ratio must be ≥ 0, got {ratio}");
+        assert!(
+            ratio >= 0.0 && !ratio.is_nan(),
+            "ratio must be ≥ 0, got {ratio}"
+        );
         Db(10.0 * ratio.log10())
     }
 }
@@ -89,7 +93,10 @@ impl DbMilliwatt {
     /// # Panics
     /// Panics if `mw` is negative or NaN; `mw == 0` maps to `-inf dBm`.
     pub fn from_milliwatts(mw: f64) -> Self {
-        assert!(mw >= 0.0 && !mw.is_nan(), "milliwatts must be ≥ 0, got {mw}");
+        assert!(
+            mw >= 0.0 && !mw.is_nan(),
+            "milliwatts must be ≥ 0, got {mw}"
+        );
         DbMilliwatt(10.0 * mw.log10())
     }
 }
@@ -155,7 +162,7 @@ impl fmt::Display for DbMilliwatt {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use sag_testkit::prelude::*;
 
     #[test]
     fn known_conversions() {
@@ -210,22 +217,19 @@ mod tests {
         assert_eq!(format!("{}", DbMilliwatt::new(30.0)), "30.00 dBm");
     }
 
-    proptest! {
-        #[test]
+    prop! {
         fn prop_roundtrip_db(x in -200.0..200.0f64) {
             let db = Db::new(x);
             let back = Db::from_linear(db.to_linear());
             prop_assert!((back.value() - x).abs() < 1e-9);
         }
 
-        #[test]
         fn prop_roundtrip_dbm(x in -200.0..200.0f64) {
             let dbm = DbMilliwatt::new(x);
             let back = DbMilliwatt::from_milliwatts(dbm.to_milliwatts());
             prop_assert!((back.value() - x).abs() < 1e-9);
         }
 
-        #[test]
         fn prop_monotone(a in -100.0..100.0f64, b in -100.0..100.0f64) {
             prop_assume!(a < b);
             prop_assert!(Db::new(a).to_linear() < Db::new(b).to_linear());

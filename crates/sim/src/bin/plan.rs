@@ -69,7 +69,11 @@ fn parse_args() -> Args {
             "--corners" => args.spec.bs_layout = BsLayout::Corners,
             "--load" => {
                 i += 1;
-                args.load = Some(argv.get(i).cloned().unwrap_or_else(|| die("--load needs a path")));
+                args.load = Some(
+                    argv.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--load needs a path")),
+                );
             }
             "--map" => args.map = true,
             "--no-map" => args.map = false,
@@ -103,8 +107,8 @@ fn main() {
     }
     let scenario: Scenario = match &args.load {
         Some(path) => {
-            let bytes = std::fs::read(path)
-                .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+            let bytes =
+                std::fs::read(path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
             snapshot::decode(bytes.as_slice())
                 .unwrap_or_else(|e| die(&format!("cannot decode {path}: {e}")))
         }

@@ -11,13 +11,36 @@
 
 use std::io::Write as _;
 
-use sag_sim::experiments::{alpha_sweep, channels, fig3, fig45, fig6, fig7, mbmc_weights, scaling, snr_stress, table2};
+use sag_sim::experiments::{
+    alpha_sweep, channels, fig3, fig45, fig6, fig7, mbmc_weights, scaling, snr_stress, table2,
+};
 use sag_sim::runner::SweepConfig;
 use sag_sim::table::Table;
 
 const EXPERIMENTS: &[&str] = &[
-    "fig3a", "fig3b", "fig3c", "fig3d", "fig3e", "fig4a", "fig4b", "fig4c", "fig4d", "fig5a",
-    "fig5b", "fig5c", "fig5d", "fig6", "fig7a", "fig7b", "fig7c", "table2", "snr_stress", "alpha_sweep", "scaling", "mbmc_weights", "channels",
+    "fig3a",
+    "fig3b",
+    "fig3c",
+    "fig3d",
+    "fig3e",
+    "fig4a",
+    "fig4b",
+    "fig4c",
+    "fig4d",
+    "fig5a",
+    "fig5b",
+    "fig5c",
+    "fig5d",
+    "fig6",
+    "fig7a",
+    "fig7b",
+    "fig7c",
+    "table2",
+    "snr_stress",
+    "alpha_sweep",
+    "scaling",
+    "mbmc_weights",
+    "channels",
 ];
 
 fn main() {
@@ -46,12 +69,19 @@ fn main() {
             }
             "--csv" => {
                 i += 1;
-                csv_dir = Some(args.get(i).cloned().unwrap_or_else(|| die("--csv needs a directory")));
+                csv_dir = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--csv needs a directory")),
+                );
             }
             "--report" => {
                 i += 1;
-                report_path =
-                    Some(args.get(i).cloned().unwrap_or_else(|| die("--report needs a file")));
+                report_path = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--report needs a file")),
+                );
             }
             "--help" | "-h" => {
                 usage();
@@ -84,7 +114,12 @@ fn main() {
     }
 }
 
-fn run_experiment(name: &str, config: SweepConfig, csv_dir: Option<&str>, report: Option<&mut String>) {
+fn run_experiment(
+    name: &str,
+    config: SweepConfig,
+    csv_dir: Option<&str>,
+    report: Option<&mut String>,
+) {
     eprintln!("[repro] running {name} ({} runs/point)…", config.runs);
     let started = std::time::Instant::now();
     match name {
@@ -135,7 +170,10 @@ fn run_experiment(name: &str, config: SweepConfig, csv_dir: Option<&str>, report
             }
         }
     }
-    eprintln!("[repro] {name} done in {:.1}s", started.elapsed().as_secs_f64());
+    eprintln!(
+        "[repro] {name} done in {:.1}s",
+        started.elapsed().as_secs_f64()
+    );
 }
 
 fn write_file(path: &str, contents: &str) {
@@ -155,7 +193,9 @@ fn write_file(path: &str, contents: &str) {
 }
 
 fn usage() {
-    println!("usage: repro [--fast] [--runs N] [--threads N] [--csv DIR] [--report FILE] <experiment>…");
+    println!(
+        "usage: repro [--fast] [--runs N] [--threads N] [--csv DIR] [--report FILE] <experiment>…"
+    );
     println!("experiments: all {}", EXPERIMENTS.join(" "));
 }
 

@@ -21,7 +21,12 @@ use crate::table::Table;
 pub fn alpha_sweep(config: SweepConfig) -> Table {
     let alphas: Vec<f64> = vec![2.0, 2.25, 2.5, 2.75, 3.0, 3.25, 3.5, 3.75, 4.0];
     let series = sweep_multi(&alphas, 3, config, |alpha, seed| {
-        let spec = ScenarioSpec { field_size: 500.0, n_subscribers: 30, snr_db: -15.0, ..Default::default() };
+        let spec = ScenarioSpec {
+            field_size: 500.0,
+            n_subscribers: 30,
+            snr_db: -15.0,
+            ..Default::default()
+        };
         let sc = spec.build(seed % 1000);
         // Re-parameterise the link with this α (same geometry).
         let link = sag_radio::LinkBudget::builder()
@@ -66,7 +71,11 @@ mod tests {
 
     #[test]
     fn margin_shrinks_with_smaller_alpha() {
-        let cfg = SweepConfig { runs: 2, base_seed: 23, threads: 4 };
+        let cfg = SweepConfig {
+            runs: 2,
+            base_seed: 23,
+            threads: 4,
+        };
         let t = alpha_sweep(cfg);
         let margins = &t.series[2];
         let first = margins.cells.first().and_then(|c| c.mean); // α = 2

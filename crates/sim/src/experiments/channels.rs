@@ -55,7 +55,11 @@ mod tests {
 
     #[test]
     fn channels_monotone_in_beta_and_bounded() {
-        let cfg = SweepConfig { runs: 2, base_seed: 17, threads: 4 };
+        let cfg = SweepConfig {
+            runs: 2,
+            base_seed: 17,
+            threads: 4,
+        };
         let t = channels(cfg);
         let ch = &t.series[0];
         let relays = &t.series[1];

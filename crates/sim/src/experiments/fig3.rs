@@ -17,7 +17,13 @@ fn coverage_spec(field: f64, users: usize, snr_db: f64) -> ScenarioSpec {
 
 /// Shared engine for Fig. 3(a–c): sweep user counts on one field at one
 /// threshold, counting coverage relays for the three solvers.
-fn coverage_vs_users(title: &str, field: f64, snr_db: f64, users: &[usize], config: SweepConfig) -> Table {
+fn coverage_vs_users(
+    title: &str,
+    field: f64,
+    snr_db: f64,
+    users: &[usize],
+    config: SweepConfig,
+) -> Table {
     let grid = gac_grid_for(field);
     let series = sweep_multi(users, 3, config, |n, seed| {
         let sc = coverage_spec(field, n, snr_db).build(seed);
@@ -76,7 +82,9 @@ pub fn fig3c(config: SweepConfig) -> Table {
 /// the x position), so the series isolates the SNR effect exactly as the
 /// paper's figure does.
 pub fn fig3d(config: SweepConfig) -> Table {
-    let snrs: Vec<f64> = vec![-14.0, -13.5, -13.0, -12.5, -12.0, -11.5, -11.0, -10.5, -10.0];
+    let snrs: Vec<f64> = vec![
+        -14.0, -13.5, -13.0, -12.5, -12.0, -11.5, -11.0, -10.5, -10.0,
+    ];
     let grid = gac_grid_for(500.0);
     let series = sweep_multi(&snrs, 3, config, |snr, seed| {
         let sc = coverage_spec(500.0, 30, snr).build(seed % 1000);
@@ -86,7 +94,11 @@ pub fn fig3d(config: SweepConfig) -> Table {
             run_samc(&sc).map(|s| s.n_relays() as f64),
         ]
     });
-    let mut t = Table::new("Fig 3(d) coverage RSs vs SNR — 500x500, 30 users", "snr_db", snrs);
+    let mut t = Table::new(
+        "Fig 3(d) coverage RSs vs SNR — 500x500, 30 users",
+        "snr_db",
+        snrs,
+    );
     let mut it = series.into_iter();
     t.push_series("IAC", it.next().expect("3 series"));
     t.push_series("GAC", it.next().expect("3 series"));
@@ -127,7 +139,11 @@ mod tests {
     use super::*;
 
     fn tiny() -> SweepConfig {
-        SweepConfig { runs: 1, base_seed: 42, threads: 4 }
+        SweepConfig {
+            runs: 1,
+            base_seed: 42,
+            threads: 4,
+        }
     }
 
     #[test]

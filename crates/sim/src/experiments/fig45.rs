@@ -49,7 +49,10 @@ pub fn power_pro(field: f64, config: SweepConfig) -> Table {
         }
     });
     let mut t = Table::new(
-        format!("Fig {} (a) lower-tier power — {field:.0}x{field:.0}, SNR=-15dB", fig_no(field)),
+        format!(
+            "Fig {} (a) lower-tier power — {field:.0}x{field:.0}, SNR=-15dB",
+            fig_no(field)
+        ),
         "users",
         users.iter().map(|&u| u as f64).collect(),
     );
@@ -81,7 +84,10 @@ pub fn running_times(field: f64, config: SweepConfig) -> Table {
         ]
     });
     let mut t = Table::new(
-        format!("Fig {} (b) running time [s] — {field:.0}x{field:.0}, SNR=-15dB", fig_no(field)),
+        format!(
+            "Fig {} (b) running time [s] — {field:.0}x{field:.0}, SNR=-15dB",
+            fig_no(field)
+        ),
         "users",
         users.iter().map(|&u| u as f64).collect(),
     );
@@ -144,7 +150,10 @@ pub fn power_ucpo(field: f64, config: SweepConfig) -> Table {
         }
     });
     let mut t = Table::new(
-        format!("Fig {} (d) upper-tier power — {field:.0}x{field:.0}, SNR=-15dB", fig_no(field)),
+        format!(
+            "Fig {} (d) upper-tier power — {field:.0}x{field:.0}, SNR=-15dB",
+            fig_no(field)
+        ),
         "users",
         users.iter().map(|&u| u as f64).collect(),
     );
@@ -167,7 +176,11 @@ mod tests {
     use super::*;
 
     fn tiny() -> SweepConfig {
-        SweepConfig { runs: 1, base_seed: 7, threads: 4 }
+        SweepConfig {
+            runs: 1,
+            base_seed: 7,
+            threads: 4,
+        }
     }
 
     #[test]

@@ -88,7 +88,10 @@ impl TopologyDump {
             push("rs_connect", p);
         }
         for (a, b) in &self.links {
-            out.push_str(&format!("link,{:.3},{:.3},{:.3},{:.3}\n", a.x, a.y, b.x, b.y));
+            out.push_str(&format!(
+                "link,{:.3},{:.3},{:.3},{:.3}\n",
+                a.x, a.y, b.x, b.y
+            ));
         }
         out
     }

@@ -39,7 +39,8 @@ pub fn fig7(field: f64, config: SweepConfig) -> Table {
         let sc = spec(field, n).build(seed);
         let sag_total = run_sag(&sc).ok().map(|r| r.power_summary().total);
         let darp_of = |sol: Option<sag_core::CoverageSolution>| {
-            sol.and_then(|s| darp(&sc, &s, 0).ok()).map(|d| d.total_power())
+            sol.and_then(|s| darp(&sc, &s, 0).ok())
+                .map(|d| d.total_power())
         };
         vec![
             sag_total,
@@ -74,7 +75,11 @@ mod tests {
 
     #[test]
     fn sag_beats_darp_baselines() {
-        let cfg = SweepConfig { runs: 1, base_seed: 5, threads: 4 };
+        let cfg = SweepConfig {
+            runs: 1,
+            base_seed: 5,
+            threads: 4,
+        };
         // Small panel for test speed.
         let users = [5usize, 10];
         let series = sweep_multi(&users, 2, cfg, |n, seed| {

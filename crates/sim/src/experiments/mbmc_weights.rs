@@ -17,7 +17,11 @@ use crate::table::Table;
 /// per weight rule.
 pub fn mbmc_weights(config: SweepConfig) -> Table {
     let users: Vec<usize> = vec![10, 20, 30, 40, 50];
-    let rules = [WeightRule::HopCountDmin, WeightRule::Euclidean, WeightRule::HopCountOwn];
+    let rules = [
+        WeightRule::HopCountDmin,
+        WeightRule::Euclidean,
+        WeightRule::HopCountOwn,
+    ];
     let series = sweep_multi(&users, rules.len(), config, |n, seed| {
         let sc = ScenarioSpec {
             field_size: 500.0,
@@ -57,7 +61,11 @@ mod tests {
 
     #[test]
     fn ablation_builds_and_rules_agree_roughly() {
-        let cfg = SweepConfig { runs: 1, base_seed: 13, threads: 4 };
+        let cfg = SweepConfig {
+            runs: 1,
+            base_seed: 13,
+            threads: 4,
+        };
         let t = mbmc_weights(cfg);
         assert_eq!(t.series.len(), 3);
         for i in 0..t.xs.len() {
@@ -65,7 +73,11 @@ mod tests {
             if vals.len() == 3 {
                 let max = vals.iter().cloned().fold(0.0f64, f64::max);
                 let min = vals.iter().cloned().fold(f64::INFINITY, f64::min);
-                assert!(max <= min * 2.0 + 4.0, "rules diverged at x={}: {vals:?}", t.xs[i]);
+                assert!(
+                    max <= min * 2.0 + 4.0,
+                    "rules diverged at x={}: {vals:?}",
+                    t.xs[i]
+                );
             }
         }
     }

@@ -43,9 +43,15 @@ pub fn run_samc(scenario: &Scenario) -> Option<CoverageSolution> {
 /// Lower-tier solve via the ILPQC over IAC candidates.
 pub fn run_iac(scenario: &Scenario) -> Option<CoverageSolution> {
     let cands = iac_candidates(scenario);
-    solve_ilpqc(scenario, &cands, IlpqcConfig { node_limit: ILPQC_NODE_LIMIT })
-        .ok()
-        .map(|o| o.solution)
+    solve_ilpqc(
+        scenario,
+        &cands,
+        IlpqcConfig {
+            node_limit: ILPQC_NODE_LIMIT,
+        },
+    )
+    .ok()
+    .map(|o| o.solution)
 }
 
 /// Lower-tier solve via the ILPQC over GAC candidates with the given
@@ -55,9 +61,15 @@ pub fn run_gac(scenario: &Scenario, grid_size: f64) -> Option<CoverageSolution> 
     if cands.is_empty() {
         return None;
     }
-    solve_ilpqc(scenario, &cands, IlpqcConfig { node_limit: ILPQC_NODE_LIMIT })
-        .ok()
-        .map(|o| o.solution)
+    solve_ilpqc(
+        scenario,
+        &cands,
+        IlpqcConfig {
+            node_limit: ILPQC_NODE_LIMIT,
+        },
+    )
+    .ok()
+    .map(|o| o.solution)
 }
 
 #[cfg(test)]
@@ -67,7 +79,11 @@ mod tests {
     use sag_core::coverage::is_feasible;
 
     fn small_spec() -> ScenarioSpec {
-        ScenarioSpec { n_subscribers: 6, field_size: 300.0, ..Default::default() }
+        ScenarioSpec {
+            n_subscribers: 6,
+            field_size: 300.0,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -79,7 +95,10 @@ mod tests {
             ("gac", run_gac(&sc, gac_grid_for(300.0))),
         ] {
             let sol = sol.unwrap_or_else(|| panic!("{name} infeasible on easy case"));
-            assert!(is_feasible(&sc, &sol), "{name} returned infeasible placement");
+            assert!(
+                is_feasible(&sc, &sol),
+                "{name} returned infeasible placement"
+            );
         }
     }
 

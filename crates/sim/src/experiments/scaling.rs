@@ -32,8 +32,16 @@ pub fn scaling(config: SweepConfig) -> Table {
             snr_db: -15.0,
             ..Default::default()
         };
-        let global = ScenarioSpec { nmax: NMAX_GLOBAL, ..base }.build(seed);
-        let strict = ScenarioSpec { nmax: NMAX_STRICT, ..base }.build(seed);
+        let global = ScenarioSpec {
+            nmax: NMAX_GLOBAL,
+            ..base
+        }
+        .build(seed);
+        let strict = ScenarioSpec {
+            nmax: NMAX_STRICT,
+            ..base
+        }
+        .build(seed);
         let (g_out, g_t) = timed(|| run_samc(&global));
         let (s_out, s_t) = timed(|| run_samc(&strict));
         let zones = zone_partition(&strict).len() as f64;
@@ -63,7 +71,11 @@ mod tests {
 
     #[test]
     fn zoned_runs_have_many_zones_and_finish() {
-        let cfg = SweepConfig { runs: 1, base_seed: 31, threads: 2 };
+        let cfg = SweepConfig {
+            runs: 1,
+            base_seed: 31,
+            threads: 2,
+        };
         // Miniature version for test time: fewer users.
         let users = [20usize, 40];
         let series = sweep_multi(&users, 3, cfg, |n, seed| {
@@ -76,7 +88,11 @@ mod tests {
             .build(seed);
             let (out, t) = timed(|| run_samc(&strict));
             let zones = zone_partition(&strict).len() as f64;
-            vec![out.as_ref().map(|_| t), Some(zones), out.map(|s| s.n_relays() as f64)]
+            vec![
+                out.as_ref().map(|_| t),
+                Some(zones),
+                out.map(|s| s.n_relays() as f64),
+            ]
         });
         for (zone_cell, relay_cell) in series[1].iter().zip(&series[2]) {
             let zones = zone_cell.mean.unwrap();

@@ -51,7 +51,11 @@ mod tests {
 
     #[test]
     fn cliff_exists_and_samc_survives_longest() {
-        let cfg = SweepConfig { runs: 2, base_seed: 19, threads: 4 };
+        let cfg = SweepConfig {
+            runs: 2,
+            base_seed: 19,
+            threads: 4,
+        };
         let t = snr_stress(cfg);
         // At −15 dB everything solves.
         for s in &t.series {
@@ -65,9 +69,12 @@ mod tests {
         // dominates the same intersection candidates; the paper's "IAC is
         // more sensitive to SNR" claim). GAC's grid explores positions
         // neither considers, so it is not comparable and not asserted.
-        let mass = |idx: usize| -> f64 {
-            t.series[idx].cells.iter().filter_map(|c| c.mean).sum()
-        };
-        assert!(mass(2) + 1e-9 >= mass(0) - 1.0, "SAMC {} vs IAC {}", mass(2), mass(0));
+        let mass = |idx: usize| -> f64 { t.series[idx].cells.iter().filter_map(|c| c.mean).sum() };
+        assert!(
+            mass(2) + 1e-9 >= mass(0) - 1.0,
+            "SAMC {} vs IAC {}",
+            mass(2),
+            mass(0)
+        );
     }
 }

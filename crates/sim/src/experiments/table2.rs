@@ -60,7 +60,11 @@ mod tests {
     #[test]
     fn shape_and_na_pattern() {
         // Scaled-down clone for speed: fewer users, fewer runs.
-        let cfg = SweepConfig { runs: 1, base_seed: 3, threads: 4 };
+        let cfg = SweepConfig {
+            runs: 1,
+            base_seed: 3,
+            threads: 4,
+        };
         let bs_counts = [1usize, 2];
         let series = sweep_multi(&bs_counts, 5, cfg, |n_bs, seed| {
             let sc = ScenarioSpec {
@@ -99,7 +103,11 @@ mod tests {
 
     #[test]
     fn full_table_builds() {
-        let cfg = SweepConfig { runs: 1, base_seed: 1, threads: 4 };
+        let cfg = SweepConfig {
+            runs: 1,
+            base_seed: 1,
+            threads: 4,
+        };
         // Use the real builder once with a tiny run count to cover it.
         let t = table2(cfg);
         assert_eq!(t.series.len(), 5);

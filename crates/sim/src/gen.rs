@@ -3,16 +3,15 @@
 //! uniformly distributed, distance requirements uniform in `[30, 40]`,
 //! SNR thresholds in `[-25, -10]` dB (down to `-40` dB in Fig. 3(c)).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use sag_testkit::rng::Rng;
 
 use sag_core::model::{BaseStation, NetworkParams, Scenario, Subscriber};
 use sag_geom::{Point, Rect};
 use sag_radio::{units::Db, LinkBudget};
 
 /// Base-station placement policy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum BsLayout {
     /// Uniformly random in the field (the paper's default).
     #[default]
@@ -23,7 +22,8 @@ pub enum BsLayout {
 }
 
 /// Declarative description of a random scenario.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ScenarioSpec {
     /// Side of the square playing field (300 / 500 / 800 in the paper).
     pub field_size: f64,
@@ -77,8 +77,8 @@ impl ScenarioSpec {
             self.dist_range
         );
         let field = Rect::centered_square(self.field_size);
-        let mut rng = StdRng::seed_from_u64(seed);
-        let uniform_point = |rng: &mut StdRng| {
+        let mut rng = Rng::seed_from_u64(seed);
+        let uniform_point = |rng: &mut Rng| {
             Point::new(
                 rng.gen_range(field.min().x..=field.max().x),
                 rng.gen_range(field.min().y..=field.max().y),
@@ -112,8 +112,13 @@ impl ScenarioSpec {
             .max_power(self.pmax)
             .snr_threshold(Db::new(self.snr_db))
             .build();
-        Scenario::new(field, subscribers, base_stations, NetworkParams::new(link, self.nmax))
-            .expect("spec guarantees non-empty subscriber/BS lists")
+        Scenario::new(
+            field,
+            subscribers,
+            base_stations,
+            NetworkParams::new(link, self.nmax),
+        )
+        .expect("spec guarantees non-empty subscriber/BS lists")
     }
 }
 
@@ -133,7 +138,11 @@ mod tests {
 
     #[test]
     fn everything_inside_field() {
-        let spec = ScenarioSpec { field_size: 300.0, n_subscribers: 50, ..Default::default() };
+        let spec = ScenarioSpec {
+            field_size: 300.0,
+            n_subscribers: 50,
+            ..Default::default()
+        };
         let sc = spec.build(1);
         for s in &sc.subscribers {
             assert!(sc.field.contains(s.position));
@@ -163,7 +172,10 @@ mod tests {
 
     #[test]
     fn snr_threshold_applied() {
-        let spec = ScenarioSpec { snr_db: -40.0, ..Default::default() };
+        let spec = ScenarioSpec {
+            snr_db: -40.0,
+            ..Default::default()
+        };
         let sc = spec.build(3);
         assert!((sc.params.link.beta() - 1e-4).abs() < 1e-9);
     }
@@ -171,6 +183,10 @@ mod tests {
     #[test]
     #[should_panic]
     fn zero_subscribers_panics() {
-        ScenarioSpec { n_subscribers: 0, ..Default::default() }.build(0);
+        ScenarioSpec {
+            n_subscribers: 0,
+            ..Default::default()
+        }
+        .build(0);
     }
 }

@@ -8,7 +8,7 @@
 //! * [`stats`] — mean/std aggregation over the paper's 10-run averages,
 //! * [`table`] — text tables and CSV series for figure data,
 //! * [`runner`] — parameter sweeps parallelised across seeds
-//!   (crossbeam scoped threads),
+//!   (`std::thread::scope` workers),
 //! * [`snapshot`] — compact binary scenario snapshots (`bytes`),
 //! * [`experiments`] — one module per paper artefact: Fig. 3(a–e),
 //!   Fig. 4/5(a–d), Fig. 6, Fig. 7(a–c), Table II,

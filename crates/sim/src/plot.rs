@@ -24,7 +24,12 @@ impl Canvas {
             viewport.width() > 0.0 && viewport.height() > 0.0,
             "viewport must have positive area"
         );
-        Canvas { viewport, cols, rows, cells: vec![' '; cols * rows] }
+        Canvas {
+            viewport,
+            cols,
+            rows,
+            cells: vec![' '; cols * rows],
+        }
     }
 
     /// Canvas width in characters.

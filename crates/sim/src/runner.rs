@@ -1,12 +1,12 @@
 //! Parameter sweeps: every `(x, run)` cell evaluated in parallel across
-//! seeds with crossbeam scoped threads, aggregated into [`CellStats`].
+//! seeds with `std::thread::scope` workers, aggregated into [`CellStats`].
 //!
 //! The paper averages 10 runs per plotted point; [`SweepConfig::runs`]
 //! defaults to that. A run that returns `None` (infeasible — IAC/GAC do
 //! this at tight SNR thresholds, Fig. 3(d)) is excluded from the mean and
 //! surfaced in the cell's `feasible_runs`.
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use crate::stats::CellStats;
 
@@ -23,14 +23,21 @@ pub struct SweepConfig {
 
 impl Default for SweepConfig {
     fn default() -> Self {
-        SweepConfig { runs: 10, base_seed: 1, threads: 8 }
+        SweepConfig {
+            runs: 10,
+            base_seed: 1,
+            threads: 8,
+        }
     }
 }
 
 impl SweepConfig {
     /// A reduced configuration for quick smoke runs and benches.
     pub fn fast() -> Self {
-        SweepConfig { runs: 3, ..Default::default() }
+        SweepConfig {
+            runs: 3,
+            ..Default::default()
+        }
     }
 
     /// The seed for x-index `i`, run `r`.
@@ -68,7 +75,11 @@ where
     // outcomes[i][m][r]
     let outcomes: Vec<Vec<Mutex<Vec<Option<f64>>>>> = xs
         .iter()
-        .map(|_| (0..n_metrics).map(|_| Mutex::new(vec![None; config.runs])).collect())
+        .map(|_| {
+            (0..n_metrics)
+                .map(|_| Mutex::new(vec![None; config.runs]))
+                .collect()
+        })
         .collect();
 
     // Work queue of (x-index, run).
@@ -77,9 +88,9 @@ where
         .collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..config.threads.max(1).min(jobs.len().max(1)) {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let k = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if k >= jobs.len() {
                     break;
@@ -88,19 +99,20 @@ where
                 let vals = eval(xs[i], config.seed(i, r));
                 assert_eq!(vals.len(), n_metrics, "eval returned wrong metric count");
                 for (m, v) in vals.into_iter().enumerate() {
-                    outcomes[i][m].lock()[r] = v;
+                    outcomes[i][m].lock().expect("no worker poisons a cell")[r] = v;
                 }
             });
         }
-    })
-    .expect("sweep worker panicked");
+    });
 
     // Transpose to per-metric series.
     (0..n_metrics)
         .map(|m| {
             xs.iter()
                 .enumerate()
-                .map(|(i, _)| CellStats::from_runs(&outcomes[i][m].lock()))
+                .map(|(i, _)| {
+                    CellStats::from_runs(&outcomes[i][m].lock().expect("workers joined cleanly"))
+                })
                 .collect()
         })
         .collect()
@@ -130,7 +142,11 @@ mod tests {
 
     #[test]
     fn sweep_aggregates_all_cells() {
-        let cfg = SweepConfig { runs: 4, base_seed: 0, threads: 3 };
+        let cfg = SweepConfig {
+            runs: 4,
+            base_seed: 0,
+            threads: 3,
+        };
         let cells = sweep(&[1.0f64, 2.0, 3.0], cfg, |x, _seed| Some(x * 2.0));
         assert_eq!(cells.len(), 3);
         assert_eq!(cells[1].mean, Some(4.0));
@@ -139,18 +155,26 @@ mod tests {
 
     #[test]
     fn seeds_are_distinct_per_cell() {
-        let cfg = SweepConfig { runs: 2, base_seed: 10, threads: 2 };
+        let cfg = SweepConfig {
+            runs: 2,
+            base_seed: 10,
+            threads: 2,
+        };
         let seen = Mutex::new(std::collections::HashSet::new());
         sweep(&[0usize, 1, 2], cfg, |_x, seed| {
-            seen.lock().insert(seed);
+            seen.lock().unwrap().insert(seed);
             Some(0.0)
         });
-        assert_eq!(seen.lock().len(), 6);
+        assert_eq!(seen.lock().unwrap().len(), 6);
     }
 
     #[test]
     fn infeasible_runs_excluded() {
-        let cfg = SweepConfig { runs: 4, base_seed: 0, threads: 2 };
+        let cfg = SweepConfig {
+            runs: 4,
+            base_seed: 0,
+            threads: 2,
+        };
         let cells = sweep(&[0usize], cfg, |_x, seed| (seed % 2 == 0).then_some(10.0));
         assert_eq!(cells[0].feasible_runs, 2);
         assert_eq!(cells[0].mean, Some(10.0));
@@ -158,7 +182,11 @@ mod tests {
 
     #[test]
     fn multi_metric_transpose() {
-        let cfg = SweepConfig { runs: 2, base_seed: 0, threads: 1 };
+        let cfg = SweepConfig {
+            runs: 2,
+            base_seed: 0,
+            threads: 1,
+        };
         let series = sweep_multi(&[1.0f64, 2.0], 2, cfg, |x, _| vec![Some(x), Some(-x)]);
         assert_eq!(series.len(), 2);
         assert_eq!(series[0][1].mean, Some(2.0));

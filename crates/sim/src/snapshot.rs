@@ -1,11 +1,9 @@
 //! Compact binary scenario snapshots.
 //!
-//! A fixed little-endian layout over [`bytes`]: magic, version, field
-//! size, link parameters, then subscriber and base-station tables. Used
-//! by the topology-export example to persist the exact scenario a plot
-//! came from, and handy for shipping failing cases into tests.
-
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+//! A fixed little-endian layout over plain byte slices: magic, version,
+//! field size, link parameters, then subscriber and base-station tables.
+//! Used by the topology-export example to persist the exact scenario a
+//! plot came from, and handy for shipping failing cases into tests.
 
 use sag_core::model::{BaseStation, NetworkParams, Scenario, Subscriber};
 use sag_geom::{Point, Rect};
@@ -37,85 +35,132 @@ impl std::fmt::Display for SnapshotError {
 
 impl std::error::Error for SnapshotError {}
 
+/// Little-endian cursor over a byte slice; every read is
+/// bounds-checked into [`SnapshotError::Truncated`].
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take<const N: usize>(&mut self) -> Result<[u8; N], SnapshotError> {
+        let end = self.pos.checked_add(N).ok_or(SnapshotError::Truncated)?;
+        let bytes = self
+            .buf
+            .get(self.pos..end)
+            .ok_or(SnapshotError::Truncated)?;
+        self.pos = end;
+        Ok(bytes.try_into().expect("slice has length N"))
+    }
+
+    fn u16_le(&mut self) -> Result<u16, SnapshotError> {
+        Ok(u16::from_le_bytes(self.take()?))
+    }
+
+    fn u32_le(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.take()?))
+    }
+
+    fn f64_le(&mut self) -> Result<f64, SnapshotError> {
+        Ok(f64::from_le_bytes(self.take()?))
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+fn put_u16_le(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32_le(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64_le(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
 /// Serialises a scenario to bytes.
-pub fn encode(scenario: &Scenario) -> Bytes {
-    let mut buf = BytesMut::with_capacity(
+pub fn encode(scenario: &Scenario) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(
         64 + scenario.subscribers.len() * 24 + scenario.base_stations.len() * 16,
     );
-    buf.put_u32_le(MAGIC);
-    buf.put_u16_le(VERSION);
+    put_u32_le(&mut buf, MAGIC);
+    put_u16_le(&mut buf, VERSION);
     // Field (stored as min/max corners).
-    buf.put_f64_le(scenario.field.min().x);
-    buf.put_f64_le(scenario.field.min().y);
-    buf.put_f64_le(scenario.field.max().x);
-    buf.put_f64_le(scenario.field.max().y);
+    put_f64_le(&mut buf, scenario.field.min().x);
+    put_f64_le(&mut buf, scenario.field.min().y);
+    put_f64_le(&mut buf, scenario.field.max().x);
+    put_f64_le(&mut buf, scenario.field.max().y);
     // Link parameters.
     let link = &scenario.params.link;
-    buf.put_f64_le(link.model().gain());
-    buf.put_f64_le(link.model().alpha());
-    buf.put_f64_le(link.pmax());
-    buf.put_f64_le(link.beta());
-    buf.put_f64_le(link.noise());
-    buf.put_f64_le(link.bandwidth());
-    buf.put_f64_le(scenario.params.nmax);
+    put_f64_le(&mut buf, link.model().gain());
+    put_f64_le(&mut buf, link.model().alpha());
+    put_f64_le(&mut buf, link.pmax());
+    put_f64_le(&mut buf, link.beta());
+    put_f64_le(&mut buf, link.noise());
+    put_f64_le(&mut buf, link.bandwidth());
+    put_f64_le(&mut buf, scenario.params.nmax);
     // Stations.
-    buf.put_u32_le(scenario.subscribers.len() as u32);
+    put_u32_le(&mut buf, scenario.subscribers.len() as u32);
     for s in &scenario.subscribers {
-        buf.put_f64_le(s.position.x);
-        buf.put_f64_le(s.position.y);
-        buf.put_f64_le(s.distance_req);
+        put_f64_le(&mut buf, s.position.x);
+        put_f64_le(&mut buf, s.position.y);
+        put_f64_le(&mut buf, s.distance_req);
     }
-    buf.put_u32_le(scenario.base_stations.len() as u32);
+    put_u32_le(&mut buf, scenario.base_stations.len() as u32);
     for b in &scenario.base_stations {
-        buf.put_f64_le(b.position.x);
-        buf.put_f64_le(b.position.y);
+        put_f64_le(&mut buf, b.position.x);
+        put_f64_le(&mut buf, b.position.y);
     }
-    buf.freeze()
+    buf
 }
 
 /// Deserialises a scenario from bytes.
 ///
 /// # Errors
 /// [`SnapshotError`] on malformed input.
-pub fn decode(mut buf: impl Buf) -> Result<Scenario, SnapshotError> {
-    let need = |buf: &dyn Buf, n: usize| -> Result<(), SnapshotError> {
-        if buf.remaining() < n {
-            Err(SnapshotError::Truncated)
-        } else {
-            Ok(())
-        }
-    };
-    need(&buf, 6)?;
-    if buf.get_u32_le() != MAGIC {
+pub fn decode(buf: &[u8]) -> Result<Scenario, SnapshotError> {
+    let mut r = Reader::new(buf);
+    if r.u32_le().map_err(|_| SnapshotError::Truncated)? != MAGIC {
         return Err(SnapshotError::BadMagic);
     }
-    let version = buf.get_u16_le();
+    let version = r.u16_le()?;
     if version != VERSION {
         return Err(SnapshotError::BadVersion(version));
     }
-    need(&buf, 8 * 11 + 4)?;
-    let min = Point::new(buf.get_f64_le(), buf.get_f64_le());
-    let max = Point::new(buf.get_f64_le(), buf.get_f64_le());
-    let gain = buf.get_f64_le();
-    let alpha = buf.get_f64_le();
-    let pmax = buf.get_f64_le();
-    let beta = buf.get_f64_le();
-    let noise = buf.get_f64_le();
-    let bandwidth = buf.get_f64_le();
-    let nmax = buf.get_f64_le();
-    let n_subs = buf.get_u32_le() as usize;
-    need(&buf, n_subs * 24 + 4)?;
+    let min = Point::new(r.f64_le()?, r.f64_le()?);
+    let max = Point::new(r.f64_le()?, r.f64_le()?);
+    let gain = r.f64_le()?;
+    let alpha = r.f64_le()?;
+    let pmax = r.f64_le()?;
+    let beta = r.f64_le()?;
+    let noise = r.f64_le()?;
+    let bandwidth = r.f64_le()?;
+    let nmax = r.f64_le()?;
+    let n_subs = r.u32_le()? as usize;
+    if r.remaining() < n_subs.saturating_mul(24) {
+        return Err(SnapshotError::Truncated);
+    }
     let mut subscribers = Vec::with_capacity(n_subs);
     for _ in 0..n_subs {
-        let p = Point::new(buf.get_f64_le(), buf.get_f64_le());
-        let d = buf.get_f64_le();
+        let p = Point::new(r.f64_le()?, r.f64_le()?);
+        let d = r.f64_le()?;
         subscribers.push(Subscriber::new(p, d));
     }
-    let n_bs = buf.get_u32_le() as usize;
-    need(&buf, n_bs * 16)?;
+    let n_bs = r.u32_le()? as usize;
+    if r.remaining() < n_bs.saturating_mul(16) {
+        return Err(SnapshotError::Truncated);
+    }
     let mut base_stations = Vec::with_capacity(n_bs);
     for _ in 0..n_bs {
-        base_stations.push(BaseStation::new(Point::new(buf.get_f64_le(), buf.get_f64_le())));
+        base_stations.push(BaseStation::new(Point::new(r.f64_le()?, r.f64_le()?)));
     }
     let link = LinkBudget::builder()
         .model(TwoRay::new(gain, alpha))
@@ -142,39 +187,73 @@ mod tests {
     fn roundtrip() {
         let sc = ScenarioSpec::default().build(5);
         let bytes = encode(&sc);
-        let back = decode(bytes).unwrap();
+        let back = decode(&bytes).unwrap();
         assert_eq!(sc, back);
     }
 
     #[test]
     fn bad_magic_rejected() {
-        let mut b = BytesMut::new();
-        b.put_u32_le(0xDEAD_BEEF);
-        b.put_u16_le(1);
-        assert_eq!(decode(b.freeze()), Err(SnapshotError::BadMagic));
+        let mut b = Vec::new();
+        put_u32_le(&mut b, 0xDEAD_BEEF);
+        put_u16_le(&mut b, 1);
+        assert_eq!(decode(&b), Err(SnapshotError::BadMagic));
     }
 
     #[test]
     fn truncated_rejected() {
         let sc = ScenarioSpec::default().build(5);
         let bytes = encode(&sc);
-        let cut = bytes.slice(0..bytes.len() - 3);
-        assert_eq!(decode(cut), Err(SnapshotError::Truncated));
+        assert_eq!(
+            decode(&bytes[..bytes.len() - 3]),
+            Err(SnapshotError::Truncated)
+        );
+    }
+
+    #[test]
+    fn every_prefix_rejected_cleanly() {
+        // No prefix may panic or decode successfully; each must report a
+        // structured error (Truncated once the magic/version fit).
+        let sc = ScenarioSpec::default().build(5);
+        let bytes = encode(&sc);
+        for cut in 0..bytes.len() - 1 {
+            assert!(
+                decode(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
     }
 
     #[test]
     fn version_checked() {
-        let mut b = BytesMut::new();
-        b.put_u32_le(MAGIC);
-        b.put_u16_le(99);
-        assert_eq!(decode(b.freeze()), Err(SnapshotError::BadVersion(99)));
+        let mut b = Vec::new();
+        put_u32_le(&mut b, MAGIC);
+        put_u16_le(&mut b, 99);
+        assert_eq!(decode(&b), Err(SnapshotError::BadVersion(99)));
+    }
+
+    #[test]
+    fn declared_length_overflow_rejected() {
+        // A subscriber count far beyond the buffer must fail fast, not
+        // allocate or overflow.
+        let mut b = Vec::new();
+        put_u32_le(&mut b, MAGIC);
+        put_u16_le(&mut b, VERSION);
+        for _ in 0..11 {
+            put_f64_le(&mut b, 0.0);
+        }
+        put_u32_le(&mut b, u32::MAX);
+        assert_eq!(decode(&b), Err(SnapshotError::Truncated));
     }
 
     #[test]
     fn roundtrip_preserves_link_budget() {
-        let spec = ScenarioSpec { snr_db: -25.0, pmax: 2.0, ..Default::default() };
+        let spec = ScenarioSpec {
+            snr_db: -25.0,
+            pmax: 2.0,
+            ..Default::default()
+        };
         let sc = spec.build(9);
-        let back = decode(encode(&sc)).unwrap();
+        let back = decode(&encode(&sc)).unwrap();
         assert!((back.params.link.beta() - sc.params.link.beta()).abs() < 1e-15);
         assert_eq!(back.params.link.pmax(), 2.0);
     }

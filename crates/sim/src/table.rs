@@ -31,7 +31,12 @@ pub struct Table {
 impl Table {
     /// Creates an empty table with the given axes.
     pub fn new(title: impl Into<String>, x_label: impl Into<String>, xs: Vec<f64>) -> Self {
-        Table { title: title.into(), x_label: x_label.into(), xs, series: Vec::new() }
+        Table {
+            title: title.into(),
+            x_label: x_label.into(),
+            xs,
+            series: Vec::new(),
+        }
     }
 
     /// Appends a series.
@@ -39,8 +44,15 @@ impl Table {
     /// # Panics
     /// Panics if the series length does not match the x-axis.
     pub fn push_series(&mut self, name: impl Into<String>, cells: Vec<CellStats>) -> &mut Self {
-        assert_eq!(cells.len(), self.xs.len(), "series length must match x-axis");
-        self.series.push(Series { name: name.into(), cells });
+        assert_eq!(
+            cells.len(),
+            self.xs.len(),
+            "series length must match x-axis"
+        );
+        self.series.push(Series {
+            name: name.into(),
+            cells,
+        });
         self
     }
 
@@ -118,11 +130,19 @@ mod tests {
     use super::*;
 
     fn cell(v: f64) -> CellStats {
-        CellStats { mean: Some(v), feasible_runs: 1, total_runs: 1 }
+        CellStats {
+            mean: Some(v),
+            feasible_runs: 1,
+            total_runs: 1,
+        }
     }
 
     fn na() -> CellStats {
-        CellStats { mean: None, feasible_runs: 0, total_runs: 1 }
+        CellStats {
+            mean: None,
+            feasible_runs: 0,
+            total_runs: 1,
+        }
     }
 
     #[test]
@@ -199,8 +219,16 @@ mod markdown_tests {
         t.push_series(
             "A",
             vec![
-                CellStats { mean: Some(1.5), feasible_runs: 2, total_runs: 2 },
-                CellStats { mean: None, feasible_runs: 0, total_runs: 2 },
+                CellStats {
+                    mean: Some(1.5),
+                    feasible_runs: 2,
+                    total_runs: 2,
+                },
+                CellStats {
+                    mean: None,
+                    feasible_runs: 0,
+                    total_runs: 2,
+                },
             ],
         );
         let md = t.to_markdown();

@@ -1,0 +1,132 @@
+//! Golden-file assertions for regression tests.
+//!
+//! A golden test renders some deterministic artefact (a table, a
+//! placement count summary) to text and compares it against a file
+//! checked into the repository. On mismatch the test fails with a
+//! line diff; running with `SAG_UPDATE_GOLDEN=1` rewrites the files
+//! instead, so intentional changes are a re-run plus a `git diff`
+//! review away.
+
+use std::fs;
+use std::path::Path;
+
+/// Normalises line endings and trailing whitespace so goldens are
+/// platform- and editor-stable.
+fn normalise(s: &str) -> String {
+    let mut out: String = s
+        .replace("\r\n", "\n")
+        .lines()
+        .map(|l| l.trim_end())
+        .collect::<Vec<_>>()
+        .join("\n");
+    while out.ends_with('\n') {
+        out.pop();
+    }
+    out.push('\n');
+    out
+}
+
+/// Returns `true` when golden files should be rewritten instead of
+/// compared (`SAG_UPDATE_GOLDEN` set to anything but `0`/empty).
+pub fn update_mode() -> bool {
+    std::env::var("SAG_UPDATE_GOLDEN")
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false)
+}
+
+/// Compares `actual` against the golden file at `path`.
+///
+/// # Panics
+/// Panics with a line diff on mismatch, or with instructions when the
+/// golden file does not exist yet. In [`update_mode`] it writes the
+/// file and never panics.
+pub fn assert_golden(path: impl AsRef<Path>, actual: &str) {
+    let path = path.as_ref();
+    let actual = normalise(actual);
+    if update_mode() {
+        if let Some(dir) = path.parent() {
+            fs::create_dir_all(dir).unwrap_or_else(|e| panic!("creating {}: {e}", dir.display()));
+        }
+        fs::write(path, &actual).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+        eprintln!("updated golden {}", path.display());
+        return;
+    }
+    let expected = match fs::read_to_string(path) {
+        Ok(s) => normalise(&s),
+        Err(e) => panic!(
+            "golden file {} unreadable ({e}); generate it with SAG_UPDATE_GOLDEN=1 cargo test",
+            path.display()
+        ),
+    };
+    if expected != actual {
+        panic!(
+            "golden mismatch for {}\n{}\nif the change is intentional: SAG_UPDATE_GOLDEN=1 cargo test",
+            path.display(),
+            diff(&expected, &actual)
+        );
+    }
+}
+
+/// Minimal line diff: enough to see *what* moved without an external
+/// diff crate.
+fn diff(expected: &str, actual: &str) -> String {
+    let e: Vec<&str> = expected.lines().collect();
+    let a: Vec<&str> = actual.lines().collect();
+    let mut out = String::new();
+    for i in 0..e.len().max(a.len()) {
+        match (e.get(i), a.get(i)) {
+            (Some(el), Some(al)) if el == al => {}
+            (el, al) => {
+                if let Some(el) = el {
+                    out.push_str(&format!("  line {:>3} - {el}\n", i + 1));
+                }
+                if let Some(al) = al {
+                    out.push_str(&format!("  line {:>3} + {al}\n", i + 1));
+                }
+            }
+        }
+    }
+    if out.is_empty() {
+        out.push_str("  (differs only in normalised whitespace)\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("sag-testkit-golden");
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn matching_golden_passes() {
+        let p = tmp("match.txt");
+        fs::write(&p, "a\nb\n").unwrap();
+        assert_golden(&p, "a\nb");
+        assert_golden(&p, "a \nb\n\n"); // whitespace-normalised
+    }
+
+    #[test]
+    fn mismatch_panics_with_diff() {
+        let p = tmp("mismatch.txt");
+        fs::write(&p, "a\nb\n").unwrap();
+        let err = std::panic::catch_unwind(|| assert_golden(&p, "a\nc")).unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("- b"), "{msg}");
+        assert!(msg.contains("+ c"), "{msg}");
+        assert!(msg.contains("SAG_UPDATE_GOLDEN"), "{msg}");
+    }
+
+    #[test]
+    fn missing_golden_names_the_fix() {
+        let p = tmp("never-written.txt");
+        let _ = fs::remove_file(&p);
+        let err = std::panic::catch_unwind(|| assert_golden(&p, "x")).unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("SAG_UPDATE_GOLDEN=1"), "{msg}");
+    }
+}

@@ -1,0 +1,35 @@
+//! # sag-testkit — hermetic test substrate
+//!
+//! Zero-dependency replacements for the external test tooling the SAG
+//! workspace used to pull from the registry, so the full tier-1 verify
+//! (`cargo build --release --offline && cargo test -q --offline`) runs
+//! with no network access:
+//!
+//! * [`rng`] — a SplitMix64-seeded xoshiro256\*\* generator exposing the
+//!   `rand`-shaped surface the codebase uses (`gen_range`, `gen_bool`,
+//!   `shuffle`, uniform/normal floats), deterministic per seed on every
+//!   platform.
+//! * [`strategy`] + [`prop!`] — a property-testing harness replacing
+//!   `proptest`: range/tuple/vec/one-of strategies, configurable case
+//!   counts, failing-seed reporting and greedy input shrinking.
+//!   Reproduce any failure with `SAG_PROP_SEED=<seed> cargo test <name>`.
+//! * [`golden`] — golden-file assertions for fixed-seed regression
+//!   scenarios (`SAG_UPDATE_GOLDEN=1` rewrites).
+//!
+//! The crate deliberately has **no dependencies** (not even workspace
+//! path deps), so every other crate can dev-depend on it without cycles
+//! and the whole workspace stays buildable offline.
+
+pub mod golden;
+pub mod prop;
+pub mod rng;
+pub mod strategy;
+
+/// The single import property tests need:
+/// `use sag_testkit::prelude::*;`.
+pub mod prelude {
+    pub use crate::golden::assert_golden;
+    pub use crate::rng::Rng;
+    pub use crate::strategy::{just, one_of, vec_of, Strategy};
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume};
+}

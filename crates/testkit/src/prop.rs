@@ -1,0 +1,362 @@
+//! The property-testing harness behind the [`prop!`](crate::prop!) macro.
+//!
+//! Each test runs a configurable number of cases (default
+//! [`DEFAULT_CASES`], overridable per test with `#[cases(n)]` and
+//! globally with `SAG_PROP_CASES`). Case inputs are sampled from a
+//! per-case seed drawn off a deterministic stream, so a failure report
+//! always names the exact seed that produced it:
+//!
+//! ```text
+//! property `prop_foo` failed (case 17 of 64, seed 0x4f2a...)
+//! ...
+//! reproduce with: SAG_PROP_SEED=0x4f2a... cargo test prop_foo
+//! ```
+//!
+//! Re-running with `SAG_PROP_SEED` set replays exactly that one case —
+//! same seed, same sampled input, same failure — which is the hermetic
+//! replacement for `proptest`'s persisted regression files.
+
+use std::panic::{self, AssertUnwindSafe};
+
+use crate::rng::{splitmix64, Rng};
+use crate::strategy::Strategy;
+
+/// Cases per property unless overridden.
+pub const DEFAULT_CASES: u32 = 64;
+
+/// Upper bound on greedy shrink steps so pathological shrink trees
+/// terminate.
+const MAX_SHRINK_STEPS: usize = 512;
+
+/// FNV-1a, used to give every property its own deterministic seed
+/// stream (so renaming a test, not reordering the file, changes its
+/// inputs).
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn run_case<S, F>(strat: &S, seed: u64, f: &F) -> Result<(), (S::Value, String)>
+where
+    S: Strategy,
+    F: Fn(S::Value),
+{
+    let value = strat.sample(&mut Rng::seed_from_u64(seed));
+    check_value(value, f)
+}
+
+fn check_value<V, F>(value: V, f: &F) -> Result<(), (V, String)>
+where
+    V: Clone + std::fmt::Debug,
+    F: Fn(V),
+{
+    let probe = value.clone();
+    match panic::catch_unwind(AssertUnwindSafe(|| f(probe))) {
+        Ok(()) => Ok(()),
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "<non-string panic payload>".to_string());
+            Err((value, msg))
+        }
+    }
+}
+
+/// Greedily walks the shrink tree: keeps taking the first simpler
+/// candidate that still fails, until none does.
+fn shrink_failure<S, F>(
+    strat: &S,
+    mut value: S::Value,
+    mut msg: String,
+    f: &F,
+) -> (S::Value, String)
+where
+    S: Strategy,
+    F: Fn(S::Value),
+{
+    let mut steps = 0;
+    'outer: while steps < MAX_SHRINK_STEPS {
+        for cand in strat.shrink(&value) {
+            steps += 1;
+            if let Err((v, m)) = check_value(cand, f) {
+                value = v;
+                msg = m;
+                continue 'outer;
+            }
+            if steps >= MAX_SHRINK_STEPS {
+                break;
+            }
+        }
+        break;
+    }
+    (value, msg)
+}
+
+/// Drives one property: called by the code [`prop!`](crate::prop!)
+/// generates, not directly.
+///
+/// # Panics
+/// Panics (failing the enclosing `#[test]`) with the case seed, the
+/// shrunk input and the original assertion message on the first
+/// counterexample.
+pub fn run<S, F>(name: &str, cases: u32, strat: &S, f: F)
+where
+    S: Strategy,
+    F: Fn(S::Value),
+{
+    // Replay mode: exactly one case, no panic-hook games, so the
+    // failure surfaces exactly as the original assertion.
+    if let Ok(spec) = std::env::var("SAG_PROP_SEED") {
+        let seed = parse_seed(&spec)
+            .unwrap_or_else(|| panic!("SAG_PROP_SEED `{spec}` is not a (hex or decimal) u64"));
+        let value = strat.sample(&mut Rng::seed_from_u64(seed));
+        eprintln!("replaying property `{name}` with seed {seed:#018x}: input {value:?}");
+        f(value);
+        return;
+    }
+
+    let cases = std::env::var("SAG_PROP_CASES")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+        .unwrap_or(cases)
+        .max(1);
+
+    // Silence the default per-panic backtrace spam while we probe and
+    // shrink; restored before reporting.
+    let hook = panic::take_hook();
+    panic::set_hook(Box::new(|_| {}));
+
+    let mut stream = fnv1a(name) ^ 0x5347_5052_4F50_5345; // "SGPROPSE"
+    let mut failure: Option<(u64, u32, S::Value, String)> = None;
+    for case in 0..cases {
+        let seed = splitmix64(&mut stream);
+        if let Err((value, msg)) = run_case(strat, seed, &f) {
+            let (value, msg) = shrink_failure(strat, value, msg, &f);
+            failure = Some((seed, case, value, msg));
+            break;
+        }
+    }
+
+    panic::set_hook(hook);
+    if let Some((seed, case, value, msg)) = failure {
+        panic!(
+            "property `{name}` failed (case {case} of {cases}, seed {seed:#018x})\n\
+             shrunk input: {value:?}\n\
+             assertion: {msg}\n\
+             reproduce with: SAG_PROP_SEED={seed:#x} cargo test {name}"
+        );
+    }
+}
+
+fn parse_seed(spec: &str) -> Option<u64> {
+    let spec = spec.trim();
+    if let Some(hex) = spec.strip_prefix("0x").or_else(|| spec.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        spec.parse().ok()
+    }
+}
+
+/// Defines property-based tests.
+///
+/// Each `fn name(binding in strategy, ...) { body }` item becomes a
+/// `#[test]` running the body over sampled inputs, with failing seeds
+/// reported and inputs shrunk. An optional `#[cases(n)]` attribute sets
+/// the case count (default [`DEFAULT_CASES`]).
+///
+/// ```
+/// use sag_testkit::prelude::*;
+///
+/// prop! {
+///     #[cases(32)]
+///     fn addition_commutes(a in 0i64..1000, b in 0i64..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! prop {
+    () => {};
+    (
+        $(# $attr:tt)*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $crate::__prop_one! {
+            [$(# $attr)*] [] [$crate::prop::DEFAULT_CASES]
+            fn $name($($arg in $strat),+) $body
+        }
+        $crate::prop! { $($rest)* }
+    };
+}
+
+/// Implementation detail of [`prop!`]: peels attributes one at a time so
+/// `#[cases(n)]` can appear anywhere among ordinary attributes such as
+/// `#[ignore]`.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __prop_one {
+    (
+        [#[cases($n:expr)] $($restattr:tt)*] [$($kept:tt)*] [$cases:expr]
+        fn $name:ident($($arg:ident in $strat:expr),+) $body:block
+    ) => {
+        $crate::__prop_one! {
+            [$($restattr)*] [$($kept)*] [$n]
+            fn $name($($arg in $strat),+) $body
+        }
+    };
+    (
+        [# $attr:tt $($restattr:tt)*] [$($kept:tt)*] [$cases:expr]
+        fn $name:ident($($arg:ident in $strat:expr),+) $body:block
+    ) => {
+        $crate::__prop_one! {
+            [$($restattr)*] [$($kept)* # $attr] [$cases]
+            fn $name($($arg in $strat),+) $body
+        }
+    };
+    (
+        [] [$($kept:tt)*] [$cases:expr]
+        fn $name:ident($($arg:ident in $strat:expr),+) $body:block
+    ) => {
+        #[test]
+        $($kept)*
+        fn $name() {
+            let strategy = ($($strat,)+);
+            $crate::prop::run(stringify!($name), $cases, &strategy, |($($arg,)+)| $body);
+        }
+    };
+}
+
+/// `assert!` inside a [`prop!`](crate::prop!) body (kept distinct so
+/// property assertions read the same as they did under `proptest`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+/// `assert_eq!` for [`prop!`](crate::prop!) bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_eq!($a, $b, $($fmt)+)
+    };
+}
+
+/// `assert_ne!` for [`prop!`](crate::prop!) bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_ne!($a, $b, $($fmt)+)
+    };
+}
+
+/// Skips the current case when its sampled input doesn't satisfy a
+/// precondition (the case counts as passing).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    prop! {
+        fn passes_trivially(a in 0usize..10, b in 0usize..10) {
+            prop_assert!(a < 10 && b < 10);
+        }
+
+        #[cases(8)]
+        fn case_count_override(_a in 0usize..2) {
+            prop_assert!(true);
+        }
+
+        fn assume_skips(n in 0usize..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    fn failing_property_reports_seed_and_shrinks() {
+        let err = std::panic::catch_unwind(|| {
+            crate::prop::run("doc_failure", 64, &(0usize..1000), |n| {
+                assert!(n < 50, "too big: {n}");
+            });
+        })
+        .expect_err("property must fail");
+        let msg = err.downcast_ref::<String>().expect("string payload");
+        assert!(msg.contains("seed 0x"), "no seed in: {msg}");
+        assert!(msg.contains("SAG_PROP_SEED="), "no repro line in: {msg}");
+        // Greedy shrinking must land on the boundary counterexample.
+        assert!(
+            msg.contains("shrunk input: 50\n"),
+            "did not shrink to 50: {msg}"
+        );
+    }
+
+    #[test]
+    fn failing_seed_replays_deterministically() {
+        // Extract the reported seed, then check the same seed samples the
+        // same input — the contract behind SAG_PROP_SEED replay.
+        let err = std::panic::catch_unwind(|| {
+            crate::prop::run("doc_replay", 64, &(0u64..1_000_000), |n| {
+                assert!(n < 3, "n={n}");
+            });
+        })
+        .expect_err("property must fail");
+        let msg = err.downcast_ref::<String>().expect("string payload");
+        let hex = msg
+            .split("seed 0x")
+            .nth(1)
+            .and_then(|s| s.split(')').next())
+            .expect("seed");
+        let seed = u64::from_str_radix(hex, 16).expect("hex seed");
+        let strat = 0u64..1_000_000;
+        let a =
+            crate::strategy::Strategy::sample(&strat, &mut crate::rng::Rng::seed_from_u64(seed));
+        let b =
+            crate::strategy::Strategy::sample(&strat, &mut crate::rng::Rng::seed_from_u64(seed));
+        assert_eq!(a, b);
+        assert!(
+            a >= 3,
+            "reported seed must reproduce a failing input, got {a}"
+        );
+    }
+
+    #[test]
+    fn shrink_respects_lower_bound() {
+        let err = std::panic::catch_unwind(|| {
+            crate::prop::run("doc_bound", 64, &(10usize..1000), |n| {
+                assert!(n >= 2000, "always fails");
+            });
+        })
+        .expect_err("property must fail");
+        let msg = err.downcast_ref::<String>().expect("string payload");
+        // Everything fails, so the shrinker must bottom out at the
+        // strategy's minimum, never below it.
+        assert!(
+            msg.contains("shrunk input: 10\n"),
+            "bad shrink floor: {msg}"
+        );
+    }
+}

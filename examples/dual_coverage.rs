@@ -30,7 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dual = solve_k_coverage(&sc, 2, KCoverStrategy::Greedy)?;
     assert!(is_k_feasible(&sc, &dual));
 
-    println!("coverage multiplicity comparison ({} subscribers)", sc.n_subscribers());
+    println!(
+        "coverage multiplicity comparison ({} subscribers)",
+        sc.n_subscribers()
+    );
     println!("  single coverage (SAMC): {:>2} relays", single.n_relays());
     println!("  dual coverage (k = 2) : {:>2} relays", dual.n_relays());
 
@@ -46,15 +49,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 !dual.servers[*j].iter().any(|&r| {
                     // Backup candidates often sit exactly on the feasible
                     // circle; compare with the library's tolerance.
-                    r != dead
-                        && dual.relays[r].distance(sub.position) <= sub.distance_req + 1e-9
+                    r != dead && dual.relays[r].distance(sub.position) <= sub.distance_req + 1e-9
                 })
             })
             .count();
         worst_orphans = worst_orphans.max(orphans);
     }
     println!("  worst-case orphans after any single relay failure: {worst_orphans}");
-    assert_eq!(worst_orphans, 0, "dual coverage must survive any single failure");
+    assert_eq!(
+        worst_orphans, 0,
+        "dual coverage must survive any single failure"
+    );
 
     // Green primary operation: run PRO on the primary assignment and
     // compare the battery lifetime against all-Pmax operation.
@@ -76,7 +81,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
     );
     if let Some(b) = green_life.bottleneck {
-        println!("  bottleneck relay after PRO: {} at {}", b, primary.relays[b]);
+        println!(
+            "  bottleneck relay after PRO: {} at {}",
+            b, primary.relays[b]
+        );
     }
     Ok(())
 }

@@ -49,7 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let coverage = samc(&scenario)?;
     let baseline = darp(&scenario, &coverage, 0)?;
 
-    println!("retail corridor deployment ({} subscribers)", scenario.n_subscribers());
+    println!(
+        "retail corridor deployment ({} subscribers)",
+        scenario.n_subscribers()
+    );
     println!("--------------------------------------------");
     println!(
         "SAG   : {:>2} coverage + {:>2} connectivity relays, total power {:.3}",

@@ -44,7 +44,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("sleep schedule over a 24-hour demand profile");
     println!("--------------------------------------------");
-    println!("placement: {} relays ({} subscribers)", placement.n_relays(), n);
+    println!(
+        "placement: {} relays ({} subscribers)",
+        placement.n_relays(),
+        n
+    );
     println!("hour  active  awake  slot power");
     for (hour, (slot, plan)) in slots.iter().zip(&plans).enumerate() {
         println!(

@@ -16,7 +16,9 @@ use sag_sim::experiments::fig6;
 use sag_sim::snapshot;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let out_dir = std::env::args().nth(1).unwrap_or_else(|| "target/fig6".to_string());
+    let out_dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "target/fig6".to_string());
     std::fs::create_dir_all(&out_dir)?;
 
     let seed = 7;
@@ -45,7 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Prove the snapshot round-trips.
-    let reloaded = snapshot::decode(snap)?;
+    let reloaded = snapshot::decode(&snap)?;
     assert_eq!(reloaded, scenario);
     println!("snapshot round-trip verified");
     Ok(())

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Canonical tier-1 CI entry point.
+#
+# Everything here runs fully offline: the workspace has no registry
+# dependencies (see DESIGN.md, "Hermetic builds"), so a clean checkout
+# with only the Rust toolchain passes this script with zero network
+# access.
+#
+# Usage: scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo fmt --all -- --check
+run cargo clippy --workspace --all-targets --offline -- -D warnings
+run cargo build --release --offline --workspace
+run cargo test -q --offline
+
+echo "==> tier-1 CI green"

@@ -9,16 +9,15 @@ use sag_radio::{units::Db, LinkBudget};
 
 /// Builds a deterministic hand-laid scenario: `subs` as
 /// `(x, y, distance_req)`, `bss` as `(x, y)`, on a centered square field.
-pub fn scenario(
-    field: f64,
-    subs: &[(f64, f64, f64)],
-    bss: &[(f64, f64)],
-    snr_db: f64,
-) -> Scenario {
+pub fn scenario(field: f64, subs: &[(f64, f64, f64)], bss: &[(f64, f64)], snr_db: f64) -> Scenario {
     Scenario::new(
         Rect::centered_square(field),
-        subs.iter().map(|&(x, y, d)| Subscriber::new(Point::new(x, y), d)).collect(),
-        bss.iter().map(|&(x, y)| BaseStation::new(Point::new(x, y))).collect(),
+        subs.iter()
+            .map(|&(x, y, d)| Subscriber::new(Point::new(x, y), d))
+            .collect(),
+        bss.iter()
+            .map(|&(x, y)| BaseStation::new(Point::new(x, y)))
+            .collect(),
         NetworkParams::new(
             LinkBudget::builder().snr_threshold(Db::new(snr_db)).build(),
             1e-9,

@@ -5,7 +5,11 @@ use sag_sim::experiments::{fig3, fig45, fig6, fig7, table2};
 use sag_sim::runner::SweepConfig;
 
 fn tiny() -> SweepConfig {
-    SweepConfig { runs: 1, base_seed: 11, threads: 4 }
+    SweepConfig {
+        runs: 1,
+        base_seed: 11,
+        threads: 4,
+    }
 }
 
 #[test]
@@ -17,7 +21,11 @@ fn table2_mbmc_dominates_every_must() {
         let m = mbmc.cells[i].mean.expect("MBMC always solves");
         for b in 0..(n_bs as usize) {
             if let Some(mu) = t.series[b].cells[i].mean {
-                assert!(m <= mu + 1e-9, "MBMC {m} > MUST BS{} {mu} at {n_bs} BSs", b + 1);
+                assert!(
+                    m <= mu + 1e-9,
+                    "MBMC {m} > MUST BS{} {mu} at {n_bs} BSs",
+                    b + 1
+                );
             }
         }
         // MUST pinned to an absent BS must be N/A.
@@ -51,7 +59,12 @@ fn fig3d_snr_sweep_structure() {
     // at −14 dB succeeded at −10 dB on the same seed.)
     let feas: Vec<usize> = samc.cells.iter().map(|c| c.feasible_runs).collect();
     for w in feas.windows(2) {
-        assert!(w[1] <= w[0] + 1, "feasible runs jumped {} -> {}", w[0], w[1]);
+        assert!(
+            w[1] <= w[0] + 1,
+            "feasible runs jumped {} -> {}",
+            w[0],
+            w[1]
+        );
     }
 }
 

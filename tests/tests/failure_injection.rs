@@ -37,7 +37,12 @@ fn unreachable_snr_is_infeasible_not_wrong() {
     // subscribers with the other cluster ≈ 12 away; +20 dB is impossible.
     let sc = scenario(
         500.0,
-        &[(0.0, -6.0, 6.5), (0.0, 6.0, 6.5), (12.0, -6.0, 6.5), (12.0, 6.0, 6.5)],
+        &[
+            (0.0, -6.0, 6.5),
+            (0.0, 6.0, 6.5),
+            (12.0, -6.0, 6.5),
+            (12.0, 6.0, 6.5),
+        ],
         &[(200.0, 200.0)],
         20.0,
     );
@@ -68,7 +73,12 @@ fn assignment_rejects_uncoverable_positions() {
 
 #[test]
 fn feasibility_check_rejects_corrupted_solutions() {
-    let sc = scenario(500.0, &[(0.0, 0.0, 30.0), (5.0, 0.0, 30.0)], &[(100.0, 100.0)], -15.0);
+    let sc = scenario(
+        500.0,
+        &[(0.0, 0.0, 30.0), (5.0, 0.0, 30.0)],
+        &[(100.0, 100.0)],
+        -15.0,
+    );
     let good = samc(&sc).unwrap();
     assert!(is_feasible(&sc, &good));
     // Corrupt the assignment.
@@ -100,7 +110,10 @@ fn optimal_power_detects_power_capped_infeasibility() {
         relays: vec![Point::new(-30.0, 0.0), Point::new(33.0, 0.0)],
         assignment: vec![0, 1, 1],
     };
-    assert!(matches!(optimal_power(&sc, &sol), Err(SagError::Infeasible(_))));
+    assert!(matches!(
+        optimal_power(&sc, &sol),
+        Err(SagError::Infeasible(_))
+    ));
 }
 
 #[test]

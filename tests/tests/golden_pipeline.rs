@@ -1,0 +1,106 @@
+//! Golden-scenario regression tests: fixed seeds in, committed numbers
+//! out.
+//!
+//! Each test renders a deterministic artefact of the paper pipeline —
+//! the Fig. 3 coverage comparison, the Table II MBMC-vs-MUST rows, and
+//! full SAG pipeline placement/power summaries over a small scenario
+//! grid — and compares it against a file under `tests/golden/`. Any
+//! intentional algorithm change shows up as a reviewable text diff;
+//! regenerate with `SAG_UPDATE_GOLDEN=1 cargo test -p sag-integration`.
+//!
+//! Relay *counts* are committed exactly. Power totals are committed to
+//! six significant digits so the goldens survive benign floating-point
+//! reassociation while still pinning real behaviour changes.
+
+use sag_core::sag::run_sag;
+use sag_core::validate::validate_report;
+use sag_sim::experiments::{fig3, table2};
+use sag_sim::gen::{BsLayout, ScenarioSpec};
+use sag_sim::runner::SweepConfig;
+use sag_testkit::golden::assert_golden;
+
+fn golden_path(name: &str) -> String {
+    format!("{}/golden/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Reduced sweep: 2 runs per cell keeps the suite fast while still
+/// averaging across seeds like the paper does.
+fn golden_sweep() -> SweepConfig {
+    SweepConfig {
+        runs: 2,
+        base_seed: 1,
+        threads: 4,
+    }
+}
+
+/// Six-significant-digit rendering for power totals.
+fn sig6(x: f64) -> String {
+    if x == 0.0 {
+        return "0".to_string();
+    }
+    let mag = x.abs().log10().floor() as i32;
+    let decimals = (5 - mag).max(0) as usize;
+    format!("{x:.decimals$}")
+}
+
+#[test]
+fn golden_fig3_coverage_pipeline() {
+    // The Fig. 3(a) engine at reduced scale: IAC vs GAC vs SAMC coverage
+    // relay counts across user loads, fixed seeds.
+    let table = fig3::fig3a(golden_sweep());
+    assert_golden(golden_path("fig3a_coverage.txt"), &table.to_string());
+}
+
+#[test]
+fn golden_table2_mbmc_vs_must() {
+    let table = table2::table2(golden_sweep());
+    assert_golden(golden_path("table2_mbmc_vs_must.txt"), &table.to_string());
+}
+
+#[test]
+fn golden_sag_pipeline_scenarios() {
+    // The tentpole golden-scenario runner: fixed-seed SS/BS topologies
+    // through the full coverage → PRO → MBMC → UCPO pipeline. Every
+    // feasible case must pass the structural audit *and* match its
+    // committed placement counts and power summary.
+    let grid = [
+        (300.0, 8, 2, -15.0, BsLayout::Uniform, 11u64),
+        (300.0, 12, 3, -12.0, BsLayout::Corners, 12),
+        (500.0, 20, 4, -15.0, BsLayout::Uniform, 13),
+        (500.0, 30, 4, -15.0, BsLayout::Corners, 14),
+        (800.0, 25, 3, -20.0, BsLayout::Uniform, 15),
+        (800.0, 40, 4, -15.0, BsLayout::Uniform, 16),
+    ];
+    let mut out =
+        String::from("field users bss snr layout seed -> cover connect lower_p upper_p total_p\n");
+    for (field, users, bss, snr, layout, seed) in grid {
+        let sc = ScenarioSpec {
+            field_size: field,
+            n_subscribers: users,
+            n_base_stations: bss,
+            snr_db: snr,
+            bs_layout: layout,
+            ..Default::default()
+        }
+        .build(seed);
+        let row = match run_sag(&sc) {
+            Ok(report) => {
+                let audit = validate_report(&sc, &report);
+                assert!(audit.is_clean(), "audit failed for seed {seed}:\n{audit}");
+                let p = report.power_summary();
+                format!(
+                    "{} {} {} {}",
+                    report.n_coverage_relays(),
+                    report.plan.n_relays(),
+                    sig6(p.lower),
+                    sig6(p.upper),
+                ) + &format!(" {}", sig6(p.total))
+            }
+            Err(e) => format!("infeasible ({e})"),
+        };
+        out.push_str(&format!(
+            "{field} {users} {bss} {snr} {layout:?} {seed} -> {row}\n"
+        ));
+    }
+    assert_golden(golden_path("sag_pipeline_scenarios.txt"), &out);
+}

@@ -28,7 +28,10 @@ fn pipeline_invariants_over_many_seeds() {
 
         // Lower tier: feasible coverage under uniform Pmax and under the
         // PRO powers.
-        assert!(is_feasible(&sc, &report.coverage), "seed {seed}: infeasible coverage");
+        assert!(
+            is_feasible(&sc, &report.coverage),
+            "seed {seed}: infeasible coverage"
+        );
         assert!(
             allocation_is_feasible(&sc, &report.coverage, &report.lower_power),
             "seed {seed}: PRO powers violate constraints"
@@ -37,13 +40,22 @@ fn pipeline_invariants_over_many_seeds() {
         // Power sandwich: optimal ≤ PRO ≤ baseline.
         let opt = optimal_power(&sc, &report.coverage).expect("feasible at Pmax");
         let base = baseline_power(&sc, &report.coverage);
-        assert!(opt.total() <= report.lower_power.total() + 1e-9, "seed {seed}");
-        assert!(report.lower_power.total() <= base.total() + 1e-9, "seed {seed}");
+        assert!(
+            opt.total() <= report.lower_power.total() + 1e-9,
+            "seed {seed}"
+        );
+        assert!(
+            report.lower_power.total() <= base.total() + 1e-9,
+            "seed {seed}"
+        );
 
         // Upper tier: UCPO ≤ baseline, every chain hop within the relay's
         // effective feasible distance.
         let upper_base = baseline_upper_power(&sc, &report.plan);
-        assert!(report.upper_power.total() <= upper_base.total() + 1e-9, "seed {seed}");
+        assert!(
+            report.upper_power.total() <= upper_base.total() + 1e-9,
+            "seed {seed}"
+        );
         for chain in &report.plan.chains {
             let eff = report.plan.effective_distance[chain.child];
             assert!(
@@ -56,10 +68,16 @@ fn pipeline_invariants_over_many_seeds() {
         // Every placed relay respects the power cap and sits in a role.
         for relay in report.relays() {
             assert!(relay.power >= 0.0 && relay.power <= sc.params.link.pmax() + 1e-9);
-            assert!(matches!(relay.role, RelayRole::Coverage | RelayRole::Connectivity));
+            assert!(matches!(
+                relay.role,
+                RelayRole::Coverage | RelayRole::Connectivity
+            ));
         }
     }
-    assert!(solved >= 8, "SAG should solve almost all −15 dB instances, got {solved}/10");
+    assert!(
+        solved >= 8,
+        "SAG should solve almost all −15 dB instances, got {solved}/10"
+    );
 }
 
 #[test]

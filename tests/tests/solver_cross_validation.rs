@@ -49,9 +49,13 @@ fn samc_beats_or_matches_candidate_solvers_on_average() {
         .build(seed);
         let s = samc(&sc).ok().map(|s| s.n_relays());
         let iac = iac_candidates(&sc);
-        let i = solve_ilpqc(&sc, &iac, IlpqcConfig::default()).ok().map(|o| o.solution.n_relays());
+        let i = solve_ilpqc(&sc, &iac, IlpqcConfig::default())
+            .ok()
+            .map(|o| o.solution.n_relays());
         let gac = prune_useless(&sc, gac_candidates(&sc, 16.0));
-        let g = solve_ilpqc(&sc, &gac, IlpqcConfig::default()).ok().map(|o| o.solution.n_relays());
+        let g = solve_ilpqc(&sc, &gac, IlpqcConfig::default())
+            .ok()
+            .map(|o| o.solution.n_relays());
         if let (Some(s), Some(i), Some(g)) = (s, i, g) {
             samc_total += s as f64;
             iac_total += i as f64;
@@ -62,8 +66,14 @@ fn samc_beats_or_matches_candidate_solvers_on_average() {
     assert!(counted >= 4, "most seeds must be solvable by all three");
     // The Fig. 3 ordering on averages: SAMC ≤ IAC ≤ GAC (small slack for
     // the tiny sample).
-    assert!(samc_total <= iac_total + 1.0, "SAMC {samc_total} vs IAC {iac_total}");
-    assert!(iac_total <= gac_total + 1.0, "IAC {iac_total} vs GAC {gac_total}");
+    assert!(
+        samc_total <= iac_total + 1.0,
+        "SAMC {samc_total} vs IAC {iac_total}"
+    );
+    assert!(
+        iac_total <= gac_total + 1.0,
+        "IAC {iac_total} vs GAC {gac_total}"
+    );
 }
 
 #[test]
@@ -116,7 +126,10 @@ fn pro_within_theorem_bound_across_seeds() {
             reduced.total(),
             opt.total()
         );
-        assert!(opt.total() <= reduced.total() + 1e-9, "seed {seed}: optimality violated");
+        assert!(
+            opt.total() <= reduced.total() + 1e-9,
+            "seed {seed}: optimality violated"
+        );
     }
 }
 
@@ -129,7 +142,11 @@ fn hitting_strategies_all_yield_feasible_coverage() {
         ..Default::default()
     }
     .build(2);
-    for strategy in [HittingStrategy::LocalSearch, HittingStrategy::Greedy, HittingStrategy::Exact] {
+    for strategy in [
+        HittingStrategy::LocalSearch,
+        HittingStrategy::Greedy,
+        HittingStrategy::Exact,
+    ] {
         let sol = samc_with(&sc, SamcConfig { hitting: strategy }).unwrap();
         assert!(is_feasible(&sc, &sol), "{strategy:?}");
     }
@@ -163,7 +180,9 @@ fn ilpqc_matches_exhaustive_enumeration() {
                 .filter(|&i| mask & (1 << i) != 0)
                 .map(|i| cands[i])
                 .collect();
-            let Some(assignment) = assign_nearest(&sc, &subset) else { continue };
+            let Some(assignment) = assign_nearest(&sc, &subset) else {
+                continue;
+            };
             if snr_violations(&sc, &subset, &assignment).is_empty() {
                 let k = subset.len();
                 if best.is_none_or(|b| k < b) {
@@ -183,7 +202,10 @@ fn ilpqc_matches_exhaustive_enumeration() {
                 );
             }
             (None, None) => {} // both infeasible — consistent
-            (a, b) => panic!("seed {seed}: feasibility disagreement ilp={:?} brute={b:?}", a.map(|o| o.solution.n_relays())),
+            (a, b) => panic!(
+                "seed {seed}: feasibility disagreement ilp={:?} brute={b:?}",
+                a.map(|o| o.solution.n_relays())
+            ),
         }
     }
 }
