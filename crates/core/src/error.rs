@@ -3,6 +3,8 @@
 use std::error::Error;
 use std::fmt;
 
+use sag_lp::Spent;
+
 /// Failure modes of the SAG pipeline and its stages.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SagError {
@@ -14,6 +16,21 @@ pub enum SagError {
     NoSubscribers,
     /// The scenario has no base stations; the upper tier cannot anchor.
     NoBaseStations,
+    /// The scenario failed ingress validation ([`crate::model::Scenario::validate`]):
+    /// non-finite coordinates, non-positive radii/powers, a degenerate
+    /// field, or stations outside the field. The payload describes the
+    /// first defect found.
+    InvalidScenario(String),
+    /// A stage exhausted its [`sag_lp::Budget`] (deadline, node cap, or
+    /// cancellation) before producing any usable answer. `stage` names
+    /// the stage that ran out; `spent` records what it consumed.
+    BudgetExceeded {
+        /// Pipeline stage that exhausted the budget (`"ilpqc"`,
+        /// `"samc"`, `"pro"`, ...).
+        stage: &'static str,
+        /// Resources the stage consumed before giving up.
+        spent: Spent,
+    },
     /// An embedded LP/ILP solve failed unexpectedly.
     Lp(sag_lp::LpError),
 }
@@ -24,6 +41,10 @@ impl fmt::Display for SagError {
             SagError::Infeasible(stage) => write!(f, "no feasible solution ({stage})"),
             SagError::NoSubscribers => write!(f, "scenario has no subscribers"),
             SagError::NoBaseStations => write!(f, "scenario has no base stations"),
+            SagError::InvalidScenario(why) => write!(f, "invalid scenario: {why}"),
+            SagError::BudgetExceeded { stage, spent } => {
+                write!(f, "budget exceeded in {stage} after {spent}")
+            }
             SagError::Lp(e) => write!(f, "embedded LP failed: {e}"),
         }
     }
@@ -60,6 +81,15 @@ mod tests {
         assert!(!SagError::NoBaseStations.to_string().is_empty());
         let e = SagError::from(sag_lp::LpError::Infeasible);
         assert!(e.to_string().contains("LP"));
+        assert!(SagError::InvalidScenario("NaN coordinate".into())
+            .to_string()
+            .contains("NaN"));
+        let b = SagError::BudgetExceeded {
+            stage: "ilpqc",
+            spent: Spent::default(),
+        };
+        assert!(b.to_string().contains("ilpqc"));
+        assert!(b.to_string().contains("budget"));
     }
 
     #[test]

@@ -1,0 +1,270 @@
+//! Greedy set-cover fallback for the lower tier.
+//!
+//! When the exact [`crate::ilpqc`] branch-and-bound exhausts its
+//! [`sag_lp::Budget`] before finding *any* incumbent, the pipeline
+//! degrades to this solver instead of failing: a classic greedy set
+//! cover over the same candidate set (pick the candidate covering the
+//! most still-uncovered subscribers), followed by the nearest-eligible
+//! assignment and a bounded SNR-repair loop that inserts closer eligible
+//! candidates for violated subscribers — the same repair move the exact
+//! search branches on, applied greedily.
+//!
+//! The result is feasible whenever the repair loop converges, but
+//! carries no optimality certificate; [`crate::sag::SagReport`] records
+//! that the greedy solver answered so downstream consumers can tell the
+//! difference.
+
+use sag_geom::Point;
+
+use crate::coverage::{snr_violations, CoverageSolution};
+use crate::error::{SagError, SagResult};
+use crate::model::Scenario;
+
+/// Greedy set cover + SNR repair over `candidates`.
+///
+/// Runs in `O(n_cands² · n_subs)` worst case and performs no LP solves,
+/// so it terminates quickly even when the budget that stopped the exact
+/// solver has already expired — it is the last rung of the degradation
+/// ladder and deliberately ignores deadlines.
+///
+/// # Errors
+/// [`SagError::Infeasible`] when some subscriber has no eligible
+/// candidate, or the repair loop exhausts the candidate pool without
+/// clearing every SNR violation.
+pub fn greedy_cover(scenario: &Scenario, candidates: &[Point]) -> SagResult<CoverageSolution> {
+    let n_subs = scenario.n_subscribers();
+    let n_cands = candidates.len();
+
+    // eligible[j] = candidate indices within subscriber j's distance.
+    let mut eligible: Vec<Vec<usize>> = Vec::with_capacity(n_subs);
+    for sub in &scenario.subscribers {
+        let circle = sub.feasible_circle();
+        let e: Vec<usize> = (0..n_cands)
+            .filter(|&c| circle.contains(candidates[c]))
+            .collect();
+        if e.is_empty() {
+            return Err(SagError::Infeasible(
+                "fallback: a subscriber has no candidate within distance".into(),
+            ));
+        }
+        eligible.push(e);
+    }
+
+    // Greedy set cover: repeatedly take the candidate covering the most
+    // still-uncovered subscribers.
+    let mut selected: Vec<usize> = Vec::new();
+    let mut covered = vec![false; n_subs];
+    while covered.iter().any(|&c| !c) {
+        let best = (0..n_cands)
+            .filter(|c| !selected.contains(c))
+            .max_by_key(|&c| {
+                eligible
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, e)| !covered[*j] && e.contains(&c))
+                    .count()
+            })
+            .filter(|&c| {
+                eligible
+                    .iter()
+                    .enumerate()
+                    .any(|(j, e)| !covered[j] && e.contains(&c))
+            });
+        let Some(c) = best else {
+            return Err(SagError::Infeasible(
+                "fallback: greedy cover stalled before covering every subscriber".into(),
+            ));
+        };
+        selected.push(c);
+        for (j, e) in eligible.iter().enumerate() {
+            if e.contains(&c) {
+                covered[j] = true;
+            }
+        }
+    }
+    selected.sort_unstable();
+
+    // SNR repair: while some subscriber is violated, add the closest
+    // not-yet-selected eligible candidate strictly closer than its
+    // current server. Bounded by the candidate pool size.
+    loop {
+        let assignment = nearest_assignment(scenario, candidates, &eligible, &selected)?;
+        let relays: Vec<Point> = selected.iter().map(|&c| candidates[c]).collect();
+        let violated = snr_violations(scenario, &relays, &assignment);
+        let Some(&j) = violated.first() else {
+            return prune_unused(scenario, candidates, &eligible, selected);
+        };
+        let spos = scenario.subscribers[j].position;
+        let cur_d = candidates[selected[assignment[j]]].distance(spos);
+        let repair = eligible[j]
+            .iter()
+            .copied()
+            .filter(|&c| {
+                selected.binary_search(&c).is_err() && candidates[c].distance(spos) < cur_d - 1e-9
+            })
+            .min_by(|&a, &b| {
+                sag_geom::float::total_cmp(
+                    &candidates[a].distance(spos),
+                    &candidates[b].distance(spos),
+                )
+            });
+        let Some(c) = repair else {
+            return Err(SagError::Infeasible(
+                "fallback: SNR repair exhausted the candidate pool".into(),
+            ));
+        };
+        let pos = match selected.binary_search(&c) {
+            Ok(p) | Err(p) => p,
+        };
+        selected.insert(pos, c);
+    }
+}
+
+/// Nearest-eligible assignment over the selected candidates.
+fn nearest_assignment(
+    scenario: &Scenario,
+    candidates: &[Point],
+    eligible: &[Vec<usize>],
+    selected: &[usize],
+) -> SagResult<Vec<usize>> {
+    let mut out = Vec::with_capacity(scenario.n_subscribers());
+    for (j, e) in eligible.iter().enumerate() {
+        let spos = scenario.subscribers[j].position;
+        let best = e
+            .iter()
+            .filter_map(|c| selected.binary_search(c).ok())
+            .min_by(|&a, &b| {
+                sag_geom::float::total_cmp(
+                    &candidates[selected[a]].distance(spos),
+                    &candidates[selected[b]].distance(spos),
+                )
+            });
+        match best {
+            Some(b) => out.push(b),
+            None => {
+                return Err(SagError::Infeasible(
+                    "fallback: selection does not cover every subscriber".into(),
+                ))
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Drops selected candidates that serve nobody and remaps the
+/// assignment onto the compacted relay list.
+fn prune_unused(
+    scenario: &Scenario,
+    candidates: &[Point],
+    eligible: &[Vec<usize>],
+    selected: Vec<usize>,
+) -> SagResult<CoverageSolution> {
+    let assignment = nearest_assignment(scenario, candidates, eligible, &selected)?;
+    let mut used = vec![false; selected.len()];
+    for &a in &assignment {
+        used[a] = true;
+    }
+    // SNR repair may have left earlier, farther servers idle; keeping
+    // them would only add interference. Pruning can only improve SNR.
+    let mut remap = vec![usize::MAX; selected.len()];
+    let mut relays = Vec::new();
+    for (i, &c) in selected.iter().enumerate() {
+        if used[i] {
+            remap[i] = relays.len();
+            relays.push(candidates[c]);
+        }
+    }
+    let assignment = assignment.into_iter().map(|a| remap[a]).collect();
+    Ok(CoverageSolution { relays, assignment })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::iac_candidates;
+    use crate::coverage::is_feasible;
+    use crate::model::{BaseStation, NetworkParams, Scenario, Subscriber};
+    use sag_geom::Rect;
+    use sag_radio::{units::Db, LinkBudget};
+
+    fn scenario(subs: Vec<(f64, f64, f64)>, beta_db: f64) -> Scenario {
+        Scenario::new(
+            Rect::centered_square(500.0),
+            subs.into_iter()
+                .map(|(x, y, d)| Subscriber::new(Point::new(x, y), d))
+                .collect(),
+            vec![BaseStation::new(Point::new(200.0, 200.0))],
+            NetworkParams::new(
+                LinkBudget::builder()
+                    .snr_threshold(Db::new(beta_db))
+                    .build(),
+                1e-9,
+            ),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn covers_single_subscriber() {
+        let sc = scenario(vec![(0.0, 0.0, 30.0)], -15.0);
+        let sol = greedy_cover(&sc, &[Point::new(10.0, 0.0)]).unwrap();
+        assert_eq!(sol.n_relays(), 1);
+        assert!(is_feasible(&sc, &sol));
+    }
+
+    #[test]
+    fn prefers_shared_candidate() {
+        let sc = scenario(vec![(0.0, 0.0, 30.0), (40.0, 0.0, 30.0)], -15.0);
+        let cands = vec![
+            Point::new(20.0, 0.0), // covers both
+            Point::new(0.0, 0.0),
+            Point::new(40.0, 0.0),
+        ];
+        let sol = greedy_cover(&sc, &cands).unwrap();
+        assert_eq!(sol.n_relays(), 1);
+        assert!(sol.relays[0].approx_eq(Point::new(20.0, 0.0)));
+    }
+
+    #[test]
+    fn infeasible_when_no_candidate_in_range() {
+        let sc = scenario(vec![(0.0, 0.0, 30.0)], -15.0);
+        assert!(matches!(
+            greedy_cover(&sc, &[Point::new(100.0, 0.0)]),
+            Err(SagError::Infeasible(_))
+        ));
+        assert!(matches!(
+            greedy_cover(&sc, &[]),
+            Err(SagError::Infeasible(_))
+        ));
+    }
+
+    #[test]
+    fn iac_candidates_feasible_end_to_end() {
+        let sc = scenario(
+            vec![
+                (0.0, 0.0, 35.0),
+                (40.0, 0.0, 35.0),
+                (150.0, 10.0, 30.0),
+                (180.0, -10.0, 30.0),
+            ],
+            -15.0,
+        );
+        let cands = iac_candidates(&sc);
+        let sol = greedy_cover(&sc, &cands).unwrap();
+        assert!(is_feasible(&sc, &sol));
+    }
+
+    #[test]
+    fn snr_repair_produces_feasible_cover_under_strict_beta() {
+        let sc = scenario(vec![(0.0, 0.0, 32.0), (60.0, 0.0, 32.0)], 5.0);
+        let cands = vec![
+            Point::new(5.0, 0.0),
+            Point::new(55.0, 0.0),
+            Point::new(0.0, 0.0),
+            Point::new(60.0, 0.0),
+            Point::new(30.0, 0.0),
+        ];
+        let sol = greedy_cover(&sc, &cands).unwrap();
+        assert!(is_feasible(&sc, &sol));
+    }
+}

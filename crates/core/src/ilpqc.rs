@@ -24,25 +24,36 @@
 //!   set-cover subproblem (a valid lower bound because dropping (3.5)
 //!   only enlarges the feasible region), computed by `sag-lp`.
 
+use std::time::Instant;
+
 use sag_geom::Point;
-use sag_lp::{LpProblem, Relation};
+use sag_lp::{Budget, LpProblem, Relation, Spent};
 
 use crate::coverage::{snr_violations, CoverageSolution};
 use crate::error::{SagError, SagResult};
 use crate::model::Scenario;
 
+/// How often (in nodes) the wall-clock/cancellation state is polled.
+const BUDGET_POLL_MASK: usize = 63;
+
 /// Configuration of the ILPQC branch-and-bound.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct IlpqcConfig {
     /// Node budget; when exhausted the best incumbent is returned with
     /// `optimal = false` (Gurobi's time-limit behaviour).
     pub node_limit: usize,
+    /// Cooperative budget (deadline / node cap / cancellation). A node
+    /// cap here tightens `node_limit`; a deadline or raised flag stops
+    /// the search at the next poll, returning the incumbent if one
+    /// exists and [`SagError::BudgetExceeded`] otherwise.
+    pub budget: Budget,
 }
 
 impl Default for IlpqcConfig {
     fn default() -> Self {
         IlpqcConfig {
             node_limit: 200_000,
+            budget: Budget::unlimited(),
         }
     }
 }
@@ -56,6 +67,8 @@ pub struct IlpqcOutcome {
     pub optimal: bool,
     /// Branch-and-bound nodes explored.
     pub nodes: usize,
+    /// Resources the search consumed (nodes + wall clock).
+    pub spent: Spent,
 }
 
 /// Solves the ILPQC over `candidates` for the scenario.
@@ -63,12 +76,16 @@ pub struct IlpqcOutcome {
 /// # Errors
 /// [`SagError::Infeasible`] when no subset of the candidates yields
 /// feasible coverage (distance or SNR), or some subscriber has no
-/// eligible candidate at all.
+/// eligible candidate at all; [`SagError::BudgetExceeded`] when the
+/// node cap, deadline, or cancellation flag stops the search before
+/// *any* feasible incumbent was found (with an incumbent in hand the
+/// solve instead returns it with `optimal = false`).
 pub fn solve_ilpqc(
     scenario: &Scenario,
     candidates: &[Point],
     config: IlpqcConfig,
 ) -> SagResult<IlpqcOutcome> {
+    let started = Instant::now();
     let n_subs = scenario.n_subscribers();
     let n_cands = candidates.len();
 
@@ -88,7 +105,25 @@ pub fn solve_ilpqc(
     }
 
     // Root lower bound: LP relaxation of the set cover.
-    let root_lb = set_cover_lp_bound(n_cands, &eligible)?;
+    let root_lb = set_cover_lp_bound(n_cands, &eligible, &config.budget).map_err(|e| {
+        if e == SagError::Lp(sag_lp::LpError::Cancelled) {
+            SagError::BudgetExceeded {
+                stage: "ilpqc",
+                spent: Spent {
+                    nodes: 0,
+                    elapsed: started.elapsed(),
+                },
+            }
+        } else {
+            e
+        }
+    })?;
+
+    // The budget's node cap tightens the configured limit.
+    let node_cap = config
+        .budget
+        .node_limit()
+        .map_or(config.node_limit, |b| b.min(config.node_limit));
 
     let mut best: Option<Vec<usize>> = None;
     let mut nodes = 0usize;
@@ -104,7 +139,11 @@ pub fn solve_ilpqc(
             continue;
         }
         nodes += 1;
-        if nodes > config.node_limit {
+        if nodes > node_cap {
+            truncated = true;
+            break;
+        }
+        if (nodes - 1) & BUDGET_POLL_MASK == 0 && config.budget.check_interrupt().is_err() {
             truncated = true;
             break;
         }
@@ -143,7 +182,11 @@ pub fn solve_ilpqc(
                 });
                 for c in options {
                     let mut next = selected.clone();
-                    let pos = next.binary_search(&c).unwrap_err();
+                    // `c` was filtered to be absent; either arm is the
+                    // correct insertion point.
+                    let pos = match next.binary_search(&c) {
+                        Ok(p) | Err(p) => p,
+                    };
                     next.insert(pos, c);
                     stack.push(next);
                 }
@@ -185,7 +228,9 @@ pub fn solve_ilpqc(
                 });
                 for c in options {
                     let mut next = selected.clone();
-                    let pos = next.binary_search(&c).unwrap_err();
+                    let pos = match next.binary_search(&c) {
+                        Ok(p) | Err(p) => p,
+                    };
                     next.insert(pos, c);
                     stack.push(next);
                 }
@@ -193,6 +238,10 @@ pub fn solve_ilpqc(
         }
     }
 
+    let spent = Spent {
+        nodes,
+        elapsed: started.elapsed(),
+    };
     match best {
         Some(selected) => {
             let relays: Vec<Point> = selected.iter().map(|&c| candidates[c]).collect();
@@ -202,13 +251,16 @@ pub fn solve_ilpqc(
                 solution,
                 optimal: !truncated,
                 nodes,
+                spent,
             })
         }
-        None => Err(SagError::Infeasible(if truncated {
-            "ilpqc: node limit exhausted without a feasible cover".into()
-        } else {
-            "ilpqc: no SNR-feasible cover exists over the candidates".into()
-        })),
+        None if truncated => Err(SagError::BudgetExceeded {
+            stage: "ilpqc",
+            spent,
+        }),
+        None => Err(SagError::Infeasible(
+            "ilpqc: no SNR-feasible cover exists over the candidates".into(),
+        )),
     }
 }
 
@@ -242,7 +294,11 @@ fn nearest_assignment(
 
 /// LP relaxation of the set-cover part: a valid lower bound on the ILPQC
 /// optimum (dropping (3.5) relaxes the problem).
-fn set_cover_lp_bound(n_cands: usize, eligible: &[Vec<usize>]) -> SagResult<usize> {
+fn set_cover_lp_bound(
+    n_cands: usize,
+    eligible: &[Vec<usize>],
+    budget: &Budget,
+) -> SagResult<usize> {
     let mut lp = LpProblem::minimize(n_cands);
     lp.set_objective(&vec![1.0; n_cands]);
     for c in 0..n_cands {
@@ -252,6 +308,7 @@ fn set_cover_lp_bound(n_cands: usize, eligible: &[Vec<usize>]) -> SagResult<usiz
         let row: Vec<(usize, f64)> = e.iter().map(|&c| (c, 1.0)).collect();
         lp.add_constraint(&row, Relation::Ge, 1.0);
     }
+    lp.set_budget(budget.clone());
     let sol = lp.solve()?;
     Ok((sol.objective - 1e-6).ceil().max(1.0) as usize)
 }
@@ -374,14 +431,60 @@ mod tests {
     }
 
     #[test]
-    fn node_limit_reports_non_optimal_or_infeasible() {
+    fn node_limit_reports_non_optimal_or_budget_exceeded() {
         let sc = scenario(vec![(0.0, 0.0, 30.0), (20.0, 0.0, 30.0)], -15.0);
         let cands = iac_candidates(&sc);
-        match solve_ilpqc(&sc, &cands, IlpqcConfig { node_limit: 1 }) {
+        let config = IlpqcConfig {
+            node_limit: 1,
+            ..Default::default()
+        };
+        match solve_ilpqc(&sc, &cands, config) {
             Ok(out) => assert!(!out.optimal),
-            Err(SagError::Infeasible(msg)) => assert!(msg.contains("node limit")),
+            Err(SagError::BudgetExceeded { stage, spent }) => {
+                assert_eq!(stage, "ilpqc");
+                assert!(spent.nodes >= 1);
+            }
             Err(e) => panic!("unexpected error {e}"),
         }
+    }
+
+    #[test]
+    fn budget_node_cap_tightens_config_limit() {
+        let sc = scenario(vec![(0.0, 0.0, 30.0), (20.0, 0.0, 30.0)], -15.0);
+        let cands = iac_candidates(&sc);
+        let config = IlpqcConfig {
+            node_limit: usize::MAX,
+            budget: Budget::unlimited().with_node_limit(1),
+        };
+        match solve_ilpqc(&sc, &cands, config) {
+            Ok(out) => assert!(!out.optimal),
+            Err(SagError::BudgetExceeded { stage, .. }) => assert_eq!(stage, "ilpqc"),
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+
+    #[test]
+    fn expired_deadline_stops_the_search() {
+        let sc = scenario(vec![(0.0, 0.0, 30.0), (20.0, 0.0, 30.0)], -15.0);
+        let cands = iac_candidates(&sc);
+        let config = IlpqcConfig {
+            budget: Budget::unlimited().with_deadline(std::time::Duration::ZERO),
+            ..Default::default()
+        };
+        match solve_ilpqc(&sc, &cands, config) {
+            Ok(out) => assert!(!out.optimal, "expired deadline must not prove optimality"),
+            Err(SagError::BudgetExceeded { stage, .. }) => assert_eq!(stage, "ilpqc"),
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+
+    #[test]
+    fn successful_solve_reports_spent() {
+        let sc = scenario(vec![(0.0, 0.0, 30.0)], -15.0);
+        let cands = vec![Point::new(10.0, 0.0)];
+        let out = solve_ilpqc(&sc, &cands, IlpqcConfig::default()).unwrap();
+        assert_eq!(out.spent.nodes, out.nodes);
+        assert!(out.spent.nodes >= 1);
     }
 
     #[test]

@@ -64,6 +64,9 @@
 
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
+// Library code must degrade through typed errors, not panic on `None`/
+// `Err`; tests may unwrap freely.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod candidates;
 pub mod channels;
@@ -71,6 +74,7 @@ pub mod coverage;
 pub mod darp;
 pub mod error;
 pub mod escape;
+pub mod fallback;
 pub mod ilpqc;
 pub mod kcover;
 pub mod lifetime;
@@ -91,4 +95,5 @@ pub mod zone;
 pub use coverage::CoverageSolution;
 pub use error::{SagError, SagResult};
 pub use model::{BaseStation, NetworkParams, Relay, RelayRole, Scenario, Subscriber};
-pub use sag::{run_sag, run_sag_with, SagReport};
+pub use sag::{run_sag, run_sag_with, AnsweringSolver, LowerSolver, SagPipelineConfig, SagReport};
+pub use sag_lp::{Budget, Spent};

@@ -210,6 +210,168 @@ impl Scenario {
             .map(|s| s.distance_req)
             .fold(f64::INFINITY, f64::min)
     }
+
+    /// Deep ingress validation, beyond the structural checks of
+    /// [`Scenario::new`].
+    ///
+    /// `Scenario::new` only rejects empty station lists; scenarios built
+    /// from untrusted bytes (snapshots, fuzzers) or via direct struct
+    /// literals can still carry poisoned values. This walks every field
+    /// and rejects:
+    ///
+    /// * non-finite (NaN/∞) field corners, or a field with
+    ///   non-positive width/height;
+    /// * non-finite subscriber/base-station coordinates;
+    /// * non-finite or non-positive subscriber distance requests;
+    /// * stations lying outside the playing field;
+    /// * non-finite or out-of-range physical parameters (gain, path-loss
+    ///   exponent, `Pmax`, β, noise, bandwidth, `N_max`).
+    ///
+    /// # Errors
+    /// [`SagError::InvalidScenario`] describing the first defect found;
+    /// [`SagError::NoSubscribers`] / [`SagError::NoBaseStations`] for
+    /// empty lists (possible when the struct was built literally).
+    pub fn validate(&self) -> SagResult<()> {
+        fn bad(why: String) -> SagResult<()> {
+            Err(SagError::InvalidScenario(why))
+        }
+        if !self.field.min().is_finite() || !self.field.max().is_finite() {
+            return bad("field corners must be finite".into());
+        }
+        // NaN-safe: `<= 0.0` alone would wave a NaN width through.
+        if self.field.width() <= 0.0
+            || self.field.height() <= 0.0
+            || self.field.width().is_nan()
+            || self.field.height().is_nan()
+        {
+            return bad(format!(
+                "field must have positive area, got {}x{}",
+                self.field.width(),
+                self.field.height()
+            ));
+        }
+        if self.subscribers.is_empty() {
+            return Err(SagError::NoSubscribers);
+        }
+        if self.base_stations.is_empty() {
+            return Err(SagError::NoBaseStations);
+        }
+        for (i, s) in self.subscribers.iter().enumerate() {
+            if !s.position.is_finite() {
+                return bad(format!("subscriber {i} has a non-finite position"));
+            }
+            if !s.distance_req.is_finite() || s.distance_req <= 0.0 {
+                return bad(format!(
+                    "subscriber {i} distance request must be finite and > 0, got {}",
+                    s.distance_req
+                ));
+            }
+            if !self.field.contains(s.position) {
+                return bad(format!("subscriber {i} lies outside the field"));
+            }
+        }
+        for (i, b) in self.base_stations.iter().enumerate() {
+            if !b.position.is_finite() {
+                return bad(format!("base station {i} has a non-finite position"));
+            }
+            if !self.field.contains(b.position) {
+                return bad(format!("base station {i} lies outside the field"));
+            }
+        }
+        let link = &self.params.link;
+        let model = link.model();
+        if !model.gain().is_finite() || model.gain() <= 0.0 {
+            return bad(format!(
+                "link gain must be finite and > 0, got {}",
+                model.gain()
+            ));
+        }
+        if !model.alpha().is_finite() || model.alpha() < 1.0 {
+            return bad(format!(
+                "path-loss exponent must be finite and >= 1, got {}",
+                model.alpha()
+            ));
+        }
+        if !link.pmax().is_finite() || link.pmax() <= 0.0 {
+            return bad(format!("Pmax must be finite and > 0, got {}", link.pmax()));
+        }
+        if !link.beta().is_finite() || link.beta() < 0.0 {
+            return bad(format!(
+                "SNR threshold beta must be finite and >= 0, got {}",
+                link.beta()
+            ));
+        }
+        if !link.noise().is_finite() || link.noise() < 0.0 {
+            return bad(format!(
+                "noise must be finite and >= 0, got {}",
+                link.noise()
+            ));
+        }
+        if !link.bandwidth().is_finite() || link.bandwidth() <= 0.0 {
+            return bad(format!(
+                "bandwidth must be finite and > 0, got {}",
+                link.bandwidth()
+            ));
+        }
+        if !self.params.nmax.is_finite() || self.params.nmax <= 0.0 {
+            return bad(format!(
+                "nmax must be finite and > 0, got {}",
+                self.params.nmax
+            ));
+        }
+        // Numerical conditioning. Every individual field can be a legal
+        // float while their *combination* still drives the pipeline's
+        // arithmetic to inf or into subnormal territory (MBMC divides
+        // edge lengths by `dmin` and exponentiates distances; PRO scales
+        // delivered powers by `gain·d^-α`). Bound the dynamic range here
+        // so downstream stages never see it.
+        let diag = (self.field.width().powi(2) + self.field.height().powi(2)).sqrt();
+        let max_dreq = self
+            .subscribers
+            .iter()
+            .map(|s| s.distance_req)
+            .fold(0.0, f64::max);
+        // The farthest distance any stage ever exponentiates: relay
+        // candidates lie within a coverage radius of some subscriber, so
+        // every pairwise distance is ≤ field diagonal + 2·max radius.
+        let reach = diag + 2.0 * max_dreq;
+        if !reach.is_finite() {
+            return bad(format!(
+                "scenario reach (field diagonal + coverage radii) overflows: {reach}"
+            ));
+        }
+        let spread = reach.powf(link.model().alpha());
+        if !spread.is_finite() {
+            return bad(format!(
+                "reach^alpha overflows f64 (reach {reach}, alpha {})",
+                link.model().alpha()
+            ));
+        }
+        // MBMC hop-count weights divide edge lengths by `dmin`.
+        if !(reach / self.dmin()).is_finite() {
+            return bad(format!(
+                "reach/dmin overflows (reach {reach}, dmin {})",
+                self.dmin()
+            ));
+        }
+        // Weakest delivered power must stay a *normal* float, or power
+        // feasibility margins drown in subnormal rounding error.
+        let weakest_rx = link.pmax() * link.model().gain() / spread;
+        if weakest_rx < f64::MIN_POSITIVE {
+            return bad(format!(
+                "weakest delivered power {weakest_rx:e} is subnormal; \
+                 Pmax/gain/alpha are numerically degenerate"
+            ));
+        }
+        // Strongest required transmit power must stay finite.
+        let worst_tx = link.beta() * link.noise() / link.model().gain() * spread;
+        if !worst_tx.is_finite() {
+            return bad(format!(
+                "worst-case required transmit power overflows: {worst_tx}"
+            ));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -266,6 +428,59 @@ mod tests {
         let s = sub(0.0, 0.0, 10.0);
         // Pmax·G·10⁻³ = 1e-3.
         assert!((p.pss_for(&s) - 1e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_scenario() {
+        let sc = Scenario::new(
+            Rect::centered_square(500.0),
+            vec![sub(0.0, 0.0, 30.0)],
+            vec![BaseStation::new(Point::new(100.0, 100.0))],
+            NetworkParams::default(),
+        )
+        .unwrap();
+        assert!(sc.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_poisoned_fields() {
+        let good = Scenario::new(
+            Rect::centered_square(500.0),
+            vec![sub(0.0, 0.0, 30.0)],
+            vec![BaseStation::new(Point::new(100.0, 100.0))],
+            NetworkParams::default(),
+        )
+        .unwrap();
+
+        // NaN subscriber coordinate (bypassing the constructor).
+        let mut sc = good.clone();
+        sc.subscribers[0].position.x = f64::NAN;
+        assert!(matches!(sc.validate(), Err(SagError::InvalidScenario(_))));
+
+        // Non-positive distance request.
+        let mut sc = good.clone();
+        sc.subscribers[0].distance_req = -1.0;
+        assert!(matches!(sc.validate(), Err(SagError::InvalidScenario(_))));
+
+        // Station outside the field.
+        let mut sc = good.clone();
+        sc.base_stations[0].position = Point::new(1e6, 0.0);
+        assert!(matches!(sc.validate(), Err(SagError::InvalidScenario(_))));
+
+        // Degenerate (zero-width) field.
+        let mut sc = good.clone();
+        sc.field = Rect::from_corners(Point::ORIGIN, Point::new(0.0, 100.0));
+        assert!(matches!(sc.validate(), Err(SagError::InvalidScenario(_))));
+
+        // Poisoned parameter.
+        let mut sc = good.clone();
+        sc.params.nmax = f64::INFINITY;
+        assert!(matches!(sc.validate(), Err(SagError::InvalidScenario(_))));
+
+        // Emptied list after construction.
+        let mut sc = good.clone();
+        sc.subscribers.clear();
+        assert_eq!(sc.validate(), Err(SagError::NoSubscribers));
     }
 
     #[test]

@@ -23,11 +23,16 @@
 // Per-relay power vectors are manipulated as parallel indexed arrays.
 #![allow(clippy::needless_range_loop)]
 
-use sag_lp::{LpProblem, Relation};
+use std::time::Instant;
+
+use sag_lp::{Budget, LpProblem, Relation, Spent};
 
 use crate::coverage::CoverageSolution;
 use crate::error::{SagError, SagResult};
 use crate::model::Scenario;
+
+/// How often (in loop iterations) budgets poll the wall clock.
+const BUDGET_POLL_MASK: usize = 63;
 
 /// A power allocation for the coverage relays, in relay order.
 #[derive(Debug, Clone, PartialEq)]
@@ -147,13 +152,44 @@ fn relay_constraints_ok(
 /// constraint that held at `Pmax`.
 ///
 /// # Panics
-/// Panics if the solution's assignment is inconsistent with the scenario.
+/// Panics if the solution's assignment is inconsistent with the scenario
+/// (kept: a mismatched assignment is a caller bug, not an input-data
+/// condition — validated ingress paths use [`pro_with_budget`]).
 pub fn pro(scenario: &Scenario, sol: &CoverageSolution) -> PowerAllocation {
     assert_eq!(
         sol.assignment.len(),
         scenario.n_subscribers(),
         "assignment length mismatch"
     );
+    match pro_with_budget(scenario, sol, &Budget::unlimited()) {
+        Ok(alloc) => alloc,
+        // Unreachable: the length was checked and the budget is
+        // unlimited, so no error path remains.
+        Err(e) => unreachable!("pro with unlimited budget cannot fail: {e}"),
+    }
+}
+
+/// Runs PRO under a cooperative [`Budget`], with typed errors instead of
+/// panics.
+///
+/// # Errors
+/// [`SagError::Infeasible`] (stage message `"pro"`) when the solution's
+/// assignment length does not match the scenario;
+/// [`SagError::BudgetExceeded`] (stage `"pro"`) when the deadline passes
+/// or the cancellation flag is raised between commit rounds.
+pub fn pro_with_budget(
+    scenario: &Scenario,
+    sol: &CoverageSolution,
+    budget: &Budget,
+) -> SagResult<PowerAllocation> {
+    let started = Instant::now();
+    if sol.assignment.len() != scenario.n_subscribers() {
+        return Err(SagError::Infeasible(format!(
+            "pro: assignment length {} does not match {} subscribers",
+            sol.assignment.len(),
+            scenario.n_subscribers()
+        )));
+    }
     let pmax = scenario.params.link.pmax();
     let n = sol.n_relays();
     let pc = coverage_powers(scenario, sol);
@@ -161,6 +197,15 @@ pub fn pro(scenario: &Scenario, sol: &CoverageSolution) -> PowerAllocation {
     let mut pending: Vec<usize> = (0..n).collect(); // K
 
     while !pending.is_empty() {
+        budget
+            .check_interrupt()
+            .map_err(|_| SagError::BudgetExceeded {
+                stage: "pro",
+                spent: Spent {
+                    nodes: 0,
+                    elapsed: started.elapsed(),
+                },
+            })?;
         // Pass 1 (Steps 5–9): tentatively drop each pending relay to its
         // coverage power; commit those whose own subscribers stay happy.
         let mut committed_any = false;
@@ -191,7 +236,7 @@ pub fn pro(scenario: &Scenario, sol: &CoverageSolution) -> PowerAllocation {
             pending.retain(|&r| r != r_min);
         }
     }
-    PowerAllocation { powers }
+    Ok(PowerAllocation { powers })
 }
 
 /// The LPQC optimum (§III-A.2) for the *fixed* assignment of `sol`,
@@ -214,13 +259,37 @@ pub fn pro(scenario: &Scenario, sol: &CoverageSolution) -> PowerAllocation {
 /// [`SagError::Infeasible`] when the minimal fixed point exceeds `Pmax`
 /// (the fixed assignment admits no feasible power vector).
 pub fn optimal_power(scenario: &Scenario, sol: &CoverageSolution) -> SagResult<PowerAllocation> {
+    optimal_power_with_budget(scenario, sol, &Budget::unlimited())
+}
+
+/// [`optimal_power`] under a cooperative [`Budget`], polled every 64
+/// fixed-point iterations.
+///
+/// # Errors
+/// [`SagError::BudgetExceeded`] (stage `"pro"`) on deadline or
+/// cancellation; otherwise see [`optimal_power`].
+pub fn optimal_power_with_budget(
+    scenario: &Scenario,
+    sol: &CoverageSolution,
+    budget: &Budget,
+) -> SagResult<PowerAllocation> {
+    let started = Instant::now();
     let model = scenario.params.link.model();
     let beta = scenario.params.link.beta();
     let pmax = scenario.params.link.pmax();
     let pc = coverage_powers(scenario, sol);
     let mut powers = pc.clone();
     // Geometric convergence: iterate the monotone map until stationary.
-    for _ in 0..100_000 {
+    for iter in 0..100_000 {
+        if iter & BUDGET_POLL_MASK == 0 && budget.check_interrupt().is_err() {
+            return Err(SagError::BudgetExceeded {
+                stage: "pro",
+                spent: Spent {
+                    nodes: 0,
+                    elapsed: started.elapsed(),
+                },
+            });
+        }
         let mut next = pc.clone();
         for (j, &r) in sol.assignment.iter().enumerate() {
             let spos = scenario.subscribers[j].position;
@@ -456,6 +525,38 @@ mod tests {
         let (sc, sol) = sample_solution(-10.0);
         let reduced = pro(&sc, &sol);
         assert!(allocation_is_feasible(&sc, &sol, &reduced));
+    }
+
+    #[test]
+    fn pro_with_budget_rejects_length_mismatch() {
+        let sc = scenario(vec![(0.0, 0.0, 30.0)], -15.0);
+        let sol = CoverageSolution {
+            relays: vec![Point::new(15.0, 0.0)],
+            assignment: vec![0, 0], // one subscriber, two assignments
+        };
+        assert!(matches!(
+            pro_with_budget(&sc, &sol, &Budget::unlimited()),
+            Err(SagError::Infeasible(_))
+        ));
+    }
+
+    #[test]
+    fn pro_with_expired_budget_reports_budget_exceeded() {
+        let (sc, sol) = sample_solution(-15.0);
+        let err = pro_with_budget(
+            &sc,
+            &sol,
+            &Budget::unlimited().with_deadline(std::time::Duration::ZERO),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SagError::BudgetExceeded { stage: "pro", .. }));
+        let err = optimal_power_with_budget(
+            &sc,
+            &sol,
+            &Budget::unlimited().with_deadline(std::time::Duration::ZERO),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SagError::BudgetExceeded { stage: "pro", .. }));
     }
 
     #[test]

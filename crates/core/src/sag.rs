@@ -6,19 +6,59 @@
 //! their per-hop minimum. The report carries every intermediate artefact
 //! so the experiment harness can reproduce each figure from one run.
 
+use std::time::Instant;
+
+use sag_lp::{Budget, Spent};
+
+use crate::candidates::iac_candidates;
 use crate::coverage::CoverageSolution;
-use crate::error::SagResult;
+use crate::error::{SagError, SagResult};
+use crate::fallback::greedy_cover;
+use crate::ilpqc::{solve_ilpqc, IlpqcConfig};
 use crate::mbmc::{mbmc, ConnectivityPlan};
 use crate::model::{Relay, RelayRole, Scenario};
-use crate::pro::{pro, PowerAllocation};
-use crate::samc::{samc_with, SamcConfig};
+use crate::pro::{pro_with_budget, PowerAllocation};
+use crate::samc::{samc_with_budget, SamcConfig};
 use crate::ucpo::{ucpo, UpperTierPower};
 
+/// Which algorithm solves the lower tier (coverage placement).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LowerSolver {
+    /// The paper's polynomial SAMC (Algorithm 1) — the default.
+    #[default]
+    Samc,
+    /// Exact ILPQC branch-and-bound over IAC candidates; when its
+    /// [`Budget`] runs out before any incumbent exists, degrade to the
+    /// greedy set-cover fallback instead of failing.
+    IlpqcWithGreedyFallback,
+    /// Exact ILPQC with no fallback: budget exhaustion without an
+    /// incumbent surfaces as [`SagError::BudgetExceeded`].
+    IlpqcStrict,
+}
+
+/// Which solver actually produced the coverage in a [`SagReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnsweringSolver {
+    /// SAMC answered.
+    Samc,
+    /// The exact ILPQC answered (check the budget spent and the
+    /// configured node limit to judge whether it proved optimality).
+    Ilpqc,
+    /// The ILPQC ran out of budget and the greedy fallback answered —
+    /// feasible, but with no optimality certificate.
+    GreedyFallback,
+}
+
 /// Configuration of the full pipeline.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct SagPipelineConfig {
     /// Lower-tier SAMC options.
     pub samc: SamcConfig,
+    /// Lower-tier solver selection (default: SAMC).
+    pub lower_solver: LowerSolver,
+    /// Cooperative budget threaded through every stage (default:
+    /// unlimited). See [`Budget`].
+    pub budget: Budget,
 }
 
 /// Everything the pipeline produced.
@@ -32,6 +72,10 @@ pub struct SagReport {
     pub plan: ConnectivityPlan,
     /// Upper-tier powers (UCPO).
     pub upper_power: UpperTierPower,
+    /// The solver that produced `coverage` (records degradation).
+    pub solver: AnsweringSolver,
+    /// Budget the lower-tier solve consumed before answering.
+    pub budget_spent: Spent,
 }
 
 /// Compact power summary of a report (serializable for the harness).
@@ -126,11 +170,30 @@ pub fn run_sag(scenario: &Scenario) -> SagResult<SagReport> {
 
 /// Runs SAG with explicit configuration.
 ///
+/// The scenario is deep-validated first ([`Scenario::validate`]), so a
+/// report is only ever produced from well-formed input. The lower tier
+/// is solved per `config.lower_solver`; with
+/// [`LowerSolver::IlpqcWithGreedyFallback`] an exhausted budget degrades
+/// to the greedy set cover and the report's `solver` field records the
+/// rung of the ladder that answered.
+///
 /// # Errors
-/// See [`run_sag`].
+/// [`SagError::InvalidScenario`] on malformed input,
+/// [`SagError::BudgetExceeded`] when a stage runs out of budget with no
+/// fallback available; otherwise see [`run_sag`].
 pub fn run_sag_with(scenario: &Scenario, config: SagPipelineConfig) -> SagResult<SagReport> {
-    let coverage = samc_with(scenario, config.samc)?; // Step 2
-    let lower_power = pro(scenario, &coverage); // Step 3
+    scenario.validate()?; // Step 1: ingress gate
+    let started = Instant::now();
+    let (coverage, solver, budget_spent) = solve_lower_tier(scenario, &config, started)?;
+    // On the fallback rung the budget is already exhausted; the
+    // remaining polynomial stages run unbudgeted so degradation still
+    // yields a complete report.
+    let tail_budget = if solver == AnsweringSolver::GreedyFallback {
+        Budget::unlimited()
+    } else {
+        config.budget.clone()
+    };
+    let lower_power = pro_with_budget(scenario, &coverage, &tail_budget)?; // Step 3
     let plan = mbmc(scenario, &coverage)?; // Step 4
     let upper_power = ucpo(scenario, &coverage, &plan); // Step 5
     Ok(SagReport {
@@ -138,7 +201,47 @@ pub fn run_sag_with(scenario: &Scenario, config: SagPipelineConfig) -> SagResult
         lower_power,
         plan,
         upper_power,
+        solver,
+        budget_spent,
     })
+}
+
+/// Step 2 with the degradation ladder: configured solver first, greedy
+/// fallback when an ILPQC budget exhaustion permits it.
+fn solve_lower_tier(
+    scenario: &Scenario,
+    config: &SagPipelineConfig,
+    started: Instant,
+) -> SagResult<(CoverageSolution, AnsweringSolver, Spent)> {
+    match config.lower_solver {
+        LowerSolver::Samc => {
+            let coverage = samc_with_budget(scenario, config.samc, &config.budget)?;
+            let spent = Spent {
+                nodes: 0,
+                elapsed: started.elapsed(),
+            };
+            Ok((coverage, AnsweringSolver::Samc, spent))
+        }
+        LowerSolver::IlpqcWithGreedyFallback | LowerSolver::IlpqcStrict => {
+            let cands = iac_candidates(scenario);
+            let ilpqc_config = IlpqcConfig {
+                budget: config.budget.clone(),
+                ..Default::default()
+            };
+            match solve_ilpqc(scenario, &cands, ilpqc_config) {
+                Ok(out) => Ok((out.solution, AnsweringSolver::Ilpqc, out.spent)),
+                Err(SagError::BudgetExceeded { spent, .. })
+                    if config.lower_solver == LowerSolver::IlpqcWithGreedyFallback =>
+                {
+                    // Last rung: the greedy cover does no LP work and
+                    // ignores the (already exhausted) deadline.
+                    let coverage = greedy_cover(scenario, &cands)?;
+                    Ok((coverage, AnsweringSolver::GreedyFallback, spent))
+                }
+                Err(e) => Err(e),
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -220,5 +323,63 @@ mod tests {
         let one = run_sag(&scenario(1)).unwrap();
         let four = run_sag(&scenario(4)).unwrap();
         assert!(four.n_connectivity_relays() <= one.n_connectivity_relays());
+    }
+
+    #[test]
+    fn default_pipeline_records_samc_as_answering_solver() {
+        let report = run_sag(&scenario(2)).unwrap();
+        assert_eq!(report.solver, AnsweringSolver::Samc);
+    }
+
+    #[test]
+    fn ilpqc_solver_records_ilpqc() {
+        let sc = scenario(2);
+        let config = SagPipelineConfig {
+            lower_solver: LowerSolver::IlpqcWithGreedyFallback,
+            ..Default::default()
+        };
+        let report = run_sag_with(&sc, config).unwrap();
+        assert_eq!(report.solver, AnsweringSolver::Ilpqc);
+        assert!(report.budget_spent.nodes >= 1);
+        assert!(is_feasible(&sc, &report.coverage));
+    }
+
+    #[test]
+    fn tiny_budget_falls_back_to_greedy() {
+        let sc = scenario(2);
+        let config = SagPipelineConfig {
+            lower_solver: LowerSolver::IlpqcWithGreedyFallback,
+            budget: Budget::unlimited().with_node_limit(0),
+            ..Default::default()
+        };
+        let report = run_sag_with(&sc, config).unwrap();
+        assert_eq!(report.solver, AnsweringSolver::GreedyFallback);
+        assert!(is_feasible(&sc, &report.coverage));
+        assert!(allocation_is_feasible(
+            &sc,
+            &report.coverage,
+            &report.lower_power
+        ));
+    }
+
+    #[test]
+    fn tiny_budget_strict_surfaces_budget_exceeded() {
+        let sc = scenario(2);
+        let config = SagPipelineConfig {
+            lower_solver: LowerSolver::IlpqcStrict,
+            budget: Budget::unlimited().with_node_limit(0),
+            ..Default::default()
+        };
+        assert!(matches!(
+            run_sag_with(&sc, config),
+            Err(SagError::BudgetExceeded { stage: "ilpqc", .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_scenario_is_rejected_at_ingress() {
+        let mut sc = scenario(1);
+        sc.subscribers[0].position.x = f64::NAN;
+        assert!(matches!(run_sag(&sc), Err(SagError::InvalidScenario(_))));
     }
 }

@@ -16,8 +16,11 @@
 //! If any zone cannot be repaired, SAMC reports infeasibility, exactly
 //! like the paper's Step 5.
 
+use std::time::Instant;
+
 use sag_geom::Point;
 use sag_hitting::{exact, greedy, local_search, DiskInstance};
+use sag_lp::{Budget, Spent};
 
 use crate::coverage::{snr_violations, CoverageSolution};
 use crate::error::{SagError, SagResult};
@@ -59,11 +62,35 @@ pub fn samc(scenario: &Scenario) -> SagResult<CoverageSolution> {
 /// # Errors
 /// See [`samc`].
 pub fn samc_with(scenario: &Scenario, config: SamcConfig) -> SagResult<CoverageSolution> {
+    samc_with_budget(scenario, config, &Budget::unlimited())
+}
+
+/// Runs SAMC under a cooperative [`Budget`], checked between zones and
+/// before the global repair round.
+///
+/// # Errors
+/// [`SagError::BudgetExceeded`] (stage `"samc"`) when the deadline
+/// passes or the cancellation flag is raised between zones; otherwise
+/// see [`samc`].
+pub fn samc_with_budget(
+    scenario: &Scenario,
+    config: SamcConfig,
+    budget: &Budget,
+) -> SagResult<CoverageSolution> {
+    let started = Instant::now();
+    let exceeded = |started: Instant| SagError::BudgetExceeded {
+        stage: "samc",
+        spent: Spent {
+            nodes: 0,
+            elapsed: started.elapsed(),
+        },
+    };
     let zones = zone_partition(scenario);
     let mut all_relays: Vec<Point> = Vec::new();
     let mut global_assignment = vec![usize::MAX; scenario.n_subscribers()];
 
     for zone in &zones {
+        budget.check_interrupt().map_err(|_| exceeded(started))?;
         let (zsc, back_map) = zone_scenario(scenario, zone);
         let zone_sol = solve_zone(&zsc, config)?;
         let base = all_relays.len();
@@ -77,6 +104,7 @@ pub fn samc_with(scenario: &Scenario, config: SamcConfig) -> SagResult<CoverageS
     // Zones are interference-independent only up to N_max; re-check the
     // merged placement and run one global repair round if the residual
     // inter-zone noise still trips someone.
+    budget.check_interrupt().map_err(|_| exceeded(started))?;
     let violations = snr_violations(scenario, &all_relays, &global_assignment);
     if violations.is_empty() {
         return Ok(CoverageSolution {
@@ -315,6 +343,23 @@ mod tests {
             -15.0,
         );
         assert!(samc(&easy).is_ok());
+    }
+
+    #[test]
+    fn expired_budget_reports_budget_exceeded() {
+        let sc = scenario(vec![(0.0, 0.0, 30.0)], -15.0);
+        let err = samc_with_budget(
+            &sc,
+            SamcConfig::default(),
+            &Budget::unlimited().with_deadline(std::time::Duration::ZERO),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            SagError::BudgetExceeded { stage: "samc", .. }
+        ));
+        // An unlimited budget is transparent.
+        assert!(samc_with_budget(&sc, SamcConfig::default(), &Budget::unlimited()).is_ok());
     }
 
     #[test]

@@ -13,6 +13,13 @@ pub enum LpError {
     /// The iteration limit was hit (numerical trouble; should not occur
     /// on the well-scaled problems this workspace generates).
     IterationLimit,
+    /// The branch-and-bound node cap was exhausted before an integral
+    /// optimum was proven (see [`crate::budget::Budget::with_node_limit`]
+    /// and [`crate::IlpProblem::set_node_limit`]).
+    NodeLimit,
+    /// The solve was stopped cooperatively: the [`crate::budget::Budget`]
+    /// deadline passed or its cancellation flag was raised.
+    Cancelled,
     /// The problem is malformed (e.g. a constraint references a variable
     /// that does not exist). The payload describes the defect.
     Malformed(String),
@@ -24,6 +31,8 @@ impl fmt::Display for LpError {
             LpError::Infeasible => write!(f, "problem is infeasible"),
             LpError::Unbounded => write!(f, "objective is unbounded"),
             LpError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
+            LpError::NodeLimit => write!(f, "branch-and-bound node limit exceeded"),
+            LpError::Cancelled => write!(f, "solve cancelled (deadline or cancellation flag)"),
             LpError::Malformed(why) => write!(f, "malformed problem: {why}"),
         }
     }
@@ -41,6 +50,8 @@ mod tests {
         assert_eq!(LpError::Unbounded.to_string(), "objective is unbounded");
         assert!(LpError::Malformed("x".into()).to_string().contains('x'));
         assert!(!LpError::IterationLimit.to_string().is_empty());
+        assert!(LpError::NodeLimit.to_string().contains("node"));
+        assert!(LpError::Cancelled.to_string().contains("cancelled"));
     }
 
     #[test]

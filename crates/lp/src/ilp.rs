@@ -6,6 +6,7 @@
 //! coverage instances with tens of binaries), mirroring how the paper
 //! leans on Gurobi only for modest instance sizes.
 
+use crate::budget::Budget;
 use crate::error::LpError;
 use crate::problem::LpProblem;
 #[cfg(test)]
@@ -31,6 +32,7 @@ pub struct IlpProblem {
     lp: LpProblem,
     integer: Vec<bool>,
     node_limit: usize,
+    budget: Budget,
 }
 
 /// An optimal ILP solution.
@@ -54,6 +56,7 @@ impl IlpProblem {
             lp,
             integer: vec![false; n],
             node_limit: 200_000,
+            budget: Budget::unlimited(),
         }
     }
 
@@ -82,16 +85,30 @@ impl IlpProblem {
         self
     }
 
+    /// Attaches a cooperative [`Budget`]: its node cap tightens the
+    /// configured node limit, and its deadline / cancellation flag are
+    /// polled once per node and inside every relaxation solve.
+    pub fn set_budget(&mut self, budget: Budget) -> &mut Self {
+        self.budget = budget;
+        self
+    }
+
     /// Solves to optimality by branch and bound on the LP relaxation.
     ///
     /// # Errors
     /// [`LpError::Infeasible`] when no integral point exists;
     /// [`LpError::Unbounded`] when the relaxation is unbounded;
-    /// [`LpError::IterationLimit`] when the node limit is hit.
+    /// [`LpError::NodeLimit`] when the node cap is hit;
+    /// [`LpError::Cancelled`] when an attached budget's deadline passes
+    /// or its cancellation flag is raised.
     pub fn solve(&self) -> Result<IlpSolution, LpError> {
         // Maximisation is handled by the LP layer transparently; for
         // pruning we always compare in minimisation sense.
         let sense = if self.lp.is_minimize() { 1.0 } else { -1.0 };
+        let node_cap = self
+            .budget
+            .node_limit()
+            .map_or(self.node_limit, |b| b.min(self.node_limit));
         let mut best: Option<(f64, Vec<f64>)> = None; // minimisation sense
         let mut nodes = 0usize;
         // Stack of (extra bounds) — var, lo, hi triples applied on top of
@@ -99,10 +116,12 @@ impl IlpProblem {
         let mut stack: Vec<Vec<(usize, f64, f64)>> = vec![Vec::new()];
         while let Some(extra) = stack.pop() {
             nodes += 1;
-            if nodes > self.node_limit {
-                return Err(LpError::IterationLimit);
+            if nodes > node_cap {
+                return Err(LpError::NodeLimit);
             }
+            self.budget.check_interrupt()?;
             let mut lp = self.lp.clone();
+            lp.set_budget(self.budget.clone());
             let mut infeasible_bounds = false;
             for &(v, lo, hi) in &extra {
                 let new_lo = lo.max(lp.lower_bound(v));
@@ -298,7 +317,29 @@ mod tests {
         let mut ilp = IlpProblem::new(lp);
         ilp.set_integer(0);
         ilp.set_node_limit(0);
-        assert_eq!(ilp.solve().unwrap_err(), LpError::IterationLimit);
+        assert_eq!(ilp.solve().unwrap_err(), LpError::NodeLimit);
+    }
+
+    #[test]
+    fn budget_node_cap_tightens_node_limit() {
+        let mut lp = LpProblem::minimize(1);
+        lp.set_objective(&[1.0]);
+        lp.set_bounds(0, 0.4, 0.6);
+        let mut ilp = IlpProblem::new(lp);
+        ilp.set_integer(0);
+        ilp.set_budget(Budget::unlimited().with_node_limit(0));
+        assert_eq!(ilp.solve().unwrap_err(), LpError::NodeLimit);
+    }
+
+    #[test]
+    fn expired_budget_deadline_cancels() {
+        let mut lp = LpProblem::minimize(1);
+        lp.set_objective(&[1.0]);
+        lp.add_constraint(&[(0, 2.0)], Relation::Ge, 3.0);
+        let mut ilp = IlpProblem::new(lp);
+        ilp.set_integer(0);
+        ilp.set_budget(Budget::unlimited().with_deadline(std::time::Duration::ZERO));
+        assert_eq!(ilp.solve().unwrap_err(), LpError::Cancelled);
     }
 
     /// Brute-force checker for random binary set-cover instances.

@@ -30,11 +30,13 @@
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod budget;
 pub mod error;
 pub mod ilp;
 pub mod problem;
 pub mod simplex;
 
+pub use budget::{Budget, Spent};
 pub use error::LpError;
 pub use ilp::{IlpProblem, IlpSolution};
 pub use problem::{LpProblem, LpSolution, LpSolutionDetailed, Relation};

@@ -8,8 +8,9 @@
 // Building dense rows/columns is index arithmetic by nature.
 #![allow(clippy::needless_range_loop)]
 
+use crate::budget::Budget;
 use crate::error::LpError;
-use crate::simplex::{solve_standard, StandardForm};
+use crate::simplex::{solve_standard_with, StandardForm};
 
 /// Relation of a linear constraint row.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -52,6 +53,7 @@ pub struct LpProblem {
     rows: Vec<Row>,
     lower: Vec<f64>,
     upper: Vec<f64>,
+    budget: Budget,
 }
 
 /// An optimal LP solution.
@@ -91,6 +93,7 @@ impl LpProblem {
             rows: Vec::new(),
             lower: vec![0.0; n],
             upper: vec![f64::INFINITY; n],
+            budget: Budget::unlimited(),
         }
     }
 
@@ -180,11 +183,19 @@ impl LpProblem {
         self
     }
 
+    /// Attaches a cooperative [`Budget`] (deadline / cancellation flag)
+    /// polled by the simplex core during [`LpProblem::solve`].
+    pub fn set_budget(&mut self, budget: Budget) -> &mut Self {
+        self.budget = budget;
+        self
+    }
+
     /// Solves the problem.
     ///
     /// # Errors
     /// [`LpError::Infeasible`] / [`LpError::Unbounded`] /
-    /// [`LpError::IterationLimit`] from the simplex core.
+    /// [`LpError::IterationLimit`] from the simplex core, and
+    /// [`LpError::Cancelled`] when an attached budget trips.
     pub fn solve(&self) -> Result<LpSolution, LpError> {
         let d = self.solve_detailed()?;
         Ok(LpSolution {
@@ -290,7 +301,7 @@ impl LpProblem {
             };
         }
 
-        let sol = solve_standard(&StandardForm { a, b, c })?;
+        let sol = solve_standard_with(&StandardForm { a, b, c }, &self.budget)?;
         let x: Vec<f64> = (0..n).map(|v| sol.x[v] + self.lower[v]).collect();
         let objective: f64 = self.objective.iter().zip(&x).map(|(c, v)| c * v).sum();
 

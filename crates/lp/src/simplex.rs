@@ -9,10 +9,15 @@
 // iterator rewrites obscure the row/column arithmetic.
 #![allow(clippy::needless_range_loop)]
 
+use crate::budget::Budget;
 use crate::error::LpError;
 
 /// Numerical tolerance for pivoting and feasibility tests.
 pub const TOL: f64 = 1e-9;
+
+/// How many pivots run between cooperative budget polls; a power of two
+/// so the check is a mask, keeping `Instant::now` off the hot path.
+const BUDGET_POLL_MASK: usize = 63;
 
 /// A standard-form LP: minimise `c·x` subject to `A x = b`, `x ≥ 0`,
 /// with `b ≥ 0` (rows must be pre-negated by the caller if needed).
@@ -53,6 +58,16 @@ pub struct SimplexSolution {
 /// [`LpError::IterationLimit`] (pathological cycling beyond the Bland
 /// safeguard, practically unreachable).
 pub fn solve_standard(sf: &StandardForm) -> Result<SimplexSolution, LpError> {
+    solve_standard_with(sf, &Budget::unlimited())
+}
+
+/// [`solve_standard`] under a cooperative [`Budget`]: the deadline and
+/// cancellation flag are polled every few pivots.
+///
+/// # Errors
+/// As [`solve_standard`], plus [`LpError::Cancelled`] when the budget's
+/// deadline passes or its flag is raised mid-solve.
+pub fn solve_standard_with(sf: &StandardForm, budget: &Budget) -> Result<SimplexSolution, LpError> {
     let m = sf.a.len();
     let n = sf.c.len();
     for (i, row) in sf.a.iter().enumerate() {
@@ -125,7 +140,7 @@ pub fn solve_standard(sf: &StandardForm) -> Result<SimplexSolution, LpError> {
             }
         }
     }
-    run_phases(&mut t, &mut obj, &mut basis, n + m)?;
+    run_phases(&mut t, &mut obj, &mut basis, n + m, budget)?;
     let phase1 = -obj[width - 1];
     if std::env::var("SAG_LP_DEBUG").is_ok() {
         eprintln!("phase1 residual = {phase1:.6e}");
@@ -161,7 +176,7 @@ pub fn solve_standard(sf: &StandardForm) -> Result<SimplexSolution, LpError> {
             }
         }
     }
-    run_phases(&mut t, &mut obj2, &mut basis, n)?;
+    run_phases(&mut t, &mut obj2, &mut basis, n, budget)?;
 
     let mut x = vec![0.0; n];
     for i in 0..m {
@@ -186,12 +201,16 @@ fn run_phases(
     obj: &mut [f64],
     basis: &mut [usize],
     allowed_cols: usize,
+    budget: &Budget,
 ) -> Result<(), LpError> {
     let m = t.len();
     let width = obj.len();
     let max_iters = 50 * (m + width) + 1000;
     let bland_after = 5 * (m + width);
     for iter in 0..max_iters {
+        if iter & BUDGET_POLL_MASK == 0 {
+            budget.check_interrupt()?;
+        }
         // Entering column: most negative reduced cost (Dantzig), or first
         // negative (Bland) once past the burn-in.
         let entering = if iter < bland_after {
@@ -352,5 +371,40 @@ mod tests {
         let b = vec![-1.0];
         let c = vec![1.0];
         assert!(matches!(solve(a, b, c), Err(LpError::Malformed(_))));
+    }
+
+    #[test]
+    fn expired_budget_cancels_before_pivoting() {
+        let sf = StandardForm {
+            a: vec![vec![1.0]],
+            b: vec![5.0],
+            c: vec![1.0],
+        };
+        let budget = Budget::unlimited().with_deadline(std::time::Duration::ZERO);
+        assert_eq!(
+            solve_standard_with(&sf, &budget).unwrap_err(),
+            LpError::Cancelled
+        );
+        // An unlimited budget solves the same system.
+        assert!(solve_standard_with(&sf, &Budget::unlimited()).is_ok());
+    }
+
+    #[test]
+    fn raised_cancel_flag_cancels() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let flag = Arc::new(AtomicBool::new(false));
+        let budget = Budget::unlimited().with_cancel_flag(Arc::clone(&flag));
+        let sf = StandardForm {
+            a: vec![vec![1.0]],
+            b: vec![5.0],
+            c: vec![1.0],
+        };
+        assert!(solve_standard_with(&sf, &budget).is_ok());
+        flag.store(true, Ordering::Relaxed);
+        assert_eq!(
+            solve_standard_with(&sf, &budget).unwrap_err(),
+            LpError::Cancelled
+        );
     }
 }

@@ -48,6 +48,7 @@ pub fn run_iac(scenario: &Scenario) -> Option<CoverageSolution> {
         &cands,
         IlpqcConfig {
             node_limit: ILPQC_NODE_LIMIT,
+            ..Default::default()
         },
     )
     .ok()
@@ -66,6 +67,7 @@ pub fn run_gac(scenario: &Scenario, grid_size: f64) -> Option<CoverageSolution> 
         &cands,
         IlpqcConfig {
             node_limit: ILPQC_NODE_LIMIT,
+            ..Default::default()
         },
     )
     .ok()

@@ -4,18 +4,44 @@
 //! The paper averages 10 runs per plotted point; [`SweepConfig::runs`]
 //! defaults to that. A run that returns `None` (infeasible — IAC/GAC do
 //! this at tight SNR thresholds, Fig. 3(d)) is excluded from the mean and
-//! surfaced in the cell's `feasible_runs`.
+//! surfaced in the cell's `feasible_runs`. A run that *panics* is
+//! isolated with `catch_unwind` and surfaced in `failed_runs` — one
+//! poisoned scenario never takes down a whole sweep.
 
+use std::error::Error;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
 
 use crate::stats::CellStats;
 
+/// Rejected sweep parameters (see [`SweepConfig::validated`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SweepError {
+    /// `runs == 0`: every cell would be empty.
+    ZeroRuns,
+    /// `threads == 0`: no worker could make progress.
+    ZeroThreads,
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepError::ZeroRuns => write!(f, "sweep config needs at least one run"),
+            SweepError::ZeroThreads => write!(f, "sweep config needs at least one thread"),
+        }
+    }
+}
+
+impl Error for SweepError {}
+
 /// Sweep parameters.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SweepConfig {
     /// Runs (seeds) per x position; the paper uses 10.
     pub runs: usize,
-    /// Base seed; run `r` at x-index `i` uses `base_seed + i·1000 + r`.
+    /// Base seed; run `r` at x-index `i` uses `base_seed + i·stride + r`
+    /// with `stride = max(runs, 1000)` (see [`SweepConfig::seed`]).
     pub base_seed: u64,
     /// Maximum worker threads.
     pub threads: usize,
@@ -40,9 +66,45 @@ impl SweepConfig {
         }
     }
 
+    /// Result-returning construction: the non-panicking way to build a
+    /// config from untrusted values.
+    ///
+    /// # Errors
+    /// [`SweepError::ZeroRuns`] / [`SweepError::ZeroThreads`].
+    pub fn new(runs: usize, base_seed: u64, threads: usize) -> Result<Self, SweepError> {
+        SweepConfig {
+            runs,
+            base_seed,
+            threads,
+        }
+        .validated()
+    }
+
+    /// Checks an already-built config (struct literals bypass
+    /// [`SweepConfig::new`]).
+    ///
+    /// # Errors
+    /// See [`SweepConfig::new`].
+    pub fn validated(self) -> Result<Self, SweepError> {
+        if self.runs == 0 {
+            return Err(SweepError::ZeroRuns);
+        }
+        if self.threads == 0 {
+            return Err(SweepError::ZeroThreads);
+        }
+        Ok(self)
+    }
+
     /// The seed for x-index `i`, run `r`.
+    ///
+    /// The stride between x positions is `max(runs, 1000)`: identical to
+    /// the historical fixed 1000 for every config with ≤ 1000 runs (so
+    /// seeded golden outputs are stable), while configs beyond 1000 runs
+    /// widen the stride instead of silently reusing seeds across x
+    /// positions.
     pub fn seed(&self, i: usize, r: usize) -> u64 {
-        self.base_seed + (i as u64) * 1000 + r as u64
+        let stride = (self.runs as u64).max(1000);
+        self.base_seed + (i as u64) * stride + r as u64
     }
 }
 
@@ -53,9 +115,11 @@ impl SweepConfig {
 /// feasibility is *not* assumed: a metric can be `None` while another is
 /// measured, which Fig. 3 uses when only one solver fails).
 ///
-/// # Panics
-/// Panics if `eval` returns a vector of the wrong length, or
-/// `n_metrics == 0`, or the config has zero runs.
+/// Robustness: `n_metrics == 0` returns an empty vector; a config with
+/// zero runs yields all-empty cells; a run whose `eval` panics or
+/// returns the wrong metric arity is recorded as a *failed* run (all
+/// metrics `None`, counted in [`CellStats::failed_runs`]) instead of
+/// aborting the sweep.
 pub fn sweep_multi<X, F>(
     xs: &[X],
     n_metrics: usize,
@@ -66,13 +130,10 @@ where
     X: Copy + Sync,
     F: Fn(X, u64) -> Vec<Option<f64>> + Sync,
 {
-    assert!(n_metrics > 0, "need at least one metric");
-    assert!(config.runs > 0, "need at least one run");
-    assert!(
-        config.runs < 1000,
-        "seeds pack the run index into a stride of 1000; ≥ 1000 runs would reuse scenarios across x positions"
-    );
-    // outcomes[i][m][r]
+    if n_metrics == 0 {
+        return Vec::new();
+    }
+    // outcomes[i][m][r]; failed[i][r] marks crashed runs.
     let outcomes: Vec<Vec<Mutex<Vec<Option<f64>>>>> = xs
         .iter()
         .map(|_| {
@@ -80,6 +141,10 @@ where
                 .map(|_| Mutex::new(vec![None; config.runs]))
                 .collect()
         })
+        .collect();
+    let failed: Vec<Mutex<Vec<bool>>> = xs
+        .iter()
+        .map(|_| Mutex::new(vec![false; config.runs]))
         .collect();
 
     // Work queue of (x-index, run).
@@ -96,10 +161,22 @@ where
                     break;
                 }
                 let (i, r) = jobs[k];
-                let vals = eval(xs[i], config.seed(i, r));
-                assert_eq!(vals.len(), n_metrics, "eval returned wrong metric count");
-                for (m, v) in vals.into_iter().enumerate() {
-                    outcomes[i][m].lock().expect("no worker poisons a cell")[r] = v;
+                // Isolate per-cell panics: a poisoned scenario must not
+                // take down the other (x, run) cells. `eval` is only
+                // observed through its return value, so unwind safety
+                // is not a correctness concern here.
+                let vals = catch_unwind(AssertUnwindSafe(|| eval(xs[i], config.seed(i, r))))
+                    .ok()
+                    .filter(|v| v.len() == n_metrics);
+                match vals {
+                    Some(vals) => {
+                        for (m, v) in vals.into_iter().enumerate() {
+                            outcomes[i][m].lock().expect("no worker poisons a cell")[r] = v;
+                        }
+                    }
+                    None => {
+                        failed[i].lock().expect("no worker poisons a cell")[r] = true;
+                    }
                 }
             });
         }
@@ -111,7 +188,16 @@ where
             xs.iter()
                 .enumerate()
                 .map(|(i, _)| {
-                    CellStats::from_runs(&outcomes[i][m].lock().expect("workers joined cleanly"))
+                    let n_failed = failed[i]
+                        .lock()
+                        .expect("workers joined cleanly")
+                        .iter()
+                        .filter(|&&f| f)
+                        .count();
+                    CellStats::from_runs_with_failures(
+                        &outcomes[i][m].lock().expect("workers joined cleanly"),
+                        n_failed,
+                    )
                 })
                 .collect()
         })
@@ -200,8 +286,87 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn zero_metrics_panics() {
-        sweep_multi(&[1.0f64], 0, SweepConfig::default(), |_, _| vec![]);
+    fn zero_metrics_returns_empty() {
+        let series = sweep_multi(&[1.0f64], 0, SweepConfig::default(), |_, _| vec![]);
+        assert!(series.is_empty());
+    }
+
+    #[test]
+    fn validated_rejects_degenerate_configs() {
+        assert_eq!(SweepConfig::new(0, 1, 4), Err(SweepError::ZeroRuns));
+        assert_eq!(SweepConfig::new(3, 1, 0), Err(SweepError::ZeroThreads));
+        assert!(SweepConfig::new(3, 1, 4).is_ok());
+        assert!(SweepConfig::default().validated().is_ok());
+    }
+
+    #[test]
+    fn seed_stride_matches_legacy_below_1000_runs() {
+        let cfg = SweepConfig {
+            runs: 10,
+            base_seed: 7,
+            threads: 1,
+        };
+        assert_eq!(cfg.seed(3, 4), 7 + 3 * 1000 + 4);
+    }
+
+    #[test]
+    fn seed_stride_widens_beyond_1000_runs() {
+        let cfg = SweepConfig {
+            runs: 2500,
+            base_seed: 0,
+            threads: 1,
+        };
+        // Last run of x=0 and first run of x=1 must not collide.
+        assert!(cfg.seed(0, 2499) < cfg.seed(1, 0));
+    }
+
+    #[test]
+    fn panicking_cell_is_isolated_and_counted() {
+        let cfg = SweepConfig {
+            runs: 4,
+            base_seed: 0,
+            threads: 2,
+        };
+        let cells = sweep(&[0usize, 1], cfg, |x, seed| {
+            if x == 1 && seed % 2 == 0 {
+                panic!("injected fault");
+            }
+            Some(1.0)
+        });
+        assert_eq!(cells[0].failed_runs, 0);
+        assert_eq!(cells[0].feasible_runs, 4);
+        assert_eq!(cells[1].failed_runs, 2);
+        assert_eq!(cells[1].feasible_runs, 2);
+        assert_eq!(cells[1].mean, Some(1.0));
+    }
+
+    #[test]
+    fn wrong_arity_counts_as_failed_run() {
+        let cfg = SweepConfig {
+            runs: 2,
+            base_seed: 0,
+            threads: 1,
+        };
+        let series = sweep_multi(&[0usize], 2, cfg, |_, seed| {
+            if seed % 2 == 0 {
+                vec![Some(1.0)] // wrong arity
+            } else {
+                vec![Some(1.0), Some(2.0)]
+            }
+        });
+        assert_eq!(series[0][0].failed_runs, 1);
+        assert_eq!(series[0][0].feasible_runs, 1);
+    }
+
+    #[test]
+    fn zero_runs_config_yields_empty_cells() {
+        let cfg = SweepConfig {
+            runs: 0,
+            base_seed: 0,
+            threads: 1,
+        };
+        let cells = sweep(&[0usize], cfg, |_, _| Some(1.0));
+        assert_eq!(cells[0].total_runs, 0);
+        assert_eq!(cells[0].mean, None);
     }
 }

@@ -21,6 +21,10 @@ pub enum SnapshotError {
     BadMagic,
     /// Unsupported snapshot version.
     BadVersion(u16),
+    /// Structurally well-formed bytes carrying invalid values (NaN/∞
+    /// coordinates, non-positive radii or powers, stations outside the
+    /// field, ...). The payload names the first rejected field.
+    Invalid(&'static str),
 }
 
 impl std::fmt::Display for SnapshotError {
@@ -29,6 +33,7 @@ impl std::fmt::Display for SnapshotError {
             SnapshotError::Truncated => write!(f, "snapshot buffer truncated"),
             SnapshotError::BadMagic => write!(f, "not a scenario snapshot (bad magic)"),
             SnapshotError::BadVersion(v) => write!(f, "unsupported snapshot version {v}"),
+            SnapshotError::Invalid(what) => write!(f, "snapshot carries invalid data: {what}"),
         }
     }
 }
@@ -124,6 +129,12 @@ pub fn encode(scenario: &Scenario) -> Vec<u8> {
 
 /// Deserialises a scenario from bytes.
 ///
+/// Every value is validated *before* reaching the model constructors
+/// (which assert on bad input), so arbitrary — even adversarial — bytes
+/// yield a typed [`SnapshotError`], never a panic. A successful decode
+/// additionally passes [`Scenario::validate`], so `Ok` implies a fully
+/// valid scenario.
+///
 /// # Errors
 /// [`SnapshotError`] on malformed input.
 pub fn decode(buf: &[u8]) -> Result<Scenario, SnapshotError> {
@@ -135,23 +146,42 @@ pub fn decode(buf: &[u8]) -> Result<Scenario, SnapshotError> {
     if version != VERSION {
         return Err(SnapshotError::BadVersion(version));
     }
-    let min = Point::new(r.f64_le()?, r.f64_le()?);
-    let max = Point::new(r.f64_le()?, r.f64_le()?);
-    let gain = r.f64_le()?;
-    let alpha = r.f64_le()?;
-    let pmax = r.f64_le()?;
-    let beta = r.f64_le()?;
-    let noise = r.f64_le()?;
-    let bandwidth = r.f64_le()?;
-    let nmax = r.f64_le()?;
+    let check = |v: f64, pred: fn(f64) -> bool, what: &'static str| {
+        if v.is_finite() && pred(v) {
+            Ok(v)
+        } else {
+            Err(SnapshotError::Invalid(what))
+        }
+    };
+    let any = |_: f64| true;
+    let positive = |v: f64| v > 0.0;
+    let non_negative = |v: f64| v >= 0.0;
+    let min = Point::new(
+        check(r.f64_le()?, any, "field min x")?,
+        check(r.f64_le()?, any, "field min y")?,
+    );
+    let max = Point::new(
+        check(r.f64_le()?, any, "field max x")?,
+        check(r.f64_le()?, any, "field max y")?,
+    );
+    let gain = check(r.f64_le()?, positive, "link gain")?;
+    let alpha = check(r.f64_le()?, |v| v >= 1.0, "path-loss exponent")?;
+    let pmax = check(r.f64_le()?, positive, "max power")?;
+    let beta = check(r.f64_le()?, non_negative, "SNR threshold")?;
+    let noise = check(r.f64_le()?, non_negative, "noise")?;
+    let bandwidth = check(r.f64_le()?, positive, "bandwidth")?;
+    let nmax = check(r.f64_le()?, positive, "nmax")?;
     let n_subs = r.u32_le()? as usize;
     if r.remaining() < n_subs.saturating_mul(24) {
         return Err(SnapshotError::Truncated);
     }
     let mut subscribers = Vec::with_capacity(n_subs);
     for _ in 0..n_subs {
-        let p = Point::new(r.f64_le()?, r.f64_le()?);
-        let d = r.f64_le()?;
+        let p = Point::new(
+            check(r.f64_le()?, any, "subscriber x")?,
+            check(r.f64_le()?, any, "subscriber y")?,
+        );
+        let d = check(r.f64_le()?, positive, "subscriber distance request")?;
         subscribers.push(Subscriber::new(p, d));
     }
     let n_bs = r.u32_le()? as usize;
@@ -160,7 +190,10 @@ pub fn decode(buf: &[u8]) -> Result<Scenario, SnapshotError> {
     }
     let mut base_stations = Vec::with_capacity(n_bs);
     for _ in 0..n_bs {
-        base_stations.push(BaseStation::new(Point::new(r.f64_le()?, r.f64_le()?)));
+        base_stations.push(BaseStation::new(Point::new(
+            check(r.f64_le()?, any, "base station x")?,
+            check(r.f64_le()?, any, "base station y")?,
+        )));
     }
     let link = LinkBudget::builder()
         .model(TwoRay::new(gain, alpha))
@@ -169,19 +202,26 @@ pub fn decode(buf: &[u8]) -> Result<Scenario, SnapshotError> {
         .noise(noise)
         .bandwidth(bandwidth)
         .build();
-    Scenario::new(
+    let scenario = Scenario::new(
         Rect::from_corners(min, max),
         subscribers,
         base_stations,
         NetworkParams::new(link, nmax),
     )
-    .map_err(|_| SnapshotError::Truncated)
+    .map_err(|_| SnapshotError::Invalid("empty station list"))?;
+    // Deep validation (degenerate field, stations outside the field, ...)
+    // so Ok ⇒ the scenario is safe to feed to any solver.
+    scenario
+        .validate()
+        .map_err(|_| SnapshotError::Invalid("scenario fails deep validation"))?;
+    Ok(scenario)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::gen::ScenarioSpec;
+    use sag_testkit::prelude::*;
 
     #[test]
     fn roundtrip() {
@@ -238,11 +278,72 @@ mod tests {
         let mut b = Vec::new();
         put_u32_le(&mut b, MAGIC);
         put_u16_le(&mut b, VERSION);
-        for _ in 0..11 {
-            put_f64_le(&mut b, 0.0);
+        // Valid field corners and link parameters...
+        for v in [
+            -250.0, -250.0, 250.0, 250.0, // field
+            1.0, 3.0, 1.0, 0.1, 0.0, 1.0, 1e-9, // gain α pmax β noise bw nmax
+        ] {
+            put_f64_le(&mut b, v);
         }
+        // ...then an absurd subscriber count.
         put_u32_le(&mut b, u32::MAX);
         assert_eq!(decode(&b), Err(SnapshotError::Truncated));
+    }
+
+    #[test]
+    fn poisoned_values_rejected_not_panicking() {
+        // NaN gain in an otherwise valid header must be a typed error.
+        let sc = ScenarioSpec::default().build(5);
+        let mut bytes = encode(&sc);
+        // gain is the 5th f64 after the 6-byte header.
+        let gain_off = 6 + 4 * 8;
+        bytes[gain_off..gain_off + 8].copy_from_slice(&f64::NAN.to_le_bytes());
+        assert!(matches!(decode(&bytes), Err(SnapshotError::Invalid(_))));
+    }
+
+    prop! {
+        /// Random well-formed scenarios round-trip exactly.
+        fn prop_random_snapshots_roundtrip(seed in 0u64..200, n in 1usize..12) {
+            let spec = ScenarioSpec {
+                n_subscribers: n,
+                ..Default::default()
+            };
+            let sc = spec.build(seed);
+            let back = decode(&encode(&sc));
+            prop_assert_eq!(back.as_ref(), Ok(&sc));
+        }
+    }
+
+    prop! {
+        /// Byte-flipped snapshots never panic: they either decode to a
+        /// scenario that passes deep validation, or yield a typed error.
+        fn prop_byte_flips_never_panic(seed in 0u64..500) {
+            let mut rng = Rng::seed_from_u64(seed);
+            let spec = ScenarioSpec {
+                n_subscribers: 1 + (seed as usize % 8),
+                ..Default::default()
+            };
+            let mut bytes = encode(&spec.build(seed));
+            // Flip 1–4 random bits/bytes anywhere in the buffer.
+            for _ in 0..rng.gen_range(1usize..5) {
+                let at = rng.gen_range(0usize..bytes.len());
+                bytes[at] ^= 1 << rng.gen_range(0u64..8) as u8;
+            }
+            match decode(&bytes) {
+                Ok(sc) => prop_assert!(sc.validate().is_ok()),
+                Err(e) => prop_assert!(!e.to_string().is_empty()),
+            }
+        }
+    }
+
+    prop! {
+        /// Random garbage (non-snapshot bytes) never panics either.
+        fn prop_random_bytes_never_panic(seed in 0u64..300) {
+            let mut rng = Rng::seed_from_u64(seed);
+            let len = rng.gen_range(0usize..256);
+            let bytes: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+            prop_assert!(decode(&bytes).is_err() || decode(&bytes).is_ok());
+        }
     }
 
     #[test]

@@ -30,23 +30,36 @@ pub struct CellStats {
     pub feasible_runs: usize,
     /// Total runs attempted.
     pub total_runs: usize,
+    /// Runs that *crashed* (panicked inside `eval` or returned the wrong
+    /// metric arity) rather than merely reporting infeasibility. They
+    /// count toward `total_runs` but never toward `feasible_runs`.
+    pub failed_runs: usize,
 }
 
 impl CellStats {
     /// Aggregates per-run outcomes (`None` = infeasible run).
     pub fn from_runs(outcomes: &[Option<f64>]) -> Self {
+        CellStats::from_runs_with_failures(outcomes, 0)
+    }
+
+    /// Aggregates per-run outcomes where `failed_runs` of the `None`
+    /// entries are crashes rather than infeasibility reports.
+    pub fn from_runs_with_failures(outcomes: &[Option<f64>], failed_runs: usize) -> Self {
         let ok: Vec<f64> = outcomes.iter().flatten().copied().collect();
         CellStats {
             mean: mean(&ok),
             feasible_runs: ok.len(),
             total_runs: outcomes.len(),
+            failed_runs,
         }
     }
 
     /// Formats as the paper's figures would show it: the mean, or `N/A`
-    /// when everything was infeasible.
+    /// when everything was infeasible. Crashed runs are only mentioned
+    /// when present, so the output is byte-identical to older releases
+    /// whenever `failed_runs == 0` (golden files depend on that).
     pub fn display(&self) -> String {
-        match self.mean {
+        let base = match self.mean {
             Some(m) => {
                 if self.feasible_runs < self.total_runs {
                     format!("{m:.2} ({}/{} ok)", self.feasible_runs, self.total_runs)
@@ -55,6 +68,11 @@ impl CellStats {
                 }
             }
             None => "N/A".to_string(),
+        };
+        if self.failed_runs > 0 {
+            format!("{base} [{} crashed]", self.failed_runs)
+        } else {
+            base
         }
     }
 }
@@ -82,6 +100,16 @@ mod tests {
         let all_bad = CellStats::from_runs(&[None, None]);
         assert_eq!(all_bad.display(), "N/A");
         let clean = CellStats::from_runs(&[Some(2.0), Some(2.0)]);
+        assert_eq!(clean.display(), "2.00");
+    }
+
+    #[test]
+    fn failed_runs_surface_in_display_only_when_present() {
+        let c = CellStats::from_runs_with_failures(&[Some(1.0), None, None], 1);
+        assert_eq!(c.failed_runs, 1);
+        assert!(c.display().contains("1 crashed"));
+        // No crashes → byte-identical to the plain rendering.
+        let clean = CellStats::from_runs_with_failures(&[Some(2.0)], 0);
         assert_eq!(clean.display(), "2.00");
     }
 }

@@ -134,6 +134,7 @@ mod tests {
             mean: Some(v),
             feasible_runs: 1,
             total_runs: 1,
+            failed_runs: 0,
         }
     }
 
@@ -142,6 +143,7 @@ mod tests {
             mean: None,
             feasible_runs: 0,
             total_runs: 1,
+            failed_runs: 0,
         }
     }
 
@@ -223,11 +225,13 @@ mod markdown_tests {
                     mean: Some(1.5),
                     feasible_runs: 2,
                     total_runs: 2,
+                    failed_runs: 0,
                 },
                 CellStats {
                     mean: None,
                     feasible_runs: 0,
                     total_runs: 2,
+                    failed_runs: 0,
                 },
             ],
         );

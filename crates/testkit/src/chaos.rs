@@ -1,0 +1,100 @@
+//! Fault-injection primitives for chaos/robustness testing.
+//!
+//! Zero-dependency building blocks for adversarial inputs: poisoned
+//! floats (NaN/∞/subnormal extremes) and a catalogue of structural
+//! [`Fault`]s that robustness suites apply to domain objects (the
+//! scenario-specific mutators live with the types they mutate, e.g. in
+//! the workspace `tests` crate). The invariant such suites assert is
+//! always the same: **any input → a typed error or a validated result,
+//! never a panic**.
+
+use crate::rng::Rng;
+
+/// A structural fault an adversarial-input generator can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Fault {
+    /// Replace a numeric field with NaN.
+    NanInject,
+    /// Replace a numeric field with ±∞.
+    InfInject,
+    /// Collapse a region to zero width/height.
+    ZeroWidthRegion,
+    /// Duplicate a station exactly on top of another.
+    CoincidentStations,
+    /// Place three or more stations exactly on one line.
+    ColinearStations,
+    /// Push a threshold (β, SNR, power cap) to an extreme magnitude.
+    ExtremeThreshold,
+    /// Cluster many stations in a vanishingly small area.
+    AdversarialCluster,
+}
+
+impl Fault {
+    /// Every fault, for exhaustive sweeps.
+    pub const fn all() -> [Fault; 7] {
+        [
+            Fault::NanInject,
+            Fault::InfInject,
+            Fault::ZeroWidthRegion,
+            Fault::CoincidentStations,
+            Fault::ColinearStations,
+            Fault::ExtremeThreshold,
+            Fault::AdversarialCluster,
+        ]
+    }
+
+    /// A uniformly random fault.
+    pub fn sample(rng: &mut Rng) -> Fault {
+        let all = Fault::all();
+        all[rng.gen_range(0usize..all.len())]
+    }
+}
+
+/// A "poisoned" float: NaN, ±∞, a signed zero, or a magnitude extreme
+/// (subnormal / near-`MAX`) — the values numeric code mishandles first.
+pub fn poisoned_f64(rng: &mut Rng) -> f64 {
+    match rng.gen_range(0usize..8) {
+        0 => f64::NAN,
+        1 => f64::INFINITY,
+        2 => f64::NEG_INFINITY,
+        3 => 0.0,
+        4 => -0.0,
+        5 => f64::MIN_POSITIVE / 2.0, // subnormal
+        6 => f64::MAX / 2.0,
+        _ => -f64::MAX / 2.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_faults_are_distinct() {
+        let all = Fault::all();
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn sample_covers_every_fault() {
+        let mut rng = Rng::seed_from_u64(42);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            seen.insert(Fault::sample(&mut rng));
+        }
+        assert_eq!(seen.len(), Fault::all().len());
+    }
+
+    #[test]
+    fn poisoned_floats_hit_non_finite_and_finite_extremes() {
+        let mut rng = Rng::seed_from_u64(7);
+        let vals: Vec<f64> = (0..500).map(|_| poisoned_f64(&mut rng)).collect();
+        assert!(vals.iter().any(|v| v.is_nan()));
+        assert!(vals.iter().any(|v| v.is_infinite()));
+        assert!(vals.iter().any(|v| v.is_finite()));
+    }
+}

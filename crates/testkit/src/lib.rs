@@ -15,11 +15,14 @@
 //!   Reproduce any failure with `SAG_PROP_SEED=<seed> cargo test <name>`.
 //! * [`golden`] — golden-file assertions for fixed-seed regression
 //!   scenarios (`SAG_UPDATE_GOLDEN=1` rewrites).
+//! * [`chaos`] — fault-injection primitives (poisoned floats, a
+//!   structural [`chaos::Fault`] catalogue) for robustness suites.
 //!
 //! The crate deliberately has **no dependencies** (not even workspace
 //! path deps), so every other crate can dev-depend on it without cycles
 //! and the whole workspace stays buildable offline.
 
+pub mod chaos;
 pub mod golden;
 pub mod prop;
 pub mod rng;
@@ -28,6 +31,7 @@ pub mod strategy;
 /// The single import property tests need:
 /// `use sag_testkit::prelude::*;`.
 pub mod prelude {
+    pub use crate::chaos::{poisoned_f64, Fault};
     pub use crate::golden::assert_golden;
     pub use crate::rng::Rng;
     pub use crate::strategy::{just, one_of, vec_of, Strategy};

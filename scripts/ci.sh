@@ -20,4 +20,9 @@ run cargo clippy --workspace --all-targets --offline -- -D warnings
 run cargo build --release --offline --workspace
 run cargo test -q --offline
 
+# Chaos soak: re-run the fault-injection property suite at an elevated
+# case count. Failures print a SAG_PROP_SEED replay line.
+echo "==> SAG_PROP_CASES=150 cargo test -p sag-integration --test chaos_pipeline -q --offline"
+SAG_PROP_CASES=150 cargo test -p sag-integration --test chaos_pipeline -q --offline
+
 echo "==> tier-1 CI green"

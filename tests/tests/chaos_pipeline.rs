@@ -1,0 +1,223 @@
+//! Workspace chaos suite: the robustness contract, end to end.
+//!
+//! The invariant every test here asserts is the PR-2 contract: **any
+//! input — however adversarial — produces a typed error or a validated
+//! feasible report; never a panic, never a run past its deadline plus a
+//! scheduling epsilon.** Structural faults come from the shared
+//! [`sag_testkit::chaos::Fault`] catalogue, realised against concrete
+//! scenarios by [`sag_integration::apply_fault`].
+
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use sag_testkit::prelude::*;
+
+use sag_core::model::Scenario;
+use sag_core::sag::{run_sag_with, AnsweringSolver, LowerSolver, SagPipelineConfig};
+use sag_core::validate::validate_report;
+use sag_core::SagError;
+use sag_integration::{apply_fault, scenario};
+use sag_lp::Budget;
+use sag_sim::gen::{BsLayout, ScenarioSpec};
+use sag_sim::runner::{sweep_multi, SweepConfig};
+
+fn arb_spec() -> impl Strategy<Value = (usize, usize, f64, u64)> {
+    (
+        2usize..12,                    // subscribers
+        1usize..4,                     // base stations
+        one_of([300.0, 500.0, 800.0]), // field size
+        0u64..100_000,                 // scenario seed
+    )
+}
+
+fn build(input: (usize, usize, f64, u64)) -> Scenario {
+    let (users, bss, field, seed) = input;
+    ScenarioSpec {
+        field_size: field,
+        n_subscribers: users,
+        n_base_stations: bss,
+        snr_db: -15.0,
+        bs_layout: BsLayout::Uniform,
+        ..Default::default()
+    }
+    .build(seed)
+}
+
+/// Is `e` one of the typed errors the robustness contract admits?
+fn is_typed_rejection(e: &SagError) -> bool {
+    matches!(
+        e,
+        SagError::InvalidScenario(_)
+            | SagError::Infeasible(_)
+            | SagError::BudgetExceeded { .. }
+            | SagError::NoSubscribers
+            | SagError::NoBaseStations
+    )
+}
+
+prop! {
+    /// The headline property: every catalogue fault, applied to a
+    /// random generated scenario, yields either a typed rejection or a
+    /// report that passes the independent audit. Nothing panics.
+    #[cases(28)]
+    fn any_faulted_scenario_errs_or_validates(input in arb_spec(), fidx in 0usize..7, salt in 0u64..1_000) {
+        let mut rng = Rng::seed_from_u64(salt);
+        let fault = Fault::all()[fidx];
+        let mut sc = build(input);
+        apply_fault(&mut sc, fault, &mut rng);
+        match run_sag_with(&sc, SagPipelineConfig::default()) {
+            Err(e) => prop_assert!(is_typed_rejection(&e), "untyped error {e}"),
+            Ok(report) => {
+                // A report that comes back from a mutated scenario must
+                // still be internally consistent and feasible.
+                let audit = validate_report(&sc, &report);
+                prop_assert!(audit.is_clean(), "fault {fault:?} produced a dirty report:\n{audit}");
+            }
+        }
+    }
+
+    /// Compound chaos: several random faults stacked on one scenario.
+    #[cases(16)]
+    fn stacked_faults_never_panic(input in arb_spec(), salt in 0u64..1_000, n_faults in 1usize..4) {
+        let mut rng = Rng::seed_from_u64(salt.wrapping_mul(0x9E37_79B9));
+        let mut sc = build(input);
+        for _ in 0..n_faults {
+            let f = Fault::sample(&mut rng);
+            apply_fault(&mut sc, f, &mut rng);
+        }
+        match run_sag_with(&sc, SagPipelineConfig::default()) {
+            Err(e) => prop_assert!(is_typed_rejection(&e), "untyped error {e}"),
+            Ok(report) => prop_assert!(validate_report(&sc, &report).is_clean()),
+        }
+    }
+
+    /// Poisoned-float ingress: raw `poisoned_f64` values dropped into a
+    /// subscriber must be caught at the `validate()` gate.
+    #[cases(24)]
+    fn poisoned_ingress_is_rejected_or_survives(input in arb_spec(), salt in 0u64..1_000) {
+        let mut rng = Rng::seed_from_u64(salt);
+        let mut sc = build(input);
+        let i = rng.gen_range(0usize..sc.subscribers.len());
+        sc.subscribers[i].distance_req = poisoned_f64(&mut rng);
+        match run_sag_with(&sc, SagPipelineConfig::default()) {
+            Err(e) => prop_assert!(is_typed_rejection(&e), "untyped error {e}"),
+            Ok(report) => prop_assert!(validate_report(&sc, &report).is_clean()),
+        }
+    }
+}
+
+/// Acceptance: an ILPQC run starved of budget provably degrades to the
+/// greedy cover, and the report says so.
+#[test]
+fn starved_ilpqc_falls_back_to_greedy_and_reports_it() {
+    let sc = scenario(
+        500.0,
+        &[(0.0, 0.0, 30.0), (20.0, 0.0, 30.0), (0.0, 20.0, 30.0)],
+        &[(100.0, 100.0)],
+        -15.0,
+    );
+    let config = SagPipelineConfig {
+        lower_solver: LowerSolver::IlpqcWithGreedyFallback,
+        budget: Budget::unlimited().with_node_limit(0),
+        ..Default::default()
+    };
+    let report = run_sag_with(&sc, config).expect("fallback must answer");
+    assert_eq!(report.solver, AnsweringSolver::GreedyFallback);
+    // The recorded budget reflects what ILPQC burned before giving up.
+    assert!(report.budget_spent.nodes <= 1);
+    let audit = validate_report(&sc, &report);
+    assert!(audit.is_clean(), "fallback report dirty:\n{audit}");
+}
+
+/// The strict variant surfaces the same starvation as a typed error.
+#[test]
+fn starved_strict_ilpqc_reports_budget_exceeded() {
+    let sc = scenario(500.0, &[(0.0, 0.0, 30.0)], &[(100.0, 100.0)], -15.0);
+    let config = SagPipelineConfig {
+        lower_solver: LowerSolver::IlpqcStrict,
+        budget: Budget::unlimited().with_node_limit(0),
+        ..Default::default()
+    };
+    match run_sag_with(&sc, config) {
+        Err(SagError::BudgetExceeded { stage, .. }) => assert_eq!(stage, "ilpqc"),
+        other => panic!("expected BudgetExceeded, got {other:?}"),
+    }
+}
+
+/// Deadline honouring: a pipeline run with a wall-clock budget returns
+/// (success or typed error) within deadline + a generous scheduling ε.
+#[test]
+fn deadline_is_honoured_within_epsilon() {
+    let deadline = Duration::from_millis(50);
+    let epsilon = Duration::from_secs(2); // generous: CI schedulers stall
+    for seed in 0..8u64 {
+        let sc = ScenarioSpec {
+            field_size: 800.0,
+            n_subscribers: 30,
+            n_base_stations: 2,
+            snr_db: -18.0,
+            ..Default::default()
+        }
+        .build(seed);
+        let config = SagPipelineConfig {
+            lower_solver: LowerSolver::IlpqcStrict,
+            budget: Budget::unlimited().with_deadline(deadline),
+            ..Default::default()
+        };
+        let started = Instant::now();
+        let out = run_sag_with(&sc, config);
+        let took = started.elapsed();
+        assert!(
+            took < deadline + epsilon,
+            "seed {seed}: run took {took:?}, budget was {deadline:?}"
+        );
+        if let Err(e) = out {
+            assert!(is_typed_rejection(&e), "untyped error {e}");
+        }
+    }
+}
+
+/// A pre-cancelled budget short-circuits before any heavy work.
+#[test]
+fn cancellation_flag_stops_the_pipeline() {
+    let flag = Arc::new(AtomicBool::new(true));
+    let sc = scenario(500.0, &[(0.0, 0.0, 30.0)], &[(100.0, 100.0)], -15.0);
+    let config = SagPipelineConfig {
+        lower_solver: LowerSolver::IlpqcStrict,
+        budget: Budget::unlimited().with_cancel_flag(Arc::clone(&flag)),
+        ..Default::default()
+    };
+    match run_sag_with(&sc, config) {
+        Err(SagError::BudgetExceeded { .. }) => {}
+        other => panic!("expected BudgetExceeded from cancelled run, got {other:?}"),
+    }
+}
+
+/// Acceptance: a sweep whose eval panics on one cell completes and
+/// reports the crash in `failed_runs` instead of tearing down the grid.
+#[test]
+fn sweep_with_panicking_cell_reports_failed_runs() {
+    let xs = [10usize, 20, 30];
+    let config = SweepConfig::new(4, 42, 2).expect("valid config");
+    let grids = sweep_multi(&xs, 1, config, |x, seed| {
+        if x == 20 && seed % 2 == 0 {
+            panic!("injected chaos panic");
+        }
+        vec![Some(x as f64)]
+    });
+    let cells = &grids[0];
+    assert_eq!(cells.len(), xs.len());
+    assert_eq!(cells[0].failed_runs, 0);
+    assert!(
+        cells[1].failed_runs >= 1,
+        "panics must surface as failed_runs"
+    );
+    assert_eq!(cells[2].failed_runs, 0);
+    // Healthy cells keep their stats.
+    assert_eq!(cells[0].mean, Some(10.0));
+    assert_eq!(cells[2].mean, Some(30.0));
+    // The poisoned cell still reports its surviving runs.
+    assert_eq!(cells[1].total_runs, 4);
+    assert!(cells[1].feasible_runs < 4);
+}
