@@ -8,10 +8,128 @@
 //! distances — the form used during placement; per-relay powers enter
 //! later through PRO.
 
+use std::sync::OnceLock;
+
 use sag_geom::Point;
+use sag_radio::ledger::{InterferenceLedger, LedgerMode};
 use sag_radio::snr;
 
 use crate::model::Scenario;
+
+/// The ledger query mode the pipeline runs with: incremental by
+/// default, the exact brute-force oracle when `SAG_SNR_ORACLE=1` is set
+/// (debug switch; read once per process).
+fn ledger_mode() -> LedgerMode {
+    static MODE: OnceLock<LedgerMode> = OnceLock::new();
+    *MODE.get_or_init(|| {
+        if std::env::var("SAG_SNR_ORACLE").is_ok_and(|v| v == "1") {
+            LedgerMode::Oracle
+        } else {
+            LedgerMode::Incremental
+        }
+    })
+}
+
+/// Builds an [`InterferenceLedger`] over the scenario's subscribers with
+/// the given relays at uniform (unit) power — the placement-time view
+/// where the power level cancels out of every SNR. Relay ids coincide
+/// with indices into `relays`. Honours the `SAG_SNR_ORACLE` debug
+/// switch.
+pub fn interference_ledger(scenario: &Scenario, relays: &[Point]) -> InterferenceLedger {
+    let mut ledger = InterferenceLedger::new(
+        *scenario.params.link.model(),
+        scenario.subscribers.iter().map(|s| s.position).collect(),
+    )
+    .with_mode(ledger_mode());
+    for &r in relays {
+        ledger.add_relay(r, 1.0);
+    }
+    ledger
+}
+
+/// Builds an [`InterferenceLedger`] with explicit per-relay powers —
+/// the PRO-time view. Relay ids coincide with indices into `relays`.
+///
+/// # Panics
+/// Panics if `relays` and `powers` differ in length.
+pub fn powered_ledger(scenario: &Scenario, relays: &[Point], powers: &[f64]) -> InterferenceLedger {
+    assert_eq!(
+        relays.len(),
+        powers.len(),
+        "one power per relay ({} relays, {} powers)",
+        relays.len(),
+        powers.len()
+    );
+    let mut ledger = InterferenceLedger::new(
+        *scenario.params.link.model(),
+        scenario.subscribers.iter().map(|s| s.position).collect(),
+    )
+    .with_mode(ledger_mode());
+    for (&r, &p) in relays.iter().zip(powers) {
+        ledger.add_relay(r, p);
+    }
+    ledger
+}
+
+/// A reverse relay→subscribers index over an assignment, in CSR form:
+/// `of(r)` is the slice of subscribers served by relay `r`, in
+/// subscriber order. Built once in `O(S + R)` by counting sort, so
+/// stage loops stop paying `O(S)` per relay for
+/// [`CoverageSolution::subscribers_of`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServedIndex {
+    starts: Vec<usize>,
+    subs: Vec<usize>,
+}
+
+impl ServedIndex {
+    /// Builds the index for `n_relays` relays from `assignment`.
+    ///
+    /// # Panics
+    /// Panics if some assignment entry is `≥ n_relays`.
+    pub fn build(n_relays: usize, assignment: &[usize]) -> Self {
+        let mut counts = vec![0usize; n_relays];
+        for &r in assignment {
+            assert!(
+                r < n_relays,
+                "assignment references relay {r} of {n_relays}"
+            );
+            counts[r] += 1;
+        }
+        let mut starts = Vec::with_capacity(n_relays + 1);
+        let mut acc = 0usize;
+        starts.push(0);
+        for &c in &counts {
+            acc += c;
+            starts.push(acc);
+        }
+        let mut cursor = starts.clone();
+        let mut subs = vec![0usize; assignment.len()];
+        for (j, &r) in assignment.iter().enumerate() {
+            subs[cursor[r]] = j;
+            cursor[r] += 1;
+        }
+        ServedIndex { starts, subs }
+    }
+
+    /// Number of relays the index covers.
+    pub fn n_relays(&self) -> usize {
+        self.starts.len() - 1
+    }
+
+    /// Subscribers served by relay `r`, in subscriber order.
+    pub fn of(&self, r: usize) -> &[usize] {
+        &self.subs[self.starts[r]..self.starts[r + 1]]
+    }
+
+    /// Number of relays serving exactly one subscriber (the
+    /// one-on-one relays of the Sliding-Movement stage).
+    pub fn one_on_one(&self) -> usize {
+        (0..self.n_relays())
+            .filter(|&r| self.of(r).len() == 1)
+            .count()
+    }
+}
 
 /// A lower-tier placement: relay positions plus the SS→relay assignment.
 #[derive(Debug, Clone, PartialEq)]
@@ -30,12 +148,22 @@ impl CoverageSolution {
     }
 
     /// Subscribers assigned to relay `r`, in subscriber order.
+    ///
+    /// `O(S)` per call; stage loops that query every relay should build
+    /// a [`ServedIndex`] via
+    /// [`served_index`](CoverageSolution::served_index) once instead.
     pub fn subscribers_of(&self, r: usize) -> Vec<usize> {
         self.assignment
             .iter()
             .enumerate()
             .filter_map(|(j, &a)| (a == r).then_some(j))
             .collect()
+    }
+
+    /// Builds the reverse relay→subscribers index for this solution
+    /// (`O(S + R)` once, then `O(1)` slice access per relay).
+    pub fn served_index(&self) -> ServedIndex {
+        ServedIndex::build(self.relays.len(), &self.assignment)
     }
 }
 
@@ -95,7 +223,40 @@ pub fn assign_nearest(scenario: &Scenario, relays: &[Point]) -> Option<Vec<usize
 
 /// Indices of subscribers whose SNR constraint is violated under the
 /// given placement and assignment (uniform powers).
+///
+/// Goes through a freshly built [`InterferenceLedger`], which is
+/// bit-identical to the brute-force sum
+/// ([`snr_violations_brute`]); callers that already hold a ledger
+/// should use [`snr_violations_ledger`] and skip the rebuild.
 pub fn snr_violations(scenario: &Scenario, relays: &[Point], assignment: &[usize]) -> Vec<usize> {
+    let ledger = interference_ledger(scenario, relays);
+    snr_violations_ledger(scenario, &ledger, assignment)
+}
+
+/// [`snr_violations`] against an existing ledger: `O(S)` total instead
+/// of `O(S·R)`. The ledger's relay ids must coincide with the
+/// assignment's relay indices (true for ledgers built by
+/// [`interference_ledger`] / [`powered_ledger`]).
+pub fn snr_violations_ledger(
+    scenario: &Scenario,
+    ledger: &InterferenceLedger,
+    assignment: &[usize],
+) -> Vec<usize> {
+    let beta = scenario.params.link.beta();
+    (0..scenario.n_subscribers())
+        .filter(|&j| ledger.snr(j, assignment[j]) < beta - 1e-12)
+        .collect()
+}
+
+/// The original ad-hoc `O(S·R²)` violation scan, recomputing every SNR
+/// from scratch via [`placement_snr`]. Kept as the reference
+/// implementation for parity tests and benchmarks; production paths use
+/// the ledger.
+pub fn snr_violations_brute(
+    scenario: &Scenario,
+    relays: &[Point],
+    assignment: &[usize],
+) -> Vec<usize> {
     let beta = scenario.params.link.beta();
     (0..scenario.n_subscribers())
         .filter(|&j| placement_snr(scenario, relays, j, assignment[j]) < beta - 1e-12)
@@ -218,6 +379,55 @@ mod tests {
             assignment: vec![],
         };
         assert!(!is_feasible(&sc, &sol));
+    }
+
+    #[test]
+    fn ledger_and_brute_violations_agree() {
+        let subs = vec![(0.0, 0.0, 30.0), (60.0, 0.0, 30.0)];
+        let relays = vec![Point::new(25.0, 0.0), Point::new(40.0, 0.0)];
+        let sc = scenario(subs, 6.5);
+        let a = assign_nearest(&sc, &relays).unwrap();
+        assert_eq!(
+            snr_violations(&sc, &relays, &a),
+            snr_violations_brute(&sc, &relays, &a)
+        );
+        let ledger = interference_ledger(&sc, &relays);
+        assert_eq!(
+            snr_violations_ledger(&sc, &ledger, &a),
+            snr_violations_brute(&sc, &relays, &a)
+        );
+        // Per-subscriber parity with the uniform brute helper.
+        for j in 0..sc.n_subscribers() {
+            for r in 0..relays.len() {
+                assert_eq!(ledger.snr(j, r), placement_snr(&sc, &relays, j, r));
+            }
+        }
+    }
+
+    #[test]
+    fn powered_ledger_matches_powered_snr() {
+        let sc = scenario(vec![(0.0, 0.0, 30.0)], -15.0);
+        let relays = vec![Point::new(10.0, 0.0), Point::new(30.0, 0.0)];
+        let powers = [1.0, 0.1];
+        let ledger = powered_ledger(&sc, &relays, &powers);
+        assert_eq!(ledger.snr(0, 0), powered_snr(&sc, &relays, &powers, 0, 0));
+    }
+
+    #[test]
+    fn served_index_matches_subscribers_of() {
+        let sol = CoverageSolution {
+            relays: vec![Point::ORIGIN, Point::new(1.0, 0.0), Point::new(2.0, 0.0)],
+            assignment: vec![2, 0, 2, 0, 0],
+        };
+        let idx = sol.served_index();
+        assert_eq!(idx.n_relays(), 3);
+        for r in 0..3 {
+            assert_eq!(idx.of(r), sol.subscribers_of(r).as_slice());
+        }
+        assert!(idx.of(1).is_empty());
+        assert_eq!(idx.one_on_one(), 0);
+        let idx = ServedIndex::build(2, &[0, 1, 0]);
+        assert_eq!(idx.one_on_one(), 1);
     }
 
     #[test]

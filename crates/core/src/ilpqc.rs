@@ -28,13 +28,20 @@ use std::time::Instant;
 
 use sag_geom::Point;
 use sag_lp::{Budget, LpProblem, Relation, Spent};
+use sag_radio::InterferenceLedger;
 
-use crate::coverage::{snr_violations, CoverageSolution};
+use crate::coverage::{interference_ledger, CoverageSolution};
 use crate::error::{SagError, SagResult};
 use crate::model::Scenario;
 
 /// How often (in nodes) the wall-clock/cancellation state is polled.
 const BUDGET_POLL_MASK: usize = 63;
+
+/// SNR evaluations between full ledger rebuilds. Incremental push/pop
+/// drift is ~1 ulp per mutation; rebuilding every few hundred
+/// evaluations keeps worst-case accumulated drift far below the 1e-12
+/// feasibility margins at negligible cost.
+const LEDGER_REBUILD_PERIOD: usize = 256;
 
 /// Configuration of the ILPQC branch-and-bound.
 #[derive(Debug, Clone)]
@@ -129,6 +136,17 @@ pub fn solve_ilpqc(
     let mut nodes = 0usize;
     let mut truncated = false;
 
+    // One interference ledger for the whole search, synced to each
+    // distance-complete node by a push/pop symmetric diff against the
+    // previously evaluated selection — sibling nodes share most of
+    // their relays, so the per-node SNR evaluation drops from
+    // O(S·R²) to O(Δ·S + S).
+    let beta = scenario.params.link.beta();
+    let mut ledger = interference_ledger(scenario, &[]);
+    let mut slot_of: Vec<Option<usize>> = vec![None; n_cands];
+    let mut synced: Vec<usize> = Vec::new();
+    let mut evals = 0usize;
+
     // Depth-first stack of candidate selections (sorted, deduped). The
     // same subset is reachable through every insertion order; memoise to
     // expand each at most once.
@@ -193,9 +211,25 @@ pub fn solve_ilpqc(
             }
             None => {
                 // Distance-complete: evaluate SNR with nearest assignment.
-                let relays: Vec<Point> = selected.iter().map(|&c| candidates[c]).collect();
+                sync_ledger(
+                    &mut ledger,
+                    &mut slot_of,
+                    &mut synced,
+                    &selected,
+                    candidates,
+                );
+                evals += 1;
+                if evals.is_multiple_of(LEDGER_REBUILD_PERIOD) {
+                    ledger.rebuild();
+                }
                 let assignment = nearest_assignment(scenario, candidates, &eligible, &selected);
-                let violated = snr_violations(scenario, &relays, &assignment);
+                let violated: Vec<usize> = (0..n_subs)
+                    .filter(|&j| {
+                        let slot = slot_of[selected[assignment[j]]]
+                            .expect("every selected candidate is synced into the ledger");
+                        ledger.snr(j, slot) < beta - 1e-12
+                    })
+                    .collect();
                 if violated.is_empty() {
                     if best.as_ref().is_none_or(|b| selected.len() < b.len()) {
                         best = Some(selected);
@@ -262,6 +296,40 @@ pub fn solve_ilpqc(
             "ilpqc: no SNR-feasible cover exists over the candidates".into(),
         )),
     }
+}
+
+/// Syncs the search ledger to `selected` with a two-pointer symmetric
+/// diff against the previously synced (sorted) selection: candidates
+/// that left are popped, candidates that joined are pushed. `slot_of`
+/// maps candidate index → live ledger slot.
+fn sync_ledger(
+    ledger: &mut InterferenceLedger,
+    slot_of: &mut [Option<usize>],
+    synced: &mut Vec<usize>,
+    selected: &[usize],
+    candidates: &[Point],
+) {
+    let (mut i, mut k) = (0usize, 0usize);
+    while i < synced.len() || k < selected.len() {
+        match (synced.get(i), selected.get(k)) {
+            (Some(&old), Some(&new)) if old == new => {
+                i += 1;
+                k += 1;
+            }
+            (Some(&old), opt) if opt.is_none_or(|&new| old < new) => {
+                let slot = slot_of[old].take().expect("synced candidate has a slot");
+                ledger.remove_relay(slot);
+                i += 1;
+            }
+            (_, Some(&new)) => {
+                slot_of[new] = Some(ledger.add_relay(candidates[new], 1.0));
+                k += 1;
+            }
+            _ => unreachable!("loop condition guarantees one side is non-empty"),
+        }
+    }
+    synced.clear();
+    synced.extend_from_slice(selected);
 }
 
 /// Nearest-eligible assignment: for each subscriber, the position (index

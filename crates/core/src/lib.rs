@@ -92,7 +92,7 @@ pub mod ucpo;
 pub mod validate;
 pub mod zone;
 
-pub use coverage::CoverageSolution;
+pub use coverage::{CoverageSolution, ServedIndex};
 pub use error::{SagError, SagResult};
 pub use model::{BaseStation, NetworkParams, Relay, RelayRole, Scenario, Subscriber};
 pub use sag::{run_sag, run_sag_with, AnsweringSolver, LowerSolver, SagPipelineConfig, SagReport};

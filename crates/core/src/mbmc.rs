@@ -179,10 +179,14 @@ fn build_plan(
     let m = coverage.n_relays();
     let dmin = scenario.dmin();
     // Own feasible distance of each coverage relay: min over its
-    // subscribers' distance requests.
+    // subscribers' distance requests (via the reverse relay→subscriber
+    // index).
+    let served = coverage.served_index();
     let mut own_dist = vec![f64::INFINITY; m];
-    for (j, &r) in coverage.assignment.iter().enumerate() {
-        own_dist[r] = own_dist[r].min(scenario.subscribers[j].distance_req);
+    for (r, dist) in own_dist.iter_mut().enumerate() {
+        for &j in served.of(r) {
+            *dist = dist.min(scenario.subscribers[j].distance_req);
+        }
     }
     // Constraint (3.2): every placed relay covers at least one subscriber.
     // A relay with no subscribers would get an infinite feasible distance

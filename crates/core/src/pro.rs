@@ -26,13 +26,18 @@
 use std::time::Instant;
 
 use sag_lp::{Budget, LpProblem, Relation, Spent};
+use sag_radio::InterferenceLedger;
 
-use crate::coverage::CoverageSolution;
+use crate::coverage::{powered_ledger, CoverageSolution, ServedIndex};
 use crate::error::{SagError, SagResult};
 use crate::model::Scenario;
 
 /// How often (in loop iterations) budgets poll the wall clock.
 const BUDGET_POLL_MASK: usize = 63;
+
+/// Fixed-point iterations between full ledger rebuilds (drift hygiene
+/// over long `set_power` sequences; see the ledger docs).
+const LEDGER_REBUILD_PERIOD: usize = 256;
 
 /// A power allocation for the coverage relays, in relay order.
 #[derive(Debug, Clone, PartialEq)]
@@ -73,31 +78,24 @@ pub fn coverage_powers(scenario: &Scenario, sol: &CoverageSolution) -> Vec<f64> 
 }
 
 /// SNR power `P_snr` for relay `r` given the other relays' current
-/// powers: the smallest power clearing `β · I_j` *and* `P_ss^j` at every
-/// assigned subscriber `j`.
+/// powers (read from the ledger — `interference_at(j, r)` excludes `r`
+/// entirely, so `r`'s own registered power is irrelevant): the smallest
+/// power clearing `β · I_j` *and* `P_ss^j` at every assigned subscriber
+/// `j`.
 fn snr_power(
     scenario: &Scenario,
     sol: &CoverageSolution,
-    powers: &[f64],
+    ledger: &InterferenceLedger,
+    served: &ServedIndex,
     r: usize,
     pc_r: f64,
 ) -> f64 {
     let model = scenario.params.link.model();
     let beta = scenario.params.link.beta();
     let mut need = pc_r;
-    for (j, &a) in sol.assignment.iter().enumerate() {
-        if a != r {
-            continue;
-        }
+    for &j in served.of(r) {
         let spos = scenario.subscribers[j].position;
-        let interference: f64 = sol
-            .relays
-            .iter()
-            .zip(powers)
-            .enumerate()
-            .filter(|&(k, _)| k != r)
-            .map(|(_, (&rp, &p))| model.received_power(p, rp.distance(spos)))
-            .sum();
+        let interference = ledger.interference_at(j, r);
         let d = sol.relays[r].distance(spos);
         let tx = model.required_tx_power(beta * interference, d);
         if tx > need {
@@ -107,37 +105,30 @@ fn snr_power(
     need
 }
 
-/// Checks every subscriber of relay `r` against coverage + SNR under the
-/// proposed `powers`, with a small relative slack (`1e-6`) so that
-/// allocations sitting exactly on a constraint boundary — the LP optimum
-/// always does — verify cleanly.
+/// Checks every subscriber of relay `r` against coverage + SNR with `r`
+/// transmitting at `power_r` and every other relay at its power in the
+/// ledger, with a small relative slack (`1e-6`) so that allocations
+/// sitting exactly on a constraint boundary — the LP optimum always
+/// does — verify cleanly.
 fn relay_constraints_ok(
     scenario: &Scenario,
     sol: &CoverageSolution,
-    powers: &[f64],
+    ledger: &InterferenceLedger,
+    served: &ServedIndex,
     r: usize,
+    power_r: f64,
 ) -> bool {
     const REL_TOL: f64 = 1e-6;
     let model = scenario.params.link.model();
     let beta = scenario.params.link.beta();
-    for (j, &a) in sol.assignment.iter().enumerate() {
-        if a != r {
-            continue;
-        }
+    for &j in served.of(r) {
         let sub = &scenario.subscribers[j];
         let d = sol.relays[r].distance(sub.position);
-        let signal = model.received_power(powers[r], d);
+        let signal = model.received_power(power_r, d);
         if signal < scenario.params.pss_for(sub) * (1.0 - REL_TOL) {
             return false;
         }
-        let interference: f64 = sol
-            .relays
-            .iter()
-            .zip(powers)
-            .enumerate()
-            .filter(|&(k, _)| k != r)
-            .map(|(_, (&rp, &p))| model.received_power(p, rp.distance(sub.position)))
-            .sum();
+        let interference = ledger.interference_at(j, r);
         if signal < beta * interference * (1.0 - REL_TOL) {
             return false;
         }
@@ -193,7 +184,12 @@ pub fn pro_with_budget(
     let pmax = scenario.params.link.pmax();
     let n = sol.n_relays();
     let pc = coverage_powers(scenario, sol);
+    let served = sol.served_index();
     let mut powers = vec![pmax; n]; // P1, committed state
+                                    // The ledger tracks the committed powers; every commit is a
+                                    // `set_power` delta and every trial reads `interference_at` in O(1)
+                                    // instead of re-summing over all relays.
+    let mut ledger = powered_ledger(scenario, &sol.relays, &powers);
     let mut pending: Vec<usize> = (0..n).collect(); // K
 
     while !pending.is_empty() {
@@ -208,13 +204,15 @@ pub fn pro_with_budget(
             })?;
         // Pass 1 (Steps 5–9): tentatively drop each pending relay to its
         // coverage power; commit those whose own subscribers stay happy.
+        // A trial power for `r` needs no ledger mutation — the
+        // interference at `r`'s subscribers excludes `r` by definition.
         let mut committed_any = false;
         let mut still_pending = Vec::new();
         for &r in &pending {
-            let mut trial = powers.clone();
-            trial[r] = pc[r].min(pmax);
-            if relay_constraints_ok(scenario, sol, &trial, r) {
-                powers[r] = pc[r].min(pmax);
+            let trial = pc[r].min(pmax);
+            if relay_constraints_ok(scenario, sol, &ledger, &served, r, trial) {
+                powers[r] = trial;
+                ledger.set_power(r, trial);
                 committed_any = true;
             } else {
                 still_pending.push(r);
@@ -229,10 +227,16 @@ pub fn pro_with_budget(
             // at its SNR power.
             let (r_min, p_snr) = pending
                 .iter()
-                .map(|&r| (r, snr_power(scenario, sol, &powers, r, pc[r]).min(pmax)))
+                .map(|&r| {
+                    (
+                        r,
+                        snr_power(scenario, sol, &ledger, &served, r, pc[r]).min(pmax),
+                    )
+                })
                 .min_by(|a, b| sag_geom::float::total_cmp(&(a.1 - pc[a.0]), &(b.1 - pc[b.0])))
                 .expect("pending not empty");
             powers[r_min] = p_snr;
+            ledger.set_power(r_min, p_snr);
             pending.retain(|&r| r != r_min);
         }
     }
@@ -279,7 +283,11 @@ pub fn optimal_power_with_budget(
     let pmax = scenario.params.link.pmax();
     let pc = coverage_powers(scenario, sol);
     let mut powers = pc.clone();
+    let mut ledger = powered_ledger(scenario, &sol.relays, &powers);
     // Geometric convergence: iterate the monotone map until stationary.
+    // The update stays a Jacobi sweep: every `need` is computed from the
+    // *current* ledger state, and only then is the whole `next` vector
+    // committed via `set_power` deltas (no-ops once coordinates settle).
     for iter in 0..100_000 {
         if iter & BUDGET_POLL_MASK == 0 && budget.check_interrupt().is_err() {
             return Err(SagError::BudgetExceeded {
@@ -290,17 +298,13 @@ pub fn optimal_power_with_budget(
                 },
             });
         }
+        if iter > 0 && iter.is_multiple_of(LEDGER_REBUILD_PERIOD) {
+            ledger.rebuild();
+        }
         let mut next = pc.clone();
         for (j, &r) in sol.assignment.iter().enumerate() {
             let spos = scenario.subscribers[j].position;
-            let interference: f64 = sol
-                .relays
-                .iter()
-                .zip(&powers)
-                .enumerate()
-                .filter(|&(k, _)| k != r)
-                .map(|(_, (&rp, &p))| model.received_power(p, rp.distance(spos)))
-                .sum();
+            let interference = ledger.interference_at(j, r);
             let d = sol.relays[r].distance(spos);
             let need = model.required_tx_power(beta * interference, d);
             if need > next[r] {
@@ -312,6 +316,9 @@ pub fn optimal_power_with_budget(
             .zip(&next)
             .map(|(&a, &b)| (b - a).abs() / b.max(1e-300))
             .fold(0.0f64, f64::max);
+        for (r, &p) in next.iter().enumerate() {
+            ledger.set_power(r, p);
+        }
         powers = next;
         if powers.iter().any(|&p| p > pmax * (1.0 + 1e-9)) {
             return Err(SagError::Infeasible(
@@ -404,7 +411,10 @@ pub fn allocation_is_feasible(
     {
         return false;
     }
-    (0..sol.n_relays()).all(|r| relay_constraints_ok(scenario, sol, &alloc.powers, r))
+    let ledger = powered_ledger(scenario, &sol.relays, &alloc.powers);
+    let served = sol.served_index();
+    (0..sol.n_relays())
+        .all(|r| relay_constraints_ok(scenario, sol, &ledger, &served, r, alloc.powers[r]))
 }
 
 #[cfg(test)]

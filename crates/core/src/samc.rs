@@ -22,7 +22,7 @@ use sag_geom::Point;
 use sag_hitting::{exact, greedy, local_search, DiskInstance};
 use sag_lp::{Budget, Spent};
 
-use crate::coverage::{snr_violations, CoverageSolution};
+use crate::coverage::{interference_ledger, snr_violations_ledger, CoverageSolution};
 use crate::error::{SagError, SagResult};
 use crate::escape::coverage_link_escape;
 use crate::model::Scenario;
@@ -105,7 +105,8 @@ pub fn samc_with_budget(
     // merged placement and run one global repair round if the residual
     // inter-zone noise still trips someone.
     budget.check_interrupt().map_err(|_| exceeded(started))?;
-    let violations = snr_violations(scenario, &all_relays, &global_assignment);
+    let ledger = interference_ledger(scenario, &all_relays);
+    let violations = snr_violations_ledger(scenario, &ledger, &global_assignment);
     if violations.is_empty() {
         return Ok(CoverageSolution {
             relays: all_relays,

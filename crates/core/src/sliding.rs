@@ -22,8 +22,9 @@
 //! exactly as here: only the discrete updatable-relay subsets are tried.
 
 use sag_geom::{disks, Circle, Point};
+use sag_radio::InterferenceLedger;
 
-use crate::coverage::{placement_snr, snr_violations, CoverageSolution};
+use crate::coverage::{interference_ledger, snr_violations_ledger, CoverageSolution, ServedIndex};
 use crate::model::Scenario;
 
 /// Upper bound on relays considered in one subset-enumeration round
@@ -62,6 +63,11 @@ pub fn rs_sliding_movement(
         "assignment references a relay out of range"
     );
 
+    // One interference ledger for the whole repair: relay ids coincide
+    // with indices into `relays`, every slide below is a `move_relay`
+    // delta, and each violation scan is O(S) instead of O(S·R²).
+    let mut ledger = interference_ledger(scenario, &relays);
+
     // Refinement loop: snap one-on-one relays (Alg. 4 Step 2) and
     // re-serve violated subscribers from their nearest in-range relay.
     // The ILP's `T_ij` is a free variable, so reassignment never leaves
@@ -71,16 +77,14 @@ pub fn rs_sliding_movement(
     // subscriber served by someone else jams it unfixably: Algorithm 5
     // only ever moves relays that serve violated subscribers.
     for _ in 0..=scenario.n_subscribers() {
-        let mut served: Vec<Vec<usize>> = vec![Vec::new(); relays.len()];
-        for (j, &r) in assignment.iter().enumerate() {
-            served[r].push(j);
-        }
-        for (r, subs) in served.iter().enumerate() {
-            if let [only] = subs.as_slice() {
-                relays[r] = scenario.subscribers[*only].position;
+        let served = ServedIndex::build(relays.len(), &assignment);
+        for (r, pos) in relays.iter_mut().enumerate() {
+            if let [only] = served.of(r) {
+                *pos = scenario.subscribers[*only].position;
+                ledger.move_relay(r, *pos);
             }
         }
-        let violated = snr_violations(scenario, &relays, &assignment);
+        let violated = snr_violations_ledger(scenario, &ledger, &assignment);
         if violated.is_empty() {
             drop_unused_relays(&mut relays, &mut assignment);
             return Some(CoverageSolution { relays, assignment });
@@ -113,7 +117,7 @@ pub fn rs_sliding_movement(
         }
     }
 
-    let violated = snr_violations(scenario, &relays, &assignment);
+    let violated = snr_violations_ledger(scenario, &ledger, &assignment);
     if violated.is_empty() {
         drop_unused_relays(&mut relays, &mut assignment);
         return Some(CoverageSolution { relays, assignment });
@@ -122,13 +126,11 @@ pub fn rs_sliding_movement(
     // may have exited right after a reassignment) so Update RS Topology
     // sees every relay's true subscriber set — otherwise a move could
     // leave a reassigned subscriber outside its feasible circle.
-    let mut served: Vec<Vec<usize>> = vec![Vec::new(); relays.len()];
-    for (j, &r) in assignment.iter().enumerate() {
-        served[r].push(j);
-    }
+    let served = ServedIndex::build(relays.len(), &assignment);
     let repaired = update_rs_topology(
         scenario,
         relays,
+        ledger,
         &assignment,
         &served,
         violated,
@@ -165,34 +167,24 @@ fn drop_unused_relays(relays: &mut Vec<Point>, assignment: &mut [usize]) {
     *relays = kept;
 }
 
-/// Interference power at subscriber `j` from every relay except its
-/// serving one, all at `Pmax` (the placement-time interference).
-fn interference_at(scenario: &Scenario, relays: &[Point], j: usize, serving: usize) -> f64 {
-    let model = scenario.params.link.model();
-    let pmax = scenario.params.link.pmax();
-    let pos = scenario.subscribers[j].position;
-    relays
-        .iter()
-        .enumerate()
-        .filter(|&(r, _)| r != serving)
-        .map(|(_, &rp)| model.received_power(pmax, rp.distance(pos)))
-        .sum()
-}
-
 /// The virtual circle of Algorithm 5: positions for the serving relay
 /// from which subscriber `j`'s SNR clears β given the *current* positions
-/// of all other relays. `None` when no position can (required radius is
-/// non-positive).
+/// of all other relays (read from the ledger). `None` when no position
+/// can (required radius is non-positive).
+///
+/// The ledger holds unit powers, so the `Pmax` interference of the
+/// paper is `Pmax ×` the ledger's aggregate — the per-relay sum itself
+/// is the one ledger-backed implementation shared with coverage/PRO.
 fn virtual_circle(
     scenario: &Scenario,
-    relays: &[Point],
+    ledger: &InterferenceLedger,
     j: usize,
     serving: usize,
 ) -> Option<Circle> {
     let beta = scenario.params.link.beta();
     let model = scenario.params.link.model();
     let pmax = scenario.params.link.pmax();
-    let interference = interference_at(scenario, relays, j, serving);
+    let interference = pmax * ledger.interference_at(j, serving);
     let sub = &scenario.subscribers[j];
     // Signal needed: Pmax·G·d^{-α} ≥ β·I  →  d ≤ (Pmax·G / (β·I))^{1/α}.
     let d_snr = if interference <= 0.0 {
@@ -206,11 +198,13 @@ fn virtual_circle(
 
 /// One Update RS Topology round (Algorithm 5), recursing while the
 /// violation set shrinks.
+#[allow(clippy::too_many_arguments)]
 fn update_rs_topology(
     scenario: &Scenario,
     relays: Vec<Point>,
+    ledger: InterferenceLedger,
     assignment: &[usize],
-    served: &[Vec<usize>],
+    served: &ServedIndex,
     violated: Vec<usize>,
     depth: usize,
 ) -> Option<Vec<Point>> {
@@ -228,12 +222,12 @@ fn update_rs_topology(
         // of violated covered SS.
         let mut w: Vec<Circle> = Vec::new();
         let mut possible = true;
-        for &j in &served[r] {
-            let ok = placement_snr(scenario, &relays, j, r) >= beta - 1e-12;
+        for &j in served.of(r) {
+            let ok = ledger.snr(j, r) >= beta - 1e-12;
             if ok {
                 w.push(scenario.subscribers[j].feasible_circle());
             } else {
-                match virtual_circle(scenario, &relays, j, r) {
+                match virtual_circle(scenario, &ledger, j, r) {
                     Some(c) => w.push(c),
                     None => {
                         possible = false;
@@ -258,26 +252,37 @@ fn update_rs_topology(
 
     // Try combinations of updatable relays, smallest first (Alg. 5 Step 3
     // tries "any combination"; ordering by size prefers minimal moves).
+    // Each trial clones the ledger (O(S + R)) and applies ≤ MAX_ENUMERATED
+    // move deltas — the full violation rescan the old code did per mask
+    // was the hottest loop of the whole stage.
     let m = updatable.len();
     let mut masks: Vec<u32> = (1u32..(1 << m)).collect();
     masks.sort_by_key(|mask| mask.count_ones());
     let mut best_recursion: Option<Vec<Point>> = None;
     for mask in masks {
         let mut moved = relays.clone();
+        let mut moved_ledger = ledger.clone();
         for (bit, &(r, target)) in updatable.iter().enumerate() {
             if mask & (1 << bit) != 0 {
                 moved[r] = target;
+                moved_ledger.move_relay(r, target);
             }
         }
-        let now_violated = snr_violations(scenario, &moved, assignment);
+        let now_violated = snr_violations_ledger(scenario, &moved_ledger, assignment);
         if now_violated.is_empty() {
             return Some(moved);
         }
         if now_violated.len() < violated.len() && best_recursion.is_none() {
             // Alg. 5: recurse on the strictly smaller violation set.
-            if let Some(sol) =
-                update_rs_topology(scenario, moved, assignment, served, now_violated, depth - 1)
-            {
+            if let Some(sol) = update_rs_topology(
+                scenario,
+                moved,
+                moved_ledger,
+                assignment,
+                served,
+                now_violated,
+                depth - 1,
+            ) {
                 best_recursion = Some(sol);
                 break;
             }
@@ -289,7 +294,7 @@ fn update_rs_topology(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::coverage::is_feasible;
+    use crate::coverage::{is_feasible, snr_violations};
     use crate::model::{BaseStation, NetworkParams, Scenario, Subscriber};
     use sag_geom::Rect;
     use sag_radio::{units::Db, LinkBudget};
@@ -388,8 +393,9 @@ mod tests {
     fn virtual_circle_radius_bounded_by_distance_req() {
         let sc = scenario(vec![(0.0, 0.0, 30.0), (500.0, 0.0, 30.0)], -15.0);
         let relays = vec![Point::new(10.0, 0.0), Point::new(490.0, 0.0)];
+        let ledger = interference_ledger(&sc, &relays);
         // Interference at SS0 is tiny → d_snr huge → radius capped at d_0.
-        let c = virtual_circle(&sc, &relays, 0, 0).unwrap();
+        let c = virtual_circle(&sc, &ledger, 0, 0).unwrap();
         assert!((c.radius - 30.0).abs() < 1e-9);
     }
 

@@ -145,11 +145,7 @@ pub fn run_sag_traced(scenario: &Scenario) -> SagResult<(SagReport, PipelineTrac
 
     let report = run_sag_with(scenario, SagPipelineConfig::default())?;
 
-    let mut load = vec![0usize; report.coverage.n_relays()];
-    for &r in &report.coverage.assignment {
-        load[r] += 1;
-    }
-    let one_on_one = load.iter().filter(|&&l| l == 1).count();
+    let one_on_one = report.coverage.served_index().one_on_one();
     trace.events.push(TraceEvent::CoveragePlaced {
         relays: report.coverage.n_relays(),
         one_on_one,

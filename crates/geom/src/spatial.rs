@@ -74,22 +74,42 @@ impl SpatialHash {
     /// Indices of all points within distance `radius` of `center`
     /// (inclusive, with the crate tolerance). Order is unspecified.
     pub fn query_radius(&self, center: Point, radius: f64) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.query_radius_into(center, radius, &mut out);
+        out
+    }
+
+    /// Appends the indices of all points within `radius` of `center` to
+    /// `out` — the allocation-reusing form of [`SpatialHash::query_radius`]
+    /// for callers that query in a hot loop. `out` is *not* cleared.
+    pub fn query_radius_into(&self, center: Point, radius: f64, out: &mut Vec<usize>) {
+        self.for_each_within(center, radius, |i, _| out.push(i));
+    }
+
+    /// Visits every point within distance `radius` of `center` without
+    /// allocating, calling `visit(index, distance)` per hit (inclusive
+    /// boundary, crate tolerance). Order is unspecified.
+    ///
+    /// This is the radius-bounded neighbour walk incremental consumers
+    /// (e.g. interference-ledger updates under a contribution cutoff)
+    /// run per relay move, so it must not allocate or re-test points
+    /// outside the covered buckets.
+    pub fn for_each_within(&self, center: Point, radius: f64, mut visit: impl FnMut(usize, f64)) {
         assert!(radius.is_finite() && radius >= 0.0, "radius must be ≥ 0");
         let lo = Self::key(Point::new(center.x - radius, center.y - radius), self.cell);
         let hi = Self::key(Point::new(center.x + radius, center.y + radius), self.cell);
-        let mut out = Vec::new();
         for bx in lo.0..=hi.0 {
             for by in lo.1..=hi.1 {
                 if let Some(bucket) = self.buckets.get(&(bx, by)) {
                     for &i in bucket {
-                        if float::leq(self.points[i].distance(center), radius) {
-                            out.push(i);
+                        let d = self.points[i].distance(center);
+                        if float::leq(d, radius) {
+                            visit(i, d);
                         }
                     }
                 }
             }
         }
-        out
     }
 
     /// Index of the nearest point to `center`, or `None` for an empty
@@ -246,6 +266,26 @@ mod tests {
     #[should_panic]
     fn zero_cell_panics() {
         SpatialHash::build(&[], 0.0);
+    }
+
+    #[test]
+    fn for_each_within_reports_true_distances() {
+        let pts = [Point::new(3.0, 4.0), Point::new(30.0, 40.0)];
+        let idx = SpatialHash::build(&pts, 10.0);
+        let mut seen = Vec::new();
+        idx.for_each_within(Point::ORIGIN, 10.0, |i, d| seen.push((i, d)));
+        assert_eq!(seen.len(), 1);
+        assert_eq!(seen[0].0, 0);
+        assert!((seen[0].1 - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn query_radius_into_appends_without_clearing() {
+        let pts = [Point::new(1.0, 0.0)];
+        let idx = SpatialHash::build(&pts, 5.0);
+        let mut out = vec![99];
+        idx.query_radius_into(Point::ORIGIN, 2.0, &mut out);
+        assert_eq!(out, vec![99, 0]);
     }
 
     prop! {

@@ -9,6 +9,9 @@
 //!   `Pr = Pt · G · d^{-α}`,
 //! * [`snr`] — the paper's interference-limited SNR (Definition 2) plus a
 //!   thermal-noise variant,
+//! * [`ledger`] — the incremental [`InterferenceLedger`]: per-subscriber
+//!   interference accumulators with O(S) relay deltas, O(1) SNR queries
+//!   and a brute-force oracle mode for parity checks,
 //! * [`capacity`] — Shannon capacity and the capacity↔distance reduction
 //!   of §II that turns data-rate requests into distance requests,
 //! * [`link`] — a [`LinkBudget`] convenience facade combining all of the
@@ -33,12 +36,14 @@
 #![warn(rust_2018_idioms)]
 
 pub mod capacity;
+pub mod ledger;
 pub mod link;
 pub mod models;
 pub mod snr;
 pub mod tworay;
 pub mod units;
 
+pub use ledger::{DesyncError, InterferenceLedger, LedgerMode};
 pub use link::LinkBudget;
 pub use models::PathLoss;
 pub use tworay::TwoRay;

@@ -12,7 +12,8 @@
 use std::io::Write as _;
 
 use sag_sim::experiments::{
-    alpha_sweep, channels, fig3, fig45, fig6, fig7, mbmc_weights, scaling, snr_stress, table2,
+    alpha_sweep, channels, fig3, fig45, fig6, fig7, ledger, mbmc_weights, scaling, snr_stress,
+    table2,
 };
 use sag_sim::runner::SweepConfig;
 use sag_sim::table::Table;
@@ -41,6 +42,7 @@ const EXPERIMENTS: &[&str] = &[
     "scaling",
     "mbmc_weights",
     "channels",
+    "ledger",
 ];
 
 fn main() {
@@ -158,6 +160,7 @@ fn run_experiment(
                 "scaling" => scaling::scaling(config),
                 "mbmc_weights" => mbmc_weights::mbmc_weights(config),
                 "channels" => channels::channels(config),
+                "ledger" => ledger::ledger(config),
                 _ => unreachable!("filtered by EXPERIMENTS"),
             };
             println!("{table}");

@@ -12,6 +12,7 @@ pub mod fig3;
 pub mod fig45;
 pub mod fig6;
 pub mod fig7;
+pub mod ledger;
 pub mod mbmc_weights;
 pub mod scaling;
 pub mod snr_stress;

@@ -27,11 +27,16 @@ pub enum Fault {
     ExtremeThreshold,
     /// Cluster many stations in a vanishingly small area.
     AdversarialCluster,
+    /// Desynchronise an incremental accumulator from its inputs (a
+    /// stale interference-ledger entry). Realised by skewing ledger
+    /// state rather than mutating the scenario; the invariant under
+    /// test is that oracle cross-checks surface it as a typed error.
+    LedgerDesync,
 }
 
 impl Fault {
     /// Every fault, for exhaustive sweeps.
-    pub const fn all() -> [Fault; 7] {
+    pub const fn all() -> [Fault; 8] {
         [
             Fault::NanInject,
             Fault::InfInject,
@@ -40,6 +45,7 @@ impl Fault {
             Fault::ColinearStations,
             Fault::ExtremeThreshold,
             Fault::AdversarialCluster,
+            Fault::LedgerDesync,
         ]
     }
 

@@ -25,4 +25,13 @@ run cargo test -q --offline
 echo "==> SAG_PROP_CASES=150 cargo test -p sag-integration --test chaos_pipeline -q --offline"
 SAG_PROP_CASES=150 cargo test -p sag-integration --test chaos_pipeline -q --offline
 
+# Ledger parity soak: the incremental-vs-brute SNR contract at an
+# elevated case count (tentpole invariant of the interference ledger).
+echo "==> SAG_PROP_CASES=150 cargo test -p sag-integration --test ledger_parity -q --offline"
+SAG_PROP_CASES=150 cargo test -p sag-integration --test ledger_parity -q --offline
+
+# SNR engine benchmark: brute vs ledger on the 100-subscriber probe
+# workload. Emits BENCH_snr.json and enforces the 5x speedup floor.
+run cargo run --release --offline -p sag-bench --bin bench_snr -- --out BENCH_snr.json --min-speedup 5
+
 echo "==> tier-1 CI green"

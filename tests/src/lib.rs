@@ -102,6 +102,13 @@ pub fn apply_fault(sc: &mut Scenario, fault: Fault, rng: &mut Rng) {
                 s.distance_req = f64::MIN_POSITIVE * (i + 1) as f64;
             }
         }
+        // A ledger desync is a *state* fault, not a scenario fault: it
+        // is injected with `InterferenceLedger::skew_accumulator` on a
+        // live ledger, so there is nothing to mutate here. The pipeline
+        // run under this fault exercises the unfaulted scenario, and
+        // the ledger-level suite (`tests/ledger_parity.rs`) asserts the
+        // oracle cross-check reports it as a typed `DesyncError`.
+        Fault::LedgerDesync => {}
     }
 }
 

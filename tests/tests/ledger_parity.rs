@@ -1,0 +1,204 @@
+//! Workspace parity suite for the incremental interference ledger.
+//!
+//! The contract under test is the PR-3 tentpole invariant: after **any**
+//! sequence of `add_relay` / `remove_relay` / `move_relay` / `set_power`
+//! mutations, every `InterferenceLedger::snr` query agrees with the
+//! brute-force recomputation (`sag_radio::snr::placement_snr`) to within
+//! 1e-9 relative — with both sides treated as equal once they saturate
+//! past [`SNR_SATURATED`]. A cutoff-equipped ledger must stay *sound*
+//! (never report an SNR above the exact value), and a desynchronised
+//! accumulator must surface as a typed [`DesyncError`], never as a
+//! silently wrong answer.
+
+use sag_geom::Point;
+use sag_radio::ledger::SNR_SATURATED;
+use sag_radio::snr::placement_snr;
+use sag_radio::{InterferenceLedger, TwoRay};
+use sag_testkit::prelude::*;
+
+const FIELD: f64 = 600.0;
+
+fn model() -> TwoRay {
+    TwoRay::new(1.0, 3.0)
+}
+
+fn subscribers(n: usize, seed: u64) -> Vec<Point> {
+    let mut rng = Rng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            Point::new(
+                rng.gen_range(-0.5..0.5f64) * FIELD,
+                rng.gen_range(-0.5..0.5f64) * FIELD,
+            )
+        })
+        .collect()
+}
+
+/// One mutation drawn from the op-sequence strategy: `(kind, xf, yf, p)`
+/// where `kind` selects add/remove/move/set-power and the fractions are
+/// mapped onto field coordinates, active-slot choices, and powers.
+type Op = (usize, f64, f64, f64);
+
+fn op_strategy() -> impl Strategy<Value = Vec<Op>> {
+    vec_of((0usize..4, 0.0..1.0f64, 0.0..1.0f64, 0.01..1.0f64), 1..40)
+}
+
+fn op_point(xf: f64, yf: f64) -> Point {
+    Point::new((xf - 0.5) * FIELD, (yf - 0.5) * FIELD)
+}
+
+/// Applies `op` to `ledger`, keeping `ids` as the live relay-id roster.
+/// Remove/move/set-power on an empty ledger degrade to an add, so every
+/// sequence is valid by construction.
+fn apply_op(ledger: &mut InterferenceLedger, ids: &mut Vec<usize>, op: Op) {
+    let (kind, xf, yf, p) = op;
+    if ids.is_empty() || kind == 0 {
+        ids.push(ledger.add_relay(op_point(xf, yf), p));
+        return;
+    }
+    let pick = ((xf * ids.len() as f64) as usize).min(ids.len() - 1);
+    match kind {
+        1 => {
+            let id = ids.swap_remove(pick);
+            ledger.remove_relay(id);
+        }
+        2 => ledger.move_relay(ids[pick], op_point(yf, xf)),
+        _ => ledger.set_power(ids[pick], p),
+    }
+}
+
+/// Exact SNR over the ledger's current relay set, via the brute helper.
+fn brute_snr(ledger: &InterferenceLedger, ids: &[usize], j: usize, serving: usize) -> f64 {
+    let positions: Vec<Point> = ids.iter().map(|&i| ledger.position(i)).collect();
+    let powers: Vec<f64> = ids.iter().map(|&i| ledger.power(i)).collect();
+    let serving_idx = ids
+        .iter()
+        .position(|&i| i == serving)
+        .expect("serving id is in the roster");
+    placement_snr(
+        &model(),
+        ledger.subscriber(j),
+        &positions,
+        &powers,
+        serving_idx,
+    )
+}
+
+fn saturated_or_close(a: f64, b: f64, rel: f64) -> bool {
+    if a >= SNR_SATURATED || b >= SNR_SATURATED {
+        a >= SNR_SATURATED && b >= SNR_SATURATED
+    } else {
+        (a - b).abs() <= rel * b.abs().max(1e-9)
+    }
+}
+
+prop! {
+    /// Headline parity: ledger SNR == brute SNR within 1e-9 after any
+    /// random mutation sequence, for every (subscriber, serving) pair.
+    #[cases(48)]
+    fn ledger_matches_brute_after_any_op_sequence(
+        ops in op_strategy(),
+        n_subs in 1usize..8,
+        seed in 0u64..10_000,
+    ) {
+        let subs = subscribers(n_subs, seed);
+        let mut ledger = InterferenceLedger::new(model(), subs);
+        let mut ids: Vec<usize> = Vec::new();
+        for op in ops {
+            apply_op(&mut ledger, &mut ids, op);
+        }
+        for j in 0..ledger.n_subscribers() {
+            for &serving in &ids {
+                let inc = ledger.snr(j, serving);
+                let exact = brute_snr(&ledger, &ids, j, serving);
+                prop_assert!(
+                    saturated_or_close(inc, exact, 1e-9),
+                    "parity broken at (j={j}, serving={serving}): ledger {inc} vs brute {exact}"
+                );
+            }
+        }
+    }
+
+    /// A cutoff-equipped ledger stays sound under mutation: its residual
+    /// bound can only *overstate* interference, so the reported SNR is
+    /// never above the exact value (and saturation agrees upward).
+    #[cases(32)]
+    fn cutoff_ledger_is_sound_after_any_op_sequence(
+        ops in op_strategy(),
+        n_subs in 1usize..8,
+        seed in 0u64..10_000,
+        radius in 50.0..400.0f64,
+    ) {
+        let subs = subscribers(n_subs, seed);
+        let mut ledger = InterferenceLedger::new(model(), subs).with_cutoff(radius);
+        let mut ids: Vec<usize> = Vec::new();
+        for op in ops {
+            apply_op(&mut ledger, &mut ids, op);
+        }
+        for j in 0..ledger.n_subscribers() {
+            for &serving in &ids {
+                let bounded = ledger.snr(j, serving);
+                let exact = brute_snr(&ledger, &ids, j, serving);
+                prop_assert!(
+                    bounded <= exact * (1.0 + 1e-9) || exact >= SNR_SATURATED,
+                    "cutoff ledger unsound at (j={j}, serving={serving}): {bounded} > exact {exact}"
+                );
+            }
+        }
+    }
+
+    /// Chaos hook: under `Fault::LedgerDesync` (a skewed accumulator),
+    /// the oracle cross-check answers with a typed `DesyncError` — never
+    /// a silently wrong SNR. `rebuild` restores a clean bill of health.
+    #[cases(24)]
+    fn skewed_accumulator_is_a_typed_error_not_a_wrong_answer(
+        seed in 0u64..10_000,
+        delta in one_of([1e-3, -1e-3, 1.0, -0.5]),
+    ) {
+        // The fault is scenario-invisible (see `apply_fault`): it is
+        // realised directly on ledger state.
+        let _fault = Fault::LedgerDesync;
+        let subs = subscribers(4, seed);
+        let mut ledger = InterferenceLedger::new(model(), subs);
+        let a = ledger.add_relay(Point::new(-40.0, 0.0), 0.8);
+        let b = ledger.add_relay(Point::new(55.0, 10.0), 0.6);
+        prop_assert!(ledger.audit().is_ok());
+
+        ledger.skew_accumulator(2, delta);
+        let err = ledger.audit().expect_err("skew must fail the audit");
+        prop_assert_eq!(err.subscriber, 2);
+        prop_assert!(ledger.snr_checked(2, a).is_err());
+        // Untouched subscribers still cross-check clean.
+        prop_assert!(ledger.snr_checked(0, b).is_ok());
+
+        ledger.rebuild();
+        prop_assert!(ledger.audit().is_ok());
+        prop_assert!(ledger.snr_checked(2, a).is_ok());
+    }
+}
+
+#[test]
+fn zero_interference_saturates_to_infinity() {
+    let mut ledger = InterferenceLedger::new(model(), subscribers(3, 7));
+    let only = ledger.add_relay(Point::new(10.0, -5.0), 0.5);
+    for j in 0..ledger.n_subscribers() {
+        assert_eq!(ledger.snr(j, only), f64::INFINITY);
+        assert_eq!(brute_snr(&ledger, &[only], j, only), f64::INFINITY);
+    }
+}
+
+#[test]
+fn single_relay_after_churn_still_saturates() {
+    let mut ledger = InterferenceLedger::new(model(), subscribers(3, 11));
+    let keep = ledger.add_relay(Point::new(0.0, 0.0), 1.0);
+    let drop_a = ledger.add_relay(Point::new(1.0, 1.0), 1.0);
+    let drop_b = ledger.add_relay(Point::new(-2.0, 3.0), 0.3);
+    ledger.remove_relay(drop_a);
+    ledger.remove_relay(drop_b);
+    // Catastrophic cancellation territory: the accumulator saw nearly
+    // identical contributions added and removed. The guard must still
+    // report a clean infinity for the lone survivor.
+    for j in 0..ledger.n_subscribers() {
+        assert_eq!(ledger.snr(j, keep), f64::INFINITY);
+    }
+}
