@@ -71,6 +71,22 @@ pub fn powered_ledger(scenario: &Scenario, relays: &[Point], powers: &[f64]) -> 
     ledger
 }
 
+/// Flushes a ledger's accumulated [`sag_radio::LedgerStats`] into the
+/// observability counters (`ledger.delta_ops`, `ledger.cancel_refreshes`,
+/// `ledger.guard_activations`, `ledger.rebuilds`). Stages call this once
+/// at the end of a solve so the per-mutation hot paths stay
+/// uninstrumented; a no-op while recording is disabled.
+pub(crate) fn flush_ledger_stats(ledger: &InterferenceLedger) {
+    if !sag_obs::enabled() {
+        return;
+    }
+    let s = ledger.stats();
+    sag_obs::counter("ledger.delta_ops", s.delta_ops);
+    sag_obs::counter("ledger.cancel_refreshes", s.cancel_refreshes);
+    sag_obs::counter("ledger.guard_activations", s.guard_activations);
+    sag_obs::counter("ledger.rebuilds", s.rebuilds);
+}
+
 /// A reverse relay→subscribers index over an assignment, in CSR form:
 /// `of(r)` is the slice of subscribers served by relay `r`, in
 /// subscriber order. Built once in `O(S + R)` by counting sort, so

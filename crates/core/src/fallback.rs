@@ -32,6 +32,7 @@ use crate::model::Scenario;
 /// candidate, or the repair loop exhausts the candidate pool without
 /// clearing every SNR violation.
 pub fn greedy_cover(scenario: &Scenario, candidates: &[Point]) -> SagResult<CoverageSolution> {
+    let _stage = sag_obs::span("greedy_fallback");
     let n_subs = scenario.n_subscribers();
     let n_cands = candidates.len();
 

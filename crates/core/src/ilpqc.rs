@@ -92,6 +92,7 @@ pub fn solve_ilpqc(
     candidates: &[Point],
     config: IlpqcConfig,
 ) -> SagResult<IlpqcOutcome> {
+    let _stage = sag_obs::span("ilpqc");
     let started = Instant::now();
     let n_subs = scenario.n_subscribers();
     let n_cands = candidates.len();
@@ -272,6 +273,15 @@ pub fn solve_ilpqc(
         }
     }
 
+    // One flush per solve: node/eval counting stayed in plain locals.
+    if sag_obs::enabled() {
+        sag_obs::counter("ilpqc.nodes", nodes as u64);
+        sag_obs::counter("ilpqc.ledger_rebuilds", ledger.stats().rebuilds);
+        if truncated {
+            sag_obs::counter("ilpqc.budget_exhausted", 1);
+        }
+    }
+    crate::coverage::flush_ledger_stats(&ledger);
     let spent = Spent {
         nodes,
         elapsed: started.elapsed(),

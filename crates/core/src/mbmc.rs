@@ -129,6 +129,7 @@ pub fn mbmc_with_weights(
     coverage: &CoverageSolution,
     rule: WeightRule,
 ) -> SagResult<ConnectivityPlan> {
+    let _stage = sag_obs::span("mbmc");
     let bs_choice: Vec<usize> = coverage
         .relays
         .iter()

@@ -173,6 +173,7 @@ pub fn pro_with_budget(
     sol: &CoverageSolution,
     budget: &Budget,
 ) -> SagResult<PowerAllocation> {
+    let _stage = sag_obs::span("pro");
     let started = Instant::now();
     if sol.assignment.len() != scenario.n_subscribers() {
         return Err(SagError::Infeasible(format!(
@@ -184,6 +185,10 @@ pub fn pro_with_budget(
     let pmax = scenario.params.link.pmax();
     let n = sol.n_relays();
     let pc = coverage_powers(scenario, sol);
+    if sag_obs::enabled() {
+        sag_obs::gauge("pro.baseline_total", pmax * n as f64);
+        sag_obs::gauge("pro.floor_total", pc.iter().sum());
+    }
     let served = sol.served_index();
     let mut powers = vec![pmax; n]; // P1, committed state
                                     // The ledger tracks the committed powers; every commit is a
@@ -240,6 +245,7 @@ pub fn pro_with_budget(
             pending.retain(|&r| r != r_min);
         }
     }
+    crate::coverage::flush_ledger_stats(&ledger);
     Ok(PowerAllocation { powers })
 }
 

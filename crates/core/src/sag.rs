@@ -6,9 +6,12 @@
 //! their per-hop minimum. The report carries every intermediate artefact
 //! so the experiment harness can reproduce each figure from one run.
 
+use std::fmt;
+use std::sync::Arc;
 use std::time::Instant;
 
 use sag_lp::{Budget, Spent};
+use sag_obs::{Collector, StageMetrics};
 
 use crate::candidates::iac_candidates;
 use crate::coverage::CoverageSolution;
@@ -50,7 +53,7 @@ pub enum AnsweringSolver {
 }
 
 /// Configuration of the full pipeline.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct SagPipelineConfig {
     /// Lower-tier SAMC options.
     pub samc: SamcConfig,
@@ -59,6 +62,23 @@ pub struct SagPipelineConfig {
     /// Cooperative budget threaded through every stage (default:
     /// unlimited). See [`Budget`].
     pub budget: Budget,
+    /// Collect per-stage spans and work counters into
+    /// [`SagReport::metrics`] (default: `true`). Disable for
+    /// benchmark baselines that want the bare disabled-path cost; any
+    /// process-wide sink installed via [`sag_obs::install`] still
+    /// receives events either way.
+    pub collect_metrics: bool,
+}
+
+impl Default for SagPipelineConfig {
+    fn default() -> Self {
+        SagPipelineConfig {
+            samc: SamcConfig::default(),
+            lower_solver: LowerSolver::default(),
+            budget: Budget::unlimited(),
+            collect_metrics: true,
+        }
+    }
 }
 
 /// Everything the pipeline produced.
@@ -76,6 +96,9 @@ pub struct SagReport {
     pub solver: AnsweringSolver,
     /// Budget the lower-tier solve consumed before answering.
     pub budget_spent: Spent,
+    /// Per-stage spans and work counters collected during the run
+    /// (empty when [`SagPipelineConfig::collect_metrics`] is off).
+    pub metrics: StageMetrics,
 }
 
 /// Compact power summary of a report (serializable for the harness).
@@ -139,6 +162,32 @@ impl SagReport {
     }
 }
 
+impl fmt::Display for SagReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let p = self.power_summary();
+        writeln!(
+            f,
+            "solver: {:?} ({} nodes, {:.1?})",
+            self.solver, self.budget_spent.nodes, self.budget_spent.elapsed
+        )?;
+        writeln!(
+            f,
+            "relays: {} coverage + {} connectivity",
+            self.n_coverage_relays(),
+            self.n_connectivity_relays()
+        )?;
+        write!(
+            f,
+            "power: lower {:.3} + upper {:.3} = {:.3}",
+            p.lower, p.upper, p.total
+        )?;
+        if !self.metrics.is_empty() {
+            write!(f, "\n{}", self.metrics)?;
+        }
+        Ok(())
+    }
+}
+
 /// Runs the full SAG pipeline (Algorithm 9) with default configuration.
 ///
 /// # Errors
@@ -182,9 +231,21 @@ pub fn run_sag(scenario: &Scenario) -> SagResult<SagReport> {
 /// [`SagError::BudgetExceeded`] when a stage runs out of budget with no
 /// fallback available; otherwise see [`run_sag`].
 pub fn run_sag_with(scenario: &Scenario, config: SagPipelineConfig) -> SagResult<SagReport> {
+    if !config.collect_metrics {
+        return run_sag_inner(scenario, &config);
+    }
+    let collector = Arc::new(Collector::default());
+    let result = sag_obs::with_local(collector.clone(), || run_sag_inner(scenario, &config));
+    result.map(|mut report| {
+        report.metrics = collector.summary();
+        report
+    })
+}
+
+fn run_sag_inner(scenario: &Scenario, config: &SagPipelineConfig) -> SagResult<SagReport> {
     scenario.validate()?; // Step 1: ingress gate
     let started = Instant::now();
-    let (coverage, solver, budget_spent) = solve_lower_tier(scenario, &config, started)?;
+    let (coverage, solver, budget_spent) = solve_lower_tier(scenario, config, started)?;
     // On the fallback rung the budget is already exhausted; the
     // remaining polynomial stages run unbudgeted so degradation still
     // yields a complete report.
@@ -196,6 +257,22 @@ pub fn run_sag_with(scenario: &Scenario, config: SagPipelineConfig) -> SagResult
     let lower_power = pro_with_budget(scenario, &coverage, &tail_budget)?; // Step 3
     let plan = mbmc(scenario, &coverage)?; // Step 4
     let upper_power = ucpo(scenario, &coverage, &plan); // Step 5
+    if sag_obs::enabled() {
+        sag_obs::gauge("coverage.relays", coverage.n_relays() as f64);
+        sag_obs::gauge(
+            "coverage.one_on_one",
+            coverage.served_index().one_on_one() as f64,
+        );
+        sag_obs::gauge("connectivity.relays", plan.n_relays() as f64);
+        sag_obs::gauge(
+            "connectivity.hops",
+            plan.chains.iter().map(|c| c.hops).sum::<usize>() as f64,
+        );
+        let mut bs_used = plan.serving_bs.clone();
+        bs_used.sort_unstable();
+        bs_used.dedup();
+        sag_obs::gauge("connectivity.bs_used", bs_used.len() as f64);
+    }
     Ok(SagReport {
         coverage,
         lower_power,
@@ -203,6 +280,7 @@ pub fn run_sag_with(scenario: &Scenario, config: SagPipelineConfig) -> SagResult
         upper_power,
         solver,
         budget_spent,
+        metrics: StageMetrics::default(),
     })
 }
 

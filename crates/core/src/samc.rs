@@ -77,6 +77,7 @@ pub fn samc_with_budget(
     config: SamcConfig,
     budget: &Budget,
 ) -> SagResult<CoverageSolution> {
+    let _stage = sag_obs::span("samc");
     let started = Instant::now();
     let exceeded = |started: Instant| SagError::BudgetExceeded {
         stage: "samc",
@@ -85,7 +86,16 @@ pub fn samc_with_budget(
             elapsed: started.elapsed(),
         },
     };
-    let zones = zone_partition(scenario);
+    let zones = {
+        let _zp = sag_obs::span("zone_partition");
+        let zones = zone_partition(scenario);
+        if sag_obs::enabled() {
+            for zone in &zones {
+                sag_obs::observe("zone.size", zone.len() as u64);
+            }
+        }
+        zones
+    };
     let mut all_relays: Vec<Point> = Vec::new();
     let mut global_assignment = vec![usize::MAX; scenario.n_subscribers()];
 
@@ -107,6 +117,10 @@ pub fn samc_with_budget(
     budget.check_interrupt().map_err(|_| exceeded(started))?;
     let ledger = interference_ledger(scenario, &all_relays);
     let violations = snr_violations_ledger(scenario, &ledger, &global_assignment);
+    // Residual inter-zone violations the merged check surfaced (the
+    // global repair round clears them or fails the solve).
+    sag_obs::gauge("coverage.snr_violations", violations.len() as f64);
+    crate::coverage::flush_ledger_stats(&ledger);
     if violations.is_empty() {
         return Ok(CoverageSolution {
             relays: all_relays,
@@ -167,7 +181,10 @@ fn solve_zone_with(zsc: &Scenario, strategy: HittingStrategy) -> SagResult<Cover
         HittingStrategy::Greedy => greedy::greedy_hitting_set(&instance),
         HittingStrategy::Exact => exact::exact_hitting_set(&instance),
     };
-    let escape = coverage_link_escape(zsc, &points);
+    let escape = {
+        let _span = sag_obs::span("escape");
+        coverage_link_escape(zsc, &points)
+    };
 
     // Keep only the points the escape actually uses, remapping indices.
     let mut keep: Vec<usize> = Vec::new();

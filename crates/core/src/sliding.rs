@@ -39,6 +39,20 @@ fn max_depth(scenario: &Scenario) -> usize {
     scenario.n_subscribers() + 1
 }
 
+/// Work counters of one repair run, aggregated in plain locals and
+/// flushed to the observability layer once at the end (the mask loop
+/// itself stays uninstrumented).
+#[derive(Default)]
+struct SlideStats {
+    /// Relay-move combinations evaluated by Update RS Topology.
+    trials: u64,
+    /// Relay moves committed into the accepted placement (snaps and
+    /// mask moves on the successful path).
+    accepted_moves: u64,
+    /// Combinations rejected because the violation set did not shrink.
+    mask_rejections: u64,
+}
+
 /// Runs the sliding-movement repair on a placement with a fixed
 /// assignment. Returns the repaired solution, or `None` when the repair
 /// fails (SAMC then reports infeasibility for the zone).
@@ -50,8 +64,25 @@ fn max_depth(scenario: &Scenario) -> usize {
 /// Panics if `assignment` is inconsistent with `relays`/`scenario`.
 pub fn rs_sliding_movement(
     scenario: &Scenario,
+    relays: Vec<Point>,
+    assignment: Vec<usize>,
+) -> Option<CoverageSolution> {
+    let _span = sag_obs::span("sliding");
+    let mut stats = SlideStats::default();
+    let out = sliding_inner(scenario, relays, assignment, &mut stats);
+    if sag_obs::enabled() {
+        sag_obs::counter("sliding.trials", stats.trials);
+        sag_obs::counter("sliding.accepted_moves", stats.accepted_moves);
+        sag_obs::counter("sliding.mask_rejections", stats.mask_rejections);
+    }
+    out
+}
+
+fn sliding_inner(
+    scenario: &Scenario,
     mut relays: Vec<Point>,
     mut assignment: Vec<usize>,
+    stats: &mut SlideStats,
 ) -> Option<CoverageSolution> {
     assert_eq!(
         assignment.len(),
@@ -80,7 +111,11 @@ pub fn rs_sliding_movement(
         let served = ServedIndex::build(relays.len(), &assignment);
         for (r, pos) in relays.iter_mut().enumerate() {
             if let [only] = served.of(r) {
-                *pos = scenario.subscribers[*only].position;
+                let target = scenario.subscribers[*only].position;
+                if !pos.approx_eq(target) {
+                    stats.accepted_moves += 1;
+                }
+                *pos = target;
                 ledger.move_relay(r, *pos);
             }
         }
@@ -126,6 +161,7 @@ pub fn rs_sliding_movement(
     // may have exited right after a reassignment) so Update RS Topology
     // sees every relay's true subscriber set — otherwise a move could
     // leave a reassigned subscriber outside its feasible circle.
+    crate::coverage::flush_ledger_stats(&ledger);
     let served = ServedIndex::build(relays.len(), &assignment);
     let repaired = update_rs_topology(
         scenario,
@@ -135,6 +171,7 @@ pub fn rs_sliding_movement(
         &served,
         violated,
         max_depth(scenario),
+        stats,
     )?;
     let mut relays = repaired;
     drop_unused_relays(&mut relays, &mut assignment);
@@ -207,6 +244,7 @@ fn update_rs_topology(
     served: &ServedIndex,
     violated: Vec<usize>,
     depth: usize,
+    stats: &mut SlideStats,
 ) -> Option<Vec<Point>> {
     if depth == 0 {
         return None;
@@ -260,6 +298,7 @@ fn update_rs_topology(
     masks.sort_by_key(|mask| mask.count_ones());
     let mut best_recursion: Option<Vec<Point>> = None;
     for mask in masks {
+        stats.trials += 1;
         let mut moved = relays.clone();
         let mut moved_ledger = ledger.clone();
         for (bit, &(r, target)) in updatable.iter().enumerate() {
@@ -270,9 +309,14 @@ fn update_rs_topology(
         }
         let now_violated = snr_violations_ledger(scenario, &moved_ledger, assignment);
         if now_violated.is_empty() {
+            stats.accepted_moves += u64::from(mask.count_ones());
             return Some(moved);
         }
-        if now_violated.len() < violated.len() && best_recursion.is_none() {
+        if now_violated.len() >= violated.len() {
+            stats.mask_rejections += 1;
+            continue;
+        }
+        if best_recursion.is_none() {
             // Alg. 5: recurse on the strictly smaller violation set.
             if let Some(sol) = update_rs_topology(
                 scenario,
@@ -282,7 +326,9 @@ fn update_rs_topology(
                 served,
                 now_violated,
                 depth - 1,
+                stats,
             ) {
+                stats.accepted_moves += u64::from(mask.count_ones());
                 best_recursion = Some(sol);
                 break;
             }

@@ -4,19 +4,15 @@
 //! deployment come out this way?" — how many zones the field split into,
 //! how large the hitting sets were, how many repairs the sliding stage
 //! needed, how much power each stage shaved. [`run_sag_traced`] runs the
-//! standard pipeline while collecting a [`PipelineTrace`] of typed
-//! events, without changing any algorithmic behaviour (it re-derives the
-//! statistics from the stage outputs rather than instrumenting their
-//! inner loops).
+//! standard pipeline once and derives a [`PipelineTrace`] of typed
+//! events from the run's own [`sag_obs::StageMetrics`] stream plus the
+//! report artefacts — no stage is re-executed and no SNR is recomputed.
 
 use std::fmt;
 
-use crate::coverage::snr_violations;
 use crate::error::SagResult;
 use crate::model::Scenario;
-use crate::pro::{baseline_power, coverage_powers};
 use crate::sag::{run_sag_with, SagPipelineConfig, SagReport};
-use crate::zone::zone_partition;
 
 /// One recorded pipeline event.
 #[derive(Debug, Clone, PartialEq)]
@@ -33,8 +29,10 @@ pub enum TraceEvent {
         /// Subscribers in one-on-one coverage (their relay serves only
         /// them — the quantity Coverage Link Escape maximises).
         one_on_one: usize,
-        /// Residual SNR violations before power tuning (0 for a
-        /// feasible SAMC output).
+        /// Residual SNR violations the merged-zone check surfaced
+        /// before the global repair round (0 when the zones were truly
+        /// interference-independent; the final output is always
+        /// violation-free).
         violations: usize,
     },
     /// PRO reduced the lower tier from `before` to `after` total power.
@@ -136,31 +134,44 @@ impl fmt::Display for PipelineTrace {
 /// # Errors
 /// Exactly those of [`crate::sag::run_sag`].
 pub fn run_sag_traced(scenario: &Scenario) -> SagResult<(SagReport, PipelineTrace)> {
-    let mut trace = PipelineTrace::default();
-
-    let zones = zone_partition(scenario);
-    trace.events.push(TraceEvent::Zones {
-        sizes: zones.iter().map(Vec::len).collect(),
-    });
-
     let report = run_sag_with(scenario, SagPipelineConfig::default())?;
+    let trace = trace_from_report(scenario, &report);
+    Ok((report, trace))
+}
 
-    let one_on_one = report.coverage.served_index().one_on_one();
+/// Derives the stage trace from a finished report: zone sizes and
+/// residual violations come from the run's recorded metrics, power and
+/// topology figures from the report artefacts. Nothing is re-solved.
+pub fn trace_from_report(scenario: &Scenario, report: &SagReport) -> PipelineTrace {
+    let mut trace = PipelineTrace::default();
+    let m = &report.metrics;
+
+    // `zone.size` is observed once per zone, in partition order, by the
+    // SAMC stage; the retained raw samples reconstruct the event. The
+    // ILPQC/fallback solvers do not partition, so the event is omitted
+    // for their runs (as it is when metrics collection is disabled).
+    if let Some(h) = m.histogram("zone.size") {
+        trace.events.push(TraceEvent::Zones {
+            sizes: h.samples.iter().map(|&s| s as usize).collect(),
+        });
+    }
+
     trace.events.push(TraceEvent::CoveragePlaced {
         relays: report.coverage.n_relays(),
-        one_on_one,
-        violations: snr_violations(
-            scenario,
-            &report.coverage.relays,
-            &report.coverage.assignment,
-        )
-        .len(),
+        one_on_one: report.coverage.served_index().one_on_one(),
+        violations: m.gauge("coverage.snr_violations").unwrap_or(0.0) as usize,
     });
 
+    // PRO records its own baseline and floor; fall back to the closed
+    // forms (`R · Pmax`, Σ coverage floors would need a re-solve, so the
+    // floor defaults to the recorded value or 0) when metrics are off.
+    let pmax = scenario.params.link.pmax();
     trace.events.push(TraceEvent::LowerPower {
-        before: baseline_power(scenario, &report.coverage).total(),
+        before: m
+            .gauge("pro.baseline_total")
+            .unwrap_or(report.n_coverage_relays() as f64 * pmax),
         after: report.lower_power.total(),
-        floor: coverage_powers(scenario, &report.coverage).iter().sum(),
+        floor: m.gauge("pro.floor_total").unwrap_or(0.0),
     });
 
     let mut bs_used: Vec<usize> = report.plan.serving_bs.clone();
@@ -176,14 +187,14 @@ pub fn run_sag_traced(scenario: &Scenario) -> SagResult<(SagReport, PipelineTrac
         .plan
         .chains
         .iter()
-        .map(|c| c.hops as f64 * scenario.params.link.pmax())
+        .map(|c| c.hops as f64 * pmax)
         .sum();
     trace.events.push(TraceEvent::UpperPower {
         before: upper_before,
         after: report.upper_power.total(),
     });
 
-    Ok((report, trace))
+    trace
 }
 
 #[cfg(test)]

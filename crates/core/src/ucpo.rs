@@ -54,6 +54,7 @@ pub fn ucpo(
     coverage: &CoverageSolution,
     plan: &ConnectivityPlan,
 ) -> UpperTierPower {
+    let _stage = sag_obs::span("ucpo");
     let model = scenario.params.link.model();
     let pmax = scenario.params.link.pmax();
 

@@ -48,6 +48,17 @@ pub struct IlpSolution {
 
 const INT_TOL: f64 = 1e-6;
 
+/// Branch-and-bound work counts, flushed to `sag-obs` once per solve.
+#[derive(Default)]
+struct BbStats {
+    /// Nodes popped and expanded.
+    nodes: usize,
+    /// Nodes cut by the incumbent bound.
+    pruned: usize,
+    /// Times the incumbent improved.
+    incumbents: usize,
+}
+
 impl IlpProblem {
     /// Wraps an LP; no variables are integer until marked.
     pub fn new(lp: LpProblem) -> Self {
@@ -102,6 +113,21 @@ impl IlpProblem {
     /// [`LpError::Cancelled`] when an attached budget's deadline passes
     /// or its cancellation flag is raised.
     pub fn solve(&self) -> Result<IlpSolution, LpError> {
+        let mut stats = BbStats::default();
+        let out = self.solve_inner(&mut stats);
+        // One flush per solve, even on the error paths.
+        if sag_obs::enabled() {
+            sag_obs::counter("ilp.nodes", stats.nodes as u64);
+            sag_obs::counter("ilp.pruned", stats.pruned as u64);
+            sag_obs::counter("ilp.incumbents", stats.incumbents as u64);
+            if matches!(out, Err(LpError::NodeLimit | LpError::Cancelled)) {
+                sag_obs::counter("ilp.budget_exhausted", 1);
+            }
+        }
+        out
+    }
+
+    fn solve_inner(&self, stats: &mut BbStats) -> Result<IlpSolution, LpError> {
         // Maximisation is handled by the LP layer transparently; for
         // pruning we always compare in minimisation sense.
         let sense = if self.lp.is_minimize() { 1.0 } else { -1.0 };
@@ -116,6 +142,7 @@ impl IlpProblem {
         let mut stack: Vec<Vec<(usize, f64, f64)>> = vec![Vec::new()];
         while let Some(extra) = stack.pop() {
             nodes += 1;
+            stats.nodes = nodes;
             if nodes > node_cap {
                 return Err(LpError::NodeLimit);
             }
@@ -144,6 +171,7 @@ impl IlpProblem {
             if let Some((incumbent, _)) = &best {
                 // A deeper node can only tighten (increase) the relaxation.
                 if relax_min >= *incumbent - 1e-9 {
+                    stats.pruned += 1;
                     continue;
                 }
             }
@@ -168,6 +196,7 @@ impl IlpProblem {
                     let obj_min = sense * relax.objective;
                     if best.as_ref().is_none_or(|(b, _)| obj_min < *b - 1e-12) {
                         best = Some((obj_min, x));
+                        stats.incumbents += 1;
                     }
                 }
                 Some((v, _)) => {

@@ -68,6 +68,27 @@ pub fn solve_standard(sf: &StandardForm) -> Result<SimplexSolution, LpError> {
 /// As [`solve_standard`], plus [`LpError::Cancelled`] when the budget's
 /// deadline passes or its flag is raised mid-solve.
 pub fn solve_standard_with(sf: &StandardForm, budget: &Budget) -> Result<SimplexSolution, LpError> {
+    let mut pivots = [0usize; 2];
+    let out = solve_inner(sf, budget, &mut pivots);
+    // One flush per solve: the pivot loop itself stays uninstrumented.
+    if sag_obs::enabled() {
+        sag_obs::counter("lp.solves", 1);
+        sag_obs::counter("lp.pivots_phase1", pivots[0] as u64);
+        sag_obs::counter("lp.pivots_phase2", pivots[1] as u64);
+        if matches!(out, Err(LpError::Cancelled)) {
+            sag_obs::counter("lp.budget_exhausted", 1);
+        }
+    }
+    out
+}
+
+/// [`solve_standard_with`] minus the observability flush; `pivots`
+/// receives the per-phase pivot counts even on an error path.
+fn solve_inner(
+    sf: &StandardForm,
+    budget: &Budget,
+    pivots: &mut [usize; 2],
+) -> Result<SimplexSolution, LpError> {
     let m = sf.a.len();
     let n = sf.c.len();
     for (i, row) in sf.a.iter().enumerate() {
@@ -140,7 +161,7 @@ pub fn solve_standard_with(sf: &StandardForm, budget: &Budget) -> Result<Simplex
             }
         }
     }
-    run_phases(&mut t, &mut obj, &mut basis, n + m, budget)?;
+    run_phases(&mut t, &mut obj, &mut basis, n + m, budget, &mut pivots[0])?;
     let phase1 = -obj[width - 1];
     if std::env::var("SAG_LP_DEBUG").is_ok() {
         eprintln!("phase1 residual = {phase1:.6e}");
@@ -176,7 +197,7 @@ pub fn solve_standard_with(sf: &StandardForm, budget: &Budget) -> Result<Simplex
             }
         }
     }
-    run_phases(&mut t, &mut obj2, &mut basis, n, budget)?;
+    run_phases(&mut t, &mut obj2, &mut basis, n, budget, &mut pivots[1])?;
 
     let mut x = vec![0.0; n];
     for i in 0..m {
@@ -202,6 +223,7 @@ fn run_phases(
     basis: &mut [usize],
     allowed_cols: usize,
     budget: &Budget,
+    pivots: &mut usize,
 ) -> Result<(), LpError> {
     let m = t.len();
     let width = obj.len();
@@ -250,6 +272,7 @@ fn run_phases(
             return Err(LpError::Unbounded);
         };
         pivot(t, obj, basis, l, e);
+        *pivots += 1;
     }
     Err(LpError::IterationLimit)
 }

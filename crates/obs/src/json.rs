@@ -1,0 +1,248 @@
+//! Minimal JSON helpers: string escaping for the JSONL sink and a
+//! syntax validator for smoke-checking emitted lines.
+//!
+//! The workspace is hermetic, so there is no serde; the sink composes
+//! its fixed event schema by hand and this module supplies the two
+//! pieces that need care — escaping and validation.
+
+/// Appends `s` to `out` as a JSON string literal (with quotes).
+pub fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends `v` to `out` as a JSON number (`null` for non-finite
+/// values, which JSON cannot represent).
+pub fn number_into(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // `{:?}` prints the shortest representation that round-trips,
+        // and always includes a decimal point or exponent.
+        out.push_str(&format!("{v:?}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Checks that `s` is exactly one well-formed JSON value.
+///
+/// A recursive-descent syntax checker (no value tree is built). Used
+/// by the CI smoke test to validate every line the sink emitted.
+///
+/// # Errors
+/// A static description of the first syntax error.
+pub fn validate(s: &str) -> Result<(), &'static str> {
+    let b = s.as_bytes();
+    let mut pos = skip_ws(b, 0);
+    pos = value(b, pos)?;
+    pos = skip_ws(b, pos);
+    if pos == b.len() {
+        Ok(())
+    } else {
+        Err("trailing characters after value")
+    }
+}
+
+fn skip_ws(b: &[u8], mut i: usize) -> usize {
+    while i < b.len() && matches!(b[i], b' ' | b'\t' | b'\n' | b'\r') {
+        i += 1;
+    }
+    i
+}
+
+fn value(b: &[u8], i: usize) -> Result<usize, &'static str> {
+    match b.get(i) {
+        Some(b'{') => object(b, i),
+        Some(b'[') => array(b, i),
+        Some(b'"') => string(b, i),
+        Some(b't') => literal(b, i, b"true"),
+        Some(b'f') => literal(b, i, b"false"),
+        Some(b'n') => literal(b, i, b"null"),
+        Some(b'-' | b'0'..=b'9') => number(b, i),
+        Some(_) => Err("unexpected character"),
+        None => Err("unexpected end of input"),
+    }
+}
+
+fn literal(b: &[u8], i: usize, lit: &[u8]) -> Result<usize, &'static str> {
+    if b[i..].starts_with(lit) {
+        Ok(i + lit.len())
+    } else {
+        Err("malformed literal")
+    }
+}
+
+fn object(b: &[u8], mut i: usize) -> Result<usize, &'static str> {
+    i = skip_ws(b, i + 1); // past '{'
+    if b.get(i) == Some(&b'}') {
+        return Ok(i + 1);
+    }
+    loop {
+        i = string(b, i)?;
+        i = skip_ws(b, i);
+        if b.get(i) != Some(&b':') {
+            return Err("expected ':' in object");
+        }
+        i = skip_ws(b, i + 1);
+        i = value(b, i)?;
+        i = skip_ws(b, i);
+        match b.get(i) {
+            Some(b',') => i = skip_ws(b, i + 1),
+            Some(b'}') => return Ok(i + 1),
+            _ => return Err("expected ',' or '}' in object"),
+        }
+    }
+}
+
+fn array(b: &[u8], mut i: usize) -> Result<usize, &'static str> {
+    i = skip_ws(b, i + 1); // past '['
+    if b.get(i) == Some(&b']') {
+        return Ok(i + 1);
+    }
+    loop {
+        i = value(b, i)?;
+        i = skip_ws(b, i);
+        match b.get(i) {
+            Some(b',') => i = skip_ws(b, i + 1),
+            Some(b']') => return Ok(i + 1),
+            _ => return Err("expected ',' or ']' in array"),
+        }
+    }
+}
+
+fn string(b: &[u8], i: usize) -> Result<usize, &'static str> {
+    if b.get(i) != Some(&b'"') {
+        return Err("expected string");
+    }
+    let mut i = i + 1;
+    while let Some(&c) = b.get(i) {
+        match c {
+            b'"' => return Ok(i + 1),
+            b'\\' => match b.get(i + 1) {
+                Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => i += 2,
+                Some(b'u') => {
+                    let hex = b.get(i + 2..i + 6).ok_or("truncated \\u escape")?;
+                    if !hex.iter().all(u8::is_ascii_hexdigit) {
+                        return Err("bad \\u escape");
+                    }
+                    i += 6;
+                }
+                _ => return Err("bad escape"),
+            },
+            0x00..=0x1f => return Err("raw control character in string"),
+            _ => i += 1,
+        }
+    }
+    Err("unterminated string")
+}
+
+fn number(b: &[u8], mut i: usize) -> Result<usize, &'static str> {
+    if b.get(i) == Some(&b'-') {
+        i += 1;
+    }
+    let digits = |b: &[u8], mut i: usize| {
+        let s = i;
+        while i < b.len() && b[i].is_ascii_digit() {
+            i += 1;
+        }
+        (i, i > s)
+    };
+    let (ni, any) = digits(b, i);
+    if !any {
+        return Err("malformed number");
+    }
+    i = ni;
+    if b.get(i) == Some(&b'.') {
+        let (ni, any) = digits(b, i + 1);
+        if !any {
+            return Err("malformed fraction");
+        }
+        i = ni;
+    }
+    if matches!(b.get(i), Some(b'e' | b'E')) {
+        i += 1;
+        if matches!(b.get(i), Some(b'+' | b'-')) {
+            i += 1;
+        }
+        let (ni, any) = digits(b, i);
+        if !any {
+            return Err("malformed exponent");
+        }
+        i = ni;
+    }
+    Ok(i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_special_characters() {
+        let mut out = String::new();
+        escape_into(&mut out, "a\"b\\c\nd\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn numbers_render_and_nonfinite_is_null() {
+        let mut out = String::new();
+        number_into(&mut out, 1.5);
+        out.push(' ');
+        number_into(&mut out, f64::NAN);
+        assert_eq!(out, "1.5 null");
+    }
+
+    #[test]
+    fn accepts_valid_json() {
+        for ok in [
+            "{}",
+            "[]",
+            "null",
+            "true",
+            "-0.5e3",
+            "\"x\\u00e9\"",
+            r#"{"a":[1,2,{"b":null}],"c":"d"}"#,
+            r#"  { "kind" : "span_exit" , "dur_ns" : 12 }  "#,
+        ] {
+            assert!(validate(ok).is_ok(), "rejected valid: {ok}");
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_json() {
+        for bad in [
+            "",
+            "{",
+            "{]",
+            "tru",
+            "1.",
+            "\"unterminated",
+            "{\"a\":}",
+            "[1,]",
+            "{} {}",
+            "\"raw\tcontrol\"",
+        ] {
+            assert!(validate(bad).is_err(), "accepted invalid: {bad}");
+        }
+    }
+
+    #[test]
+    fn escaped_output_validates() {
+        let mut out = String::new();
+        escape_into(&mut out, "weird \" \\ \n \t \u{7} payload");
+        assert!(validate(&out).is_ok());
+    }
+}

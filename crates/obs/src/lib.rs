@@ -1,0 +1,210 @@
+//! `sag-obs` — zero-dependency structured observability.
+//!
+//! The workspace is hermetic (no registry crates), so the usual
+//! `tracing`/`metrics` stack is off the table; this crate is the
+//! in-tree substitute. It provides three layers:
+//!
+//! 1. **Spans** — [`span`] returns an RAII guard that times a named,
+//!    hierarchical region on the monotonic clock and reports
+//!    enter/exit events to every active [`Recorder`].
+//! 2. **Metrics** — [`counter`], [`gauge`] and [`observe`] record
+//!    named counters, gauges and log-bucketed histogram samples. The
+//!    [`Collector`] recorder aggregates them into a [`StageMetrics`]
+//!    summary (what `SagReport::metrics` carries).
+//! 3. **Sink** — [`JsonlSink`] renders every event as one JSON line
+//!    (see `DESIGN.md` "Observability" for the schema). It is
+//!    installed process-wide from the environment via
+//!    [`init_from_env`]: `SAG_OBS_JSON=<path>` writes to a file,
+//!    `SAG_OBS=1` writes to stderr.
+//!
+//! # Cost model
+//!
+//! Recorders come in two scopes: **global** (process-wide, installed
+//! with [`install`]) and **thread-local** (active only inside a
+//! [`with_local`] closure, so parallel sweeps do not cross-mix
+//! events). When neither is active, every instrumentation call
+//! short-circuits on one relaxed atomic load plus one thread-local
+//! flag read — no allocation, no clock read, no dispatch. Hot solver
+//! loops additionally aggregate their counts in plain locals and
+//! flush once per solve, so the per-iteration cost is zero even with
+//! recording enabled.
+//!
+//! Recorder implementations must never call back into this crate's
+//! recording entry points (the dispatch loop is not re-entrant for
+//! mutation) and must never panic; failures are dropped, not raised.
+
+#![deny(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+pub mod json;
+mod metrics;
+mod recorder;
+mod sink;
+mod span;
+
+pub use metrics::{Collector, HistSummary, SpanStat, StageMetrics};
+pub use recorder::{enabled, install, with_local, Recorder, RecorderGuard};
+pub use sink::JsonlSink;
+pub use span::{span, Span};
+
+use std::sync::Arc;
+
+/// Adds `delta` to the named counter on every active recorder.
+///
+/// No-op (one atomic load) when recording is disabled or `delta == 0`.
+pub fn counter(name: &'static str, delta: u64) {
+    if delta == 0 || !enabled() {
+        return;
+    }
+    let stage = recorder::current_stage();
+    recorder::for_each(|r| r.counter(name, delta, stage));
+}
+
+/// Sets the named gauge to `value` on every active recorder.
+pub fn gauge(name: &'static str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    let stage = recorder::current_stage();
+    recorder::for_each(|r| r.gauge(name, value, stage));
+}
+
+/// Records one histogram observation of `value` under `name`.
+pub fn observe(name: &'static str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    let stage = recorder::current_stage();
+    recorder::for_each(|r| r.observe(name, value, stage));
+}
+
+/// A process-wide JSONL sink installed from the environment.
+///
+/// Keep it alive for the duration of the run; dropping it uninstalls
+/// the sink. [`ObsSession::sink`] exposes the sink for a final
+/// `dropped_events` report.
+pub struct ObsSession {
+    /// The installed sink (shared so callers can read drop counts).
+    pub sink: Arc<JsonlSink>,
+    _guard: RecorderGuard,
+}
+
+/// Installs a [`JsonlSink`] if the environment asks for one.
+///
+/// `SAG_OBS_JSON=<path>` selects a file sink (the path is truncated);
+/// otherwise `SAG_OBS=1` selects a stderr sink. Returns `None` when
+/// neither variable is set. A file that cannot be created is reported
+/// on stderr and treated as "not configured" — observability must
+/// never take the pipeline down.
+pub fn init_from_env() -> Option<ObsSession> {
+    let sink = match std::env::var("SAG_OBS_JSON") {
+        Ok(path) if !path.is_empty() => match JsonlSink::create(&path) {
+            Ok(sink) => sink,
+            Err(e) => {
+                eprintln!("sag-obs: cannot open {path}: {e}; events will not be recorded");
+                return None;
+            }
+        },
+        _ => match std::env::var("SAG_OBS") {
+            Ok(v) if v == "1" => JsonlSink::stderr(),
+            _ => return None,
+        },
+    };
+    let guard = install(sink.clone());
+    Some(ObsSession {
+        sink,
+        _guard: guard,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn disabled_path_is_inert() {
+        // No recorder active: nothing panics, nothing records.
+        counter("t.counter", 3);
+        gauge("t.gauge", 1.5);
+        observe("t.hist", 7);
+        let s = span("t.span");
+        drop(s);
+    }
+
+    #[test]
+    fn local_collector_sees_everything() {
+        let c = Arc::new(Collector::default());
+        with_local(c.clone(), || {
+            let _outer = span("outer");
+            counter("work", 2);
+            counter("work", 3);
+            gauge("level", 4.5);
+            observe("size", 9);
+            let _inner = span("inner");
+        });
+        let m = c.summary();
+        assert_eq!(m.counter("work"), 5);
+        assert_eq!(m.gauge("level"), Some(4.5));
+        let span_names: Vec<_> = m.spans.iter().map(|s| s.name).collect();
+        assert!(span_names.contains(&"outer") && span_names.contains(&"inner"));
+        let h = m.histogram("size").expect("histogram recorded");
+        assert_eq!((h.count, h.sum, h.max), (1, 9, 9));
+    }
+
+    #[test]
+    fn with_local_scopes_recording() {
+        let c = Arc::new(Collector::default());
+        with_local(c.clone(), || counter("in", 1));
+        counter("out", 1); // after the scope: not recorded
+        let m = c.summary();
+        assert_eq!(m.counter("in"), 1);
+        assert_eq!(m.counter("out"), 0);
+    }
+
+    #[test]
+    fn with_local_pops_on_panic() {
+        let c = Arc::new(Collector::default());
+        let r = std::panic::catch_unwind(|| {
+            with_local(c.clone(), || {
+                counter("before.panic", 1);
+                panic!("boom");
+            })
+        });
+        assert!(r.is_err());
+        counter("after.panic", 1); // recorder must be popped by now
+        let m = c.summary();
+        assert_eq!(m.counter("before.panic"), 1);
+        assert_eq!(
+            m.counter("after.panic"),
+            0,
+            "local recorder leaked after panic"
+        );
+    }
+
+    #[test]
+    fn counters_carry_enclosing_stage() {
+        let c = Arc::new(Collector::default());
+        with_local(c.clone(), || {
+            let _s = span("stage_a");
+            counter("ops", 1);
+        });
+        let m = c.summary();
+        assert_eq!(m.counters, vec![("ops", Some("stage_a"), 1)]);
+    }
+
+    #[test]
+    fn span_durations_are_nonnegative_and_counted() {
+        let c = Arc::new(Collector::default());
+        with_local(c.clone(), || {
+            for _ in 0..3 {
+                let _s = span("loop");
+                std::thread::sleep(Duration::from_micros(50));
+            }
+        });
+        let m = c.summary();
+        let s = m.span("loop").expect("span recorded");
+        assert_eq!(s.count, 3);
+        assert!(s.total >= Duration::from_micros(150));
+    }
+}

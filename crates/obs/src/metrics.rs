@@ -1,0 +1,407 @@
+//! Aggregating recorder ([`Collector`]) and its exported summary
+//! ([`StageMetrics`]).
+
+use std::fmt;
+use std::sync::{Mutex, PoisonError};
+use std::time::Duration;
+
+use crate::recorder::Recorder;
+
+/// How many raw histogram samples a collector retains (in arrival
+/// order) alongside the bucket counts. Beyond the cap only the
+/// aggregates keep growing; pipeline histograms (zone sizes) are far
+/// below it.
+const MAX_RETAINED_SAMPLES: usize = 4096;
+
+/// Aggregate of one span name: how often it ran and for how long.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Span name.
+    pub name: &'static str,
+    /// Number of completed executions.
+    pub count: u64,
+    /// Total wall time across executions.
+    pub total: Duration,
+}
+
+/// Summary of one histogram: exact aggregates plus sparse
+/// log₂-bucketed counts (`bucket` = number of significant bits of the
+/// sample, so values `[2^(b-1), 2^b)` land in bucket `b`; 0 in 0).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistSummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// `(bucket, count)` pairs for non-empty buckets, ascending.
+    pub buckets: Vec<(u32, u64)>,
+    /// Raw samples in arrival order, capped at an internal limit.
+    pub samples: Vec<u64>,
+}
+
+/// The log₂ bucket index of `v`.
+fn bucket_of(v: u64) -> u32 {
+    64 - v.leading_zeros()
+}
+
+/// Everything a [`Collector`] gathered, in first-seen order.
+///
+/// Counters, gauges and histograms are keyed by `(name, stage)` where
+/// `stage` is the innermost span open when the value was recorded, so
+/// the rendered table can attribute work to pipeline stages. The
+/// lookup helpers aggregate across stages.
+#[derive(Debug, Clone, Default)]
+pub struct StageMetrics {
+    /// Completed spans.
+    pub spans: Vec<SpanStat>,
+    /// `(name, stage, value)` counters.
+    pub counters: Vec<(&'static str, Option<&'static str>, u64)>,
+    /// `(name, stage, last value)` gauges.
+    pub gauges: Vec<(&'static str, Option<&'static str>, f64)>,
+    /// `(name, stage, summary)` histograms.
+    pub histograms: Vec<(&'static str, Option<&'static str>, HistSummary)>,
+}
+
+impl StageMetrics {
+    /// Total of the counter `name` across all stages (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(n, _, _)| *n == name)
+            .map(|(_, _, v)| v)
+            .sum()
+    }
+
+    /// Last value of the gauge `name` (any stage), if recorded.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges
+            .iter()
+            .rev()
+            .find(|(n, _, _)| *n == name)
+            .map(|&(_, _, v)| v)
+    }
+
+    /// Aggregate stats of the span `name`, if it ran.
+    pub fn span(&self, name: &str) -> Option<&SpanStat> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+
+    /// The histogram `name` (first matching stage), if recorded.
+    pub fn histogram(&self, name: &str) -> Option<&HistSummary> {
+        self.histograms
+            .iter()
+            .find(|(n, _, _)| *n == name)
+            .map(|(_, _, h)| h)
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+            && self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+    }
+
+    /// Folds `other` into `self` (summing counters/histograms/span
+    /// stats, keeping `other`'s gauges as the latest value) — used to
+    /// aggregate per-run metrics across a sweep.
+    pub fn merge(&mut self, other: &StageMetrics) {
+        for s in &other.spans {
+            match self.spans.iter_mut().find(|m| m.name == s.name) {
+                Some(m) => {
+                    m.count += s.count;
+                    m.total += s.total;
+                }
+                None => self.spans.push(s.clone()),
+            }
+        }
+        for &(name, stage, v) in &other.counters {
+            match self
+                .counters
+                .iter_mut()
+                .find(|(n, s, _)| *n == name && *s == stage)
+            {
+                Some((_, _, total)) => *total += v,
+                None => self.counters.push((name, stage, v)),
+            }
+        }
+        for &(name, stage, v) in &other.gauges {
+            match self
+                .gauges
+                .iter_mut()
+                .find(|(n, s, _)| *n == name && *s == stage)
+            {
+                Some((_, _, latest)) => *latest = v,
+                None => self.gauges.push((name, stage, v)),
+            }
+        }
+        for &(name, stage, ref h) in &other.histograms {
+            match self
+                .histograms
+                .iter_mut()
+                .find(|(n, s, _)| *n == name && *s == stage)
+            {
+                Some((_, _, mine)) => {
+                    mine.count += h.count;
+                    mine.sum += h.sum;
+                    mine.max = mine.max.max(h.max);
+                    for &(b, c) in &h.buckets {
+                        match mine.buckets.iter_mut().find(|(mb, _)| *mb == b) {
+                            Some((_, mc)) => *mc += c,
+                            None => mine.buckets.push((b, c)),
+                        }
+                    }
+                    mine.buckets.sort_unstable_by_key(|&(b, _)| b);
+                    let room = MAX_RETAINED_SAMPLES.saturating_sub(mine.samples.len());
+                    mine.samples.extend(h.samples.iter().copied().take(room));
+                }
+                None => self.histograms.push((name, stage, h.clone())),
+            }
+        }
+    }
+}
+
+/// Renders the per-stage time/work table: one row per span in
+/// first-seen (execution) order, with the counters, gauges and
+/// histograms attributed to that stage indented beneath it, and
+/// un-attributed metrics in a trailing group.
+impl fmt::Display for StageMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:<18} {:>6} {:>12}", "stage", "calls", "time")?;
+        for s in &self.spans {
+            writeln!(f, "{:<18} {:>6} {:>12}", s.name, s.count, fmt_dur(s.total))?;
+            self.fmt_stage_items(f, Some(s.name))?;
+        }
+        let orphan = StageMetrics {
+            spans: Vec::new(),
+            counters: self
+                .counters
+                .iter()
+                .filter(|(_, s, _)| s.is_none_or(|s| self.span(s).is_none()))
+                .copied()
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .filter(|(_, s, _)| s.is_none_or(|s| self.span(s).is_none()))
+                .copied()
+                .collect(),
+            histograms: Vec::new(),
+        };
+        if !orphan.counters.is_empty() || !orphan.gauges.is_empty() {
+            writeln!(f, "{:<18}", "(other)")?;
+            for &(name, _, v) in &orphan.counters {
+                writeln!(f, "  {name:<28} {v:>12}")?;
+            }
+            for &(name, _, v) in &orphan.gauges {
+                writeln!(f, "  {name:<28} {v:>12.4}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl StageMetrics {
+    /// Writes the metrics attributed to `stage`, indented.
+    fn fmt_stage_items(&self, f: &mut fmt::Formatter<'_>, stage: Option<&str>) -> fmt::Result {
+        for &(name, s, v) in &self.counters {
+            if s == stage {
+                writeln!(f, "  {name:<28} {v:>12}")?;
+            }
+        }
+        for &(name, s, v) in &self.gauges {
+            if s == stage {
+                writeln!(f, "  {name:<28} {v:>12.4}")?;
+            }
+        }
+        for &(name, s, ref h) in &self.histograms {
+            if s == stage {
+                writeln!(
+                    f,
+                    "  {:<28} {:>12} (n={}, max={})",
+                    name, h.sum, h.count, h.max
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Compact duration rendering for the stage table.
+fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", d.as_secs_f64())
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Thread-safe aggregating [`Recorder`].
+///
+/// Install one per pipeline run (thread-locally via
+/// [`crate::with_local`]) or process-wide; [`Collector::summary`]
+/// snapshots everything gathered so far as a [`StageMetrics`].
+#[derive(Debug, Default)]
+pub struct Collector {
+    inner: Mutex<StageMetrics>,
+}
+
+impl Collector {
+    /// Snapshot of everything recorded so far.
+    pub fn summary(&self) -> StageMetrics {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+}
+
+impl Recorder for Collector {
+    fn span_exit(&self, name: &'static str, _depth: usize, dur: Duration) {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        match inner.spans.iter_mut().find(|s| s.name == name) {
+            Some(s) => {
+                s.count += 1;
+                s.total += dur;
+            }
+            None => inner.spans.push(SpanStat {
+                name,
+                count: 1,
+                total: dur,
+            }),
+        }
+    }
+
+    fn counter(&self, name: &'static str, delta: u64, stage: Option<&'static str>) {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        match inner
+            .counters
+            .iter_mut()
+            .find(|(n, s, _)| *n == name && *s == stage)
+        {
+            Some((_, _, v)) => *v += delta,
+            None => inner.counters.push((name, stage, delta)),
+        }
+    }
+
+    fn gauge(&self, name: &'static str, value: f64, stage: Option<&'static str>) {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        match inner
+            .gauges
+            .iter_mut()
+            .find(|(n, s, _)| *n == name && *s == stage)
+        {
+            Some((_, _, v)) => *v = value,
+            None => inner.gauges.push((name, stage, value)),
+        }
+    }
+
+    fn observe(&self, name: &'static str, value: u64, stage: Option<&'static str>) {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        let hist = match inner
+            .histograms
+            .iter_mut()
+            .find(|(n, s, _)| *n == name && *s == stage)
+        {
+            Some((_, _, h)) => h,
+            None => {
+                inner.histograms.push((name, stage, HistSummary::default()));
+                let last = inner.histograms.len() - 1;
+                &mut inner.histograms[last].2
+            }
+        };
+        hist.count += 1;
+        hist.sum += value;
+        hist.max = hist.max.max(value);
+        let b = bucket_of(value);
+        match hist.buckets.iter_mut().find(|(hb, _)| *hb == b) {
+            Some((_, c)) => *c += 1,
+            None => {
+                hist.buckets.push((b, 1));
+                hist.buckets.sort_unstable_by_key(|&(b, _)| b);
+            }
+        }
+        if hist.samples.len() < MAX_RETAINED_SAMPLES {
+            hist.samples.push(value);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn observe_tracks_aggregates_buckets_and_samples() {
+        let c = Collector::default();
+        for v in [1u64, 2, 3, 100] {
+            Recorder::observe(&c, "h", v, None);
+        }
+        let m = c.summary();
+        let h = m.histogram("h").expect("recorded");
+        assert_eq!((h.count, h.sum, h.max), (4, 106, 100));
+        assert_eq!(h.samples, vec![1, 2, 3, 100]);
+        // 1 -> bucket 1; 2,3 -> bucket 2; 100 -> bucket 7.
+        assert_eq!(h.buckets, vec![(1, 1), (2, 2), (7, 1)]);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_spans() {
+        let mut a = StageMetrics::default();
+        a.counters.push(("x", None, 2));
+        a.spans.push(SpanStat {
+            name: "s",
+            count: 1,
+            total: Duration::from_millis(5),
+        });
+        let mut b = StageMetrics::default();
+        b.counters.push(("x", None, 3));
+        b.counters.push(("y", Some("s"), 1));
+        b.spans.push(SpanStat {
+            name: "s",
+            count: 2,
+            total: Duration::from_millis(7),
+        });
+        a.merge(&b);
+        assert_eq!(a.counter("x"), 5);
+        assert_eq!(a.counter("y"), 1);
+        let s = a.span("s").expect("merged");
+        assert_eq!(s.count, 3);
+        assert_eq!(s.total, Duration::from_millis(12));
+    }
+
+    #[test]
+    fn display_renders_stage_table() {
+        let mut m = StageMetrics::default();
+        m.spans.push(SpanStat {
+            name: "samc",
+            count: 1,
+            total: Duration::from_micros(1500),
+        });
+        m.counters.push(("ledger.delta_ops", Some("samc"), 42));
+        m.counters.push(("loose.counter", None, 7));
+        let s = format!("{m}");
+        assert!(s.contains("samc"));
+        assert!(s.contains("ledger.delta_ops"));
+        assert!(s.contains("42"));
+        assert!(s.contains("(other)"));
+        assert!(s.contains("1.5ms") || s.contains("1.50ms"));
+    }
+}

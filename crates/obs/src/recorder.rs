@@ -1,0 +1,198 @@
+//! The [`Recorder`] trait and the two dispatch scopes (global +
+//! thread-local) behind every instrumentation call.
+
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, PoisonError, RwLock};
+use std::time::Duration;
+
+/// Sink for observability events.
+///
+/// All methods default to no-ops, so a recorder only implements what
+/// it cares about. Implementations must be cheap, must not panic and
+/// must not call back into the `sag-obs` recording entry points.
+pub trait Recorder: Send + Sync {
+    /// A span named `name` opened at 1-based nesting `depth`.
+    fn span_enter(&self, name: &'static str, depth: usize) {
+        let _ = (name, depth);
+    }
+
+    /// The span named `name` at `depth` closed after `dur`.
+    fn span_exit(&self, name: &'static str, depth: usize, dur: Duration) {
+        let _ = (name, depth, dur);
+    }
+
+    /// `delta` added to the counter `name`; `stage` is the innermost
+    /// open span on the recording thread, if any.
+    fn counter(&self, name: &'static str, delta: u64, stage: Option<&'static str>) {
+        let _ = (name, delta, stage);
+    }
+
+    /// Gauge `name` set to `value`.
+    fn gauge(&self, name: &'static str, value: f64, stage: Option<&'static str>) {
+        let _ = (name, value, stage);
+    }
+
+    /// One histogram observation of `value` under `name`.
+    fn observe(&self, name: &'static str, value: u64, stage: Option<&'static str>) {
+        let _ = (name, value, stage);
+    }
+}
+
+/// Count of globally installed recorders — the disabled-path check is
+/// one relaxed load of this.
+static GLOBAL_ACTIVE: AtomicUsize = AtomicUsize::new(0);
+static NEXT_GLOBAL_ID: AtomicU64 = AtomicU64::new(0);
+#[allow(clippy::type_complexity)]
+static GLOBALS: RwLock<Vec<(u64, Arc<dyn Recorder>)>> = RwLock::new(Vec::new());
+
+thread_local! {
+    /// Recorders active only on this thread (see [`with_local`]).
+    static LOCALS: RefCell<Vec<Arc<dyn Recorder>>> = const { RefCell::new(Vec::new()) };
+    /// Cheap mirror of `LOCALS.len()` for the disabled-path check.
+    static LOCAL_ACTIVE: Cell<usize> = const { Cell::new(0) };
+    /// Names of the open spans on this thread, innermost last.
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Is any recorder (global or local to this thread) active?
+#[inline]
+pub fn enabled() -> bool {
+    GLOBAL_ACTIVE.load(Ordering::Relaxed) != 0 || LOCAL_ACTIVE.with(|c| c.get() != 0)
+}
+
+/// Installs a process-wide recorder; it stays active until the
+/// returned guard is dropped. Every thread's events reach it.
+pub fn install(rec: Arc<dyn Recorder>) -> RecorderGuard {
+    let id = NEXT_GLOBAL_ID.fetch_add(1, Ordering::Relaxed);
+    GLOBALS
+        .write()
+        .unwrap_or_else(PoisonError::into_inner)
+        .push((id, rec));
+    GLOBAL_ACTIVE.fetch_add(1, Ordering::SeqCst);
+    RecorderGuard { id }
+}
+
+/// Uninstalls its recorder on drop (returned by [`install`]).
+pub struct RecorderGuard {
+    id: u64,
+}
+
+impl Drop for RecorderGuard {
+    fn drop(&mut self) {
+        GLOBALS
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .retain(|(id, _)| *id != self.id);
+        GLOBAL_ACTIVE.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Runs `f` with `rec` active as a thread-local recorder.
+///
+/// Only events emitted by the current thread inside `f` reach `rec`,
+/// which is what keeps parallel sweep workers from cross-mixing
+/// events. The recorder is popped even if `f` panics.
+pub fn with_local<T>(rec: Arc<dyn Recorder>, f: impl FnOnce() -> T) -> T {
+    struct PopGuard;
+    impl Drop for PopGuard {
+        fn drop(&mut self) {
+            LOCALS.with(|l| {
+                l.borrow_mut().pop();
+            });
+            LOCAL_ACTIVE.with(|c| c.set(c.get().saturating_sub(1)));
+        }
+    }
+    LOCALS.with(|l| l.borrow_mut().push(rec));
+    LOCAL_ACTIVE.with(|c| c.set(c.get() + 1));
+    let _pop = PopGuard;
+    f()
+}
+
+/// Dispatches `f` to every active recorder: thread-locals first, then
+/// globals. Local recorders are cloned out one at a time so a
+/// recorder can never observe the stack borrowed.
+pub(crate) fn for_each(f: impl Fn(&dyn Recorder)) {
+    if LOCAL_ACTIVE.with(|c| c.get() != 0) {
+        let n = LOCALS.with(|l| l.borrow().len());
+        for i in 0..n {
+            let rec = LOCALS.with(|l| l.borrow().get(i).cloned());
+            if let Some(rec) = rec {
+                f(rec.as_ref());
+            }
+        }
+    }
+    if GLOBAL_ACTIVE.load(Ordering::Relaxed) != 0 {
+        let globals = GLOBALS.read().unwrap_or_else(PoisonError::into_inner);
+        for (_, rec) in globals.iter() {
+            f(rec.as_ref());
+        }
+    }
+}
+
+/// The innermost open span name on this thread, if any.
+pub(crate) fn current_stage() -> Option<&'static str> {
+    SPAN_STACK.with(|s| s.borrow().last().copied())
+}
+
+/// Pushes a span name; returns its 1-based depth.
+pub(crate) fn push_span(name: &'static str) -> usize {
+    SPAN_STACK.with(|s| {
+        let mut stack = s.borrow_mut();
+        stack.push(name);
+        stack.len()
+    })
+}
+
+/// Pops the innermost span if it matches `name` (tolerates misnested
+/// guard drops rather than corrupting the stack).
+pub(crate) fn pop_span(name: &'static str) {
+    SPAN_STACK.with(|s| {
+        let mut stack = s.borrow_mut();
+        if stack.last() == Some(&name) {
+            stack.pop();
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Collector;
+
+    #[test]
+    fn install_and_drop_uninstall_the_recorder() {
+        let c = Arc::new(Collector::default());
+        let guard = install(c.clone());
+        assert!(enabled());
+        crate::counter("global.hits", 1);
+        drop(guard);
+        crate::counter("global.hits", 1); // after uninstall: not delivered to c
+        assert_eq!(c.summary().counter("global.hits"), 1);
+    }
+
+    #[test]
+    fn global_recorder_sees_other_threads() {
+        let c = Arc::new(Collector::default());
+        let guard = install(c.clone());
+        std::thread::spawn(|| crate::counter("cross.thread", 2))
+            .join()
+            .expect("worker");
+        drop(guard);
+        assert_eq!(c.summary().counter("cross.thread"), 2);
+    }
+
+    #[test]
+    fn local_recorder_is_invisible_to_other_threads() {
+        let c = Arc::new(Collector::default());
+        with_local(c.clone(), || {
+            std::thread::spawn(|| crate::counter("other.thread", 1))
+                .join()
+                .expect("worker");
+            crate::counter("this.thread", 1);
+        });
+        let m = c.summary();
+        assert_eq!(m.counter("other.thread"), 0);
+        assert_eq!(m.counter("this.thread"), 1);
+    }
+}

@@ -1,0 +1,100 @@
+//! Hierarchical timed spans.
+
+use std::time::Instant;
+
+use crate::recorder::{self, enabled};
+
+/// RAII guard for a timed region (returned by [`span`]).
+///
+/// Entering dispatches a `span_enter` event; dropping dispatches
+/// `span_exit` with the monotonic-clock duration. When no recorder is
+/// active at creation the guard is disarmed: no clock read, no stack
+/// push, and the drop is free.
+#[must_use = "a span only times the region while the guard is alive"]
+pub struct Span {
+    name: &'static str,
+    depth: usize,
+    start: Option<Instant>,
+}
+
+/// Opens the span `name` until the returned guard drops.
+pub fn span(name: &'static str) -> Span {
+    if !enabled() {
+        return Span {
+            name,
+            depth: 0,
+            start: None,
+        };
+    }
+    let depth = recorder::push_span(name);
+    recorder::for_each(|r| r.span_enter(name, depth));
+    Span {
+        name,
+        depth,
+        start: Some(Instant::now()),
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let dur = start.elapsed();
+        recorder::for_each(|r| r.span_exit(self.name, self.depth, dur));
+        recorder::pop_span(self.name);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Collector;
+    use crate::with_local;
+    use std::sync::Arc;
+
+    #[test]
+    fn nested_spans_report_depth() {
+        use std::sync::Mutex;
+        use std::time::Duration;
+
+        #[derive(Default)]
+        struct Depths(Mutex<Vec<(&'static str, usize, bool)>>);
+        impl crate::Recorder for Depths {
+            fn span_enter(&self, name: &'static str, depth: usize) {
+                self.0.lock().expect("lock").push((name, depth, true));
+            }
+            fn span_exit(&self, name: &'static str, depth: usize, _dur: Duration) {
+                self.0.lock().expect("lock").push((name, depth, false));
+            }
+        }
+
+        let rec = Arc::new(Depths::default());
+        with_local(rec.clone(), || {
+            let _a = span("a");
+            let _b = span("b");
+        });
+        let events = rec.0.lock().expect("lock").clone();
+        assert_eq!(
+            events,
+            vec![
+                ("a", 1, true),
+                ("b", 2, true),
+                ("b", 2, false),
+                ("a", 1, false)
+            ]
+        );
+    }
+
+    #[test]
+    fn disarmed_span_records_nothing_after_recorder_arrives() {
+        let disarmed = Span {
+            name: "early",
+            depth: 0,
+            start: None, // what span() returns when recording is off
+        };
+        let c = Arc::new(Collector::default());
+        with_local(c.clone(), || {
+            drop(disarmed); // exit of a disarmed span must not dispatch
+        });
+        assert!(c.summary().span("early").is_none());
+    }
+}

@@ -145,6 +145,65 @@ struct Cutoff {
     near_bound: Vec<f64>,
 }
 
+/// Snapshot of a ledger's cumulative work counters (see
+/// [`InterferenceLedger::stats`]). These are observability data, not
+/// algorithm state: consumers flush them into `sag-obs` counters at
+/// stage boundaries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LedgerStats {
+    /// Public mutations applied (`add`/`remove`/`move`/`set_power`).
+    pub delta_ops: u64,
+    /// Subscribers recomputed exactly after a cancelling subtraction
+    /// (the [`CANCEL_REFRESH`] mechanism).
+    pub cancel_refreshes: u64,
+    /// Queries answered by the exact fallback because the incremental
+    /// difference fell inside the [`CANCELLATION_GUARD`] drift regime.
+    pub guard_activations: u64,
+    /// Full [`rebuild`](InterferenceLedger::rebuild) passes.
+    pub rebuilds: u64,
+}
+
+/// Internal counter cell. Mutation counters are plain integers (those
+/// paths take `&mut self`); the guard counter is atomic because the
+/// guarded queries run through `&self`.
+#[derive(Debug, Default)]
+struct StatsCell {
+    delta_ops: u64,
+    cancel_refreshes: u64,
+    rebuilds: u64,
+    guard_activations: std::sync::atomic::AtomicU64,
+}
+
+impl StatsCell {
+    fn snapshot(&self) -> LedgerStats {
+        LedgerStats {
+            delta_ops: self.delta_ops,
+            cancel_refreshes: self.cancel_refreshes,
+            guard_activations: self
+                .guard_activations
+                .load(std::sync::atomic::Ordering::Relaxed),
+            rebuilds: self.rebuilds,
+        }
+    }
+
+    fn note_guard(&self) {
+        self.guard_activations
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+}
+
+impl Clone for StatsCell {
+    fn clone(&self) -> Self {
+        let s = self.snapshot();
+        StatsCell {
+            delta_ops: s.delta_ops,
+            cancel_refreshes: s.cancel_refreshes,
+            rebuilds: s.rebuilds,
+            guard_activations: std::sync::atomic::AtomicU64::new(s.guard_activations),
+        }
+    }
+}
+
 /// Per-subscriber aggregate received-interference accumulators with
 /// `O(S)` relay deltas and `O(1)` SNR queries. See the module docs.
 ///
@@ -167,6 +226,8 @@ pub struct InterferenceLedger {
     /// Reused buffer of subscribers needing an exact refresh after a
     /// severely-cancelling subtraction (see [`CANCEL_REFRESH`]).
     scratch: Vec<usize>,
+    /// Cumulative work counters (see [`InterferenceLedger::stats`]).
+    stats: StatsCell,
 }
 
 impl InterferenceLedger {
@@ -190,6 +251,7 @@ impl InterferenceLedger {
             mode: LedgerMode::default(),
             cutoff: None,
             scratch: Vec::new(),
+            stats: StatsCell::default(),
         }
     }
 
@@ -275,6 +337,7 @@ impl InterferenceLedger {
         };
         self.slots[id] = Some(RelaySlot { pos, power });
         self.n_active += 1;
+        self.stats.delta_ops += 1;
         self.apply_add(pos, power);
         id
     }
@@ -286,6 +349,7 @@ impl InterferenceLedger {
     pub fn remove_relay(&mut self, id: usize) -> (Point, f64) {
         let slot = self.take_slot(id);
         self.n_active -= 1;
+        self.stats.delta_ops += 1;
         if self.n_active == 0 {
             // No relays left: reset the accumulators to exact zero so
             // incremental drift cannot survive an empty ledger.
@@ -317,6 +381,7 @@ impl InterferenceLedger {
         // Commit the slot first: exact refreshes recompute from the
         // slot table, which must describe the *final* state.
         self.slot_mut(id).pos = pos;
+        self.stats.delta_ops += 1;
         let mut dirty = std::mem::take(&mut self.scratch);
         let residual_stale = self.apply_sub(old_pos, power, &mut dirty);
         self.apply_add(pos, power);
@@ -339,6 +404,7 @@ impl InterferenceLedger {
         }
         let (pos, old_power) = (slot.pos, slot.power);
         self.slot_mut(id).power = power;
+        self.stats.delta_ops += 1;
         let mut dirty = std::mem::take(&mut self.scratch);
         let residual_stale = self.apply_sub(pos, old_power, &mut dirty);
         self.apply_add(pos, power);
@@ -383,6 +449,7 @@ impl InterferenceLedger {
                 if v <= CANCELLATION_GUARD * self.total_rx[j].abs() {
                     // Drift-scale difference: resolve exactly rather
                     // than clamp (see `snr_incremental`).
+                    self.stats.note_guard();
                     self.interference_oracle(j, serving)
                 } else {
                     v
@@ -480,6 +547,7 @@ impl InterferenceLedger {
     /// long mutation sequences (branch-and-bound calls this
     /// periodically).
     pub fn rebuild(&mut self) {
+        self.stats.rebuilds += 1;
         self.total_rx.fill(0.0);
         if let Some(c) = &mut self.cutoff {
             c.residual_total = 0.0;
@@ -498,6 +566,14 @@ impl InterferenceLedger {
     /// expected to surface the damage as a [`DesyncError`].
     pub fn skew_accumulator(&mut self, j: usize, delta: f64) {
         self.total_rx[j] += delta;
+    }
+
+    /// Snapshot of the cumulative work counters: delta mutations,
+    /// exact cancel-refresh recomputes, cancellation-guard query
+    /// fallbacks and full rebuilds. Counters survive [`Clone`] (the
+    /// clone starts from the parent's totals) and are never reset.
+    pub fn stats(&self) -> LedgerStats {
+        self.stats.snapshot()
     }
 
     // ---- internals ----------------------------------------------------
@@ -606,6 +682,7 @@ impl InterferenceLedger {
     /// then returns the buffer to `scratch` for reuse.
     fn refresh(&mut self, dirty: &mut Vec<usize>, residual_stale: bool) {
         let mut buf = std::mem::take(dirty);
+        self.stats.cancel_refreshes += buf.len() as u64;
         for &j in &buf {
             self.total_rx[j] = self.expected_total(j);
             if self.cutoff.is_some() {
@@ -663,6 +740,7 @@ impl InterferenceLedger {
         // thresholds (the chaos suite's `ExtremeThreshold` pushes β far
         // beyond any physical SNR).
         if interference <= CANCELLATION_GUARD * self.total_rx[j].abs() {
+            self.stats.note_guard();
             self.snr_oracle(j, serving)
         } else {
             signal / interference
@@ -783,6 +861,38 @@ mod tests {
             &powers,
             serving_idx,
         )
+    }
+
+    #[test]
+    fn stats_count_mutations_refreshes_and_rebuilds() {
+        let mut ledger = InterferenceLedger::new(model(), subs());
+        assert_eq!(ledger.stats(), LedgerStats::default());
+        let a = ledger.add_relay(Point::new(10.0, 0.0), 1.0);
+        let b = ledger.add_relay(Point::new(40.0, 10.0), 1.0);
+        ledger.move_relay(a, Point::new(12.0, 0.0));
+        ledger.set_power(b, 0.5);
+        ledger.remove_relay(b);
+        let s = ledger.stats();
+        assert_eq!(s.delta_ops, 5);
+        // Removing the dominant contributor next to a subscriber forces
+        // at least one cancelling refresh somewhere along the sequence.
+        ledger.rebuild();
+        assert_eq!(ledger.stats().rebuilds, 1);
+        // Clones carry the parent's totals forward.
+        let clone = ledger.clone();
+        assert_eq!(clone.stats(), ledger.stats());
+    }
+
+    #[test]
+    fn guard_activations_count_exact_fallback_queries() {
+        // One lone relay serving a subscriber: all interference comes
+        // from itself, so the incremental difference is pure drift and
+        // the guard must answer via the oracle.
+        let mut ledger = InterferenceLedger::new(model(), subs());
+        let id = ledger.add_relay(Point::new(1.0, 0.0), 1.0);
+        assert_eq!(ledger.stats().guard_activations, 0);
+        let _ = ledger.snr(0, id);
+        assert!(ledger.stats().guard_activations >= 1);
     }
 
     fn assert_snr_close(a: f64, b: f64) {

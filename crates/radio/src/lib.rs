@@ -43,7 +43,7 @@ pub mod snr;
 pub mod tworay;
 pub mod units;
 
-pub use ledger::{DesyncError, InterferenceLedger, LedgerMode};
+pub use ledger::{DesyncError, InterferenceLedger, LedgerMode, LedgerStats};
 pub use link::LinkBudget;
 pub use models::PathLoss;
 pub use tworay::TwoRay;

@@ -93,6 +93,7 @@ fn parse_args() -> Args {
 }
 
 fn main() {
+    let _obs = sag_obs::init_from_env();
     let args = parse_args();
     if args.load.is_none() {
         if args.spec.n_subscribers == 0 {
@@ -129,16 +130,7 @@ fn main() {
         Err(e) => die(&format!("pipeline failed: {e}")),
     };
     println!("pipeline trace:\n{trace}");
-    let power = report.power_summary();
-    println!(
-        "deployment: {} coverage + {} connectivity relays",
-        report.n_coverage_relays(),
-        report.n_connectivity_relays()
-    );
-    println!(
-        "power: lower {:.4} + upper {:.4} = total {:.4}",
-        power.lower, power.upper, power.total
-    );
+    println!("{report}");
 
     let audit = validate_report(&scenario, &report);
     println!("{audit}");

@@ -15,7 +15,7 @@ use sag_sim::experiments::{
     alpha_sweep, channels, fig3, fig45, fig6, fig7, ledger, mbmc_weights, scaling, snr_stress,
     table2,
 };
-use sag_sim::runner::SweepConfig;
+use sag_sim::runner::{collect_stage_metrics, SweepConfig};
 use sag_sim::table::Table;
 
 const EXPERIMENTS: &[&str] = &[
@@ -46,6 +46,7 @@ const EXPERIMENTS: &[&str] = &[
 ];
 
 fn main() {
+    let obs = sag_obs::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut config = SweepConfig::default();
     let mut csv_dir: Option<String> = None;
@@ -114,6 +115,12 @@ fn main() {
     if let (Some(path), Some(contents)) = (report_path, report) {
         write_file(&path, &contents);
     }
+    if let Some(session) = obs {
+        let dropped = session.sink.dropped_events();
+        if dropped > 0 {
+            eprintln!("[repro] obs sink dropped {dropped} event(s)");
+        }
+    }
 }
 
 fn run_experiment(
@@ -124,7 +131,9 @@ fn run_experiment(
 ) {
     eprintln!("[repro] running {name} ({} runs/point)…", config.runs);
     let started = std::time::Instant::now();
-    match name {
+    // Install a process-wide collector per experiment so pipeline stages
+    // on sweep worker threads land in one aggregated time/work table.
+    let ((), stages) = collect_stage_metrics(|| match name {
         "fig6" => {
             for dump in fig6::fig6(7) {
                 let field = fig6::fig6_scenario(7).field;
@@ -172,6 +181,10 @@ fn run_experiment(
                 report.push('\n');
             }
         }
+    });
+    // Stage tables go to stderr so the stdout tables/CSVs stay clean.
+    if !stages.is_empty() {
+        eprintln!("[repro] {name} stage summary:\n{stages}");
     }
     eprintln!(
         "[repro] {name} done in {:.1}s",

@@ -222,6 +222,19 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
     (out, start.elapsed().as_secs_f64())
 }
 
+/// Runs `f` with a process-wide [`sag_obs::Collector`] installed and
+/// returns its result together with the aggregated per-stage
+/// time/work summary. The collector is global, so pipeline stages
+/// executed on [`sweep_multi`] worker threads are captured too; the
+/// recorder is uninstalled before returning.
+pub fn collect_stage_metrics<T>(f: impl FnOnce() -> T) -> (T, sag_obs::StageMetrics) {
+    let collector = std::sync::Arc::new(sag_obs::Collector::default());
+    let guard = sag_obs::install(collector.clone());
+    let out = f();
+    drop(guard);
+    (out, collector.summary())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -32,11 +32,17 @@ pub enum Fault {
     /// state rather than mutating the scenario; the invariant under
     /// test is that oracle cross-checks surface it as a typed error.
     LedgerDesync,
+    /// Make the observability sink fail on every write. Realised at
+    /// the sink level (a failing writer behind `sag_obs::JsonlSink`)
+    /// rather than by mutating the scenario; the invariant under test
+    /// is that a broken sink never alters results or panics — events
+    /// are dropped and counted.
+    ObsSinkFail,
 }
 
 impl Fault {
     /// Every fault, for exhaustive sweeps.
-    pub const fn all() -> [Fault; 8] {
+    pub const fn all() -> [Fault; 9] {
         [
             Fault::NanInject,
             Fault::InfInject,
@@ -46,6 +52,7 @@ impl Fault {
             Fault::ExtremeThreshold,
             Fault::AdversarialCluster,
             Fault::LedgerDesync,
+            Fault::ObsSinkFail,
         ]
     }
 

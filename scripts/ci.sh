@@ -34,4 +34,17 @@ SAG_PROP_CASES=150 cargo test -p sag-integration --test ledger_parity -q --offli
 # workload. Emits BENCH_snr.json and enforces the 5x speedup floor.
 run cargo run --release --offline -p sag-bench --bin bench_snr -- --out BENCH_snr.json --min-speedup 5
 
+# Observability overhead gate: the disabled instrumentation path must
+# stay within 2% of the hand-composed uninstrumented pipeline. Emits
+# BENCH_obs.json (parity between the paths is asserted before timing).
+run cargo run --release --offline -p sag-bench --bin bench_obs -- --out BENCH_obs.json --max-overhead 1.02
+
+# JSONL sink smoke: a real repro run with SAG_OBS_JSON set must emit a
+# capture in which every line parses, every stage has a span, and the
+# solver work counters are present.
+echo "==> SAG_OBS_JSON=obs_smoke.jsonl cargo run --release --offline -p sag-sim --bin repro -- fig7a --runs 1"
+SAG_OBS_JSON=obs_smoke.jsonl cargo run --release --offline -p sag-sim --bin repro -- fig7a --runs 1 > /dev/null
+run cargo run --release --offline -p sag-bench --bin bench_obs -- --check-jsonl obs_smoke.jsonl
+rm -f obs_smoke.jsonl
+
 echo "==> tier-1 CI green"

@@ -109,6 +109,11 @@ pub fn apply_fault(sc: &mut Scenario, fault: Fault, rng: &mut Rng) {
         // the ledger-level suite (`tests/ledger_parity.rs`) asserts the
         // oracle cross-check reports it as a typed `DesyncError`.
         Fault::LedgerDesync => {}
+        // An obs-sink failure is likewise state, not scenario: it is
+        // realised by installing a `sag_obs::JsonlSink` over a failing
+        // writer (see `tests/obs_pipeline.rs`), which must drop events
+        // and count them without ever changing the report.
+        Fault::ObsSinkFail => {}
     }
 }
 
