@@ -16,10 +16,20 @@ use sag_radio::snr;
 
 use crate::model::Scenario;
 
-/// The ledger query mode the pipeline runs with: incremental by
-/// default, the exact brute-force oracle when `SAG_SNR_ORACLE=1` is set
-/// (debug switch; read once per process).
-fn ledger_mode() -> LedgerMode {
+thread_local! {
+    /// Scoped override of the ledger query mode, installed by
+    /// [`push_ledger_mode_override`]. Thread-local so concurrent
+    /// pipelines (sweep workers, parallel tests) cannot race each
+    /// other; the zone engine re-installs the coordinator's override on
+    /// its workers explicitly.
+    static MODE_OVERRIDE: std::cell::Cell<Option<LedgerMode>> =
+        const { std::cell::Cell::new(None) };
+}
+
+/// The environment's ledger query mode: incremental by default, the
+/// exact brute-force oracle when `SAG_SNR_ORACLE=1` is set. Read once
+/// per process — never a per-call `env::var` syscall on the hot path.
+fn env_ledger_mode() -> LedgerMode {
     static MODE: OnceLock<LedgerMode> = OnceLock::new();
     *MODE.get_or_init(|| {
         if std::env::var("SAG_SNR_ORACLE").is_ok_and(|v| v == "1") {
@@ -28,6 +38,42 @@ fn ledger_mode() -> LedgerMode {
             LedgerMode::Incremental
         }
     })
+}
+
+/// The ledger query mode the pipeline runs with: the scoped override
+/// when one is installed (an explicit
+/// [`crate::sag::SagPipelineConfig::snr_oracle`] choice), the cached
+/// `SAG_SNR_ORACLE` environment switch otherwise.
+fn ledger_mode() -> LedgerMode {
+    MODE_OVERRIDE
+        .with(std::cell::Cell::get)
+        .unwrap_or_else(env_ledger_mode)
+}
+
+/// The currently installed scoped override, if any (what the zone
+/// engine copies onto its workers).
+pub(crate) fn ledger_mode_override() -> Option<LedgerMode> {
+    MODE_OVERRIDE.with(std::cell::Cell::get)
+}
+
+/// Installs a scoped ledger-mode override on this thread; the previous
+/// value is restored when the returned guard drops. `None` clears any
+/// outer override back to the environment default for the scope.
+pub(crate) fn push_ledger_mode_override(mode: Option<LedgerMode>) -> LedgerModeGuard {
+    let previous = MODE_OVERRIDE.with(|c| c.replace(mode));
+    LedgerModeGuard { previous }
+}
+
+/// Restores the previous ledger-mode override on drop (returned by
+/// [`push_ledger_mode_override`]).
+pub(crate) struct LedgerModeGuard {
+    previous: Option<LedgerMode>,
+}
+
+impl Drop for LedgerModeGuard {
+    fn drop(&mut self) {
+        MODE_OVERRIDE.with(|c| c.set(self.previous));
+    }
 }
 
 /// Builds an [`InterferenceLedger`] over the scenario's subscribers with
@@ -453,5 +499,35 @@ mod tests {
         let hi = powered_snr(&sc, &relays, &[1.0, 1.0], 0, 0);
         let better = powered_snr(&sc, &relays, &[1.0, 0.1], 0, 0);
         assert!(better > hi);
+    }
+
+    #[test]
+    fn ledger_mode_override_scopes_and_restores() {
+        // Regression for the SAG_SNR_ORACLE plumbing: the explicit
+        // override must reach every ledger built in its scope, nest
+        // properly, and restore the environment default when dropped.
+        let sc = scenario(vec![(0.0, 0.0, 30.0)], -15.0);
+        let relays = [Point::new(10.0, 0.0)];
+        let ambient = interference_ledger(&sc, &relays).mode();
+        {
+            let _g = push_ledger_mode_override(Some(LedgerMode::Oracle));
+            assert_eq!(ledger_mode_override(), Some(LedgerMode::Oracle));
+            assert_eq!(interference_ledger(&sc, &relays).mode(), LedgerMode::Oracle);
+            assert_eq!(
+                powered_ledger(&sc, &relays, &[1.0]).mode(),
+                LedgerMode::Oracle
+            );
+            {
+                let _inner = push_ledger_mode_override(Some(LedgerMode::Incremental));
+                assert_eq!(
+                    interference_ledger(&sc, &relays).mode(),
+                    LedgerMode::Incremental
+                );
+            }
+            // The inner guard restored the outer override.
+            assert_eq!(interference_ledger(&sc, &relays).mode(), LedgerMode::Oracle);
+        }
+        assert_eq!(ledger_mode_override(), None);
+        assert_eq!(interference_ledger(&sc, &relays).mode(), ambient);
     }
 }

@@ -31,6 +31,17 @@ pub enum SagError {
         /// Resources the stage consumed before giving up.
         spent: Spent,
     },
+    /// A zone worker thread panicked during a parallel solve. The
+    /// panic is caught at the zone-engine boundary and surfaced as this
+    /// typed error instead of poisoning the run or hanging the merge;
+    /// `stage` names the solve that lost the worker and `zone` the zone
+    /// index it was processing.
+    WorkerPanic {
+        /// Pipeline stage whose zone worker died (`"samc"`, `"ilpqc"`).
+        stage: &'static str,
+        /// Index of the zone the worker was solving.
+        zone: usize,
+    },
     /// An embedded LP/ILP solve failed unexpectedly.
     Lp(sag_lp::LpError),
 }
@@ -44,6 +55,12 @@ impl fmt::Display for SagError {
             SagError::InvalidScenario(why) => write!(f, "invalid scenario: {why}"),
             SagError::BudgetExceeded { stage, spent } => {
                 write!(f, "budget exceeded in {stage} after {spent}")
+            }
+            SagError::WorkerPanic { stage, zone } => {
+                write!(
+                    f,
+                    "zone worker panicked in {stage} while solving zone {zone}"
+                )
             }
             SagError::Lp(e) => write!(f, "embedded LP failed: {e}"),
         }
@@ -90,6 +107,12 @@ mod tests {
         };
         assert!(b.to_string().contains("ilpqc"));
         assert!(b.to_string().contains("budget"));
+        let w = SagError::WorkerPanic {
+            stage: "samc",
+            zone: 3,
+        };
+        assert!(w.to_string().contains("samc"));
+        assert!(w.to_string().contains("zone 3"));
     }
 
     #[test]

@@ -27,6 +27,11 @@ use crate::model::Scenario;
 /// solver has already expired — it is the last rung of the degradation
 /// ladder and deliberately ignores deadlines.
 ///
+/// Under the zone-parallel lower tier ([`crate::engine`]) this runs
+/// once per *zone* that exhausted its share of the budget, over that
+/// zone's candidates — zones where the exact search finished keep
+/// their optimal answer.
+///
 /// # Errors
 /// [`SagError::Infeasible`] when some subscriber has no eligible
 /// candidate, or the repair loop exhausts the candidate pool without

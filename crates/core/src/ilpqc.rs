@@ -158,7 +158,10 @@ pub fn solve_ilpqc(
             continue;
         }
         nodes += 1;
-        if nodes > node_cap {
+        // Under a shared pool (parallel zone solves) the cap bounds the
+        // combined node count of every worker drawing on this budget.
+        let cap_nodes = config.budget.charge_nodes(1).unwrap_or(nodes);
+        if cap_nodes > node_cap {
             truncated = true;
             break;
         }
@@ -388,7 +391,24 @@ fn set_cover_lp_bound(
     }
     lp.set_budget(budget.clone());
     let sol = lp.solve()?;
-    Ok((sol.objective - 1e-6).ceil().max(1.0) as usize)
+    Ok(round_lp_lower_bound(
+        sol.objective,
+        n_cands + eligible.len(),
+    ))
+}
+
+/// Rounds an LP-relaxation objective up to a valid integer lower bound.
+///
+/// The simplex answer is exact only up to its feasibility tolerance
+/// ([`sag_lp::SIMPLEX_TOL`]), and accumulated pivot error grows with
+/// the tableau, so the slack subtracted before the `ceil` is that
+/// tolerance scaled by the instance dimension (variables + constraints)
+/// and the objective's magnitude — not a magic constant. Under-rounding
+/// here is unsound: lifting a `3−ε` relaxation to 4 would prune an
+/// optimal 3-relay cover out of the search.
+fn round_lp_lower_bound(objective: f64, dimension: usize) -> usize {
+    let slack = sag_lp::SIMPLEX_TOL * (dimension as f64 + 1.0) * objective.abs().max(1.0);
+    (objective - slack).ceil().max(1.0) as usize
 }
 
 #[cfg(test)]
@@ -399,6 +419,7 @@ mod tests {
     use crate::model::{BaseStation, NetworkParams, Scenario, Subscriber};
     use sag_geom::Rect;
     use sag_radio::{units::Db, LinkBudget};
+    use sag_testkit::prelude::*;
 
     fn scenario(subs: Vec<(f64, f64, f64)>, beta_db: f64) -> Scenario {
         Scenario::new(
@@ -573,5 +594,60 @@ mod tests {
         let out = solve_ilpqc(&sc, &cands, IlpqcConfig::default()).unwrap();
         assert_eq!(out.solution.n_relays(), 2);
         assert!(out.optimal);
+    }
+
+    #[test]
+    fn bound_rounding_tracks_the_simplex_tolerance() {
+        // An objective sitting one simplex-tolerance below an integer
+        // must round up to it; the pre-fix magic 1e-6 is not special.
+        let dim = 50;
+        assert_eq!(round_lp_lower_bound(3.0, dim), 3);
+        assert_eq!(
+            round_lp_lower_bound(3.0 - 10.0 * sag_lp::SIMPLEX_TOL, dim),
+            3
+        );
+        assert_eq!(round_lp_lower_bound(2.5, dim), 3);
+        // Degenerate objectives still yield the trivial bound of 1.
+        assert_eq!(round_lp_lower_bound(0.0, dim), 1);
+        assert_eq!(round_lp_lower_bound(-1.0, dim), 1);
+    }
+
+    prop! {
+        /// Soundness of the pruning bound (the S4 regression): over
+        /// random set-cover instances, the rounded LP lower bound never
+        /// exceeds the brute-forced integer optimum — an over-rounded
+        /// bound would prune optimal covers out of the B&B.
+        #[cases(64)]
+        fn rounded_lp_bound_never_exceeds_integer_optimum(seed in 0u64..100_000) {
+            let mut rng = Rng::seed_from_u64(seed);
+            let n_cands = rng.gen_range(2..8usize);
+            let n_subs = rng.gen_range(1..6usize);
+            let eligible: Vec<Vec<usize>> = (0..n_subs)
+                .map(|_| {
+                    let mut e: Vec<usize> =
+                        (0..n_cands).filter(|_| rng.gen_bool(0.4)).collect();
+                    if e.is_empty() {
+                        e.push(rng.gen_range(0..n_cands));
+                    }
+                    e
+                })
+                .collect();
+            // Brute-force integer optimum over all candidate subsets.
+            let opt = (1u32..1 << n_cands)
+                .filter(|mask| {
+                    eligible
+                        .iter()
+                        .all(|e| e.iter().any(|&c| mask & (1 << c) != 0))
+                })
+                .map(u32::count_ones)
+                .min()
+                .expect("every subscriber has an eligible candidate");
+            let bound = set_cover_lp_bound(n_cands, &eligible, &Budget::unlimited())
+                .expect("feasible LP");
+            prop_assert!(
+                bound as u32 <= opt,
+                "LP bound {bound} exceeds integer optimum {opt} (eligible: {eligible:?})"
+            );
+        }
     }
 }

@@ -72,6 +72,7 @@ pub mod candidates;
 pub mod channels;
 pub mod coverage;
 pub mod darp;
+pub mod engine;
 pub mod error;
 pub mod escape;
 pub mod fallback;

@@ -7,22 +7,25 @@
 //! so the experiment harness can reproduce each figure from one run.
 
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use sag_lp::{Budget, Spent};
 use sag_obs::{Collector, StageMetrics};
+use sag_radio::ledger::LedgerMode;
 
 use crate::candidates::iac_candidates;
-use crate::coverage::CoverageSolution;
+use crate::coverage::{interference_ledger, push_ledger_mode_override, CoverageSolution};
+use crate::engine;
 use crate::error::{SagError, SagResult};
 use crate::fallback::greedy_cover;
 use crate::ilpqc::{solve_ilpqc, IlpqcConfig};
 use crate::mbmc::{mbmc, ConnectivityPlan};
 use crate::model::{Relay, RelayRole, Scenario};
 use crate::pro::{pro_with_budget, PowerAllocation};
-use crate::samc::{samc_with_budget, SamcConfig};
+use crate::samc::{samc_with_budget_threads, SamcConfig};
 use crate::ucpo::{ucpo, UpperTierPower};
+use crate::zone::{observed_zone_partition, zone_scenario};
 
 /// Which algorithm solves the lower tier (coverage placement).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -68,6 +71,33 @@ pub struct SagPipelineConfig {
     /// process-wide sink installed via [`sag_obs::install`] still
     /// receives events either way.
     pub collect_metrics: bool,
+    /// Worker threads for the zone-parallel lower tier: `1` solves
+    /// zones sequentially on the calling thread, `N > 1` solves up to
+    /// `N` zones concurrently, `0` uses every available hardware
+    /// thread. `threads = 1` and `threads = N` produce byte-identical
+    /// reports (see [`crate::engine`]). Defaults to the `SAG_THREADS`
+    /// environment variable (read once per process), or `1` when unset
+    /// or unparsable.
+    pub threads: usize,
+    /// Explicit override of the `SAG_SNR_ORACLE` debug switch:
+    /// `Some(true)` forces the O(R)-per-query oracle ledger,
+    /// `Some(false)` forces the incremental ledger, `None` (the
+    /// default) defers to the environment variable, which is read once
+    /// per process and cached. The override is installed for the
+    /// duration of the run on the calling thread and propagated to
+    /// zone workers.
+    pub snr_oracle: Option<bool>,
+}
+
+/// The `SAG_THREADS` default, read once per process.
+fn default_threads() -> usize {
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        std::env::var("SAG_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(1)
+    })
 }
 
 impl Default for SagPipelineConfig {
@@ -77,6 +107,8 @@ impl Default for SagPipelineConfig {
             lower_solver: LowerSolver::default(),
             budget: Budget::unlimited(),
             collect_metrics: true,
+            threads: default_threads(),
+            snr_oracle: None,
         }
     }
 }
@@ -243,18 +275,20 @@ pub fn run_sag_with(scenario: &Scenario, config: SagPipelineConfig) -> SagResult
 }
 
 fn run_sag_inner(scenario: &Scenario, config: &SagPipelineConfig) -> SagResult<SagReport> {
+    let _mode = config.snr_oracle.map(|oracle| {
+        push_ledger_mode_override(Some(if oracle {
+            LedgerMode::Oracle
+        } else {
+            LedgerMode::Incremental
+        }))
+    });
     scenario.validate()?; // Step 1: ingress gate
-    let started = Instant::now();
-    let (coverage, solver, budget_spent) = solve_lower_tier(scenario, config, started)?;
-    // On the fallback rung the budget is already exhausted; the
-    // remaining polynomial stages run unbudgeted so degradation still
-    // yields a complete report.
-    let tail_budget = if solver == AnsweringSolver::GreedyFallback {
-        Budget::unlimited()
-    } else {
-        config.budget.clone()
-    };
-    let lower_power = pro_with_budget(scenario, &coverage, &tail_budget)?; // Step 3
+    let (coverage, solver, budget_spent) = solve_lower_tier(scenario, config)?;
+    // The lower tier answered, so whatever it legitimately consumed
+    // must not be double-billed to the polynomial tail: rebudget the
+    // tail from what actually remains on *every* rung.
+    let tail = tail_budget(&config.budget);
+    let lower_power = pro_with_budget(scenario, &coverage, &tail)?; // Step 3
     let plan = mbmc(scenario, &coverage)?; // Step 4
     let upper_power = ucpo(scenario, &coverage, &plan); // Step 5
     if sag_obs::enabled() {
@@ -284,40 +318,101 @@ fn run_sag_inner(scenario: &Scenario, config: &SagPipelineConfig) -> SagResult<S
     })
 }
 
+/// Budget for the polynomial tail stages (PRO → MBMC → UCPO) after a
+/// successful lower-tier solve.
+///
+/// The node cap is a lower-tier (branch-and-bound) resource and never
+/// carries over. A still-live deadline is kept at the same absolute
+/// cutoff; an already-spent deadline is dropped rather than inherited —
+/// the expensive search has answered, and failing the cheap tail over
+/// time the lower tier legitimately consumed would turn a successful
+/// solve (or degradation) into [`SagError::BudgetExceeded`] — the
+/// shared-deadline double-spend bug. External cancellation is always
+/// preserved.
+fn tail_budget(budget: &Budget) -> Budget {
+    let mut tail = Budget::unlimited();
+    if let Some(flag) = budget.cancel_flag() {
+        tail = tail.with_cancel_flag(flag);
+    }
+    if let Some(at) = budget.deadline() {
+        if Instant::now() < at {
+            tail = tail.with_deadline_until(at);
+        }
+    }
+    tail
+}
+
 /// Step 2 with the degradation ladder: configured solver first, greedy
-/// fallback when an ILPQC budget exhaustion permits it.
+/// fallback when an ILPQC budget exhaustion permits it. Both solvers
+/// run on the zone-parallel engine with `config.threads` workers; the
+/// returned [`Spent`] is stage-local (this stage's wall time and node
+/// count, not pipeline-so-far) on every arm.
 fn solve_lower_tier(
     scenario: &Scenario,
     config: &SagPipelineConfig,
-    started: Instant,
 ) -> SagResult<(CoverageSolution, AnsweringSolver, Spent)> {
+    let stage_started = Instant::now();
     match config.lower_solver {
         LowerSolver::Samc => {
-            let coverage = samc_with_budget(scenario, config.samc, &config.budget)?;
+            let coverage =
+                samc_with_budget_threads(scenario, config.samc, &config.budget, config.threads)?;
             let spent = Spent {
                 nodes: 0,
-                elapsed: started.elapsed(),
+                elapsed: stage_started.elapsed(),
             };
             Ok((coverage, AnsweringSolver::Samc, spent))
         }
         LowerSolver::IlpqcWithGreedyFallback | LowerSolver::IlpqcStrict => {
-            let cands = iac_candidates(scenario);
-            let ilpqc_config = IlpqcConfig {
-                budget: config.budget.clone(),
-                ..Default::default()
-            };
-            match solve_ilpqc(scenario, &cands, ilpqc_config) {
-                Ok(out) => Ok((out.solution, AnsweringSolver::Ilpqc, out.spent)),
-                Err(SagError::BudgetExceeded { spent, .. })
-                    if config.lower_solver == LowerSolver::IlpqcWithGreedyFallback =>
-                {
-                    // Last rung: the greedy cover does no LP work and
-                    // ignores the (already exhausted) deadline.
-                    let coverage = greedy_cover(scenario, &cands)?;
-                    Ok((coverage, AnsweringSolver::GreedyFallback, spent))
+            let zones = observed_zone_partition(scenario);
+            let base = interference_ledger(scenario, &[]);
+            // One pool across all zone solves: the node cap bounds the
+            // *combined* branch-and-bound effort, so N workers cannot
+            // multiply the configured budget by N.
+            let shared = config.budget.clone().with_shared_node_pool();
+            let fallback_ok = config.lower_solver == LowerSolver::IlpqcWithGreedyFallback;
+            let outcomes = engine::run_zones("ilpqc", zones.len(), config.threads, |zi| {
+                let (zsc, _back_map) = zone_scenario(scenario, &zones[zi]);
+                let cands = iac_candidates(&zsc);
+                let ilpqc_config = IlpqcConfig {
+                    budget: shared.clone(),
+                    ..Default::default()
+                };
+                match solve_ilpqc(&zsc, &cands, ilpqc_config) {
+                    Ok(out) => Ok((
+                        engine::zone_outcome(&base, &zones[zi], out.solution),
+                        AnsweringSolver::Ilpqc,
+                        out.spent,
+                    )),
+                    Err(SagError::BudgetExceeded { spent, .. }) if fallback_ok => {
+                        // Last rung, per zone: the greedy cover does no
+                        // LP work and ignores the exhausted budget.
+                        let coverage = greedy_cover(&zsc, &cands)?;
+                        Ok((
+                            engine::zone_outcome(&base, &zones[zi], coverage),
+                            AnsweringSolver::GreedyFallback,
+                            spent,
+                        ))
+                    }
+                    Err(e) => Err(e),
                 }
-                Err(e) => Err(e),
+            })?;
+            let mut nodes = 0;
+            let mut solver = AnsweringSolver::Ilpqc;
+            let mut parts = Vec::with_capacity(outcomes.len());
+            for (part, zone_solver, spent) in outcomes {
+                nodes += spent.nodes;
+                // The report records the weakest rung that answered.
+                if zone_solver == AnsweringSolver::GreedyFallback {
+                    solver = AnsweringSolver::GreedyFallback;
+                }
+                parts.push(part);
             }
+            let coverage = engine::merge_zone_outcomes(scenario, &zones, parts, &base, "ilpqc")?;
+            let spent = Spent {
+                nodes,
+                elapsed: stage_started.elapsed(),
+            };
+            Ok((coverage, solver, spent))
         }
     }
 }
@@ -459,5 +554,119 @@ mod tests {
         let mut sc = scenario(1);
         sc.subscribers[0].position.x = f64::NAN;
         assert!(matches!(run_sag(&sc), Err(SagError::InvalidScenario(_))));
+    }
+
+    // --- S1: the tail never inherits a spent budget -------------------
+
+    #[test]
+    fn tail_budget_drops_an_expired_deadline() {
+        let spent = Budget::unlimited().with_deadline(std::time::Duration::from_millis(1));
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        assert!(spent.check_interrupt().is_err(), "precondition: expired");
+        let tail = tail_budget(&spent);
+        assert!(tail.deadline().is_none());
+        assert!(tail.check_interrupt().is_ok());
+    }
+
+    #[test]
+    fn tail_budget_keeps_a_live_deadline_at_the_same_cutoff() {
+        let live = Budget::unlimited().with_deadline(std::time::Duration::from_secs(3600));
+        let at = live.deadline().unwrap();
+        let tail = tail_budget(&live);
+        assert_eq!(tail.deadline(), Some(at));
+    }
+
+    #[test]
+    fn tail_budget_drops_the_node_cap_and_keeps_the_cancel_flag() {
+        let flag = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let b = Budget::unlimited()
+            .with_node_limit(7)
+            .with_cancel_flag(flag.clone());
+        let tail = tail_budget(&b);
+        assert!(tail.node_limit().is_none());
+        assert!(tail.check_interrupt().is_ok());
+        flag.store(true, std::sync::atomic::Ordering::SeqCst);
+        assert!(tail.check_interrupt().is_err(), "cancellation still bites");
+    }
+
+    #[test]
+    fn exhausted_node_budget_no_longer_starves_the_tail() {
+        // The lower tier burns its node budget, degrades to greedy, and
+        // the polynomial tail must still complete: the regression was
+        // handing PRO the same exhausted budget.
+        let sc = scenario(2);
+        let config = SagPipelineConfig {
+            lower_solver: LowerSolver::IlpqcWithGreedyFallback,
+            budget: Budget::unlimited().with_node_limit(1),
+            ..Default::default()
+        };
+        let report = run_sag_with(&sc, config).unwrap();
+        assert!(is_feasible(&sc, &report.coverage));
+    }
+
+    // --- Zone-parallel engine plumbing --------------------------------
+
+    #[test]
+    fn thread_counts_produce_identical_reports() {
+        let sc = scenario(3);
+        for solver in [LowerSolver::Samc, LowerSolver::IlpqcWithGreedyFallback] {
+            let run = |threads: usize| {
+                run_sag_with(
+                    &sc,
+                    SagPipelineConfig {
+                        lower_solver: solver,
+                        threads,
+                        ..Default::default()
+                    },
+                )
+                .unwrap()
+            };
+            let seq = run(1);
+            let par = run(4);
+            assert_eq!(seq.coverage, par.coverage, "{solver:?}");
+            assert_eq!(seq.lower_power.powers, par.lower_power.powers);
+            assert_eq!(seq.upper_power.hop_power, par.upper_power.hop_power);
+            assert_eq!(seq.solver, par.solver);
+        }
+    }
+
+    #[test]
+    fn snr_oracle_override_matches_the_default_ledger() {
+        let sc = scenario(2);
+        let run = |snr_oracle: Option<bool>| {
+            run_sag_with(
+                &sc,
+                SagPipelineConfig {
+                    snr_oracle,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        };
+        let by_env = run(None);
+        let oracle = run(Some(true));
+        let incremental = run(Some(false));
+        // Oracle and incremental ledgers agree on every decision here;
+        // the override only swaps the evaluation strategy.
+        assert_eq!(oracle.coverage, incremental.coverage);
+        assert_eq!(by_env.coverage, incremental.coverage);
+    }
+
+    #[test]
+    fn worker_panic_surfaces_as_a_typed_error() {
+        let sc = scenario(2);
+        crate::engine::inject_zone_worker_panic(true);
+        let out = run_sag_with(
+            &sc,
+            SagPipelineConfig {
+                threads: 2,
+                ..Default::default()
+            },
+        );
+        crate::engine::inject_zone_worker_panic(false);
+        assert!(matches!(
+            out,
+            Err(SagError::WorkerPanic { stage: "samc", .. })
+        ));
     }
 }

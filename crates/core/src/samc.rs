@@ -22,12 +22,13 @@ use sag_geom::Point;
 use sag_hitting::{exact, greedy, local_search, DiskInstance};
 use sag_lp::{Budget, Spent};
 
-use crate::coverage::{interference_ledger, snr_violations_ledger, CoverageSolution};
+use crate::coverage::{interference_ledger, CoverageSolution};
+use crate::engine;
 use crate::error::{SagError, SagResult};
 use crate::escape::coverage_link_escape;
 use crate::model::Scenario;
 use crate::sliding::rs_sliding_movement;
-use crate::zone::{zone_partition, zone_scenario};
+use crate::zone::{observed_zone_partition, zone_scenario};
 
 /// Which hitting-set solver Step 4 uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -77,6 +78,23 @@ pub fn samc_with_budget(
     config: SamcConfig,
     budget: &Budget,
 ) -> SagResult<CoverageSolution> {
+    samc_with_budget_threads(scenario, config, budget, 1)
+}
+
+/// Runs SAMC on the zone-parallel engine: up to `threads` zones are
+/// solved concurrently, each against a private zone ledger, and merged
+/// in zone index order — so `threads = 1` and `threads = N` return
+/// byte-identical solutions (see [`crate::engine`]).
+///
+/// # Errors
+/// See [`samc_with_budget`]; additionally
+/// [`SagError::WorkerPanic`] when a zone worker dies.
+pub fn samc_with_budget_threads(
+    scenario: &Scenario,
+    config: SamcConfig,
+    budget: &Budget,
+    threads: usize,
+) -> SagResult<CoverageSolution> {
     let _stage = sag_obs::span("samc");
     let started = Instant::now();
     let exceeded = |started: Instant| SagError::BudgetExceeded {
@@ -86,49 +104,22 @@ pub fn samc_with_budget(
             elapsed: started.elapsed(),
         },
     };
-    let zones = {
-        let _zp = sag_obs::span("zone_partition");
-        let zones = zone_partition(scenario);
-        if sag_obs::enabled() {
-            for zone in &zones {
-                sag_obs::observe("zone.size", zone.len() as u64);
-            }
-        }
-        zones
-    };
-    let mut all_relays: Vec<Point> = Vec::new();
-    let mut global_assignment = vec![usize::MAX; scenario.n_subscribers()];
-
-    for zone in &zones {
+    let zones = observed_zone_partition(scenario);
+    // Relay-free global ledger: workers split it down to their zone,
+    // the merge replays the zone ledgers onto a clone of it.
+    let base = interference_ledger(scenario, &[]);
+    let outcomes = engine::run_zones("samc", zones.len(), threads, |zi| {
         budget.check_interrupt().map_err(|_| exceeded(started))?;
-        let (zsc, back_map) = zone_scenario(scenario, zone);
+        let (zsc, _back_map) = zone_scenario(scenario, &zones[zi]);
         let zone_sol = solve_zone(&zsc, config)?;
-        let base = all_relays.len();
-        all_relays.extend(zone_sol.relays.iter().copied());
-        for (local_j, &global_j) in back_map.iter().enumerate() {
-            global_assignment[global_j] = base + zone_sol.assignment[local_j];
-        }
-    }
-    debug_assert!(global_assignment.iter().all(|&a| a != usize::MAX));
+        Ok(engine::zone_outcome(&base, &zones[zi], zone_sol))
+    })?;
 
-    // Zones are interference-independent only up to N_max; re-check the
-    // merged placement and run one global repair round if the residual
-    // inter-zone noise still trips someone.
+    // Zones are interference-independent only up to N_max; the merge
+    // re-checks the combined placement and runs one global repair round
+    // if the residual inter-zone noise still trips someone.
     budget.check_interrupt().map_err(|_| exceeded(started))?;
-    let ledger = interference_ledger(scenario, &all_relays);
-    let violations = snr_violations_ledger(scenario, &ledger, &global_assignment);
-    // Residual inter-zone violations the merged check surfaced (the
-    // global repair round clears them or fails the solve).
-    sag_obs::gauge("coverage.snr_violations", violations.len() as f64);
-    crate::coverage::flush_ledger_stats(&ledger);
-    if violations.is_empty() {
-        return Ok(CoverageSolution {
-            relays: all_relays,
-            assignment: global_assignment,
-        });
-    }
-    rs_sliding_movement(scenario, all_relays, global_assignment)
-        .ok_or_else(|| SagError::Infeasible("samc: global SNR repair failed".into()))
+    engine::merge_zone_outcomes(scenario, &zones, outcomes, &base, "samc")
 }
 
 /// Solves one zone: hitting set → escape → sliding. Different hitting
@@ -399,7 +390,7 @@ mod tests {
             params,
         )
         .unwrap();
-        let zones = zone_partition(&sc);
+        let zones = crate::zone::zone_partition(&sc);
         assert_eq!(zones.len(), 2);
         let sol = samc(&sc).unwrap();
         assert!(is_feasible(&sc, &sol));

@@ -72,6 +72,21 @@ pub fn zone_partition_with_dmax(scenario: &Scenario, dmax: f64) -> Vec<Zone> {
     components::connected_components(&g)
 }
 
+/// Runs [`zone_partition`] under the `zone_partition` span and records
+/// every zone's size in the `zone.size` histogram — the shared entry
+/// point of both lower-tier solvers, so the partition is instrumented
+/// identically whichever one runs.
+pub fn observed_zone_partition(scenario: &Scenario) -> Vec<Zone> {
+    let _zp = sag_obs::span("zone_partition");
+    let zones = zone_partition(scenario);
+    if sag_obs::enabled() {
+        for zone in &zones {
+            sag_obs::observe("zone.size", zone.len() as u64);
+        }
+    }
+    zones
+}
+
 /// The sub-scenario induced by one zone: the zone's subscribers with the
 /// original field, base stations and parameters. Returned together with
 /// the mapping back to original subscriber indices.

@@ -12,7 +12,7 @@
 //! [`Spent`] records what a (possibly aborted) solve actually consumed,
 //! so degradation decisions upstream can be reported with evidence.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -41,6 +41,10 @@ pub struct Budget {
     deadline: Option<Instant>,
     node_limit: Option<usize>,
     cancel: Option<Arc<AtomicBool>>,
+    /// Shared node pool: when present, clones charge their node
+    /// consumption here and the node cap is enforced against the pool
+    /// total, so concurrent solvers draw from one allowance.
+    pool: Option<Arc<AtomicUsize>>,
 }
 
 impl Budget {
@@ -66,6 +70,48 @@ impl Budget {
     pub fn with_cancel_flag(mut self, flag: Arc<AtomicBool>) -> Self {
         self.cancel = Some(flag);
         self
+    }
+
+    /// Re-anchors the deadline at an absolute instant. Unlike
+    /// [`with_deadline`](Budget::with_deadline) this does not re-derive
+    /// from "now", so a budget rebuilt for a later pipeline stage keeps
+    /// the *same* wall-clock cutoff as its parent.
+    pub fn with_deadline_until(mut self, at: Instant) -> Self {
+        self.deadline = Some(at);
+        self
+    }
+
+    /// Attaches a fresh shared node pool. Clones of the returned budget
+    /// (handed to concurrent workers) all charge the same counter via
+    /// [`charge_nodes`](Budget::charge_nodes), so the node cap bounds
+    /// their *combined* search effort rather than each worker's own.
+    pub fn with_shared_node_pool(mut self) -> Self {
+        self.pool = Some(Arc::new(AtomicUsize::new(0)));
+        self
+    }
+
+    /// The absolute deadline, if one is configured.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// The attached cancellation flag, if any (shared across clones).
+    pub fn cancel_flag(&self) -> Option<Arc<AtomicBool>> {
+        self.cancel.clone()
+    }
+
+    /// Charges `n` nodes to the shared pool and returns the pool total
+    /// including this charge; `None` when no pool is attached (the
+    /// caller then enforces the cap against its own local count).
+    pub fn charge_nodes(&self, n: usize) -> Option<usize> {
+        self.pool
+            .as_ref()
+            .map(|p| p.fetch_add(n, Ordering::Relaxed) + n)
+    }
+
+    /// Nodes charged to the shared pool so far, if one is attached.
+    pub fn pool_spent(&self) -> Option<usize> {
+        self.pool.as_ref().map(|p| p.load(Ordering::Relaxed))
     }
 
     /// `true` when no constraint is configured.
@@ -186,6 +232,42 @@ mod tests {
         flag.store(true, Ordering::Relaxed);
         assert!(b.cancelled());
         assert_eq!(clone.check_interrupt(), Err(LpError::Cancelled));
+    }
+
+    #[test]
+    fn shared_pool_is_charged_across_clones() {
+        let b = Budget::unlimited()
+            .with_node_limit(10)
+            .with_shared_node_pool();
+        let clone = b.clone();
+        assert_eq!(b.charge_nodes(4), Some(4));
+        assert_eq!(clone.charge_nodes(3), Some(7));
+        assert_eq!(b.pool_spent(), Some(7));
+        assert_eq!(clone.pool_spent(), Some(7));
+        // Without a pool, charging is a no-op and reports nothing.
+        let plain = Budget::unlimited();
+        assert_eq!(plain.charge_nodes(5), None);
+        assert_eq!(plain.pool_spent(), None);
+    }
+
+    #[test]
+    fn deadline_until_keeps_the_absolute_cutoff() {
+        let parent = Budget::unlimited().with_deadline(Duration::from_secs(3600));
+        let at = parent.deadline().expect("deadline configured");
+        let child = Budget::unlimited().with_deadline_until(at);
+        assert_eq!(child.deadline(), Some(at));
+        assert!(!child.expired());
+        assert!(Budget::unlimited().deadline().is_none());
+    }
+
+    #[test]
+    fn cancel_flag_accessor_shares_the_flag() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let b = Budget::unlimited().with_cancel_flag(Arc::clone(&flag));
+        let handle = b.cancel_flag().expect("flag attached");
+        handle.store(true, Ordering::Relaxed);
+        assert!(b.cancelled());
+        assert!(Budget::unlimited().cancel_flag().is_none());
     }
 
     #[test]

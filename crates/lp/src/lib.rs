@@ -40,3 +40,4 @@ pub use budget::{Budget, Spent};
 pub use error::LpError;
 pub use ilp::{IlpProblem, IlpSolution};
 pub use problem::{LpProblem, LpSolution, LpSolutionDetailed, Relation};
+pub use simplex::TOL as SIMPLEX_TOL;

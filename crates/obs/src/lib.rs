@@ -43,7 +43,9 @@ mod sink;
 mod span;
 
 pub use metrics::{Collector, HistSummary, SpanStat, StageMetrics};
-pub use recorder::{enabled, install, with_local, Recorder, RecorderGuard};
+pub use recorder::{
+    enabled, install, local_stack, with_local, with_local_stack, Recorder, RecorderGuard,
+};
 pub use sink::JsonlSink;
 pub use span::{span, Span};
 

@@ -109,6 +109,39 @@ pub fn with_local<T>(rec: Arc<dyn Recorder>, f: impl FnOnce() -> T) -> T {
     f()
 }
 
+/// Snapshot of this thread's local recorder stack, outermost first.
+///
+/// Spawned workers do not inherit thread-local recorders; a
+/// fan-out stage captures the snapshot on the coordinating thread and
+/// re-installs it per worker with [`with_local_stack`], so events
+/// emitted inside the workers still reach the run's collectors (each
+/// worker keeps its own span stack, so stage attribution stays
+/// per-thread correct).
+pub fn local_stack() -> Vec<Arc<dyn Recorder>> {
+    LOCALS.with(|l| l.borrow().clone())
+}
+
+/// Runs `f` with every recorder in `stack` active as a thread-local
+/// recorder (outermost first, matching [`local_stack`]). The recorders
+/// are popped even if `f` panics.
+pub fn with_local_stack<T>(stack: &[Arc<dyn Recorder>], f: impl FnOnce() -> T) -> T {
+    struct PopGuard(usize);
+    impl Drop for PopGuard {
+        fn drop(&mut self) {
+            LOCALS.with(|l| {
+                let mut locals = l.borrow_mut();
+                let keep = locals.len().saturating_sub(self.0);
+                locals.truncate(keep);
+            });
+            LOCAL_ACTIVE.with(|c| c.set(c.get().saturating_sub(self.0)));
+        }
+    }
+    LOCALS.with(|l| l.borrow_mut().extend(stack.iter().cloned()));
+    LOCAL_ACTIVE.with(|c| c.set(c.get() + stack.len()));
+    let _pop = PopGuard(stack.len());
+    f()
+}
+
 /// Dispatches `f` to every active recorder: thread-locals first, then
 /// globals. Local recorders are cloned out one at a time so a
 /// recorder can never observe the stack borrowed.
@@ -180,6 +213,25 @@ mod tests {
             .expect("worker");
         drop(guard);
         assert_eq!(c.summary().counter("cross.thread"), 2);
+    }
+
+    #[test]
+    fn local_stack_replays_into_spawned_workers() {
+        let c = Arc::new(Collector::default());
+        with_local(c.clone(), || {
+            let stack = local_stack();
+            assert_eq!(stack.len(), 1);
+            std::thread::scope(|scope| {
+                scope.spawn(|| {
+                    with_local_stack(&stack, || crate::counter("worker.thread", 3));
+                    // Outside the scope the worker's events vanish again.
+                    crate::counter("worker.after", 1);
+                });
+            });
+        });
+        let m = c.summary();
+        assert_eq!(m.counter("worker.thread"), 3);
+        assert_eq!(m.counter("worker.after"), 0);
     }
 
     #[test]

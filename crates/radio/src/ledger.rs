@@ -568,6 +568,45 @@ impl InterferenceLedger {
         self.total_rx[j] += delta;
     }
 
+    /// A new ledger restricted to the subscriber subset `subset`
+    /// (indices into this ledger, kept in the caller's order), with the
+    /// same propagation model, query mode, cutoff and registered relays.
+    ///
+    /// Subset accumulators are rebuilt exactly (relays re-added in slot
+    /// id order), so a split of a freshly built ledger is bit-identical
+    /// to building over the subset directly — zone workers get private
+    /// drift-free state. Relay ids compact to `0, 1, 2, …` in the
+    /// parent's slot id order.
+    ///
+    /// # Panics
+    /// Panics if any subset index is out of range.
+    pub fn split(&self, subset: &[usize]) -> InterferenceLedger {
+        let subs: Vec<Point> = subset.iter().map(|&j| self.subscribers[j]).collect();
+        let mut out = InterferenceLedger::new(self.model, subs).with_mode(self.mode);
+        if let Some(c) = &self.cutoff {
+            out = out.with_cutoff(c.radius);
+        }
+        for slot in self.slots.iter().flatten() {
+            out.add_relay(slot.pos, slot.power);
+        }
+        out
+    }
+
+    /// Registers every relay of `other` into `self` (in `other`'s slot
+    /// id order), returning the ids assigned here. Contributions are
+    /// recomputed against *this* ledger's subscribers, so merging the
+    /// per-zone ledgers of a partition back into an empty global ledger
+    /// — in zone order — reproduces, bit for bit, the ledger a
+    /// sequential build of the concatenated relay list would produce.
+    pub fn merge_from(&mut self, other: &InterferenceLedger) -> Vec<usize> {
+        other
+            .slots
+            .iter()
+            .flatten()
+            .map(|slot| self.add_relay(slot.pos, slot.power))
+            .collect()
+    }
+
     /// Snapshot of the cumulative work counters: delta mutations,
     /// exact cancel-refresh recomputes, cancellation-guard query
     /// fallbacks and full rebuilds. Counters survive [`Clone`] (the
@@ -907,6 +946,70 @@ mod tests {
                 "SNR parity broken: {a} vs {b}"
             );
         }
+    }
+
+    #[test]
+    fn split_matches_a_direct_build_over_the_subset() {
+        let mut parent = InterferenceLedger::new(model(), subs());
+        parent.add_relay(Point::new(10.0, 0.0), 1.0);
+        parent.add_relay(Point::new(45.0, 5.0), 0.7);
+        let piece = parent.split(&[0, 2]);
+        assert_eq!(piece.n_subscribers(), 2);
+        assert_eq!(piece.n_relays(), 2);
+        assert_eq!(piece.subscriber(1), Point::new(0.0, 80.0));
+        // Bit-identical to building fresh over the subset.
+        let mut direct =
+            InterferenceLedger::new(model(), vec![Point::new(0.0, 0.0), Point::new(0.0, 80.0)]);
+        direct.add_relay(Point::new(10.0, 0.0), 1.0);
+        direct.add_relay(Point::new(45.0, 5.0), 0.7);
+        for j in 0..2 {
+            for id in 0..2 {
+                assert_eq!(piece.interference_at(j, id), direct.interference_at(j, id));
+            }
+        }
+        // Mode survives the split.
+        let oracle = parent.clone().with_mode(LedgerMode::Oracle).split(&[1]);
+        assert_eq!(oracle.mode(), LedgerMode::Oracle);
+    }
+
+    #[test]
+    fn merging_zone_ledgers_reproduces_the_sequential_build() {
+        // Two "zones" over disjoint subscriber subsets; each zone
+        // ledger carries its own relays. Merging them into an empty
+        // global ledger in zone order must equal adding the
+        // concatenated relay list to a fresh global ledger.
+        let all = subs();
+        let global_empty = InterferenceLedger::new(model(), all.clone());
+        let mut zone_a = global_empty.split(&[0, 1]);
+        zone_a.add_relay(Point::new(8.0, 2.0), 1.0);
+        zone_a.add_relay(Point::new(42.0, -3.0), 1.0);
+        let mut zone_b = global_empty.split(&[2]);
+        zone_b.add_relay(Point::new(4.0, 71.0), 1.0);
+
+        let mut merged = global_empty.clone();
+        let ids_a = merged.merge_from(&zone_a);
+        let ids_b = merged.merge_from(&zone_b);
+        assert_eq!(ids_a, vec![0, 1]);
+        assert_eq!(ids_b, vec![2]);
+
+        let mut sequential = InterferenceLedger::new(model(), all);
+        for p in [
+            Point::new(8.0, 2.0),
+            Point::new(42.0, -3.0),
+            Point::new(4.0, 71.0),
+        ] {
+            sequential.add_relay(p, 1.0);
+        }
+        for j in 0..3 {
+            for id in 0..3 {
+                assert_eq!(
+                    merged.interference_at(j, id),
+                    sequential.interference_at(j, id),
+                    "merge diverged at (j={j}, id={id})"
+                );
+            }
+        }
+        merged.audit().expect("merged ledger is exact");
     }
 
     #[test]

@@ -83,6 +83,10 @@ fn parse_args() -> Args {
                     "usage: plan [--users N] [--field F] [--bs N] [--snr DB] [--seed S] \
                      [--corners] [--load FILE] [--map|--no-map] [--heatmap]"
                 );
+                println!(
+                    "env: SAG_THREADS=N  zone-parallel workers for the solve \
+                     (deterministic: any N matches N=1 byte for byte)"
+                );
                 std::process::exit(0);
             }
             other => die(&format!("unknown argument '{other}' (try --help)")),

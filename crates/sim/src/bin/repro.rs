@@ -213,6 +213,9 @@ fn usage() {
         "usage: repro [--fast] [--runs N] [--threads N] [--csv DIR] [--report FILE] <experiment>…"
     );
     println!("experiments: all {}", EXPERIMENTS.join(" "));
+    println!("env: SAG_THREADS=N  zone-parallel workers inside each pipeline solve");
+    println!("     (orthogonal to --threads, which parallelises across sweep cells;");
+    println!("      threads=1 and threads=N solves are byte-identical)");
 }
 
 fn die(msg: &str) -> ! {

@@ -38,11 +38,17 @@ pub enum Fault {
     /// is that a broken sink never alters results or panics — events
     /// are dropped and counted.
     ObsSinkFail,
+    /// Kill a zone worker thread mid-solve. Realised at the
+    /// zone-engine level (`sag_core::engine::inject_zone_worker_panic`)
+    /// rather than by mutating the scenario; the invariant under test
+    /// is that a panicking worker surfaces a typed `WorkerPanic` error
+    /// instead of hanging the merge or poisoning the process.
+    ZoneWorkerPanic,
 }
 
 impl Fault {
     /// Every fault, for exhaustive sweeps.
-    pub const fn all() -> [Fault; 9] {
+    pub const fn all() -> [Fault; 10] {
         [
             Fault::NanInject,
             Fault::InfInject,
@@ -53,6 +59,7 @@ impl Fault {
             Fault::AdversarialCluster,
             Fault::LedgerDesync,
             Fault::ObsSinkFail,
+            Fault::ZoneWorkerPanic,
         ]
     }
 

@@ -39,6 +39,14 @@ run cargo run --release --offline -p sag-bench --bin bench_snr -- --out BENCH_sn
 # BENCH_obs.json (parity between the paths is asserted before timing).
 run cargo run --release --offline -p sag-bench --bin bench_obs -- --out BENCH_obs.json --max-overhead 1.02
 
+# Zone-parallel engine gate: byte-identical deployments at threads=1
+# vs threads=4 (always asserted), and a >=2x lower-tier speedup on the
+# 8-zone probe. Emits BENCH_par.json. The speedup gate self-skips on
+# hosts without 4 hardware threads — a single-core runner physically
+# cannot show wall-clock speedup, but the determinism contract still
+# holds and is still enforced there.
+run cargo run --release --offline -p sag-bench --bin bench_par -- --out BENCH_par.json --min-speedup 2 --threads 4
+
 # JSONL sink smoke: a real repro run with SAG_OBS_JSON set must emit a
 # capture in which every line parses, every stage has a span, and the
 # solver work counters are present.

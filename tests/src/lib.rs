@@ -114,6 +114,11 @@ pub fn apply_fault(sc: &mut Scenario, fault: Fault, rng: &mut Rng) {
         // writer (see `tests/obs_pipeline.rs`), which must drop events
         // and count them without ever changing the report.
         Fault::ObsSinkFail => {}
+        // A dying zone worker is state, not scenario: it is armed with
+        // `sag_core::engine::inject_zone_worker_panic` around a run
+        // (see `tests/chaos_pipeline.rs`), which must surface a typed
+        // `SagError::WorkerPanic` instead of hanging the merge.
+        Fault::ZoneWorkerPanic => {}
     }
 }
 

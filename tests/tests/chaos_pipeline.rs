@@ -53,6 +53,7 @@ fn is_typed_rejection(e: &SagError) -> bool {
             | SagError::BudgetExceeded { .. }
             | SagError::NoSubscribers
             | SagError::NoBaseStations
+            | SagError::WorkerPanic { .. }
     )
 }
 
@@ -61,7 +62,7 @@ prop! {
     /// random generated scenario, yields either a typed rejection or a
     /// report that passes the independent audit. Nothing panics.
     #[cases(28)]
-    fn any_faulted_scenario_errs_or_validates(input in arb_spec(), fidx in 0usize..9, salt in 0u64..1_000) {
+    fn any_faulted_scenario_errs_or_validates(input in arb_spec(), fidx in 0usize..10, salt in 0u64..1_000) {
         let mut rng = Rng::seed_from_u64(salt);
         let fault = Fault::all()[fidx];
         let mut sc = build(input);
@@ -191,6 +192,75 @@ fn cancellation_flag_stops_the_pipeline() {
     match run_sag_with(&sc, config) {
         Err(SagError::BudgetExceeded { .. }) => {}
         other => panic!("expected BudgetExceeded from cancelled run, got {other:?}"),
+    }
+}
+
+/// Acceptance for [`Fault::ZoneWorkerPanic`]: a zone worker that dies
+/// mid-solve surfaces as the typed [`SagError::WorkerPanic`] — never a
+/// propagated panic, never a hung merge — at any thread count.
+#[test]
+fn zone_worker_panic_surfaces_a_typed_error_not_a_hang() {
+    let sc = build((8, 2, 500.0, 7));
+    for threads in [1usize, 2, 4] {
+        sag_core::engine::inject_zone_worker_panic(true);
+        let out = run_sag_with(
+            &sc,
+            SagPipelineConfig {
+                threads,
+                ..Default::default()
+            },
+        );
+        sag_core::engine::inject_zone_worker_panic(false);
+        match out {
+            Err(e @ SagError::WorkerPanic { .. }) => {
+                assert!(is_typed_rejection(&e));
+                assert!(e.to_string().contains("zone worker panicked"));
+            }
+            other => panic!("threads {threads}: expected WorkerPanic, got {other:?}"),
+        }
+        // The fault is scoped: a disarmed engine recovers immediately.
+        assert!(run_sag_with(
+            &sc,
+            SagPipelineConfig {
+                threads,
+                ..Default::default()
+            }
+        )
+        .is_ok());
+    }
+}
+
+/// S1 regression: a deadline the lower tier legitimately consumed must
+/// never be double-spent against the polynomial tail. Whatever the
+/// timing, `BudgetExceeded` may only name the lower-tier stage — a
+/// successful SAMC/ILPQC answer implies the tail completes.
+#[test]
+fn tail_stages_never_fail_on_a_deadline_the_lower_tier_spent() {
+    for seed in 0..6u64 {
+        for deadline_ms in [1u64, 5, 20, 60] {
+            let sc = ScenarioSpec {
+                field_size: 800.0,
+                n_subscribers: 24,
+                n_base_stations: 2,
+                snr_db: -18.0,
+                ..Default::default()
+            }
+            .build(seed);
+            for solver in [LowerSolver::Samc, LowerSolver::IlpqcWithGreedyFallback] {
+                let config = SagPipelineConfig {
+                    lower_solver: solver,
+                    budget: Budget::unlimited().with_deadline(Duration::from_millis(deadline_ms)),
+                    ..Default::default()
+                };
+                if let Err(SagError::BudgetExceeded { stage, .. }) = run_sag_with(&sc, config) {
+                    assert!(
+                        stage == "samc" || stage == "ilpqc",
+                        "seed {seed}, {deadline_ms}ms, {solver:?}: \
+                         tail stage {stage:?} starved by a spent deadline"
+                    );
+                }
+            }
+        }
     }
 }
 

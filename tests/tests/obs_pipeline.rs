@@ -252,6 +252,50 @@ fn ilpqc_run_records_solver_work_counters() {
     assert!(m.counter("ilpqc.nodes") > 0, "ILPQC must count its nodes");
 }
 
+#[test]
+fn budget_spent_is_stage_local_on_every_arm() {
+    // S2 regression: `SagReport::budget_spent` must describe the
+    // lower-tier *stage* — its own wall time and node count — not
+    // pipeline-so-far, and must mean the same thing on the SAMC and
+    // ILPQC arms.
+    let sc = build(14, 2, 11);
+
+    let started = Instant::now();
+    let samc = run_sag(&sc).expect("scenario is feasible");
+    let samc_wall = started.elapsed();
+    assert_eq!(samc.budget_spent.nodes, 0, "SAMC does no B&B work");
+    let samc_span = samc.metrics.span("samc").expect("samc span").total;
+    assert!(
+        samc.budget_spent.elapsed >= samc_span,
+        "stage spend {:?} cannot undercut the samc span {samc_span:?}",
+        samc.budget_spent.elapsed
+    );
+    assert!(
+        samc.budget_spent.elapsed <= samc_wall,
+        "stage spend {:?} exceeds the whole run ({samc_wall:?})",
+        samc.budget_spent.elapsed
+    );
+
+    let started = Instant::now();
+    let ilpqc = run_sag_with(
+        &sc,
+        SagPipelineConfig {
+            lower_solver: LowerSolver::IlpqcWithGreedyFallback,
+            ..Default::default()
+        },
+    )
+    .expect("scenario is feasible");
+    let ilpqc_wall = started.elapsed();
+    // The reported nodes are exactly the solver's own work counter.
+    assert_eq!(
+        ilpqc.budget_spent.nodes as u64,
+        ilpqc.metrics.counter("ilpqc.nodes")
+    );
+    let ilpqc_span = ilpqc.metrics.span("ilpqc").expect("ilpqc span").total;
+    assert!(ilpqc.budget_spent.elapsed >= ilpqc_span);
+    assert!(ilpqc.budget_spent.elapsed <= ilpqc_wall);
+}
+
 /// Writer that fails every operation — the realisation of
 /// [`Fault::ObsSinkFail`].
 struct FailingWriter;

@@ -1,0 +1,114 @@
+//! Determinism gate for the zone-parallel solve engine.
+//!
+//! The engine's contract ([`sag_core::engine`]): `threads = 1` and
+//! `threads = N` produce byte-identical reports. Zones are solved
+//! against private ledgers and merged in zone index order, so relay
+//! coordinates, powers and the connectivity plan must not drift by a
+//! single bit whatever the thread count.
+//!
+//! Comparison note: [`sag_core::mbmc::ConnectivityPlan`] carries no
+//! `PartialEq`, so reports are compared through their `Debug`
+//! rendering. Rust formats floats as the shortest string that
+//! round-trips, so equal renderings imply bit-equal values (modulo NaN
+//! payloads, which a validated report never contains).
+
+use sag_testkit::prelude::*;
+
+use sag_core::sag::{run_sag_with, LowerSolver, SagPipelineConfig, SagReport};
+use sag_core::zone::zone_partition;
+use sag_sim::gen::{BsLayout, ScenarioSpec};
+
+/// Everything in a report that must be identical across thread counts
+/// (wall-clock spend and collected metrics legitimately differ).
+fn fingerprint(report: &SagReport) -> String {
+    format!(
+        "{:?}|{:?}|{:?}|{:?}|{:?}|{}",
+        report.coverage,
+        report.lower_power,
+        report.plan,
+        report.upper_power,
+        report.solver,
+        report.budget_spent.nodes,
+    )
+}
+
+fn arb_spec() -> impl Strategy<Value = (usize, f64, f64, u64)> {
+    (
+        4usize..20,                 // subscribers
+        one_of([500.0, 800.0]),     // field size
+        one_of([1e-9, 1e-4, 1e-3]), // N_max: higher values → more zones
+        0u64..100_000,              // scenario seed
+    )
+}
+
+prop! {
+    /// The headline gate: over random scenarios spanning single-zone
+    /// and many-zone partitions, a sequential and an 8-way parallel run
+    /// produce byte-identical reports for both lower-tier solvers.
+    #[cases(24)]
+    fn reports_are_identical_across_thread_counts(input in arb_spec()) {
+        let (users, field, nmax, seed) = input;
+        let sc = ScenarioSpec {
+            field_size: field,
+            n_subscribers: users,
+            n_base_stations: 2,
+            snr_db: -15.0,
+            // Short reach relative to the field so high N_max genuinely
+            // fragments the subscribers into many zones.
+            dist_range: (8.0, 14.0),
+            nmax,
+            bs_layout: BsLayout::Uniform,
+            ..Default::default()
+        }
+        .build(seed);
+        for solver in [LowerSolver::Samc, LowerSolver::IlpqcWithGreedyFallback] {
+            let run = |threads: usize| {
+                run_sag_with(&sc, SagPipelineConfig {
+                    lower_solver: solver,
+                    threads,
+                    ..Default::default()
+                })
+            };
+            match (run(1), run(8)) {
+                (Ok(seq), Ok(par)) => prop_assert_eq!(
+                    fingerprint(&seq),
+                    fingerprint(&par),
+                    "{:?}: threads=1 vs threads=8 diverged ({} zones)",
+                    solver,
+                    zone_partition(&sc).len()
+                ),
+                // Errors must agree in kind; unbudgeted runs only fail
+                // deterministically (infeasible geometry), so the whole
+                // error must match.
+                (Err(a), Err(b)) => prop_assert_eq!(a, b, "{:?}: errors diverged", solver),
+                (a, b) => prop_assert!(
+                    false,
+                    "{:?}: one thread count failed where the other answered: \
+                     seq={:?} par={:?}",
+                    solver, a.is_ok(), b.is_ok()
+                ),
+            }
+        }
+    }
+}
+
+/// The partition itself is what makes parallelism safe — pin that the
+/// generator configuration above really exercises multi-zone runs.
+#[test]
+fn high_nmax_scenarios_do_fragment_into_zones() {
+    let sc = ScenarioSpec {
+        field_size: 800.0,
+        n_subscribers: 16,
+        n_base_stations: 2,
+        snr_db: -15.0,
+        dist_range: (8.0, 14.0),
+        nmax: 1e-3,
+        bs_layout: BsLayout::Uniform,
+        ..Default::default()
+    }
+    .build(1);
+    assert!(
+        zone_partition(&sc).len() >= 4,
+        "generator no longer produces multi-zone scenarios"
+    );
+}
