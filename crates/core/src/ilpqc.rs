@@ -27,7 +27,7 @@
 use std::time::Instant;
 
 use sag_geom::Point;
-use sag_lp::{Budget, LpProblem, Relation, Spent};
+use sag_lp::{Budget, CscMatrix, LpProblem, Relation, Spent, WarmStart};
 use sag_radio::InterferenceLedger;
 
 use crate::coverage::{interference_ledger, CoverageSolution};
@@ -54,6 +54,13 @@ pub struct IlpqcConfig {
     /// the search at the next poll, returning the incumbent if one
     /// exists and [`SagError::BudgetExceeded`] otherwise.
     pub budget: Budget,
+    /// Minimum candidate count before per-node LP completion bounds
+    /// kick in. Each incomplete node then re-solves the cover LP with
+    /// its selection forced to 1 — warm-started by the dual simplex
+    /// from the previous node's basis, so the marginal cost is a
+    /// handful of pivots. Small instances (golden tests, hand-laid
+    /// scenarios) stay on the pure combinatorial search.
+    pub lp_bound_min_cands: usize,
 }
 
 impl Default for IlpqcConfig {
@@ -61,6 +68,7 @@ impl Default for IlpqcConfig {
         IlpqcConfig {
             node_limit: 200_000,
             budget: Budget::unlimited(),
+            lp_bound_min_cands: 24,
         }
     }
 }
@@ -137,6 +145,20 @@ pub fn solve_ilpqc(
     let mut nodes = 0usize;
     let mut truncated = false;
 
+    // Per-node LP completion bounds (large instances only): the cover
+    // LP with the node's selection forced to 1 lower-bounds every
+    // completion of that node. Consecutive nodes share a matrix shape
+    // (only bounds change), so each solve warm-starts from the previous
+    // one's basis via the dual simplex.
+    let use_lp_bounds = n_cands >= config.lp_bound_min_cands;
+    let cover_lp = if use_lp_bounds {
+        Some(build_cover_lp(n_cands, &eligible))
+    } else {
+        None
+    };
+    let mut lp_warm: Option<WarmStart> = None;
+    let mut lp_prunes = 0u64;
+
     // One interference ledger for the whole search, synced to each
     // distance-complete node by a push/pop symmetric diff against the
     // previously evaluated selection — sibling nodes share most of
@@ -188,6 +210,35 @@ pub fn solve_ilpqc(
                 if let Some(b) = &best {
                     if selected.len() + 1 >= b.len() {
                         continue;
+                    }
+                    // LP completion bound: fix this node's selection to 1
+                    // and relax the rest; the cover LP optimum lower-bounds
+                    // every completion. Only worth the solve once an
+                    // incumbent exists to prune against.
+                    if let Some(template) = &cover_lp {
+                        let mut lp = template.clone();
+                        for &c in &selected {
+                            lp.set_bounds(c, 1.0, 1.0);
+                        }
+                        lp.set_budget(config.budget.clone());
+                        match lp.solve_with_warm_start(lp_warm.as_ref()) {
+                            Ok(out) => {
+                                lp_warm = out.warm;
+                                let bound =
+                                    round_lp_lower_bound(out.solution.objective, n_cands + n_subs);
+                                if bound >= b.len() {
+                                    lp_prunes += 1;
+                                    continue;
+                                }
+                            }
+                            Err(sag_lp::LpError::Cancelled) => {
+                                truncated = true;
+                                break;
+                            }
+                            // Infeasible/Numerical relaxations yield no
+                            // usable bound; keep branching combinatorially.
+                            Err(_) => {}
+                        }
                     }
                 }
                 // Push branches in reverse so nearer candidates pop first.
@@ -280,6 +331,9 @@ pub fn solve_ilpqc(
     if sag_obs::enabled() {
         sag_obs::counter("ilpqc.nodes", nodes as u64);
         sag_obs::counter("ilpqc.ledger_rebuilds", ledger.stats().rebuilds);
+        if lp_prunes > 0 {
+            sag_obs::counter("ilpqc.lp_prunes", lp_prunes);
+        }
         if truncated {
             sag_obs::counter("ilpqc.budget_exhausted", 1);
         }
@@ -373,6 +427,28 @@ fn nearest_assignment(
     out
 }
 
+/// Builds the set-cover relaxation: minimise Σx over x ∈ [0,1] subject
+/// to one `≥ 1` coverage row per subscriber. Rows are assembled as one
+/// canonical [`CscMatrix`] block (subscribers × candidates) and
+/// bulk-added — the sparse backend consumes the same structure, so
+/// nothing is densified on the way in.
+fn build_cover_lp(n_cands: usize, eligible: &[Vec<usize>]) -> LpProblem {
+    let mut lp = LpProblem::minimize(n_cands);
+    lp.set_objective(&vec![1.0; n_cands]);
+    for c in 0..n_cands {
+        lp.set_bounds(c, 0.0, 1.0);
+    }
+    let triplets: Vec<(usize, usize, f64)> = eligible
+        .iter()
+        .enumerate()
+        .flat_map(|(j, e)| e.iter().map(move |&c| (j, c, 1.0)))
+        .collect();
+    let cover = CscMatrix::from_triplets(eligible.len(), n_cands, &triplets)
+        .expect("eligibility indices are in range and finite");
+    lp.add_rows_from_csc(&cover, Relation::Ge, 1.0);
+    lp
+}
+
 /// LP relaxation of the set-cover part: a valid lower bound on the ILPQC
 /// optimum (dropping (3.5) relaxes the problem).
 fn set_cover_lp_bound(
@@ -380,15 +456,7 @@ fn set_cover_lp_bound(
     eligible: &[Vec<usize>],
     budget: &Budget,
 ) -> SagResult<usize> {
-    let mut lp = LpProblem::minimize(n_cands);
-    lp.set_objective(&vec![1.0; n_cands]);
-    for c in 0..n_cands {
-        lp.set_bounds(c, 0.0, 1.0);
-    }
-    for e in eligible {
-        let row: Vec<(usize, f64)> = e.iter().map(|&c| (c, 1.0)).collect();
-        lp.add_constraint(&row, Relation::Ge, 1.0);
-    }
+    let mut lp = build_cover_lp(n_cands, eligible);
     lp.set_budget(budget.clone());
     let sol = lp.solve()?;
     Ok(round_lp_lower_bound(
@@ -554,6 +622,7 @@ mod tests {
         let config = IlpqcConfig {
             node_limit: usize::MAX,
             budget: Budget::unlimited().with_node_limit(1),
+            ..Default::default()
         };
         match solve_ilpqc(&sc, &cands, config) {
             Ok(out) => assert!(!out.optimal),

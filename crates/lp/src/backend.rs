@@ -1,0 +1,87 @@
+//! The LP backend switch: sparse revised simplex by default, the dense
+//! two-phase tableau as a differential oracle.
+//!
+//! Mirrors the interference ledger's oracle pattern
+//! (`SAG_SNR_ORACLE`): the environment variable `SAG_LP_ORACLE=1`
+//! routes every [`crate::LpProblem::solve`] through the dense core,
+//! read once per process; tests install scoped, thread-local overrides
+//! via [`push_backend_override`] so differential rigs can pin each side
+//! explicitly without racing parallel tests.
+
+use std::cell::Cell;
+use std::sync::OnceLock;
+
+/// Which numerical core solves lowered LPs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpBackend {
+    /// The sparse revised simplex ([`crate::revised`]) — the default.
+    Sparse,
+    /// The dense two-phase tableau ([`crate::simplex`]) — the
+    /// differential oracle, selected process-wide by `SAG_LP_ORACLE=1`.
+    Dense,
+}
+
+thread_local! {
+    /// Scoped override installed by [`push_backend_override`];
+    /// thread-local so concurrent tests cannot race each other.
+    static BACKEND_OVERRIDE: Cell<Option<LpBackend>> = const { Cell::new(None) };
+}
+
+/// The environment's backend: dense when `SAG_LP_ORACLE=1`, sparse
+/// otherwise. Read once per process — never a per-solve `env::var`.
+fn env_backend() -> LpBackend {
+    static BACKEND: OnceLock<LpBackend> = OnceLock::new();
+    *BACKEND.get_or_init(|| {
+        if std::env::var("SAG_LP_ORACLE").is_ok_and(|v| v == "1") {
+            LpBackend::Dense
+        } else {
+            LpBackend::Sparse
+        }
+    })
+}
+
+/// The backend solves run with: the scoped override when one is
+/// installed, the cached `SAG_LP_ORACLE` environment switch otherwise.
+pub fn backend() -> LpBackend {
+    BACKEND_OVERRIDE.with(Cell::get).unwrap_or_else(env_backend)
+}
+
+/// Installs a scoped backend override on this thread; the previous
+/// value is restored when the returned guard drops. `None` clears any
+/// outer override back to the environment default for the scope.
+pub fn push_backend_override(backend: Option<LpBackend>) -> BackendGuard {
+    let previous = BACKEND_OVERRIDE.with(|c| c.replace(backend));
+    BackendGuard { previous }
+}
+
+/// Restores the previous backend override on drop (returned by
+/// [`push_backend_override`]).
+pub struct BackendGuard {
+    previous: Option<LpBackend>,
+}
+
+impl Drop for BackendGuard {
+    fn drop(&mut self) {
+        BACKEND_OVERRIDE.with(|c| c.set(self.previous));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn override_scopes_and_restores() {
+        let outer = backend();
+        {
+            let _g = push_backend_override(Some(LpBackend::Dense));
+            assert_eq!(backend(), LpBackend::Dense);
+            {
+                let _g2 = push_backend_override(Some(LpBackend::Sparse));
+                assert_eq!(backend(), LpBackend::Sparse);
+            }
+            assert_eq!(backend(), LpBackend::Dense);
+        }
+        assert_eq!(backend(), outer);
+    }
+}

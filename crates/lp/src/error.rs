@@ -20,6 +20,13 @@ pub enum LpError {
     /// The solve was stopped cooperatively: the [`crate::budget::Budget`]
     /// deadline passed or its cancellation flag was raised.
     Cancelled,
+    /// The sparse core lost numerical integrity it could not repair: a
+    /// singular basis factorization, or a factorization that failed its
+    /// residual self-check twice (e.g. under the `LpBasisDesync` chaos
+    /// fault). Never a silently wrong answer. Warm-start entry points
+    /// also use this to report an unusable seed basis, which callers
+    /// treat as "fall back to a cold solve".
+    Numerical(String),
     /// The problem is malformed (e.g. a constraint references a variable
     /// that does not exist). The payload describes the defect.
     Malformed(String),
@@ -33,6 +40,7 @@ impl fmt::Display for LpError {
             LpError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
             LpError::NodeLimit => write!(f, "branch-and-bound node limit exceeded"),
             LpError::Cancelled => write!(f, "solve cancelled (deadline or cancellation flag)"),
+            LpError::Numerical(why) => write!(f, "numerical failure: {why}"),
             LpError::Malformed(why) => write!(f, "malformed problem: {why}"),
         }
     }
@@ -52,6 +60,9 @@ mod tests {
         assert!(!LpError::IterationLimit.to_string().is_empty());
         assert!(LpError::NodeLimit.to_string().contains("node"));
         assert!(LpError::Cancelled.to_string().contains("cancelled"));
+        assert!(LpError::Numerical("drift".into())
+            .to_string()
+            .contains("drift"));
     }
 
     #[test]

@@ -8,9 +8,9 @@
 
 use crate::budget::Budget;
 use crate::error::LpError;
-use crate::problem::LpProblem;
 #[cfg(test)]
 use crate::problem::Relation;
+use crate::problem::{LpProblem, WarmStart};
 
 /// An integer program: an [`LpProblem`] plus a set of integer variables.
 ///
@@ -33,6 +33,7 @@ pub struct IlpProblem {
     integer: Vec<bool>,
     node_limit: usize,
     budget: Budget,
+    warm_start: bool,
 }
 
 /// An optimal ILP solution.
@@ -57,7 +58,18 @@ struct BbStats {
     pruned: usize,
     /// Times the incumbent improved.
     incumbents: usize,
+    /// Relaxations solved from a parent basis by the dual simplex.
+    warm_starts: usize,
+    /// Relaxations solved cold (root, shape change, unusable seed, or
+    /// warm starts disabled).
+    cold_starts: usize,
 }
+
+/// A pending branch-and-bound node: `(var, lo, hi)` bound tightenings
+/// applied on top of the base problem, plus the basis the parent
+/// relaxation ended on (dual feasible for the child: only bounds
+/// changed).
+type BbNode = (Vec<(usize, f64, f64)>, Option<WarmStart>);
 
 impl IlpProblem {
     /// Wraps an LP; no variables are integer until marked.
@@ -68,7 +80,17 @@ impl IlpProblem {
             integer: vec![false; n],
             node_limit: 200_000,
             budget: Budget::unlimited(),
+            warm_start: true,
         }
+    }
+
+    /// Enables or disables dual-simplex warm starts of child
+    /// relaxations from their parent's basis (on by default; only
+    /// effective on the sparse backend). Cold solves are the
+    /// differential baseline — `bench_lp` measures the gap.
+    pub fn set_warm_start(&mut self, warm: bool) -> &mut Self {
+        self.warm_start = warm;
+        self
     }
 
     /// Marks a variable as integer.
@@ -120,6 +142,8 @@ impl IlpProblem {
             sag_obs::counter("ilp.nodes", stats.nodes as u64);
             sag_obs::counter("ilp.pruned", stats.pruned as u64);
             sag_obs::counter("ilp.incumbents", stats.incumbents as u64);
+            sag_obs::counter("ilp.warm_starts", stats.warm_starts as u64);
+            sag_obs::counter("ilp.cold_starts", stats.cold_starts as u64);
             if matches!(out, Err(LpError::NodeLimit | LpError::Cancelled)) {
                 sag_obs::counter("ilp.budget_exhausted", 1);
             }
@@ -137,10 +161,8 @@ impl IlpProblem {
             .map_or(self.node_limit, |b| b.min(self.node_limit));
         let mut best: Option<(f64, Vec<f64>)> = None; // minimisation sense
         let mut nodes = 0usize;
-        // Stack of (extra bounds) — var, lo, hi triples applied on top of
-        // the base problem.
-        let mut stack: Vec<Vec<(usize, f64, f64)>> = vec![Vec::new()];
-        while let Some(extra) = stack.pop() {
+        let mut stack: Vec<BbNode> = vec![(Vec::new(), None)];
+        while let Some((extra, parent_warm)) = stack.pop() {
             nodes += 1;
             stats.nodes = nodes;
             if nodes > node_cap {
@@ -162,8 +184,20 @@ impl IlpProblem {
             if infeasible_bounds {
                 continue;
             }
-            let relax = match lp.solve() {
-                Ok(s) => s,
+            let seed = if self.warm_start {
+                parent_warm.as_ref()
+            } else {
+                None
+            };
+            let (relax, node_warm) = match lp.solve_with_warm_start(seed) {
+                Ok(out) => {
+                    if out.warm_used {
+                        stats.warm_starts += 1;
+                    } else {
+                        stats.cold_starts += 1;
+                    }
+                    (out.solution, out.warm)
+                }
                 Err(LpError::Infeasible) => continue,
                 Err(e) => return Err(e),
             };
@@ -207,13 +241,14 @@ impl IlpProblem {
                     down.push((v, f64::NEG_INFINITY_SAFE(), floor));
                     let mut up = extra;
                     up.push((v, floor + 1.0, f64::INFINITY));
+                    // Both children inherit this node's terminal basis.
                     // Explore the branch nearer the fractional value first.
                     if val - floor < 0.5 {
-                        stack.push(up);
-                        stack.push(down);
+                        stack.push((up, node_warm.clone()));
+                        stack.push((down, node_warm));
                     } else {
-                        stack.push(down);
-                        stack.push(up);
+                        stack.push((down, node_warm.clone()));
+                        stack.push((up, node_warm));
                     }
                 }
             }

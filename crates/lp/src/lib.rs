@@ -30,14 +30,20 @@
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod backend;
 pub mod budget;
 pub mod error;
 pub mod ilp;
 pub mod problem;
+pub mod revised;
 pub mod simplex;
+pub mod sparse;
 
+pub use backend::{push_backend_override, LpBackend};
 pub use budget::{Budget, Spent};
 pub use error::LpError;
 pub use ilp::{IlpProblem, IlpSolution};
-pub use problem::{LpProblem, LpSolution, LpSolutionDetailed, Relation};
+pub use problem::{LpProblem, LpSolution, LpSolutionDetailed, Relation, WarmStart};
+pub use revised::{RevisedSolution, SparseStandardForm};
 pub use simplex::TOL as SIMPLEX_TOL;
+pub use sparse::{CscBuilder, CscMatrix, SparseError};

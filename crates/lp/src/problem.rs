@@ -1,16 +1,26 @@
 //! User-facing LP modelling: sparse rows, ≤/≥/=, variable bounds.
 //!
-//! [`LpProblem`] converts itself to the equality standard form consumed by
-//! [`crate::simplex`]: variables are shifted by their lower bounds, finite
-//! upper bounds become extra `≤` rows, inequality rows gain slack/surplus
-//! columns, and right-hand sides are made non-negative by row negation.
+//! [`LpProblem`] lowers itself to equality standard form for one of two
+//! backends (see [`crate::backend`]): the sparse revised simplex
+//! ([`crate::revised`], the default) or the dense two-phase tableau
+//! ([`crate::simplex`], the differential oracle). Both lowerings shift
+//! variables by their lower bounds, turn finite upper bounds into extra
+//! `≤` rows, and give inequality rows slack/surplus columns. They
+//! differ in one deliberate way: the dense core requires `b ≥ 0`, so
+//! its lowering negates rows — the sparse core accepts any-sign `b`,
+//! keeping the lowered matrix *identical* across bound changes so
+//! branch-and-bound children can warm-start from a parent basis
+//! ([`LpProblem::solve_with_warm_start`]).
 
 // Building dense rows/columns is index arithmetic by nature.
 #![allow(clippy::needless_range_loop)]
 
+use crate::backend::{backend, LpBackend};
 use crate::budget::Budget;
 use crate::error::LpError;
+use crate::revised::{solve_sparse_from_basis, solve_sparse_with, SparseStandardForm};
 use crate::simplex::{solve_standard_with, StandardForm};
+use crate::sparse::CscMatrix;
 
 /// Relation of a linear constraint row.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -81,6 +91,50 @@ pub struct LpSolutionDetailed {
     /// Reduced cost of each variable in the internal minimisation sense
     /// (zero for basic variables).
     pub reduced_costs: Vec<f64>,
+}
+
+/// The structural signature of a sparse lowering: row/column counts
+/// plus the set of finite-upper-bound variables. Two problems share a
+/// shape exactly when they differ only in bound *values* and right-hand
+/// sides — the condition under which a basis from one is dual feasible
+/// for the other.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct LoweredShape {
+    m: usize,
+    total: usize,
+    n: usize,
+    ub_vars: Vec<usize>,
+}
+
+/// An opaque warm-start handle: the terminal basis of a sparse solve
+/// plus the shape it belongs to. Obtained from
+/// [`LpProblem::solve_with_warm_start`] and fed back into a later solve
+/// of a same-shaped problem (e.g. a branch-and-bound child).
+#[derive(Debug, Clone)]
+pub struct WarmStart {
+    basis: Vec<usize>,
+    shape: LoweredShape,
+}
+
+/// Result of [`LpProblem::solve_with_warm_start`].
+#[derive(Debug, Clone)]
+pub struct WarmOutcome {
+    /// The optimal solution.
+    pub solution: LpSolution,
+    /// Warm-start handle for a subsequent same-shaped solve; `None`
+    /// under the dense oracle backend or when the terminal basis cannot
+    /// seed one (it kept an artificial for a redundant row).
+    pub warm: Option<WarmStart>,
+    /// Whether the provided seed basis was actually used (shape
+    /// matched and the dual simplex accepted it).
+    pub warm_used: bool,
+}
+
+/// Internal detailed variant of [`WarmOutcome`].
+struct SparseOutcome {
+    solution: LpSolutionDetailed,
+    warm: Option<WarmStart>,
+    warm_used: bool,
 }
 
 impl LpProblem {
@@ -211,9 +265,21 @@ impl LpProblem {
     /// `objective == Σ duals_i · rhs_i + Σ bound contributions` for the
     /// tight rows. Equality-row duals are reported as `None`.
     ///
+    /// Routed through the active [`crate::backend::LpBackend`]: the
+    /// sparse revised simplex by default, the dense tableau under
+    /// `SAG_LP_ORACLE=1` or a scoped override.
+    ///
     /// # Errors
     /// As [`LpProblem::solve`].
     pub fn solve_detailed(&self) -> Result<LpSolutionDetailed, LpError> {
+        match backend() {
+            LpBackend::Dense => self.solve_detailed_dense(),
+            LpBackend::Sparse => self.solve_sparse_outcome(None).map(|o| o.solution),
+        }
+    }
+
+    /// The dense-tableau lowering and solve (the differential oracle).
+    fn solve_detailed_dense(&self) -> Result<LpSolutionDetailed, LpError> {
         // Shift x = lower + x'. Build rows over x' ≥ 0.
         let n = self.n;
         let mut rows: Vec<(Vec<f64>, Relation, f64)> = Vec::new();
@@ -340,6 +406,223 @@ impl LpProblem {
             duals,
             reduced_costs: sol.reduced_costs[..n].to_vec(),
         })
+    }
+
+    /// Bulk-adds one constraint per row of a CSC-assembled block:
+    /// `block` is an `r × num_vars()` matrix and each of its rows
+    /// becomes `Σ block[i,·]·x rel rhs`. This is the assembly path the
+    /// ILPQC coverage rows use — triplets go straight into a canonical
+    /// [`CscMatrix`] (duplicates summed, zeros dropped) instead of
+    /// per-row pushes.
+    ///
+    /// # Panics
+    /// Panics if `block.ncols() != num_vars()` or `rhs` is not finite.
+    pub fn add_rows_from_csc(&mut self, block: &CscMatrix, rel: Relation, rhs: f64) -> &mut Self {
+        assert_eq!(
+            block.ncols(),
+            self.n,
+            "block has {} columns, problem has {} variables",
+            block.ncols(),
+            self.n
+        );
+        assert!(rhs.is_finite(), "rhs must be finite");
+        for coeffs in block.to_rows() {
+            self.rows.push(Row { coeffs, rel, rhs });
+        }
+        self
+    }
+
+    /// Lowers to the any-sign-rhs sparse standard form. Row order and
+    /// scaling mirror the dense lowering exactly — minus the rhs
+    /// negation, so the matrix (and hence [`LoweredShape`]) depends only
+    /// on the constraint structure, never on bound values.
+    fn lower_sparse(
+        &self,
+    ) -> (
+        SparseStandardForm,
+        Vec<f64>,
+        Vec<Option<usize>>,
+        LoweredShape,
+    ) {
+        let n = self.n;
+        let m_user = self.rows.len();
+        let ub_vars: Vec<usize> = (0..n).filter(|&v| self.upper[v].is_finite()).collect();
+        let m = m_user + ub_vars.len();
+        let mut triplets: Vec<(usize, usize, f64)> = Vec::new();
+        let mut b: Vec<f64> = Vec::with_capacity(m);
+        let mut row_scales: Vec<f64> = Vec::with_capacity(m_user);
+        for (i, row) in self.rows.iter().enumerate() {
+            // Combine duplicate variable references, as the dense
+            // lowering's scatter-add does.
+            let mut combined: Vec<(usize, f64)> = row.coeffs.clone();
+            combined.sort_by_key(|&(v, _)| v);
+            combined.dedup_by(|next, acc| {
+                if next.0 == acc.0 {
+                    acc.1 += next.1;
+                    true
+                } else {
+                    false
+                }
+            });
+            let shift: f64 = combined.iter().map(|&(v, c)| c * self.lower[v]).sum();
+            let scale = combined.iter().fold(0.0f64, |mx, &(_, c)| mx.max(c.abs()));
+            let scale = if scale > 0.0 { scale } else { 1.0 };
+            for &(v, c) in &combined {
+                triplets.push((i, v, c / scale));
+            }
+            b.push((row.rhs - shift) / scale);
+            row_scales.push(scale);
+        }
+        for (idx, &v) in ub_vars.iter().enumerate() {
+            triplets.push((m_user + idx, v, 1.0));
+            b.push(self.upper[v] - self.lower[v]);
+        }
+        // Slack/surplus columns in row order: user rows by relation,
+        // then a `+1` slack for every synthesised upper-bound row.
+        let n_slack = self.rows.iter().filter(|r| r.rel != Relation::Eq).count() + ub_vars.len();
+        let total = n + n_slack;
+        let mut slack_idx = n;
+        let mut slack_cols: Vec<Option<usize>> = Vec::with_capacity(m_user);
+        for (i, row) in self.rows.iter().enumerate() {
+            let sign = match row.rel {
+                Relation::Le => 1.0,
+                Relation::Ge => -1.0,
+                Relation::Eq => {
+                    slack_cols.push(None);
+                    continue;
+                }
+            };
+            triplets.push((i, slack_idx, sign));
+            slack_cols.push(Some(slack_idx));
+            slack_idx += 1;
+        }
+        for idx in 0..ub_vars.len() {
+            triplets.push((m_user + idx, slack_idx, 1.0));
+            slack_idx += 1;
+        }
+        let mut c = vec![0.0; total];
+        for v in 0..n {
+            c[v] = if self.minimize {
+                self.objective[v]
+            } else {
+                -self.objective[v]
+            };
+        }
+        let a = CscMatrix::from_triplets(m, total, &triplets)
+            .expect("lowering emits in-range, finite triplets");
+        let shape = LoweredShape {
+            m,
+            total,
+            n,
+            ub_vars,
+        };
+        (
+            SparseStandardForm { a, b, c },
+            row_scales,
+            slack_cols,
+            shape,
+        )
+    }
+
+    /// Solves via the sparse revised simplex, optionally warm-starting
+    /// the dual simplex from `warm` (ignored unless its
+    /// [`LoweredShape`] matches; an unusable seed falls back to a cold
+    /// solve). Returns the detailed solution plus the terminal basis
+    /// for future warm starts.
+    fn solve_sparse_outcome(&self, warm: Option<&WarmStart>) -> Result<SparseOutcome, LpError> {
+        let (sf, row_scales, slack_cols, shape) = self.lower_sparse();
+        let mut warm_used = false;
+        let sol = match warm {
+            Some(ws) if ws.shape == shape => {
+                match solve_sparse_from_basis(&sf, &ws.basis, &self.budget) {
+                    Ok(s) => {
+                        warm_used = true;
+                        s
+                    }
+                    // An unusable seed basis is not an answer — retry
+                    // cold. Anything else (Infeasible, Cancelled, …) is
+                    // a real outcome and propagates.
+                    Err(LpError::Numerical(_)) => solve_sparse_with(&sf, &self.budget)?,
+                    Err(e) => return Err(e),
+                }
+            }
+            _ => solve_sparse_with(&sf, &self.budget)?,
+        };
+        let n = self.n;
+        let x: Vec<f64> = (0..n).map(|v| sol.x[v] + self.lower[v]).collect();
+        let objective: f64 = self.objective.iter().zip(&x).map(|(c, v)| c * v).sum();
+        // Dual recovery as in the dense path, minus the negation term
+        // (sparse rows are never negated).
+        let sense = if self.minimize { 1.0 } else { -1.0 };
+        let duals: Vec<Option<f64>> = (0..self.rows.len())
+            .map(|i| {
+                let col = slack_cols[i]?;
+                let rc = sol.reduced_costs[col];
+                let y = match self.rows[i].rel {
+                    Relation::Ge => rc,
+                    Relation::Le => -rc,
+                    Relation::Eq => unreachable!("Eq rows have no slack"),
+                };
+                Some(sense * y / row_scales[i])
+            })
+            .collect();
+        // A basis containing artificials (redundant rows) cannot seed a
+        // warm start; report no handle rather than a poisoned one.
+        let total = sf.c.len();
+        let warm_out = if sol.basis.iter().all(|&j| j < total) {
+            Some(WarmStart {
+                basis: sol.basis,
+                shape,
+            })
+        } else {
+            None
+        };
+        Ok(SparseOutcome {
+            solution: LpSolutionDetailed {
+                objective,
+                x,
+                duals,
+                reduced_costs: sol.reduced_costs[..n].to_vec(),
+            },
+            warm: warm_out,
+            warm_used,
+        })
+    }
+
+    /// Solves the problem, seeding the sparse backend's dual simplex
+    /// from a previous solve's basis when `warm` is compatible (same
+    /// [`LoweredShape`] — i.e. only bounds/right-hand sides changed, as
+    /// under branch-and-bound branching). Under the dense oracle
+    /// backend this is a plain cold solve and no handle is returned.
+    ///
+    /// # Errors
+    /// As [`LpProblem::solve`]; a warm seed that cannot be used falls
+    /// back to a cold solve rather than erroring.
+    pub fn solve_with_warm_start(&self, warm: Option<&WarmStart>) -> Result<WarmOutcome, LpError> {
+        match backend() {
+            LpBackend::Dense => {
+                let d = self.solve_detailed_dense()?;
+                Ok(WarmOutcome {
+                    solution: LpSolution {
+                        objective: d.objective,
+                        x: d.x,
+                    },
+                    warm: None,
+                    warm_used: false,
+                })
+            }
+            LpBackend::Sparse => {
+                let out = self.solve_sparse_outcome(warm)?;
+                Ok(WarmOutcome {
+                    solution: LpSolution {
+                        objective: out.solution.objective,
+                        x: out.solution.x,
+                    },
+                    warm: out.warm,
+                    warm_used: out.warm_used,
+                })
+            }
+        }
     }
 
     /// Returns the objective coefficients.

@@ -1,0 +1,379 @@
+//! Compressed sparse column (CSC) matrices for the revised simplex.
+//!
+//! ILPQC/LPQC constraint matrices are overwhelmingly sparse — one
+//! coverage row per subscriber touching only the handful of nearby
+//! candidates — so the sparse LP core stores `A` column-wise:
+//! [`CscMatrix`] keeps, per column, the strictly-increasing row indices
+//! and their values. Columns are what the revised simplex consumes
+//! (pricing walks `y·a_j`, FTRAN solves against one entering column),
+//! so CSC is the natural orientation.
+//!
+//! Construction is *total*: every malformed input — an out-of-range
+//! index, a non-finite value — is a typed [`SparseError`], never a
+//! panic, because matrices are also assembled from fuzzed and
+//! chaos-mutated inputs in the test rigs. Duplicate entries are summed
+//! and exact-zero results dropped, so any triplet order builds the same
+//! canonical matrix.
+
+// The fuzz rigs feed this module adversarial input; every failure must
+// be a typed error.
+#![deny(clippy::unwrap_used)]
+#![deny(clippy::expect_used)]
+#![deny(clippy::panic)]
+
+use std::fmt;
+
+/// A typed construction failure for [`CscMatrix`] / [`CscBuilder`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparseError {
+    /// A triplet's row index is `>= nrows`.
+    RowOutOfRange {
+        /// The offending row index.
+        row: usize,
+        /// The matrix row count.
+        nrows: usize,
+    },
+    /// A triplet's column index is `>= ncols`.
+    ColOutOfRange {
+        /// The offending column index.
+        col: usize,
+        /// The matrix column count.
+        ncols: usize,
+    },
+    /// A value is NaN or ±∞ (e.g. a byte-flipped triplet).
+    NonFinite {
+        /// Row of the offending entry.
+        row: usize,
+        /// Column of the offending entry.
+        col: usize,
+    },
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::RowOutOfRange { row, nrows } => {
+                write!(f, "row index {row} out of range (nrows = {nrows})")
+            }
+            SparseError::ColOutOfRange { col, ncols } => {
+                write!(f, "column index {col} out of range (ncols = {ncols})")
+            }
+            SparseError::NonFinite { row, col } => {
+                write!(f, "non-finite value at ({row}, {col})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SparseError {}
+
+/// A compressed-sparse-column matrix over `f64`.
+///
+/// Canonical invariants (enforced by every constructor):
+/// * `col_ptr` has `ncols + 1` monotone entries with
+///   `col_ptr[ncols] == nnz`;
+/// * row indices are strictly increasing within each column;
+/// * every stored value is finite and non-zero.
+///
+/// # Example
+/// ```
+/// use sag_lp::sparse::CscMatrix;
+/// // [[1, 0], [0, 2]] from unordered, duplicated triplets.
+/// let m = CscMatrix::from_triplets(2, 2, &[(1, 1, 1.5), (0, 0, 1.0), (1, 1, 0.5)]).unwrap();
+/// assert_eq!(m.nnz(), 2);
+/// assert_eq!(m.col(1), (&[1usize][..], &[2.0][..]));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CscMatrix {
+    nrows: usize,
+    ncols: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CscMatrix {
+    /// An empty `nrows × ncols` matrix.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        CscMatrix {
+            nrows,
+            ncols,
+            col_ptr: vec![0; ncols + 1],
+            row_idx: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Builds the canonical matrix from `(row, col, value)` triplets in
+    /// any order. Duplicates are summed; entries whose sum is exactly
+    /// zero are dropped.
+    ///
+    /// # Errors
+    /// [`SparseError`] on an out-of-range index or a non-finite value —
+    /// never panics.
+    pub fn from_triplets(
+        nrows: usize,
+        ncols: usize,
+        triplets: &[(usize, usize, f64)],
+    ) -> Result<Self, SparseError> {
+        let mut builder = CscBuilder::new(nrows, ncols);
+        // Route through the per-column builder by bucketing first: sort
+        // a copy by (col, row) so the builder sees columns in order.
+        let mut sorted: Vec<(usize, usize, f64)> = triplets.to_vec();
+        for &(row, col, value) in &sorted {
+            if col >= ncols {
+                return Err(SparseError::ColOutOfRange { col, ncols });
+            }
+            if row >= nrows {
+                return Err(SparseError::RowOutOfRange { row, nrows });
+            }
+            if !value.is_finite() {
+                return Err(SparseError::NonFinite { row, col });
+            }
+        }
+        sorted.sort_by_key(|a| (a.1, a.0));
+        let mut i = 0usize;
+        for col in 0..ncols {
+            let start = i;
+            while i < sorted.len() && sorted[i].1 == col {
+                i += 1;
+            }
+            let entries: Vec<(usize, f64)> =
+                sorted[start..i].iter().map(|&(r, _, v)| (r, v)).collect();
+            builder.push_col(&entries)?;
+        }
+        Ok(builder.finish())
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored (structurally non-zero) entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The row indices and values of column `j` (strictly increasing
+    /// rows). Out-of-range `j` yields empty slices rather than a panic.
+    pub fn col(&self, j: usize) -> (&[usize], &[f64]) {
+        if j >= self.ncols {
+            return (&[], &[]);
+        }
+        let range = self.col_ptr[j]..self.col_ptr[j + 1];
+        (&self.row_idx[range.clone()], &self.values[range])
+    }
+
+    /// `y · a_j` for a dense vector `y` of length `nrows` — the pricing
+    /// kernel of the revised simplex. Out-of-range `j` is 0.
+    pub fn dot_col(&self, j: usize, y: &[f64]) -> f64 {
+        let (rows, vals) = self.col(j);
+        let mut acc = 0.0;
+        for (&r, &v) in rows.iter().zip(vals) {
+            acc += y[r] * v;
+        }
+        acc
+    }
+
+    /// Accumulates `scale * a_j` into the dense vector `out`
+    /// (length `nrows`) — the residual/update kernel.
+    pub fn axpy_col(&self, j: usize, scale: f64, out: &mut [f64]) {
+        let (rows, vals) = self.col(j);
+        for (&r, &v) in rows.iter().zip(vals) {
+            out[r] += scale * v;
+        }
+    }
+
+    /// The matrix transposed into row-major sparse rows — used by the
+    /// modelling layer to bulk-add CSC-assembled constraint blocks.
+    pub fn to_rows(&self) -> Vec<Vec<(usize, f64)>> {
+        let mut rows: Vec<Vec<(usize, f64)>> = vec![Vec::new(); self.nrows];
+        for j in 0..self.ncols {
+            let (ridx, vals) = self.col(j);
+            for (&r, &v) in ridx.iter().zip(vals) {
+                rows[r].push((j, v));
+            }
+        }
+        rows
+    }
+}
+
+/// Incremental column-by-column CSC assembly.
+///
+/// Columns are appended in order; each column's entries may arrive in
+/// any order, with duplicates (summed) and explicit zeros (dropped).
+/// The builder validates every entry and never panics.
+#[derive(Debug, Clone)]
+pub struct CscBuilder {
+    nrows: usize,
+    ncols_hint: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CscBuilder {
+    /// A builder for an `nrows`-row matrix; `ncols` is a capacity hint
+    /// (the finished matrix has exactly as many columns as were pushed,
+    /// padded with empty columns up to the hint).
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        CscBuilder {
+            nrows,
+            ncols_hint: ncols,
+            col_ptr: {
+                let mut p = Vec::with_capacity(ncols + 1);
+                p.push(0);
+                p
+            },
+            row_idx: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Number of columns pushed so far.
+    pub fn ncols(&self) -> usize {
+        self.col_ptr.len() - 1
+    }
+
+    /// Appends one column from `(row, value)` entries in any order;
+    /// duplicates are summed, exact-zero sums dropped. Returns the new
+    /// column's index.
+    ///
+    /// # Errors
+    /// [`SparseError`] on an out-of-range row or non-finite value; the
+    /// builder is left unchanged on error.
+    pub fn push_col(&mut self, entries: &[(usize, f64)]) -> Result<usize, SparseError> {
+        let col = self.ncols();
+        for &(row, value) in entries {
+            if row >= self.nrows {
+                return Err(SparseError::RowOutOfRange {
+                    row,
+                    nrows: self.nrows,
+                });
+            }
+            if !value.is_finite() {
+                return Err(SparseError::NonFinite { row, col });
+            }
+        }
+        let mut sorted: Vec<(usize, f64)> = entries.to_vec();
+        sorted.sort_by_key(|&(r, _)| r);
+        let before = self.row_idx.len();
+        for (row, value) in sorted {
+            if self.row_idx.len() > before && self.row_idx[self.row_idx.len() - 1] == row {
+                let last = self.values.len() - 1;
+                self.values[last] += value;
+            } else {
+                self.row_idx.push(row);
+                self.values.push(value);
+            }
+        }
+        // Drop entries that summed to exactly zero, keeping canonical
+        // form identical however the duplicates arrived.
+        let mut w = before;
+        for r in before..self.row_idx.len() {
+            if self.values[r] != 0.0 {
+                self.row_idx[w] = self.row_idx[r];
+                self.values[w] = self.values[r];
+                w += 1;
+            }
+        }
+        self.row_idx.truncate(w);
+        self.values.truncate(w);
+        self.col_ptr.push(self.row_idx.len());
+        Ok(col)
+    }
+
+    /// Finishes the matrix, padding with empty columns up to the
+    /// capacity hint when fewer were pushed.
+    pub fn finish(mut self) -> CscMatrix {
+        while self.ncols() < self.ncols_hint {
+            let nnz = self.row_idx.len();
+            self.col_ptr.push(nnz);
+        }
+        CscMatrix {
+            nrows: self.nrows,
+            ncols: self.col_ptr.len() - 1,
+            col_ptr: self.col_ptr,
+            row_idx: self.row_idx,
+            values: self.values,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+    use super::*;
+
+    #[test]
+    fn triplets_build_canonical_any_order() {
+        let a = CscMatrix::from_triplets(3, 2, &[(0, 0, 1.0), (2, 0, 3.0), (1, 1, 2.0)]).unwrap();
+        let b = CscMatrix::from_triplets(3, 2, &[(1, 1, 2.0), (2, 0, 3.0), (0, 0, 1.0)]).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.col(0), (&[0usize, 2][..], &[1.0, 3.0][..]));
+    }
+
+    #[test]
+    fn duplicates_sum_and_zero_sums_drop() {
+        let m = CscMatrix::from_triplets(2, 1, &[(0, 0, 2.0), (0, 0, -2.0), (1, 0, 1.0)]).unwrap();
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.col(0), (&[1usize][..], &[1.0][..]));
+    }
+
+    #[test]
+    fn out_of_range_and_non_finite_are_typed() {
+        assert_eq!(
+            CscMatrix::from_triplets(2, 2, &[(2, 0, 1.0)]),
+            Err(SparseError::RowOutOfRange { row: 2, nrows: 2 })
+        );
+        assert_eq!(
+            CscMatrix::from_triplets(2, 2, &[(0, 3, 1.0)]),
+            Err(SparseError::ColOutOfRange { col: 3, ncols: 2 })
+        );
+        assert_eq!(
+            CscMatrix::from_triplets(2, 2, &[(0, 0, f64::NAN)]),
+            Err(SparseError::NonFinite { row: 0, col: 0 })
+        );
+    }
+
+    #[test]
+    fn dot_and_axpy_match_dense() {
+        let m = CscMatrix::from_triplets(3, 2, &[(0, 0, 1.0), (2, 0, 3.0), (1, 1, 2.0)]).unwrap();
+        assert_eq!(m.dot_col(0, &[1.0, 10.0, 100.0]), 301.0);
+        let mut out = vec![0.0; 3];
+        m.axpy_col(0, 2.0, &mut out);
+        assert_eq!(out, vec![2.0, 0.0, 6.0]);
+        // Out-of-range column: inert, not a panic.
+        assert_eq!(m.dot_col(9, &[0.0; 3]), 0.0);
+    }
+
+    #[test]
+    fn builder_pads_to_hint_and_transposes() {
+        let mut b = CscBuilder::new(2, 3);
+        b.push_col(&[(1, 4.0), (0, 5.0)]).unwrap();
+        let m = b.finish();
+        assert_eq!(m.ncols(), 3);
+        assert_eq!(m.col(0), (&[0usize, 1][..], &[5.0, 4.0][..]));
+        assert_eq!(m.col(2), (&[][..], &[][..]));
+        let rows = m.to_rows();
+        assert_eq!(rows[0], vec![(0, 5.0)]);
+        assert_eq!(rows[1], vec![(0, 4.0)]);
+    }
+
+    #[test]
+    fn display_messages_name_the_defect() {
+        assert!(SparseError::RowOutOfRange { row: 7, nrows: 3 }
+            .to_string()
+            .contains('7'));
+        assert!(SparseError::NonFinite { row: 1, col: 2 }
+            .to_string()
+            .contains("non-finite"));
+    }
+}

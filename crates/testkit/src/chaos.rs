@@ -44,11 +44,20 @@ pub enum Fault {
     /// is that a panicking worker surfaces a typed `WorkerPanic` error
     /// instead of hanging the merge or poisoning the process.
     ZoneWorkerPanic,
+    /// Skew one entry of the sparse LP basis factorization so the
+    /// factored basis no longer matches the true basis columns.
+    /// Realised at the solver level (`sag_lp::revised::inject_lu_skew`)
+    /// rather than by mutating the scenario; the invariant under test
+    /// is that the residual self-check detects the drift and either
+    /// refactorizes (transient skew) or surfaces a typed
+    /// `LpError::Numerical` (persistent skew) — never a silently wrong
+    /// objective.
+    LpBasisDesync,
 }
 
 impl Fault {
     /// Every fault, for exhaustive sweeps.
-    pub const fn all() -> [Fault; 10] {
+    pub const fn all() -> [Fault; 11] {
         [
             Fault::NanInject,
             Fault::InfInject,
@@ -60,6 +69,7 @@ impl Fault {
             Fault::LedgerDesync,
             Fault::ObsSinkFail,
             Fault::ZoneWorkerPanic,
+            Fault::LpBasisDesync,
         ]
     }
 

@@ -30,6 +30,12 @@ SAG_PROP_CASES=150 cargo test -p sag-integration --test chaos_pipeline -q --offl
 echo "==> SAG_PROP_CASES=150 cargo test -p sag-integration --test ledger_parity -q --offline"
 SAG_PROP_CASES=150 cargo test -p sag-integration --test ledger_parity -q --offline
 
+# LP parity soak: the sparse revised simplex against the dense tableau
+# oracle (differential rig), warm-vs-cold B&B incumbents, refactor
+# cadence bit-stability, and CscMatrix construction fuzz.
+echo "==> SAG_PROP_CASES=150 cargo test -p sag-integration --test lp_parity -q --offline"
+SAG_PROP_CASES=150 cargo test -p sag-integration --test lp_parity -q --offline
+
 # SNR engine benchmark: brute vs ledger on the 100-subscriber probe
 # workload. Emits BENCH_snr.json and enforces the 5x speedup floor.
 run cargo run --release --offline -p sag-bench --bin bench_snr -- --out BENCH_snr.json --min-speedup 5
@@ -46,6 +52,13 @@ run cargo run --release --offline -p sag-bench --bin bench_obs -- --out BENCH_ob
 # cannot show wall-clock speedup, but the determinism contract still
 # holds and is still enforced there.
 run cargo run --release --offline -p sag-bench --bin bench_par -- --out BENCH_par.json --min-speedup 2 --threads 4
+
+# LP core benchmark: dense tableau vs sparse revised simplex on the
+# 96-zone cover probe (>=3x floor) and cold vs warm-started B&B node
+# throughput (>=1.5x floor). Parity is asserted before any timing.
+# Emits BENCH_lp.json. Both gates self-skip below the 16-zone minimum
+# instance size (--zones), where constants, not asymptotics, decide.
+run cargo run --release --offline -p sag-bench --bin bench_lp -- --out BENCH_lp.json --min-speedup 3 --min-warm-speedup 1.5
 
 # JSONL sink smoke: a real repro run with SAG_OBS_JSON set must emit a
 # capture in which every line parses, every stage has a span, and the

@@ -119,6 +119,12 @@ pub fn apply_fault(sc: &mut Scenario, fault: Fault, rng: &mut Rng) {
         // (see `tests/chaos_pipeline.rs`), which must surface a typed
         // `SagError::WorkerPanic` instead of hanging the merge.
         Fault::ZoneWorkerPanic => {}
+        // A basis desync is solver state, not scenario: it is armed
+        // with `sag_lp::revised::inject_lu_skew` around a solve (see
+        // `tests/chaos_pipeline.rs`), which must either recover via
+        // refactorization or surface a typed `LpError::Numerical` —
+        // never a silently wrong objective.
+        Fault::LpBasisDesync => {}
     }
 }
 

@@ -54,6 +54,7 @@ fn is_typed_rejection(e: &SagError) -> bool {
             | SagError::NoSubscribers
             | SagError::NoBaseStations
             | SagError::WorkerPanic { .. }
+            | SagError::Lp(_)
     )
 }
 
@@ -62,7 +63,7 @@ prop! {
     /// random generated scenario, yields either a typed rejection or a
     /// report that passes the independent audit. Nothing panics.
     #[cases(28)]
-    fn any_faulted_scenario_errs_or_validates(input in arb_spec(), fidx in 0usize..10, salt in 0u64..1_000) {
+    fn any_faulted_scenario_errs_or_validates(input in arb_spec(), fidx in 0usize..11, salt in 0u64..1_000) {
         let mut rng = Rng::seed_from_u64(salt);
         let fault = Fault::all()[fidx];
         let mut sc = build(input);
@@ -227,6 +228,62 @@ fn zone_worker_panic_surfaces_a_typed_error_not_a_hang() {
             }
         )
         .is_ok());
+    }
+}
+
+/// Acceptance for [`Fault::LpBasisDesync`]: a skewed LU factor in the
+/// sparse LP core must be caught by the residual self-check — a
+/// transient skew is repaired by refactorization (same objective as an
+/// unfaulted solve), a persistent one surfaces as the typed
+/// [`sag_lp::LpError::Numerical`]. Never a silently wrong answer.
+///
+/// The fault is armed with `inject_lu_skew`, which is thread-local, so
+/// the test drives `solve_ilpqc` directly on this thread (the pipeline
+/// route may hand zones to worker threads the skew cannot reach).
+#[test]
+fn lp_basis_desync_recovers_or_errs_typed_never_wrong() {
+    use sag_core::candidates::iac_candidates;
+    use sag_core::ilpqc::{solve_ilpqc, IlpqcConfig};
+    use sag_lp::revised::{clear_lu_skew, inject_lu_skew};
+
+    let sc = scenario(
+        500.0,
+        &[(0.0, 0.0, 30.0), (20.0, 0.0, 30.0), (0.0, 20.0, 30.0)],
+        &[(100.0, 100.0)],
+        -15.0,
+    );
+    let cands = iac_candidates(&sc);
+
+    clear_lu_skew();
+    let clean = solve_ilpqc(&sc, &cands, IlpqcConfig::default()).expect("clean solve succeeds");
+
+    // Transient skew: the first factorization fails its residual check,
+    // the rebuild runs clean, and the answer matches the unfaulted one.
+    inject_lu_skew(0.5, false);
+    let recovered = solve_ilpqc(&sc, &cands, IlpqcConfig::default());
+    clear_lu_skew();
+    match recovered {
+        Ok(out) => assert_eq!(
+            out.solution.relays.len(),
+            clean.solution.relays.len(),
+            "transient skew changed the answer"
+        ),
+        Err(e) => panic!("transient skew must be repaired, got {e:?}"),
+    }
+
+    // Persistent skew: every rebuild is poisoned, so the solver must
+    // refuse with the typed numerical error rather than answer wrong.
+    inject_lu_skew(0.5, true);
+    let poisoned = solve_ilpqc(&sc, &cands, IlpqcConfig::default());
+    clear_lu_skew();
+    match poisoned {
+        Err(SagError::Lp(sag_lp::LpError::Numerical(_))) => {}
+        Ok(out) => assert_eq!(
+            out.solution.relays.len(),
+            clean.solution.relays.len(),
+            "persistent skew produced a silently wrong answer"
+        ),
+        Err(e) => panic!("expected typed Numerical rejection, got {e:?}"),
     }
 }
 

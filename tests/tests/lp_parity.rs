@@ -1,0 +1,269 @@
+//! Differential LP test rig: the sparse revised simplex must agree with
+//! the dense tableau oracle on every instance either can express, the
+//! warm-started branch-and-bound must reach the same incumbents as cold
+//! re-solves, the refactorization cadence must not change reported
+//! objectives by a single bit, and `CscMatrix` construction must map
+//! arbitrary garbage to a canonical matrix or a typed error — never a
+//! panic.
+//!
+//! Scale the soak with `SAG_PROP_CASES` (CI runs 150).
+
+use sag_core::candidates::iac_candidates;
+use sag_lp::revised::solve_sparse_with_period;
+use sag_lp::{
+    push_backend_override, Budget, CscMatrix, IlpProblem, LpBackend, LpError, LpProblem, Relation,
+    SparseStandardForm, SIMPLEX_TOL,
+};
+use sag_sim::gen::ScenarioSpec;
+use sag_testkit::prelude::*;
+
+/// Objective agreement tolerance between the two backends: they follow
+/// different pivot paths, so exact equality is too strict, but both
+/// claim [`SIMPLEX_TOL`]-accurate optima — a small multiple of it is
+/// the honest bound.
+const PARITY_TOL: f64 = 1e3 * SIMPLEX_TOL;
+
+/// A seeded random LP with box-bounded variables (so it is never
+/// unbounded): mixed Le/Ge/Eq rows, mixed-sign coefficients and rhs.
+fn random_lp(rng: &mut Rng) -> LpProblem {
+    let n = rng.gen_range(2usize..8);
+    let m = rng.gen_range(1usize..9);
+    let mut lp = LpProblem::minimize(n);
+    let obj: Vec<f64> = (0..n).map(|_| rng.gen_range(-3.0..5.0f64)).collect();
+    lp.set_objective(&obj);
+    for v in 0..n {
+        lp.set_bounds(v, 0.0, rng.gen_range(1.0..20.0f64));
+    }
+    for _ in 0..m {
+        let mut vars: Vec<usize> = (0..n).collect();
+        rng.shuffle(&mut vars);
+        vars.truncate(rng.gen_range(1usize..=n.min(4)));
+        let coeffs: Vec<(usize, f64)> = vars
+            .into_iter()
+            .map(|v| (v, rng.gen_range(-4.0..4.0f64)))
+            .collect();
+        let rel = match rng.gen_range(0usize..3) {
+            0 => Relation::Le,
+            1 => Relation::Ge,
+            _ => Relation::Eq,
+        };
+        lp.add_constraint(&coeffs, rel, rng.gen_range(-5.0..15.0f64));
+    }
+    lp
+}
+
+/// Solves `lp` under both backends and asserts status + objective
+/// parity.
+fn assert_backend_parity(lp: &LpProblem, what: &str) {
+    let sparse = {
+        let _g = push_backend_override(Some(LpBackend::Sparse));
+        lp.solve()
+    };
+    let dense = {
+        let _g = push_backend_override(Some(LpBackend::Dense));
+        lp.solve()
+    };
+    match (sparse, dense) {
+        (Ok(s), Ok(d)) => {
+            let scale = 1.0 + d.objective.abs();
+            prop_assert!(
+                (s.objective - d.objective).abs() <= PARITY_TOL * scale,
+                "{what}: sparse {} vs dense {}",
+                s.objective,
+                d.objective
+            );
+        }
+        (Err(LpError::Infeasible), Err(LpError::Infeasible)) => {}
+        (Err(LpError::Unbounded), Err(LpError::Unbounded)) => {}
+        (s, d) => prop_assert!(
+            false,
+            "{what}: status disagreement sparse={s:?} dense={d:?}"
+        ),
+    }
+}
+
+prop! {
+    /// Random LPs: both backends report the same status, and the same
+    /// objective when optimal.
+    #[cases(64)]
+    fn sparse_matches_dense_on_random_lps(seed in 0u64..1_000_000) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let lp = random_lp(&mut rng);
+        assert_backend_parity(&lp, "random LP");
+    }
+
+    /// Real ILPQC set-cover relaxations: the exact coverage-row LP the
+    /// branch-and-bound uses for its lower bounds, built from generated
+    /// scenarios, must agree across backends.
+    #[cases(24)]
+    fn cover_lp_parity_on_ilpqc_instances(seed in 0u64..100_000, n_subs in 3usize..10) {
+        let sc = ScenarioSpec {
+            field_size: 400.0,
+            n_subscribers: n_subs,
+            snr_db: -15.0,
+            ..Default::default()
+        }
+        .build(seed);
+        let cands = iac_candidates(&sc);
+        prop_assume!(!cands.is_empty());
+        let mut lp = LpProblem::minimize(cands.len());
+        lp.set_objective(&vec![1.0; cands.len()]);
+        for v in 0..cands.len() {
+            lp.set_bounds(v, 0.0, 1.0);
+        }
+        let mut coverable = true;
+        for sub in &sc.subscribers {
+            let circle = sub.feasible_circle();
+            let coeffs: Vec<(usize, f64)> = (0..cands.len())
+                .filter(|&c| circle.contains(cands[c]))
+                .map(|c| (c, 1.0))
+                .collect();
+            if coeffs.is_empty() {
+                coverable = false;
+                break;
+            }
+            lp.add_constraint(&coeffs, Relation::Ge, 1.0);
+        }
+        prop_assume!(coverable);
+        assert_backend_parity(&lp, "cover LP");
+    }
+
+    /// Warm-started branch-and-bound reaches exactly the incumbent a
+    /// cold-started search proves optimal: warm starts are a speedup,
+    /// never a different answer.
+    #[cases(32)]
+    fn warm_bb_matches_cold_incumbent(seed in 0u64..1_000_000) {
+        let build = |warm: bool| {
+            let mut rng = Rng::seed_from_u64(seed);
+            let n = rng.gen_range(4usize..9);
+            let mut lp = LpProblem::minimize(n);
+            let obj: Vec<f64> = (0..n).map(|_| rng.gen_range(1.0..4.0f64)).collect();
+            lp.set_objective(&obj);
+            let m = rng.gen_range(2usize..7);
+            for _ in 0..m {
+                let mut vars: Vec<usize> = (0..n).collect();
+                rng.shuffle(&mut vars);
+                vars.truncate(rng.gen_range(2usize..=n.min(4)));
+                let coeffs: Vec<(usize, f64)> =
+                    vars.into_iter().map(|v| (v, 1.0)).collect();
+                lp.add_constraint(&coeffs, Relation::Ge, 1.0);
+            }
+            let mut ilp = IlpProblem::new(lp);
+            for v in 0..n {
+                ilp.set_binary(v);
+            }
+            ilp.set_warm_start(warm);
+            ilp.solve()
+        };
+        let cold = build(false).expect("cover ILPs are always feasible");
+        let warm = build(true).expect("cover ILPs are always feasible");
+        prop_assert!(
+            (cold.objective - warm.objective).abs() <= PARITY_TOL * (1.0 + cold.objective.abs()),
+            "cold {} vs warm {}",
+            cold.objective,
+            warm.objective
+        );
+    }
+
+    /// Refactorization cadence is invisible: periods 1, 8 and 64 must
+    /// report bit-identical objectives, because extraction always goes
+    /// through a fresh factorization of the final basis.
+    #[cases(32)]
+    fn refactor_cadence_is_bit_stable(seed in 0u64..1_000_000) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let m = rng.gen_range(2usize..7);
+        let n = m + rng.gen_range(1usize..8);
+        let mut triplets: Vec<(usize, usize, f64)> = Vec::new();
+        for j in 0..n {
+            for i in 0..m {
+                if rng.gen_bool(0.5) {
+                    triplets.push((i, j, rng.gen_range(-2.0..2.0f64)));
+                }
+            }
+        }
+        let a = CscMatrix::from_triplets(m, n, &triplets).expect("in-range triplets");
+        // b = A·x0 for a nonnegative x0 keeps the instance feasible;
+        // nonnegative costs keep it bounded.
+        let x0: Vec<f64> = (0..n)
+            .map(|_| if rng.gen_bool(0.5) { rng.gen_range(0.0..3.0f64) } else { 0.0 })
+            .collect();
+        let mut b = vec![0.0; m];
+        for (j, &xj) in x0.iter().enumerate() {
+            if xj != 0.0 {
+                a.axpy_col(j, xj, &mut b);
+            }
+        }
+        let c: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..4.0f64)).collect();
+        let sf = SparseStandardForm { a, b, c };
+        let budget = Budget::unlimited();
+        let r1 = solve_sparse_with_period(&sf, &budget, 1);
+        let r8 = solve_sparse_with_period(&sf, &budget, 8);
+        let r64 = solve_sparse_with_period(&sf, &budget, 64);
+        match (r1, r8, r64) {
+            (Ok(s1), Ok(s8), Ok(s64)) => {
+                prop_assert_eq!(
+                    s1.objective.to_bits(),
+                    s8.objective.to_bits(),
+                    "period 1 {} vs 8 {}",
+                    s1.objective,
+                    s8.objective
+                );
+                prop_assert_eq!(
+                    s8.objective.to_bits(),
+                    s64.objective.to_bits(),
+                    "period 8 {} vs 64 {}",
+                    s8.objective,
+                    s64.objective
+                );
+            }
+            (Err(_), Err(_), Err(_)) => {} // consistently unsolvable
+            other => prop_assert!(false, "cadence changed the status: {other:?}"),
+        }
+    }
+
+    /// `CscMatrix::from_triplets` under garbage: out-of-range indices,
+    /// duplicates, out-of-order rows, empty columns and byte-flipped
+    /// values yield a canonical matrix or a typed [`sag_lp::SparseError`]
+    /// — never a panic, never a non-canonical matrix.
+    #[cases(96)]
+    fn csc_from_triplets_never_panics(seed in 0u64..1_000_000, n_trip in 0usize..40) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let nrows = rng.gen_range(0usize..6);
+        let ncols = rng.gen_range(0usize..6);
+        let triplets: Vec<(usize, usize, f64)> = (0..n_trip)
+            .map(|_| {
+                let r = rng.gen_range(0usize..8); // may exceed nrows
+                let c = rng.gen_range(0usize..8); // may exceed ncols
+                let mut v = rng.gen_range(-3.0..3.0f64);
+                if rng.gen_bool(0.25) {
+                    // Byte-flip: may turn the value into ±∞, NaN, a
+                    // subnormal, or just a slightly different float.
+                    v = f64::from_bits(v.to_bits() ^ (1u64 << rng.gen_range(0u32..64)));
+                }
+                (r, c, v)
+            })
+            .collect();
+        match CscMatrix::from_triplets(nrows, ncols, &triplets) {
+            Ok(mat) => {
+                prop_assert_eq!(mat.nrows(), nrows);
+                prop_assert_eq!(mat.ncols(), ncols);
+                prop_assert!(mat.nnz() <= triplets.len());
+                for j in 0..ncols {
+                    let (rows, vals) = mat.col(j);
+                    prop_assert!(
+                        rows.windows(2).all(|w| w[0] < w[1]),
+                        "column {j} rows not strictly increasing: {rows:?}"
+                    );
+                    prop_assert!(
+                        vals.iter().all(|v| v.is_finite() && *v != 0.0),
+                        "column {j} kept a zero or non-finite value: {vals:?}"
+                    );
+                }
+            }
+            Err(e) => {
+                // Typed rejection; the Display impl must name the defect.
+                prop_assert!(!e.to_string().is_empty());
+            }
+        }
+    }
+}

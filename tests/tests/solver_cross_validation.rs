@@ -152,6 +152,63 @@ fn hitting_strategies_all_yield_feasible_coverage() {
     }
 }
 
+/// Backend cross-validation: the sparse revised simplex and the dense
+/// tableau oracle must report the same ILPQC objective (relay count and
+/// proven optimality) on every zone of a partitioned scenario — the
+/// same per-zone route the parallel engine takes.
+#[test]
+fn ilpqc_backends_agree_per_zone() {
+    use sag_core::zone::{zone_partition, zone_scenario};
+    use sag_lp::{push_backend_override, LpBackend};
+
+    let mut zones_checked = 0usize;
+    for seed in 0..5u64 {
+        let sc = ScenarioSpec {
+            field_size: 600.0,
+            n_subscribers: 14,
+            n_base_stations: 2,
+            snr_db: -15.0,
+            ..Default::default()
+        }
+        .build(seed);
+        for zone in zone_partition(&sc) {
+            let (zsc, _members) = zone_scenario(&sc, &zone);
+            let cands = iac_candidates(&zsc);
+            let sparse = {
+                let _g = push_backend_override(Some(LpBackend::Sparse));
+                solve_ilpqc(&zsc, &cands, IlpqcConfig::default()).ok()
+            };
+            let dense = {
+                let _g = push_backend_override(Some(LpBackend::Dense));
+                solve_ilpqc(&zsc, &cands, IlpqcConfig::default()).ok()
+            };
+            match (sparse, dense) {
+                (Some(s), Some(d)) => {
+                    assert_eq!(
+                        s.solution.n_relays(),
+                        d.solution.n_relays(),
+                        "seed {seed}: sparse {} vs dense {} relays",
+                        s.solution.n_relays(),
+                        d.solution.n_relays()
+                    );
+                    assert_eq!(s.optimal, d.optimal, "seed {seed}: optimality flags differ");
+                    zones_checked += 1;
+                }
+                (None, None) => {} // both infeasible — consistent
+                (s, d) => panic!(
+                    "seed {seed}: backend feasibility disagreement sparse={:?} dense={:?}",
+                    s.map(|o| o.solution.n_relays()),
+                    d.map(|o| o.solution.n_relays())
+                ),
+            }
+        }
+    }
+    assert!(
+        zones_checked >= 5,
+        "too few solvable zones ({zones_checked})"
+    );
+}
+
 /// Brute force over every candidate subset: the ILPQC's claimed optimum
 /// must match on instances small enough to enumerate.
 #[test]
