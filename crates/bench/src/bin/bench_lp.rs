@@ -147,8 +147,9 @@ fn emit_json(
     warm_speedup: f64,
     parity: f64,
 ) -> std::io::Result<()> {
+    let hardware_threads = sag_bench::hardware_threads();
     let body = format!(
-        "{{\n  \"benchmark\": \"lp_core\",\n  \"zones\": {zones},\n  \"rows\": {rows},\n  \"cols\": {cols},\n  \"dense_median_ns\": {dense_ns},\n  \"sparse_median_ns\": {sparse_ns},\n  \"speedup\": {speedup:.3},\n  \"gate\": \"{gate}\",\n  \"bb_triangles\": {TRIANGLES},\n  \"cold_nodes_per_s\": {cold_nodes_per_s:.1},\n  \"warm_nodes_per_s\": {warm_nodes_per_s:.1},\n  \"warm_speedup\": {warm_speedup:.3},\n  \"parity_max_rel_err\": {parity:.3e}\n}}\n"
+        "{{\n  \"benchmark\": \"lp_core\",\n  \"zones\": {zones},\n  \"rows\": {rows},\n  \"cols\": {cols},\n  \"hardware_threads\": {hardware_threads},\n  \"dense_median_ns\": {dense_ns},\n  \"sparse_median_ns\": {sparse_ns},\n  \"speedup\": {speedup:.3},\n  \"gate\": \"{gate}\",\n  \"bb_triangles\": {TRIANGLES},\n  \"cold_nodes_per_s\": {cold_nodes_per_s:.1},\n  \"warm_nodes_per_s\": {warm_nodes_per_s:.1},\n  \"warm_speedup\": {warm_speedup:.3},\n  \"parity_max_rel_err\": {parity:.3e}\n}}\n"
     );
     std::fs::write(path, body)
 }
@@ -218,12 +219,10 @@ fn main() {
 
     // The floor only means something on a large instance; a small probe
     // records the measurement but skips enforcement.
-    let enforce = zones >= MIN_GATE_ZONES;
-    let gate = if enforce {
-        "enforced".to_string()
-    } else {
-        format!("skipped ({zones} zones below the {MIN_GATE_ZONES}-zone minimum)")
-    };
+    let (gate, enforce) = sag_bench::resolve_gate(
+        zones >= MIN_GATE_ZONES,
+        &format!("{zones} zones below the {MIN_GATE_ZONES}-zone minimum"),
+    );
 
     // ---- Probe 2: branch-and-bound, warm vs cold --------------------
     let cold_ilp = triangle_ilp(false);

@@ -108,9 +108,11 @@ fn emit_json(
     collected_ns: u128,
     overhead_disabled: f64,
     overhead_collected: f64,
+    gate: &str,
 ) -> std::io::Result<()> {
+    let hardware_threads = sag_bench::hardware_threads();
     let body = format!(
-        "{{\n  \"benchmark\": \"obs_overhead\",\n  \"subscribers\": {SUBSCRIBERS},\n  \"baseline_min_ns\": {baseline_ns},\n  \"disabled_min_ns\": {disabled_ns},\n  \"collected_min_ns\": {collected_ns},\n  \"overhead_disabled\": {overhead_disabled:.4},\n  \"overhead_collected\": {overhead_collected:.4}\n}}\n",
+        "{{\n  \"benchmark\": \"obs_overhead\",\n  \"subscribers\": {SUBSCRIBERS},\n  \"hardware_threads\": {hardware_threads},\n  \"baseline_min_ns\": {baseline_ns},\n  \"disabled_min_ns\": {disabled_ns},\n  \"collected_min_ns\": {collected_ns},\n  \"overhead_disabled\": {overhead_disabled:.4},\n  \"overhead_collected\": {overhead_collected:.4},\n  \"gate\": \"{gate}\"\n}}\n",
     );
     std::fs::write(path, body)
 }
@@ -287,7 +289,11 @@ fn main() {
 
     let overhead = median_ratio(&|r| r.1);
     let overhead_collected = median_ratio(&|r| r.2);
-    println!("disabled-path overhead: {overhead:.4}x (collected: {overhead_collected:.4}x)");
+    let (gate, enforce) =
+        sag_bench::resolve_gate(max_overhead.is_some(), "no --max-overhead ceiling given");
+    println!(
+        "disabled-path overhead: {overhead:.4}x (collected: {overhead_collected:.4}x) [{gate}]"
+    );
     emit_json(
         &out_path,
         baseline_ns,
@@ -295,11 +301,13 @@ fn main() {
         collected_ns,
         overhead,
         overhead_collected,
+        &gate,
     )
     .expect("write benchmark JSON");
     println!("wrote {out_path}");
 
-    if let Some(ceiling) = max_overhead {
+    if enforce {
+        let ceiling = max_overhead.unwrap_or_default();
         assert!(
             overhead <= ceiling,
             "disabled-path overhead {overhead:.4}x exceeds the {ceiling:.2}x ceiling"

@@ -221,16 +221,14 @@ fn main() {
         },
     );
 
-    let hardware_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let hardware_threads = sag_bench::hardware_threads();
     // With fewer hardware threads than workers the wall-clock speedup
     // is capped by the hardware, not the engine (at 1 core it cannot
     // exceed 1.0); the gate needs real concurrency to mean anything.
-    let enforce = hardware_threads >= threads;
-    let gate = if enforce {
-        "enforced".to_string()
-    } else {
-        format!("skipped ({hardware_threads} hardware thread(s) for {threads} workers)")
-    };
+    let (gate, enforce) = sag_bench::resolve_gate(
+        hardware_threads >= threads,
+        &format!("{hardware_threads} hardware thread(s) for {threads} workers"),
+    );
 
     println!("benchmark group: zone_parallel ({ROUNDS} interleaved rounds, min per-iter ns)");
     println!("lower tier threads=1          {seq_ns:>12}");

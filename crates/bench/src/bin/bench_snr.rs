@@ -160,17 +160,20 @@ fn emit_json(
     ledger_ns: u128,
     speedup: f64,
     parity: f64,
+    gate: &str,
 ) -> std::io::Result<()> {
     let body = format!(
-        "{{\n  \"benchmark\": \"{}\",\n  \"subscribers\": {},\n  \"relays\": {},\n  \"probes\": {},\n  \"brute_median_ns\": {},\n  \"ledger_median_ns\": {},\n  \"speedup\": {:.3},\n  \"parity_max_rel_err\": {:.3e}\n}}\n",
+        "{{\n  \"benchmark\": \"{}\",\n  \"subscribers\": {},\n  \"relays\": {},\n  \"probes\": {},\n  \"hardware_threads\": {},\n  \"brute_median_ns\": {},\n  \"ledger_median_ns\": {},\n  \"speedup\": {:.3},\n  \"parity_max_rel_err\": {:.3e},\n  \"gate\": \"{}\"\n}}\n",
         json_escape_free("snr_move_probes"),
         SUBSCRIBERS,
         SUBSCRIBERS.div_ceil(2),
         PROBES,
+        sag_bench::hardware_threads(),
         brute_ns,
         ledger_ns,
         speedup,
         parity,
+        gate,
     );
     std::fs::write(path, body)
 }
@@ -223,11 +226,15 @@ fn main() {
     bench.print();
 
     let speedup = brute_ns as f64 / ledger_ns.max(1) as f64;
-    println!("speedup: {speedup:.2}x (parity max rel err {parity:.3e})");
-    emit_json(&out_path, brute_ns, ledger_ns, speedup, parity).expect("write benchmark JSON");
+    let (gate, enforce) =
+        sag_bench::resolve_gate(min_speedup.is_some(), "no --min-speedup floor given");
+    println!("speedup: {speedup:.2}x (parity max rel err {parity:.3e}) [{gate}]");
+    emit_json(&out_path, brute_ns, ledger_ns, speedup, parity, &gate)
+        .expect("write benchmark JSON");
     println!("wrote {out_path}");
 
-    if let Some(floor) = min_speedup {
+    if enforce {
+        let floor = min_speedup.unwrap_or_default();
         assert!(
             speedup >= floor,
             "speedup {speedup:.2}x is below the required {floor:.2}x floor"

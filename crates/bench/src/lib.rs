@@ -17,6 +17,35 @@ use sag_sim::runner::SweepConfig;
 
 pub mod harness;
 
+/// Hardware threads visible to this process (1 when the query fails).
+/// Every `BENCH_*.json` emitter records this so a gate skipped on a
+/// small runner is distinguishable from one skipped by a bug.
+pub fn hardware_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Whether `SAG_BENCH_STRICT` requests that benchmark self-skips fail
+/// instead of recording `"gate": "skipped (…)"`. Any non-empty value
+/// other than `0` turns it on.
+pub fn strict() -> bool {
+    matches!(std::env::var("SAG_BENCH_STRICT").as_deref(), Ok(v) if !v.is_empty() && v != "0")
+}
+
+/// Shared enforce-or-skip resolution for benchmark gates: returns the
+/// machine-readable `gate` string for the JSON artefact and whether the
+/// floor/ceiling assertions should run. Under [`strict`] a would-be
+/// skip panics instead, so CI environments that must never silently
+/// drop a gate (e.g. the release runner) turn self-skips into failures.
+pub fn resolve_gate(enforce: bool, skip_reason: &str) -> (String, bool) {
+    if enforce {
+        ("enforced".to_string(), true)
+    } else if strict() {
+        panic!("SAG_BENCH_STRICT is set: refusing to skip benchmark gate ({skip_reason})")
+    } else {
+        (format!("skipped ({skip_reason})"), false)
+    }
+}
+
 /// The sweep configuration benches use: few runs, deterministic seeds.
 pub fn bench_sweep() -> SweepConfig {
     SweepConfig {
@@ -77,5 +106,24 @@ mod tests {
         let (v, secs) = time_once(|| 21 * 2);
         assert_eq!(v, 42);
         assert!(secs >= 0.0);
+    }
+
+    #[test]
+    fn hardware_threads_is_positive() {
+        assert!(hardware_threads() >= 1);
+    }
+
+    #[test]
+    fn gate_resolution() {
+        let (gate, enforce) = resolve_gate(true, "unused");
+        assert_eq!(gate, "enforced");
+        assert!(enforce);
+        // The skip branch panics under SAG_BENCH_STRICT by design, so
+        // only exercise it when the knob is off in this environment.
+        if !strict() {
+            let (gate, enforce) = resolve_gate(false, "2 zones below the 16-zone minimum");
+            assert_eq!(gate, "skipped (2 zones below the 16-zone minimum)");
+            assert!(!enforce);
+        }
     }
 }

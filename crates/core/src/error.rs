@@ -42,6 +42,12 @@ pub enum SagError {
         /// Index of the zone the worker was solving.
         zone: usize,
     },
+    /// The incremental interference ledger diverged from its exact
+    /// oracle recompute: a churn-repair audit (or an SNR cross-check)
+    /// caught a stale accumulator. State corruption surfaces as this
+    /// typed error instead of a silently wrong placement; the payload
+    /// pinpoints the first skewed subscriber.
+    LedgerDesync(sag_radio::DesyncError),
     /// An embedded LP/ILP solve failed unexpectedly.
     Lp(sag_lp::LpError),
 }
@@ -62,6 +68,7 @@ impl fmt::Display for SagError {
                     "zone worker panicked in {stage} while solving zone {zone}"
                 )
             }
+            SagError::LedgerDesync(e) => write!(f, "state audit failed: {e}"),
             SagError::Lp(e) => write!(f, "embedded LP failed: {e}"),
         }
     }
@@ -71,6 +78,7 @@ impl Error for SagError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             SagError::Lp(e) => Some(e),
+            SagError::LedgerDesync(e) => Some(e),
             _ => None,
         }
     }
@@ -79,6 +87,12 @@ impl Error for SagError {
 impl From<sag_lp::LpError> for SagError {
     fn from(e: sag_lp::LpError) -> Self {
         SagError::Lp(e)
+    }
+}
+
+impl From<sag_radio::DesyncError> for SagError {
+    fn from(e: sag_radio::DesyncError) -> Self {
+        SagError::LedgerDesync(e)
     }
 }
 
@@ -113,12 +127,24 @@ mod tests {
         };
         assert!(w.to_string().contains("samc"));
         assert!(w.to_string().contains("zone 3"));
+        let d = SagError::from(sag_radio::DesyncError {
+            subscriber: 7,
+            ledger: 1.0,
+            oracle: 2.0,
+        });
+        assert!(d.to_string().contains("subscriber 7"));
     }
 
     #[test]
     fn source_chains() {
         let e = SagError::Lp(sag_lp::LpError::Unbounded);
         assert!(e.source().is_some());
+        let d = SagError::LedgerDesync(sag_radio::DesyncError {
+            subscriber: 0,
+            ledger: 0.0,
+            oracle: 1.0,
+        });
+        assert!(d.source().is_some());
         assert!(SagError::NoSubscribers.source().is_none());
     }
 }

@@ -70,6 +70,7 @@
 
 pub mod candidates;
 pub mod channels;
+pub mod churn;
 pub mod coverage;
 pub mod darp;
 pub mod engine;
@@ -93,6 +94,7 @@ pub mod ucpo;
 pub mod validate;
 pub mod zone;
 
+pub use churn::{ChurnConfig, ChurnEngine, ChurnEvent, ChurnReport, EventRecord, RepairRung};
 pub use coverage::{CoverageSolution, ServedIndex};
 pub use error::{SagError, SagResult};
 pub use model::{BaseStation, NetworkParams, Relay, RelayRole, Scenario, Subscriber};

@@ -129,7 +129,7 @@ pub fn samc_with_budget_threads(
 /// finds solutions where IAC/GAC fail" behaviour of §IV-B). The first
 /// strategy is the configured one, so the (1+ε) size guarantee of the
 /// preferred solver still applies whenever it succeeds.
-fn solve_zone(zsc: &Scenario, config: SamcConfig) -> SagResult<CoverageSolution> {
+pub(crate) fn solve_zone(zsc: &Scenario, config: SamcConfig) -> SagResult<CoverageSolution> {
     let order: [HittingStrategy; 3] = match config.hitting {
         HittingStrategy::LocalSearch => [
             HittingStrategy::LocalSearch,

@@ -217,6 +217,14 @@ impl Clone for StatsCell {
 pub struct InterferenceLedger {
     model: TwoRay,
     subscribers: Vec<Point>,
+    /// Subscriber-slot liveness: tombstoned slots keep their position
+    /// and keep receiving relay deltas (so re-activation is exact and
+    /// [`audit`](InterferenceLedger::audit) stays uniform), they are
+    /// just not meaningful to query.
+    sub_active: Vec<bool>,
+    /// Freed subscriber slots, reused LIFO by
+    /// [`add_subscriber`](InterferenceLedger::add_subscriber).
+    sub_free: Vec<usize>,
     slots: Vec<Option<RelaySlot>>,
     free: Vec<usize>,
     n_active: usize,
@@ -244,6 +252,8 @@ impl InterferenceLedger {
         InterferenceLedger {
             model,
             subscribers,
+            sub_active: vec![true; n],
+            sub_free: Vec::new(),
             slots: Vec::new(),
             free: Vec::new(),
             n_active: 0,
@@ -279,6 +289,10 @@ impl InterferenceLedger {
             self.n_active == 0,
             "set the cutoff before adding relays (it is part of the accumulator layout)"
         );
+        assert!(
+            self.sub_free.is_empty(),
+            "set the cutoff before mutating subscribers (the spatial index is static)"
+        );
         let index = SpatialHash::build(&self.subscribers, radius);
         self.cutoff = Some(Cutoff {
             radius,
@@ -310,6 +324,97 @@ impl InterferenceLedger {
     /// Panics if `j` is out of range.
     pub fn subscriber(&self, j: usize) -> Point {
         self.subscribers[j]
+    }
+
+    /// Whether subscriber slot `j` is active (never tombstoned, or
+    /// re-activated by [`add_subscriber`](InterferenceLedger::add_subscriber)).
+    ///
+    /// # Panics
+    /// Panics if `j` is out of range.
+    pub fn is_subscriber_active(&self, j: usize) -> bool {
+        self.sub_active[j]
+    }
+
+    /// Number of active (non-tombstoned) subscriber slots.
+    pub fn n_active_subscribers(&self) -> usize {
+        self.subscribers.len() - self.sub_free.len()
+    }
+
+    /// Registers a subscriber and returns its slot id, mirroring
+    /// [`add_relay`](InterferenceLedger::add_relay): the lowest-freed
+    /// slot is reused first (LIFO), otherwise a new slot is appended.
+    /// The new accumulator is initialised to the exact slot-order sum
+    /// over the registered relays (the same sum
+    /// [`audit`](InterferenceLedger::audit) checks against), so an
+    /// added subscriber is **bit-identical** to one present in a fresh
+    /// build with the same relay sequence. `O(R)`.
+    ///
+    /// # Panics
+    /// Panics if `pos` is not finite, or if a cutoff is set (the
+    /// subscriber spatial index is static; churn requires an exact
+    /// ledger, which is the pipeline default).
+    pub fn add_subscriber(&mut self, pos: Point) -> usize {
+        assert!(pos.is_finite(), "subscriber position is not finite");
+        assert!(
+            self.cutoff.is_none(),
+            "subscriber mutations require an exact (no-cutoff) ledger"
+        );
+        let j = match self.sub_free.pop() {
+            Some(j) => j,
+            None => {
+                self.subscribers.push(pos);
+                self.sub_active.push(false);
+                self.total_rx.push(0.0);
+                self.subscribers.len() - 1
+            }
+        };
+        self.subscribers[j] = pos;
+        self.sub_active[j] = true;
+        self.total_rx[j] = self.expected_total(j);
+        self.stats.delta_ops += 1;
+        j
+    }
+
+    /// Tombstones subscriber slot `j`, returning its position. The slot
+    /// keeps its position and continues to receive relay deltas (so
+    /// [`audit`](InterferenceLedger::audit) stays uniform across slots
+    /// and re-activation is exact); it is merely excluded from the
+    /// active count and eligible for reuse. `O(1)`.
+    ///
+    /// # Panics
+    /// Panics if `j` is not an active subscriber slot, or if a cutoff
+    /// is set.
+    pub fn remove_subscriber(&mut self, j: usize) -> Point {
+        assert!(
+            self.cutoff.is_none(),
+            "subscriber mutations require an exact (no-cutoff) ledger"
+        );
+        assert!(
+            self.sub_active.get(j).copied().unwrap_or(false),
+            "subscriber slot {j} is not active"
+        );
+        self.sub_active[j] = false;
+        self.sub_free.push(j);
+        self.stats.delta_ops += 1;
+        self.subscribers[j]
+    }
+
+    /// Moves subscriber `j` to `pos`, returning its old position.
+    /// Implemented literally as remove + add on the same slot (the LIFO
+    /// free list guarantees slot reuse), so the result is bit-identical
+    /// to [`remove_subscriber`](InterferenceLedger::remove_subscriber)
+    /// followed by [`add_subscriber`](InterferenceLedger::add_subscriber)
+    /// by construction. `O(R)`.
+    ///
+    /// # Panics
+    /// Panics if `j` is not an active subscriber slot, `pos` is not
+    /// finite, or a cutoff is set.
+    pub fn move_subscriber(&mut self, j: usize, pos: Point) -> Point {
+        assert!(pos.is_finite(), "subscriber position is not finite");
+        let old = self.remove_subscriber(j);
+        let reused = self.add_subscriber(pos);
+        debug_assert_eq!(reused, j, "LIFO free list must reuse the freed slot");
+        old
     }
 
     /// Number of currently registered relays.
@@ -1158,6 +1263,89 @@ mod tests {
     }
 
     #[test]
+    fn subscriber_mutations_reuse_slots_and_track_activity() {
+        let mut ledger = InterferenceLedger::new(model(), subs());
+        ledger.add_relay(Point::new(10.0, 0.0), 1.0);
+        ledger.add_relay(Point::new(40.0, 10.0), 0.5);
+        assert_eq!(ledger.n_active_subscribers(), 3);
+        let gone = ledger.remove_subscriber(1);
+        assert_eq!(gone, Point::new(50.0, 0.0));
+        assert!(!ledger.is_subscriber_active(1));
+        assert_eq!(ledger.n_active_subscribers(), 2);
+        // Tombstoned slots stay audit-consistent.
+        assert!(ledger.audit().is_ok());
+        // LIFO reuse of the freed slot.
+        let j = ledger.add_subscriber(Point::new(60.0, 5.0));
+        assert_eq!(j, 1);
+        assert!(ledger.is_subscriber_active(1));
+        assert_eq!(ledger.subscriber(1), Point::new(60.0, 5.0));
+        // No free slot left: the next add appends.
+        let k = ledger.add_subscriber(Point::new(5.0, 5.0));
+        assert_eq!(k, 3);
+        assert_eq!(ledger.n_subscribers(), 4);
+        assert_eq!(ledger.n_active_subscribers(), 4);
+        assert!(ledger.audit().is_ok());
+    }
+
+    #[test]
+    fn added_subscriber_is_bit_identical_to_fresh_build() {
+        let relays = [
+            (Point::new(10.0, 0.0), 1.0),
+            (Point::new(45.0, 5.0), 0.7),
+            (Point::new(-5.0, 70.0), 1.3),
+        ];
+        let mut grown = InterferenceLedger::new(model(), subs());
+        for (p, w) in relays {
+            grown.add_relay(p, w);
+        }
+        let newcomer = Point::new(25.0, 25.0);
+        let j = grown.add_subscriber(newcomer);
+
+        let mut fresh_subs = subs();
+        fresh_subs.push(newcomer);
+        let mut fresh = InterferenceLedger::new(model(), fresh_subs);
+        for (p, w) in relays {
+            fresh.add_relay(p, w);
+        }
+        for id in 0..relays.len() {
+            assert_eq!(grown.snr(j, id), fresh.snr(3, id), "bit parity broken");
+        }
+    }
+
+    #[test]
+    fn move_subscriber_is_bit_identical_to_remove_plus_add() {
+        let mut a = InterferenceLedger::new(model(), subs());
+        for (p, w) in [(Point::new(10.0, 0.0), 1.0), (Point::new(45.0, 5.0), 0.7)] {
+            a.add_relay(p, w);
+        }
+        let mut b = a.clone();
+        let target = Point::new(33.0, 12.0);
+        let old = a.move_subscriber(1, target);
+        assert_eq!(old, Point::new(50.0, 0.0));
+        b.remove_subscriber(1);
+        assert_eq!(b.add_subscriber(target), 1);
+        assert_eq!(a.total_rx, b.total_rx);
+        for id in 0..2 {
+            assert_eq!(a.snr(1, id), b.snr(1, id));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn removing_an_inactive_subscriber_panics() {
+        let mut ledger = InterferenceLedger::new(model(), subs());
+        ledger.remove_subscriber(1);
+        ledger.remove_subscriber(1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn subscriber_mutation_under_cutoff_panics() {
+        let mut ledger = InterferenceLedger::new(model(), subs()).with_cutoff(100.0);
+        ledger.add_subscriber(Point::new(1.0, 1.0));
+    }
+
+    #[test]
     #[should_panic]
     fn unknown_relay_id_panics() {
         let ledger = InterferenceLedger::new(model(), subs());
@@ -1251,6 +1439,100 @@ mod tests {
                     );
                 }
             }
+        }
+
+        /// Random interleavings of relay *and* subscriber mutations:
+        /// every slot's accumulator (active or tombstoned) stays within
+        /// 1e-9 relative of a fresh rebuild over the final slot layout,
+        /// and the audit passes after every op.
+        fn prop_subscriber_mutations_match_fresh_build(
+            subs_raw in vec_of((0.0..500.0f64, 0.0..500.0f64), 1..6),
+            ops in vec_of((0usize..6, 0.0..500.0f64, 0.0..500.0f64, 0.01..2.0f64), 1..30),
+        ) {
+            let subscribers: Vec<Point> =
+                subs_raw.iter().map(|&(x, y)| Point::new(x, y)).collect();
+            let mut ledger = InterferenceLedger::new(model(), subscribers);
+            let mut relay_ids: Vec<usize> = Vec::new();
+            let mut active: Vec<usize> = (0..ledger.n_subscribers()).collect();
+            for (kind, x, y, p) in ops {
+                match kind {
+                    0 => relay_ids.push(ledger.add_relay(Point::new(x, y), p)),
+                    1 if !relay_ids.is_empty() => {
+                        let victim = relay_ids.remove(relay_ids.len() / 2);
+                        ledger.remove_relay(victim);
+                    }
+                    2 if !relay_ids.is_empty() => {
+                        let target = relay_ids[relay_ids.len() / 2];
+                        ledger.move_relay(target, Point::new(x, y));
+                    }
+                    3 => active.push(ledger.add_subscriber(Point::new(x, y))),
+                    4 if active.len() > 1 => {
+                        let victim = active.remove(active.len() / 2);
+                        ledger.remove_subscriber(victim);
+                    }
+                    5 if !active.is_empty() => {
+                        let target = active[active.len() / 2];
+                        ledger.move_subscriber(target, Point::new(x, y));
+                    }
+                    _ => relay_ids.push(ledger.add_relay(Point::new(x, y), p)),
+                }
+                prop_assert!(ledger.audit().is_ok(), "audit failed mid-sequence");
+                // Fresh rebuild over the final slot layout (positions of
+                // every slot, tombstoned or not) and the same relay
+                // sequence in slot-id order.
+                let mut fresh =
+                    InterferenceLedger::new(model(), ledger.subscribers.clone());
+                for slot in ledger.slots.iter().flatten() {
+                    fresh.add_relay(slot.pos, slot.power);
+                }
+                for j in 0..ledger.n_subscribers() {
+                    let got = ledger.total_rx[j];
+                    let want = fresh.total_rx[j];
+                    prop_assert!(
+                        (got - want).abs() <= 1e-9 * want.abs().max(1e-12),
+                        "slot {j}: incremental {got:e} vs fresh {want:e}"
+                    );
+                }
+                for &j in &active {
+                    for &serving in &relay_ids {
+                        let got = ledger.snr(j, serving);
+                        let want = brute_snr(&ledger, &relay_ids, j, serving);
+                        if got >= SNR_SATURATED || want >= SNR_SATURATED {
+                            prop_assert!(
+                                got >= SNR_SATURATED && want >= SNR_SATURATED,
+                                "saturation mismatch: {got} vs {want}"
+                            );
+                        } else {
+                            prop_assert!(
+                                (got - want).abs() <= 1e-9 * want.abs().max(1e-9),
+                                "parity broken: {got} vs {want}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        /// `move_subscriber` is bit-identical to `remove_subscriber` +
+        /// `add_subscriber` on the same slot, for any relay background.
+        fn prop_move_subscriber_is_remove_plus_add(
+            subs_raw in vec_of((0.0..500.0f64, 0.0..500.0f64), 2..6),
+            relays_raw in vec_of((0.0..500.0f64, 0.0..500.0f64, 0.1..2.0f64), 0..5),
+            mover in 0usize..64,
+            to in (0.0..500.0f64, 0.0..500.0f64),
+        ) {
+            let subscribers: Vec<Point> =
+                subs_raw.iter().map(|&(x, y)| Point::new(x, y)).collect();
+            let j = mover % subscribers.len();
+            let mut moved = InterferenceLedger::new(model(), subscribers);
+            for &(x, y, p) in &relays_raw {
+                moved.add_relay(Point::new(x, y), p);
+            }
+            let mut stepped = moved.clone();
+            moved.move_subscriber(j, Point::new(to.0, to.1));
+            stepped.remove_subscriber(j);
+            prop_assert_eq!(stepped.add_subscriber(Point::new(to.0, to.1)), j);
+            prop_assert_eq!(moved.total_rx.clone(), stepped.total_rx.clone());
         }
     }
 }

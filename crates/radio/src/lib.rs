@@ -33,6 +33,7 @@
 //! ```
 
 #![deny(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 #![warn(rust_2018_idioms)]
 
 pub mod capacity;

@@ -12,8 +12,8 @@
 use std::io::Write as _;
 
 use sag_sim::experiments::{
-    alpha_sweep, channels, fig3, fig45, fig6, fig7, ledger, mbmc_weights, scaling, snr_stress,
-    table2,
+    alpha_sweep, channels, churn, fig3, fig45, fig6, fig7, ledger, mbmc_weights, scaling,
+    snr_stress, table2,
 };
 use sag_sim::runner::{collect_stage_metrics, SweepConfig};
 use sag_sim::table::Table;
@@ -43,6 +43,8 @@ const EXPERIMENTS: &[&str] = &[
     "mbmc_weights",
     "channels",
     "ledger",
+    "churn",
+    "churn_chaos",
 ];
 
 fn main() {
@@ -170,6 +172,8 @@ fn run_experiment(
                 "mbmc_weights" => mbmc_weights::mbmc_weights(config),
                 "channels" => channels::channels(config),
                 "ledger" => ledger::ledger(config),
+                "churn" => churn::churn(config),
+                "churn_chaos" => churn::churn_chaos(config),
                 _ => unreachable!("filtered by EXPERIMENTS"),
             };
             println!("{table}");

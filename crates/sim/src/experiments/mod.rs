@@ -8,6 +8,7 @@
 
 pub mod alpha_sweep;
 pub mod channels;
+pub mod churn;
 pub mod fig3;
 pub mod fig45;
 pub mod fig6;

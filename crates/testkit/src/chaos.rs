@@ -44,6 +44,20 @@ pub enum Fault {
     /// is that a panicking worker surfaces a typed `WorkerPanic` error
     /// instead of hanging the merge or poisoning the process.
     ZoneWorkerPanic,
+    /// Starve the per-event repair budget with an event burst: a batch
+    /// of churn events delivered under a zero (already-expired) budget.
+    /// Realised at the churn-engine level (a `Budget` whose deadline has
+    /// passed before the first event); the invariant under test is that
+    /// the degradation ladder bottoms out in defer-and-batch — never a
+    /// hang or an unserved subscriber after the final flush.
+    ChurnBurst,
+    /// Drive a mobility trace straight across a zone boundary: a
+    /// subscriber move whose destination lands in (or bridges) a
+    /// different interference zone, forcing the dirty-set closure to
+    /// merge/split zones. Realised at the churn trace-generator level;
+    /// the invariant under test is that cross-zone repairs stay
+    /// audit-clean and leave no stale relay behind.
+    ChurnBoundaryHop,
     /// Skew one entry of the sparse LP basis factorization so the
     /// factored basis no longer matches the true basis columns.
     /// Realised at the solver level (`sag_lp::revised::inject_lu_skew`)
@@ -57,7 +71,7 @@ pub enum Fault {
 
 impl Fault {
     /// Every fault, for exhaustive sweeps.
-    pub const fn all() -> [Fault; 11] {
+    pub const fn all() -> [Fault; 13] {
         [
             Fault::NanInject,
             Fault::InfInject,
@@ -69,6 +83,8 @@ impl Fault {
             Fault::LedgerDesync,
             Fault::ObsSinkFail,
             Fault::ZoneWorkerPanic,
+            Fault::ChurnBurst,
+            Fault::ChurnBoundaryHop,
             Fault::LpBasisDesync,
         ]
     }

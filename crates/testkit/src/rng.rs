@@ -108,6 +108,43 @@ impl Rng {
         }
     }
 
+    /// Exponential sample with the given `rate` (λ): inter-arrival
+    /// times of a Poisson process via inversion, `−ln(1−u)/λ`.
+    ///
+    /// # Panics
+    /// Panics unless `rate` is strictly positive and finite.
+    pub fn exponential(&mut self, rate: f64) -> f64 {
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "exponential rate must be > 0 and finite, got {rate}"
+        );
+        // `1 − u` is in (0, 1], so the log is finite.
+        -(1.0 - self.f64()).ln() / rate
+    }
+
+    /// Poisson-distributed count with the given `mean` (Knuth's
+    /// product-of-uniforms method — fine for the small means event
+    /// traces use; `O(mean)` per sample).
+    ///
+    /// # Panics
+    /// Panics unless `mean` is non-negative and finite.
+    pub fn poisson(&mut self, mean: f64) -> u64 {
+        assert!(
+            mean.is_finite() && mean >= 0.0,
+            "poisson mean must be ≥ 0 and finite, got {mean}"
+        );
+        let limit = (-mean).exp();
+        let mut k = 0u64;
+        let mut product = 1.0;
+        loop {
+            product *= self.f64();
+            if product <= limit {
+                return k;
+            }
+            k += 1;
+        }
+    }
+
     /// In-place Fisher–Yates shuffle.
     pub fn shuffle<T>(&mut self, slice: &mut [T]) {
         for i in (1..slice.len()).rev() {
@@ -272,6 +309,40 @@ mod tests {
         let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
         assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
         assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn exponential_mean_tracks_rate() {
+        let mut r = Rng::seed_from_u64(11);
+        let n = 20_000;
+        let rate = 2.5;
+        let mean = (0..n).map(|_| r.exponential(rate)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0 / rate).abs() < 0.02, "mean {mean}");
+        assert!((0..1000).all(|_| r.exponential(rate) >= 0.0));
+    }
+
+    #[test]
+    fn poisson_moments_and_edge_cases() {
+        let mut r = Rng::seed_from_u64(12);
+        assert!((0..100).all(|_| r.poisson(0.0) == 0));
+        let n = 20_000;
+        let lambda = 3.0;
+        let samples: Vec<u64> = (0..n).map(|_| r.poisson(lambda)).collect();
+        let mean = samples.iter().sum::<u64>() as f64 / n as f64;
+        let var = samples
+            .iter()
+            .map(|&x| (x as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - lambda).abs() < 0.1, "mean {mean}");
+        // Poisson variance equals its mean.
+        assert!((var - lambda).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn exponential_rejects_zero_rate() {
+        Rng::seed_from_u64(0).exponential(0.0);
     }
 
     #[test]

@@ -36,6 +36,12 @@ SAG_PROP_CASES=150 cargo test -p sag-integration --test ledger_parity -q --offli
 echo "==> SAG_PROP_CASES=150 cargo test -p sag-integration --test lp_parity -q --offline"
 SAG_PROP_CASES=150 cargo test -p sag-integration --test lp_parity -q --offline
 
+# Churn soak: arbitrary seeded event streams must end in a typed error
+# or an audit-clean, feasible, bounded-degradation placement; includes
+# the starved-budget, worker-panic and ledger-desync chaos arms.
+echo "==> SAG_PROP_CASES=150 cargo test -p sag-integration --test churn_pipeline -q --offline"
+SAG_PROP_CASES=150 cargo test -p sag-integration --test churn_pipeline -q --offline
+
 # SNR engine benchmark: brute vs ledger on the 100-subscriber probe
 # workload. Emits BENCH_snr.json and enforces the 5x speedup floor.
 run cargo run --release --offline -p sag-bench --bin bench_snr -- --out BENCH_snr.json --min-speedup 5
@@ -59,6 +65,25 @@ run cargo run --release --offline -p sag-bench --bin bench_par -- --out BENCH_pa
 # Emits BENCH_lp.json. Both gates self-skip below the 16-zone minimum
 # instance size (--zones), where constants, not asymptotics, decide.
 run cargo run --release --offline -p sag-bench --bin bench_lp -- --out BENCH_lp.json --min-speedup 3 --min-warm-speedup 1.5
+
+# Churn repair benchmark: incremental dirty-zone repair vs a
+# from-scratch SAMC per event on the 16-zone clustered probe. A mixed
+# seeded trace must replay audit-clean before timing. Emits
+# BENCH_churn.json with p50/p99 per-event repair latency; gates the
+# median repair speedup at >=5x and the p99 latency at <=500us. The
+# gate self-skips below the per-event timing floor, where the ratio
+# would measure the timer rather than the engine.
+run cargo run --release --offline -p sag-bench --bin bench_churn -- --out BENCH_churn.json --min-speedup 5 --max-p99-us 500
+
+# Churn chaos smoke: a short seeded trace through every chaos arm
+# (burst, boundary hop, worker panic, ledger desync); every arm must
+# score a full pass on the typed-error-or-audit-clean contract.
+echo "==> cargo run --release --offline -p sag-sim --bin repro -- churn_chaos --fast"
+churn_chaos_out=$(cargo run --release --offline -p sag-sim --bin repro -- churn_chaos --fast)
+echo "${churn_chaos_out}"
+echo "${churn_chaos_out}" | awk '$1 ~ /^[0-9]+$/ && $2 != "1.00" {
+    print "churn chaos arm " $1 " broke the contract (pass=" $2 ")"; bad = 1
+} END { exit bad }'
 
 # JSONL sink smoke: a real repro run with SAG_OBS_JSON set must emit a
 # capture in which every line parses, every stage has a span, and the

@@ -119,6 +119,18 @@ pub fn apply_fault(sc: &mut Scenario, fault: Fault, rng: &mut Rng) {
         // (see `tests/chaos_pipeline.rs`), which must surface a typed
         // `SagError::WorkerPanic` instead of hanging the merge.
         Fault::ZoneWorkerPanic => {}
+        // An event burst is churn-driver state, not scenario: it is
+        // realised by delivering a batch of events under an
+        // already-expired `Budget` (see `tests/churn_pipeline.rs`),
+        // which must bottom out in defer-and-batch and drain cleanly on
+        // the final flush.
+        Fault::ChurnBurst => {}
+        // A boundary hop is churn-trace state, not scenario: it is
+        // realised by generating `SsMove` events whose destination
+        // crosses an interference-zone boundary (see
+        // `tests/churn_pipeline.rs`), which must keep cross-zone
+        // repairs audit-clean.
+        Fault::ChurnBoundaryHop => {}
         // A basis desync is solver state, not scenario: it is armed
         // with `sag_lp::revised::inject_lu_skew` around a solve (see
         // `tests/chaos_pipeline.rs`), which must either recover via

@@ -63,7 +63,7 @@ prop! {
     /// random generated scenario, yields either a typed rejection or a
     /// report that passes the independent audit. Nothing panics.
     #[cases(28)]
-    fn any_faulted_scenario_errs_or_validates(input in arb_spec(), fidx in 0usize..11, salt in 0u64..1_000) {
+    fn any_faulted_scenario_errs_or_validates(input in arb_spec(), fidx in 0usize..13, salt in 0u64..1_000) {
         let mut rng = Rng::seed_from_u64(salt);
         let fault = Fault::all()[fidx];
         let mut sc = build(input);

@@ -1,0 +1,176 @@
+//! Churn engine integration suite: bounded degradation, end to end.
+//!
+//! The streaming-repair contract, asserted over *arbitrary* seeded
+//! event streams rather than hand-picked ones: every trace either
+//! fails with a typed [`SagError`] or leaves the engine audit-clean
+//! and feasible, with a repaired placement whose relay count stays
+//! within a bounded factor of a from-scratch SAMC re-solve of the same
+//! live subscriber set. The chaos arms (starved budgets, mid-repair
+//! worker panics, ledger desync injection) must degrade through the
+//! same typed-error ladder, and the whole engine must be bit-for-bit
+//! deterministic under replay.
+
+use std::time::Duration;
+
+use sag_testkit::prelude::*;
+
+use sag_core::churn::{ChurnConfig, ChurnEngine, ChurnEvent, RepairRung};
+use sag_core::coverage::is_feasible;
+use sag_core::engine::inject_zone_worker_panic;
+use sag_core::samc::samc;
+use sag_core::SagError;
+use sag_lp::Budget;
+use sag_sim::experiments::churn::{churn_trace, ChurnTraceSpec};
+use sag_sim::gen::ScenarioSpec;
+
+/// Scenario + trace coordinates the properties draw from.
+fn arb_input() -> impl Strategy<Value = (usize, f64, usize, bool, u64)> {
+    (
+        5usize..12,             // subscribers
+        one_of([300.0, 500.0]), // field size
+        8usize..32,             // trace events
+        one_of([false, true]),  // boundary-hopping mobility?
+        0u64..5_000,            // seed (scenario and trace)
+    )
+}
+
+fn build(users: usize, field: f64, seed: u64) -> sag_core::model::Scenario {
+    ScenarioSpec {
+        n_subscribers: users,
+        field_size: field,
+        ..Default::default()
+    }
+    .build(seed)
+}
+
+fn trace_spec(n_events: usize, boundary_hops: bool) -> ChurnTraceSpec {
+    ChurnTraceSpec {
+        n_events,
+        boundary_hops,
+        ..Default::default()
+    }
+}
+
+/// The post-trace invariant: audit-clean, feasible, and within a
+/// bounded factor of the from-scratch solver on the same live set.
+fn assert_bounded(eng: &ChurnEngine) {
+    assert!(eng.audit().is_ok(), "ledger audit failed after trace");
+    assert_eq!(eng.backlog(), 0, "final flush left a backlog");
+    let live = eng.scenario().expect("no backlog ⇒ live scenario");
+    let sol = eng.solution().expect("no backlog ⇒ placement");
+    assert!(
+        is_feasible(&live, &sol),
+        "repaired placement violates coverage/SNR on the live set"
+    );
+    // Bounded degradation: incremental repair may be worse than a
+    // global re-solve, but only by a constant factor (and it must not
+    // be absurdly *better* either — that would mean the live sets
+    // diverged).
+    if let Ok(scratch) = samc(&live) {
+        let (r, s) = (sol.n_relays(), scratch.n_relays());
+        assert!(
+            r <= 3 * s + 2 && s <= 3 * r + 2,
+            "repaired {r} vs scratch {s} relays: outside the bounded-degradation envelope"
+        );
+    }
+}
+
+prop! {
+    #[cases(16)]
+    fn arbitrary_traces_end_typed_or_audit_clean(input in arb_input()) {
+        let (users, field, n_events, hops, seed) = input;
+        let sc = build(users, field, seed);
+        let Ok(mut eng) = ChurnEngine::new(&sc, ChurnConfig::default()) else {
+            return; // seed scenario infeasible: a typed error, contract held
+        };
+        let trace = churn_trace(&sc, &trace_spec(n_events, hops), seed ^ 0x9E37);
+        match eng.run(&trace, None) {
+            // A typed failure honours the contract on its own.
+            Err(_) => {}
+            Ok(()) => assert_bounded(&eng),
+        }
+    }
+}
+
+prop! {
+    #[cases(10)]
+    fn starved_budgets_defer_then_drain(input in arb_input()) {
+        let (users, field, n_events, hops, seed) = input;
+        let sc = build(users, field, seed);
+        let Ok(mut eng) = ChurnEngine::new(&sc, ChurnConfig::default()) else {
+            return;
+        };
+        // A zero deadline starves every event: each must degrade to the
+        // Deferred rung (never panic, never block) until the forced
+        // backlog flush; the final flush in `run` drains the rest.
+        let trace = churn_trace(&sc, &trace_spec(n_events, hops), seed ^ 0x51DE);
+        match eng.run(&trace, Some(Duration::ZERO)) {
+            Err(_) => {}
+            Ok(()) => {
+                let deferred = eng.report().rung_count(RepairRung::Deferred);
+                prop_assert!(
+                    deferred > 0,
+                    "zero per-event budget never hit the Deferred rung"
+                );
+                assert_bounded(&eng);
+            }
+        }
+    }
+}
+
+#[test]
+fn worker_panic_is_typed_and_retryable() {
+    let sc = build(8, 300.0, 7);
+    let mut eng = ChurnEngine::new(&sc, ChurnConfig::default()).expect("seed solve");
+    let to = sag_geom::Point::new(
+        sc.subscribers[0].position.x + 5.0,
+        sc.subscribers[0].position.y,
+    );
+    let budget = Budget::unlimited();
+    inject_zone_worker_panic(true);
+    let outcome = eng.apply_event(ChurnEvent::SsMove { subscriber: 0, to }, &budget);
+    inject_zone_worker_panic(false);
+    assert!(
+        matches!(outcome, Err(SagError::WorkerPanic { .. })),
+        "mid-repair panic must surface as SagError::WorkerPanic, got {outcome:?}"
+    );
+    // The failed repair is retryable: the event seeds the deferred
+    // backlog and a flush with the fault disarmed repairs cleanly.
+    assert!(eng.backlog() > 0, "failed repair must re-queue its zones");
+    eng.flush().expect("flush after disarming the fault");
+    eng.audit().expect("audit clean after recovery");
+    let live = eng.scenario().expect("no backlog");
+    let sol = eng.solution().expect("no backlog");
+    assert!(is_feasible(&live, &sol), "recovered placement infeasible");
+}
+
+#[test]
+fn injected_ledger_skew_surfaces_as_typed_desync() {
+    let sc = build(6, 300.0, 3);
+    let mut eng = ChurnEngine::new(&sc, ChurnConfig::default()).expect("seed solve");
+    // The delta dwarfs any received power at this field scale, so the
+    // next audited event must trip the exact-oracle comparison.
+    eng.skew_ledger(0, 1e12);
+    let outcome = eng.apply_event(ChurnEvent::SsDepart { subscriber: 1 }, &Budget::unlimited());
+    assert!(
+        matches!(outcome, Err(SagError::LedgerDesync(_))),
+        "skewed accumulator must surface as SagError::LedgerDesync, got {outcome:?}"
+    );
+}
+
+#[test]
+fn replayed_traces_are_bit_identical() {
+    let sc = build(9, 500.0, 21);
+    let trace = churn_trace(&sc, &trace_spec(24, true), 99);
+    let run = || {
+        let mut eng = ChurnEngine::new(&sc, ChurnConfig::default()).expect("seed solve");
+        eng.run(&trace, None).expect("trace replays");
+        let rungs: Vec<RepairRung> = eng.report().events.iter().map(|e| e.rung).collect();
+        let relays = eng.solution().expect("no backlog").relays;
+        (rungs, relays)
+    };
+    let (rungs_a, relays_a) = run();
+    let (rungs_b, relays_b) = run();
+    assert_eq!(rungs_a, rungs_b, "ladder rung sequence diverged on replay");
+    assert_eq!(relays_a, relays_b, "relay placement diverged on replay");
+}

@@ -1,0 +1,124 @@
+//! Sweep harness chaos suite: failure surfacing at integration level.
+//!
+//! The sweep runner's contract is that one bad run never poisons a
+//! campaign: a panic (or wrong metric arity) inside `eval` is isolated
+//! to its cell, surfaced in [`CellStats::failed_runs`], and every other
+//! cell aggregates normally. The unit tests in `sag-sim` exercise this
+//! with toy closures; here the crash happens inside a real
+//! scenario-build-and-solve eval, mid-sweep, on worker threads. The
+//! second half pins the seed schedule: across ≥1000 runs per x
+//! position every run must observe a distinct seed.
+
+use std::collections::HashSet;
+use std::sync::Mutex;
+
+use sag_core::coverage::is_feasible;
+use sag_core::samc::samc;
+use sag_sim::gen::ScenarioSpec;
+use sag_sim::runner::{sweep_multi, SweepConfig};
+
+fn spec(users: usize) -> ScenarioSpec {
+    ScenarioSpec {
+        n_subscribers: users,
+        field_size: 300.0,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn mid_sweep_scenario_panic_is_isolated_and_counted() {
+    let config = SweepConfig {
+        runs: 3,
+        base_seed: 11,
+        threads: 4,
+    };
+    let xs = [5.0, 7.0, 9.0];
+    // Poison exactly one run of the middle cell; every other run does a
+    // full scenario build + SAMC solve.
+    let poison_seed = config.seed(1, 1);
+    let series = sweep_multi(&xs, 2, config, |users, seed| {
+        let sc = spec(users as usize).build(seed);
+        assert_ne!(seed, poison_seed, "injected mid-sweep crash (seed {seed})");
+        match samc(&sc) {
+            Ok(sol) => {
+                let okay = is_feasible(&sc, &sol);
+                vec![Some(sol.n_relays() as f64), Some(okay as usize as f64)]
+            }
+            Err(_) => vec![None, None],
+        }
+    });
+    assert_eq!(series.len(), 2);
+    for cells in &series {
+        assert_eq!(cells.len(), xs.len());
+        // The poisoned cell: one crash counted, the other runs intact.
+        assert_eq!(cells[1].failed_runs, 1, "crash not surfaced: {cells:?}");
+        assert_eq!(cells[1].total_runs, 3);
+        assert!(cells[1].feasible_runs <= 2);
+        // Neighbouring cells are untouched by the crash.
+        for i in [0usize, 2] {
+            assert_eq!(cells[i].failed_runs, 0, "crash leaked into cell {i}");
+            assert_eq!(cells[i].total_runs, 3);
+        }
+    }
+    // The solve metrics of the healthy cells still aggregate.
+    assert!(series[0][0].mean.is_some(), "healthy cell lost its mean");
+    assert_eq!(series[1][0].mean, Some(1.0), "feasibility metric lost");
+}
+
+#[test]
+fn wrong_metric_arity_counts_as_failed_run() {
+    let config = SweepConfig {
+        runs: 2,
+        base_seed: 5,
+        threads: 2,
+    };
+    let bad_seed = config.seed(0, 0);
+    let series = sweep_multi(&[4.0], 2, config, |users, seed| {
+        let sc = spec(users as usize).build(seed);
+        if seed == bad_seed {
+            // An eval that forgot a metric: must be a failed run, not
+            // a silent misalignment of the series.
+            return vec![Some(1.0)];
+        }
+        vec![Some(sc.subscribers.len() as f64), Some(1.0)]
+    });
+    for cells in &series {
+        assert_eq!(cells[0].failed_runs, 1);
+        assert_eq!(cells[0].total_runs, 2);
+        assert_eq!(cells[0].feasible_runs, 1);
+    }
+}
+
+#[test]
+fn seed_schedule_is_collision_free_across_1000_plus_runs() {
+    // Observed from *inside* the sweep: every (x, run) eval must see a
+    // seed no other eval saw, at 1200 runs per x — past the historical
+    // fixed stride of 1000, where a narrower schedule would wrap into
+    // the next x position's band.
+    let config = SweepConfig {
+        runs: 1200,
+        base_seed: 1,
+        threads: 8,
+    };
+    let xs = [0.0, 1.0, 2.0, 3.0];
+    let seen: Mutex<HashSet<u64>> = Mutex::new(HashSet::new());
+    let series = sweep_multi(&xs, 1, config, |_x, seed| {
+        let fresh = seen.lock().expect("seed set lock").insert(seed);
+        vec![if fresh { Some(1.0) } else { None }]
+    });
+    let seen = seen.into_inner().expect("seed set lock");
+    assert_eq!(
+        seen.len(),
+        xs.len() * config.runs,
+        "seed collision across the sweep"
+    );
+    for cell in &series[0] {
+        assert_eq!(cell.feasible_runs, config.runs, "a run saw a reused seed");
+        assert_eq!(cell.failed_runs, 0);
+    }
+    // The schedule also stays ordered: the last run of one x position
+    // never reaches into the next position's band.
+    for i in 0..xs.len() - 1 {
+        assert!(config.seed(i, config.runs - 1) < config.seed(i + 1, 0));
+    }
+}
