@@ -46,6 +46,25 @@ pub fn resolve_gate(enforce: bool, skip_reason: &str) -> (String, bool) {
     }
 }
 
+/// The solver-backend configuration active for this process, as a
+/// ready-to-splice pair of JSON fields (`solver_backend`,
+/// `solver_selection`). Every `BENCH_*.json` emitter records these so
+/// a number produced under a `SAG_SOLVER` override is never mistaken
+/// for a default-configuration baseline.
+pub fn solver_fields_json() -> String {
+    let choice = sag_core::SolverBuilder::default().choice;
+    let selection = if sag_core::SolverBuilder::choice_from_env() {
+        "env"
+    } else {
+        "default"
+    };
+    format!(
+        "\"solver_backend\": \"{}\",\n  \"solver_selection\": \"{}\"",
+        choice.label(),
+        selection
+    )
+}
+
 /// The sweep configuration benches use: few runs, deterministic seeds.
 pub fn bench_sweep() -> SweepConfig {
     SweepConfig {

@@ -25,8 +25,10 @@
 //! * **[`RepairRung::Exact`]** — dirty zones re-solved by the full SAMC
 //!   zone solver (hitting set → escape → sliding);
 //! * **[`RepairRung::Greedy`]** — a zone whose exact solve came back
-//!   infeasible is patched by the greedy set-cover fallback
-//!   ([`crate::fallback::greedy_cover`]) instead;
+//!   infeasible is patched by the shared greedy rescue rung
+//!   ([`SolverBuilder::primary_or_greedy_rescue`]) instead — the same
+//!   ladder bottom the steady-state pipeline uses, so rung accounting
+//!   agrees between churn and batch paths;
 //! * **[`RepairRung::Deferred`]** — no budget at all: the event's slots
 //!   join a backlog that the next funded event (or an explicit
 //!   [`ChurnEngine::flush`]) batch-repairs; the backlog is bounded by
@@ -52,13 +54,12 @@ use sag_geom::Point;
 use sag_lp::{Budget, Spent};
 use sag_radio::ledger::InterferenceLedger;
 
-use crate::candidates::iac_candidates;
 use crate::coverage::{interference_ledger, CoverageSolution};
 use crate::engine;
 use crate::error::{SagError, SagResult};
-use crate::fallback::greedy_cover;
 use crate::model::{Scenario, Subscriber};
 use crate::samc::{self, SamcConfig};
+use crate::solver::SolverBuilder;
 use crate::zone::{zone_partition, zone_scenario};
 
 /// One subscriber-side event in the churn stream.
@@ -114,6 +115,11 @@ pub struct ChurnConfig {
     /// audits after every event). An audit failure surfaces as
     /// [`SagError::LedgerDesync`].
     pub audit_every: u64,
+    /// Backend selection front shared with the steady-state pipeline;
+    /// the repair ladder's Exact→Greedy rescue routes through
+    /// [`SolverBuilder::primary_or_greedy_rescue`] so rung accounting
+    /// cannot drift between churn and batch paths.
+    pub solver: SolverBuilder,
 }
 
 impl Default for ChurnConfig {
@@ -123,6 +129,7 @@ impl Default for ChurnConfig {
             threads: 1,
             max_backlog: 8,
             audit_every: 1,
+            solver: SolverBuilder::default(),
         }
     }
 }
@@ -571,6 +578,7 @@ impl ChurnEngine {
         // exhaustion between zones surfaces as BudgetExceeded, which
         // the caller converts into a deferral.
         let cfg = self.config.samc;
+        let solver = self.config.solver;
         let solved = engine::run_zones(
             "churn",
             dirty_zone_ids.len(),
@@ -586,12 +594,21 @@ impl ChurnEngine {
                         },
                     })?;
                 let (zsc, _) = zone_scenario(&sc, &zones[dirty_zone_ids[k]]);
-                match samc::solve_zone(&zsc, cfg) {
-                    Ok(sol) => Ok((sol, RepairRung::Exact)),
-                    Err(SagError::Infeasible(_)) => greedy_cover(&zsc, &iac_candidates(&zsc))
-                        .map(|sol| (sol, RepairRung::Greedy)),
-                    Err(e) => Err(e),
-                }
+                // One ladder for both paths: the SAMC zone solver is
+                // the exact rung; an infeasible answer falls to the
+                // shared greedy rescue in the solver builder, so the
+                // rung accounting here matches the steady-state
+                // pipeline's by construction.
+                let (sol, rescued) =
+                    solver.primary_or_greedy_rescue(&zsc, || samc::solve_zone(&zsc, cfg))?;
+                Ok((
+                    sol,
+                    if rescued {
+                        RepairRung::Greedy
+                    } else {
+                        RepairRung::Exact
+                    },
+                ))
             },
         )?;
 

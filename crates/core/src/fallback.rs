@@ -9,6 +9,11 @@
 //! candidates for violated subscribers — the same repair move the exact
 //! search branches on, applied greedily.
 //!
+//! The building blocks (eligibility lists, greedy selection, the SNR
+//! repair + prune pass) are shared `pub(crate)` helpers: the `LpRound`
+//! and `LocalSearch` backends in [`crate::solver`] reuse them so every
+//! rung of the ladder agrees on what "eligible" and "repaired" mean.
+//!
 //! The result is feasible whenever the repair loop converges, but
 //! carries no optimality certificate; [`crate::sag::SagReport`] records
 //! that the greedy solver answered so downstream consumers can tell the
@@ -20,44 +25,48 @@ use crate::coverage::{snr_violations, CoverageSolution};
 use crate::error::{SagError, SagResult};
 use crate::model::Scenario;
 
-/// Greedy set cover + SNR repair over `candidates`.
-///
-/// Runs in `O(n_cands² · n_subs)` worst case and performs no LP solves,
-/// so it terminates quickly even when the budget that stopped the exact
-/// solver has already expired — it is the last rung of the degradation
-/// ladder and deliberately ignores deadlines.
-///
-/// Under the zone-parallel lower tier ([`crate::engine`]) this runs
-/// once per *zone* that exhausted its share of the budget, over that
-/// zone's candidates — zones where the exact search finished keep
-/// their optimal answer.
+/// Eligibility lists: `eligible[j]` = candidate indices (ascending)
+/// within subscriber `j`'s feasible distance. The shared first step of
+/// every candidate-set backend, so they cannot disagree on coverage.
 ///
 /// # Errors
 /// [`SagError::Infeasible`] when some subscriber has no eligible
-/// candidate, or the repair loop exhausts the candidate pool without
-/// clearing every SNR violation.
-pub fn greedy_cover(scenario: &Scenario, candidates: &[Point]) -> SagResult<CoverageSolution> {
-    let _stage = sag_obs::span("greedy_fallback");
-    let n_subs = scenario.n_subscribers();
+/// candidate at all; `stage` names the solver for the error payload.
+pub(crate) fn eligibility(
+    scenario: &Scenario,
+    candidates: &[Point],
+    stage: &str,
+) -> SagResult<Vec<Vec<usize>>> {
     let n_cands = candidates.len();
-
-    // eligible[j] = candidate indices within subscriber j's distance.
-    let mut eligible: Vec<Vec<usize>> = Vec::with_capacity(n_subs);
+    let mut eligible: Vec<Vec<usize>> = Vec::with_capacity(scenario.n_subscribers());
     for sub in &scenario.subscribers {
         let circle = sub.feasible_circle();
         let e: Vec<usize> = (0..n_cands)
             .filter(|&c| circle.contains(candidates[c]))
             .collect();
         if e.is_empty() {
-            return Err(SagError::Infeasible(
-                "fallback: a subscriber has no candidate within distance".into(),
-            ));
+            return Err(SagError::Infeasible(format!(
+                "{stage}: a subscriber has no candidate within distance"
+            )));
         }
         eligible.push(e);
     }
+    Ok(eligible)
+}
 
-    // Greedy set cover: repeatedly take the candidate covering the most
-    // still-uncovered subscribers.
+/// Greedy set cover over precomputed eligibility lists: repeatedly take
+/// the candidate covering the most still-uncovered subscribers. Returns
+/// the selected candidate indices, sorted ascending.
+///
+/// # Errors
+/// [`SagError::Infeasible`] when no remaining candidate covers an
+/// uncovered subscriber (only possible with inconsistent lists).
+pub(crate) fn greedy_select(
+    eligible: &[Vec<usize>],
+    n_cands: usize,
+    stage: &str,
+) -> SagResult<Vec<usize>> {
+    let n_subs = eligible.len();
     let mut selected: Vec<usize> = Vec::new();
     let mut covered = vec![false; n_subs];
     while covered.iter().any(|&c| !c) {
@@ -77,9 +86,9 @@ pub fn greedy_cover(scenario: &Scenario, candidates: &[Point]) -> SagResult<Cove
                     .any(|(j, e)| !covered[j] && e.contains(&c))
             });
         let Some(c) = best else {
-            return Err(SagError::Infeasible(
-                "fallback: greedy cover stalled before covering every subscriber".into(),
-            ));
+            return Err(SagError::Infeasible(format!(
+                "{stage}: greedy cover stalled before covering every subscriber"
+            )));
         };
         selected.push(c);
         for (j, e) in eligible.iter().enumerate() {
@@ -89,16 +98,33 @@ pub fn greedy_cover(scenario: &Scenario, candidates: &[Point]) -> SagResult<Cove
         }
     }
     selected.sort_unstable();
+    Ok(selected)
+}
 
-    // SNR repair: while some subscriber is violated, add the closest
-    // not-yet-selected eligible candidate strictly closer than its
-    // current server. Bounded by the candidate pool size.
+/// SNR repair + prune over a distance-complete selection (sorted
+/// candidate indices): while some subscriber is violated, add the
+/// closest not-yet-selected eligible candidate strictly closer than its
+/// current server — the same repair move the exact search branches on,
+/// applied greedily — then drop selected candidates that serve nobody.
+/// Bounded by the candidate pool size.
+///
+/// # Errors
+/// [`SagError::Infeasible`] when the repair loop exhausts the candidate
+/// pool without clearing every SNR violation, or the selection does not
+/// cover every subscriber.
+pub(crate) fn repair_and_prune(
+    scenario: &Scenario,
+    candidates: &[Point],
+    eligible: &[Vec<usize>],
+    mut selected: Vec<usize>,
+    stage: &str,
+) -> SagResult<CoverageSolution> {
     loop {
-        let assignment = nearest_assignment(scenario, candidates, &eligible, &selected)?;
+        let assignment = nearest_assignment(scenario, candidates, eligible, &selected, stage)?;
         let relays: Vec<Point> = selected.iter().map(|&c| candidates[c]).collect();
         let violated = snr_violations(scenario, &relays, &assignment);
         let Some(&j) = violated.first() else {
-            return prune_unused(scenario, candidates, &eligible, selected);
+            return prune_unused(scenario, candidates, eligible, selected, stage);
         };
         let spos = scenario.subscribers[j].position;
         let cur_d = candidates[selected[assignment[j]]].distance(spos);
@@ -115,9 +141,9 @@ pub fn greedy_cover(scenario: &Scenario, candidates: &[Point]) -> SagResult<Cove
                 )
             });
         let Some(c) = repair else {
-            return Err(SagError::Infeasible(
-                "fallback: SNR repair exhausted the candidate pool".into(),
-            ));
+            return Err(SagError::Infeasible(format!(
+                "{stage}: SNR repair exhausted the candidate pool"
+            )));
         };
         let pos = match selected.binary_search(&c) {
             Ok(p) | Err(p) => p,
@@ -126,12 +152,36 @@ pub fn greedy_cover(scenario: &Scenario, candidates: &[Point]) -> SagResult<Cove
     }
 }
 
+/// Greedy set cover + SNR repair over `candidates`.
+///
+/// Runs in `O(n_cands² · n_subs)` worst case and performs no LP solves,
+/// so it terminates quickly even when the budget that stopped the exact
+/// solver has already expired — it is the last rung of the degradation
+/// ladder and deliberately ignores deadlines.
+///
+/// Under the zone-parallel lower tier ([`crate::engine`]) this runs
+/// once per *zone* that exhausted its share of the budget, over that
+/// zone's candidates — zones where the exact search finished keep
+/// their optimal answer.
+///
+/// # Errors
+/// [`SagError::Infeasible`] when some subscriber has no eligible
+/// candidate, or the repair loop exhausts the candidate pool without
+/// clearing every SNR violation.
+pub fn greedy_cover(scenario: &Scenario, candidates: &[Point]) -> SagResult<CoverageSolution> {
+    let _stage = sag_obs::span("greedy_fallback");
+    let eligible = eligibility(scenario, candidates, "fallback")?;
+    let selected = greedy_select(&eligible, candidates.len(), "fallback")?;
+    repair_and_prune(scenario, candidates, &eligible, selected, "fallback")
+}
+
 /// Nearest-eligible assignment over the selected candidates.
 fn nearest_assignment(
     scenario: &Scenario,
     candidates: &[Point],
     eligible: &[Vec<usize>],
     selected: &[usize],
+    stage: &str,
 ) -> SagResult<Vec<usize>> {
     let mut out = Vec::with_capacity(scenario.n_subscribers());
     for (j, e) in eligible.iter().enumerate() {
@@ -148,9 +198,9 @@ fn nearest_assignment(
         match best {
             Some(b) => out.push(b),
             None => {
-                return Err(SagError::Infeasible(
-                    "fallback: selection does not cover every subscriber".into(),
-                ))
+                return Err(SagError::Infeasible(format!(
+                    "{stage}: selection does not cover every subscriber"
+                )))
             }
         }
     }
@@ -164,8 +214,9 @@ fn prune_unused(
     candidates: &[Point],
     eligible: &[Vec<usize>],
     selected: Vec<usize>,
+    stage: &str,
 ) -> SagResult<CoverageSolution> {
-    let assignment = nearest_assignment(scenario, candidates, eligible, &selected)?;
+    let assignment = nearest_assignment(scenario, candidates, eligible, &selected, stage)?;
     let mut used = vec![false; selected.len()];
     for &a in &assignment {
         used[a] = true;
@@ -272,5 +323,14 @@ mod tests {
         ];
         let sol = greedy_cover(&sc, &cands).unwrap();
         assert!(is_feasible(&sc, &sol));
+    }
+
+    #[test]
+    fn eligibility_stage_names_the_caller() {
+        let sc = scenario(vec![(0.0, 0.0, 30.0)], -15.0);
+        match eligibility(&sc, &[Point::new(500.0, 0.0)], "lp_round") {
+            Err(SagError::Infeasible(msg)) => assert!(msg.starts_with("lp_round:")),
+            other => panic!("expected Infeasible, got {other:?}"),
+        }
     }
 }

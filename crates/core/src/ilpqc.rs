@@ -105,20 +105,9 @@ pub fn solve_ilpqc(
     let n_subs = scenario.n_subscribers();
     let n_cands = candidates.len();
 
-    // eligible[j] = candidate indices within subscriber j's distance.
-    let mut eligible: Vec<Vec<usize>> = Vec::with_capacity(n_subs);
-    for sub in &scenario.subscribers {
-        let circle = sub.feasible_circle();
-        let e: Vec<usize> = (0..n_cands)
-            .filter(|&c| circle.contains(candidates[c]))
-            .collect();
-        if e.is_empty() {
-            return Err(SagError::Infeasible(
-                "ilpqc: a subscriber has no candidate within distance".into(),
-            ));
-        }
-        eligible.push(e);
-    }
+    // eligible[j] = candidate indices within subscriber j's distance
+    // (the shared helper every backend builds its lists with).
+    let eligible = crate::fallback::eligibility(scenario, candidates, "ilpqc")?;
 
     // Root lower bound: LP relaxation of the set cover.
     let root_lb = set_cover_lp_bound(n_cands, &eligible, &config.budget).map_err(|e| {
@@ -431,8 +420,10 @@ fn nearest_assignment(
 /// to one `≥ 1` coverage row per subscriber. Rows are assembled as one
 /// canonical [`CscMatrix`] block (subscribers × candidates) and
 /// bulk-added — the sparse backend consumes the same structure, so
-/// nothing is densified on the way in.
-fn build_cover_lp(n_cands: usize, eligible: &[Vec<usize>]) -> LpProblem {
+/// nothing is densified on the way in. Shared with the `LpRound`
+/// backend in [`crate::solver`], which rounds this relaxation instead
+/// of branching on it.
+pub(crate) fn build_cover_lp(n_cands: usize, eligible: &[Vec<usize>]) -> LpProblem {
     let mut lp = LpProblem::minimize(n_cands);
     lp.set_objective(&vec![1.0; n_cands]);
     for c in 0..n_cands {

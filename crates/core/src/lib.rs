@@ -88,6 +88,7 @@ pub mod sag;
 pub mod samc;
 pub mod sleep;
 pub mod sliding;
+pub mod solver;
 pub mod trace;
 pub mod traffic;
 pub mod ucpo;
@@ -100,3 +101,7 @@ pub use error::{SagError, SagResult};
 pub use model::{BaseStation, NetworkParams, Relay, RelayRole, Scenario, Subscriber};
 pub use sag::{run_sag, run_sag_with, AnsweringSolver, LowerSolver, SagPipelineConfig, SagReport};
 pub use sag_lp::{Budget, Spent};
+pub use solver::{
+    CoverageSolver, LoserFault, SelectionPolicy, SelectionReason, SolveOutcome, SolverBackend,
+    SolverBuilder, SolverChoice,
+};

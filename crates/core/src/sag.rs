@@ -17,13 +17,12 @@ use sag_radio::ledger::LedgerMode;
 use crate::candidates::iac_candidates;
 use crate::coverage::{interference_ledger, push_ledger_mode_override, CoverageSolution};
 use crate::engine;
-use crate::error::{SagError, SagResult};
-use crate::fallback::greedy_cover;
-use crate::ilpqc::{solve_ilpqc, IlpqcConfig};
+use crate::error::SagResult;
 use crate::mbmc::{mbmc, ConnectivityPlan};
 use crate::model::{Relay, RelayRole, Scenario};
 use crate::pro::{pro_with_budget, PowerAllocation};
 use crate::samc::{samc_with_budget_threads, SamcConfig};
+use crate::solver::{SelectionReason, SolveOutcome, SolverBackend, SolverBuilder};
 use crate::ucpo::{ucpo, UpperTierPower};
 use crate::zone::{observed_zone_partition, zone_scenario};
 
@@ -43,6 +42,10 @@ pub enum LowerSolver {
 }
 
 /// Which solver actually produced the coverage in a [`SagReport`].
+///
+/// On the candidate-set path the report records the *weakest* backend
+/// that answered any zone (by [`SolverBackend::rank`]); the full
+/// per-zone provenance is in [`SagReport::zone_solvers`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AnsweringSolver {
     /// SAMC answered.
@@ -50,9 +53,39 @@ pub enum AnsweringSolver {
     /// The exact ILPQC answered (check the budget spent and the
     /// configured node limit to judge whether it proved optimality).
     Ilpqc,
-    /// The ILPQC ran out of budget and the greedy fallback answered —
-    /// feasible, but with no optimality certificate.
+    /// The LP-rounding backend answered — feasible, no optimality
+    /// certificate, but LP-informed.
+    LpRound,
+    /// The local-search backend answered — feasible, no certificate.
+    LocalSearch,
+    /// The greedy set cover answered (chosen by policy or reached as
+    /// the last rung of the ladder) — feasible, no certificate.
     GreedyFallback,
+}
+
+impl AnsweringSolver {
+    /// Maps a committed backend identity onto the report enum.
+    pub fn from_backend(backend: SolverBackend) -> AnsweringSolver {
+        match backend {
+            SolverBackend::ExactIlp => AnsweringSolver::Ilpqc,
+            SolverBackend::LpRound => AnsweringSolver::LpRound,
+            SolverBackend::LocalSearch => AnsweringSolver::LocalSearch,
+            SolverBackend::Greedy => AnsweringSolver::GreedyFallback,
+        }
+    }
+}
+
+/// Per-zone solver provenance recorded in [`SagReport::zone_solvers`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZoneSolverRecord {
+    /// Zone index (partition order).
+    pub zone: usize,
+    /// Backend whose answer was committed for the zone.
+    pub backend: SolverBackend,
+    /// Why that backend answered.
+    pub reason: SelectionReason,
+    /// Whether the zone's answer carries an optimality certificate.
+    pub optimal: bool,
 }
 
 /// Configuration of the full pipeline.
@@ -62,6 +95,13 @@ pub struct SagPipelineConfig {
     pub samc: SamcConfig,
     /// Lower-tier solver selection (default: SAMC).
     pub lower_solver: LowerSolver,
+    /// Backend selection front for the candidate-set lower tier
+    /// (ILPQC variants): fixed, adaptive, or portfolio choice plus the
+    /// degradation ladder. Defaults to the `SAG_SOLVER` environment
+    /// variable (read once per process), else adaptive selection.
+    /// Ignored by [`LowerSolver::Samc`]; [`LowerSolver::IlpqcStrict`]
+    /// forces the strict-exact variant regardless of the choice here.
+    pub solver: SolverBuilder,
     /// Cooperative budget threaded through every stage (default:
     /// unlimited). See [`Budget`].
     pub budget: Budget,
@@ -105,6 +145,7 @@ impl Default for SagPipelineConfig {
         SagPipelineConfig {
             samc: SamcConfig::default(),
             lower_solver: LowerSolver::default(),
+            solver: SolverBuilder::default(),
             budget: Budget::unlimited(),
             collect_metrics: true,
             threads: default_threads(),
@@ -124,8 +165,13 @@ pub struct SagReport {
     pub plan: ConnectivityPlan,
     /// Upper-tier powers (UCPO).
     pub upper_power: UpperTierPower,
-    /// The solver that produced `coverage` (records degradation).
+    /// The solver that produced `coverage` (records degradation; the
+    /// weakest rung across zones on the candidate-set path).
     pub solver: AnsweringSolver,
+    /// Per-zone backend + selection-reason records from the
+    /// candidate-set lower tier, in zone index order (empty on the
+    /// SAMC path, which has no backend choice).
+    pub zone_solvers: Vec<ZoneSolverRecord>,
     /// Budget the lower-tier solve consumed before answering.
     pub budget_spent: Spent,
     /// Per-stage spans and work counters collected during the run
@@ -283,7 +329,7 @@ fn run_sag_inner(scenario: &Scenario, config: &SagPipelineConfig) -> SagResult<S
         }))
     });
     scenario.validate()?; // Step 1: ingress gate
-    let (coverage, solver, budget_spent) = solve_lower_tier(scenario, config)?;
+    let (coverage, solver, budget_spent, zone_solvers) = solve_lower_tier(scenario, config)?;
     // The lower tier answered, so whatever it legitimately consumed
     // must not be double-billed to the polynomial tail: rebudget the
     // tail from what actually remains on *every* rung.
@@ -313,6 +359,7 @@ fn run_sag_inner(scenario: &Scenario, config: &SagPipelineConfig) -> SagResult<S
         plan,
         upper_power,
         solver,
+        zone_solvers,
         budget_spent,
         metrics: StageMetrics::default(),
     })
@@ -342,15 +389,22 @@ fn tail_budget(budget: &Budget) -> Budget {
     tail
 }
 
-/// Step 2 with the degradation ladder: configured solver first, greedy
-/// fallback when an ILPQC budget exhaustion permits it. Both solvers
-/// run on the zone-parallel engine with `config.threads` workers; the
-/// returned [`Spent`] is stage-local (this stage's wall time and node
-/// count, not pipeline-so-far) on every arm.
+/// Step 2 with backend selection: SAMC runs as-is; the candidate-set
+/// path routes every zone through [`SolverBuilder::solve_zone`], which
+/// owns adaptive selection, portfolio racing, and the degradation
+/// ladder (budget-exhausted → greedy). Both paths run on the
+/// zone-parallel engine with `config.threads` workers; the returned
+/// [`Spent`] is stage-local (this stage's wall time and node count, not
+/// pipeline-so-far) on every arm.
 fn solve_lower_tier(
     scenario: &Scenario,
     config: &SagPipelineConfig,
-) -> SagResult<(CoverageSolution, AnsweringSolver, Spent)> {
+) -> SagResult<(
+    CoverageSolution,
+    AnsweringSolver,
+    Spent,
+    Vec<ZoneSolverRecord>,
+)> {
     let stage_started = Instant::now();
     match config.lower_solver {
         LowerSolver::Samc => {
@@ -360,7 +414,7 @@ fn solve_lower_tier(
                 nodes: 0,
                 elapsed: stage_started.elapsed(),
             };
-            Ok((coverage, AnsweringSolver::Samc, spent))
+            Ok((coverage, AnsweringSolver::Samc, spent, Vec::new()))
         }
         LowerSolver::IlpqcWithGreedyFallback | LowerSolver::IlpqcStrict => {
             let zones = observed_zone_partition(scenario);
@@ -369,42 +423,47 @@ fn solve_lower_tier(
             // *combined* branch-and-bound effort, so N workers cannot
             // multiply the configured budget by N.
             let shared = config.budget.clone().with_shared_node_pool();
-            let fallback_ok = config.lower_solver == LowerSolver::IlpqcWithGreedyFallback;
+            let builder = match config.lower_solver {
+                LowerSolver::IlpqcStrict => config.solver.strict_exact(),
+                _ => config.solver,
+            };
             let outcomes = engine::run_zones("ilpqc", zones.len(), config.threads, |zi| {
                 let (zsc, _back_map) = zone_scenario(scenario, &zones[zi]);
                 let cands = iac_candidates(&zsc);
-                let ilpqc_config = IlpqcConfig {
-                    budget: shared.clone(),
-                    ..Default::default()
-                };
-                match solve_ilpqc(&zsc, &cands, ilpqc_config) {
-                    Ok(out) => Ok((
-                        engine::zone_outcome(&base, &zones[zi], out.solution),
-                        AnsweringSolver::Ilpqc,
-                        out.spent,
-                    )),
-                    Err(SagError::BudgetExceeded { spent, .. }) if fallback_ok => {
-                        // Last rung, per zone: the greedy cover does no
-                        // LP work and ignores the exhausted budget.
-                        let coverage = greedy_cover(&zsc, &cands)?;
-                        Ok((
-                            engine::zone_outcome(&base, &zones[zi], coverage),
-                            AnsweringSolver::GreedyFallback,
-                            spent,
-                        ))
-                    }
-                    Err(e) => Err(e),
-                }
+                let SolveOutcome {
+                    solution,
+                    backend,
+                    reason,
+                    optimal,
+                    spent,
+                } = builder.solve_zone(&zsc, &cands, &shared)?;
+                Ok((
+                    engine::zone_outcome(&base, &zones[zi], solution),
+                    backend,
+                    reason,
+                    optimal,
+                    spent,
+                ))
             })?;
             let mut nodes = 0;
-            let mut solver = AnsweringSolver::Ilpqc;
+            let mut weakest = SolverBackend::ExactIlp;
+            let mut zone_solvers = Vec::with_capacity(outcomes.len());
             let mut parts = Vec::with_capacity(outcomes.len());
-            for (part, zone_solver, spent) in outcomes {
-                nodes += spent.nodes;
-                // The report records the weakest rung that answered.
-                if zone_solver == AnsweringSolver::GreedyFallback {
-                    solver = AnsweringSolver::GreedyFallback;
+            for (zone, (part, backend, reason, optimal, zone_spent)) in
+                outcomes.into_iter().enumerate()
+            {
+                nodes += zone_spent.nodes;
+                // The report's summary field records the weakest rung
+                // that answered any zone.
+                if backend.rank() > weakest.rank() {
+                    weakest = backend;
                 }
+                zone_solvers.push(ZoneSolverRecord {
+                    zone,
+                    backend,
+                    reason,
+                    optimal,
+                });
                 parts.push(part);
             }
             let coverage = engine::merge_zone_outcomes(scenario, &zones, parts, &base, "ilpqc")?;
@@ -412,7 +471,12 @@ fn solve_lower_tier(
                 nodes,
                 elapsed: stage_started.elapsed(),
             };
-            Ok((coverage, solver, spent))
+            Ok((
+                coverage,
+                AnsweringSolver::from_backend(weakest),
+                spent,
+                zone_solvers,
+            ))
         }
     }
 }
@@ -421,6 +485,7 @@ fn solve_lower_tier(
 mod tests {
     use super::*;
     use crate::coverage::is_feasible;
+    use crate::error::SagError;
     use crate::model::{BaseStation, NetworkParams, Subscriber};
     use crate::pro::{allocation_is_feasible, baseline_power};
     use sag_geom::{Point, Rect};
@@ -515,6 +580,15 @@ mod tests {
         assert_eq!(report.solver, AnsweringSolver::Ilpqc);
         assert!(report.budget_spent.nodes >= 1);
         assert!(is_feasible(&sc, &report.coverage));
+        // Small zones: adaptive selection must have picked the exact
+        // backend for every zone and recorded why.
+        assert!(!report.zone_solvers.is_empty());
+        for (i, rec) in report.zone_solvers.iter().enumerate() {
+            assert_eq!(rec.zone, i);
+            assert_eq!(rec.backend, SolverBackend::ExactIlp);
+            assert_eq!(rec.reason, SelectionReason::SmallZone);
+            assert!(rec.optimal);
+        }
     }
 
     #[test]
@@ -533,6 +607,50 @@ mod tests {
             &report.coverage,
             &report.lower_power
         ));
+        // A node cap this small routes straight to the greedy rung.
+        assert!(report.zone_solvers.iter().all(
+            |r| r.backend == SolverBackend::Greedy && r.reason == SelectionReason::BudgetCapped
+        ));
+    }
+
+    #[test]
+    fn fixed_and_portfolio_overrides_reach_the_zone_workers() {
+        let sc = scenario(2);
+        let fixed = run_sag_with(
+            &sc,
+            SagPipelineConfig {
+                lower_solver: LowerSolver::IlpqcWithGreedyFallback,
+                solver: SolverBuilder::fixed(crate::solver::SolverBackend::LpRound),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(fixed.solver, AnsweringSolver::LpRound);
+        assert!(is_feasible(&sc, &fixed.coverage));
+        assert!(fixed
+            .zone_solvers
+            .iter()
+            .all(|r| r.reason == SelectionReason::Forced));
+
+        let raced = run_sag_with(
+            &sc,
+            SagPipelineConfig {
+                lower_solver: LowerSolver::IlpqcWithGreedyFallback,
+                solver: SolverBuilder::portfolio(
+                    crate::solver::SolverBackend::ExactIlp,
+                    crate::solver::SolverBackend::Greedy,
+                ),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // Rank arbitration: the exact arm wins whenever it answers.
+        assert_eq!(raced.solver, AnsweringSolver::Ilpqc);
+        assert!(raced
+            .zone_solvers
+            .iter()
+            .all(|r| r.reason == SelectionReason::PortfolioRank));
+        assert!(raced.metrics.counter("portfolio.races") >= 1);
     }
 
     #[test]

@@ -12,7 +12,7 @@
 use std::io::Write as _;
 
 use sag_sim::experiments::{
-    alpha_sweep, channels, churn, fig3, fig45, fig6, fig7, ledger, mbmc_weights, scaling,
+    alpha_sweep, backends, channels, churn, fig3, fig45, fig6, fig7, ledger, mbmc_weights, scaling,
     snr_stress, table2,
 };
 use sag_sim::runner::{collect_stage_metrics, SweepConfig};
@@ -45,6 +45,7 @@ const EXPERIMENTS: &[&str] = &[
     "ledger",
     "churn",
     "churn_chaos",
+    "backends",
 ];
 
 fn main() {
@@ -174,6 +175,7 @@ fn run_experiment(
                 "ledger" => ledger::ledger(config),
                 "churn" => churn::churn(config),
                 "churn_chaos" => churn::churn_chaos(config),
+                "backends" => backends::backends(config),
                 _ => unreachable!("filtered by EXPERIMENTS"),
             };
             println!("{table}");

@@ -7,6 +7,7 @@
 //! regimes instead of failing.
 
 pub mod alpha_sweep;
+pub mod backends;
 pub mod channels;
 pub mod churn;
 pub mod fig3;

@@ -42,6 +42,15 @@ SAG_PROP_CASES=150 cargo test -p sag-integration --test lp_parity -q --offline
 echo "==> SAG_PROP_CASES=150 cargo test -p sag-integration --test churn_pipeline -q --offline"
 SAG_PROP_CASES=150 cargo test -p sag-integration --test churn_pipeline -q --offline
 
+# Solver-backend matrix: the integration suite must stay green when
+# SAG_SOLVER forces every zone onto a heuristic backend. Tests that
+# assert exact-path behaviour pin their builder explicitly, so the
+# override only reaches code that must be backend-agnostic.
+for solver in greedy lp_round; do
+    echo "==> SAG_SOLVER=${solver} cargo test -p sag-integration -q --offline"
+    SAG_SOLVER=${solver} cargo test -p sag-integration -q --offline
+done
+
 # SNR engine benchmark: brute vs ledger on the 100-subscriber probe
 # workload. Emits BENCH_snr.json and enforces the 5x speedup floor.
 run cargo run --release --offline -p sag-bench --bin bench_snr -- --out BENCH_snr.json --min-speedup 5
@@ -74,6 +83,15 @@ run cargo run --release --offline -p sag-bench --bin bench_lp -- --out BENCH_lp.
 # gate self-skips below the per-event timing floor, where the ratio
 # would measure the timer rather than the engine.
 run cargo run --release --offline -p sag-bench --bin bench_churn -- --out BENCH_churn.json --min-speedup 5 --max-p99-us 500
+
+# Solver-backend benchmark: adaptive per-zone selection vs an all-exact
+# lower tier on the 16-zone dense clustered probe. Both arms must pass
+# the independent report audit before timing (equal feasibility), and
+# the adaptive arm must route zones away from the exact backend. Emits
+# BENCH_backends.json; gates the lower-tier speedup at >=1.5x. The gate
+# self-skips below the timing floor, where the ratio would measure the
+# timer rather than the selector.
+run cargo run --release --offline -p sag-bench --bin bench_backends -- --out BENCH_backends.json --min-speedup 1.5
 
 # Churn chaos smoke: a short seeded trace through every chaos arm
 # (burst, boundary hop, worker panic, ledger desync); every arm must

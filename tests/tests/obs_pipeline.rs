@@ -24,6 +24,7 @@ use sag_core::model::Scenario;
 use sag_core::sag::{
     run_sag, run_sag_with, AnsweringSolver, LowerSolver, SagPipelineConfig, SagReport,
 };
+use sag_core::{SolverBackend, SolverBuilder};
 use sag_lp::Budget;
 use sag_obs::{JsonlSink, Recorder};
 use sag_sim::gen::{BsLayout, ScenarioSpec};
@@ -179,6 +180,9 @@ fn greedy_fallback_run_records_its_rungs() {
     let sc = build(6, 2, 13);
     let config = SagPipelineConfig {
         lower_solver: LowerSolver::IlpqcWithGreedyFallback,
+        // Pinned: the span-set assertions below are about the exact →
+        // greedy ladder, whatever `SAG_SOLVER` says in CI.
+        solver: SolverBuilder::fixed(SolverBackend::ExactIlp),
         budget: Budget::unlimited().with_node_limit(0),
         ..Default::default()
     };
@@ -239,6 +243,8 @@ fn ilpqc_run_records_solver_work_counters() {
     let sc = build(8, 2, 11);
     let config = SagPipelineConfig {
         lower_solver: LowerSolver::IlpqcWithGreedyFallback,
+        // Pinned: the work counters below belong to the exact backend.
+        solver: SolverBuilder::fixed(SolverBackend::ExactIlp),
         ..Default::default()
     };
     let report = run_sag_with(&sc, config).expect("scenario is feasible");
@@ -289,6 +295,8 @@ fn budget_spent_is_stage_local_on_every_arm() {
         &sc,
         SagPipelineConfig {
             lower_solver: LowerSolver::IlpqcWithGreedyFallback,
+            // Pinned: `ilpqc.nodes` parity only holds on the exact path.
+            solver: SolverBuilder::fixed(SolverBackend::ExactIlp),
             ..Default::default()
         },
     )
