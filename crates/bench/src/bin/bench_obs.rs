@@ -10,16 +10,22 @@
 //!   production disabled path (every span/counter call short-circuits
 //!   on the `enabled()` check);
 //! * **collected** — the default [`run_sag`], which installs a
-//!   thread-local [`sag_obs::Collector`] for the run (informational).
+//!   thread-local [`sag_obs::Collector`] for the run (informational);
+//! * **ring** — the disabled path with the flight recorder armed
+//!   (`SAG_OBS_RING`-style), measuring what the always-on crash
+//!   timeline costs (informational).
 //!
-//! All three are checked for identical deployments before any timing —
-//! instrumentation must never change results. The CI gate asserts the
-//! disabled path stays within a few percent of the baseline.
+//! All variants are checked for identical deployments before any
+//! timing — instrumentation must never change results. The CI gate
+//! asserts the disabled path (flight recorder compiled in but off)
+//! stays within a few percent of the baseline.
 //!
 //! `--check-jsonl FILE` switches to validator mode: every line of a
 //! `SAG_OBS_JSON` capture must parse as JSON, the header/trailer must
-//! frame the run, every pipeline stage must have a span, and the
-//! solver work counters (`lp.*`, `ledger.*`) must be present.
+//! frame the run, the trailer must carry the `dropped_events` and
+//! `ring_overflow` loss accounting, every pipeline stage must have a
+//! span, and the solver work counters (`lp.*`, `ledger.*`) must be
+//! present.
 //!
 //! Usage: `bench_obs [--out PATH] [--max-overhead X] [--check-jsonl FILE]`
 
@@ -31,6 +37,7 @@ use sag_core::sag::{run_sag, run_sag_with, SagPipelineConfig, SagReport};
 use sag_core::samc::{samc_with_budget, SamcConfig};
 use sag_core::ucpo::ucpo;
 use sag_lp::Budget;
+use sag_obs::json::{field_str, field_u64};
 
 const SUBSCRIBERS: usize = 18;
 const FIELD: f64 = 500.0;
@@ -101,32 +108,24 @@ fn parity_check(scenario: &Scenario) {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn emit_json(
     path: &str,
     baseline_ns: u128,
     disabled_ns: u128,
     collected_ns: u128,
+    ring_ns: u128,
     overhead_disabled: f64,
     overhead_collected: f64,
+    overhead_ring: f64,
     gate: &str,
 ) -> std::io::Result<()> {
     let hardware_threads = sag_bench::hardware_threads();
     let solver = sag_bench::solver_fields_json();
     let body = format!(
-        "{{\n  \"benchmark\": \"obs_overhead\",\n  \"subscribers\": {SUBSCRIBERS},\n  \"hardware_threads\": {hardware_threads},\n  {solver},\n  \"baseline_min_ns\": {baseline_ns},\n  \"disabled_min_ns\": {disabled_ns},\n  \"collected_min_ns\": {collected_ns},\n  \"overhead_disabled\": {overhead_disabled:.4},\n  \"overhead_collected\": {overhead_collected:.4},\n  \"gate\": \"{gate}\"\n}}\n",
+        "{{\n  \"benchmark\": \"obs_overhead\",\n  \"subscribers\": {SUBSCRIBERS},\n  \"hardware_threads\": {hardware_threads},\n  {solver},\n  \"baseline_min_ns\": {baseline_ns},\n  \"disabled_min_ns\": {disabled_ns},\n  \"collected_min_ns\": {collected_ns},\n  \"ring_min_ns\": {ring_ns},\n  \"overhead_disabled\": {overhead_disabled:.4},\n  \"overhead_collected\": {overhead_collected:.4},\n  \"overhead_ring\": {overhead_ring:.4},\n  \"gate\": \"{gate}\"\n}}\n",
     );
     std::fs::write(path, body)
-}
-
-/// Extracts the string value of `"key":"…"` from an emitted JSONL line.
-/// The sink only escapes control characters, quotes and backslashes,
-/// and every name it stamps is a plain identifier, so a terminating
-/// quote is the end of the value.
-fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
-    let pat = format!("\"{key}\":\"");
-    let start = line.find(&pat)? + pat.len();
-    let end = line[start..].find('"')?;
-    Some(&line[start..start + end])
 }
 
 fn check_jsonl(path: &str) {
@@ -148,7 +147,19 @@ fn check_jsonl(path: &str) {
             .unwrap_or_else(|e| panic!("{path}:{}: invalid JSON ({e}): {line}", i + 1));
         match field_str(line, "kind") {
             Some("run_start") => assert_eq!(i, 0, "run_start must be the first line"),
-            Some("run_end") => assert_eq!(i, lines.len() - 1, "run_end must be the last line"),
+            Some("run_end") => {
+                assert_eq!(i, lines.len() - 1, "run_end must be the last line");
+                assert!(
+                    field_u64(line, "dropped_events").is_some(),
+                    "{path}:{}: run_end trailer lacks dropped_events",
+                    i + 1
+                );
+                assert!(
+                    field_u64(line, "ring_overflow").is_some(),
+                    "{path}:{}: run_end trailer lacks ring_overflow",
+                    i + 1
+                );
+            }
             Some("span_enter") => {
                 enters += 1;
                 if let Some(name) = field_str(line, "name") {
@@ -257,6 +268,15 @@ fn main() {
     let mut collected_f = || {
         std::hint::black_box(run_sag(&scenario).expect("pipeline succeeds"));
     };
+    // Disabled path with the flight recorder armed: what the crash
+    // timeline costs when somebody sets SAG_OBS_RING. The ring is
+    // re-disarmed after every sample so the other variants keep
+    // measuring the truly-off path.
+    let mut ring_f = || {
+        sag_obs::ring::configure(256);
+        std::hint::black_box(disabled_pipeline(&scenario));
+        sag_obs::ring::configure(0);
+    };
     // Warm-up round (not measured), then interleaved measured rounds.
     // Adjacent samples within one round share the same noise phase, so
     // the per-round ratio is far more stable than any absolute time;
@@ -264,15 +284,19 @@ fn main() {
     time_rounds(&mut baseline_f);
     time_rounds(&mut disabled_f);
     time_rounds(&mut collected_f);
-    let mut rounds: Vec<(u128, u128, u128)> = Vec::with_capacity(ROUNDS);
+    time_rounds(&mut ring_f);
+    /// One interleaved round: (baseline, disabled, collected, ring) ns.
+    type Round = (u128, u128, u128, u128);
+    let mut rounds: Vec<Round> = Vec::with_capacity(ROUNDS);
     for _ in 0..ROUNDS {
         rounds.push((
             time_rounds(&mut baseline_f),
             time_rounds(&mut disabled_f),
             time_rounds(&mut collected_f),
+            time_rounds(&mut ring_f),
         ));
     }
-    let median_ratio = |pick: &dyn Fn(&(u128, u128, u128)) -> u128| -> f64 {
+    let median_ratio = |pick: &dyn Fn(&Round) -> u128| -> f64 {
         let mut ratios: Vec<f64> = rounds
             .iter()
             .map(|r| pick(r) as f64 / r.0.max(1) as f64)
@@ -283,25 +307,31 @@ fn main() {
     let baseline_ns = rounds.iter().map(|r| r.0).min().unwrap_or(0);
     let disabled_ns = rounds.iter().map(|r| r.1).min().unwrap_or(0);
     let collected_ns = rounds.iter().map(|r| r.2).min().unwrap_or(0);
+    let ring_ns = rounds.iter().map(|r| r.3).min().unwrap_or(0);
     println!("benchmark group: obs ({ROUNDS} interleaved rounds, min per-iter ns)");
     println!("baseline_pipeline   {baseline_ns:>12}");
     println!("disabled_pipeline   {disabled_ns:>12}");
     println!("collected_pipeline  {collected_ns:>12}");
+    println!("ring_pipeline       {ring_ns:>12}");
 
     let overhead = median_ratio(&|r| r.1);
     let overhead_collected = median_ratio(&|r| r.2);
+    let overhead_ring = median_ratio(&|r| r.3);
     let (gate, enforce) =
         sag_bench::resolve_gate(max_overhead.is_some(), "no --max-overhead ceiling given");
     println!(
-        "disabled-path overhead: {overhead:.4}x (collected: {overhead_collected:.4}x) [{gate}]"
+        "disabled-path overhead: {overhead:.4}x (collected: {overhead_collected:.4}x, \
+         ring: {overhead_ring:.4}x) [{gate}]"
     );
     emit_json(
         &out_path,
         baseline_ns,
         disabled_ns,
         collected_ns,
+        ring_ns,
         overhead,
         overhead_collected,
+        overhead_ring,
         &gate,
     )
     .expect("write benchmark JSON");

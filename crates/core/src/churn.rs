@@ -335,7 +335,18 @@ impl ChurnEngine {
 
     /// Applies one event under `budget` and repairs (or defers) the
     /// placement. See the module docs for the ladder semantics.
+    ///
+    /// This is a dump-on-failure boundary: a typed error leaving here
+    /// emits exactly one post-mortem frame (inner layers never dump,
+    /// so a propagating error cannot double-dump), and an event that
+    /// lands on the `Deferred` rung emits a `churn_deferred` frame.
     pub fn apply_event(&mut self, event: ChurnEvent, budget: &Budget) -> SagResult<()> {
+        self.apply_event_impl(event, budget).inspect_err(|e| {
+            e.emit_post_mortem();
+        })
+    }
+
+    fn apply_event_impl(&mut self, event: ChurnEvent, budget: &Budget) -> SagResult<()> {
         let _span = sag_obs::span("churn_event");
         let started = Instant::now();
         self.events_seen += 1;
@@ -418,9 +429,29 @@ impl ChurnEngine {
             }
         };
 
+        // Deferral is the rung the SLO burn-rate analysis cares about:
+        // leave a forensics frame with the backlog state.
+        if rung == RepairRung::Deferred && sag_obs::armed() {
+            let detail = format!(
+                "repair deferred ({} backlog slots, {})",
+                self.deferred.len(),
+                if starved {
+                    "budget starved before repair"
+                } else {
+                    "repair budget exhausted"
+                }
+            );
+            sag_obs::post_mortem(&sag_obs::Dump {
+                class: "churn_deferred",
+                stage: Some("churn"),
+                detail: &detail,
+                ..sag_obs::Dump::default()
+            });
+        }
+
         // 3. Bounded degradation: a backlog at the cap forces a flush.
         if rung == RepairRung::Deferred && self.deferred.len() >= self.config.max_backlog {
-            self.flush()?;
+            self.flush_impl()?;
         }
 
         // 4. Audit policy: catch accumulator drift as a typed error.
@@ -454,7 +485,15 @@ impl ChurnEngine {
     /// Batch-repairs the deferred backlog under an unlimited budget.
     /// Returns how many slots were drained. On error the backlog is
     /// restored so the flush can be retried.
+    ///
+    /// Like [`ChurnEngine::apply_event`], a dump-on-failure boundary.
     pub fn flush(&mut self) -> SagResult<usize> {
+        self.flush_impl().inspect_err(|e| {
+            e.emit_post_mortem();
+        })
+    }
+
+    fn flush_impl(&mut self) -> SagResult<usize> {
         let seeds = std::mem::take(&mut self.deferred);
         if seeds.is_empty() {
             return Ok(0);

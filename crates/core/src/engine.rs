@@ -97,6 +97,7 @@ where
     let inject = INJECT_PANIC.with(|f| f.get());
     let solve_caught = |zone: usize| -> SagResult<T> {
         catch_unwind(AssertUnwindSafe(|| {
+            let _zone_span = sag_obs::span_zone("zone_solve", zone as u64);
             assert!(!inject, "injected zone-worker panic (zone {zone})");
             solve(zone)
         }))
@@ -115,33 +116,63 @@ where
     let slots: Vec<Mutex<Option<SagResult<T>>>> = (0..n_zones).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     let abort = AtomicBool::new(false);
-    let obs_stack = sag_obs::local_stack();
+    // Aggregating recorders (the run's Collector) must not be written
+    // from racing workers: gauge last-write-wins and first-seen vector
+    // order would depend on scheduling. Workers record them into a
+    // private per-zone collector instead, and the coordinator folds
+    // those summaries back in zone-index order below — reproducing the
+    // sequential event order, so collected metrics are identical at
+    // any thread count. Streaming recorders (the JSONL sink) stay live
+    // with per-thread attribution.
+    let (buffered, live): (Vec<_>, Vec<_>) = sag_obs::local_stack()
+        .into_iter()
+        .partition(|r| r.buffered());
+    let zone_collectors: Vec<std::sync::Arc<sag_obs::Collector>> = if buffered.is_empty() {
+        Vec::new()
+    } else {
+        (0..n_zones).map(|_| Default::default()).collect()
+    };
+    let ctx = sag_obs::span_context();
     let mode = ledger_mode_override();
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| {
-                sag_obs::with_local_stack(&obs_stack, || {
-                    let _mode = push_ledger_mode_override(mode);
-                    loop {
-                        if abort.load(Ordering::Relaxed) {
-                            break;
+                sag_obs::with_span_context(ctx, || {
+                    sag_obs::with_local_stack(&live, || {
+                        let _mode = push_ledger_mode_override(mode);
+                        loop {
+                            if abort.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            let zone = next.fetch_add(1, Ordering::Relaxed);
+                            if zone >= n_zones {
+                                break;
+                            }
+                            let out = match zone_collectors.get(zone) {
+                                Some(c) => sag_obs::with_local(c.clone(), || solve_caught(zone)),
+                                None => solve_caught(zone),
+                            };
+                            if out.is_err() {
+                                abort.store(true, Ordering::Relaxed);
+                            }
+                            if let Ok(mut slot) = slots[zone].lock() {
+                                *slot = Some(out);
+                            }
                         }
-                        let zone = next.fetch_add(1, Ordering::Relaxed);
-                        if zone >= n_zones {
-                            break;
-                        }
-                        let out = solve_caught(zone);
-                        if out.is_err() {
-                            abort.store(true, Ordering::Relaxed);
-                        }
-                        if let Ok(mut slot) = slots[zone].lock() {
-                            *slot = Some(out);
-                        }
-                    }
+                    })
                 });
             });
         }
     });
+
+    // Deterministic merge of the buffered per-zone metrics (zones a
+    // preceding error kept from running fold in as empty summaries).
+    for collector in &zone_collectors {
+        let summary = collector.summary();
+        for recorder in &buffered {
+            recorder.absorb(&summary);
+        }
+    }
 
     // Zones are claimed in index order, so every slot below the first
     // error is filled; slots above an abort may be empty but are only

@@ -52,6 +52,51 @@ pub enum SagError {
     Lp(sag_lp::LpError),
 }
 
+impl SagError {
+    /// The stable post-mortem class name of this failure (what the
+    /// forensics dump frame and the trace analyzer key on).
+    pub fn forensics_class(&self) -> &'static str {
+        match self {
+            SagError::Infeasible(_) => "infeasible",
+            SagError::NoSubscribers => "no_subscribers",
+            SagError::NoBaseStations => "no_base_stations",
+            SagError::InvalidScenario(_) => "invalid_scenario",
+            SagError::BudgetExceeded { .. } => "budget_exceeded",
+            SagError::WorkerPanic { .. } => "worker_panic",
+            SagError::LedgerDesync(_) => "ledger_desync",
+            SagError::Lp(_) => "lp_error",
+        }
+    }
+
+    /// Emits one structured post-mortem dump frame for this error
+    /// (ring timeline + span stack + whatever the variant knows about
+    /// stage, zone and budget spend). Called exactly once per failure,
+    /// at the boundary that owns the error — the pipeline entry point
+    /// and the churn engine's public methods — never from inner
+    /// layers, so a propagating error cannot double-dump.
+    pub fn emit_post_mortem(&self) {
+        let detail = self.to_string();
+        let mut dump = sag_obs::Dump {
+            class: self.forensics_class(),
+            detail: &detail,
+            ..sag_obs::Dump::default()
+        };
+        match self {
+            SagError::BudgetExceeded { stage, spent } => {
+                dump.stage = Some(stage);
+                dump.nodes_spent = Some(spent.nodes as u64);
+                dump.elapsed_ns = Some(spent.elapsed.as_nanos() as u64);
+            }
+            SagError::WorkerPanic { stage, zone } => {
+                dump.stage = Some(stage);
+                dump.zone = Some(*zone as u64);
+            }
+            _ => {}
+        }
+        sag_obs::post_mortem(&dump);
+    }
+}
+
 impl fmt::Display for SagError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

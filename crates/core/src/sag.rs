@@ -309,11 +309,22 @@ pub fn run_sag(scenario: &Scenario) -> SagResult<SagReport> {
 /// [`SagError::BudgetExceeded`] when a stage runs out of budget with no
 /// fallback available; otherwise see [`run_sag`].
 pub fn run_sag_with(scenario: &Scenario, config: SagPipelineConfig) -> SagResult<SagReport> {
+    // The pipeline's root span: every stage span links under it, so a
+    // JSONL capture of one run reassembles into a single tree. This is
+    // also the dump-on-failure boundary — any typed error leaving the
+    // pipeline emits exactly one post-mortem frame while the root span
+    // is still open.
+    let run = || {
+        let _root = sag_obs::span("run_sag");
+        run_sag_inner(scenario, &config).inspect_err(|e| {
+            e.emit_post_mortem();
+        })
+    };
     if !config.collect_metrics {
-        return run_sag_inner(scenario, &config);
+        return run();
     }
     let collector = Arc::new(Collector::default());
-    let result = sag_obs::with_local(collector.clone(), || run_sag_inner(scenario, &config));
+    let result = sag_obs::with_local(collector.clone(), run);
     result.map(|mut report| {
         report.metrics = collector.summary();
         report

@@ -861,15 +861,29 @@ impl SolverBuilder {
             sec_budget = sec_budget.with_node_limit(cap);
         }
         let fault = self.loser_fault;
-        let obs_stack = sag_obs::local_stack();
+        // The loser arm streams to live sinks (JSONL) but must not
+        // write aggregating recorders: how far it gets before the
+        // cancel flag lands is scheduling-dependent, and the committed
+        // answer never includes its work — so its partial counts would
+        // make collected metrics nondeterministic.
+        let obs_stack: Vec<_> = sag_obs::local_stack()
+            .into_iter()
+            .filter(|r| !r.buffered())
+            .collect();
+        let ctx = sag_obs::span_context();
 
         let (prim_result, sec_result) = std::thread::scope(|scope| {
             let sec_handle = scope.spawn(|| {
                 catch_unwind(AssertUnwindSafe(|| {
-                    sag_obs::with_local_stack(&obs_stack, || match fault {
-                        Some(LoserFault::Panic) => panic!("injected portfolio loser panic"),
-                        Some(LoserFault::Hang) => hang_until_cancelled(&sec_budget),
-                        None => run_backend(secondary, scenario, candidates, &sec_budget),
+                    // Seed the coordinator's span linkage so any span
+                    // the loser arm opens still hangs off the race's
+                    // enclosing span in the trace tree.
+                    sag_obs::with_span_context(ctx, || {
+                        sag_obs::with_local_stack(&obs_stack, || match fault {
+                            Some(LoserFault::Panic) => panic!("injected portfolio loser panic"),
+                            Some(LoserFault::Hang) => hang_until_cancelled(&sec_budget),
+                            None => run_backend(secondary, scenario, candidates, &sec_budget),
+                        })
                     })
                 }))
             });
@@ -890,9 +904,17 @@ impl SolverBuilder {
 
         match prim_result {
             Ok(ans) => {
-                match sec_result {
-                    LoserOutcome::Panicked => sag_obs::counter("portfolio.loser_panic", 1),
-                    LoserOutcome::Done(_) => sag_obs::counter("portfolio.loser_cancelled", 1),
+                match &sec_result {
+                    LoserOutcome::Panicked => {
+                        sag_obs::counter("portfolio.loser_panic", 1);
+                        dump_loser("portfolio_loser_panic", secondary);
+                    }
+                    LoserOutcome::Done(r) => {
+                        sag_obs::counter("portfolio.loser_cancelled", 1);
+                        if loser_wedged(r) {
+                            dump_loser("portfolio_loser_hang", secondary);
+                        }
+                    }
                 }
                 Ok(commit(ans, primary, SelectionReason::PortfolioRank))
             }
@@ -900,14 +922,45 @@ impl SolverBuilder {
                 LoserOutcome::Done(Ok(ans)) => {
                     Ok(commit(ans, secondary, SelectionReason::PortfolioRank))
                 }
-                LoserOutcome::Done(Err(_)) => Err(prim_err),
+                LoserOutcome::Done(Err(e)) => {
+                    if loser_wedged(&Err(e)) {
+                        dump_loser("portfolio_loser_hang", secondary);
+                    }
+                    Err(prim_err)
+                }
                 LoserOutcome::Panicked => {
                     sag_obs::counter("portfolio.loser_panic", 1);
+                    dump_loser("portfolio_loser_panic", secondary);
                     Err(prim_err)
                 }
             },
         }
     }
+}
+
+/// Did the loser arm wedge until its slice ran dry (rather than answer
+/// or get cancelled mid-iteration)? [`hang_until_cancelled`] is the
+/// only producer of a `"portfolio"`-staged budget error.
+fn loser_wedged(r: &SagResult<BackendAnswer>) -> bool {
+    matches!(r, Err(SagError::BudgetExceeded { stage, .. }) if *stage == "portfolio")
+}
+
+/// Leaves a forensics frame for a loser arm that died or wedged
+/// (normal cancellation is the expected race outcome and does not
+/// dump).
+fn dump_loser(class: &'static str, backend: SolverBackend) {
+    if !sag_obs::armed() {
+        return;
+    }
+    let detail = format!("portfolio loser arm ({}) {}", backend.name(), class);
+    sag_obs::post_mortem(&sag_obs::Dump {
+        class,
+        stage: Some("portfolio"),
+        detail: &detail,
+        backend: Some(backend.name()),
+        reason: Some("portfolio_rank"),
+        ..sag_obs::Dump::default()
+    });
 }
 
 /// What the losing arm of a race came back with.

@@ -149,6 +149,7 @@ impl Budget {
     /// is raised.
     pub fn check_interrupt(&self) -> Result<(), LpError> {
         if self.cancelled() || self.expired() {
+            sag_obs::counter("lp.budget_cancelled", 1);
             return Err(LpError::Cancelled);
         }
         Ok(())
@@ -163,6 +164,7 @@ impl Budget {
     pub fn check(&self, nodes: usize) -> Result<(), LpError> {
         self.check_interrupt()?;
         if self.node_limit.is_some_and(|cap| nodes >= cap) {
+            sag_obs::counter("lp.budget_node_limit", 1);
             return Err(LpError::NodeLimit);
         }
         Ok(())

@@ -581,6 +581,7 @@ impl<'a> SparseSimplex<'a> {
             let cols: Vec<Vec<(usize, f64)>> =
                 self.basis.iter().map(|&j| self.col_entries(j)).collect();
             let Some(fact) = Factorization::build(self.m, &cols) else {
+                sag_obs::counter("lp.numerical_failures", 1);
                 return Err(LpError::Numerical("basis factorization is singular".into()));
             };
             self.fact = fact;
@@ -594,6 +595,7 @@ impl<'a> SparseSimplex<'a> {
                 sag_obs::counter("lp.refactor_retries", 1);
             }
         }
+        sag_obs::counter("lp.numerical_failures", 1);
         Err(LpError::Numerical(
             "basis residual check failed after refactorization (desynced factors?)".into(),
         ))
@@ -721,6 +723,7 @@ impl<'a> SparseSimplex<'a> {
             };
             self.pivot(p, q, w)?;
         }
+        sag_obs::counter("lp.iteration_limits", 1);
         Err(LpError::IterationLimit)
     }
 
@@ -787,12 +790,14 @@ impl<'a> SparseSimplex<'a> {
             };
             let w = self.ftran_col(q);
             if w[p].abs() <= TOL {
+                sag_obs::counter("lp.numerical_failures", 1);
                 return Err(LpError::Numerical(
                     "dual pivot element vanished (stale factors?)".into(),
                 ));
             }
             self.pivot(p, q, w)?;
         }
+        sag_obs::counter("lp.iteration_limits", 1);
         Err(LpError::IterationLimit)
     }
 

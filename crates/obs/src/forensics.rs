@@ -1,0 +1,272 @@
+//! Post-mortem dump frames: structured failure forensics.
+//!
+//! When a typed failure fires (any `SagError`/`LpError`, a worker
+//! panic, ledger desync, portfolio loser death, or a churn repair
+//! deferral), the owning boundary calls [`crate::post_mortem`] with a
+//! [`Dump`] describing the failure. The frame that results bundles
+//! everything needed to reconstruct what the run was doing:
+//!
+//! * the failure class, detail, stage, zone and (when the failure is
+//!   solver-shaped) backend/reason and budget spend;
+//! * the recording thread's active span stack (names + ids, so the
+//!   frame links into the span tree);
+//! * the merged flight-recorder timeline (see [`crate::ring`]) with
+//!   its overflow count.
+//!
+//! Frames are dispatched through the normal recorder fan-out via
+//! [`crate::Recorder::post_mortem`]; the JSONL sink renders them as
+//! one `"kind":"post_mortem"` line under its never-panic drop-and-
+//! count policy. The most recent frame is also retained in-process
+//! for the forensics test suite ([`last_dump`]).
+
+use std::sync::{Mutex, PoisonError};
+
+use crate::{json, recorder, ring};
+
+/// What a failing boundary reports (borrowed; the frame copies it).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Dump<'a> {
+    /// Stable failure class, e.g. `worker_panic`, `budget_exceeded`,
+    /// `ledger_desync`, `lp_error`, `portfolio_loser_panic`,
+    /// `portfolio_loser_hang`, `churn_deferred`.
+    pub class: &'a str,
+    /// Pipeline stage the failure fired in, when known.
+    pub stage: Option<&'a str>,
+    /// Zone index the failure is attributed to, when known.
+    pub zone: Option<u64>,
+    /// Human-readable detail (typically the error's `Display`).
+    pub detail: &'a str,
+    /// Solver backend involved, when the failure is solver-shaped.
+    pub backend: Option<&'a str>,
+    /// Why that backend was selected, when known.
+    pub reason: Option<&'a str>,
+    /// Branch-and-bound nodes spent before the failure, when known.
+    pub nodes_spent: Option<u64>,
+    /// Wall time spent before the failure in ns, when known.
+    pub elapsed_ns: Option<u64>,
+}
+
+/// A rendered post-mortem frame (what recorders receive).
+#[derive(Debug, Clone)]
+pub struct PostMortem {
+    class: String,
+    fields: String,
+}
+
+impl PostMortem {
+    /// The failure class this frame reports.
+    pub fn class(&self) -> &str {
+        &self.class
+    }
+
+    /// The frame's fields as a comma-separated list of JSON
+    /// `"key":value` pairs (no surrounding braces), ready for a sink
+    /// to splice after its own line prefix.
+    pub fn fields_json(&self) -> &str {
+        &self.fields
+    }
+
+    /// The frame as one complete standalone JSON object.
+    pub fn to_json(&self) -> String {
+        format!("{{\"kind\":\"post_mortem\",{}}}", self.fields)
+    }
+}
+
+/// The most recent frame, retained for the forensics test suite.
+static LAST: Mutex<Option<PostMortem>> = Mutex::new(None);
+
+/// The most recently emitted frame as standalone JSON, if any.
+pub fn last_dump() -> Option<String> {
+    LAST.lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .as_ref()
+        .map(PostMortem::to_json)
+}
+
+/// Clears the retained frame (test isolation).
+pub fn clear_last_dump() {
+    *LAST.lock().unwrap_or_else(PoisonError::into_inner) = None;
+}
+
+/// Builds a post-mortem frame for `dump` and dispatches it to every
+/// active recorder. Never panics; cost is irrelevant (failure path).
+pub fn post_mortem(dump: &Dump<'_>) {
+    let frame = render(dump);
+    *LAST.lock().unwrap_or_else(PoisonError::into_inner) = Some(frame.clone());
+    recorder::for_each(|r| r.post_mortem(&frame));
+}
+
+/// Renders `dump` into a frame without dispatching it (what
+/// [`post_mortem`] builds; also lets callers inspect or persist a
+/// frame out-of-band).
+pub fn render(dump: &Dump<'_>) -> PostMortem {
+    let mut f = String::with_capacity(512);
+    f.push_str("\"class\":");
+    json::escape_into(&mut f, dump.class);
+    f.push_str(",\"detail\":");
+    json::escape_into(&mut f, dump.detail);
+    if let Some(stage) = dump.stage {
+        f.push_str(",\"stage\":");
+        json::escape_into(&mut f, stage);
+    }
+    if let Some(zone) = dump.zone {
+        f.push_str(&format!(",\"zone\":{zone}"));
+    }
+    if let Some(backend) = dump.backend {
+        f.push_str(",\"backend\":");
+        json::escape_into(&mut f, backend);
+    }
+    if let Some(reason) = dump.reason {
+        f.push_str(",\"reason\":");
+        json::escape_into(&mut f, reason);
+    }
+    if dump.nodes_spent.is_some() || dump.elapsed_ns.is_some() {
+        f.push_str(",\"budget\":{");
+        let mut first = true;
+        if let Some(nodes) = dump.nodes_spent {
+            f.push_str(&format!("\"nodes\":{nodes}"));
+            first = false;
+        }
+        if let Some(ns) = dump.elapsed_ns {
+            if !first {
+                f.push(',');
+            }
+            f.push_str(&format!("\"elapsed_ns\":{ns}"));
+        }
+        f.push('}');
+    }
+    f.push_str(",\"span_stack\":[");
+    for (i, (name, id)) in recorder::stack_snapshot().iter().enumerate() {
+        if i > 0 {
+            f.push(',');
+        }
+        f.push_str("{\"name\":");
+        json::escape_into(&mut f, name);
+        f.push_str(&format!(",\"id\":{id}}}"));
+    }
+    f.push(']');
+    let snap = ring::snapshot();
+    f.push_str(&format!(
+        ",\"ring\":{{\"overflow\":{},\"events\":[",
+        snap.overflow
+    ));
+    for (i, ev) in snap.events.iter().enumerate() {
+        if i > 0 {
+            f.push(',');
+        }
+        render_ring_event(&mut f, ev);
+    }
+    f.push_str("]}");
+    PostMortem {
+        class: dump.class.to_string(),
+        fields: f,
+    }
+}
+
+fn render_ring_event(f: &mut String, ev: &ring::RingEvent) {
+    f.push_str(&format!(
+        "{{\"epoch\":{},\"t_ns\":{},\"thread\":{},\"kind\":\"{}\",\"name\":",
+        ev.epoch,
+        ev.t_ns,
+        ev.thread,
+        ev.kind.as_str()
+    ));
+    json::escape_into(f, ev.name);
+    if let Some(stage) = ev.stage {
+        f.push_str(",\"stage\":");
+        json::escape_into(f, stage);
+    }
+    match ev.kind {
+        ring::RingKind::SpanEnter => {
+            f.push_str(&format!(",\"id\":{},\"depth\":{}", ev.a, ev.depth));
+            if ev.b != 0 {
+                f.push_str(&format!(",\"parent\":{}", ev.b));
+            }
+        }
+        ring::RingKind::SpanExit => {
+            f.push_str(&format!(
+                ",\"id\":{},\"depth\":{},\"dur_ns\":{}",
+                ev.a, ev.depth, ev.b
+            ));
+        }
+        ring::RingKind::Counter | ring::RingKind::Observe => {
+            f.push_str(&format!(",\"value\":{}", ev.a));
+        }
+        ring::RingKind::Gauge => {
+            f.push_str(",\"value\":");
+            json::number_into(f, f64::from_bits(ev.a));
+        }
+    }
+    f.push('}');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Collector;
+    use std::sync::Arc;
+
+    #[test]
+    fn frames_render_valid_json_with_all_fields() {
+        let dump = Dump {
+            class: "budget_exceeded",
+            stage: Some("ilpqc"),
+            zone: Some(3),
+            detail: "nodes exhausted with \"quotes\" and\nnewlines",
+            backend: Some("exact"),
+            reason: Some("dense zone"),
+            nodes_spent: Some(4096),
+            elapsed_ns: Some(1_500_000),
+        };
+        let frame = render(&dump);
+        assert_eq!(frame.class(), "budget_exceeded");
+        let line = frame.to_json();
+        json::validate(&line).expect("frame must be valid JSON");
+        assert!(line.contains("\"kind\":\"post_mortem\""));
+        assert!(line.contains("\"class\":\"budget_exceeded\""));
+        assert!(line.contains("\"zone\":3"));
+        assert!(line.contains("\"budget\":{\"nodes\":4096,\"elapsed_ns\":1500000}"));
+        assert!(line.contains("\"span_stack\":["));
+        assert!(line.contains("\"ring\":{\"overflow\":"));
+    }
+
+    #[test]
+    fn minimal_frames_render_valid_json() {
+        let frame = render(&Dump {
+            class: "worker_panic",
+            detail: "boom",
+            ..Dump::default()
+        });
+        json::validate(&frame.to_json()).expect("minimal frame must be valid JSON");
+    }
+
+    #[test]
+    fn post_mortem_reaches_recorders_and_last_dump() {
+        struct Saw(Mutex<Vec<String>>);
+        impl crate::Recorder for Saw {
+            fn post_mortem(&self, dump: &PostMortem) {
+                self.0.lock().expect("lock").push(dump.class().to_string());
+            }
+        }
+        let saw = Arc::new(Saw(Mutex::new(Vec::new())));
+        crate::with_local(saw.clone(), || {
+            post_mortem(&Dump {
+                class: "churn_deferred",
+                detail: "starved",
+                ..Dump::default()
+            });
+        });
+        assert_eq!(*saw.0.lock().expect("lock"), vec!["churn_deferred"]);
+        let last = last_dump().expect("retained");
+        json::validate(&last).expect("retained frame is valid JSON");
+        assert!(last.contains("\"class\":\"churn_deferred\""));
+        // A collector ignores frames without panicking (default hook).
+        crate::with_local(Arc::new(Collector::default()), || {
+            post_mortem(&Dump {
+                class: "noop",
+                detail: "",
+                ..Dump::default()
+            });
+        });
+    }
+}

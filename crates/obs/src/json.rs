@@ -36,6 +36,32 @@ pub fn number_into(out: &mut String, v: f64) {
     }
 }
 
+/// Extracts the string value of the first `"key":"..."` pair in
+/// `line`.
+///
+/// A schema-aware scanner for the sink's flat event lines, not a
+/// general JSON query: it assumes the key appears at most once and
+/// that its value, if present, is a plain string. Returns the raw
+/// (still-escaped) contents between the quotes.
+pub fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":\"");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..].find('"')?;
+    Some(&line[start..start + end])
+}
+
+/// Extracts the unsigned-integer value of the first `"key":<digits>`
+/// pair in `line` (same schema caveats as [`field_str`]).
+pub fn field_u64(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let digits: String = line[start..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
 /// Checks that `s` is exactly one well-formed JSON value.
 ///
 /// A recursive-descent syntax checker (no value tree is built). Used
@@ -237,6 +263,19 @@ mod tests {
         ] {
             assert!(validate(bad).is_err(), "accepted invalid: {bad}");
         }
+    }
+
+    #[test]
+    fn field_helpers_read_flat_event_lines() {
+        let line = r#"{"kind":"span_exit","run":"a-1","t_ns":12,"thread":0,"name":"samc","depth":2,"id":7,"parent":3,"dur_ns":4500}"#;
+        assert_eq!(field_str(line, "kind"), Some("span_exit"));
+        assert_eq!(field_str(line, "name"), Some("samc"));
+        assert_eq!(field_str(line, "missing"), None);
+        assert_eq!(field_u64(line, "id"), Some(7));
+        assert_eq!(field_u64(line, "parent"), Some(3));
+        assert_eq!(field_u64(line, "dur_ns"), Some(4500));
+        assert_eq!(field_u64(line, "missing"), None);
+        assert_eq!(field_u64(line, "kind"), None); // string, not number
     }
 
     #[test]

@@ -2,13 +2,17 @@
 //!
 //! The workspace is hermetic (no registry crates), so the usual
 //! `tracing`/`metrics` stack is off the table; this crate is the
-//! in-tree substitute. It provides three layers:
+//! in-tree substitute. It provides five layers:
 //!
 //! 1. **Spans** — [`span`] returns an RAII guard that times a named,
 //!    hierarchical region on the monotonic clock and reports
-//!    enter/exit events to every active [`Recorder`].
+//!    enter/exit events to every active [`Recorder`]. Every span
+//!    carries a process-unique id and its parent's id ([`SpanMeta`]);
+//!    fan-out stages propagate the linkage across threads with
+//!    [`span_context`]/[`with_span_context`], so a trace reassembles
+//!    into one tree at any thread count.
 //! 2. **Metrics** — [`counter`], [`gauge`] and [`observe`] record
-//!    named counters, gauges and log-bucketed histogram samples. The
+//!    named counters, gauges and bucketed histogram samples. The
 //!    [`Collector`] recorder aggregates them into a [`StageMetrics`]
 //!    summary (what `SagReport::metrics` carries).
 //! 3. **Sink** — [`JsonlSink`] renders every event as one JSON line
@@ -16,18 +20,27 @@
 //!    installed process-wide from the environment via
 //!    [`init_from_env`]: `SAG_OBS_JSON=<path>` writes to a file,
 //!    `SAG_OBS=1` writes to stderr.
+//! 4. **Flight recorder** — the [`ring`] module keeps a bounded
+//!    per-thread ring of recent events (armed by `SAG_OBS_RING=<n>`
+//!    or [`ring::configure`]), capturing history even when no
+//!    recorder is installed.
+//! 5. **Forensics** — [`post_mortem`] renders a structured dump frame
+//!    (failure class + span stack + ring timeline + budget spend) and
+//!    fans it out through [`Recorder::post_mortem`]; typed failure
+//!    boundaries across the workspace call it exactly once per
+//!    failure.
 //!
 //! # Cost model
 //!
 //! Recorders come in two scopes: **global** (process-wide, installed
 //! with [`install`]) and **thread-local** (active only inside a
 //! [`with_local`] closure, so parallel sweeps do not cross-mix
-//! events). When neither is active, every instrumentation call
-//! short-circuits on one relaxed atomic load plus one thread-local
-//! flag read — no allocation, no clock read, no dispatch. Hot solver
-//! loops additionally aggregate their counts in plain locals and
-//! flush once per solve, so the per-iteration cost is zero even with
-//! recording enabled.
+//! events). When neither is active and the flight recorder is
+//! disarmed, every instrumentation call short-circuits on two relaxed
+//! atomic loads plus one thread-local flag read — no allocation, no
+//! clock read, no dispatch. Hot solver loops additionally aggregate
+//! their counts in plain locals and flush once per solve, so the
+//! per-iteration cost is zero even with recording enabled.
 //!
 //! Recorder implementations must never call back into this crate's
 //! recording entry points (the dispatch loop is not re-entrant for
@@ -36,48 +49,81 @@
 #![deny(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
+pub mod forensics;
 pub mod json;
 mod metrics;
 mod recorder;
+pub mod ring;
 mod sink;
 mod span;
 
-pub use metrics::{Collector, HistSummary, SpanStat, StageMetrics};
+pub use forensics::{last_dump, Dump, PostMortem};
+pub use metrics::{bucket_floor, Collector, HistSummary, SpanStat, StageMetrics};
 pub use recorder::{
-    enabled, install, local_stack, with_local, with_local_stack, Recorder, RecorderGuard,
+    enabled, install, local_stack, span_context, with_local, with_local_stack, with_span_context,
+    Recorder, RecorderGuard, SpanContext, SpanMeta,
 };
 pub use sink::JsonlSink;
-pub use span::{span, Span};
+pub use span::{span, span_zone, Span};
 
 use std::sync::Arc;
 
+/// Is any event capture active — a recorder (global or thread-local)
+/// or the flight-recorder ring?
+#[inline]
+pub fn armed() -> bool {
+    enabled() || ring::active()
+}
+
 /// Adds `delta` to the named counter on every active recorder.
 ///
-/// No-op (one atomic load) when recording is disabled or `delta == 0`.
+/// No-op (two relaxed atomic loads) when nothing captures events or
+/// `delta == 0`.
 pub fn counter(name: &'static str, delta: u64) {
-    if delta == 0 || !enabled() {
+    if delta == 0 {
+        return;
+    }
+    let dispatch = enabled();
+    if !dispatch && !ring::active() {
         return;
     }
     let stage = recorder::current_stage();
-    recorder::for_each(|r| r.counter(name, delta, stage));
+    ring::record_metric(ring::RingKind::Counter, name, stage, delta);
+    if dispatch {
+        recorder::for_each(|r| r.counter(name, delta, stage));
+    }
 }
 
 /// Sets the named gauge to `value` on every active recorder.
 pub fn gauge(name: &'static str, value: f64) {
-    if !enabled() {
+    let dispatch = enabled();
+    if !dispatch && !ring::active() {
         return;
     }
     let stage = recorder::current_stage();
-    recorder::for_each(|r| r.gauge(name, value, stage));
+    ring::record_metric(ring::RingKind::Gauge, name, stage, value.to_bits());
+    if dispatch {
+        recorder::for_each(|r| r.gauge(name, value, stage));
+    }
 }
 
 /// Records one histogram observation of `value` under `name`.
 pub fn observe(name: &'static str, value: u64) {
-    if !enabled() {
+    let dispatch = enabled();
+    if !dispatch && !ring::active() {
         return;
     }
     let stage = recorder::current_stage();
-    recorder::for_each(|r| r.observe(name, value, stage));
+    ring::record_metric(ring::RingKind::Observe, name, stage, value);
+    if dispatch {
+        recorder::for_each(|r| r.observe(name, value, stage));
+    }
+}
+
+/// Renders a post-mortem frame for `dump` and dispatches it to every
+/// active recorder (see [`forensics`]).
+pub fn post_mortem(dump: &Dump<'_>) {
+    forensics::post_mortem(dump);
 }
 
 /// A process-wide JSONL sink installed from the environment.
@@ -91,14 +137,17 @@ pub struct ObsSession {
     _guard: RecorderGuard,
 }
 
-/// Installs a [`JsonlSink`] if the environment asks for one.
+/// Installs a [`JsonlSink`] if the environment asks for one, and arms
+/// the flight recorder if `SAG_OBS_RING` is set.
 ///
 /// `SAG_OBS_JSON=<path>` selects a file sink (the path is truncated);
 /// otherwise `SAG_OBS=1` selects a stderr sink. Returns `None` when
-/// neither variable is set. A file that cannot be created is reported
+/// neither variable is set (the ring, which works without a sink, may
+/// still have been armed). A file that cannot be created is reported
 /// on stderr and treated as "not configured" — observability must
 /// never take the pipeline down.
 pub fn init_from_env() -> Option<ObsSession> {
+    ring::init_env();
     let sink = match std::env::var("SAG_OBS_JSON") {
         Ok(path) if !path.is_empty() => match JsonlSink::create(&path) {
             Ok(sink) => sink,

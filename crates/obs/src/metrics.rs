@@ -5,7 +5,7 @@ use std::fmt;
 use std::sync::{Mutex, PoisonError};
 use std::time::Duration;
 
-use crate::recorder::Recorder;
+use crate::recorder::{Recorder, SpanMeta};
 
 /// How many raw histogram samples a collector retains (in arrival
 /// order) alongside the bucket counts. Beyond the cap only the
@@ -24,9 +24,13 @@ pub struct SpanStat {
     pub total: Duration,
 }
 
-/// Summary of one histogram: exact aggregates plus sparse
-/// log₂-bucketed counts (`bucket` = number of significant bits of the
-/// sample, so values `[2^(b-1), 2^b)` land in bucket `b`; 0 in 0).
+/// Summary of one histogram: exact aggregates plus sparse sub-octave
+/// bucketed counts. Values below 16 get exact buckets (index =
+/// value); above that every power-of-two octave splits into 4
+/// sub-buckets, so bucket width stays ≤ 25% of the value everywhere —
+/// fine enough to resolve the 100–500µs band of the churn
+/// repair-latency gate in nanoseconds. [`bucket_floor`] maps an index
+/// back to its inclusive lower bound.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct HistSummary {
     /// Number of samples.
@@ -41,9 +45,26 @@ pub struct HistSummary {
     pub samples: Vec<u64>,
 }
 
-/// The log₂ bucket index of `v`.
+/// The sub-octave bucket index of `v` (see [`HistSummary`]).
 fn bucket_of(v: u64) -> u32 {
-    64 - v.leading_zeros()
+    if v < 16 {
+        return v as u32;
+    }
+    let b = 63 - v.leading_zeros(); // octave: 2^b <= v, b in 4..=63
+    let sub = ((v >> (b - 2)) & 0x3) as u32; // quarter within the octave
+    16 + (b - 4) * 4 + sub
+}
+
+/// Inclusive lower bound of bucket `idx` — the inverse of the bucket
+/// index function, exposed so histogram renderers (and the trace
+/// analyzer) can print real value edges.
+pub fn bucket_floor(idx: u32) -> u64 {
+    if idx < 16 {
+        return u64::from(idx);
+    }
+    let b = 4 + (idx - 16) / 4;
+    let sub = u64::from((idx - 16) % 4);
+    (1u64 << b) + (sub << (b - 2))
 }
 
 /// Everything a [`Collector`] gathered, in first-seen order.
@@ -264,7 +285,8 @@ impl Collector {
 }
 
 impl Recorder for Collector {
-    fn span_exit(&self, name: &'static str, _depth: usize, dur: Duration) {
+    fn span_exit(&self, span: &SpanMeta, dur: Duration) {
+        let name = span.name;
         let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         match inner.spans.iter_mut().find(|s| s.name == name) {
             Some(s) => {
@@ -277,6 +299,21 @@ impl Recorder for Collector {
                 total: dur,
             }),
         }
+    }
+
+    /// A collector is an aggregate — zone-worker events must be
+    /// buffered per zone and folded in zone-index order so the result
+    /// is identical at any thread count (gauges are last-write-wins,
+    /// and vector ordering is first-seen).
+    fn buffered(&self) -> bool {
+        true
+    }
+
+    fn absorb(&self, metrics: &StageMetrics) {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .merge(metrics);
     }
 
     fn counter(&self, name: &'static str, delta: u64, stage: Option<&'static str>) {
@@ -339,13 +376,51 @@ mod tests {
     use super::*;
 
     #[test]
-    fn buckets_are_log2() {
+    fn bucket_edges_are_pinned() {
+        // Exact buckets below 16.
         assert_eq!(bucket_of(0), 0);
         assert_eq!(bucket_of(1), 1);
         assert_eq!(bucket_of(2), 2);
-        assert_eq!(bucket_of(3), 2);
-        assert_eq!(bucket_of(4), 3);
-        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_of(3), 3);
+        assert_eq!(bucket_of(15), 15);
+        // Four sub-buckets per octave from 16 up.
+        assert_eq!(bucket_of(16), 16);
+        assert_eq!(bucket_of(19), 16);
+        assert_eq!(bucket_of(20), 17);
+        assert_eq!(bucket_of(24), 18);
+        assert_eq!(bucket_of(28), 19);
+        assert_eq!(bucket_of(31), 19);
+        assert_eq!(bucket_of(32), 20);
+        assert_eq!(bucket_of(u64::MAX), 255);
+        // The sub-microsecond band the churn p99<=500us gate reads
+        // (values in ns): the 100us and 500us marks land in distinct
+        // buckets with ~13-25% wide edges, not one coarse octave.
+        assert_eq!(bucket_of(100_000), 66);
+        assert_eq!(bucket_floor(66), 98_304);
+        assert_eq!(bucket_of(500_000), 75);
+        assert_eq!(bucket_floor(75), 458_752);
+        assert_eq!(bucket_floor(76), 524_288);
+    }
+
+    #[test]
+    fn bucket_floor_inverts_bucket_of() {
+        for idx in 0..=255u32 {
+            let floor = bucket_floor(idx);
+            assert_eq!(bucket_of(floor), idx, "floor of bucket {idx}");
+            if floor > 0 {
+                assert!(
+                    bucket_of(floor - 1) < idx,
+                    "bucket {idx} floor {floor} is not the edge"
+                );
+            }
+        }
+        // Monotone over a dense range.
+        let mut last = 0;
+        for v in 0..100_000u64 {
+            let b = bucket_of(v);
+            assert!(b >= last);
+            last = b;
+        }
     }
 
     #[test]
@@ -358,8 +433,8 @@ mod tests {
         let h = m.histogram("h").expect("recorded");
         assert_eq!((h.count, h.sum, h.max), (4, 106, 100));
         assert_eq!(h.samples, vec![1, 2, 3, 100]);
-        // 1 -> bucket 1; 2,3 -> bucket 2; 100 -> bucket 7.
-        assert_eq!(h.buckets, vec![(1, 1), (2, 2), (7, 1)]);
+        // Small values get exact buckets; 100 lands in [96, 112).
+        assert_eq!(h.buckets, vec![(1, 1), (2, 1), (3, 1), (26, 1)]);
     }
 
     #[test]

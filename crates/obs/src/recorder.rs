@@ -6,20 +6,44 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, PoisonError, RwLock};
 use std::time::Duration;
 
+use crate::forensics::PostMortem;
+use crate::metrics::StageMetrics;
+
+/// Identity and linkage of one span, passed to the span hooks.
+///
+/// `id` is unique per process; `parent` is the id of the span that was
+/// innermost when this one opened — on the same thread via the span
+/// stack, or across threads via [`with_span_context`] — so a JSONL
+/// stream can be reassembled into one tree at any thread count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanMeta {
+    /// Span name.
+    pub name: &'static str,
+    /// 1-based nesting depth on the opening thread.
+    pub depth: usize,
+    /// Process-unique span id (never 0).
+    pub id: u64,
+    /// Id of the enclosing span, if any.
+    pub parent: Option<u64>,
+    /// Zone index this span is attributed to, if any (see
+    /// [`crate::span_zone`]).
+    pub zone: Option<u64>,
+}
+
 /// Sink for observability events.
 ///
 /// All methods default to no-ops, so a recorder only implements what
 /// it cares about. Implementations must be cheap, must not panic and
 /// must not call back into the `sag-obs` recording entry points.
 pub trait Recorder: Send + Sync {
-    /// A span named `name` opened at 1-based nesting `depth`.
-    fn span_enter(&self, name: &'static str, depth: usize) {
-        let _ = (name, depth);
+    /// The span `span` opened.
+    fn span_enter(&self, span: &SpanMeta) {
+        let _ = span;
     }
 
-    /// The span named `name` at `depth` closed after `dur`.
-    fn span_exit(&self, name: &'static str, depth: usize, dur: Duration) {
-        let _ = (name, depth, dur);
+    /// The span `span` closed after `dur`.
+    fn span_exit(&self, span: &SpanMeta, dur: Duration) {
+        let _ = (span, dur);
     }
 
     /// `delta` added to the counter `name`; `stage` is the innermost
@@ -37,6 +61,26 @@ pub trait Recorder: Send + Sync {
     fn observe(&self, name: &'static str, value: u64, stage: Option<&'static str>) {
         let _ = (name, value, stage);
     }
+
+    /// A structured post-mortem frame (see [`crate::post_mortem`]).
+    fn post_mortem(&self, dump: &PostMortem) {
+        let _ = dump;
+    }
+
+    /// True for aggregating recorders whose zone-worker events must be
+    /// buffered per zone and folded in deterministic zone-index order
+    /// (via [`Recorder::absorb`]) instead of being recorded live from
+    /// racing worker threads. Streaming recorders (the JSONL sink)
+    /// stay live and keep their per-thread attribution.
+    fn buffered(&self) -> bool {
+        false
+    }
+
+    /// Folds an independently aggregated summary into this recorder —
+    /// the merge half of the [`Recorder::buffered`] contract.
+    fn absorb(&self, metrics: &StageMetrics) {
+        let _ = metrics;
+    }
 }
 
 /// Count of globally installed recorders — the disabled-path check is
@@ -51,8 +95,12 @@ thread_local! {
     static LOCALS: RefCell<Vec<Arc<dyn Recorder>>> = const { RefCell::new(Vec::new()) };
     /// Cheap mirror of `LOCALS.len()` for the disabled-path check.
     static LOCAL_ACTIVE: Cell<usize> = const { Cell::new(0) };
-    /// Names of the open spans on this thread, innermost last.
-    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+    /// `(name, id)` of the open spans on this thread, innermost last.
+    static SPAN_STACK: RefCell<Vec<(&'static str, u64)>> = const { RefCell::new(Vec::new()) };
+    /// Cross-thread seed consulted when `SPAN_STACK` is empty:
+    /// `(parent span id or 0, enclosing stage)` — see
+    /// [`with_span_context`].
+    static SEED: Cell<(u64, Option<&'static str>)> = const { Cell::new((0, None)) };
 }
 
 /// Is any recorder (global or local to this thread) active?
@@ -142,6 +190,56 @@ pub fn with_local_stack<T>(stack: &[Arc<dyn Recorder>], f: impl FnOnce() -> T) -
     f()
 }
 
+/// Span linkage carried across thread boundaries.
+///
+/// A fan-out stage captures it on the coordinating thread with
+/// [`span_context`] and re-seeds it per worker with
+/// [`with_span_context`], so spans opened at a worker's stack base
+/// link to the coordinator's enclosing span (`parent`) and metrics
+/// recorded before any worker span opens still attribute to the
+/// coordinator's enclosing stage (`stage`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanContext {
+    /// Id of the enclosing span, if any.
+    pub parent: Option<u64>,
+    /// Name of the enclosing stage, if any.
+    pub stage: Option<&'static str>,
+}
+
+/// The current thread's innermost span linkage (open span if any,
+/// else the seeded cross-thread context).
+pub fn span_context() -> SpanContext {
+    let top = SPAN_STACK.with(|s| s.borrow().last().copied());
+    match top {
+        Some((name, id)) => SpanContext {
+            parent: Some(id),
+            stage: Some(name),
+        },
+        None => SEED.with(|s| {
+            let (parent, stage) = s.get();
+            SpanContext {
+                parent: (parent != 0).then_some(parent),
+                stage,
+            }
+        }),
+    }
+}
+
+/// Runs `f` with `ctx` seeded as this thread's base span context; the
+/// previous seed is restored even if `f` panics.
+pub fn with_span_context<T>(ctx: SpanContext, f: impl FnOnce() -> T) -> T {
+    struct Restore((u64, Option<&'static str>));
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            SEED.with(|s| s.set(self.0));
+        }
+    }
+    let prev = SEED.with(|s| s.get());
+    SEED.with(|s| s.set((ctx.parent.unwrap_or(0), ctx.stage)));
+    let _restore = Restore(prev);
+    f()
+}
+
 /// Dispatches `f` to every active recorder: thread-locals first, then
 /// globals. Local recorders are cloned out one at a time so a
 /// recorder can never observe the stack borrowed.
@@ -163,16 +261,37 @@ pub(crate) fn for_each(f: impl Fn(&dyn Recorder)) {
     }
 }
 
-/// The innermost open span name on this thread, if any.
+/// The innermost open span name on this thread (falling back to the
+/// seeded cross-thread stage), if any.
 pub(crate) fn current_stage() -> Option<&'static str> {
-    SPAN_STACK.with(|s| s.borrow().last().copied())
+    SPAN_STACK
+        .with(|s| s.borrow().last().map(|&(name, _)| name))
+        .or_else(|| SEED.with(|s| s.get().1))
 }
 
-/// Pushes a span name; returns its 1-based depth.
-pub(crate) fn push_span(name: &'static str) -> usize {
+/// The id a span opened now should link to as its parent.
+pub(crate) fn current_parent() -> Option<u64> {
+    SPAN_STACK
+        .with(|s| s.borrow().last().map(|&(_, id)| id))
+        .or_else(|| {
+            SEED.with(|s| {
+                let (parent, _) = s.get();
+                (parent != 0).then_some(parent)
+            })
+        })
+}
+
+/// Names of the open spans on this thread, outermost first (the
+/// "active span stack" a post-mortem frame captures).
+pub(crate) fn stack_snapshot() -> Vec<(&'static str, u64)> {
+    SPAN_STACK.with(|s| s.borrow().clone())
+}
+
+/// Pushes a span; returns its 1-based depth.
+pub(crate) fn push_span(name: &'static str, id: u64) -> usize {
     SPAN_STACK.with(|s| {
         let mut stack = s.borrow_mut();
-        stack.push(name);
+        stack.push((name, id));
         stack.len()
     })
 }
@@ -182,7 +301,7 @@ pub(crate) fn push_span(name: &'static str) -> usize {
 pub(crate) fn pop_span(name: &'static str) {
     SPAN_STACK.with(|s| {
         let mut stack = s.borrow_mut();
-        if stack.last() == Some(&name) {
+        if stack.last().map(|&(n, _)| n) == Some(name) {
             stack.pop();
         }
     });
@@ -246,5 +365,58 @@ mod tests {
         let m = c.summary();
         assert_eq!(m.counter("other.thread"), 0);
         assert_eq!(m.counter("this.thread"), 1);
+    }
+
+    #[test]
+    fn span_context_links_workers_to_the_coordinator_span() {
+        let c = Arc::new(Collector::default());
+        with_local(c.clone(), || {
+            let outer = crate::span("coordinator_stage");
+            let ctx = span_context();
+            assert_eq!(ctx.parent, Some(outer.id()));
+            assert_eq!(ctx.stage, Some("coordinator_stage"));
+            let stack = local_stack();
+            std::thread::scope(|scope| {
+                scope.spawn(|| {
+                    with_span_context(ctx, || {
+                        with_local_stack(&stack, || {
+                            // No span open on this worker yet: the seeded
+                            // stage attributes the counter.
+                            crate::counter("worker.pre_span", 1);
+                            let child = crate::span("worker_stage");
+                            assert_eq!(child.parent(), Some(outer.id()));
+                        });
+                    });
+                    // Seed restored after the scope: no linkage leaks.
+                    assert_eq!(span_context(), SpanContext::default());
+                });
+            });
+        });
+        let m = c.summary();
+        assert_eq!(
+            m.counters,
+            vec![("worker.pre_span", Some("coordinator_stage"), 1)]
+        );
+    }
+
+    #[test]
+    fn nested_span_context_prefers_the_open_span() {
+        with_span_context(
+            SpanContext {
+                parent: Some(7),
+                stage: Some("seeded"),
+            },
+            || {
+                assert_eq!(current_stage(), Some("seeded"));
+                assert_eq!(current_parent(), Some(7));
+                let c = Arc::new(Collector::default());
+                with_local(c, || {
+                    let s = crate::span("inner");
+                    assert_eq!(s.parent(), Some(7)); // seeded parent adopted
+                    assert_eq!(current_stage(), Some("inner"));
+                    assert_eq!(current_parent(), Some(s.id()));
+                });
+            },
+        );
     }
 }

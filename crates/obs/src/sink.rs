@@ -3,10 +3,14 @@
 //! Schema (`DESIGN.md` "Observability" documents it in full): every
 //! line carries `kind`, `run`, `t_ns` (monotonic nanoseconds since
 //! the sink was created) and `thread` (a small per-process thread
-//! ordinal). Span lines add `name`/`depth` (and `dur_ns` on exit);
-//! metric lines add `name`/`value` and, when known, the enclosing
-//! `stage`. The first line is a `run_start` header, the last (on
-//! drop) a `run_end` trailer carrying `dropped_events`.
+//! ordinal shared with the flight recorder). Span lines add
+//! `name`/`depth`/`id` plus `parent` when the span has one and `zone`
+//! when it is zone-attributed (and `dur_ns` on exit); metric lines
+//! add `name`/`value` and, when known, the enclosing `stage`;
+//! `post_mortem` lines splice a rendered forensics frame (see
+//! [`crate::forensics`]). The first line is a `run_start` header, the
+//! last (on drop) a `run_end` trailer carrying `dropped_events` and
+//! the flight recorder's `ring_overflow`.
 //!
 //! Failure policy: a write error must never reach the pipeline. The
 //! event is dropped, an atomic `dropped_events` counter is bumped,
@@ -19,15 +23,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
+use crate::forensics::PostMortem;
 use crate::json;
-use crate::recorder::Recorder;
-
-static NEXT_THREAD_ORDINAL: AtomicU64 = AtomicU64::new(0);
-thread_local! {
-    /// Small stable per-thread id for event attribution
-    /// (`std::thread::ThreadId` has no stable numeric accessor).
-    static THREAD_ORDINAL: u64 = NEXT_THREAD_ORDINAL.fetch_add(1, Ordering::Relaxed);
-}
+use crate::recorder::{Recorder, SpanMeta};
+use crate::ring;
 
 /// A [`Recorder`] that renders every event as one JSON line.
 pub struct JsonlSink {
@@ -102,7 +101,7 @@ impl JsonlSink {
     /// Common line prefix: kind, run id, monotonic time, thread.
     fn prefix(&self, kind: &str) -> String {
         let t_ns = self.start.elapsed().as_nanos();
-        let thread = THREAD_ORDINAL.with(|t| *t);
+        let thread = ring::thread_ordinal();
         let mut line = String::with_capacity(160);
         line.push_str("{\"kind\":");
         json::escape_into(&mut line, kind);
@@ -133,23 +132,34 @@ impl JsonlSink {
     }
 }
 
-impl Recorder for JsonlSink {
-    fn span_enter(&self, name: &'static str, depth: usize) {
-        let mut line = self.prefix("span_enter");
+impl JsonlSink {
+    /// Renders the shared span fields: name, depth, id, and (when
+    /// present) parent link and zone attribution.
+    fn span_fields(&self, kind: &str, span: &SpanMeta) -> String {
+        let mut line = self.prefix(kind);
         line.push_str(",\"name\":");
-        json::escape_into(&mut line, name);
-        line.push_str(&format!(",\"depth\":{depth}}}"));
+        json::escape_into(&mut line, span.name);
+        line.push_str(&format!(",\"depth\":{},\"id\":{}", span.depth, span.id));
+        if let Some(parent) = span.parent {
+            line.push_str(&format!(",\"parent\":{parent}"));
+        }
+        if let Some(zone) = span.zone {
+            line.push_str(&format!(",\"zone\":{zone}"));
+        }
+        line
+    }
+}
+
+impl Recorder for JsonlSink {
+    fn span_enter(&self, span: &SpanMeta) {
+        let mut line = self.span_fields("span_enter", span);
+        line.push('}');
         self.emit(&line);
     }
 
-    fn span_exit(&self, name: &'static str, depth: usize, dur: Duration) {
-        let mut line = self.prefix("span_exit");
-        line.push_str(",\"name\":");
-        json::escape_into(&mut line, name);
-        line.push_str(&format!(
-            ",\"depth\":{depth},\"dur_ns\":{}}}",
-            dur.as_nanos()
-        ));
+    fn span_exit(&self, span: &SpanMeta, dur: Duration) {
+        let mut line = self.span_fields("span_exit", span);
+        line.push_str(&format!(",\"dur_ns\":{}}}", dur.as_nanos()));
         self.emit(&line);
     }
 
@@ -170,14 +180,23 @@ impl Recorder for JsonlSink {
             line.push_str(&value.to_string());
         });
     }
+
+    fn post_mortem(&self, dump: &PostMortem) {
+        let mut line = self.prefix("post_mortem");
+        line.push(',');
+        line.push_str(dump.fields_json());
+        line.push('}');
+        self.emit(&line);
+    }
 }
 
 impl Drop for JsonlSink {
     fn drop(&mut self) {
         let mut trailer = self.prefix("run_end");
         trailer.push_str(&format!(
-            ",\"dropped_events\":{}}}",
-            self.dropped.load(Ordering::Relaxed)
+            ",\"dropped_events\":{},\"ring_overflow\":{}}}",
+            self.dropped.load(Ordering::Relaxed),
+            ring::overflow_total()
         ));
         self.emit(&trailer);
         let mut out = self.out.lock().unwrap_or_else(PoisonError::into_inner);
@@ -218,23 +237,41 @@ mod tests {
     fn every_emitted_line_is_valid_json() {
         let buf = Shared::default();
         let sink = JsonlSink::from_writer(Box::new(buf.clone()));
-        sink.span_enter("stage", 1);
+        let meta = SpanMeta {
+            name: "stage",
+            depth: 2,
+            id: 41,
+            parent: Some(40),
+            zone: Some(5),
+        };
+        sink.span_enter(&meta);
         sink.counter("ops", 3, Some("stage"));
         sink.gauge("level", -2.5, None);
         sink.observe("size", 17, Some("stage"));
-        sink.span_exit("stage", 1, Duration::from_micros(12));
+        sink.span_exit(&meta, Duration::from_micros(12));
+        sink.post_mortem(&crate::forensics::render(&crate::Dump {
+            class: "worker_panic",
+            detail: "boom",
+            ..crate::Dump::default()
+        }));
         drop(sink);
         let text = String::from_utf8(buf.0.lock().expect("lock").clone()).expect("utf8");
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 7); // run_start + 5 events + run_end
+        assert_eq!(lines.len(), 8); // run_start + 6 events + run_end
         for line in &lines {
             crate::json::validate(line).expect("line must parse");
         }
         assert!(lines[0].contains("\"kind\":\"run_start\""));
-        assert!(lines[6].contains("\"kind\":\"run_end\""));
-        assert!(lines[6].contains("\"dropped_events\":0"));
+        assert!(lines[7].contains("\"kind\":\"run_end\""));
+        assert!(lines[7].contains("\"dropped_events\":0"));
+        assert!(lines[7].contains("\"ring_overflow\":"));
         assert!(text.contains("\"dur_ns\""));
         assert!(text.contains("\"stage\":\"stage\""));
+        assert!(text.contains("\"id\":41"));
+        assert!(text.contains("\"parent\":40"));
+        assert!(text.contains("\"zone\":5"));
+        assert!(text.contains("\"kind\":\"post_mortem\""));
+        assert!(text.contains("\"class\":\"worker_panic\""));
     }
 
     #[test]

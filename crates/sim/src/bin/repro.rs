@@ -51,6 +51,10 @@ const EXPERIMENTS: &[&str] = &[
 fn main() {
     let obs = sag_obs::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("trace") {
+        run_trace(&args[1..]);
+        return;
+    }
     let mut config = SweepConfig::default();
     let mut csv_dir: Option<String> = None;
     let mut report_path: Option<String> = None;
@@ -123,6 +127,31 @@ fn main() {
         if dropped > 0 {
             eprintln!("[repro] obs sink dropped {dropped} event(s)");
         }
+    }
+}
+
+/// `repro trace FILE` — analyze one obs JSONL stream;
+/// `repro trace OLD NEW` — additionally diff the two runs.
+fn run_trace(args: &[String]) {
+    let files: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    match files.as_slice() {
+        [file] => {
+            let report = sag_sim::trace::analyze_file(file)
+                .unwrap_or_else(|e| die(&format!("cannot read {file}: {e}")));
+            print!("{}", report.render());
+        }
+        [old_file, new_file] => {
+            let old = sag_sim::trace::analyze_file(old_file)
+                .unwrap_or_else(|e| die(&format!("cannot read {old_file}: {e}")));
+            let new = sag_sim::trace::analyze_file(new_file)
+                .unwrap_or_else(|e| die(&format!("cannot read {new_file}: {e}")));
+            print!("{}", old.render());
+            println!();
+            print!("{}", new.render());
+            println!();
+            print!("{}", sag_sim::trace::diff(&old, &new));
+        }
+        _ => die("trace needs one JSONL file (report) or two (diff)"),
     }
 }
 
@@ -218,6 +247,7 @@ fn usage() {
     println!(
         "usage: repro [--fast] [--runs N] [--threads N] [--csv DIR] [--report FILE] <experiment>…"
     );
+    println!("       repro trace FILE.jsonl [OLD.jsonl NEW.jsonl for a diff]");
     println!("experiments: all {}", EXPERIMENTS.join(" "));
     println!("env: SAG_THREADS=N  zone-parallel workers inside each pipeline solve");
     println!("     (orthogonal to --threads, which parallelises across sweep cells;");

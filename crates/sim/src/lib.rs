@@ -12,6 +12,9 @@
 //! * [`snapshot`] — compact binary scenario snapshots (`bytes`),
 //! * [`experiments`] — one module per paper artefact: Fig. 3(a–e),
 //!   Fig. 4/5(a–d), Fig. 6, Fig. 7(a–c), Table II,
+//! * [`trace`] — the `repro trace` failure-forensics analyzer over
+//!   `sag-obs` JSONL streams (span trees, critical path, churn SLO
+//!   windows, run-to-run diffs),
 //! * the `repro` binary — `cargo run -p sag-sim --bin repro -- <exp>`.
 //!
 //! # Example
@@ -42,6 +45,7 @@ pub mod runner;
 pub mod snapshot;
 pub mod stats;
 pub mod table;
+pub mod trace;
 
 pub use gen::{BsLayout, ScenarioSpec};
 pub use table::{Series, Table};

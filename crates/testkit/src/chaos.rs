@@ -105,6 +105,26 @@ impl Fault {
     }
 }
 
+/// Flips one random byte of `data` to a random different value and
+/// returns the (index, original, replacement) triple. Pairs with
+/// [`Fault::ObsSinkFail`]: corrupt a captured JSONL stream in place
+/// and assert the validator rejects (or a scanner survives) the
+/// damaged line without panicking. No-op returning `None` on empty
+/// input.
+pub fn flip_byte(rng: &mut Rng, data: &mut [u8]) -> Option<(usize, u8, u8)> {
+    if data.is_empty() {
+        return None;
+    }
+    let idx = rng.gen_range(0usize..data.len());
+    let orig = data[idx];
+    let mut repl = orig;
+    while repl == orig {
+        repl = rng.gen_range(0u8..=u8::MAX);
+    }
+    data[idx] = repl;
+    Some((idx, orig, repl))
+}
+
 /// A "poisoned" float: NaN, ±∞, a signed zero, or a magnitude extreme
 /// (subnormal / near-`MAX`) — the values numeric code mishandles first.
 pub fn poisoned_f64(rng: &mut Rng) -> f64 {
@@ -142,6 +162,22 @@ mod tests {
             seen.insert(Fault::sample(&mut rng));
         }
         assert_eq!(seen.len(), Fault::all().len());
+    }
+
+    #[test]
+    fn flip_byte_changes_exactly_one_byte() {
+        let mut rng = Rng::seed_from_u64(11);
+        for _ in 0..200 {
+            let mut data = b"{\"kind\":\"counter\",\"v\":1}".to_vec();
+            let before = data.clone();
+            let (idx, orig, repl) = flip_byte(&mut rng, &mut data).expect("non-empty");
+            assert_eq!(before[idx], orig);
+            assert_eq!(data[idx], repl);
+            assert_ne!(orig, repl);
+            let diffs = before.iter().zip(&data).filter(|(a, b)| a != b).count();
+            assert_eq!(diffs, 1);
+        }
+        assert!(flip_byte(&mut rng, &mut []).is_none());
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub mod strategy;
 /// The single import property tests need:
 /// `use sag_testkit::prelude::*;`.
 pub mod prelude {
-    pub use crate::chaos::{poisoned_f64, Fault};
+    pub use crate::chaos::{flip_byte, poisoned_f64, Fault};
     pub use crate::golden::assert_golden;
     pub use crate::rng::Rng;
     pub use crate::strategy::{just, one_of, vec_of, Strategy};

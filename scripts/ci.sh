@@ -103,12 +103,25 @@ echo "${churn_chaos_out}" | awk '$1 ~ /^[0-9]+$/ && $2 != "1.00" {
     print "churn chaos arm " $1 " broke the contract (pass=" $2 ")"; bad = 1
 } END { exit bad }'
 
+# Forensics chaos arm: every typed failure class (worker panic, ledger
+# desync, budget exhaustion, portfolio loser panic/hang, churn
+# deferral) must emit exactly one parseable post-mortem dump frame,
+# and the analyzer must reconstruct each capture into a single span
+# tree at 1, 2 and 4 threads. Run in release — the same optimized
+# shape a production crash capture would have (the suite arms the
+# flight recorder itself).
+echo "==> cargo test --release -p sag-integration --test forensics_pipeline -q --offline"
+cargo test --release -p sag-integration --test forensics_pipeline -q --offline
+
 # JSONL sink smoke: a real repro run with SAG_OBS_JSON set must emit a
-# capture in which every line parses, every stage has a span, and the
-# solver work counters are present.
+# capture in which every line parses, every stage has a span, the
+# run_end trailer carries the dropped_events/ring_overflow loss
+# accounting, and the solver work counters are present. The same
+# capture must then feed the trace analyzer end to end.
 echo "==> SAG_OBS_JSON=obs_smoke.jsonl cargo run --release --offline -p sag-sim --bin repro -- fig7a --runs 1"
-SAG_OBS_JSON=obs_smoke.jsonl cargo run --release --offline -p sag-sim --bin repro -- fig7a --runs 1 > /dev/null
+SAG_OBS_JSON=obs_smoke.jsonl SAG_OBS_RING=256 cargo run --release --offline -p sag-sim --bin repro -- fig7a --runs 1 > /dev/null
 run cargo run --release --offline -p sag-bench --bin bench_obs -- --check-jsonl obs_smoke.jsonl
+run cargo run --release --offline -p sag-sim --bin repro -- trace obs_smoke.jsonl
 rm -f obs_smoke.jsonl
 
 echo "==> tier-1 CI green"

@@ -54,17 +54,17 @@ enum Ev {
 struct SpanLog(Mutex<Vec<Ev>>);
 
 impl Recorder for SpanLog {
-    fn span_enter(&self, name: &'static str, depth: usize) {
+    fn span_enter(&self, span: &sag_obs::SpanMeta) {
         self.0
             .lock()
             .expect("log lock")
-            .push(Ev::Enter(name, depth));
+            .push(Ev::Enter(span.name, span.depth));
     }
-    fn span_exit(&self, name: &'static str, depth: usize, dur: Duration) {
+    fn span_exit(&self, span: &sag_obs::SpanMeta, dur: Duration) {
         self.0
             .lock()
             .expect("log lock")
-            .push(Ev::Exit(name, depth, dur));
+            .push(Ev::Exit(span.name, span.depth, dur));
     }
 }
 

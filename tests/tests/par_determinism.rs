@@ -33,6 +33,33 @@ fn fingerprint(report: &SagReport) -> String {
     )
 }
 
+/// The S1 gate: collected metrics must be identical too. Wall-clock
+/// span durations legitimately differ, so spans contribute name and
+/// count only; everything else — counter order and values, gauges
+/// (bit-exact), histogram aggregates, buckets and raw sample order —
+/// must match byte for byte, because parallel runs replay each zone's
+/// buffered events in zone-index order.
+fn metrics_fingerprint(report: &SagReport) -> String {
+    let m = &report.metrics;
+    let mut out = String::new();
+    for s in &m.spans {
+        out.push_str(&format!("span:{}:{};", s.name, s.count));
+    }
+    for (name, stage, v) in &m.counters {
+        out.push_str(&format!("ctr:{name}:{stage:?}:{v};"));
+    }
+    for (name, stage, v) in &m.gauges {
+        out.push_str(&format!("gauge:{name}:{stage:?}:{:016x};", v.to_bits()));
+    }
+    for (name, stage, h) in &m.histograms {
+        out.push_str(&format!(
+            "hist:{name}:{stage:?}:{}:{}:{}:{:?}:{:?};",
+            h.count, h.sum, h.max, h.buckets, h.samples
+        ));
+    }
+    out
+}
+
 fn arb_spec() -> impl Strategy<Value = (usize, f64, f64, u64)> {
     (
         4usize..20,                 // subscribers
@@ -71,13 +98,23 @@ prop! {
                 })
             };
             match (run(1), run(8)) {
-                (Ok(seq), Ok(par)) => prop_assert_eq!(
-                    fingerprint(&seq),
-                    fingerprint(&par),
-                    "{:?}: threads=1 vs threads=8 diverged ({} zones)",
-                    solver,
-                    zone_partition(&sc).len()
-                ),
+                (Ok(seq), Ok(par)) => {
+                    prop_assert_eq!(
+                        fingerprint(&seq),
+                        fingerprint(&par),
+                        "{:?}: threads=1 vs threads=8 diverged ({} zones)",
+                        solver,
+                        zone_partition(&sc).len()
+                    );
+                    prop_assert_eq!(
+                        metrics_fingerprint(&seq),
+                        metrics_fingerprint(&par),
+                        "{:?}: collected metrics diverged across thread counts \
+                         ({} zones)",
+                        solver,
+                        zone_partition(&sc).len()
+                    );
+                }
                 // Errors must agree in kind; unbudgeted runs only fail
                 // deterministically (infeasible geometry), so the whole
                 // error must match.
@@ -134,6 +171,18 @@ prop! {
                     fingerprint(&par),
                     fingerprint(&replay),
                     "portfolio: threads=8 replay diverged"
+                );
+                // The loser arm's partial work is kept out of buffered
+                // recorders precisely so this holds under racing.
+                prop_assert_eq!(
+                    metrics_fingerprint(&seq),
+                    metrics_fingerprint(&par),
+                    "portfolio: collected metrics diverged across thread counts"
+                );
+                prop_assert_eq!(
+                    metrics_fingerprint(&par),
+                    metrics_fingerprint(&replay),
+                    "portfolio: collected metrics diverged on replay"
                 );
             }
             (Err(a), Err(b), Err(c)) => {
