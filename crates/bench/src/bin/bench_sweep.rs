@@ -1,0 +1,264 @@
+//! Batched sweep engine benchmark (`BENCH_sweep.json`).
+//!
+//! Times a Fig. 3(e)-shaped parameter study — scenarios held fixed
+//! while the GAC grid size marches across sixteen x positions — through
+//! the batched, fingerprint-cached sweep engine versus the pre-existing
+//! per-cell path (`sweep_multi_reference`), and gates the
+//! sweep-cells-per-second improvement at a configurable floor.
+//!
+//! This is the workload the invariant cache exists for: the IAC and
+//! SAMC reference lines, and the scenario geometry itself, are
+//! invariant across the whole sweep row, so the per-cell path re-solves
+//! them at every plotted point while the cached path builds each once
+//! per seed and shares it across all lanes. The speedup is therefore
+//! *cache-driven*, not parallelism-driven — it is enforceable on a
+//! single hardware thread, and both arms run at the same thread count
+//! so scheduling never biases the ratio.
+//!
+//! Before any timing, the batched path must reproduce the per-cell
+//! path's `CellStats` byte-for-byte at threads=1 and threads=N, with a
+//! cold and a warm cache, and under a seeded shuffle of the work queue
+//! — a cache that bought throughput by changing results would be
+//! worthless.
+//!
+//! The gate self-skips (machine-readably, honoring `SAG_BENCH_STRICT`)
+//! only when the reference sweep is too fast for the timer to resolve.
+//!
+//! Usage: `bench_sweep [--out PATH] [--min-speedup X]`
+
+use sag_sim::batch::{sweep_multi_reference, sweep_multi_with, JobOrder, SweepCache, SweepOptions};
+use sag_sim::experiments::{relays_metric, run_gac_cached, run_iac_cached, run_samc_cached};
+use sag_sim::gen::ScenarioSpec;
+use sag_sim::runner::SweepConfig;
+use sag_sim::stats::CellStats;
+
+/// Swept GAC grid sizes (the x axis): coarse enough that each GAC
+/// solve stays cheap next to the shared IAC solve, which is what makes
+/// the per-cell path's redundant IAC/SAMC recomputes the bottleneck —
+/// exactly the Fig. 3(e) cost shape at paper scale.
+const GRIDS: [f64; 16] = [
+    40.0, 42.0, 44.0, 46.0, 48.0, 50.0, 52.0, 54.0, 56.0, 58.0, 60.0, 62.0, 64.0, 66.0, 68.0, 70.0,
+];
+/// Sweeps per timing sample.
+const INNER_ITERS: u32 = 2;
+/// Interleaved reference/batched measurement rounds.
+const ROUNDS: usize = 11;
+/// Below this per-sweep reference time the ratio measures the timer,
+/// not the engine.
+const TIMING_FLOOR_NS: u128 = 2_000_000;
+
+/// The probe scenario family: the paper's 500-field at −15 dB with a
+/// user cluster large enough that IAC candidate generation and its
+/// ILPQC solve dominate a cell.
+fn probe_spec() -> ScenarioSpec {
+    ScenarioSpec {
+        field_size: 500.0,
+        n_subscribers: 40,
+        n_base_stations: 4,
+        snr_db: -15.0,
+        ..Default::default()
+    }
+}
+
+/// The shared eval, identical for both arms: `seed % 1000` pins the
+/// scenarios across x positions (the Fig. 3(d)/(e) idiom), so only the
+/// grid size varies along the row.
+fn eval(ctx: &sag_sim::batch::BatchCtx<'_>, grid: f64, seed: u64) -> Vec<Option<f64>> {
+    let spec = probe_spec();
+    let seed = seed % 1000;
+    vec![
+        relays_metric(&run_iac_cached(ctx, &spec, seed)),
+        relays_metric(&run_gac_cached(ctx, &spec, seed, grid)),
+        relays_metric(&run_samc_cached(ctx, &spec, seed)),
+    ]
+}
+
+fn batched(config: SweepConfig, opts: SweepOptions) -> Vec<Vec<CellStats>> {
+    sweep_multi_with(&GRIDS, 3, config, opts, eval)
+}
+
+/// A cold, explicitly-enabled cache per invocation: the bench measures
+/// the engine (including its one-time builds), never the `SAG_SWEEP_*`
+/// environment.
+fn cold_opts() -> SweepOptions {
+    SweepOptions {
+        cache: Some(SweepCache::new()),
+        ..Default::default()
+    }
+}
+
+fn fingerprint(series: &[Vec<CellStats>]) -> String {
+    format!("{series:?}")
+}
+
+#[allow(clippy::too_many_arguments)]
+fn emit_json(
+    path: &str,
+    cells: usize,
+    threads: usize,
+    hardware_threads: usize,
+    ref_ns: u128,
+    batched_ns: u128,
+    speedup: f64,
+    cache_hits: u64,
+    cache_misses: u64,
+    min_speedup: f64,
+    gate: &str,
+) -> std::io::Result<()> {
+    let xs = GRIDS.len();
+    let solver = sag_bench::solver_fields_json();
+    let ref_cps = cells as f64 / (ref_ns.max(1) as f64 / 1e9);
+    let batched_cps = cells as f64 / (batched_ns.max(1) as f64 / 1e9);
+    let body = format!(
+        "{{\n  \"benchmark\": \"sweep_batch\",\n  \"xs\": {xs},\n  \"cells\": {cells},\n  \"threads\": {threads},\n  \"hardware_threads\": {hardware_threads},\n  {solver},\n  \"reference_min_ns\": {ref_ns},\n  \"batched_min_ns\": {batched_ns},\n  \"reference_cells_per_sec\": {ref_cps:.2},\n  \"batched_cells_per_sec\": {batched_cps:.2},\n  \"speedup_median\": {speedup:.4},\n  \"cache_hits\": {cache_hits},\n  \"cache_misses\": {cache_misses},\n  \"min_speedup\": {min_speedup:.2},\n  \"gate\": \"{gate}\"\n}}\n",
+    );
+    std::fs::write(path, body)
+}
+
+/// Interleaved median-of-ratios between two timed closures: adjacent
+/// samples share the same noise phase, so per-round ratios are stable
+/// and the median discards outliers. Returns (min a ns, min b ns,
+/// median of a/b per round).
+fn measure(a: &mut dyn FnMut(), b: &mut dyn FnMut()) -> (u128, u128, f64) {
+    let time_rounds = |f: &mut dyn FnMut()| -> u128 {
+        let start = std::time::Instant::now();
+        for _ in 0..INNER_ITERS {
+            f();
+        }
+        (start.elapsed() / INNER_ITERS).as_nanos()
+    };
+    // Warm-up round, not measured.
+    time_rounds(a);
+    time_rounds(b);
+    let mut rounds: Vec<(u128, u128)> = Vec::with_capacity(ROUNDS);
+    for _ in 0..ROUNDS {
+        rounds.push((time_rounds(a), time_rounds(b)));
+    }
+    let mut ratios: Vec<f64> = rounds
+        .iter()
+        .map(|&(r, c)| r as f64 / c.max(1) as f64)
+        .collect();
+    ratios.sort_by(|x, y| x.total_cmp(y));
+    (
+        rounds.iter().map(|r| r.0).min().unwrap_or(0),
+        rounds.iter().map(|r| r.1).min().unwrap_or(0),
+        ratios[ratios.len() / 2],
+    )
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_sweep.json");
+    let mut min_speedup = 4.0f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--min-speedup" => {
+                let v = args.next().expect("--min-speedup needs a number");
+                min_speedup = v.parse().expect("--min-speedup parses as f64");
+            }
+            other => panic!(
+                "unknown argument {other}; usage: \
+                 bench_sweep [--out PATH] [--min-speedup X]"
+            ),
+        }
+    }
+
+    let config = sag_bench::bench_sweep();
+    let threads = config.threads;
+    let cells = GRIDS.len() * config.runs;
+
+    // Determinism gates before any timing: batched/cached vs the
+    // per-cell reference path, across thread counts, cache states and
+    // work-queue interleavings.
+    let reference = sweep_multi_reference(&GRIDS, 3, config, eval);
+    let one_thread = SweepConfig {
+        threads: 1,
+        ..config
+    };
+    let want = fingerprint(&reference);
+    let check = |label: &str, got: Vec<Vec<CellStats>>| {
+        assert_eq!(
+            fingerprint(&got),
+            want,
+            "batched sweep diverged from the per-cell reference path ({label})"
+        );
+    };
+    check("threads=1 cold", batched(one_thread, cold_opts()));
+    check("threads=N cold", batched(config, cold_opts()));
+    check(
+        "threads=N shuffled",
+        batched(
+            config,
+            SweepOptions {
+                order: JobOrder::Shuffled(0xC0FFEE),
+                ..cold_opts()
+            },
+        ),
+    );
+    let warm = SweepCache::new();
+    let warm_opts = || SweepOptions {
+        cache: Some(warm.clone()),
+        ..Default::default()
+    };
+    check("threads=N warm(1st)", batched(config, warm_opts()));
+    // Stats of a single cold sweep: everything the second pass reuses.
+    let cold_stats = warm.stats();
+    check("threads=N warm(2nd)", batched(config, warm_opts()));
+    println!(
+        "parity: batched == per-cell reference over {cells} cells \
+         (threads 1/{threads}, cold/warm cache, shuffled queue)"
+    );
+
+    let (ref_ns, batched_ns, speedup) = measure(
+        &mut || {
+            std::hint::black_box(sweep_multi_reference(&GRIDS, 3, config, eval));
+        },
+        &mut || {
+            std::hint::black_box(batched(config, cold_opts()));
+        },
+    );
+
+    let hardware_threads = sag_bench::hardware_threads();
+    // The speedup is cache-driven (shared IAC/SAMC/geometry work), so
+    // it is enforceable at any hardware thread count; only a sweep too
+    // fast for the timer to resolve invalidates the ratio.
+    let (gate, enforce) = sag_bench::resolve_gate(
+        ref_ns >= TIMING_FLOOR_NS,
+        &format!("reference sweep {ref_ns}ns below the {TIMING_FLOOR_NS}ns timing floor"),
+    );
+
+    let ref_cps = cells as f64 / (ref_ns.max(1) as f64 / 1e9);
+    let batched_cps = cells as f64 / (batched_ns.max(1) as f64 / 1e9);
+    println!("benchmark group: sweep_batch ({ROUNDS} interleaved rounds, min per-sweep ns)");
+    println!("per-cell reference            {ref_ns:>12}  ({ref_cps:.1} cells/s)");
+    println!("batched + cold cache          {batched_ns:>12}  ({batched_cps:.1} cells/s)");
+    println!(
+        "median speedup {speedup:.3}x over {cells} cells \
+         (one cold sweep: {} hits / {} misses) [{gate}]",
+        cold_stats.hits, cold_stats.misses
+    );
+
+    emit_json(
+        &out_path,
+        cells,
+        threads,
+        hardware_threads,
+        ref_ns,
+        batched_ns,
+        speedup,
+        cold_stats.hits,
+        cold_stats.misses,
+        min_speedup,
+        &gate,
+    )
+    .expect("write benchmark JSON");
+    println!("wrote {out_path}");
+
+    if enforce {
+        assert!(
+            speedup >= min_speedup,
+            "batched sweep speedup {speedup:.3}x is below the {min_speedup:.2}x floor"
+        );
+    }
+}

@@ -1,9 +1,12 @@
 //! Fig. 3(a–e): number of coverage relays for IAC vs GAC vs SAMC across
 //! user counts, SNR thresholds and GAC grid sizes.
 
-use crate::experiments::{gac_grid_for, run_gac, run_iac, run_samc};
+use crate::batch::sweep_multi_cached;
+use crate::experiments::{
+    gac_grid_for, relays_metric, run_gac_cached, run_iac_cached, run_samc_cached,
+};
 use crate::gen::ScenarioSpec;
-use crate::runner::{sweep_multi, SweepConfig};
+use crate::runner::SweepConfig;
 use crate::table::Table;
 
 fn coverage_spec(field: f64, users: usize, snr_db: f64) -> ScenarioSpec {
@@ -25,12 +28,12 @@ fn coverage_vs_users(
     config: SweepConfig,
 ) -> Table {
     let grid = gac_grid_for(field);
-    let series = sweep_multi(users, 3, config, |n, seed| {
-        let sc = coverage_spec(field, n, snr_db).build(seed);
+    let series = sweep_multi_cached(users, 3, config, |ctx, n, seed| {
+        let spec = coverage_spec(field, n, snr_db);
         vec![
-            run_iac(&sc).map(|s| s.n_relays() as f64),
-            run_gac(&sc, grid).map(|s| s.n_relays() as f64),
-            run_samc(&sc).map(|s| s.n_relays() as f64),
+            relays_metric(&run_iac_cached(ctx, &spec, seed)),
+            relays_metric(&run_gac_cached(ctx, &spec, seed, grid)),
+            relays_metric(&run_samc_cached(ctx, &spec, seed)),
         ]
     });
     let mut t = Table::new(title, "users", users.iter().map(|&u| u as f64).collect());
@@ -86,12 +89,13 @@ pub fn fig3d(config: SweepConfig) -> Table {
         -14.0, -13.5, -13.0, -12.5, -12.0, -11.5, -11.0, -10.5, -10.0,
     ];
     let grid = gac_grid_for(500.0);
-    let series = sweep_multi(&snrs, 3, config, |snr, seed| {
-        let sc = coverage_spec(500.0, 30, snr).build(seed % 1000);
+    let series = sweep_multi_cached(&snrs, 3, config, |ctx, snr, seed| {
+        let spec = coverage_spec(500.0, 30, snr);
+        let seed = seed % 1000;
         vec![
-            run_iac(&sc).map(|s| s.n_relays() as f64),
-            run_gac(&sc, grid).map(|s| s.n_relays() as f64),
-            run_samc(&sc).map(|s| s.n_relays() as f64),
+            relays_metric(&run_iac_cached(ctx, &spec, seed)),
+            relays_metric(&run_gac_cached(ctx, &spec, seed, grid)),
+            relays_metric(&run_samc_cached(ctx, &spec, seed)),
         ]
     });
     let mut t = Table::new(
@@ -114,12 +118,13 @@ pub fn fig3d(config: SweepConfig) -> Table {
 /// flat, as in the paper's plot.
 pub fn fig3e(config: SweepConfig) -> Table {
     let grids: Vec<f64> = (13..=20).map(|g| g as f64).collect();
-    let series = sweep_multi(&grids, 3, config, |grid, seed| {
-        let sc = coverage_spec(500.0, 30, -11.55).build(seed % 1000);
+    let series = sweep_multi_cached(&grids, 3, config, |ctx, grid, seed| {
+        let spec = coverage_spec(500.0, 30, -11.55);
+        let seed = seed % 1000;
         vec![
-            run_iac(&sc).map(|s| s.n_relays() as f64),
-            run_gac(&sc, grid).map(|s| s.n_relays() as f64),
-            run_samc(&sc).map(|s| s.n_relays() as f64),
+            relays_metric(&run_iac_cached(ctx, &spec, seed)),
+            relays_metric(&run_gac_cached(ctx, &spec, seed, grid)),
+            relays_metric(&run_samc_cached(ctx, &spec, seed)),
         ]
     });
     let mut t = Table::new(
@@ -167,9 +172,9 @@ mod tests {
         // Coarser grids cannot decrease the GAC relay count on average —
         // checked loosely on one small instance.
         let grids = [10.0, 40.0];
-        let series = sweep_multi(&grids, 1, tiny(), |grid, seed| {
-            let sc = coverage_spec(300.0, 6, -15.0).build(seed);
-            vec![run_gac(&sc, grid).map(|s| s.n_relays() as f64)]
+        let series = sweep_multi_cached(&grids, 1, tiny(), |ctx, grid, seed| {
+            let spec = coverage_spec(300.0, 6, -15.0);
+            vec![relays_metric(&run_gac_cached(ctx, &spec, seed, grid))]
         });
         let fine = series[0][0].mean;
         let coarse = series[0][1].mean;

@@ -8,7 +8,8 @@ use sag_core::mbmc::{mbmc, must};
 use sag_core::pro::{baseline_power, optimal_power, pro};
 use sag_core::ucpo::{baseline_upper_power, ucpo};
 
-use crate::experiments::{gac_grid_for, run_gac, run_iac, run_samc};
+use crate::batch::sweep_multi_cached;
+use crate::experiments::{build_cached, gac_grid_for, run_gac, run_iac, run_samc, run_samc_cached};
 use crate::gen::ScenarioSpec;
 use crate::runner::{sweep_multi, timed, SweepConfig};
 use crate::table::Table;
@@ -36,13 +37,14 @@ fn spec(field: f64, users: usize) -> ScenarioSpec {
 /// optimum, on the SAMC coverage topology.
 pub fn power_pro(field: f64, config: SweepConfig) -> Table {
     let users = users_for_field(field);
-    let series = sweep_multi(&users, 3, config, |n, seed| {
-        let sc = spec(field, n).build(seed);
-        match run_samc(&sc) {
+    let series = sweep_multi_cached(&users, 3, config, |ctx, n, seed| {
+        let sp = spec(field, n);
+        let sc = build_cached(ctx, &sp, seed);
+        match run_samc_cached(ctx, &sp, seed).as_ref() {
             Some(sol) => {
-                let base = baseline_power(&sc, &sol).total();
-                let reduced = pro(&sc, &sol).total();
-                let optimal = optimal_power(&sc, &sol).ok().map(|a| a.total());
+                let base = baseline_power(&sc, sol).total();
+                let reduced = pro(&sc, sol).total();
+                let optimal = optimal_power(&sc, sol).ok().map(|a| a.total());
                 vec![Some(base), Some(reduced), optimal]
             }
             None => vec![None, None, None],
@@ -69,6 +71,10 @@ pub fn power_pro(field: f64, config: SweepConfig) -> Table {
 /// seconds include CPU contention; only the *relative* ordering (the
 /// paper's claim) should be read from this panel. Use `--threads 1` for
 /// contention-free absolute numbers.
+///
+/// This panel deliberately stays on the *uncached* sweep path: it
+/// measures solver wall-clock, and a cache hit would time the cache
+/// instead of the solver.
 pub fn running_times(field: f64, config: SweepConfig) -> Table {
     let users = users_for_field(field);
     let grid = gac_grid_for(field);
@@ -102,14 +108,15 @@ pub fn running_times(field: f64, config: SweepConfig) -> Table {
 /// four BSs vs MBMC's nearest-BS trees.
 pub fn connectivity(field: f64, config: SweepConfig) -> Table {
     let users = users_for_field(field);
-    let series = sweep_multi(&users, 5, config, |n, seed| {
-        let sc = spec(field, n).build(seed);
-        match run_samc(&sc) {
+    let series = sweep_multi_cached(&users, 5, config, |ctx, n, seed| {
+        let sp = spec(field, n);
+        let sc = build_cached(ctx, &sp, seed);
+        match run_samc_cached(ctx, &sp, seed).as_ref() {
             Some(sol) => {
                 let mut out: Vec<Option<f64>> = (0..4)
-                    .map(|b| must(&sc, &sol, b).ok().map(|p| p.n_relays() as f64))
+                    .map(|b| must(&sc, sol, b).ok().map(|p| p.n_relays() as f64))
                     .collect();
-                out.push(mbmc(&sc, &sol).ok().map(|p| p.n_relays() as f64));
+                out.push(mbmc(&sc, sol).ok().map(|p| p.n_relays() as f64));
                 out
             }
             None => vec![None; 5],
@@ -135,13 +142,14 @@ pub fn connectivity(field: f64, config: SweepConfig) -> Table {
 /// topology.
 pub fn power_ucpo(field: f64, config: SweepConfig) -> Table {
     let users = users_for_field(field);
-    let series = sweep_multi(&users, 2, config, |n, seed| {
-        let sc = spec(field, n).build(seed);
-        match run_samc(&sc) {
-            Some(sol) => match mbmc(&sc, &sol) {
+    let series = sweep_multi_cached(&users, 2, config, |ctx, n, seed| {
+        let sp = spec(field, n);
+        let sc = build_cached(ctx, &sp, seed);
+        match run_samc_cached(ctx, &sp, seed).as_ref() {
+            Some(sol) => match mbmc(&sc, sol) {
                 Ok(plan) => {
                     let base = baseline_upper_power(&sc, &plan).total();
-                    let opt = ucpo(&sc, &sol, &plan).total();
+                    let opt = ucpo(&sc, sol, &plan).total();
                     vec![Some(base), Some(opt)]
                 }
                 Err(_) => vec![None, None],

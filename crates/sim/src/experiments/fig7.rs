@@ -5,9 +5,12 @@
 use sag_core::darp::darp;
 use sag_core::sag::run_sag;
 
-use crate::experiments::{gac_grid_for, run_gac, run_iac, run_samc};
+use crate::batch::sweep_multi_cached;
+use crate::experiments::{
+    build_cached, gac_grid_for, run_gac_cached, run_iac_cached, run_samc_cached,
+};
 use crate::gen::ScenarioSpec;
-use crate::runner::{sweep_multi, SweepConfig};
+use crate::runner::SweepConfig;
 use crate::table::Table;
 
 /// User counts per field, as plotted in the paper.
@@ -35,18 +38,20 @@ fn spec(field: f64, users: usize) -> ScenarioSpec {
 pub fn fig7(field: f64, config: SweepConfig) -> Table {
     let users = users_for_field(field);
     let grid = gac_grid_for(field);
-    let series = sweep_multi(&users, 4, config, |n, seed| {
-        let sc = spec(field, n).build(seed);
+    let series = sweep_multi_cached(&users, 4, config, |ctx, n, seed| {
+        let sp = spec(field, n);
+        let sc = build_cached(ctx, &sp, seed);
         let sag_total = run_sag(&sc).ok().map(|r| r.power_summary().total);
-        let darp_of = |sol: Option<sag_core::CoverageSolution>| {
-            sol.and_then(|s| darp(&sc, &s, 0).ok())
+        let darp_of = |sol: &Option<sag_core::CoverageSolution>| {
+            sol.as_ref()
+                .and_then(|s| darp(&sc, s, 0).ok())
                 .map(|d| d.total_power())
         };
         vec![
             sag_total,
-            darp_of(run_samc(&sc)),
-            darp_of(run_iac(&sc)),
-            darp_of(run_gac(&sc, grid)),
+            darp_of(&run_samc_cached(ctx, &sp, seed)),
+            darp_of(&run_iac_cached(ctx, &sp, seed)),
+            darp_of(&run_gac_cached(ctx, &sp, seed, grid)),
         ]
     });
     let panel = if field <= 300.0 {
@@ -72,6 +77,8 @@ pub fn fig7(field: f64, config: SweepConfig) -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::experiments::run_samc;
+    use crate::runner::sweep_multi;
 
     #[test]
     fn sag_beats_darp_baselines() {

@@ -8,9 +8,10 @@
 
 use sag_core::mbmc::{mbmc_with_weights, WeightRule};
 
-use crate::experiments::run_samc;
+use crate::batch::sweep_multi_cached;
+use crate::experiments::{build_cached, run_samc_cached};
 use crate::gen::ScenarioSpec;
-use crate::runner::{sweep_multi, SweepConfig};
+use crate::runner::SweepConfig;
 use crate::table::Table;
 
 /// Sweeps user counts on the 500-field, reporting connectivity relays
@@ -22,20 +23,20 @@ pub fn mbmc_weights(config: SweepConfig) -> Table {
         WeightRule::Euclidean,
         WeightRule::HopCountOwn,
     ];
-    let series = sweep_multi(&users, rules.len(), config, |n, seed| {
-        let sc = ScenarioSpec {
+    let series = sweep_multi_cached(&users, rules.len(), config, |ctx, n, seed| {
+        let sp = ScenarioSpec {
             field_size: 500.0,
             n_subscribers: n,
             n_base_stations: 4,
             snr_db: -15.0,
             ..Default::default()
-        }
-        .build(seed);
-        match run_samc(&sc) {
+        };
+        let sc = build_cached(ctx, &sp, seed);
+        match run_samc_cached(ctx, &sp, seed).as_ref() {
             Some(sol) => rules
                 .iter()
                 .map(|&rule| {
-                    mbmc_with_weights(&sc, &sol, rule)
+                    mbmc_with_weights(&sc, sol, rule)
                         .ok()
                         .map(|p| p.n_relays() as f64)
                 })

@@ -1,0 +1,154 @@
+//! Content fingerprints for the batched sweep engine's invariant cache.
+//!
+//! A [`Fingerprint`] is a 128-bit FNV-1a hash of the *inputs* to a
+//! deterministic build function. Two sweep lanes that feed identical
+//! bytes into a [`FpHasher`] get the same fingerprint, so the cache in
+//! [`crate::batch`] can hand both the same artifact — and because every
+//! cached build is a pure function of exactly the bytes that were
+//! hashed, a cache hit returns the same value a recompute would,
+//! keeping cached sweeps byte-identical to uncached ones.
+//!
+//! The hash is not cryptographic; it only needs to keep honest inputs
+//! apart. At 128 bits, accidental collisions across the few thousand
+//! distinct keys of even an enormous parameter study are out of reach,
+//! and the cache additionally separates entries by Rust type (see
+//! [`crate::batch::SweepCache`]), so a collision could at worst alias
+//! two artifacts of the *same* type.
+
+/// 128-bit FNV-1a offset basis.
+const FNV_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+/// 128-bit FNV-1a prime.
+const FNV_PRIME: u128 = 0x0000000001000000000000000000013b;
+
+/// A 128-bit content hash identifying one cache key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint(pub u128);
+
+impl std::fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// Incremental FNV-1a-128 hasher with typed write helpers.
+///
+/// Writes are length-prefixed where ambiguity is possible (`str`,
+/// byte slices), so `("ab", "c")` and `("a", "bc")` hash differently.
+#[derive(Debug, Clone)]
+pub struct FpHasher {
+    state: u128,
+}
+
+impl Default for FpHasher {
+    fn default() -> Self {
+        FpHasher { state: FNV_OFFSET }
+    }
+}
+
+impl FpHasher {
+    /// A fresh hasher seeded with a domain-separation tag, so keys
+    /// built for different artifact kinds can never collide even when
+    /// their payload bytes agree.
+    pub fn new(domain: &str) -> Self {
+        let mut h = FpHasher::default();
+        h.write_str(domain);
+        h
+    }
+
+    /// Hashes raw bytes (length-prefixed).
+    pub fn write_bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        self.write_u64(bytes.len() as u64);
+        for &b in bytes {
+            self.state = (self.state ^ u128::from(b)).wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    /// Hashes a UTF-8 string (length-prefixed).
+    pub fn write_str(&mut self, s: &str) -> &mut Self {
+        self.write_bytes(s.as_bytes())
+    }
+
+    /// Hashes one `u64`, fixed width (no length prefix needed).
+    pub fn write_u64(&mut self, v: u64) -> &mut Self {
+        for b in v.to_le_bytes() {
+            self.state = (self.state ^ u128::from(b)).wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    /// Hashes one `usize` (widened to `u64`).
+    pub fn write_usize(&mut self, v: usize) -> &mut Self {
+        self.write_u64(v as u64)
+    }
+
+    /// Hashes another fingerprint (both 64-bit halves), so composite
+    /// keys can be built from sub-keys without rehashing their inputs.
+    pub fn write_fingerprint(&mut self, fp: Fingerprint) -> &mut Self {
+        self.write_u64(fp.0 as u64).write_u64((fp.0 >> 64) as u64)
+    }
+
+    /// Hashes one `f64` by bit pattern: `-0.0` and `0.0` hash apart,
+    /// every NaN payload hashes apart — which is exactly right for a
+    /// cache key, where "same bits in, same bits out" is the contract.
+    pub fn write_f64(&mut self, v: f64) -> &mut Self {
+        self.write_u64(v.to_bits())
+    }
+
+    /// Finalises the key.
+    pub fn finish(&self) -> Fingerprint {
+        Fingerprint(self.state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_order_sensitive() {
+        let mut a = FpHasher::new("test");
+        a.write_u64(1).write_u64(2);
+        let mut b = FpHasher::new("test");
+        b.write_u64(1).write_u64(2);
+        assert_eq!(a.finish(), b.finish());
+        let mut c = FpHasher::new("test");
+        c.write_u64(2).write_u64(1);
+        assert_ne!(a.finish(), c.finish());
+    }
+
+    #[test]
+    fn domain_tags_separate_identical_payloads() {
+        let mut a = FpHasher::new("iac");
+        a.write_u64(7);
+        let mut b = FpHasher::new("gac");
+        b.write_u64(7);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn length_prefix_prevents_concatenation_aliasing() {
+        let mut a = FpHasher::new("t");
+        a.write_str("ab").write_str("c");
+        let mut b = FpHasher::new("t");
+        b.write_str("a").write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn float_bit_patterns_are_distinguished() {
+        let mut a = FpHasher::new("t");
+        a.write_f64(0.0);
+        let mut b = FpHasher::new("t");
+        b.write_f64(-0.0);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn display_is_stable_hex() {
+        let fp = FpHasher::new("t").finish();
+        let s = fp.to_string();
+        assert_eq!(s.len(), 32);
+        assert!(s.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+}

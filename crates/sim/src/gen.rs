@@ -5,6 +5,7 @@
 
 use sag_testkit::rng::Rng;
 
+use crate::fingerprint::{Fingerprint, FpHasher};
 use sag_core::model::{BaseStation, NetworkParams, Scenario, Subscriber};
 use sag_geom::{Point, Rect};
 use sag_radio::{units::Db, LinkBudget};
@@ -120,11 +121,73 @@ impl ScenarioSpec {
         )
         .expect("spec guarantees non-empty subscriber/BS lists")
     }
+
+    /// Content fingerprint of the `(spec, seed)` pair — the complete
+    /// pre-image of [`ScenarioSpec::build`], which is a pure function
+    /// of exactly these values. Two lanes with equal fingerprints are
+    /// therefore guaranteed the bit-identical scenario, which is what
+    /// lets the batched sweep cache share built scenarios (and
+    /// artifacts derived from them) across sweep cells.
+    pub fn fingerprint(&self, seed: u64) -> Fingerprint {
+        let mut h = FpHasher::new("scenario-spec/v1");
+        h.write_f64(self.field_size)
+            .write_usize(self.n_subscribers)
+            .write_usize(self.n_base_stations)
+            .write_f64(self.snr_db)
+            .write_f64(self.dist_range.0)
+            .write_f64(self.dist_range.1)
+            .write_f64(self.pmax)
+            .write_f64(self.nmax)
+            .write_str(match self.bs_layout {
+                BsLayout::Uniform => "uniform",
+                BsLayout::Corners => "corners",
+            })
+            .write_u64(seed);
+        h.finish()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fingerprint_tracks_every_build_input() {
+        let spec = ScenarioSpec::default();
+        assert_eq!(spec.fingerprint(7), spec.fingerprint(7));
+        assert_ne!(spec.fingerprint(7), spec.fingerprint(8));
+        let variants = [
+            ScenarioSpec {
+                field_size: 300.0,
+                ..spec
+            },
+            ScenarioSpec {
+                n_subscribers: 31,
+                ..spec
+            },
+            ScenarioSpec {
+                n_base_stations: 5,
+                ..spec
+            },
+            ScenarioSpec {
+                snr_db: -11.0,
+                ..spec
+            },
+            ScenarioSpec {
+                dist_range: (30.0, 41.0),
+                ..spec
+            },
+            ScenarioSpec { pmax: 2.0, ..spec },
+            ScenarioSpec { nmax: 1e-8, ..spec },
+            ScenarioSpec {
+                bs_layout: BsLayout::Corners,
+                ..spec
+            },
+        ];
+        for (i, v) in variants.iter().enumerate() {
+            assert_ne!(v.fingerprint(7), spec.fingerprint(7), "variant {i}");
+        }
+    }
 
     #[test]
     fn deterministic_per_seed() {

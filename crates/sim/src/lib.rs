@@ -9,6 +9,10 @@
 //! * [`table`] — text tables and CSV series for figure data,
 //! * [`runner`] — parameter sweeps parallelised across seeds
 //!   (`std::thread::scope` workers),
+//! * [`batch`] — the batched sweep engine: structure-of-arrays lane
+//!   batches over the `(x, run)` grid, lock-free per-cell outcome
+//!   slots, and the fingerprint-keyed invariant cache,
+//! * [`fingerprint`] — 128-bit content hashes keying that cache,
 //! * [`snapshot`] — compact binary scenario snapshots (`bytes`),
 //! * [`experiments`] — one module per paper artefact: Fig. 3(a–e),
 //!   Fig. 4/5(a–d), Fig. 6, Fig. 7(a–c), Table II,
@@ -37,7 +41,9 @@
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod batch;
 pub mod experiments;
+pub mod fingerprint;
 pub mod gen;
 pub mod heatmap;
 pub mod plot;

@@ -7,11 +7,16 @@
 //! surfaced in the cell's `feasible_runs`. A run that *panics* is
 //! isolated with `catch_unwind` and surfaced in `failed_runs` — one
 //! poisoned scenario never takes down a whole sweep.
+//!
+//! Execution is delegated to the batched engine in [`crate::batch`]
+//! (structure-of-arrays lane batches, lock-free per-cell outcome
+//! slots, cross-thread span seeding); [`sweep_multi`] is the
+//! cache-oblivious entry point, [`crate::batch::sweep_multi_cached`]
+//! the cache-aware one.
 
 use std::error::Error;
 use std::fmt;
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Mutex;
+use std::sync::OnceLock;
 
 use crate::stats::CellStats;
 
@@ -43,18 +48,44 @@ pub struct SweepConfig {
     /// Base seed; run `r` at x-index `i` uses `base_seed + i·stride + r`
     /// with `stride = max(runs, 1000)` (see [`SweepConfig::seed`]).
     pub base_seed: u64,
-    /// Maximum worker threads.
+    /// Maximum worker threads. The default respects `SAG_THREADS`
+    /// (see [`SweepConfig::default`]).
     pub threads: usize,
 }
 
 impl Default for SweepConfig {
+    /// The default thread count respects `SAG_THREADS` with the same
+    /// semantics as `SagPipelineConfig`: `0` means all hardware
+    /// threads, `N` means exactly `N`. When the variable is unset (or
+    /// unparsable) the fallback is `min(hardware threads, 8)` — the
+    /// historical literal 8 survives only as a cap, so single-thread
+    /// hosts stop oversubscribing. The variable is read once per
+    /// process.
     fn default() -> Self {
         SweepConfig {
             runs: 10,
             base_seed: 1,
-            threads: 8,
+            threads: default_threads(),
         }
     }
+}
+
+/// Resolves the `SAG_THREADS`-aware default worker count (read once).
+fn default_threads() -> usize {
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        let hw = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        match std::env::var("SAG_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+        {
+            Some(0) => hw,
+            Some(n) => n,
+            None => hw.min(8),
+        }
+    })
 }
 
 impl SweepConfig {
@@ -130,78 +161,7 @@ where
     X: Copy + Sync,
     F: Fn(X, u64) -> Vec<Option<f64>> + Sync,
 {
-    if n_metrics == 0 {
-        return Vec::new();
-    }
-    // outcomes[i][m][r]; failed[i][r] marks crashed runs.
-    let outcomes: Vec<Vec<Mutex<Vec<Option<f64>>>>> = xs
-        .iter()
-        .map(|_| {
-            (0..n_metrics)
-                .map(|_| Mutex::new(vec![None; config.runs]))
-                .collect()
-        })
-        .collect();
-    let failed: Vec<Mutex<Vec<bool>>> = xs
-        .iter()
-        .map(|_| Mutex::new(vec![false; config.runs]))
-        .collect();
-
-    // Work queue of (x-index, run).
-    let jobs: Vec<(usize, usize)> = (0..xs.len())
-        .flat_map(|i| (0..config.runs).map(move |r| (i, r)))
-        .collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-
-    std::thread::scope(|scope| {
-        for _ in 0..config.threads.max(1).min(jobs.len().max(1)) {
-            scope.spawn(|| loop {
-                let k = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if k >= jobs.len() {
-                    break;
-                }
-                let (i, r) = jobs[k];
-                // Isolate per-cell panics: a poisoned scenario must not
-                // take down the other (x, run) cells. `eval` is only
-                // observed through its return value, so unwind safety
-                // is not a correctness concern here.
-                let vals = catch_unwind(AssertUnwindSafe(|| eval(xs[i], config.seed(i, r))))
-                    .ok()
-                    .filter(|v| v.len() == n_metrics);
-                match vals {
-                    Some(vals) => {
-                        for (m, v) in vals.into_iter().enumerate() {
-                            outcomes[i][m].lock().expect("no worker poisons a cell")[r] = v;
-                        }
-                    }
-                    None => {
-                        failed[i].lock().expect("no worker poisons a cell")[r] = true;
-                    }
-                }
-            });
-        }
-    });
-
-    // Transpose to per-metric series.
-    (0..n_metrics)
-        .map(|m| {
-            xs.iter()
-                .enumerate()
-                .map(|(i, _)| {
-                    let n_failed = failed[i]
-                        .lock()
-                        .expect("workers joined cleanly")
-                        .iter()
-                        .filter(|&&f| f)
-                        .count();
-                    CellStats::from_runs_with_failures(
-                        &outcomes[i][m].lock().expect("workers joined cleanly"),
-                        n_failed,
-                    )
-                })
-                .collect()
-        })
-        .collect()
+    crate::batch::sweep_multi_cached(xs, n_metrics, config, |_ctx, x, seed| eval(x, seed))
 }
 
 /// Convenience wrapper for single-metric sweeps.
@@ -238,6 +198,23 @@ pub fn collect_stage_metrics<T>(f: impl FnOnce() -> T) -> (T, sag_obs::StageMetr
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Mutex;
+
+    #[test]
+    fn default_threads_is_positive_and_env_capped() {
+        let t = SweepConfig::default().threads;
+        assert!(t >= 1);
+        // Unset (or unparsable) SAG_THREADS keeps the historical 8
+        // only as a *cap*, never as an oversubscribing floor.
+        match std::env::var("SAG_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+        {
+            None => assert!(t <= 8),
+            Some(0) => {}
+            Some(n) => assert_eq!(t, n),
+        }
+    }
 
     #[test]
     fn sweep_aggregates_all_cells() {

@@ -34,6 +34,11 @@ pub struct CellStats {
     /// metric arity) rather than merely reporting infeasibility. They
     /// count toward `total_runs` but never toward `feasible_runs`.
     pub failed_runs: usize,
+    /// Runs that completed and reported infeasibility (`None`). Always
+    /// `total_runs − feasible_runs − failed_runs`: crashed runs are
+    /// *not* infeasible — they never got to answer — so they are
+    /// excluded here and from [`CellStats::infeasibility_rate`].
+    pub infeasible_runs: usize,
 }
 
 impl CellStats {
@@ -43,7 +48,8 @@ impl CellStats {
     }
 
     /// Aggregates per-run outcomes where `failed_runs` of the `None`
-    /// entries are crashes rather than infeasibility reports.
+    /// entries are crashes rather than infeasibility reports; the
+    /// remaining `None`s are counted as genuinely infeasible runs.
     pub fn from_runs_with_failures(outcomes: &[Option<f64>], failed_runs: usize) -> Self {
         let ok: Vec<f64> = outcomes.iter().flatten().copied().collect();
         CellStats {
@@ -51,7 +57,21 @@ impl CellStats {
             feasible_runs: ok.len(),
             total_runs: outcomes.len(),
             failed_runs,
+            infeasible_runs: outcomes
+                .len()
+                .saturating_sub(ok.len())
+                .saturating_sub(failed_runs),
         }
+    }
+
+    /// Fraction of *completed* runs that reported infeasibility:
+    /// `infeasible / (total − failed)`. Crashed runs are excluded from
+    /// the denominator — a panic is not an infeasibility verdict, and
+    /// counting it as one inflated the rates this method replaces.
+    /// `None` when no run completed.
+    pub fn infeasibility_rate(&self) -> Option<f64> {
+        let completed = self.total_runs.saturating_sub(self.failed_runs);
+        (completed > 0).then(|| self.infeasible_runs as f64 / completed as f64)
     }
 
     /// Formats as the paper's figures would show it: the mean, or `N/A`
@@ -111,5 +131,36 @@ mod tests {
         // No crashes → byte-identical to the plain rendering.
         let clean = CellStats::from_runs_with_failures(&[Some(2.0)], 0);
         assert_eq!(clean.display(), "2.00");
+    }
+
+    #[test]
+    fn failed_runs_are_not_infeasible_runs() {
+        // 4 runs: 1 feasible, 1 infeasible (a real `None` verdict),
+        // 2 crashed. The regression this pins: crashes used to be
+        // indistinguishable from infeasibility (`failed_runs` vs
+        // `total_runs − feasible_runs` conflated downstream).
+        let c = CellStats::from_runs_with_failures(&[Some(1.0), None, None, None], 2);
+        assert_eq!(c.feasible_runs, 1);
+        assert_eq!(c.failed_runs, 2);
+        assert_eq!(c.infeasible_runs, 1);
+        assert_ne!(c.failed_runs, c.total_runs - c.feasible_runs);
+        // Rate denominator = completed runs only (4 − 2 crashed = 2).
+        assert_eq!(c.infeasibility_rate(), Some(0.5));
+    }
+
+    #[test]
+    fn infeasibility_rate_is_none_when_nothing_completed() {
+        let c = CellStats::from_runs_with_failures(&[None, None], 2);
+        assert_eq!(c.infeasible_runs, 0);
+        assert_eq!(c.infeasibility_rate(), None);
+        let empty = CellStats::from_runs(&[]);
+        assert_eq!(empty.infeasibility_rate(), None);
+    }
+
+    #[test]
+    fn infeasible_count_saturates_on_inconsistent_failed_claim() {
+        // More claimed failures than `None` slots must not underflow.
+        let c = CellStats::from_runs_with_failures(&[Some(1.0), None], 5);
+        assert_eq!(c.infeasible_runs, 0);
     }
 }

@@ -130,21 +130,11 @@ mod tests {
     use super::*;
 
     fn cell(v: f64) -> CellStats {
-        CellStats {
-            mean: Some(v),
-            feasible_runs: 1,
-            total_runs: 1,
-            failed_runs: 0,
-        }
+        CellStats::from_runs(&[Some(v)])
     }
 
     fn na() -> CellStats {
-        CellStats {
-            mean: None,
-            feasible_runs: 0,
-            total_runs: 1,
-            failed_runs: 0,
-        }
+        CellStats::from_runs(&[None])
     }
 
     #[test]
@@ -221,18 +211,8 @@ mod markdown_tests {
         t.push_series(
             "A",
             vec![
-                CellStats {
-                    mean: Some(1.5),
-                    feasible_runs: 2,
-                    total_runs: 2,
-                    failed_runs: 0,
-                },
-                CellStats {
-                    mean: None,
-                    feasible_runs: 0,
-                    total_runs: 2,
-                    failed_runs: 0,
-                },
+                CellStats::from_runs(&[Some(1.0), Some(2.0)]),
+                CellStats::from_runs(&[None, None]),
             ],
         );
         let md = t.to_markdown();

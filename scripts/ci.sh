@@ -51,6 +51,13 @@ for solver in greedy lp_round; do
     SAG_SOLVER=${solver} cargo test -p sag-integration -q --offline
 done
 
+# Sweep smoke under the heuristic backend override: a real figure sweep
+# (the cache-heavy Fig. 3(e) shape) driven end to end through the
+# batched engine with SAG_SOLVER=greedy, proving the engine and the
+# backend override compose outside the test harness.
+echo "==> SAG_SOLVER=greedy cargo run --release --offline -p sag-sim --bin repro -- fig3e --runs 1"
+SAG_SOLVER=greedy cargo run --release --offline -p sag-sim --bin repro -- fig3e --runs 1 > /dev/null
+
 # SNR engine benchmark: brute vs ledger on the 100-subscriber probe
 # workload. Emits BENCH_snr.json and enforces the 5x speedup floor.
 run cargo run --release --offline -p sag-bench --bin bench_snr -- --out BENCH_snr.json --min-speedup 5
@@ -92,6 +99,17 @@ run cargo run --release --offline -p sag-bench --bin bench_churn -- --out BENCH_
 # self-skips below the timing floor, where the ratio would measure the
 # timer rather than the selector.
 run cargo run --release --offline -p sag-bench --bin bench_backends -- --out BENCH_backends.json --min-speedup 1.5
+
+# Batched sweep engine gate: the fingerprint-cached engine vs the
+# per-cell path on the Fig. 3(e)-shaped probe (scenarios fixed, GAC
+# grid marching). Byte-identical CellStats are asserted before timing
+# at threads=1/N, cold/warm cache and a shuffled work queue; then the
+# sweep-cells-per-second speedup is gated at >=4x. The speedup is
+# cache-driven, so it is enforced at any hardware thread count; the
+# gate self-skips (machine-readably, honoring SAG_BENCH_STRICT) only
+# when the reference sweep is too fast for the timer to resolve. Emits
+# BENCH_sweep.json.
+run cargo run --release --offline -p sag-bench --bin bench_sweep -- --out BENCH_sweep.json --min-speedup 4
 
 # Churn chaos smoke: a short seeded trace through every chaos arm
 # (burst, boundary hop, worker panic, ledger desync); every arm must

@@ -162,6 +162,51 @@ fn clean_runs_reconstruct_one_tree_at_any_thread_count() {
 }
 
 #[test]
+fn sweep_captures_reconstruct_one_tree_at_any_thread_count() {
+    let _guard = ring_lock();
+    // Regression for the sweep worker span-context seeding bug: the
+    // batched engine's workers must inherit the coordinator's span
+    // context, or a sweep JSONL capture splinters into one rootless
+    // fragment per worker thread.
+    use sag_sim::batch::sweep_multi_cached;
+    use sag_sim::experiments::{relays_metric, run_samc_cached};
+    use sag_sim::runner::SweepConfig;
+
+    let spec = ScenarioSpec {
+        field_size: 300.0,
+        n_subscribers: 6,
+        ..Default::default()
+    };
+    for threads in [1usize, 2, 4] {
+        let config = SweepConfig {
+            runs: 2,
+            base_seed: 1,
+            threads,
+        };
+        let stream = capture(|| {
+            sweep_multi_cached(&[1usize, 2, 3], 1, config, |ctx, _x, seed| {
+                vec![relays_metric(&run_samc_cached(ctx, &spec, seed % 1000))]
+            });
+        });
+        let report = assert_frames(&stream, &[]);
+        assert_single_tree(&report, &format!("sweep threads={threads}"));
+        assert_eq!(report.unclosed, 0, "threads={threads}: dangling spans");
+        let cells = report
+            .span_totals
+            .get("sweep_cell")
+            .unwrap_or_else(|| panic!("threads={threads}: no sweep_cell spans"));
+        assert_eq!(cells.count, 6, "threads={threads}: one span per cell");
+        assert_eq!(
+            report.span_totals.get("sweep").map(|a| a.count),
+            Some(1),
+            "threads={threads}: exactly one sweep root"
+        );
+        // The coordinator records the cache accounting exactly once.
+        assert_eq!(report.counters.get("sweep.cells"), Some(&6));
+    }
+}
+
+#[test]
 fn worker_panic_dumps_exactly_once_at_any_thread_count() {
     let _guard = ring_lock();
     let sc = build(8, 2, 7);

@@ -312,6 +312,74 @@ fn budget_spent_is_stage_local_on_every_arm() {
     assert!(ilpqc.budget_spent.elapsed <= ilpqc_wall);
 }
 
+/// Recorder that logs span identity/linkage, for cross-thread
+/// parenting checks where interleaving makes depth replay meaningless.
+#[derive(Default)]
+struct LinkLog(Mutex<Vec<sag_obs::SpanMeta>>);
+
+impl Recorder for LinkLog {
+    fn span_enter(&self, span: &sag_obs::SpanMeta) {
+        self.0.lock().expect("log lock").push(*span);
+    }
+}
+
+#[test]
+fn sweep_worker_spans_parent_under_the_coordinator_sweep_span() {
+    // Regression for the sweep worker span-context seeding bug: worker
+    // threads used to open `sweep_cell` spans with no inherited
+    // context, so every cell became its own root and a sweep capture
+    // shattered into per-thread fragments. The engine must seed each
+    // worker with the coordinator's span context; every cell span —
+    // whichever thread runs it, in whatever claim order — parents
+    // under the one `sweep` span.
+    use sag_sim::batch::{sweep_multi_with, JobOrder, SweepOptions};
+    use sag_sim::runner::SweepConfig;
+
+    for threads in [1usize, 4] {
+        let log = Arc::new(LinkLog::default());
+        let config = SweepConfig {
+            runs: 3,
+            base_seed: 5,
+            threads,
+        };
+        sag_obs::with_local(log.clone(), || {
+            sweep_multi_with(
+                &[1.0f64, 2.0, 3.0],
+                1,
+                config,
+                SweepOptions {
+                    order: JobOrder::Shuffled(41),
+                    ..Default::default()
+                },
+                |_ctx, x, seed| vec![Some(x + seed as f64)],
+            );
+        });
+        let spans = log.0.lock().expect("log lock").clone();
+        let sweeps: Vec<_> = spans.iter().filter(|s| s.name == "sweep").collect();
+        assert_eq!(
+            sweeps.len(),
+            1,
+            "threads={threads}: exactly one sweep coordinator span"
+        );
+        let root = sweeps[0].id;
+        let cells: Vec<_> = spans.iter().filter(|s| s.name == "sweep_cell").collect();
+        assert_eq!(cells.len(), 9, "threads={threads}: one span per cell");
+        for cell in &cells {
+            assert_eq!(
+                cell.parent,
+                Some(root),
+                "threads={threads}: cell span {} (zone {:?}) lost its parent link",
+                cell.id,
+                cell.zone
+            );
+        }
+        // Zone tags cover every cell exactly once.
+        let mut zones: Vec<u64> = cells.iter().filter_map(|s| s.zone).collect();
+        zones.sort_unstable();
+        assert_eq!(zones, (0..9).collect::<Vec<u64>>());
+    }
+}
+
 /// Writer that fails every operation — the realisation of
 /// [`Fault::ObsSinkFail`].
 struct FailingWriter;
